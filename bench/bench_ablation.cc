@@ -1,0 +1,171 @@
+// Ablation study: prices the individual design choices DESIGN.md calls
+// out, using the Table 5 stress loop. Each row toggles exactly one
+// feature against a baseline:
+//
+//   K23 without SUD fallback   — what the fallback's kernel slow path
+//                                costs even when never taken (the
+//                                SUD-no-interposition effect, §6.2.1);
+//   K23 entry check on/off     — the RobinSet lookup per rewritten call;
+//   K23 stack switch on/off    — the ultra+ dedicated-stack hop;
+//   lazypoline safe patching   — P5 fixed vs faithful (per-rewrite cost
+//                                is off the hot path, so this should be
+//                                ~free at steady state: the pitfall is
+//                                about correctness, not speed).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/caps.h"
+#include "k23/k23.h"
+#include "k23/liblogger.h"
+#include "lazypoline/lazypoline.h"
+#include "support/stress_loop.h"
+
+namespace k23::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Config {
+  kNative,
+  kK23NoFallback,     // rewriting only, SUD never armed
+  kK23Default,        // + SUD fallback
+  kK23Ultra,          // + RobinSet entry check
+  kK23UltraPlus,      // + dedicated stack
+  kLazypolineFaithful,
+  kLazypolineSafePatch,
+};
+
+const char* config_label(Config config) {
+  switch (config) {
+    case Config::kNative: return "native";
+    case Config::kK23NoFallback: return "K23 (rewrite only, no SUD)";
+    case Config::kK23Default: return "K23-default (+SUD fallback)";
+    case Config::kK23Ultra: return "K23-ultra (+entry check)";
+    case Config::kK23UltraPlus: return "K23-ultra+ (+stack switch)";
+    case Config::kLazypolineFaithful: return "lazypoline (P5 faithful)";
+    case Config::kLazypolineSafePatch: return "lazypoline (safe patching)";
+  }
+  return "?";
+}
+
+bool init_config(Config config) {
+  switch (config) {
+    case Config::kNative:
+      return true;
+    case Config::kLazypolineFaithful: {
+      LazypolineInterposer::Options options;
+      options.faithful_p5 = true;
+      return LazypolineInterposer::init(options).is_ok();
+    }
+    case Config::kLazypolineSafePatch: {
+      LazypolineInterposer::Options options;
+      options.faithful_p5 = false;
+      return LazypolineInterposer::init(options).is_ok();
+    }
+    default: {
+      auto log = LibLogger::record([] { k23_bench_stress_loop(100); });
+      if (!log.is_ok()) return false;
+      K23Interposer::Options options;
+      options.sud_fallback = config != Config::kK23NoFallback;
+      options.variant = config == Config::kK23Ultra ? K23Variant::kUltra
+                        : config == Config::kK23UltraPlus
+                            ? K23Variant::kUltraPlus
+                            : K23Variant::kDefault;
+      return K23Interposer::init(log.value(), options).is_ok();
+    }
+  }
+}
+
+uint64_t run_once(Config config, long iterations) {
+  int fds[2];
+  if (::pipe(fds) != 0) return 0;
+  ::fflush(nullptr);
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fds[0]);
+    if (!init_config(config)) ::_exit(2);
+    k23_bench_stress_loop(1000);
+    const auto start = Clock::now();
+    k23_bench_stress_loop(iterations);
+    const uint64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now() - start)
+                            .count();
+    ssize_t ignored = ::write(fds[1], &ns, sizeof(ns));
+    (void)ignored;
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  uint64_t ns = 0;
+  ssize_t got = ::read(fds[0], &ns, sizeof(ns));
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return (got == sizeof(ns) && WIFEXITED(status) &&
+          WEXITSTATUS(status) == 0)
+             ? ns
+             : 0;
+}
+
+double best_of(Config config, long iterations, int runs) {
+  uint64_t best = UINT64_MAX;
+  for (int r = 0; r < runs; ++r) {
+    uint64_t v = run_once(config, iterations);
+    if (v != 0 && v < best) best = v;
+  }
+  return best == UINT64_MAX ? 0 : static_cast<double>(best);
+}
+
+int run(long iterations, int runs) {
+  if (!capabilities().mmap_va0 || !capabilities().sud) {
+    std::printf("ablation: skipped (needs VA-0 + SUD)\n");
+    return 0;
+  }
+  std::printf("Ablation — per-feature cost on the Table 5 stress loop "
+              "(syscall 500 x %ld, best of %d)\n\n",
+              iterations, runs);
+  const double native = best_of(Config::kNative, iterations, runs);
+  if (native == 0) {
+    std::printf("native measurement failed\n");
+    return 1;
+  }
+  std::printf("%-32s %10s\n", "Configuration", "Overhead");
+  std::printf("%-32s %9.4fx\n", "native", 1.0);
+  for (Config config :
+       {Config::kK23NoFallback, Config::kK23Default, Config::kK23Ultra,
+        Config::kK23UltraPlus, Config::kLazypolineFaithful,
+        Config::kLazypolineSafePatch}) {
+    const double ns = best_of(config, iterations, runs);
+    if (ns == 0) {
+      std::printf("%-32s %10s\n", config_label(config), "failed");
+      continue;
+    }
+    std::printf("%-32s %9.4fx\n", config_label(config), ns / native);
+  }
+  std::printf("\nReading: (no-SUD vs default) isolates the kernel's SUD "
+              "slow path;\n(default vs ultra) the RobinSet lookup; "
+              "(ultra vs ultra+) the stack switch;\nthe two lazypoline "
+              "rows should tie — P5 is a correctness flaw, not a "
+              "speedup.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace k23::bench
+
+int main(int argc, char** argv) {
+  long iterations = 1'000'000;
+  int runs = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      iterations = std::atol(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+      runs = std::atoi(argv[i] + 7);
+    }
+  }
+  return k23::bench::run(iterations, runs);
+}

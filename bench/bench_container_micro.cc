@@ -1,0 +1,107 @@
+// Component microbenchmark (google-benchmark): the P4b data-structure
+// trade-off — K23's RobinSet vs zpoline's whole-address-space bitmap vs
+// std::unordered_set, on the NULL-exec-check access pattern: a lookup of
+// the calling site on *every* interposed system call, with a working set
+// the size of an offline log (Table 2: tens of entries).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "container/address_bitmap.h"
+#include "container/robin_set.h"
+
+namespace k23 {
+namespace {
+
+// Synthesizes site addresses that look like the real thing: clustered in
+// a few "library" regions, 2-byte-instruction aligned-ish.
+std::vector<uint64_t> make_sites(size_t count, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> sites;
+  const uint64_t regions[] = {0x7f1234500000ULL, 0x55aabb000000ULL,
+                              0x7f9876000000ULL};
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t base = regions[i % 3];
+    sites.push_back(base + (rng() % 0x200000));
+  }
+  return sites;
+}
+
+void BM_RobinSetHit(benchmark::State& state) {
+  const auto sites = make_sites(state.range(0), 1);
+  AddressSet set;
+  for (uint64_t s : sites) set.insert(s);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.contains(sites[i]));
+    i = (i + 1) % sites.size();
+  }
+  state.counters["bytes"] = static_cast<double>(set.memory_bytes());
+}
+BENCHMARK(BM_RobinSetHit)->Arg(10)->Arg(44)->Arg(92)->Arg(1024);
+
+void BM_RobinSetMiss(benchmark::State& state) {
+  const auto sites = make_sites(state.range(0), 1);
+  const auto probes = make_sites(state.range(0), 2);
+  AddressSet set;
+  for (uint64_t s : sites) set.insert(s);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.contains(probes[i]));
+    i = (i + 1) % probes.size();
+  }
+}
+BENCHMARK(BM_RobinSetMiss)->Arg(44)->Arg(1024);
+
+void BM_AddressBitmapHit(benchmark::State& state) {
+  const auto sites = make_sites(state.range(0), 1);
+  AddressBitmap bitmap;
+  if (!bitmap.reserve().is_ok()) {
+    state.SkipWithError("bitmap reservation failed");
+    return;
+  }
+  for (uint64_t s : sites) bitmap.set(s);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitmap.test(sites[i]));
+    i = (i + 1) % sites.size();
+  }
+  state.counters["reserved_bytes"] =
+      static_cast<double>(bitmap.reserved_bytes());
+  auto resident = bitmap.resident_bytes();
+  if (resident.is_ok()) {
+    state.counters["resident_bytes"] =
+        static_cast<double>(resident.value());
+  }
+}
+BENCHMARK(BM_AddressBitmapHit)->Arg(10)->Arg(44)->Arg(92)->Arg(1024);
+
+void BM_StdUnorderedSetHit(benchmark::State& state) {
+  const auto sites = make_sites(state.range(0), 1);
+  std::unordered_set<uint64_t> set(sites.begin(), sites.end());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.contains(sites[i]));
+    i = (i + 1) % sites.size();
+  }
+}
+BENCHMARK(BM_StdUnorderedSetHit)->Arg(44)->Arg(1024);
+
+void BM_RobinSetInsert(benchmark::State& state) {
+  const auto sites = make_sites(1024, 3);
+  for (auto _ : state) {
+    AddressSet set;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      set.insert(sites[i]);
+    }
+    benchmark::DoNotOptimize(set.size());
+  }
+}
+BENCHMARK(BM_RobinSetInsert)->Arg(44)->Arg(1024);
+
+}  // namespace
+}  // namespace k23
+
+BENCHMARK_MAIN();

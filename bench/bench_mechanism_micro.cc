@@ -1,0 +1,169 @@
+// Component microbenchmark (google-benchmark): where each nanosecond of
+// Table 5 goes. Decomposes the mechanisms into their primitives:
+//   - raw `syscall` instruction (the floor),
+//   - the `syscall; ret` thunk and the SUD gadget-page call,
+//   - a full trampoline round trip through a rewritten site,
+//   - a SUD SIGSYS round trip,
+//   - the signal-safe patch operation itself (lazy-rewrite cost),
+//   - dispatcher bookkeeping (stats + hook dispatch) in isolation.
+#include <benchmark/benchmark.h>
+#include <sys/syscall.h>
+
+#include "arch/raw_syscall.h"
+#include "arch/thunks.h"
+#include "common/caps.h"
+#include "interpose/dispatch.h"
+#include "rewrite/patcher.h"
+#include "sud/sud_session.h"
+#include "trampoline/trampoline.h"
+
+namespace k23 {
+namespace {
+
+// A private labelled syscall site this binary can rewrite.
+asm(R"(
+    .text
+    .globl  k23_mech_site_fn
+    .globl  k23_mech_site
+k23_mech_site_fn:
+    mov     $500, %eax
+k23_mech_site:
+    syscall
+    ret
+)");
+extern "C" long k23_mech_site_fn();
+extern "C" char k23_mech_site[];
+
+void BM_RawSyscall(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raw_syscall(kBenchSyscallNr));
+  }
+}
+BENCHMARK(BM_RawSyscall);
+
+void BM_SyscallRetThunk(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        k23_syscall_ret_thunk(kBenchSyscallNr, 0, 0, 0, 0, 0, 0));
+  }
+}
+BENCHMARK(BM_SyscallRetThunk);
+
+void BM_DispatcherPassthrough(benchmark::State& state) {
+  // Dispatcher overhead with no interposition mechanism armed: stats,
+  // prctl-guard check, hook check, execute-switch, thunk.
+  SyscallArgs args;
+  args.nr = kBenchSyscallNr;
+  HookContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Dispatcher::instance().on_syscall(args, ctx));
+  }
+}
+BENCHMARK(BM_DispatcherPassthrough);
+
+void BM_TrampolineRoundTrip(benchmark::State& state) {
+  if (!capabilities().mmap_va0) {
+    state.SkipWithError("cannot map VA 0");
+    return;
+  }
+  static bool initialized = [] {
+    if (!Trampoline::install(Trampoline::Options{}).is_ok()) return false;
+    CodePatcher patcher;
+    return patcher
+        .patch_site(reinterpret_cast<uint64_t>(&k23_mech_site))
+        .is_ok();
+  }();
+  if (!initialized) {
+    state.SkipWithError("trampoline init failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k23_mech_site_fn());
+  }
+}
+BENCHMARK(BM_TrampolineRoundTrip);
+
+void BM_SudGadgetSyscall(benchmark::State& state) {
+  if (!capabilities().sud) {
+    state.SkipWithError("kernel lacks SUD");
+    return;
+  }
+  static bool armed = [] {
+    if (!SudSession::arm().is_ok()) return false;
+    SudSession::set_block(false);  // measure the gadget, not the trap
+    return true;
+  }();
+  if (!armed) {
+    state.SkipWithError("SUD arm failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SudSession::gadget_syscall(kBenchSyscallNr));
+  }
+}
+BENCHMARK(BM_SudGadgetSyscall);
+
+void BM_SudKernelSlowPath(benchmark::State& state) {
+  // SUD armed, selector = ALLOW: no SIGSYS, but every syscall takes the
+  // kernel's slow entry path — the "SUD-no-interposition" row.
+  if (!capabilities().sud) {
+    state.SkipWithError("kernel lacks SUD");
+    return;
+  }
+  static bool armed = [] {
+    if (!SudSession::armed() && !SudSession::arm().is_ok()) return false;
+    SudSession::set_block(false);
+    return true;
+  }();
+  if (!armed) {
+    state.SkipWithError("SUD arm failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raw_syscall(kBenchSyscallNr));
+  }
+}
+BENCHMARK(BM_SudKernelSlowPath);
+
+void BM_SudSigsysRoundTrip(benchmark::State& state) {
+  if (!capabilities().sud) {
+    state.SkipWithError("kernel lacks SUD");
+    return;
+  }
+  static bool armed = [] {
+    return SudSession::armed() || SudSession::arm().is_ok();
+  }();
+  if (!armed) {
+    state.SkipWithError("SUD arm failed");
+    return;
+  }
+  SudSession::set_block(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raw_syscall(kBenchSyscallNr));
+  }
+  SudSession::set_block(false);
+}
+BENCHMARK(BM_SudSigsysRoundTrip);
+
+void BM_SignalSafePatch(benchmark::State& state) {
+  // Cost of one lazy rewrite (mprotect + store + serialize + mprotect) —
+  // lazypoline pays this once per discovered site.
+  alignas(4096) static uint8_t page[8192];
+  uint8_t* target = page + 4096;
+  target[0] = 0x0f;
+  target[1] = 0x05;
+  const auto site = reinterpret_cast<uint64_t>(target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        patch_site_signal_safe(site, PatchMode::kSafe).is_ok());
+    target[0] = 0x0f;  // reset for the next iteration
+    target[1] = 0x05;
+  }
+}
+BENCHMARK(BM_SignalSafePatch);
+
+}  // namespace
+}  // namespace k23
+
+BENCHMARK_MAIN();

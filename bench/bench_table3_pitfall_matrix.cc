@@ -1,0 +1,77 @@
+// Regenerates Table 3: the pitfall matrix. Every cell runs the live PoC
+// for that (pitfall, interposer) pair; ✓ means handled or not relevant,
+// ✗ means the pitfall manifests — same convention as the paper.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/caps.h"
+#include "pitfalls/pitfalls.h"
+
+namespace k23::bench {
+namespace {
+
+// The paper's Table 3 reports one column per published system; for P4*
+// rows the zpoline/K23 behaviour is defined by the variant carrying the
+// NULL-exec check, so those cells run the -ultra variants.
+InterposerKind column_kind(PitfallId id, int column) {
+  const bool p4 = id == PitfallId::kP4a || id == PitfallId::kP4b;
+  switch (column) {
+    case 0:
+      return p4 ? InterposerKind::kZpolineUltra
+                : InterposerKind::kZpolineDefault;
+    case 1:
+      return InterposerKind::kLazypoline;
+    default:
+      return p4 ? InterposerKind::kK23Ultra : InterposerKind::kK23Default;
+  }
+}
+
+const char* cell(PocVerdict verdict) {
+  switch (verdict) {
+    case PocVerdict::kResilient:
+    case PocVerdict::kNotApplicable:
+      return "ok";   // ✓ in the paper (handled or not relevant)
+    case PocVerdict::kAffected:
+      return "VULN"; // ✗
+    case PocVerdict::kSkipped:
+      return "skip";
+    case PocVerdict::kError:
+      return "ERR";
+  }
+  return "?";
+}
+
+int run() {
+  std::printf("Table 3 — interposers vs System Call Interposition "
+              "Pitfalls (live PoCs)\n");
+  std::printf("ok = handled / not relevant (paper: check mark), "
+              "VULN = pitfall manifests (paper: cross)\n\n");
+  std::printf("%-38s %10s %12s %8s\n", "Pitfall", "zpoline", "lazypoline",
+              "K23");
+  std::printf("%-38s %10s %12s %8s\n", "-------", "-------", "----------",
+              "---");
+
+  int mismatches = 0;
+  for (PitfallId id : kAllPitfalls) {
+    PocVerdict verdicts[3];
+    for (int column = 0; column < 3; ++column) {
+      verdicts[column] = run_poc(id, column_kind(id, column));
+    }
+    std::printf("%-38s %10s %12s %8s\n", pitfall_name(id),
+                cell(verdicts[0]), cell(verdicts[1]), cell(verdicts[2]));
+    // K23's column must be all-ok — that is the paper's headline claim.
+    if (verdicts[2] == PocVerdict::kAffected ||
+        verdicts[2] == PocVerdict::kError) {
+      ++mismatches;
+    }
+  }
+  std::printf("\nExpected shape (paper Table 3): zpoline VULN on "
+              "P1a/P2a/P2b/P3a/P4b; lazypoline VULN on\n"
+              "P1a/P1b/P2b/P3b/P4a/P5; K23 ok everywhere.\n");
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace k23::bench
+
+int main() { return k23::bench::run(); }

@@ -1,0 +1,364 @@
+// Regenerates Table 6: macrobenchmark throughput of server/database
+// workloads under each interposer, relative to native.
+//
+// Per (row, variant) cell the harness forks a fresh server child which:
+//   1. (K23 variants) runs the offline phase: libLogger armed while the
+//      parent drives a short warmup load, stopped via SIGUSR1;
+//   2. arms the variant (zpoline scan / lazypoline / K23 online / SUD);
+//   3. signals readiness over a pipe and serves until SIGTERM
+//      (spawning worker processes / I/O threads per the row config —
+//      all re-armed through the dispatcher's clone/fork handling).
+// The parent then runs the load client and reports req/s. The sqlite row
+// runs the embedded speedtest in the child and reports relative runtime.
+//
+// Workload substitutions (documented in DESIGN.md): mini_http buffered
+// writes ~ nginx; mini_http writev ~ lighttpd; mini_kv ~ redis;
+// mini_db speedtest ~ sqlite speedtest1. Worker counts scale to the
+// builder (paper: 10 workers on 12 cores; --workers overrides).
+//
+//   bench_table6_macro [--duration=SECS] [--workers=N] [--kv-threads=N]
+//                      [--db-size=N]
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/caps.h"
+#include "common/files.h"
+#include "k23/liblogger.h"
+#include "support/variants.h"
+#include "workloads/load_client.h"
+#include "workloads/mini_db.h"
+#include "workloads/mini_http.h"
+#include "workloads/mini_kv.h"
+#include "workloads/net.h"
+
+namespace k23::bench {
+namespace {
+
+std::atomic<bool> g_warmup_stop{false};
+std::atomic<bool> g_serve_stop{false};
+
+void on_sigusr1(int) { g_warmup_stop.store(true); }
+void on_sigterm(int) { g_serve_stop.store(true); }
+
+struct RowConfig {
+  std::string label;
+  enum class App { kHttp, kKv, kDb } app;
+  size_t body_size = 0;
+  int workers = 1;
+  bool use_writev = false;
+  int kv_threads = 1;
+  int db_size = 8;
+};
+
+bool is_k23_variant(Variant v) {
+  return v == Variant::kK23Default || v == Variant::kK23Ultra ||
+         v == Variant::kK23UltraPlus;
+}
+
+uint16_t pick_port() {
+  auto fd = tcp_listen(0);
+  if (!fd.is_ok()) return 0;
+  auto port = tcp_local_port(fd.value());
+  ::close(fd.value());
+  return port.is_ok() ? port.value() : 0;
+}
+
+// Serves the row's app until g_serve_stop (SIGTERM).
+int serve_row(const RowConfig& row, uint16_t port) {
+  if (row.app == RowConfig::App::kHttp) {
+    MiniHttpOptions options;
+    options.port = port;
+    options.body_size = row.body_size;
+    options.use_writev = row.use_writev;
+    if (row.workers <= 1) {
+      options.stop = &g_serve_stop;
+      return run_http_server_inline(options).is_ok() ? 0 : 1;
+    }
+    options.workers = row.workers;
+    auto handle = spawn_http_server(options);
+    if (!handle.is_ok()) return 1;
+    while (!g_serve_stop.load()) ::usleep(20'000);
+    stop_http_server(handle.value());
+    return 0;
+  }
+  if (row.app == RowConfig::App::kKv) {
+    MiniKvOptions options;
+    options.port = port;
+    options.io_threads = row.kv_threads;
+    options.stop = &g_serve_stop;
+    return run_kv_server_inline(options).is_ok() ? 0 : 1;
+  }
+  return 1;
+}
+
+// Short single-process serve under libLogger (offline phase). The parent
+// drives warmup traffic and then sends SIGUSR1.
+OfflineLog offline_phase(const RowConfig& row, uint16_t port) {
+  OfflineLog log;
+  auto recorded = LibLogger::record([&] {
+    if (row.app == RowConfig::App::kHttp) {
+      MiniHttpOptions options;
+      options.port = port;
+      options.body_size = row.body_size;
+      options.use_writev = row.use_writev;
+      options.stop = &g_warmup_stop;
+      (void)run_http_server_inline(options);
+    } else if (row.app == RowConfig::App::kKv) {
+      MiniKvOptions options;
+      options.port = port;
+      options.io_threads = 1;
+      options.stop = &g_warmup_stop;
+      (void)run_kv_server_inline(options);
+    } else {
+      auto dir = make_temp_dir("k23_t6_offline_db_");
+      if (dir.is_ok()) {
+        (void)run_db_speedtest(dir.value(), 2);
+        (void)remove_tree(dir.value());
+      }
+      g_warmup_stop.store(true);
+    }
+  });
+  if (recorded.is_ok()) log = std::move(recorded).value();
+  return log;
+}
+
+// One (row, variant) cell. For servers: returns requests/second.
+// For the db row: returns operations/second (relative metric either way).
+double run_cell(const RowConfig& row, Variant variant, double duration) {
+  const uint16_t warmup_port = pick_port();
+  const uint16_t serve_port = pick_port();
+  if (row.app != RowConfig::App::kDb &&
+      (warmup_port == 0 || serve_port == 0)) {
+    return -1;
+  }
+  int ready[2];
+  int result_pipe[2];
+  if (::pipe(ready) != 0 || ::pipe(result_pipe) != 0) return -1;
+
+  ::fflush(nullptr);
+  pid_t child = ::fork();
+  if (child < 0) return -1;
+  if (child == 0) {
+    ::close(ready[0]);
+    ::close(result_pipe[0]);
+    ::signal(SIGUSR1, &on_sigusr1);
+    ::signal(SIGTERM, &on_sigterm);
+    g_warmup_stop = false;
+    g_serve_stop = false;
+
+    OfflineLog log;
+    VariantOptions options;
+    if (is_k23_variant(variant)) {
+      log = offline_phase(row, warmup_port);
+      options.log = &log;
+    }
+    if (!init_variant(variant, options).is_ok()) ::_exit(3);
+
+    if (row.app == RowConfig::App::kDb) {
+      auto dir = make_temp_dir("k23_t6_db_");
+      if (!dir.is_ok()) ::_exit(4);
+      auto report = run_db_speedtest(dir.value(), row.db_size);
+      (void)remove_tree(dir.value());
+      if (!report.is_ok()) ::_exit(5);
+      const double ops_per_sec =
+          report.value().operations / report.value().seconds;
+      ssize_t ignored = ::write(result_pipe[1], &ops_per_sec,
+                                sizeof(ops_per_sec));
+      (void)ignored;
+      ::_exit(0);
+    }
+
+    char ok = 1;
+    ssize_t ignored = ::write(ready[1], &ok, 1);
+    (void)ignored;
+    ::_exit(serve_row(row, serve_port));
+  }
+
+  ::close(ready[1]);
+  ::close(result_pipe[1]);
+  double value = -1;
+
+  if (row.app == RowConfig::App::kDb) {
+    // Drive the K23 offline phase to completion: it needs no traffic
+    // (speedtest runs by itself) but does need the SIGUSR1 edge absent.
+    if (::read(result_pipe[0], &value, sizeof(value)) != sizeof(value)) {
+      value = -1;
+    }
+  } else {
+    if (is_k23_variant(variant)) {
+      // Warmup traffic against the libLogger'd single-process server.
+      LoadOptions warmup;
+      warmup.port = warmup_port;
+      warmup.connections = 4;
+      warmup.duration_seconds = 0.3;
+      auto warm = row.app == RowConfig::App::kHttp ? run_http_load(warmup)
+                                                   : run_kv_load(warmup);
+      (void)warm;
+      ::kill(child, SIGUSR1);
+    }
+    char ok = 0;
+    if (::read(ready[0], &ok, 1) == 1 && ok == 1) {
+      LoadOptions load;
+      load.port = serve_port;
+      load.connections = 16 * std::max(row.workers, row.kv_threads);
+      load.duration_seconds = duration;
+      auto result = row.app == RowConfig::App::kHttp ? run_http_load(load)
+                                                     : run_kv_load(load);
+      if (result.is_ok()) value = result.value().requests_per_second();
+    }
+    ::kill(child, SIGTERM);
+  }
+  ::close(ready[0]);
+  ::close(result_pipe[0]);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  return value;
+}
+
+// Best-of-R: on a shared single-core builder, transient contention only
+// ever *lowers* throughput, so the max over R runs is the least-noisy
+// estimator (the paper instead discards min/max over 10 runs on an
+// isolated machine).
+double measure_cell(const RowConfig& row, Variant variant, double duration,
+                    int runs) {
+  double best = -1;
+  for (int r = 0; r < runs; ++r) {
+    best = std::max(best, run_cell(row, variant, duration));
+  }
+  return best;
+}
+
+int run(double duration, int workers, int kv_threads, int db_size,
+        int runs) {
+  {
+    // Discarded warmup: the first speedtest pays one-time filesystem
+    // costs (journal, page cache) that would otherwise penalize whichever
+    // variant happens to run first.
+    auto dir = make_temp_dir("k23_t6_warmup_db_");
+    if (dir.is_ok()) {
+      (void)run_db_speedtest(dir.value(), db_size);
+      (void)remove_tree(dir.value());
+    }
+  }
+  std::vector<RowConfig> rows = {
+      {"nginx-like    (1 worker, 0 KB)", RowConfig::App::kHttp, 0, 1, false},
+      {"nginx-like    (1 worker, 4 KB)", RowConfig::App::kHttp, 4096, 1,
+       false},
+      {"nginx-like    (N workers, 0 KB)", RowConfig::App::kHttp, 0, workers,
+       false},
+      {"nginx-like    (N workers, 4 KB)", RowConfig::App::kHttp, 4096,
+       workers, false},
+      {"lighttpd-like (1 worker, 0 KB)", RowConfig::App::kHttp, 0, 1, true},
+      {"lighttpd-like (1 worker, 4 KB)", RowConfig::App::kHttp, 4096, 1,
+       true},
+      {"lighttpd-like (N workers, 0 KB)", RowConfig::App::kHttp, 0, workers,
+       true},
+      {"lighttpd-like (N workers, 4 KB)", RowConfig::App::kHttp, 4096,
+       workers, true},
+  };
+  RowConfig kv1{"redis-like    (1 I/O thread)", RowConfig::App::kKv};
+  kv1.kv_threads = 1;
+  rows.push_back(kv1);
+  RowConfig kvn{"redis-like    (N I/O threads)", RowConfig::App::kKv};
+  kvn.kv_threads = kv_threads;
+  rows.push_back(kvn);
+  RowConfig db{"sqlite-like   (speedtest)", RowConfig::App::kDb};
+  db.db_size = db_size;
+  rows.push_back(db);
+
+  std::printf("Table 6 — macrobenchmark throughput relative to native "
+              "(%% of native; native = 100%%)\n");
+  std::printf("duration=%.1fs per cell, N workers=%d, N kv threads=%d, "
+              "db size=%d\n\n",
+              duration, workers, kv_threads, db_size);
+
+  std::printf("%-34s %12s", "Workload", "native");
+  for (Variant v : kTable6Variants) {
+    if (v == Variant::kNative) continue;
+    std::printf(" %12s", variant_label(v));
+  }
+  std::printf("\n");
+
+  // Geometric-mean accumulators per variant.
+  std::vector<double> geo_log(std::size(kTable6Variants), 0.0);
+  std::vector<int> geo_n(std::size(kTable6Variants), 0);
+
+  for (const RowConfig& row : rows) {
+    const double native =
+        measure_cell(row, Variant::kNative, duration, runs);
+    std::printf("%-34s %11.0f%s", row.label.c_str(), native,
+                row.app == RowConfig::App::kDb ? "o" : "r");
+    ::fflush(stdout);
+    size_t index = 0;
+    for (Variant v : kTable6Variants) {
+      ++index;
+      if (v == Variant::kNative) continue;
+      if (!variant_supported(v)) {
+        std::printf(" %12s", "skip");
+        continue;
+      }
+      const double value = measure_cell(row, v, duration, runs);
+      if (value <= 0 || native <= 0) {
+        std::printf(" %12s", "fail");
+        continue;
+      }
+      const double relative = 100.0 * value / native;
+      geo_log[index - 1] += std::log(relative);
+      geo_n[index - 1] += 1;
+      std::printf(" %11.2f%%", relative);
+      ::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-34s %12s", "geomean", "");
+  size_t index = 0;
+  for (Variant v : kTable6Variants) {
+    ++index;
+    if (v == Variant::kNative) continue;
+    if (geo_n[index - 1] == 0) {
+      std::printf(" %12s", "-");
+      continue;
+    }
+    std::printf(" %11.2f%%",
+                std::exp(geo_log[index - 1] / geo_n[index - 1]));
+  }
+  std::printf("\n\nExpected shape (paper): rewriting interposers >= ~95%% "
+              "of native;\nSUD collapses to ~35-65%% on syscall-heavy "
+              "rows.\nUnits: r = requests/s, o = db operations/s.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace k23::bench
+
+int main(int argc, char** argv) {
+  double duration = 1.0;
+  int workers = 4;
+  int kv_threads = 3;
+  int db_size = 8;
+  int runs = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--duration=", 11) == 0) {
+      duration = std::atof(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--kv-threads=", 13) == 0) {
+      kv_threads = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--db-size=", 10) == 0) {
+      db_size = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+      runs = std::atoi(argv[i] + 7);
+    }
+  }
+  return k23::bench::run(duration, workers, kv_threads, db_size, runs);
+}

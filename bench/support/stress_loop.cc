@@ -1,0 +1,19 @@
+#include "support/stress_loop.h"
+
+// rax is clobbered by every syscall return, so the number is reloaded
+// each iteration — identical to what a real wrapper does.
+asm(R"(
+    .text
+    .globl  k23_bench_stress_loop
+    .globl  k23_bench_stress_site
+    .type   k23_bench_stress_loop, @function
+k23_bench_stress_loop:
+1:
+    mov     $500, %eax
+k23_bench_stress_site:
+    syscall
+    dec     %rdi
+    jnz     1b
+    ret
+    .size   k23_bench_stress_loop, . - k23_bench_stress_loop
+)");

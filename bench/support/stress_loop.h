@@ -1,0 +1,13 @@
+// The Table 5 stress loop: invokes the non-existent syscall 500 from a
+// single labelled site, `iterations` times. Written in assembly so the
+// site is a plain `syscall` instruction that every mechanism can hit:
+// zpoline's scanner finds it in the binary, libLogger records it for K23,
+// lazypoline rewrites it on first execution, SUD traps it every time.
+#pragma once
+
+#include <cstdint>
+
+extern "C" {
+void k23_bench_stress_loop(long iterations);
+extern char k23_bench_stress_site[];
+}

@@ -1,0 +1,82 @@
+#include "support/variants.h"
+
+#include "common/caps.h"
+#include "k23/k23.h"
+#include "lazypoline/lazypoline.h"
+#include "sud/sud_session.h"
+#include "zpoline/zpoline.h"
+
+namespace k23::bench {
+
+const char* variant_label(Variant variant) {
+  switch (variant) {
+    case Variant::kNative: return "native";
+    case Variant::kZpolineDefault: return "zpoline-default";
+    case Variant::kZpolineUltra: return "zpoline-ultra";
+    case Variant::kLazypoline: return "lazypoline";
+    case Variant::kK23Default: return "K23-default";
+    case Variant::kK23Ultra: return "K23-ultra";
+    case Variant::kK23UltraPlus: return "K23-ultra+";
+    case Variant::kSud: return "SUD";
+    case Variant::kSudNoInterposition: return "SUD-no-interposition";
+  }
+  return "?";
+}
+
+bool variant_supported(Variant variant) {
+  switch (variant) {
+    case Variant::kNative:
+      return true;
+    case Variant::kZpolineDefault:
+    case Variant::kZpolineUltra:
+      return capabilities().mmap_va0;
+    case Variant::kSud:
+    case Variant::kSudNoInterposition:
+      return capabilities().sud;
+    default:
+      return capabilities().mmap_va0 && capabilities().sud;
+  }
+}
+
+Status init_variant(Variant variant, const VariantOptions& options) {
+  switch (variant) {
+    case Variant::kNative:
+      return Status::ok();
+    case Variant::kZpolineDefault:
+    case Variant::kZpolineUltra: {
+      ZpolineInterposer::Options zp;
+      zp.variant = variant == Variant::kZpolineUltra
+                       ? ZpolineVariant::kUltra
+                       : ZpolineVariant::kDefault;
+      zp.path_suffixes = options.zpoline_scan;
+      return ZpolineInterposer::init(zp).status();
+    }
+    case Variant::kLazypoline:
+      return LazypolineInterposer::init();
+    case Variant::kK23Default:
+    case Variant::kK23Ultra:
+    case Variant::kK23UltraPlus: {
+      if (options.log == nullptr) {
+        return Status::fail("K23 variants need an offline log");
+      }
+      K23Interposer::Options k23;
+      k23.variant = variant == Variant::kK23Default ? K23Variant::kDefault
+                    : variant == Variant::kK23Ultra ? K23Variant::kUltra
+                                                    : K23Variant::kUltraPlus;
+      return K23Interposer::init(*options.log, k23).status();
+    }
+    case Variant::kSud:
+      return SudSession::arm();
+    case Variant::kSudNoInterposition: {
+      K23_RETURN_IF_ERROR(SudSession::arm());
+      // Armed but disabled via the selector: isolates the kernel's
+      // SUD slow path, the dominant cost in lazypoline/K23 vs zpoline.
+      SudSession::set_default_block(false);
+      SudSession::set_block(false);
+      return Status::ok();
+    }
+  }
+  return Status::fail("unknown variant");
+}
+
+}  // namespace k23::bench

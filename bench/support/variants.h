@@ -1,0 +1,56 @@
+// Shared interposer-variant harness for the table benchmarks.
+//
+// Table 5 and Table 6 both sweep the same eight configurations: native,
+// zpoline-default/-ultra, lazypoline, K23-default/-ultra/-ultra+, SUD,
+// plus SUD-no-interposition for the kernel slow-path isolation row.
+// init_variant brings one of them up *in the calling process* (benchmarks
+// fork one child per variant).
+#pragma once
+
+#include "common/result.h"
+#include "k23/offline_log.h"
+
+namespace k23::bench {
+
+enum class Variant {
+  kNative,
+  kZpolineDefault,
+  kZpolineUltra,
+  kLazypoline,
+  kK23Default,
+  kK23Ultra,
+  kK23UltraPlus,
+  kSud,
+  kSudNoInterposition,
+};
+
+inline constexpr Variant kTable5Variants[] = {
+    Variant::kNative,     Variant::kZpolineDefault,
+    Variant::kZpolineUltra, Variant::kLazypoline,
+    Variant::kK23Default, Variant::kK23Ultra,
+    Variant::kK23UltraPlus, Variant::kSudNoInterposition,
+    Variant::kSud,
+};
+
+inline constexpr Variant kTable6Variants[] = {
+    Variant::kNative,     Variant::kZpolineDefault,
+    Variant::kZpolineUltra, Variant::kLazypoline,
+    Variant::kK23Default, Variant::kK23Ultra,
+    Variant::kK23UltraPlus, Variant::kSud,
+};
+
+const char* variant_label(Variant variant);
+
+// True if the current machine can run this variant (VA-0 / SUD caps).
+bool variant_supported(Variant variant);
+
+// Arms the variant in this process. `log` feeds the K23 variants (they
+// run the online phase from it); zpoline variants scan `zpoline_scan`
+// path suffixes (empty = everything file-backed, the production setup).
+struct VariantOptions {
+  const OfflineLog* log = nullptr;
+  std::vector<std::string> zpoline_scan;
+};
+Status init_variant(Variant variant, const VariantOptions& options);
+
+}  // namespace k23::bench

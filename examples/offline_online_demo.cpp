@@ -1,0 +1,89 @@
+// offline_online_demo — a narrated walkthrough of Figures 2 and 4.
+//
+// Shows every step of K23's two-phase design with real output: the
+// offline log being built record by record, the online phase resolving,
+// validating and rewriting each site, and both the rewritten fast path
+// and the SUD fallback carrying live traffic.
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/caps.h"
+#include "interpose/dispatch.h"
+#include "k23/k23.h"
+#include "k23/liblogger.h"
+#include "sud/sud_session.h"
+
+namespace {
+
+void observed_workload() {
+  for (int i = 0; i < 5; ++i) {
+    (void)::getpid();
+    (void)::getuid();
+  }
+}
+
+// A site the offline phase never sees: JIT-built after the online phase.
+long call_unlogged_site() {
+  static long (*fn)() = [] {
+    uint8_t code[] = {0xb8, 0x27, 0x00, 0x00, 0x00, 0x0f, 0x05, 0xc3};
+    void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    std::memcpy(page, code, sizeof(code));
+    ::mprotect(page, 4096, PROT_READ | PROT_EXEC);
+    return reinterpret_cast<long (*)()>(page);
+  }();
+  return fn();
+}
+
+}  // namespace
+
+int main() {
+  using namespace k23;
+  if (!capabilities().sud || !capabilities().mmap_va0) {
+    std::printf("demo needs SUD and VA-0 mapping\n");
+    return 0;
+  }
+
+  std::printf("===== OFFLINE PHASE (Figure 2) =====\n");
+  std::printf("(1) kernel traps each syscall -> (2) libLogger records the\n"
+              "triggering instruction -> (3) original syscall runs\n\n");
+  auto log = LibLogger::record(observed_workload);
+  if (!log.is_ok()) return 1;
+  std::printf("log contents (Figure 3 format):\n%s\n",
+              log.value().serialize().c_str());
+
+  std::printf("===== ONLINE PHASE (Figure 4) =====\n");
+  auto report = K23Interposer::init(log.value(), K23Interposer::Options{});
+  if (!report.is_ok()) return 1;
+  std::printf("(4) single selective rewrite: %zu/%zu logged sites "
+              "rewritten (%zu stale, %zu unresolved)\n",
+              report.value().rewritten_sites,
+              report.value().log_entries, report.value().stale_entries,
+              report.value().unresolved_entries);
+  std::printf("    + SUD fallback armed, prctl guard active\n\n");
+
+  auto& stats = Dispatcher::instance().stats();
+  const uint64_t fast0 = stats.by_path(EntryPath::kRewritten);
+  const uint64_t slow0 = stats.by_path(EntryPath::kSudFallback);
+
+  std::printf("(5-7) logged site -> rewritten call *%%rax -> libK23:\n");
+  observed_workload();
+  std::printf("      fast-path dispatches: +%llu\n",
+              static_cast<unsigned long long>(
+                  stats.by_path(EntryPath::kRewritten) - fast0));
+
+  std::printf("(5'-7') unlogged (JIT) site -> SUD SIGSYS -> same libK23:\n");
+  long pid = call_unlogged_site();
+  std::printf("      fallback dispatches: +%llu (returned pid %ld)\n",
+              static_cast<unsigned long long>(
+                  stats.by_path(EntryPath::kSudFallback) - slow0),
+              pid);
+
+  std::printf("\nevery system call reached the same interposition code; "
+              "none was overlooked.\n");
+  return 0;
+}

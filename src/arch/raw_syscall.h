@@ -1,0 +1,84 @@
+// Raw system-call invocation and x86-64 syscall ABI definitions.
+//
+// Interposer hooks must invoke the "original" system call without going
+// through libc: a libc wrapper would re-enter the interposer (its own
+// syscall instruction may be rewritten, or SUD may be armed). These inline
+// helpers emit a `syscall` instruction directly.
+//
+// NOTE on SUD: a raw_syscall() from code *outside* the SUD allowlisted
+// region still traps while the selector is BLOCK. Dispatch paths either
+// flip the selector first (see sud::SudSession) or call through the
+// allowlisted gadget (sud::SudSession::gadget_syscall).
+#pragma once
+
+#include <cstdint>
+
+namespace k23 {
+
+// x86-64 syscall argument registers, in ABI order.
+struct SyscallArgs {
+  long nr = 0;
+  long rdi = 0;
+  long rsi = 0;
+  long rdx = 0;
+  long r10 = 0;
+  long r8 = 0;
+  long r9 = 0;
+};
+
+inline long raw_syscall6(long nr, long a0, long a1, long a2, long a3, long a4,
+                         long a5) {
+  register long r10 asm("r10") = a3;
+  register long r8 asm("r8") = a4;
+  register long r9 asm("r9") = a5;
+  long ret;
+  asm volatile("syscall"
+               : "=a"(ret)
+               : "a"(nr), "D"(a0), "S"(a1), "d"(a2), "r"(r10), "r"(r8),
+                 "r"(r9)
+               : "rcx", "r11", "memory");
+  return ret;
+}
+
+inline long raw_syscall(long nr) { return raw_syscall6(nr, 0, 0, 0, 0, 0, 0); }
+inline long raw_syscall(long nr, long a0) {
+  return raw_syscall6(nr, a0, 0, 0, 0, 0, 0);
+}
+inline long raw_syscall(long nr, long a0, long a1) {
+  return raw_syscall6(nr, a0, a1, 0, 0, 0, 0);
+}
+inline long raw_syscall(long nr, long a0, long a1, long a2) {
+  return raw_syscall6(nr, a0, a1, a2, 0, 0, 0);
+}
+inline long raw_syscall(long nr, long a0, long a1, long a2, long a3) {
+  return raw_syscall6(nr, a0, a1, a2, a3, 0, 0);
+}
+inline long raw_syscall(long nr, long a0, long a1, long a2, long a3, long a4) {
+  return raw_syscall6(nr, a0, a1, a2, a3, a4, 0);
+}
+
+inline long raw_syscall(const SyscallArgs& args) {
+  return raw_syscall6(args.nr, args.rdi, args.rsi, args.rdx, args.r10,
+                      args.r8, args.r9);
+}
+
+// Kernel return values in [-4095, -1] encode -errno.
+inline bool is_syscall_error(long ret) { return ret < 0 && ret >= -4095; }
+inline int syscall_errno(long ret) { return static_cast<int>(-ret); }
+
+// Instruction encodings this project rewrites / emits (paper §2.2.1).
+inline constexpr uint8_t kSyscallInsn[2] = {0x0f, 0x05};
+inline constexpr uint8_t kSysenterInsn[2] = {0x0f, 0x34};
+inline constexpr uint8_t kCallRaxInsn[2] = {0xff, 0xd0};
+inline constexpr size_t kSyscallInsnLen = 2;
+
+// The fake syscall numbers used in the ptracer<->libK23 handoff protocol
+// (paper §5.3). Far outside the real table; the kernel returns -ENOSYS.
+inline constexpr long kFakeSyscallStateHandoff = 0x4b3200;  // "K23" 00
+inline constexpr long kFakeSyscallDetach = 0x4b3201;        // "K23" 01
+
+// The paper's microbenchmark stresses a non-existent syscall (number 500)
+// to measure pure interposition overhead (§6.2.1).
+inline constexpr long kBenchSyscallNr = 500;
+
+}  // namespace k23

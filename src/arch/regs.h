@@ -1,0 +1,61 @@
+// Register-context accessors for the two kernel interfaces we consume:
+// ucontext_t (signal handlers / SUD) and user_regs_struct (ptrace).
+//
+// Both views expose the same logical record — "the syscall being attempted"
+// — so interposer code can be written once against SyscallArgs.
+#pragma once
+
+#include <sys/user.h>
+#include <ucontext.h>
+
+#include <cstdint>
+
+#include "arch/raw_syscall.h"
+
+namespace k23 {
+
+// --- ucontext (SIGSYS / signal path) --------------------------------------
+
+inline SyscallArgs syscall_args_from_ucontext(const ucontext_t& uc) {
+  const greg_t* g = uc.uc_mcontext.gregs;
+  SyscallArgs a;
+  a.nr = g[REG_RAX];
+  a.rdi = g[REG_RDI];
+  a.rsi = g[REG_RSI];
+  a.rdx = g[REG_RDX];
+  a.r10 = g[REG_R10];
+  a.r8 = g[REG_R8];
+  a.r9 = g[REG_R9];
+  return a;
+}
+
+inline void set_syscall_result(ucontext_t& uc, long result) {
+  uc.uc_mcontext.gregs[REG_RAX] = result;
+}
+
+// rip at SIGSYS (SUD) points to the instruction *after* the trapping
+// syscall; the triggering instruction starts kSyscallInsnLen bytes before.
+inline uint64_t trapping_insn_address(const ucontext_t& uc) {
+  return static_cast<uint64_t>(uc.uc_mcontext.gregs[REG_RIP]) -
+         kSyscallInsnLen;
+}
+
+inline uint64_t stack_pointer(const ucontext_t& uc) {
+  return static_cast<uint64_t>(uc.uc_mcontext.gregs[REG_RSP]);
+}
+
+// --- user_regs_struct (ptrace path) ----------------------------------------
+
+inline SyscallArgs syscall_args_from_ptrace(const user_regs_struct& regs) {
+  SyscallArgs a;
+  a.nr = static_cast<long>(regs.orig_rax);
+  a.rdi = static_cast<long>(regs.rdi);
+  a.rsi = static_cast<long>(regs.rsi);
+  a.rdx = static_cast<long>(regs.rdx);
+  a.r10 = static_cast<long>(regs.r10);
+  a.r8 = static_cast<long>(regs.r8);
+  a.r9 = static_cast<long>(regs.r9);
+  return a;
+}
+
+}  // namespace k23

@@ -1,0 +1,23 @@
+// x86-64 Linux syscall number <-> name lookup.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace k23 {
+
+// Returns the syscall name for `nr`, or nullptr if unknown.
+const char* syscall_name(long nr);
+
+// Returns the syscall number for `name`, or -1 if unknown.
+long syscall_number(std::string_view name);
+
+// Highest syscall number in the table (sizing nop sleds, stats arrays).
+long max_syscall_number();
+
+size_t syscall_table_size();
+
+void for_each_syscall(void (*fn)(long nr, const char* name, void* arg),
+                      void* arg);
+
+}  // namespace k23

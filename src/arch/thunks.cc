@@ -1,0 +1,154 @@
+#include "arch/thunks.h"
+
+#include <atomic>
+
+// ---------------------------------------------------------------------------
+// k23_syscall_ret_thunk — the universal passthrough primitive.
+//
+// C ABI in: rdi=nr rsi=a0 rdx=a1 rcx=a2 r8=a3 r9=a4 [rsp+8]=a5.
+// Shuffled into the syscall ABI; the instruction after `syscall` is `ret`,
+// so a clone child landing on a fresh stack immediately unwinds into
+// whatever address the dispatcher seeded there.
+// ---------------------------------------------------------------------------
+asm(R"(
+    .section k23_nopatch,"ax",@progbits
+    .globl  k23_syscall_ret_thunk
+    .type   k23_syscall_ret_thunk, @function
+k23_syscall_ret_thunk:
+    mov     %rdi, %rax
+    mov     %rsi, %rdi
+    mov     %rdx, %rsi
+    mov     %rcx, %rdx
+    mov     %r8,  %r10
+    mov     %r9,  %r8
+    mov     8(%rsp), %r9
+    syscall
+    ret
+    .size   k23_syscall_ret_thunk, . - k23_syscall_ret_thunk
+)");
+
+// ---------------------------------------------------------------------------
+// Position-independent copy of the same thunk, duplicated into the SUD
+// allowlisted gadget page so passthrough syscalls bypass dispatch even
+// while the selector is BLOCK.
+// ---------------------------------------------------------------------------
+asm(R"(
+    .section k23_nopatch,"ax",@progbits
+    .globl  k23_gadget_template_begin
+    .globl  k23_gadget_template_end
+k23_gadget_template_begin:
+    mov     %rdi, %rax
+    mov     %rsi, %rdi
+    mov     %rdx, %rsi
+    mov     %rcx, %rdx
+    mov     %r8,  %r10
+    mov     %r9,  %r8
+    mov     8(%rsp), %r9
+    syscall
+    ret
+k23_gadget_template_end:
+)");
+
+// ---------------------------------------------------------------------------
+// k23_child_init_shim — first code a new thread runs.
+//
+// Stack on entry (seeded by the dispatcher onto the clone child stack):
+//     [rsp]   application resume address (instruction after the original
+//             syscall instruction)
+// Preserves every register the application can observe except rax (which
+// must read 0 = "I am the child") and rcx/r11 (kernel-clobbered anyway).
+// ---------------------------------------------------------------------------
+asm(R"(
+    .text
+    .globl  k23_child_init_shim
+    .type   k23_child_init_shim, @function
+k23_child_init_shim:
+    push    %rdi
+    push    %rsi
+    push    %rdx
+    push    %r10
+    push    %r8
+    push    %r9
+    push    %rbx
+    push    %rbp
+    push    %r12
+    push    %r13
+    push    %r14
+    push    %r15
+    sub     $8, %rsp            /* 12 pushes + entry: align for the call */
+    call    k23_invoke_thread_reinit
+    add     $8, %rsp
+    pop     %r15
+    pop     %r14
+    pop     %r13
+    pop     %r12
+    pop     %rbp
+    pop     %rbx
+    pop     %r9
+    pop     %r8
+    pop     %r10
+    pop     %rdx
+    pop     %rsi
+    pop     %rdi
+    xor     %eax, %eax
+    ret
+    .size   k23_child_init_shim, . - k23_child_init_shim
+)");
+
+// ---------------------------------------------------------------------------
+// k23_sigreturn_thunk — rt_sigreturn on the application's signal frame.
+// ---------------------------------------------------------------------------
+asm(R"(
+    .section k23_nopatch,"ax",@progbits
+    .globl  k23_sigreturn_thunk
+    .type   k23_sigreturn_thunk, @function
+k23_sigreturn_thunk:
+    mov     %rdi, %rsp
+    mov     $15, %eax           /* __NR_rt_sigreturn */
+    syscall
+    ud2
+    .size   k23_sigreturn_thunk, . - k23_sigreturn_thunk
+)");
+
+// ---------------------------------------------------------------------------
+// k23_call_on_stack — run fn(arg) on a dedicated stack (K23-ultra+).
+// ---------------------------------------------------------------------------
+asm(R"(
+    .text
+    .globl  k23_call_on_stack
+    .type   k23_call_on_stack, @function
+k23_call_on_stack:
+    mov     %rsp, %rax
+    mov     %rdx, %rsp
+    and     $-16, %rsp
+    push    %rax                /* old rsp; stack now 16k+8 */
+    sub     $8, %rsp            /* re-align to 16 for the call */
+    mov     %rdi, %r11
+    mov     %rsi, %rdi
+    call    *%r11
+    add     $8, %rsp
+    pop     %rsp
+    ret
+    .size   k23_call_on_stack, . - k23_call_on_stack
+)");
+
+namespace k23 {
+namespace {
+std::atomic<ThreadReinitFn> g_thread_reinit{nullptr};
+}  // namespace
+
+void set_thread_reinit(ThreadReinitFn fn) {
+  g_thread_reinit.store(fn, std::memory_order_release);
+}
+
+ThreadReinitFn thread_reinit() {
+  return g_thread_reinit.load(std::memory_order_acquire);
+}
+
+}  // namespace k23
+
+// Called from k23_child_init_shim with all registers preserved around it.
+extern "C" void k23_invoke_thread_reinit() {
+  k23::ThreadReinitFn fn = k23::thread_reinit();
+  if (fn != nullptr) fn();
+}

@@ -1,0 +1,59 @@
+// Assembly thunks for syscall execution from interposer context.
+//
+// A passthrough syscall cannot simply be re-issued from C++ for three
+// syscall families:
+//
+//  * clone/clone3 with a new stack: the child resumes at the instruction
+//    after `syscall` *on the new stack*. If that instruction is in the
+//    middle of a C++ function, the child executes with a frameless stack
+//    and crashes. k23_syscall_ret_thunk guarantees the next instruction is
+//    `ret`, and the dispatcher seeds the new stack so the child unwinds
+//    straight back into application code (optionally via a child-init shim
+//    that re-arms per-thread SUD first).
+//
+//  * vfork: the child borrows the parent's stack; returning through
+//    interposer frames would corrupt it. The dispatcher downgrades vfork
+//    to fork (documented substitution, same observable semantics for the
+//    ubiquitous vfork+exec pattern).
+//
+//  * rt_sigreturn: consumes a signal frame at the application's rsp; it
+//    must run with rsp pointing at that frame and never returns.
+#pragma once
+
+#include <cstdint>
+
+extern "C" {
+
+// Executes `syscall` such that the very next instruction is `ret`.
+// Signature: (nr, a0..a4 in registers, a5 on the stack).
+long k23_syscall_ret_thunk(long nr, long a0, long a1, long a2, long a3,
+                           long a4, long a5);
+
+// Child-side shim for new threads: preserves registers, calls the
+// registered thread re-init callback, then returns (rax = 0) into
+// application code whose address the dispatcher pushed beneath it.
+void k23_child_init_shim();
+
+// Executes rt_sigreturn with rsp = `frame_rsp`. Never returns.
+[[noreturn]] void k23_sigreturn_thunk(uint64_t frame_rsp);
+
+// Runs fn(arg) on `stack_top` (16-byte aligned, grows down) and returns
+// its result — the K23-ultra+ dedicated-stack switch (paper §5.3).
+long k23_call_on_stack(long (*fn)(void*), void* arg, void* stack_top);
+
+// Template bounds of the position-independent `syscall; ret` gadget,
+// copied into the SUD allowlisted page (see sud/sud_session.h).
+extern const char k23_gadget_template_begin[];
+extern const char k23_gadget_template_end[];
+
+}  // extern "C"
+
+namespace k23 {
+
+// Callback invoked on each new thread created through the interposer
+// (used by SUD to re-arm the per-thread selector). Must be async-safe.
+using ThreadReinitFn = void (*)();
+void set_thread_reinit(ThreadReinitFn fn);
+ThreadReinitFn thread_reinit();
+
+}  // namespace k23

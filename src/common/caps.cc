@@ -1,0 +1,114 @@
+#include "common/caps.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#include <sys/ptrace.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <mutex>
+
+#ifndef PR_SET_SYSCALL_USER_DISPATCH
+#define PR_SET_SYSCALL_USER_DISPATCH 59
+#endif
+#ifndef PR_SYS_DISPATCH_OFF
+#define PR_SYS_DISPATCH_OFF 0
+#endif
+#ifndef PR_SYS_DISPATCH_ON
+#define PR_SYS_DISPATCH_ON 1
+#endif
+
+namespace k23 {
+namespace {
+
+// Runs `probe` in a forked child; returns true iff the child exited 0.
+// Destructive probes (enabling SUD, mapping page 0) must not leak state
+// into the caller.
+bool probe_in_child(int (*probe)()) {
+  pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) _exit(probe());
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return false;
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+int probe_sud() {
+  char selector = 0;  // SYSCALL_DISPATCH_FILTER_ALLOW
+  if (::prctl(PR_SET_SYSCALL_USER_DISPATCH, PR_SYS_DISPATCH_ON, 0, 0,
+              &selector) != 0) {
+    return 1;
+  }
+  ::prctl(PR_SET_SYSCALL_USER_DISPATCH, PR_SYS_DISPATCH_OFF, 0, 0, 0);
+  return 0;
+}
+
+int probe_mmap_va0() {
+  // MAP_FIXED_NOREPLACE at address 0: succeeds (returning 0) only when the
+  // kernel lets this process map page 0 and nothing occupies it yet.
+  void* p = ::mmap(nullptr, 0x1000, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED_NOREPLACE, -1, 0);
+  return p == nullptr ? 0 : 1;
+}
+
+int probe_pku() {
+  int key = ::pkey_alloc(0, 0);
+  if (key < 0) return 1;
+  ::pkey_free(key);
+  return 0;
+}
+
+int probe_ptrace_child() {
+  pid_t pid = ::fork();
+  if (pid < 0) return 1;
+  if (pid == 0) {
+    if (::ptrace(PTRACE_TRACEME, 0, nullptr, nullptr) != 0) _exit(1);
+    ::raise(SIGSTOP);
+    _exit(0);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return 1;
+  if (!WIFSTOPPED(status)) return 1;
+  ::ptrace(PTRACE_DETACH, pid, nullptr, nullptr);
+  ::waitpid(pid, &status, 0);
+  return 0;
+}
+
+int probe_exec_only() {
+  void* p = ::mmap(nullptr, 0x1000, PROT_EXEC,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return 1;
+  // Without PKU, most x86-64 kernels make PROT_EXEC imply readability;
+  // we only check the mapping is accepted. True XOM needs PKU.
+  ::munmap(p, 0x1000);
+  return 0;
+}
+
+}  // namespace
+
+std::string Capabilities::summary() const {
+  std::string s = "capabilities:";
+  s += sud ? " +sud" : " -sud";
+  s += mmap_va0 ? " +mmap_va0" : " -mmap_va0";
+  s += pku ? " +pku" : " -pku";
+  s += ptrace ? " +ptrace" : " -ptrace";
+  s += exec_only_mem ? " +xom" : " -xom";
+  return s;
+}
+
+const Capabilities& capabilities() {
+  static Capabilities caps;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    caps.sud = probe_in_child(probe_sud);
+    caps.mmap_va0 = probe_in_child(probe_mmap_va0);
+    caps.pku = probe_in_child(probe_pku);
+    caps.ptrace = probe_in_child(probe_ptrace_child);
+    caps.exec_only_mem = probe_in_child(probe_exec_only);
+  });
+  return caps;
+}
+
+}  // namespace k23

@@ -1,0 +1,27 @@
+// Runtime capability probe.
+//
+// K23 needs several kernel/CPU features; availability varies per machine
+// (containers often restrict mmap_min_addr; PKU needs CPU support). Every
+// feature-dependent test and benchmark gates on this probe instead of
+// assuming a lab machine.
+#pragma once
+
+#include <string>
+
+namespace k23 {
+
+struct Capabilities {
+  bool sud = false;          // prctl(PR_SET_SYSCALL_USER_DISPATCH) works
+  bool mmap_va0 = false;     // MAP_FIXED mmap at virtual address 0 works
+  bool pku = false;          // pkey_alloc works (XOM via protection keys)
+  bool ptrace = false;       // PTRACE_TRACEME + syscall-stop loop works
+  bool exec_only_mem = false;  // PROT_EXEC-only mapping is readable-not
+
+  std::string summary() const;
+};
+
+// Probes once per process (forks children for the destructive probes)
+// and caches the result.
+const Capabilities& capabilities();
+
+}  // namespace k23

@@ -1,0 +1,111 @@
+#include "common/env.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/strings.h"
+
+extern char** environ;
+
+namespace k23 {
+namespace {
+
+// Returns the position of the '=' if the entry names `name`, else npos.
+size_t match_entry(std::string_view entry, std::string_view name) {
+  if (entry.size() > name.size() && entry[name.size()] == '=' &&
+      entry.substr(0, name.size()) == name) {
+    return name.size();
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+EnvBlock EnvBlock::from_envp(const char* const* envp) {
+  EnvBlock block;
+  if (envp == nullptr) return block;
+  for (const char* const* p = envp; *p != nullptr; ++p) {
+    block.entries_.emplace_back(*p);
+  }
+  return block;
+}
+
+EnvBlock EnvBlock::from_current() {
+  return from_envp(const_cast<const char* const*>(environ));
+}
+
+const std::string* EnvBlock::get(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (match_entry(entry, name) != std::string_view::npos) return &entry;
+  }
+  return nullptr;
+}
+
+void EnvBlock::set(std::string_view name, std::string_view value) {
+  std::string entry;
+  entry.reserve(name.size() + 1 + value.size());
+  entry.append(name).append("=").append(value);
+  for (auto& existing : entries_) {
+    if (match_entry(existing, name) != std::string_view::npos) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void EnvBlock::unset(std::string_view name) {
+  std::erase_if(entries_, [&](const std::string& entry) {
+    return match_entry(entry, name) != std::string_view::npos;
+  });
+}
+
+bool EnvBlock::ensure_ld_preload(std::string_view library) {
+  const std::string* existing = get("LD_PRELOAD");
+  if (existing == nullptr) {
+    set("LD_PRELOAD", library);
+    return true;
+  }
+  std::string_view value(*existing);
+  value.remove_prefix(std::strlen("LD_PRELOAD="));
+  // LD_PRELOAD entries are separated by spaces or colons.
+  for (char sep : {':', ' '}) {
+    for (std::string_view item : split(value, sep)) {
+      if (item == library) return false;
+    }
+  }
+  std::string merged(library);
+  if (!value.empty()) {
+    merged.append(":");
+    merged.append(value);
+  }
+  set("LD_PRELOAD", merged);
+  return true;
+}
+
+std::vector<char*> EnvBlock::as_envp() {
+  std::vector<char*> out;
+  out.reserve(entries_.size() + 1);
+  for (auto& entry : entries_) out.push_back(entry.data());
+  out.push_back(nullptr);
+  return out;
+}
+
+bool ld_preload_contains(const char* const* envp,
+                         std::string_view library_name) {
+  if (envp == nullptr) return false;
+  for (const char* const* p = envp; *p != nullptr; ++p) {
+    std::string_view entry(*p);
+    if (!starts_with(entry, "LD_PRELOAD=")) continue;
+    entry.remove_prefix(std::strlen("LD_PRELOAD="));
+    for (char sep : {':', ' '}) {
+      for (std::string_view item : split(entry, sep)) {
+        if (ends_with(item, library_name)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace k23

@@ -1,0 +1,44 @@
+// Environment-block helpers for LD_PRELOAD handling (pitfall P1a).
+//
+// ptracer rewrites a tracee's execve environment so the interposition
+// library cannot be dropped by clearing LD_PRELOAD; these helpers build and
+// edit `envp`-style blocks.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace k23 {
+
+// A mutable owned copy of an environ-style block.
+class EnvBlock {
+ public:
+  EnvBlock() = default;
+  // Copies a NULL-terminated envp array (e.g. ::environ).
+  static EnvBlock from_envp(const char* const* envp);
+  static EnvBlock from_current();
+
+  // Returns the value of `name`, or nullopt-like empty indicator.
+  const std::string* get(std::string_view name) const;
+  void set(std::string_view name, std::string_view value);
+  void unset(std::string_view name);
+
+  // Ensures LD_PRELOAD contains `library` (prepends if missing).
+  // Returns true if the block was modified.
+  bool ensure_ld_preload(std::string_view library);
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<std::string>& entries() const { return entries_; }
+
+  // Builds a NULL-terminated char* vector valid while this object lives.
+  std::vector<char*> as_envp();
+
+ private:
+  std::vector<std::string> entries_;  // "NAME=value" strings
+};
+
+// True if LD_PRELOAD in `envp` already lists a path ending in `library_name`.
+bool ld_preload_contains(const char* const* envp, std::string_view library_name);
+
+}  // namespace k23

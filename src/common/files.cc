@@ -1,0 +1,131 @@
+#include "common/files.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <limits.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/scope_guard.h"
+
+namespace k23 {
+
+Result<std::string> read_file(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Result<std::string>::from_errno("open for read");
+  auto closer = make_scope_guard([fd] { ::close(fd); });
+
+  std::string out;
+  char buf[1 << 14];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Result<std::string>::from_errno("read");
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+namespace {
+
+Status write_with_flags(const std::string& path, std::string_view contents,
+                        int flags) {
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Status::from_errno("open for write");
+  auto closer = make_scope_guard([fd] { ::close(fd); });
+
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("write");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status write_file(const std::string& path, std::string_view contents) {
+  return write_with_flags(path, contents,
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC);
+}
+
+Status append_file(const std::string& path, std::string_view contents) {
+  return write_with_flags(path, contents,
+                          O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC);
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::string> make_temp_dir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = (base != nullptr ? base : "/tmp");
+  tmpl += "/" + prefix + "XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Result<std::string>::from_errno("mkdtemp");
+  }
+  return std::string(buf.data());
+}
+
+Status remove_tree(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOTDIR) {
+      if (::unlink(path.c_str()) != 0) return Status::from_errno("unlink");
+      return Status::ok();
+    }
+    if (errno == ENOENT) return Status::ok();
+    return Status::from_errno("opendir");
+  }
+  auto closer = make_scope_guard([dir] { ::closedir(dir); });
+  while (struct dirent* e = ::readdir(dir)) {
+    if (std::strcmp(e->d_name, ".") == 0 || std::strcmp(e->d_name, "..") == 0) {
+      continue;
+    }
+    std::string child = path + "/" + e->d_name;
+    struct stat st;
+    if (::lstat(child.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      Status st2 = remove_tree(child);
+      if (!st2.is_ok()) return st2;
+    } else {
+      // Sub-entries may have been made read-only (log immutability).
+      ::chmod(child.c_str(), 0600);
+      ::unlink(child.c_str());
+    }
+  }
+  ::chmod(path.c_str(), 0700);
+  if (::rmdir(path.c_str()) != 0) return Status::from_errno("rmdir");
+  return Status::ok();
+}
+
+Status make_read_only(const std::string& path) {
+  if (::chmod(path.c_str(), 0444) != 0) return Status::from_errno("chmod");
+  return Status::ok();
+}
+
+Result<std::string> self_exe_path() {
+  char buf[PATH_MAX];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n < 0) return Result<std::string>::from_errno("readlink /proc/self/exe");
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace k23

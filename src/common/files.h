@@ -1,0 +1,32 @@
+// File helpers used by the maps/ELF/offline-log readers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace k23 {
+
+Result<std::string> read_file(const std::string& path);
+Status write_file(const std::string& path, std::string_view contents);
+Status append_file(const std::string& path, std::string_view contents);
+bool file_exists(const std::string& path);
+
+// Creates a unique temporary directory under $TMPDIR (default /tmp)
+// with the given prefix; returns its path.
+Result<std::string> make_temp_dir(const std::string& prefix);
+
+// Recursively removes a directory tree (best effort).
+Status remove_tree(const std::string& path);
+
+// Makes `path` read-only (0444) — used for offline-log immutability.
+// chattr +i needs a capable filesystem; mode bits are the portable part
+// of the paper's "mark the log directory immutable" step.
+Status make_read_only(const std::string& path);
+
+// Resolves /proc/self/exe.
+Result<std::string> self_exe_path();
+
+}  // namespace k23

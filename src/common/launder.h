@@ -1,0 +1,25 @@
+// Pointer laundering for the VA-0 trampoline.
+//
+// Dereferencing a pointer the compiler can prove is null is UB; GCC turns
+// such stores into `ud2` traps. The trampoline page legitimately lives at
+// virtual address 0, so every pointer into it must pass through an opaque
+// barrier first (discovered the hard way — see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+namespace k23 {
+
+template <typename T>
+inline T* launder_va0(T* p) {
+  asm volatile("" : "+r"(p));
+  return p;
+}
+
+inline uint8_t* launder_va0_addr(uintptr_t addr) {
+  auto* p = reinterpret_cast<uint8_t*>(addr);
+  asm volatile("" : "+r"(p));
+  return p;
+}
+
+}  // namespace k23

@@ -1,0 +1,155 @@
+#include "common/logging.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace k23 {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialized
+
+int init_level_from_env() {
+  const char* env = std::getenv("K23_LOG_LEVEL");
+  int level = static_cast<int>(LogLevel::kInfo);
+  if (env != nullptr && env[0] >= '0' && env[0] <= '3' && env[1] == '\0') {
+    level = env[0] - '0';
+  }
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = init_level_from_env();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_level()) {
+  if (!enabled_) return;
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[k23 " << level_name(level) << " "
+          << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  stream_ << "\n";
+  const std::string s = stream_.str();
+  // One write keeps lines whole across processes sharing stderr.
+  ssize_t ignored = ::write(STDERR_FILENO, s.data(), s.size());
+  (void)ignored;
+}
+
+}  // namespace internal
+
+size_t format_decimal(int64_t value, char* out, size_t cap) {
+  if (cap == 0) return 0;
+  char tmp[24];
+  size_t n = 0;
+  uint64_t v;
+  bool negative = value < 0;
+  v = negative ? -static_cast<uint64_t>(value) : static_cast<uint64_t>(value);
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0 && n < sizeof(tmp));
+  size_t written = 0;
+  if (negative && written < cap) out[written++] = '-';
+  while (n > 0 && written < cap) out[written++] = tmp[--n];
+  return written;
+}
+
+size_t format_hex(uint64_t value, char* out, size_t cap) {
+  static const char kDigits[] = "0123456789abcdef";
+  char tmp[16];
+  size_t n = 0;
+  do {
+    tmp[n++] = kDigits[value & 0xf];
+    value >>= 4;
+  } while (value != 0 && n < sizeof(tmp));
+  size_t written = 0;
+  if (cap >= 2) {
+    out[written++] = '0';
+    out[written++] = 'x';
+  }
+  while (n > 0 && written < cap) out[written++] = tmp[--n];
+  return written;
+}
+
+namespace {
+
+void safe_write_parts(const char* msg, const char* extra, size_t extra_len) {
+  char buf[256];
+  size_t n = 0;
+  const char prefix[] = "[k23] ";
+  std::memcpy(buf, prefix, sizeof(prefix) - 1);
+  n = sizeof(prefix) - 1;
+  size_t msg_len = std::strlen(msg);
+  if (msg_len > sizeof(buf) - n - extra_len - 1) {
+    msg_len = sizeof(buf) - n - extra_len - 1;
+  }
+  std::memcpy(buf + n, msg, msg_len);
+  n += msg_len;
+  std::memcpy(buf + n, extra, extra_len);
+  n += extra_len;
+  buf[n++] = '\n';
+  ssize_t ignored = ::write(STDERR_FILENO, buf, n);
+  (void)ignored;
+}
+
+}  // namespace
+
+void safe_log(const char* msg) { safe_write_parts(msg, "", 0); }
+
+void safe_log(const char* msg, int64_t value) {
+  char num[26];
+  num[0] = ' ';
+  size_t len = 1 + format_decimal(value, num + 1, sizeof(num) - 1);
+  safe_write_parts(msg, num, len);
+}
+
+void safe_log(const char* msg, const void* pointer) {
+  char num[20];
+  num[0] = ' ';
+  size_t len =
+      1 + format_hex(reinterpret_cast<uint64_t>(pointer), num + 1,
+                     sizeof(num) - 1);
+  safe_write_parts(msg, num, len);
+}
+
+void safe_log2(const char* msg, int64_t a, int64_t b) {
+  char num[52];
+  size_t n = 0;
+  num[n++] = ' ';
+  n += format_decimal(a, num + n, sizeof(num) - n);
+  num[n++] = ' ';
+  n += format_decimal(b, num + n, sizeof(num) - n);
+  safe_write_parts(msg, num, n);
+}
+
+}  // namespace k23

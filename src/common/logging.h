@@ -1,0 +1,58 @@
+// Minimal logging with an async-signal-safe path.
+//
+// Two families:
+//   K23_LOG(level) << ...        — ostream-style, NOT signal-safe.
+//   safe_log("literal", value)  — write(2)-based, safe inside SIGSYS handlers.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+namespace k23 {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped. Default: kInfo,
+// overridable via the K23_LOG_LEVEL environment variable (0-3) at first use.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  bool enabled_;
+};
+
+}  // namespace internal
+
+#define K23_LOG(level)                                              \
+  ::k23::internal::LogLine(::k23::LogLevel::level, __FILE__, __LINE__)
+
+// --- async-signal-safe logging -------------------------------------------
+// Formats with no allocation, writes to stderr with a single write(2).
+void safe_log(const char* msg);
+void safe_log(const char* msg, int64_t value);
+void safe_log(const char* msg, const void* pointer);
+void safe_log2(const char* msg, int64_t a, int64_t b);
+
+// Signal-safe decimal/hex formatting into caller-provided buffers.
+// Returns the number of bytes written (no NUL terminator added).
+size_t format_decimal(int64_t value, char* out, size_t cap);
+size_t format_hex(uint64_t value, char* out, size_t cap);
+
+}  // namespace k23

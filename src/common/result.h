@@ -1,0 +1,103 @@
+// Expected-style error handling for k23.
+//
+// Low-level interposition code runs inside signal handlers and between a
+// syscall instruction and its return; exceptions are off the table there
+// (unwinding through a trampoline frame is undefined). Status/Result<T>
+// carry an errno-domain code plus a static context string instead.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace k23 {
+
+// A lightweight error: errno-domain code + static context message.
+// `context` must point to a string literal (or otherwise outlive the Error);
+// this keeps Error trivially copyable and async-signal-safe to construct.
+struct Error {
+  int code = 0;                  // errno value (positive), or -1 for generic
+  const char* context = "";      // what failed, e.g. "mmap trampoline"
+
+  std::string message() const {
+    std::string m = context;
+    if (code > 0) {
+      m += ": ";
+      m += std::strerror(code);
+    }
+    return m;
+  }
+};
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(Error e) : err_(e), ok_(false) {}
+
+  static Status ok() { return Status(); }
+  static Status from_errno(const char* context) {
+    return Status(Error{errno, context});
+  }
+  static Status fail(const char* context, int code = -1) {
+    return Status(Error{code, context});
+  }
+
+  bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const Error& error() const { return err_; }
+  std::string message() const { return ok_ ? "OK" : err_.message(); }
+
+ private:
+  Error err_{};
+  bool ok_ = true;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error e) : value_(e) {}                 // NOLINT
+  // Allow `return status;` for an error Status.
+  Result(const Status& s) : value_(s.error()) {}  // NOLINT
+
+  static Result from_errno(const char* context) {
+    return Result(Error{errno, context});
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return is_ok(); }
+
+  T& value() & { return std::get<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+  T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+  const Error& error() const { return std::get<Error>(value_); }
+  Status status() const {
+    return is_ok() ? Status::ok() : Status(std::get<Error>(value_));
+  }
+  std::string message() const { return is_ok() ? "OK" : error().message(); }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+// Propagate an error Status/Result from an expression that yields Status.
+#define K23_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::k23::Status _k23_st = (expr);                \
+    if (!_k23_st.is_ok()) return _k23_st.error();  \
+  } while (0)
+
+// Evaluate a Result<T> expression, bind its value or propagate the error.
+#define K23_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto _k23_res_##__LINE__ = (expr);              \
+  if (!_k23_res_##__LINE__.is_ok())               \
+    return _k23_res_##__LINE__.error();           \
+  lhs = std::move(_k23_res_##__LINE__).value()
+
+}  // namespace k23

@@ -1,0 +1,36 @@
+// RAII cleanup helper (C++ Core Guidelines E.19 "use a final_action object").
+#pragma once
+
+#include <utility>
+
+namespace k23 {
+
+template <typename F>
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(F f) : f_(std::move(f)) {}
+  ~ScopeGuard() {
+    if (armed_) f_();
+  }
+  ScopeGuard(ScopeGuard&& other) noexcept
+      : f_(std::move(other.f_)), armed_(other.armed_) {
+    other.armed_ = false;
+  }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(ScopeGuard&&) = delete;
+
+  // Cancel the cleanup (e.g. on the success path when ownership moved on).
+  void dismiss() { armed_ = false; }
+
+ private:
+  F f_;
+  bool armed_ = true;
+};
+
+template <typename F>
+ScopeGuard<F> make_scope_guard(F f) {
+  return ScopeGuard<F>(std::move(f));
+}
+
+}  // namespace k23

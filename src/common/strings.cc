@@ -1,0 +1,123 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace k23 {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_whitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+namespace {
+
+std::optional<int> digit_value(char c, int base) {
+  int v;
+  if (c >= '0' && c <= '9') {
+    v = c - '0';
+  } else if (c >= 'a' && c <= 'z') {
+    v = c - 'a' + 10;
+  } else if (c >= 'A' && c <= 'Z') {
+    v = c - 'A' + 10;
+  } else {
+    return std::nullopt;
+  }
+  if (v >= base) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::optional<uint64_t> parse_u64(std::string_view s, int base) {
+  if (base == 16 && starts_with(s, "0x")) s.remove_prefix(2);
+  if (s.empty()) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : s) {
+    auto d = digit_value(c, base);
+    if (!d) return std::nullopt;
+    uint64_t next = value * static_cast<uint64_t>(base) +
+                    static_cast<uint64_t>(*d);
+    if (next / static_cast<uint64_t>(base) != value) return std::nullopt;
+    value = next;
+  }
+  return value;
+}
+
+std::optional<int64_t> parse_i64(std::string_view s, int base) {
+  bool negative = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    negative = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  auto mag = parse_u64(s, base);
+  if (!mag) return std::nullopt;
+  if (negative) {
+    if (*mag > static_cast<uint64_t>(INT64_MAX) + 1) return std::nullopt;
+    return -static_cast<int64_t>(*mag);
+  }
+  if (*mag > static_cast<uint64_t>(INT64_MAX)) return std::nullopt;
+  return static_cast<int64_t>(*mag);
+}
+
+std::string to_hex(uint64_t value) {
+  static const char kDigits[] = "0123456789abcdef";
+  char tmp[16];
+  size_t n = 0;
+  do {
+    tmp[n++] = kDigits[value & 0xf];
+    value >>= 4;
+  } while (value != 0);
+  std::string out = "0x";
+  while (n > 0) out.push_back(tmp[--n]);
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+}  // namespace k23

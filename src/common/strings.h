@@ -1,0 +1,33 @@
+// Small string utilities shared across modules (maps/log parsing, etc).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace k23 {
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+// Splits on runs of whitespace; drops empty fields (like awk).
+std::vector<std::string_view> split_whitespace(std::string_view s);
+
+std::string_view trim(std::string_view s);
+
+// Strict integer parsing: the whole string must be consumed.
+std::optional<uint64_t> parse_u64(std::string_view s, int base = 10);
+std::optional<int64_t> parse_i64(std::string_view s, int base = 10);
+
+// Human-friendly hex like "0x7f3a..." (always 0x-prefixed, lowercase).
+std::string to_hex(uint64_t value);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Joins parts with `sep` between them.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace k23

@@ -1,0 +1,91 @@
+#include "container/address_bitmap.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <string_view>
+
+#include "common/files.h"
+#include "common/strings.h"
+
+namespace k23 {
+
+AddressBitmap::~AddressBitmap() {
+  if (bits_ != nullptr) ::munmap(bits_, limit_ / 8);
+}
+
+AddressBitmap::AddressBitmap(AddressBitmap&& other) noexcept
+    : bits_(other.bits_), limit_(other.limit_) {
+  other.bits_ = nullptr;
+  other.limit_ = 0;
+}
+
+AddressBitmap& AddressBitmap::operator=(AddressBitmap&& other) noexcept {
+  if (this != &other) {
+    if (bits_ != nullptr) ::munmap(bits_, limit_ / 8);
+    bits_ = other.bits_;
+    limit_ = other.limit_;
+    other.bits_ = nullptr;
+    other.limit_ = 0;
+  }
+  return *this;
+}
+
+Status AddressBitmap::reserve(uint64_t address_limit) {
+  if (bits_ != nullptr) return Status::fail("bitmap already reserved");
+  if (address_limit == 0 || (address_limit & 7) != 0) {
+    return Status::fail("address limit must be a positive multiple of 8");
+  }
+  void* p = ::mmap(nullptr, address_limit / 8, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (p == MAP_FAILED) return Status::from_errno("mmap bitmap");
+  bits_ = static_cast<uint8_t*>(p);
+  limit_ = address_limit;
+  return Status::ok();
+}
+
+void AddressBitmap::set(uint64_t address) {
+  if (address >= limit_) return;
+  bits_[address >> 3] |= static_cast<uint8_t>(1u << (address & 7));
+}
+
+bool AddressBitmap::test(uint64_t address) const {
+  if (address >= limit_) return false;
+  return (bits_[address >> 3] >> (address & 7)) & 1u;
+}
+
+void AddressBitmap::clear(uint64_t address) {
+  if (address >= limit_) return;
+  bits_[address >> 3] &= static_cast<uint8_t>(~(1u << (address & 7)));
+}
+
+Result<uint64_t> AddressBitmap::resident_bytes() const {
+  if (bits_ == nullptr) return Result<uint64_t>(uint64_t{0});
+  // mincore over a 16 TiB reservation is infeasible (4G page entries);
+  // /proc/self/smaps reports the mapping's resident set directly.
+  auto contents = read_file("/proc/self/smaps");
+  if (!contents.is_ok()) return contents.error();
+
+  const uint64_t begin = reinterpret_cast<uint64_t>(bits_);
+  bool in_target = false;
+  for (std::string_view line : split(contents.value(), '\n')) {
+    if (!line.empty() && line.find('-') != std::string_view::npos &&
+        line.find(' ') != std::string_view::npos &&
+        line.find('-') < line.find(' ')) {
+      auto range_end = line.find('-');
+      auto start = parse_u64(line.substr(0, range_end), 16);
+      in_target = start.has_value() && *start == begin;
+      continue;
+    }
+    if (in_target && starts_with(line, "Rss:")) {
+      auto fields = split_whitespace(line);
+      if (fields.size() >= 2) {
+        if (auto kb = parse_u64(fields[1])) return *kb * 1024;
+      }
+      return Status::fail("unparseable Rss line in smaps");
+    }
+  }
+  return Status::fail("bitmap mapping not found in smaps");
+}
+
+}  // namespace k23

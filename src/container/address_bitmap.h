@@ -1,0 +1,49 @@
+// zpoline-style whole-address-space bitmap (pitfall P4b).
+//
+// zpoline validates "did this trampoline call come from a rewritten site?"
+// with one bit per code byte across the whole user address space. The
+// virtual reservation is huge (user VA / 8); physical pages are only
+// faulted in for regions that are actually marked — which is exactly the
+// memory-overhead trade-off the paper contrasts with K23's RobinSet.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace k23 {
+
+class AddressBitmap {
+ public:
+  // Covers addresses in [0, address_limit). Default: 47-bit user space.
+  static constexpr uint64_t kDefaultLimit = 1ULL << 47;
+
+  AddressBitmap() = default;
+  ~AddressBitmap();
+  AddressBitmap(const AddressBitmap&) = delete;
+  AddressBitmap& operator=(const AddressBitmap&) = delete;
+  AddressBitmap(AddressBitmap&& other) noexcept;
+  AddressBitmap& operator=(AddressBitmap&& other) noexcept;
+
+  // Reserves the (lazily populated) bitmap with mmap(MAP_NORESERVE).
+  Status reserve(uint64_t address_limit = kDefaultLimit);
+  bool reserved() const { return bits_ != nullptr; }
+
+  // Both are hot-path-safe after reserve(): no allocation, no branches
+  // beyond the range check.
+  void set(uint64_t address);
+  bool test(uint64_t address) const;
+  void clear(uint64_t address);
+
+  uint64_t limit() const { return limit_; }
+  // Virtual reservation size in bytes (the P4b overhead).
+  uint64_t reserved_bytes() const { return limit_ / 8; }
+  // Physical pages actually faulted in (via mincore), in bytes.
+  Result<uint64_t> resident_bytes() const;
+
+ private:
+  uint8_t* bits_ = nullptr;
+  uint64_t limit_ = 0;
+};
+
+}  // namespace k23

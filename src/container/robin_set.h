@@ -1,0 +1,164 @@
+// Robin-hood open-addressing hash set.
+//
+// K23 keeps the set of offline-validated syscall-site addresses in a compact
+// hash set instead of zpoline's whole-address-space bitmap (pitfall P4b).
+// The paper uses tsl::robin_set; this is a from-scratch equivalent tuned for
+// the same access pattern: tiny key count (tens of entries, Table 2), lookup
+// on every interposed system call, no deletion on the hot path.
+//
+// Properties:
+//  - open addressing, linear probing with robin-hood displacement
+//  - power-of-two capacity, max load factor 0.5 for short probe chains
+//  - lookups never allocate and are safe from signal handlers once built
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace k23 {
+
+template <typename Key, typename Hash = std::hash<Key>>
+class RobinSet {
+ public:
+  explicit RobinSet(size_t initial_capacity = 16) {
+    rehash(round_up_pow2(initial_capacity < 4 ? 4 : initial_capacity));
+  }
+
+  bool insert(const Key& key) {
+    if ((size_ + 1) * 2 > slots_.size()) rehash(slots_.size() * 2);
+    return insert_no_grow(key);
+  }
+
+  bool contains(const Key& key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t idx = Hash{}(key)&mask;
+    uint32_t distance = 0;
+    while (true) {
+      const Slot& slot = slots_[idx];
+      if (!slot.occupied) return false;
+      if (slot.key == key) return true;
+      // Robin-hood invariant: if the resident element is closer to its home
+      // than we are to ours, the key cannot be further along the chain.
+      if (slot.distance < distance) return false;
+      idx = (idx + 1) & mask;
+      ++distance;
+    }
+  }
+
+  bool erase(const Key& key) {
+    const size_t mask = slots_.size() - 1;
+    size_t idx = Hash{}(key)&mask;
+    uint32_t distance = 0;
+    while (true) {
+      Slot& slot = slots_[idx];
+      if (!slot.occupied) return false;
+      if (slot.key == key) break;
+      if (slot.distance < distance) return false;
+      idx = (idx + 1) & mask;
+      ++distance;
+    }
+    // Backward-shift deletion keeps probe chains tight (no tombstones).
+    size_t hole = idx;
+    while (true) {
+      size_t next = (hole + 1) & mask;
+      Slot& next_slot = slots_[next];
+      if (!next_slot.occupied || next_slot.distance == 0) break;
+      slots_[hole] = next_slot;
+      slots_[hole].distance--;
+      hole = next;
+    }
+    slots_[hole] = Slot{};
+    --size_;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  // Memory footprint of the table itself — reported by the P4b benchmark.
+  size_t memory_bytes() const { return slots_.size() * sizeof(Slot); }
+
+  void clear() {
+    for (auto& slot : slots_) slot = Slot{};
+    size_ = 0;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.occupied) fn(slot.key);
+    }
+  }
+
+  std::vector<Key> to_vector() const {
+    std::vector<Key> out;
+    out.reserve(size_);
+    for_each([&](const Key& k) { out.push_back(k); });
+    return out;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    uint32_t distance = 0;  // probe distance from home slot
+    bool occupied = false;
+  };
+
+  static size_t round_up_pow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  bool insert_no_grow(Key key) {
+    const size_t mask = slots_.size() - 1;
+    size_t idx = Hash{}(key)&mask;
+    uint32_t distance = 0;
+    while (true) {
+      Slot& slot = slots_[idx];
+      if (!slot.occupied) {
+        slot.key = std::move(key);
+        slot.distance = distance;
+        slot.occupied = true;
+        ++size_;
+        return true;
+      }
+      if (slot.key == key) return false;  // already present
+      if (slot.distance < distance) {
+        // Rob the rich: displace the element that is closer to home.
+        std::swap(slot.key, key);
+        std::swap(slot.distance, distance);
+      }
+      idx = (idx + 1) & mask;
+      ++distance;
+    }
+  }
+
+  void rehash(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    size_ = 0;
+    for (auto& slot : old) {
+      if (slot.occupied) insert_no_grow(std::move(slot.key));
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+// Hash for code addresses: multiplicative (Fibonacci) hashing; site
+// addresses share high bits (same library) so identity hashing clusters.
+struct AddressHash {
+  size_t operator()(uint64_t v) const {
+    return static_cast<size_t>((v ^ (v >> 33)) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+using AddressSet = RobinSet<uint64_t, AddressHash>;
+
+}  // namespace k23

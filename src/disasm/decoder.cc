@@ -1,0 +1,343 @@
+#include "disasm/decoder.h"
+
+namespace k23 {
+namespace {
+
+// Immediate encoding classes. kIz is 2 or 4 bytes depending on the 66
+// operand-size prefix; kIv is kIz unless REX.W makes it 8 (only MOV
+// B8-BF uses a true 64-bit immediate).
+enum ImmClass : uint8_t {
+  kImmNone = 0,
+  kIb,      // 1 byte
+  kIw,      // 2 bytes
+  kIz,      // 2 / 4 by operand size
+  kIv,      // 2 / 4 / 8 (B8-BF with REX.W)
+  kMoffs,   // 8 bytes (4 with 67 address-size prefix)
+  kIwIb,    // ENTER: imm16 + imm8
+  kGroup3,  // F6/F7: immediate only when modrm.reg is 0 or 1 (TEST)
+};
+
+struct OpcodeInfo {
+  bool modrm = false;
+  ImmClass imm = kImmNone;
+  bool invalid64 = false;  // not a valid encoding in 64-bit mode
+};
+
+constexpr OpcodeInfo make(bool modrm, ImmClass imm) {
+  return OpcodeInfo{modrm, imm, false};
+}
+constexpr OpcodeInfo invalid() { return OpcodeInfo{false, kImmNone, true}; }
+
+// --- one-byte opcode map ----------------------------------------------------
+// Switch-based instead of a 256-entry initializer list: a miscounted entry
+// in a positional table silently shifts every following opcode.
+OpcodeInfo map1_info(uint8_t op) {
+  // ALU block 00-3F: row layout repeats every 8 opcodes:
+  //   +0..+3 ModRM forms, +4 AL,ib, +5 eAX,iz, +6/+7 invalid in 64-bit.
+  if (op <= 0x3F) {
+    switch (op & 7) {
+      case 0: case 1: case 2: case 3: return make(true, kImmNone);
+      case 4: return make(false, kIb);
+      case 5: return make(false, kIz);
+      default: return invalid();  // 06,07,0E,16,17,... segment push/pop
+    }
+  }
+  if (op >= 0x40 && op <= 0x4F) return invalid();  // REX (consumed earlier)
+  if (op >= 0x50 && op <= 0x5F) return make(false, kImmNone);  // push/pop
+  if (op >= 0x70 && op <= 0x7F) return make(false, kIb);       // jcc rel8
+  if (op >= 0x84 && op <= 0x8F) return make(true, kImmNone);   // test..pop r/m
+  if (op >= 0x90 && op <= 0x99) return make(false, kImmNone);  // xchg,cwde,cdq
+  if (op >= 0x9B && op <= 0x9F) return make(false, kImmNone);  // fwait..lahf
+  if (op >= 0xA0 && op <= 0xA3) return make(false, kMoffs);    // mov moffs
+  if (op >= 0xA4 && op <= 0xA7) return make(false, kImmNone);  // movs/cmps
+  if (op >= 0xAA && op <= 0xAF) return make(false, kImmNone);  // stos..scas
+  if (op >= 0xB0 && op <= 0xB7) return make(false, kIb);       // mov r8,ib
+  if (op >= 0xB8 && op <= 0xBF) return make(false, kIv);       // mov r,iv
+  if (op >= 0xD0 && op <= 0xD3) return make(true, kImmNone);   // shift by 1/cl
+  if (op >= 0xD8 && op <= 0xDF) return make(true, kImmNone);   // x87
+  if (op >= 0xE0 && op <= 0xE3) return make(false, kIb);       // loop/jrcxz
+  if (op >= 0xE4 && op <= 0xE7) return make(false, kIb);       // in/out imm8
+  if (op >= 0xEC && op <= 0xEF) return make(false, kImmNone);  // in/out dx
+  if (op >= 0xF8 && op <= 0xFD) return make(false, kImmNone);  // clc..std
+
+  switch (op) {
+    case 0x60: case 0x61: case 0x62: return invalid();  // 62 = EVEX, earlier
+    case 0x63: return make(true, kImmNone);   // movsxd
+    case 0x64: case 0x65: case 0x66: case 0x67: return invalid();  // prefixes
+    case 0x68: return make(false, kIz);       // push iz
+    case 0x69: return make(true, kIz);        // imul r,r/m,iz
+    case 0x6A: return make(false, kIb);       // push ib
+    case 0x6B: return make(true, kIb);        // imul r,r/m,ib
+    case 0x6C: case 0x6D: case 0x6E: case 0x6F:
+      return make(false, kImmNone);           // ins/outs
+    case 0x80: return make(true, kIb);        // grp1 r/m8,ib
+    case 0x81: return make(true, kIz);        // grp1 r/m,iz
+    case 0x82: return invalid();
+    case 0x83: return make(true, kIb);        // grp1 r/m,ib
+    case 0x9A: return invalid();              // far call
+    case 0xA8: return make(false, kIb);       // test al,ib
+    case 0xA9: return make(false, kIz);       // test eax,iz
+    case 0xC0: case 0xC1: return make(true, kIb);  // shift r/m,ib
+    case 0xC2: return make(false, kIw);       // ret iw
+    case 0xC3: return make(false, kImmNone);  // ret
+    case 0xC4: case 0xC5: return invalid();   // VEX (consumed earlier)
+    case 0xC6: return make(true, kIb);        // mov r/m8,ib
+    case 0xC7: return make(true, kIz);        // mov r/m,iz
+    case 0xC8: return make(false, kIwIb);     // enter
+    case 0xC9: return make(false, kImmNone);  // leave
+    case 0xCA: return make(false, kIw);       // retf iw
+    case 0xCB: return make(false, kImmNone);  // retf
+    case 0xCC: return make(false, kImmNone);  // int3
+    case 0xCD: return make(false, kIb);       // int ib
+    case 0xCE: return invalid();              // into
+    case 0xCF: return make(false, kImmNone);  // iret
+    case 0xD4: case 0xD5: case 0xD6: return invalid();  // aam/aad/salc
+    case 0xD7: return make(false, kImmNone);  // xlat
+    case 0xE8: return make(false, kIz);       // call rel32
+    case 0xE9: return make(false, kIz);       // jmp rel32
+    case 0xEA: return invalid();              // far jmp
+    case 0xEB: return make(false, kIb);       // jmp rel8
+    case 0xF0: case 0xF2: case 0xF3: return invalid();  // prefixes
+    case 0xF1: return make(false, kImmNone);  // int1
+    case 0xF4: return make(false, kImmNone);  // hlt
+    case 0xF5: return make(false, kImmNone);  // cmc
+    case 0xF6: case 0xF7: return make(true, kGroup3);
+    case 0xFE: case 0xFF: return make(true, kImmNone);
+    default: return invalid();
+  }
+}
+
+// --- 0F (two-byte) opcode map ----------------------------------------------
+// Defaults: has ModRM, no immediate; exceptions listed.
+OpcodeInfo map2_info(uint8_t opcode) {
+  switch (opcode) {
+    // No-ModRM opcodes.
+    case 0x05:  // syscall
+    case 0x06:  // clts
+    case 0x07:  // sysret
+    case 0x08:  // invd
+    case 0x09:  // wbinvd
+    case 0x0B:  // ud2
+    case 0x0E:  // femms
+    case 0x30: case 0x31: case 0x32: case 0x33:  // wrmsr/rdtsc/rdmsr/rdpmc
+    case 0x34:  // sysenter
+    case 0x35:  // sysexit
+    case 0x37:  // getsec
+    case 0x77:  // emms
+    case 0xA0: case 0xA1:  // push/pop fs
+    case 0xA2:             // cpuid
+    case 0xA8: case 0xA9:  // push/pop gs
+    case 0xAA:             // rsm
+      return make(false, kImmNone);
+    // jcc rel32: no ModRM, iz immediate.
+    case 0x80: case 0x81: case 0x82: case 0x83:
+    case 0x84: case 0x85: case 0x86: case 0x87:
+    case 0x88: case 0x89: case 0x8A: case 0x8B:
+    case 0x8C: case 0x8D: case 0x8E: case 0x8F:
+      return make(false, kIz);
+    // ModRM + ib.
+    case 0x70: case 0x71: case 0x72: case 0x73:  // pshuf / shift groups
+    case 0xA4:                                   // shld ib
+    case 0xAC:                                   // shrd ib
+    case 0xBA:                                   // bt group ib
+    case 0xC2:                                   // cmpps ib
+    case 0xC4: case 0xC5: case 0xC6:             // pinsrw/pextrw/shufps
+      return make(true, kIb);
+    default:
+      return make(true, kImmNone);
+  }
+}
+
+struct Cursor {
+  std::span<const uint8_t> code;
+  size_t pos = 0;
+
+  bool ok(size_t need = 1) const { return pos + need <= code.size(); }
+  uint8_t peek() const { return code[pos]; }
+  uint8_t take() { return code[pos++]; }
+};
+
+// ModRM + SIB + displacement. Returns false on truncation.
+bool consume_modrm(Cursor& c) {
+  if (!c.ok()) return false;
+  const uint8_t modrm = c.take();
+  const uint8_t mod = modrm >> 6;
+  const uint8_t rm = modrm & 7;
+  if (mod == 3) return true;  // register operand, no memory
+  size_t disp = 0;
+  if (rm == 4) {  // SIB follows
+    if (!c.ok()) return false;
+    const uint8_t sib = c.take();
+    if (mod == 0 && (sib & 7) == 5) disp = 4;  // base=none: disp32
+  }
+  if (mod == 1) {
+    disp = 1;
+  } else if (mod == 2) {
+    disp = 4;
+  } else if (mod == 0 && rm == 5) {
+    disp = 4;  // RIP-relative in 64-bit mode
+  }
+  if (!c.ok(disp)) return false;
+  c.pos += disp;
+  return true;
+}
+
+size_t imm_length(ImmClass imm, bool opsize16, bool rex_w, bool addr32,
+                  uint8_t opcode, uint8_t modrm_reg) {
+  switch (imm) {
+    case kImmNone: return 0;
+    case kIb: return 1;
+    case kIw: return 2;
+    case kIz: return opsize16 ? 2 : 4;
+    case kIv: return rex_w ? 8 : (opsize16 ? 2 : 4);
+    case kMoffs: return addr32 ? 4 : 8;
+    case kIwIb: return 3;
+    case kGroup3:
+      if (modrm_reg > 1) return 0;  // NOT/NEG/MUL/DIV... carry no immediate
+      if (opcode == 0xF6) return 1;             // TEST r/m8, imm8
+      return opsize16 ? 2 : 4;                  // TEST r/m, imm
+  }
+  return 0;
+}
+
+DecodedInsn fail() { return DecodedInsn{}; }
+
+DecodedInsn finish(const Cursor& c, InsnKind kind, bool has_modrm,
+                   uint8_t opcode, uint8_t map) {
+  if (c.pos > kMaxInsnLength) return fail();
+  DecodedInsn insn;
+  insn.length = c.pos;
+  insn.kind = kind;
+  insn.has_modrm = has_modrm;
+  insn.opcode = opcode;
+  insn.map = map;
+  return insn;
+}
+
+// VEX/EVEX: prefix consumed by the caller; `map` comes from the payload.
+// All VEX-encoded instructions have ModRM; map 3 (0F3A) always carries an
+// immediate byte (including the is4 register-select forms).
+DecodedInsn decode_vex_body(Cursor& c, uint8_t map) {
+  if (!c.ok()) return fail();
+  const uint8_t opcode = c.take();
+  if (!consume_modrm(c)) return fail();
+  size_t imm = 0;
+  if (map == 3) {
+    imm = 1;
+  } else if (map == 1 && map2_info(opcode).imm == kIb) {
+    imm = 1;
+  }
+  if (!c.ok(imm)) return fail();
+  c.pos += imm;
+  return finish(c, InsnKind::kOther, true, opcode, map);
+}
+
+}  // namespace
+
+DecodedInsn decode_insn(std::span<const uint8_t> code) {
+  Cursor c{code, 0};
+
+  bool opsize16 = false;
+  bool addr32 = false;
+  bool rex_w = false;
+  bool saw_rex = false;
+
+  // Legacy prefixes (any number), then at most one REX immediately before
+  // the opcode.
+  while (c.ok()) {
+    const uint8_t b = c.peek();
+    const bool legacy = b == 0x66 || b == 0x67 || b == 0xF0 || b == 0xF2 ||
+                        b == 0xF3 || b == 0x2E || b == 0x36 || b == 0x3E ||
+                        b == 0x26 || b == 0x64 || b == 0x65;
+    if (legacy) {
+      if (saw_rex) return fail();  // a REX not adjacent to the opcode is void
+      if (b == 0x66) opsize16 = true;
+      if (b == 0x67) addr32 = true;
+      c.take();
+      if (c.pos > kMaxInsnLength) return fail();
+      continue;
+    }
+    if ((b & 0xF0) == 0x40) {  // REX
+      if (saw_rex) return fail();
+      saw_rex = true;
+      rex_w = (b & 0x08) != 0;
+      c.take();
+      continue;
+    }
+    break;
+  }
+  if (!c.ok()) return fail();
+
+  uint8_t opcode = c.take();
+
+  // VEX / EVEX — in 64-bit mode C4/C5/62 are always these prefixes.
+  if (opcode == 0xC5) {  // 2-byte VEX -> map 1 (0F)
+    if (saw_rex) return fail();
+    if (!c.ok()) return fail();
+    c.take();  // payload
+    return decode_vex_body(c, 1);
+  }
+  if (opcode == 0xC4) {  // 3-byte VEX
+    if (saw_rex) return fail();
+    if (!c.ok(2)) return fail();
+    const uint8_t p0 = c.take();
+    c.take();  // p1
+    const uint8_t map = p0 & 0x1F;
+    if (map < 1 || map > 3) return fail();
+    return decode_vex_body(c, map);
+  }
+  if (opcode == 0x62) {  // EVEX
+    if (saw_rex) return fail();
+    if (!c.ok(3)) return fail();
+    const uint8_t p0 = c.take();
+    c.take();
+    c.take();
+    uint8_t map = p0 & 0x07;
+    if (map != 1 && map != 2 && map != 3 && map != 5 && map != 6) {
+      return fail();
+    }
+    if (map > 3) map = 1;  // maps 5/6 carry no immediate surprises
+    return decode_vex_body(c, map);
+  }
+
+  if (opcode == 0x0F) {
+    if (!c.ok()) return fail();
+    opcode = c.take();
+    if (opcode == 0x38 || opcode == 0x3A) {  // three-byte maps
+      const bool map3a = opcode == 0x3A;
+      if (!c.ok()) return fail();
+      opcode = c.take();
+      if (!consume_modrm(c)) return fail();
+      const size_t imm = map3a ? 1 : 0;
+      if (!c.ok(imm)) return fail();
+      c.pos += imm;
+      return finish(c, InsnKind::kOther, true, opcode, map3a ? 3 : 2);
+    }
+    const OpcodeInfo info = map2_info(opcode);
+    if (info.modrm && !consume_modrm(c)) return fail();
+    const size_t imm =
+        imm_length(info.imm, opsize16, rex_w, addr32, opcode, 0);
+    if (!c.ok(imm)) return fail();
+    c.pos += imm;
+    InsnKind kind = InsnKind::kOther;
+    if (opcode == 0x05) kind = InsnKind::kSyscall;
+    if (opcode == 0x34) kind = InsnKind::kSysenter;
+    return finish(c, kind, info.modrm, opcode, 1);
+  }
+
+  const OpcodeInfo info = map1_info(opcode);
+  if (info.invalid64) return fail();
+  uint8_t modrm_reg = 0;
+  if (info.modrm) {
+    if (!c.ok()) return fail();
+    modrm_reg = (c.peek() >> 3) & 7;
+    if (!consume_modrm(c)) return fail();
+  }
+  const size_t imm =
+      imm_length(info.imm, opsize16, rex_w, addr32, opcode, modrm_reg);
+  if (!c.ok(imm)) return fail();
+  c.pos += imm;
+  return finish(c, InsnKind::kOther, info.modrm, opcode, 0);
+}
+
+}  // namespace k23

@@ -1,0 +1,47 @@
+// x86-64 instruction-length decoder (linear-sweep building block).
+//
+// Finding syscall instructions by binary rewriting needs exactly one thing
+// from a disassembler: correct instruction *lengths*, so a linear sweep
+// stays synchronized with real instruction boundaries. This decoder covers
+// the full 64-bit encoding space a modern glibc/gcc emits: legacy prefixes,
+// REX, the 0F / 0F 38 / 0F 3A maps, ModRM/SIB/displacement, immediates
+// (including MOFFS and ENTER), and the VEX/EVEX prefixes used by SIMD
+// string/memcpy routines.
+//
+// It is deliberately a *length* decoder, not a semantic one — mirroring what
+// zpoline-class rewriters actually rely on, including their failure mode:
+// a linear sweep through embedded data desynchronizes and misidentifies
+// instructions (pitfall P3a), which the tests demonstrate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace k23 {
+
+enum class InsnKind : uint8_t {
+  kOther = 0,
+  kSyscall,    // 0f 05
+  kSysenter,   // 0f 34
+  kInvalid,    // could not decode at this offset
+};
+
+struct DecodedInsn {
+  size_t length = 0;        // total encoded length in bytes
+  InsnKind kind = InsnKind::kInvalid;
+  bool has_modrm = false;
+  uint8_t opcode = 0;       // final opcode byte
+  uint8_t map = 0;          // 0=one-byte, 1=0F, 2=0F38, 3=0F3A
+
+  bool valid() const { return kind != InsnKind::kInvalid; }
+};
+
+// Decodes the instruction starting at code[0]. Never reads past
+// code.size(); a truncated instruction decodes as kInvalid.
+DecodedInsn decode_insn(std::span<const uint8_t> code);
+
+// Maximum legal x86-64 instruction length.
+inline constexpr size_t kMaxInsnLength = 15;
+
+}  // namespace k23

@@ -1,0 +1,139 @@
+#include "disasm/scanner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "arch/raw_syscall.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "disasm/decoder.h"
+
+namespace k23 {
+namespace {
+
+void byte_scan(std::span<const uint8_t> code, uint64_t base,
+               ScanResult& out) {
+  if (code.size() < 2) return;
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    if (code[i] != 0x0f) continue;
+    if (code[i + 1] == 0x05) {
+      out.sites.push_back({base + i, false});
+    } else if (code[i + 1] == 0x34) {
+      out.sites.push_back({base + i, true});
+    }
+  }
+  out.stats.bytes_scanned += code.size();
+}
+
+void linear_sweep(std::span<const uint8_t> code, uint64_t base,
+                  ScanResult& out) {
+  size_t pos = 0;
+  while (pos < code.size()) {
+    DecodedInsn insn = decode_insn(code.subspan(pos));
+    if (!insn.valid()) {
+      // Desynchronized (data in code, or a truncated tail): resync by one
+      // byte. Counted so callers can observe disassembly fragility (P3a).
+      ++out.stats.decode_failures;
+      ++pos;
+      continue;
+    }
+    ++out.stats.instructions_decoded;
+    if (insn.kind == InsnKind::kSyscall) {
+      // The syscall opcode is the final 2 bytes (any prefixes precede it).
+      out.sites.push_back({base + pos + insn.length - 2, false});
+    } else if (insn.kind == InsnKind::kSysenter) {
+      out.sites.push_back({base + pos + insn.length - 2, true});
+    }
+    pos += insn.length;
+  }
+  out.stats.bytes_scanned += code.size();
+}
+
+}  // namespace
+
+ScanResult scan_buffer(std::span<const uint8_t> code, uint64_t base,
+                       ScanMode mode) {
+  ScanResult out;
+  if (mode == ScanMode::kByteScan) {
+    byte_scan(code, base, out);
+  } else {
+    linear_sweep(code, base, out);
+  }
+  return out;
+}
+
+Result<ScanResult> scan_elf(const std::string& path, ScanMode mode) {
+  auto reader = ElfReader::open(path);
+  if (!reader.is_ok()) return reader.error();
+
+  ScanResult out;
+  for (const ElfSection& section : reader.value().executable_sections()) {
+    auto bytes = reader.value().section_bytes(section);
+    if (!bytes.is_ok()) return bytes.error();
+    ScanResult part = scan_buffer(bytes.value(), section.file_offset, mode);
+    out.sites.insert(out.sites.end(), part.sites.begin(), part.sites.end());
+    out.stats.instructions_decoded += part.stats.instructions_decoded;
+    out.stats.decode_failures += part.stats.decode_failures;
+    out.stats.bytes_scanned += part.stats.bytes_scanned;
+  }
+  std::sort(out.sites.begin(), out.sites.end(),
+            [](const SyscallSite& a, const SyscallSite& b) {
+              return a.address < b.address;
+            });
+  return out;
+}
+
+Result<ScanResult> scan_self_filtered(
+    ScanMode mode, const std::vector<std::string>& path_suffixes) {
+  auto maps = ProcessMaps::snapshot();
+  if (!maps.is_ok()) return maps.error();
+
+  ScanResult out;
+  // One file may map as several regions; scan each file once and rebase
+  // file-offset sites into every executable region of that file.
+  std::map<std::string, ScanResult> per_file;
+  for (const MemoryRegion& region :
+       maps.value().executable_regions(/*file_backed_only=*/true)) {
+    if (!path_suffixes.empty()) {
+      bool wanted = false;
+      for (const auto& suffix : path_suffixes) {
+        if (ends_with(region.pathname, suffix)) wanted = true;
+      }
+      if (!wanted) continue;
+    }
+    auto [it, inserted] = per_file.try_emplace(region.pathname);
+    if (inserted) {
+      auto scanned = scan_elf(region.pathname, mode);
+      if (!scanned.is_ok()) {
+        K23_LOG(kWarn) << "scan_self: skipping unreadable "
+                       << region.pathname << ": " << scanned.message();
+        per_file.erase(it);
+        continue;
+      }
+      it->second = std::move(scanned).value();
+    }
+    for (const SyscallSite& site : it->second.sites) {
+      // `site.address` is a file offset; live only if inside this region.
+      if (site.address >= region.file_offset &&
+          site.address < region.file_offset + region.size()) {
+        out.sites.push_back(
+            {region.start + (site.address - region.file_offset),
+             site.is_sysenter});
+      }
+    }
+    out.stats.instructions_decoded += it->second.stats.instructions_decoded;
+    out.stats.decode_failures += it->second.stats.decode_failures;
+    out.stats.bytes_scanned += it->second.stats.bytes_scanned;
+  }
+  std::sort(out.sites.begin(), out.sites.end(),
+            [](const SyscallSite& a, const SyscallSite& b) {
+              return a.address < b.address;
+            });
+  return out;
+}
+
+Result<ScanResult> scan_self(ScanMode mode) {
+  return scan_self_filtered(mode, {});
+}
+
+}  // namespace k23

@@ -1,0 +1,59 @@
+// Syscall-site discovery over code bytes, sections, and live processes.
+//
+// Two modes capture the accuracy spectrum the paper discusses:
+//  - kLinearSweep: decode instruction-by-instruction from section starts
+//    (what zpoline-class tools do). Embedded data desynchronizes the sweep;
+//    resync points and decode failures are reported so callers can see P3a
+//    happening.
+//  - kByteScan: flag every 0f 05 / 0f 34 byte pair. Deliberately naive —
+//    used by tests and PoCs to demonstrate misidentification.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "elfio/elf_reader.h"
+#include "procmaps/procmaps.h"
+
+namespace k23 {
+
+enum class ScanMode { kLinearSweep, kByteScan };
+
+struct SyscallSite {
+  uint64_t address = 0;     // VA for live scans; section-relative otherwise
+  bool is_sysenter = false;
+};
+
+struct ScanStats {
+  size_t instructions_decoded = 0;
+  size_t decode_failures = 0;   // bytes skipped to resynchronize
+  size_t bytes_scanned = 0;
+};
+
+struct ScanResult {
+  std::vector<SyscallSite> sites;
+  ScanStats stats;
+};
+
+// Scans raw code bytes; site addresses are offsets from `base`.
+ScanResult scan_buffer(std::span<const uint8_t> code, uint64_t base,
+                       ScanMode mode);
+
+// Scans every executable section of an ELF file. Site addresses are
+// *file offsets* (stable across ASLR, same convention as offline logs).
+Result<ScanResult> scan_elf(const std::string& path, ScanMode mode);
+
+// Scans the executable, file-backed regions of the *current* process and
+// returns live virtual addresses. This is the zpoline load-time step:
+// for each mapped ELF, sweep its executable sections and rebase.
+Result<ScanResult> scan_self(ScanMode mode);
+
+// As scan_self, but restricted to regions whose pathname ends with any of
+// `path_suffixes` (empty = all file-backed executable regions).
+Result<ScanResult> scan_self_filtered(
+    ScanMode mode, const std::vector<std::string>& path_suffixes);
+
+}  // namespace k23

@@ -1,0 +1,169 @@
+#include "elfio/elf_reader.h"
+
+#include <elf.h>
+
+#include <cstring>
+
+#include "common/files.h"
+
+namespace k23 {
+namespace {
+
+// Bounds-checked read of a POD structure at `offset`.
+template <typename T>
+Status read_pod(const std::string& data, uint64_t offset, T* out) {
+  if (offset > data.size() || data.size() - offset < sizeof(T)) {
+    return Status::fail("truncated ELF");
+  }
+  std::memcpy(out, data.data() + offset, sizeof(T));
+  return Status::ok();
+}
+
+Result<std::string> read_cstring(const std::string& data, uint64_t offset) {
+  if (offset >= data.size()) return Status::fail("string offset out of range");
+  size_t end = data.find('\0', offset);
+  if (end == std::string::npos) return Status::fail("unterminated string");
+  return data.substr(offset, end - offset);
+}
+
+}  // namespace
+
+Result<ElfReader> ElfReader::open(const std::string& path) {
+  auto contents = read_file(path);
+  if (!contents.is_ok()) return contents.error();
+  return parse(std::move(contents).value(), path);
+}
+
+Result<ElfReader> ElfReader::parse(std::string contents, std::string path) {
+  ElfReader reader;
+  reader.path_ = std::move(path);
+  reader.data_ = std::move(contents);
+  K23_RETURN_IF_ERROR(reader.parse_internal());
+  return reader;
+}
+
+Status ElfReader::parse_internal() {
+  Elf64_Ehdr ehdr;
+  K23_RETURN_IF_ERROR(read_pod(data_, 0, &ehdr));
+  if (std::memcmp(ehdr.e_ident, ELFMAG, SELFMAG) != 0) {
+    return Status::fail("not an ELF file");
+  }
+  if (ehdr.e_ident[EI_CLASS] != ELFCLASS64 ||
+      ehdr.e_ident[EI_DATA] != ELFDATA2LSB) {
+    return Status::fail("only little-endian ELF64 supported");
+  }
+  if (ehdr.e_machine != EM_X86_64) {
+    return Status::fail("only x86-64 ELF supported");
+  }
+  entry_ = ehdr.e_entry;
+  is_pie_ = ehdr.e_type == ET_DYN;
+
+  // Program headers.
+  for (uint16_t i = 0; i < ehdr.e_phnum; ++i) {
+    Elf64_Phdr phdr;
+    K23_RETURN_IF_ERROR(
+        read_pod(data_, ehdr.e_phoff + uint64_t{i} * ehdr.e_phentsize, &phdr));
+    ElfSegment seg;
+    seg.type = phdr.p_type;
+    seg.virtual_address = phdr.p_vaddr;
+    seg.file_offset = phdr.p_offset;
+    seg.file_size = phdr.p_filesz;
+    seg.memory_size = phdr.p_memsz;
+    seg.executable = (phdr.p_flags & PF_X) != 0;
+    seg.writable = (phdr.p_flags & PF_W) != 0;
+    seg.readable = (phdr.p_flags & PF_R) != 0;
+    segments_.push_back(seg);
+  }
+
+  // Section headers (optional in principle, present in practice).
+  if (ehdr.e_shoff == 0 || ehdr.e_shnum == 0) return Status::ok();
+
+  Elf64_Shdr shstr_hdr;
+  if (ehdr.e_shstrndx >= ehdr.e_shnum) {
+    return Status::fail("bad section string table index");
+  }
+  K23_RETURN_IF_ERROR(read_pod(
+      data_, ehdr.e_shoff + uint64_t{ehdr.e_shstrndx} * ehdr.e_shentsize,
+      &shstr_hdr));
+
+  for (uint16_t i = 0; i < ehdr.e_shnum; ++i) {
+    Elf64_Shdr shdr;
+    K23_RETURN_IF_ERROR(
+        read_pod(data_, ehdr.e_shoff + uint64_t{i} * ehdr.e_shentsize, &shdr));
+    ElfSection sec;
+    auto name = read_cstring(data_, shstr_hdr.sh_offset + shdr.sh_name);
+    if (name.is_ok()) sec.name = std::move(name).value();
+    sec.virtual_address = shdr.sh_addr;
+    sec.file_offset = shdr.sh_offset;
+    sec.size = shdr.sh_size;
+    sec.executable = (shdr.sh_flags & SHF_EXECINSTR) != 0;
+    sec.writable = (shdr.sh_flags & SHF_WRITE) != 0;
+    sec.alloc = (shdr.sh_flags & SHF_ALLOC) != 0;
+    if (shdr.sh_type == SHT_SYMTAB) symtab_index_ = i;
+    if (shdr.sh_type == SHT_DYNSYM) dynsym_index_ = i;
+    sections_.push_back(std::move(sec));
+  }
+  return Status::ok();
+}
+
+std::vector<ElfSection> ElfReader::executable_sections() const {
+  std::vector<ElfSection> out;
+  for (const auto& s : sections_) {
+    if (s.executable && s.alloc && s.size > 0) out.push_back(s);
+  }
+  return out;
+}
+
+const ElfSection* ElfReader::find_section(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Result<std::vector<ElfSymbol>> ElfReader::symbols() const {
+  std::vector<ElfSymbol> out;
+  // Re-read the headers of symtab/dynsym (indices recorded during parse).
+  Elf64_Ehdr ehdr;
+  K23_RETURN_IF_ERROR(read_pod(data_, 0, &ehdr));
+  for (uint64_t index : {symtab_index_, dynsym_index_}) {
+    if (index == 0) continue;
+    Elf64_Shdr shdr;
+    K23_RETURN_IF_ERROR(
+        read_pod(data_, ehdr.e_shoff + index * ehdr.e_shentsize, &shdr));
+    if (shdr.sh_entsize == 0) continue;
+    Elf64_Shdr strtab;
+    K23_RETURN_IF_ERROR(read_pod(
+        data_, ehdr.e_shoff + uint64_t{shdr.sh_link} * ehdr.e_shentsize,
+        &strtab));
+    const uint64_t count = shdr.sh_size / shdr.sh_entsize;
+    for (uint64_t i = 0; i < count; ++i) {
+      Elf64_Sym sym;
+      K23_RETURN_IF_ERROR(
+          read_pod(data_, shdr.sh_offset + i * shdr.sh_entsize, &sym));
+      if (sym.st_name == 0) continue;
+      auto name = read_cstring(data_, strtab.sh_offset + sym.st_name);
+      if (!name.is_ok()) continue;
+      ElfSymbol s;
+      s.name = std::move(name).value();
+      s.value = sym.st_value;
+      s.size = sym.st_size;
+      s.is_function = ELF64_ST_TYPE(sym.st_info) == STT_FUNC;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> ElfReader::section_bytes(
+    const ElfSection& section) const {
+  if (section.file_offset > data_.size() ||
+      data_.size() - section.file_offset < section.size) {
+    return Status::fail("section out of file bounds");
+  }
+  const auto* begin =
+      reinterpret_cast<const uint8_t*>(data_.data() + section.file_offset);
+  return std::vector<uint8_t>(begin, begin + section.size);
+}
+
+}  // namespace k23

@@ -1,0 +1,85 @@
+// Minimal ELF64 reader.
+//
+// zpoline-style load-time rewriting must know *where code actually is*:
+// scanning whole `r-xp` mappings byte-by-byte walks into padding, PLT stubs
+// and embedded constants (pitfall P3a). This reader recovers executable
+// section spans (.text, .plt, ...) from the on-disk ELF so the scanner can
+// run linear-sweep disassembly from true section starts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace k23 {
+
+struct ElfSection {
+  std::string name;
+  uint64_t virtual_address = 0;  // link-time vaddr (add load bias at runtime)
+  uint64_t file_offset = 0;
+  uint64_t size = 0;
+  bool executable = false;  // SHF_EXECINSTR
+  bool writable = false;    // SHF_WRITE
+  bool alloc = false;       // SHF_ALLOC
+};
+
+struct ElfSymbol {
+  std::string name;
+  uint64_t value = 0;
+  uint64_t size = 0;
+  bool is_function = false;
+};
+
+struct ElfSegment {
+  uint32_t type = 0;       // PT_LOAD etc.
+  uint64_t virtual_address = 0;
+  uint64_t file_offset = 0;
+  uint64_t file_size = 0;
+  uint64_t memory_size = 0;
+  bool executable = false;
+  bool writable = false;
+  bool readable = false;
+};
+
+class ElfReader {
+ public:
+  static Result<ElfReader> open(const std::string& path);
+  // Parses an in-memory ELF image (testing; synthetic binaries).
+  static Result<ElfReader> parse(std::string contents, std::string path = "");
+
+  const std::string& path() const { return path_; }
+  bool is_pie() const { return is_pie_; }
+  uint64_t entry_point() const { return entry_; }
+
+  const std::vector<ElfSection>& sections() const { return sections_; }
+  const std::vector<ElfSegment>& segments() const { return segments_; }
+
+  // Sections with SHF_EXECINSTR — the only bytes worth scanning for
+  // syscall instructions.
+  std::vector<ElfSection> executable_sections() const;
+
+  const ElfSection* find_section(const std::string& name) const;
+
+  // Function symbols from .symtab + .dynsym (may be empty for stripped
+  // binaries — exactly the hard case the paper discusses).
+  Result<std::vector<ElfSymbol>> symbols() const;
+
+  // Raw bytes of a section.
+  Result<std::vector<uint8_t>> section_bytes(const ElfSection& section) const;
+
+ private:
+  std::string path_;
+  std::string data_;
+  uint64_t entry_ = 0;
+  bool is_pie_ = false;
+  std::vector<ElfSection> sections_;
+  std::vector<ElfSegment> segments_;
+  uint64_t symtab_index_ = 0;    // section indices (0 = absent)
+  uint64_t dynsym_index_ = 0;
+
+  Status parse_internal();
+};
+
+}  // namespace k23

@@ -1,0 +1,179 @@
+#include "interpose/dispatch.h"
+
+#include <linux/sched.h>  // clone_args, CLONE_* flags
+#include <sys/prctl.h>
+#include <sys/syscall.h>
+
+#include <cstring>
+
+#include "arch/thunks.h"
+#include "common/logging.h"
+
+#ifndef PR_SET_SYSCALL_USER_DISPATCH
+#define PR_SET_SYSCALL_USER_DISPATCH 59
+#endif
+#ifndef PR_SYS_DISPATCH_OFF
+#define PR_SYS_DISPATCH_OFF 0
+#endif
+
+namespace k23 {
+namespace {
+
+// All passthrough syscalls are issued through this pointer. SudSession
+// repoints it at the allowlisted gadget page while SUD is armed so that
+// dispatcher-issued syscalls never re-trap.
+using SyscallFn = long (*)(long, long, long, long, long, long, long);
+std::atomic<SyscallFn> g_syscall_fn{&k23_syscall_ret_thunk};
+
+using SigreturnFn = void (*)(uint64_t);
+std::atomic<SigreturnFn> g_sigreturn_fn{&k23_sigreturn_thunk};
+
+long invoke(const SyscallArgs& a) {
+  return g_syscall_fn.load(std::memory_order_acquire)(
+      a.nr, a.rdi, a.rsi, a.rdx, a.r10, a.r8, a.r9);
+}
+
+// fork-style children (shared/copied stack, no new-stack thunk) resume
+// *inside* dispatcher code. The kernel does not preserve SUD across
+// fork/clone (verified empirically on Linux 6.x), so the child must
+// re-arm before returning to application code.
+long reinit_child_if_forked(long rc) {
+  if (rc == 0 && thread_reinit() != nullptr) thread_reinit()();
+  return rc;
+}
+
+// clone with a fresh stack: seed the child's stack so it unwinds from the
+// thunk's `ret` through the init shim and into application code.
+long execute_clone(SyscallArgs args, uint64_t return_address) {
+  uint64_t child_sp = static_cast<uint64_t>(args.rsi);
+  if (child_sp != 0 && return_address != 0) {
+    child_sp -= 8;
+    *reinterpret_cast<uint64_t*>(child_sp) = return_address;
+    if (thread_reinit() != nullptr) {
+      child_sp -= 8;
+      *reinterpret_cast<uint64_t*>(child_sp) =
+          reinterpret_cast<uint64_t>(&k23_child_init_shim);
+    }
+    args.rsi = static_cast<long>(child_sp);
+    return invoke(args);  // new-stack child re-inits via the shim
+  }
+  return reinit_child_if_forked(invoke(args));
+}
+
+long execute_clone3(SyscallArgs args, uint64_t return_address) {
+  auto* user_args = reinterpret_cast<clone_args*>(args.rdi);
+  const auto size = static_cast<size_t>(args.rsi);
+  if (user_args == nullptr || size < CLONE_ARGS_SIZE_VER0 ||
+      user_args->stack == 0 || return_address == 0) {
+    return reinit_child_if_forked(invoke(args));
+  }
+  // Copy the struct: the application's instance may be const, and we must
+  // shrink stack_size by what we push.
+  clone_args copy{};
+  std::memcpy(&copy, user_args, std::min(size, sizeof(copy)));
+  uint64_t top = copy.stack + copy.stack_size;
+  top -= 8;
+  *reinterpret_cast<uint64_t*>(top) = return_address;
+  uint64_t pushed = 8;
+  if (thread_reinit() != nullptr) {
+    top -= 8;
+    *reinterpret_cast<uint64_t*>(top) =
+        reinterpret_cast<uint64_t>(&k23_child_init_shim);
+    pushed += 8;
+  }
+  copy.stack_size -= pushed;
+  SyscallArgs forwarded = args;
+  forwarded.rdi = reinterpret_cast<long>(&copy);
+  forwarded.rsi = static_cast<long>(std::min(size, sizeof(copy)));
+  return invoke(forwarded);
+}
+
+}  // namespace
+
+Dispatcher& Dispatcher::instance() {
+  static Dispatcher dispatcher;
+  return dispatcher;
+}
+
+void Dispatcher::set_hook(SyscallHookFn fn, void* user) {
+  hook_user_.store(user, std::memory_order_release);
+  hook_.store(fn, std::memory_order_release);
+}
+
+long Dispatcher::execute(const SyscallArgs& args, uint64_t return_address) {
+  switch (args.nr) {
+    case SYS_fork:
+      return reinit_child_if_forked(invoke(args));
+    case SYS_clone:
+      return execute_clone(args, return_address);
+    case SYS_clone3:
+      return execute_clone3(args, return_address);
+    case SYS_vfork: {
+      // vfork's child borrows the parent stack and would shred our frames
+      // on return; fork preserves the observable semantics of the
+      // overwhelmingly common vfork+exec pattern (documented substitution).
+      SyscallArgs as_fork = args;
+      as_fork.nr = SYS_fork;
+      return reinit_child_if_forked(invoke(as_fork));
+    }
+    case SYS_rt_sigreturn: {
+      // Restores the signal frame the application's restorer was entered
+      // with. kRewritten entry: the `call` pushed 8 bytes below the frame.
+      // kSudFallback entry: the handler passes the trap-time rsp directly
+      // via args.rdi (see sud_session.cc). Never returns.
+      uint64_t frame_rsp = static_cast<uint64_t>(args.rdi);
+      g_sigreturn_fn.load(std::memory_order_acquire)(frame_rsp);
+      __builtin_unreachable();
+    }
+    default:
+      return invoke(args);
+  }
+}
+
+long Dispatcher::on_syscall(SyscallArgs& args, const HookContext& ctx) {
+  stats_.record(args.nr, ctx.path);
+
+  if (prctl_guard_.load(std::memory_order_acquire) &&
+      args.nr == SYS_prctl && args.rdi == PR_SET_SYSCALL_USER_DISPATCH &&
+      args.rsi == PR_SYS_DISPATCH_OFF) {
+    security_abort("application attempted to disable SUD (pitfall P1b)");
+  }
+
+  SyscallHookFn hook = hook_.load(std::memory_order_acquire);
+  if (hook != nullptr) {
+    HookResult result = hook(hook_user_.load(std::memory_order_acquire),
+                             args, ctx);
+    if (result.decision == HookDecision::kReplace) return result.value;
+  }
+  return execute(args, ctx.return_address);
+}
+
+void security_abort(const char* reason) {
+  safe_log("SECURITY ABORT:");
+  safe_log(reason);
+  // exit_group directly: this may run inside a signal handler, possibly
+  // with a live trampoline — no atexit handlers, no unwinding.
+  k23_syscall_ret_thunk(SYS_exit_group, 134, 0, 0, 0, 0, 0);
+  __builtin_trap();
+}
+
+}  // namespace k23
+
+// Internal hook for sud/trampoline to swap the passthrough primitive.
+namespace k23::internal {
+
+void set_syscall_fn(long (*fn)(long, long, long, long, long, long, long)) {
+  g_syscall_fn.store(fn != nullptr ? fn : &k23_syscall_ret_thunk,
+                     std::memory_order_release);
+}
+
+long (*syscall_fn())(long, long, long, long, long, long, long) {
+  return g_syscall_fn.load(std::memory_order_acquire);
+}
+
+void set_sigreturn_fn(void (*fn)(uint64_t)) {
+  g_sigreturn_fn.store(fn != nullptr ? fn : &k23_sigreturn_thunk,
+                       std::memory_order_release);
+}
+
+}  // namespace k23::internal

@@ -1,0 +1,137 @@
+// The common interposition funnel.
+//
+// The paper's key structural property (§5.2): whether a system call arrives
+// through a rewritten `call *%rax` site, the SUD SIGSYS fallback, or the
+// startup ptracer, "every system call reaches the same interposition code".
+// Dispatcher is that code. Mechanisms extract SyscallArgs + a HookContext
+// and call on_syscall(); user hooks are written once and work everywhere.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "arch/raw_syscall.h"
+
+namespace k23 {
+
+// How a system call reached the dispatcher.
+enum class EntryPath : uint8_t {
+  kRewritten = 0,  // binary-rewritten call *%rax -> trampoline
+  kSudFallback,    // SIGSYS via Syscall User Dispatch
+  kPtrace,         // cross-process ptracer (startup window)
+  kOffline,        // libLogger during the offline phase
+  kPathCount,
+};
+
+struct HookContext {
+  // Address of the triggering syscall/sysenter instruction (0 if unknown).
+  uint64_t site_address = 0;
+  // Address of the instruction after it (where execution resumes).
+  uint64_t return_address = 0;
+  EntryPath path = EntryPath::kRewritten;
+  // Process the call belongs to: 0 = the current process (in-process
+  // mechanisms); the tracee pid on the kPtrace path.
+  int pid = 0;
+};
+
+// What a hook decided. On kPassthrough the dispatcher executes the
+// (possibly modified) syscall; on kReplace `value` is returned directly.
+enum class HookDecision : uint8_t { kPassthrough = 0, kReplace };
+
+struct HookResult {
+  HookDecision decision = HookDecision::kPassthrough;
+  long value = 0;
+
+  static HookResult passthrough() { return {}; }
+  static HookResult replace(long v) { return {HookDecision::kReplace, v}; }
+};
+
+// Hooks are raw function pointers + context: they run inside signal
+// handlers and before libc is fully initialized, so no std::function.
+// The hook may modify `args` in place before a passthrough.
+using SyscallHookFn = HookResult (*)(void* user, SyscallArgs& args,
+                                     const HookContext& ctx);
+
+// Per-syscall and per-path counters. Relaxed atomics: cheap on the hot
+// path, approximate totals are fine for reporting.
+class SyscallStats {
+ public:
+  static constexpr long kMaxTracked = 512;
+
+  void record(long nr, EntryPath path) {
+    total_.fetch_add(1, std::memory_order_relaxed);
+    by_path_[static_cast<size_t>(path)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    if (nr >= 0 && nr < kMaxTracked) {
+      by_nr_[nr].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  uint64_t by_path(EntryPath path) const {
+    return by_path_[static_cast<size_t>(path)].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t by_nr(long nr) const {
+    return (nr >= 0 && nr < kMaxTracked)
+               ? by_nr_[nr].load(std::memory_order_relaxed)
+               : 0;
+  }
+  void reset() {
+    total_.store(0);
+    for (auto& c : by_path_) c.store(0);
+    for (auto& c : by_nr_) c.store(0);
+  }
+
+ private:
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> by_path_[static_cast<size_t>(EntryPath::kPathCount)]{};
+  std::atomic<uint64_t> by_nr_[kMaxTracked]{};
+};
+
+class Dispatcher {
+ public:
+  static Dispatcher& instance();
+
+  // Installs the user hook. nullptr restores pure passthrough.
+  void set_hook(SyscallHookFn fn, void* user);
+  void clear_hook() { set_hook(nullptr, nullptr); }
+  bool has_hook() const {
+    return hook_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  // Aborts the process when the application tries to disable SUD via
+  // prctl(PR_SET_SYSCALL_USER_DISPATCH, PR_SYS_DISPATCH_OFF) — the P1b
+  // defense (paper §5.2, Listing 2).
+  void set_prctl_guard(bool enabled) {
+    prctl_guard_.store(enabled, std::memory_order_release);
+  }
+  bool prctl_guard() const {
+    return prctl_guard_.load(std::memory_order_acquire);
+  }
+
+  // Runs the hook and (unless replaced) executes the syscall. This is the
+  // only place a passthrough happens: clone/vfork/rt_sigreturn special
+  // cases are centralized here (see arch/thunks.h).
+  long on_syscall(SyscallArgs& args, const HookContext& ctx);
+
+  // Executes a syscall with full special-case handling but no hook —
+  // used by mechanisms that must forward without re-entering the hook.
+  static long execute(const SyscallArgs& args, uint64_t return_address);
+
+  SyscallStats& stats() { return stats_; }
+
+ private:
+  Dispatcher() = default;
+
+  std::atomic<SyscallHookFn> hook_{nullptr};
+  std::atomic<void*> hook_user_{nullptr};
+  std::atomic<bool> prctl_guard_{false};
+  SyscallStats stats_;
+};
+
+// Terminates the process immediately via exit_group (async-signal-safe);
+// used for security aborts (NULL-exec check failure, P1b attempts).
+[[noreturn]] void security_abort(const char* reason);
+
+}  // namespace k23

@@ -1,0 +1,19 @@
+// Internals shared between the dispatch funnel and the entry mechanisms.
+// Not part of the public API.
+#pragma once
+
+namespace k23::internal {
+
+// Swaps the passthrough syscall primitive. SudSession points this at the
+// allowlisted gadget page while armed (so dispatcher-issued syscalls never
+// re-trap); nullptr restores the default .text thunk.
+void set_syscall_fn(long (*fn)(long, long, long, long, long, long, long));
+long (*syscall_fn())(long, long, long, long, long, long, long);
+
+// Swaps the rt_sigreturn primitive (same reasoning: under SUD the
+// `syscall` instruction performing sigreturn must live in the allowlisted
+// gadget page, or it would trap recursively with the selector re-armed).
+void set_sigreturn_fn(void (*fn)(uint64_t frame_rsp));
+
+
+}  // namespace k23::internal

@@ -1,0 +1,166 @@
+#include "k23/k23.h"
+
+#include "arch/raw_syscall.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "container/robin_set.h"
+#include "rewrite/nopatch.h"
+#include "rewrite/patcher.h"
+#include "sud/sud_session.h"
+#include "trampoline/trampoline.h"
+
+namespace k23 {
+
+const char* variant_name(K23Variant variant) {
+  switch (variant) {
+    case K23Variant::kDefault: return "K23-default";
+    case K23Variant::kUltra: return "K23-ultra";
+    case K23Variant::kUltraPlus: return "K23-ultra+";
+  }
+  return "?";
+}
+
+namespace {
+
+struct K23State {
+  bool initialized = false;
+  K23Interposer::Options options;
+  AddressSet valid_sites;               // entry check (P4a) — tiny (P4b)
+  std::vector<uint64_t> rewritten;      // for shutdown()
+};
+
+K23State& state() {
+  static K23State s;
+  return s;
+}
+
+// Trampoline entry validator: lookups only, no allocation (the set is
+// frozen after init), safe from the dispatch path.
+bool robin_set_validator(uint64_t site) {
+  return state().valid_sites.contains(site);
+}
+
+}  // namespace
+
+Result<K23Interposer::InitReport> K23Interposer::init(
+    const OfflineLog& log, const Options& options) {
+  K23State& s = state();
+  if (s.initialized) return Status::fail("K23 already initialized");
+  s.options = options;
+
+  InitReport report;
+  report.log_entries = log.size();
+
+  // 1. Resolve logged (region, offset) pairs to live addresses.
+  auto maps = ProcessMaps::snapshot();
+  if (!maps.is_ok()) return maps.error();
+  std::vector<LogEntry> unresolved;
+  std::vector<uint64_t> addresses = log.resolve(maps.value(), &unresolved);
+  report.unresolved_entries = unresolved.size();
+  report.resolved_sites = addresses.size();
+  for (const auto& entry : unresolved) {
+    K23_LOG(kDebug) << "K23: log entry not mapped: " << entry.region << ","
+                    << entry.offset << " (SUD fallback will cover it)";
+  }
+
+  // 2. Validate bytes at each resolved site. A stale log (library
+  //    updated since the offline run) must never cause a bad rewrite:
+  //    verification keeps K23's "only pre-validated sites" guarantee
+  //    even when the validation data itself has rotted.
+  std::vector<uint64_t> to_patch;
+  for (uint64_t address : addresses) {
+    if (in_nopatch_section(address)) continue;
+    const auto* bytes = reinterpret_cast<const uint8_t*>(address);
+    const bool is_syscall = bytes[0] == kSyscallInsn[0] &&
+                            (bytes[1] == kSyscallInsn[1] ||
+                             bytes[1] == kSysenterInsn[1]);
+    if (is_syscall) {
+      to_patch.push_back(address);
+    } else {
+      ++report.stale_entries;
+      K23_LOG(kWarn) << "K23: stale log entry at " << to_hex(address)
+                     << " (bytes changed since offline phase); skipping";
+    }
+  }
+
+  // 3. Entry-check set (ultra variants): bounded by the offline log —
+  //    tens of entries (Table 2) vs zpoline's 16 TiB bitmap reservation.
+  const bool entry_check = options.variant != K23Variant::kDefault;
+  if (entry_check) {
+    for (uint64_t address : to_patch) s.valid_sites.insert(address);
+  }
+
+  // 4. Trampoline.
+  Trampoline::Options tramp;
+  tramp.validator = entry_check ? &robin_set_validator : nullptr;
+  tramp.dedicated_stack = options.variant == K23Variant::kUltraPlus;
+  K23_RETURN_IF_ERROR(Trampoline::install(tramp));
+
+  // 5. The single selective rewriting step, safe mode: permission
+  //    save/restore, atomic stores, serialization (P5).
+  CodePatcher patcher(PatchMode::kSafe);
+  auto patch_report = patcher.patch_sites(to_patch, /*force=*/false);
+  if (!patch_report.is_ok()) {
+    Trampoline::remove();
+    return patch_report.error();
+  }
+  report.rewritten_sites = patch_report.value().patched;
+  s.rewritten = to_patch;
+
+  // 6. SUD fallback for everything the offline phase missed (P2a). K23
+  //    never rewrites from this path — it only dispatches.
+  if (options.sud_fallback) {
+    SudSession::Options sud;
+    sud.entry_path = EntryPath::kSudFallback;
+    Status st = SudSession::arm(sud);
+    if (!st.is_ok()) {
+      Trampoline::remove();
+      return st;
+    }
+  }
+
+  // 7. P1b guard: abort if the application tries to turn SUD off.
+  Dispatcher::instance().set_prctl_guard(options.prctl_guard &&
+                                         options.sud_fallback);
+
+  s.initialized = true;
+  K23_LOG(kDebug) << variant_name(options.variant) << ": "
+                  << report.rewritten_sites << " sites rewritten, "
+                  << report.unresolved_entries << " unresolved, "
+                  << report.stale_entries << " stale";
+  return report;
+}
+
+Result<K23Interposer::InitReport> K23Interposer::init_from_file(
+    const std::string& log_path, const Options& options) {
+  auto log = OfflineLog::load(log_path);
+  if (!log.is_ok()) return log.error();
+  return init(log.value(), options);
+}
+
+bool K23Interposer::initialized() { return state().initialized; }
+
+void K23Interposer::shutdown() {
+  K23State& s = state();
+  if (!s.initialized) return;
+  Dispatcher::instance().set_prctl_guard(false);
+  if (s.options.sud_fallback) SudSession::disarm();
+  CodePatcher patcher(PatchMode::kSafe);
+  for (uint64_t address : s.rewritten) {
+    (void)patcher.unpatch_site(address);
+  }
+  s.rewritten.clear();
+  Trampoline::remove();
+  s.valid_sites.clear();
+  s.initialized = false;
+}
+
+uint64_t K23Interposer::entry_check_memory_bytes() {
+  return state().valid_sites.memory_bytes();
+}
+
+const K23Interposer::Options& K23Interposer::options() {
+  return state().options;
+}
+
+}  // namespace k23

@@ -1,0 +1,73 @@
+// K23 — the pitfall-resilient hybrid interposer (paper §5).
+//
+// Online-phase composition (Figure 4):
+//   * a single, selective, zpoline-style rewrite of exactly the
+//     syscall/sysenter sites validated by the offline log (P2a/P3a/P3b/P5);
+//   * an SUD fallback that exhaustively catches every site the offline
+//     phase missed — *without* rewriting anything from the SIGSYS path
+//     (unlike lazypoline), so attack-induced misidentification cannot
+//     corrupt memory (P3b);
+//   * a prctl guard that aborts attempts to disable SUD (P1b);
+//   * an entry check at the trampoline validating the calling site
+//     against a RobinSet of the rewritten addresses — bounded memory,
+//     unlike zpoline's address-space bitmap (P4a + P4b);
+//   * an optional dedicated-stack switch for hook execution (-ultra+).
+//
+// Startup coverage (P2b: pre-load and vdso syscalls) belongs to the
+// ptracer component and the k23_run launcher; see ptracer/ptracer.h and
+// k23/launcher.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "k23/offline_log.h"
+
+namespace k23 {
+
+// Table 4 variants.
+enum class K23Variant {
+  kDefault,    // no NULL-exec check, no stack switch
+  kUltra,      // + NULL-exec check (RobinSet)
+  kUltraPlus,  // + NULL-exec check + dedicated-stack switch
+};
+
+const char* variant_name(K23Variant variant);
+
+class K23Interposer {
+ public:
+  struct Options {
+    K23Variant variant = K23Variant::kDefault;
+    // Abort on application attempts to disable SUD (P1b defense).
+    bool prctl_guard = true;
+    // Install the SUD fallback. Disabling leaves only rewritten sites
+    // interposed — used by ablation benchmarks to price the fallback.
+    bool sud_fallback = true;
+  };
+
+  struct InitReport {
+    size_t log_entries = 0;
+    size_t resolved_sites = 0;   // log entries currently mapped
+    size_t rewritten_sites = 0;  // successfully patched
+    size_t stale_entries = 0;    // resolved but bytes were not syscall
+    size_t unresolved_entries = 0;
+  };
+
+  // Brings up the online phase from an in-memory offline log.
+  static Result<InitReport> init(const OfflineLog& log,
+                                 const Options& options);
+  // Same, loading the log from disk (Figure 3 format).
+  static Result<InitReport> init_from_file(const std::string& log_path,
+                                           const Options& options);
+  static bool initialized();
+  static void shutdown();  // tests only
+
+  // Memory held by the entry-check structure (P4b comparison point:
+  // RobinSet bytes vs zpoline's bitmap reservation).
+  static uint64_t entry_check_memory_bytes();
+
+  static const Options& options();
+};
+
+}  // namespace k23

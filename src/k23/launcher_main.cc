@@ -1,0 +1,143 @@
+// k23_run — the K23 launcher (paper Figure 4, steps 1-3).
+//
+// Traces the target from its first instruction with ptracer (exhaustive
+// startup interposition, P2b), enforces libk23_preload injection through
+// every execve (P1a), optionally scrubs the vdso, and detaches once the
+// in-process libK23 signals readiness via the fake-syscall protocol.
+//
+//   k23_run [options] -- program [args...]
+//     --offline            record an offline log instead of interposing
+//     --log=PATH           offline-log file (default: k23.log)
+//     --variant=V          default | ultra | ultra+
+//     --mode=M             k23 | logger | zpoline | lazypoline | sud
+//     --preload=PATH       libk23_preload.so location (default: alongside
+//                          this binary)
+//     --keep-vdso          do not scrub AT_SYSINFO_EHDR
+//     --stats              print the trace report at exit
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/syscall_table.h"
+#include "common/env.h"
+#include "common/files.h"
+#include "ptracer/ptracer.h"
+
+namespace k23 {
+namespace {
+
+std::string default_preload_path() {
+  auto exe = self_exe_path();
+  if (!exe.is_ok()) return "libk23_preload.so";
+  const auto slash = exe.value().rfind('/');
+  if (slash == std::string::npos) return "libk23_preload.so";
+  return exe.value().substr(0, slash) + "/libk23_preload.so";
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--offline] [--log=PATH] [--variant=V] "
+               "[--mode=M] [--preload=PATH] [--keep-vdso] [--stats] -- "
+               "program [args...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+}  // namespace k23
+
+int main(int argc, char** argv) {
+  using namespace k23;
+
+  bool offline = false;
+  bool keep_vdso = false;
+  bool stats = false;
+  std::string log_path = "k23.log";
+  std::string variant = "default";
+  std::string mode;
+  std::string preload = default_preload_path();
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--") {
+      ++i;
+      break;
+    }
+    if (arg == "--offline") {
+      offline = true;
+    } else if (arg == "--keep-vdso") {
+      keep_vdso = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg.rfind("--log=", 0) == 0) {
+      log_path = arg.substr(6);
+    } else if (arg.rfind("--variant=", 0) == 0) {
+      variant = arg.substr(10);
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      mode = arg.substr(7);
+    } else if (arg.rfind("--preload=", 0) == 0) {
+      preload = arg.substr(10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (i >= argc) return usage(argv[0]);
+
+  std::vector<std::string> target(argv + i, argv + argc);
+  if (mode.empty()) mode = offline ? "logger" : "k23";
+
+  EnvBlock env = EnvBlock::from_current();
+  env.set("K23_MODE", mode);
+  env.set("K23_LOG_FILE", log_path);
+  env.set("K23_VARIANT", variant);
+  std::vector<std::string> env_strings;
+  for (const auto& entry : env.entries()) env_strings.push_back(entry);
+
+  Ptracer::Options options;
+  options.preload_library = preload;
+  options.disable_vdso = !keep_vdso;
+  // The offline phase keeps the tracer attached for the whole run (its
+  // ptracer-like component only guards injection, not performance);
+  // online mode detaches at the libK23 handoff.
+  options.allow_handoff = !offline;
+
+  Ptracer tracer(options);
+  auto report = tracer.run(target, &env_strings);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "k23_run: %s\n", report.message().c_str());
+    return 1;
+  }
+
+  if (stats) {
+    const TraceReport& r = report.value();
+    std::fprintf(stderr, "k23_run: traced pid %d, %s\n", r.pid,
+                 r.detached ? "detached at libK23 handoff"
+                            : "traced to exit");
+    std::fprintf(stderr,
+                 "k23_run: %llu syscalls while attached, %llu execs, "
+                 "%llu env rewrites, %llu vdso scrubs\n",
+                 static_cast<unsigned long long>(
+                     r.state.startup_syscall_count),
+                 static_cast<unsigned long long>(r.state.execve_count),
+                 static_cast<unsigned long long>(r.state.env_rewrites),
+                 static_cast<unsigned long long>(r.state.vdso_scrubs));
+    for (const auto& [nr, count] : r.syscall_counts) {
+      const char* name = syscall_name(nr);
+      std::fprintf(stderr, "  %-24s %llu\n", name != nullptr ? name : "?",
+                   static_cast<unsigned long long>(count));
+    }
+  }
+
+  if (report.value().detached) {
+    // The tracee runs on unattended; mirror its lifetime.
+    int status = 0;
+    ::waitpid(report.value().pid, &status, 0);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+  }
+  return report.value().exit_code >= 0 ? report.value().exit_code : 1;
+}

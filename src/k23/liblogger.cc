@@ -1,0 +1,144 @@
+#include "k23/liblogger.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/logging.h"
+#include "interpose/dispatch.h"
+#include "sud/sud_session.h"
+
+namespace k23 {
+namespace {
+
+// The recording hook runs inside the SIGSYS handler; it must not allocate
+// (the trapped syscall may be an mmap issued from inside malloc, and a
+// handler-side malloc would deadlock). Sites are deduplicated into this
+// fixed-capacity, lock-free open-addressed table; resolution to
+// (region, offset) happens outside the handler at snapshot()/stop() time.
+class FixedAddressTable {
+ public:
+  static constexpr size_t kCapacity = 1 << 16;  // Table 2 tops out at ~100
+
+  // Returns true if `address` was newly inserted.
+  bool insert(uint64_t address) {
+    // 0 is the empty marker; real code never sits at address 0 or 1
+    // (that's the trampoline's nop sled).
+    if (address == 0) address = 1;
+    size_t idx = hash(address) & (kCapacity - 1);
+    for (size_t probe = 0; probe < kCapacity; ++probe) {
+      uint64_t current = slots_[idx].load(std::memory_order_acquire);
+      if (current == address) return false;
+      if (current == 0) {
+        uint64_t expected = 0;
+        if (slots_[idx].compare_exchange_strong(expected, address,
+                                                std::memory_order_acq_rel)) {
+          count_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        if (expected == address) return false;
+      }
+      idx = (idx + 1) & (kCapacity - 1);
+    }
+    return false;  // table full: drop (bounded memory beats crashing)
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      uint64_t v = slot.load(std::memory_order_acquire);
+      if (v != 0) fn(v);
+    }
+  }
+
+  size_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  void clear() {
+    for (auto& slot : slots_) slot.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static size_t hash(uint64_t v) {
+    return static_cast<size_t>((v ^ (v >> 33)) * 0x9e3779b97f4a7c15ULL);
+  }
+
+  std::atomic<uint64_t> slots_[kCapacity]{};
+  std::atomic<size_t> count_{0};
+};
+
+struct LoggerState {
+  bool running = false;
+  std::unique_ptr<FixedAddressTable> sites;
+  std::atomic<uint64_t> observed{0};
+};
+
+LoggerState& state() {
+  static LoggerState s;
+  return s;
+}
+
+HookResult logging_hook(void*, SyscallArgs& args, const HookContext& ctx) {
+  LoggerState& s = state();
+  s.observed.fetch_add(1, std::memory_order_relaxed);
+  if (ctx.site_address != 0) s.sites->insert(ctx.site_address);
+  return HookResult::passthrough();
+}
+
+// Resolves the address table against a fresh maps snapshot, applying the
+// §5.1 region filter (executable, non-writable, file-backed).
+OfflineLog resolve_table(const FixedAddressTable& table) {
+  OfflineLog log;
+  auto maps = ProcessMaps::snapshot();
+  if (!maps.is_ok()) {
+    K23_LOG(kWarn) << "libLogger: cannot snapshot maps: " << maps.message();
+    return log;
+  }
+  table.for_each(
+      [&](uint64_t address) { log.add_address(maps.value(), address); });
+  return log;
+}
+
+}  // namespace
+
+Status LibLogger::start() {
+  LoggerState& s = state();
+  if (s.running) return Status::fail("libLogger already running");
+  if (s.sites == nullptr) {
+    s.sites = std::make_unique<FixedAddressTable>();
+  } else {
+    s.sites->clear();
+  }
+  s.observed.store(0, std::memory_order_relaxed);
+
+  SudSession::Options sud;
+  sud.entry_path = EntryPath::kOffline;
+  K23_RETURN_IF_ERROR(SudSession::arm(sud));
+  Dispatcher::instance().set_hook(&logging_hook, nullptr);
+  s.running = true;
+  return Status::ok();
+}
+
+Result<OfflineLog> LibLogger::stop() {
+  LoggerState& s = state();
+  if (!s.running) return Status::fail("libLogger not running");
+  Dispatcher::instance().clear_hook();
+  SudSession::disarm();
+  s.running = false;
+  return resolve_table(*s.sites);
+}
+
+bool LibLogger::running() { return state().running; }
+
+OfflineLog LibLogger::snapshot() {
+  LoggerState& s = state();
+  if (s.sites == nullptr) return OfflineLog{};
+  // Resolution allocates: only safe outside the handler, which holds
+  // because snapshot() is called from normal application context.
+  return resolve_table(*s.sites);
+}
+
+uint64_t LibLogger::observed_syscalls() {
+  return state().observed.load(std::memory_order_relaxed);
+}
+
+}  // namespace k23

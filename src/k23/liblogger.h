@@ -1,0 +1,48 @@
+// libLogger — K23's offline-phase recorder (paper §5.1, Figure 2).
+//
+// An SUD-based exhaustive interposer that, for every trapped system call:
+//   1. disables interposition via the selector (handled by SudSession),
+//   2. resolves the triggering instruction to a (region, offset) pair by
+//      consulting /proc/self/maps,
+//   3. records the pair if its region is executable, non-writable and
+//      file-backed,
+//   4. forwards the original system call and returns its result.
+//
+// Performance is irrelevant here (controlled environment, benign inputs);
+// exhaustiveness within the post-load window is what matters. Calls issued
+// before library load and vdso calls are invisible to libLogger — the
+// online phase's ptracer covers those (paper §5.2).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "k23/offline_log.h"
+
+namespace k23 {
+
+class LibLogger {
+ public:
+  // Arms SUD and starts recording into an internal log.
+  static Status start();
+  // Stops recording, disarms SUD, and returns the accumulated log.
+  static Result<OfflineLog> stop();
+  static bool running();
+
+  // Snapshot of the log so far (callable while running; used by tests
+  // and by the Table 2 harness between workload phases).
+  static OfflineLog snapshot();
+
+  // Number of syscalls recorded (including duplicates).
+  static uint64_t observed_syscalls();
+
+  // Convenience: run `fn` with logging active and return the log.
+  template <typename Fn>
+  static Result<OfflineLog> record(Fn&& fn) {
+    K23_RETURN_IF_ERROR(start());
+    fn();
+    return stop();
+  }
+};
+
+}  // namespace k23

@@ -1,0 +1,64 @@
+// k23_logmerge — merge offline logs from multiple runs (paper §5.1:
+// "to improve coverage, we can repeat the process with different inputs,
+// generating additional logs").
+//
+//   k23_logmerge [--immutable] -o merged.log run1.log run2.log ...
+//
+// Prints a per-input and merged summary; --immutable strips write
+// permission from the output (the paper's log-integrity step).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "k23/offline_log.h"
+
+int main(int argc, char** argv) {
+  using namespace k23;
+  std::string output;
+  std::vector<std::string> inputs;
+  bool immutable = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--immutable") == 0) {
+      immutable = true;
+    } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      output = argv[++i];
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (output.empty() || inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--immutable] -o merged.log run1.log "
+                 "[run2.log ...]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  OfflineLog merged;
+  for (const std::string& path : inputs) {
+    auto log = OfflineLog::load(path);
+    if (!log.is_ok()) {
+      std::fprintf(stderr, "k23_logmerge: %s: %s\n", path.c_str(),
+                   log.message().c_str());
+      return 1;
+    }
+    const size_t before = merged.size();
+    merged.merge(log.value());
+    std::printf("%-40s %6zu sites (%zu new)\n", path.c_str(),
+                log.value().size(), merged.size() - before);
+  }
+
+  Status st = immutable ? merged.save_immutable(output)
+                        : merged.save(output);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "k23_logmerge: write %s: %s\n", output.c_str(),
+                 st.message().c_str());
+    return 1;
+  }
+  std::printf("%-40s %6zu sites across %zu regions%s\n", output.c_str(),
+              merged.size(), merged.regions().size(),
+              immutable ? " (read-only)" : "");
+  return 0;
+}

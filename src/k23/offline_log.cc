@@ -1,0 +1,103 @@
+#include "k23/offline_log.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+
+#include "common/files.h"
+#include "common/strings.h"
+
+namespace k23 {
+
+bool OfflineLog::add(const std::string& region, uint64_t offset) {
+  return entries_.insert(LogEntry{region, offset}).second;
+}
+
+bool OfflineLog::add_address(const ProcessMaps& maps, uint64_t address) {
+  const MemoryRegion* region = maps.find(address);
+  if (region == nullptr) return false;
+  // Only "expected executable and non-writable regions" (paper §5.1).
+  if (!region->executable || region->writable || !region->is_file_backed()) {
+    return false;
+  }
+  return add(region->pathname,
+             region->file_offset + (address - region->start));
+}
+
+std::vector<std::string> OfflineLog::regions() const {
+  std::vector<std::string> out;
+  for (const auto& entry : entries_) {
+    if (out.empty() || out.back() != entry.region) {
+      if (std::find(out.begin(), out.end(), entry.region) == out.end()) {
+        out.push_back(entry.region);
+      }
+    }
+  }
+  return out;
+}
+
+void OfflineLog::merge(const OfflineLog& other) {
+  entries_.insert(other.entries_.begin(), other.entries_.end());
+}
+
+std::string OfflineLog::serialize() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    out += entry.region;
+    out += ',';
+    out += std::to_string(entry.offset);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<OfflineLog> OfflineLog::deserialize(const std::string& text) {
+  OfflineLog log;
+  for (std::string_view line : split(text, '\n')) {
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    // The pathname may itself contain commas; the offset is everything
+    // after the *last* comma.
+    const size_t comma = line.rfind(',');
+    if (comma == std::string_view::npos) {
+      return Status::fail("malformed offline log line (no comma)");
+    }
+    auto offset = parse_u64(line.substr(comma + 1));
+    if (!offset) return Status::fail("malformed offline log offset");
+    std::string_view region = line.substr(0, comma);
+    if (region.empty()) return Status::fail("empty region in offline log");
+    log.add(std::string(region), *offset);
+  }
+  return log;
+}
+
+Status OfflineLog::save(const std::string& path) const {
+  return write_file(path, serialize());
+}
+
+Result<OfflineLog> OfflineLog::load(const std::string& path) {
+  auto contents = read_file(path);
+  if (!contents.is_ok()) return contents.error();
+  return deserialize(contents.value());
+}
+
+Status OfflineLog::save_immutable(const std::string& path) const {
+  K23_RETURN_IF_ERROR(save(path));
+  return make_read_only(path);
+}
+
+std::vector<uint64_t> OfflineLog::resolve(
+    const ProcessMaps& maps, std::vector<LogEntry>* unresolved) const {
+  std::vector<uint64_t> out;
+  for (const auto& entry : entries_) {
+    auto address = maps.address_of(entry.region, entry.offset);
+    if (address.has_value()) {
+      out.push_back(*address);
+    } else if (unresolved != nullptr) {
+      unresolved->push_back(entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace k23

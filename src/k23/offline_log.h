@@ -1,0 +1,71 @@
+// The offline-phase log (paper §5.1, Figure 3).
+//
+// Each record is a (region pathname, file offset) pair identifying one
+// syscall/sysenter instruction observed to actually trigger a system call
+// under representative inputs. Offsets within a mapped file are stable
+// across runs — including under ASLR — so the online phase can map records
+// back to live virtual addresses.
+//
+// On-disk format (exactly Figure 3):   <pathname>,<decimal offset>\n
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "procmaps/procmaps.h"
+
+namespace k23 {
+
+struct LogEntry {
+  std::string region;    // absolute pathname, e.g. /usr/lib/.../libc.so.6
+  uint64_t offset = 0;   // file offset of the syscall instruction
+
+  auto operator<=>(const LogEntry&) const = default;
+};
+
+class OfflineLog {
+ public:
+  // Records one site; duplicates collapse. Returns true if new.
+  bool add(const std::string& region, uint64_t offset);
+
+  // Resolves a live instruction address against a maps snapshot and
+  // records it — but only when the containing region is "expected":
+  // file-backed, executable and non-writable (paper §5.1; writable or
+  // anonymous regions may hold generated code that won't exist at the
+  // online phase's single rewriting step).
+  bool add_address(const ProcessMaps& maps, uint64_t address);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::set<LogEntry>& entries() const { return entries_; }
+
+  // Unique regions referenced (Table 2 reports counts per application).
+  std::vector<std::string> regions() const;
+
+  // Merge another log (multiple offline runs with different inputs).
+  void merge(const OfflineLog& other);
+
+  // --- Figure 3 serialization ---------------------------------------------
+  std::string serialize() const;
+  static Result<OfflineLog> deserialize(const std::string& text);
+  Status save(const std::string& path) const;
+  static Result<OfflineLog> load(const std::string& path);
+
+  // Saves and strips write permission from the file + directory — the
+  // portable part of the paper's "mark the log directory immutable".
+  Status save_immutable(const std::string& path) const;
+
+  // Maps every entry to its live virtual address in the current process.
+  // Entries whose region is not mapped are reported in `unresolved`.
+  std::vector<uint64_t> resolve(const ProcessMaps& maps,
+                                std::vector<LogEntry>* unresolved) const;
+
+ private:
+  std::set<LogEntry> entries_;
+};
+
+}  // namespace k23

@@ -1,0 +1,138 @@
+// libk23_preload — the plug-and-play LD_PRELOAD entry point.
+//
+// Injected by k23_run (or manually via LD_PRELOAD), the constructor reads
+// its configuration from the environment and brings up the selected
+// interposition mode before main() runs:
+//
+//   K23_MODE      = k23 | logger | zpoline | lazypoline | sud  (default k23)
+//   K23_LOG_FILE  = offline-log path (read by k23, written by logger)
+//   K23_VARIANT   = default | ultra | ultra+        (k23/zpoline modes)
+//
+// In k23 mode the constructor first performs the ptracer handoff (paper
+// §5.3): a fake state-transfer syscall and a fake detach syscall, both
+// issued through the k23_nopatch thunk so the tracer's origin check can
+// verify they come from interposer code. Without a tracer the kernel
+// returns ENOSYS and startup continues identically — the protocol is
+// fully optional.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "arch/raw_syscall.h"
+#include "arch/thunks.h"
+#include "common/logging.h"
+#include "k23/k23.h"
+#include "k23/liblogger.h"
+#include "lazypoline/lazypoline.h"
+#include "ptracer/ptracer.h"
+#include "rewrite/nopatch.h"
+#include "sud/sud_session.h"
+#include "zpoline/zpoline.h"
+
+namespace k23 {
+namespace {
+
+const char* env_or(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? value : fallback;
+}
+
+void ptracer_handoff() {
+  PtracerHandoffState state{};
+  long rc = k23_syscall_ret_thunk(
+      kFakeSyscallStateHandoff, reinterpret_cast<long>(&state),
+      sizeof(state), static_cast<long>(nopatch_begin()),
+      static_cast<long>(nopatch_end()), 0, 0);
+  if (rc == 0) {
+    K23_LOG(kDebug) << "ptracer handoff: " << state.startup_syscall_count
+                    << " startup syscalls, " << state.env_rewrites
+                    << " env rewrites, " << state.vdso_scrubs
+                    << " vdso scrubs";
+  }  // ENOSYS: no tracer attached — standalone start.
+  (void)k23_syscall_ret_thunk(kFakeSyscallDetach, 0, 0,
+                              static_cast<long>(nopatch_begin()),
+                              static_cast<long>(nopatch_end()), 0, 0);
+}
+
+K23Variant parse_variant(const char* name) {
+  if (std::strcmp(name, "ultra") == 0) return K23Variant::kUltra;
+  if (std::strcmp(name, "ultra+") == 0) return K23Variant::kUltraPlus;
+  return K23Variant::kDefault;
+}
+
+void save_logger_output() {
+  const char* path = std::getenv("K23_LOG_FILE");
+  if (path == nullptr || !LibLogger::running()) return;
+  auto log = LibLogger::stop();
+  if (!log.is_ok()) return;
+  // Merge with earlier runs of the offline phase (paper §5.1: repeat
+  // with different inputs to improve coverage).
+  auto existing = OfflineLog::load(path);
+  if (existing.is_ok()) log.value().merge(existing.value());
+  if (!log.value().save(path).is_ok()) {
+    K23_LOG(kError) << "libk23_preload: cannot write log to " << path;
+  }
+}
+
+__attribute__((constructor)) void k23_preload_init() {
+  const char* mode = env_or("K23_MODE", "k23");
+
+  if (std::strcmp(mode, "logger") == 0) {
+    if (!LibLogger::start().is_ok()) {
+      K23_LOG(kError) << "libk23_preload: libLogger failed to start";
+    }
+    std::atexit(&save_logger_output);
+    return;
+  }
+  if (std::strcmp(mode, "zpoline") == 0) {
+    ZpolineInterposer::Options options;
+    if (std::strcmp(env_or("K23_VARIANT", "default"), "ultra") == 0) {
+      options.variant = ZpolineVariant::kUltra;
+    }
+    auto report = ZpolineInterposer::init(options);
+    if (!report.is_ok()) {
+      K23_LOG(kError) << "libk23_preload: zpoline init failed: "
+                      << report.message();
+    }
+    return;
+  }
+  if (std::strcmp(mode, "lazypoline") == 0) {
+    if (!LazypolineInterposer::init().is_ok()) {
+      K23_LOG(kError) << "libk23_preload: lazypoline init failed";
+    }
+    return;
+  }
+  if (std::strcmp(mode, "sud") == 0) {
+    if (!SudSession::arm().is_ok()) {
+      K23_LOG(kError) << "libk23_preload: SUD arm failed";
+    }
+    return;
+  }
+
+  // Default: full K23 online phase.
+  ptracer_handoff();
+  OfflineLog log;
+  const char* log_file = std::getenv("K23_LOG_FILE");
+  if (log_file != nullptr) {
+    auto loaded = OfflineLog::load(log_file);
+    if (loaded.is_ok()) {
+      log = std::move(loaded).value();
+    } else {
+      K23_LOG(kWarn) << "libk23_preload: no offline log at " << log_file
+                     << " (SUD fallback will carry all traffic)";
+    }
+  }
+  K23Interposer::Options options;
+  options.variant = parse_variant(env_or("K23_VARIANT", "default"));
+  auto report = K23Interposer::init(log, options);
+  if (!report.is_ok()) {
+    K23_LOG(kError) << "libk23_preload: K23 init failed: "
+                    << report.message();
+  } else {
+    K23_LOG(kDebug) << "libk23_preload: K23 online, "
+                    << report.value().rewritten_sites << " sites rewritten";
+  }
+}
+
+}  // namespace
+}  // namespace k23

@@ -1,0 +1,92 @@
+#include "lazypoline/lazypoline.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/logging.h"
+#include "rewrite/nopatch.h"
+#include "rewrite/patcher.h"
+#include "sud/sud_session.h"
+#include "trampoline/trampoline.h"
+
+namespace k23 {
+namespace {
+
+struct State {
+  bool initialized = false;
+  LazypolineInterposer::Options options;
+  std::atomic<uint64_t> rewritten{0};
+  // lazypoline does synchronize concurrent rewrites of the same site; its
+  // flaws are in *how* the bytes land (P5), not in missing this lock.
+  std::mutex rewrite_mutex;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+// First execution of a site traps here; rewrite it so the next execution
+// takes the trampoline. Faithfully does NOT verify that the trapping
+// bytes are "real" code (P3b: executed data gets rewritten too — though
+// by the time we are called the CPU *did* execute them as a syscall).
+bool lazy_rewrite(uint64_t site) {
+  State& s = state();
+  if (!s.options.rewrite) return true;  // pure-SUD mode: just dispatch
+  if (in_nopatch_section(site)) return true;
+
+  std::lock_guard<std::mutex> lock(s.rewrite_mutex);
+  // Signal-safe (no allocation — we are inside the SIGSYS handler) and
+  // with no byte verification: whatever trapped gets rewritten (P3b).
+  Status st = patch_site_signal_safe(
+      site, s.options.faithful_p5 ? PatchMode::kUnsafeLazypoline
+                                  : PatchMode::kSafe);
+  if (st.is_ok()) {
+    s.rewritten.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    K23_LOG(kDebug) << "lazypoline: rewrite failed at " << site << ": "
+                    << st.message();
+  }
+  return true;  // continue to normal dispatch for this occurrence
+}
+
+}  // namespace
+
+Status LazypolineInterposer::init(const Options& options) {
+  State& s = state();
+  if (s.initialized) return Status::fail("lazypoline already initialized");
+  s.options = options;
+
+  // Trampoline with no entry validator (P4a) — rewritten sites land here.
+  Trampoline::Options tramp;
+  tramp.validator = nullptr;
+  K23_RETURN_IF_ERROR(Trampoline::install(tramp));
+
+  SudSession::Options sud;
+  sud.entry_path = EntryPath::kSudFallback;
+  sud.pre_dispatch = &lazy_rewrite;
+  Status st = SudSession::arm(sud);
+  if (!st.is_ok()) {
+    Trampoline::remove();
+    return st;
+  }
+  s.initialized = true;
+  return Status::ok();
+}
+
+bool LazypolineInterposer::initialized() { return state().initialized; }
+
+void LazypolineInterposer::shutdown() {
+  State& s = state();
+  if (!s.initialized) return;
+  SudSession::disarm();
+  Trampoline::remove();
+  s.rewritten.store(0);
+  s.initialized = false;
+}
+
+uint64_t LazypolineInterposer::sites_rewritten() {
+  return state().rewritten.load(std::memory_order_relaxed);
+}
+
+}  // namespace k23

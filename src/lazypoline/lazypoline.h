@@ -1,0 +1,46 @@
+// Reproduction of lazypoline (Jacobs et al., DSN '24; paper §2.2.2).
+//
+// No static disassembly: SUD traps the *first* execution of each
+// syscall/sysenter instruction; the handler rewrites that site to
+// `call *%rax` so subsequent executions take the fast trampoline path.
+//
+// Faithful to the original's design envelope, including its pitfalls:
+//   P1a — LD_PRELOAD-injection reliance;
+//   P1b — prctl(PR_SYS_DISPATCH_OFF) disables it silently (no guard);
+//   P3b — rewrites whatever bytes trapped, including executed *data*
+//         (an attacker redirecting control flow into data corrupts it);
+//   P4a — no NULL-exec check on the trampoline;
+//   P5  — on-the-fly patching: non-atomic two-byte store, no instruction
+//         stream serialization, page permissions blindly reset to r-x
+//         (reproduced via PatchMode::kUnsafeLazypoline; pass
+//         `faithful_p5 = false` to run it with the safe patcher instead).
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace k23 {
+
+class LazypolineInterposer {
+ public:
+  struct Options {
+    // Reproduce the published rewriting flaws (P5). Disable to run
+    // lazypoline's *design* with K23-grade patching (used by ablation
+    // benchmarks to separate design cost from implementation flaws).
+    bool faithful_p5 = true;
+    // Rewrite lazily at all; disable to degenerate into a pure-SUD
+    // interposer (every syscall stays on the slow signal path).
+    bool rewrite = true;
+  };
+
+  static Status init(const Options& options);
+  static Status init() { return init(Options{}); }
+  static bool initialized();
+  static void shutdown();
+
+  // Sites rewritten so far (grows as the workload touches new sites).
+  static uint64_t sites_rewritten();
+};
+
+}  // namespace k23

@@ -1,0 +1,14 @@
+// Calls clock_gettime in a loop. Through the vdso this never issues a
+// syscall instruction — the P2b blind spot; with the vdso scrubbed (K23's
+// ptracer) every call becomes a traceable system call.
+#include <ctime>
+
+int main() {
+  timespec ts{};
+  long acc = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    acc += ts.tv_nsec;
+  }
+  return acc != 0 ? 0 : 0;
+}

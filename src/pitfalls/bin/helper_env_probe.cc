@@ -1,0 +1,12 @@
+// Exits 0 iff LD_PRELOAD mentions the K23 marker library. Used by the
+// P1a PoC to observe whether injection survived an env-clearing execve.
+#include <cstdlib>
+#include <cstring>
+
+int main() {
+  const char* preload = std::getenv("LD_PRELOAD");
+  if (preload != nullptr && std::strstr(preload, "k23_marker") != nullptr) {
+    return 0;
+  }
+  return 1;
+}

@@ -1,0 +1,16 @@
+// Listing 1 from the paper: execve with a NULL environment — the benign
+// pattern that silently drops LD_PRELOAD-injected interposers (P1a).
+#include <cstdio>
+#include <unistd.h>
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <program-to-exec>\n", argv[0]);
+    return 2;
+  }
+  char* args[] = {argv[1], nullptr};
+  char* env[] = {nullptr};  // empty environment: LD_PRELOAD not inherited
+  ::execve(argv[1], args, env);
+  ::perror("execve failed");
+  return 2;
+}

@@ -1,0 +1,34 @@
+// Exercises the ptracer fake-syscall handoff protocol (paper §5.3) from
+// the tracee side: issues a few ordinary syscalls, requests the state
+// transfer, asks the tracer to detach, and exits 0 iff the state arrived
+// with a plausible startup count. Without a tracer both fake syscalls
+// return -ENOSYS and it exits 3.
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "arch/raw_syscall.h"
+#include "ptracer/ptracer.h"
+
+int main() {
+  using namespace k23;
+  for (int i = 0; i < 5; ++i) (void)::getpid();
+
+  PtracerHandoffState state{};
+  long rc = raw_syscall(kFakeSyscallStateHandoff,
+                        reinterpret_cast<long>(&state), sizeof(state), 0, 0);
+  if (rc != 0) {
+    std::fprintf(stderr, "helper_handoff: no tracer (rc=%ld)\n", rc);
+    return 3;
+  }
+  long detach_rc = raw_syscall(kFakeSyscallDetach, 0, 0, 0, 0);
+  std::fprintf(stderr,
+               "helper_handoff: version=%u startup_syscalls=%llu "
+               "detach_rc=%ld\n",
+               state.version,
+               static_cast<unsigned long long>(state.startup_syscall_count),
+               detach_rc);
+  // Post-detach syscalls must work normally.
+  if (::getpid() <= 0) return 4;
+  return (state.version == 1 && state.startup_syscall_count >= 5) ? 0 : 5;
+}

@@ -1,0 +1,417 @@
+#include "pitfalls/pitfalls.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/caps.h"
+#include "common/env.h"
+#include "common/files.h"
+#include "disasm/scanner.h"
+#include "interpose/dispatch.h"
+#include "k23/k23.h"
+#include "k23/liblogger.h"
+#include "lazypoline/lazypoline.h"
+#include "ptracer/ptracer.h"
+#include "rewrite/patcher.h"
+#include "sud/sud_session.h"
+#include "zpoline/zpoline.h"
+
+namespace k23 {
+namespace {
+
+// Child exit-code protocol for PoC scenarios.
+constexpr int kExitResilient = 0;
+constexpr int kExitAffected = 10;
+constexpr int kExitNotApplicable = 20;
+constexpr int kExitSkipped = 30;
+constexpr int kExitError = 40;
+constexpr int kExitSecurityAbort = 134;  // security_abort() in the child
+
+bool is_zpoline(InterposerKind kind) {
+  return kind == InterposerKind::kZpolineDefault ||
+         kind == InterposerKind::kZpolineUltra;
+}
+bool is_k23(InterposerKind kind) {
+  return kind == InterposerKind::kK23Default ||
+         kind == InterposerKind::kK23Ultra;
+}
+
+// Brings up the interposer-under-test inside the PoC child. For K23 the
+// offline log is recorded in-process first (a quick libc warmup), exactly
+// the offline→online cycle of §5.
+bool init_interposer(InterposerKind kind) {
+  switch (kind) {
+    case InterposerKind::kZpolineDefault:
+    case InterposerKind::kZpolineUltra: {
+      ZpolineInterposer::Options options;
+      options.variant = kind == InterposerKind::kZpolineUltra
+                            ? ZpolineVariant::kUltra
+                            : ZpolineVariant::kDefault;
+      options.path_suffixes = {"libc.so.6"};
+      return ZpolineInterposer::init(options).is_ok();
+    }
+    case InterposerKind::kLazypoline:
+      return LazypolineInterposer::init().is_ok();
+    case InterposerKind::kK23Default:
+    case InterposerKind::kK23Ultra: {
+      auto log = LibLogger::record([] {
+        for (int i = 0; i < 3; ++i) {
+          (void)::getpid();
+          (void)::getuid();
+          FILE* f = ::fopen("/proc/self/stat", "r");
+          if (f != nullptr) {
+            char buf[64];
+            (void)::fgets(buf, sizeof(buf), f);
+            ::fclose(f);
+          }
+        }
+      });
+      if (!log.is_ok()) return false;
+      K23Interposer::Options options;
+      options.variant = kind == InterposerKind::kK23Ultra
+                            ? K23Variant::kUltra
+                            : K23Variant::kDefault;
+      return K23Interposer::init(log.value(), options).is_ok();
+    }
+  }
+  return false;
+}
+
+std::string resolve_helper_dir(const std::string& requested) {
+  if (!requested.empty()) return requested;
+  const char* env = std::getenv("K23_HELPER_DIR");
+  if (env != nullptr) return env;
+  auto exe = self_exe_path();
+  if (exe.is_ok()) {
+    const auto slash = exe.value().rfind('/');
+    if (slash != std::string::npos) return exe.value().substr(0, slash);
+  }
+  return ".";
+}
+
+// A page holding a tiny function that is *data-shaped code*: the byte
+// pattern of a syscall followed by ret. Stands in for embedded data in
+// executable pages (jump tables, literals) matching the 0f 05 pattern.
+struct DataPage {
+  uint8_t* page = nullptr;
+  uint64_t fake_site() const { return reinterpret_cast<uint64_t>(page); }
+  bool intact() const { return page[0] == 0x0f && page[1] == 0x05; }
+};
+
+DataPage map_data_page() {
+  void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (page == MAP_FAILED) return {};
+  auto* p = static_cast<uint8_t*>(page);
+  p[0] = 0x0f;  // "data" that happens to encode syscall
+  p[1] = 0x05;
+  p[2] = 0xc3;  // ret, so a hijacked jump returns cleanly
+  ::mprotect(page, 4096, PROT_READ | PROT_EXEC);
+  return {p};
+}
+
+// Simulated control-flow hijack: jump to the data page with a syscall
+// number in rax (what an attacker redirecting execution would achieve).
+long hijack_into(uint64_t address, long nr) {
+  long out;
+  asm volatile("call *%1"
+               : "=a"(out)
+               : "r"(address), "a"(nr)
+               : "rcx", "r11", "memory");
+  return out;
+}
+
+// --- individual PoCs --------------------------------------------------------
+
+int poc_p1a(InterposerKind kind, const std::string& helper_dir) {
+  const std::string exec_helper = helper_dir + "/helper_exec_empty_env";
+  const std::string probe = helper_dir + "/helper_env_probe";
+  if (!file_exists(exec_helper) || !file_exists(probe)) return kExitSkipped;
+  const std::string marker = "/tmp/libk23_marker.so";
+
+  if (is_k23(kind)) {
+    // K23: ptracer enforces LD_PRELOAD across execve (paper §5.2).
+    if (!capabilities().ptrace) return kExitSkipped;
+    Ptracer::Options options;
+    options.preload_library = marker;
+    Ptracer tracer(options);
+    auto report = tracer.run({exec_helper, probe});
+    if (!report.is_ok()) return kExitError;
+    // Probe exits 0 iff it still saw the marker in LD_PRELOAD.
+    return report.value().exit_code == 0 ? kExitResilient : kExitAffected;
+  }
+
+  // zpoline/lazypoline: plain LD_PRELOAD injection, no enforcement.
+  ::setenv("LD_PRELOAD", marker.c_str(), 1);
+  pid_t pid = ::fork();
+  if (pid < 0) return kExitError;
+  if (pid == 0) {
+    char* args[] = {const_cast<char*>(exec_helper.c_str()),
+                    const_cast<char*>(probe.c_str()), nullptr};
+    ::execv(exec_helper.c_str(), args);
+    ::_exit(kExitError);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ::unsetenv("LD_PRELOAD");
+  if (!WIFEXITED(status)) return kExitError;
+  return WEXITSTATUS(status) == 0 ? kExitResilient : kExitAffected;
+}
+
+int poc_p1b(InterposerKind kind) {
+  if (is_zpoline(kind)) return kExitNotApplicable;  // no SUD to disable
+  if (!init_interposer(kind)) return kExitError;
+  // Listing 2: the disable attempt. Under K23 this aborts (exit 134,
+  // mapped to Resilient by the parent).
+  ::syscall(SYS_prctl, 59 /*PR_SET_SYSCALL_USER_DISPATCH*/, 0 /*OFF*/, 0, 0,
+            0);
+  // Still alive: did interposition survive? Probe with a fresh JIT site
+  // (never seen before, so it must take the SUD path).
+  uint64_t traps_before = SudSession::trap_count();
+  uint8_t code[] = {0xb8, 0x27, 0x00, 0x00, 0x00, 0x0f, 0x05, 0xc3};
+  void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  std::memcpy(page, code, sizeof(code));
+  ::mprotect(page, 4096, PROT_READ | PROT_EXEC);
+  (void)reinterpret_cast<long (*)()>(page)();
+  return SudSession::trap_count() > traps_before ? kExitResilient
+                                                 : kExitAffected;
+}
+
+int poc_p2a(InterposerKind kind) {
+  if (!init_interposer(kind)) return kExitError;
+  // Dynamically generated code (JIT): exists only after init.
+  uint8_t code[] = {0xb8, 0x27, 0x00, 0x00, 0x00, 0x0f, 0x05, 0xc3};
+  void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  std::memcpy(page, code, sizeof(code));
+  ::mprotect(page, 4096, PROT_READ | PROT_EXEC);
+  const long expected = ::getpid();  // before the measurement window:
+  // under zpoline the libc calls above run through rewritten sites and
+  // would pollute a whole-block count.
+  auto& stats = Dispatcher::instance().stats();
+  const uint64_t before = stats.total();
+  long pid = reinterpret_cast<long (*)()>(page)();
+  const uint64_t after = stats.total();
+  if (pid != expected) return kExitError;
+  return after > before ? kExitResilient : kExitAffected;
+}
+
+int poc_p2b(InterposerKind kind, const std::string& helper_dir) {
+  if (is_k23(kind)) {
+    if (!capabilities().ptrace) return kExitSkipped;
+    const std::string clock_helper = helper_dir + "/helper_clock";
+    if (!file_exists(clock_helper)) return kExitSkipped;
+    Ptracer::Options options;
+    options.disable_vdso = true;
+    Ptracer tracer(options);
+    auto report = tracer.run({clock_helper});
+    if (!report.is_ok()) return kExitError;
+    // Resilient iff we saw the pre-main startup syscalls AND the vdso
+    // scrub turned clock_gettime into traceable syscalls.
+    const auto& counts = report.value().syscall_counts;
+    auto it = counts.find(SYS_clock_gettime);
+    const bool vdso_interposed = it != counts.end() && it->second >= 1000;
+    const bool startup_seen =
+        report.value().state.startup_syscall_count > 50;
+    return (vdso_interposed && startup_seen) ? kExitResilient
+                                             : kExitAffected;
+  }
+  // zpoline/lazypoline: in-process injection. Calls before init are
+  // uninterposable by construction; the observable probe is the vdso:
+  // clock_gettime under an armed interposer must appear in the stats.
+  if (!init_interposer(kind)) return kExitError;
+  auto& stats = Dispatcher::instance().stats();
+  uint64_t before = stats.by_nr(SYS_clock_gettime);
+  timespec ts{};
+  for (int i = 0; i < 100; ++i) (void)::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return stats.by_nr(SYS_clock_gettime) >= before + 100 ? kExitResilient
+                                                        : kExitAffected;
+}
+
+int poc_p3a(InterposerKind kind) {
+  // Embedded data in an executable region that byte-matches syscall.
+  // A zpoline-class static rewriter identifies it as a site and patches
+  // it; K23 only patches offline-validated sites; lazypoline does no
+  // static rewriting at all.
+  DataPage data = map_data_page();
+  if (data.page == nullptr) return kExitError;
+
+  if (is_zpoline(kind)) {
+    // What zpoline's load-time pass does once its scan (linear sweep
+    // desynced by the surrounding data, or byte scan) flags the bytes.
+    auto scanned = scan_buffer({data.page, 16}, data.fake_site(),
+                               ScanMode::kLinearSweep);
+    if (scanned.sites.empty()) return kExitError;
+    CodePatcher patcher(PatchMode::kSafe);
+    for (const auto& site : scanned.sites) {
+      (void)patcher.patch_site(site.address, /*force=*/false);
+    }
+    return data.intact() ? kExitResilient : kExitAffected;
+  }
+  if (!init_interposer(kind)) return kExitError;
+  // lazypoline / K23: no static pass runs; the data must stay intact
+  // as long as nothing executes it (that case is P3b).
+  return data.intact() ? kExitResilient : kExitAffected;
+}
+
+int poc_p3b(InterposerKind kind) {
+  if (!init_interposer(kind)) return kExitError;
+  DataPage data = map_data_page();
+  if (data.page == nullptr) return kExitError;
+  // Attacker-controlled control-flow redirection into the data.
+  long result = hijack_into(data.fake_site(), SYS_getpid);
+  (void)result;
+  // lazypoline's SUD handler rewrites the trapping "site" — corrupting
+  // what is actually application data. K23 dispatches without rewriting.
+  return data.intact() ? kExitResilient : kExitAffected;
+}
+
+int poc_p4a(InterposerKind kind) {
+  if (!init_interposer(kind)) return kExitError;
+  // A classic NULL-code-pointer bug. With the trampoline page mapped,
+  // variants without an entry check silently treat it as a syscall;
+  // variants with a check abort (exit 134 → Resilient via the parent).
+  long result = hijack_into(0, SYS_getpid);
+  (void)result;
+  return kExitAffected;  // survived: the bug was masked, not detected
+}
+
+int poc_p4b(InterposerKind kind) {
+  if (kind == InterposerKind::kLazypoline) {
+    return kExitNotApplicable;  // keeps no validity structure at all
+  }
+  if (!init_interposer(kind)) return kExitError;
+  uint64_t bytes = 0;
+  if (is_zpoline(kind)) {
+    bytes = ZpolineInterposer::bitmap_reserved_bytes();
+    if (kind == InterposerKind::kZpolineDefault) return kExitNotApplicable;
+  } else {
+    bytes = K23Interposer::entry_check_memory_bytes();
+    if (kind == InterposerKind::kK23Default) return kExitNotApplicable;
+  }
+  // "Negligible" per the paper: the RobinSet is a few KiB. The bitmap
+  // reserves user-VA/8 — terabytes of virtual address space.
+  return bytes <= (1 << 20) ? kExitResilient : kExitAffected;
+}
+
+int poc_p5(InterposerKind kind) {
+  // Observable P5 facet: page permissions across a runtime rewrite. The
+  // application maps rwx code (a JIT does); after the interposer touches
+  // the page, is the application's W still there?
+  if (!init_interposer(kind)) return kExitError;
+  void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE | PROT_EXEC,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (page == MAP_FAILED) return kExitError;
+  uint8_t code[] = {0xb8, 0x27, 0x00, 0x00, 0x00, 0x0f, 0x05, 0xc3};
+  std::memcpy(page, code, sizeof(code));
+
+  if (is_zpoline(kind) || is_k23(kind)) {
+    // Neither touches post-init JIT pages via rewriting; executing the
+    // site goes through SUD (K23) or uninstrumented (zpoline). Verify
+    // the page permissions are untouched afterwards.
+    (void)reinterpret_cast<long (*)()>(page)();
+  } else {
+    // lazypoline rewrites on first execution.
+    (void)reinterpret_cast<long (*)()>(page)();
+  }
+  // Is the page still writable?
+  pid_t probe = ::fork();
+  if (probe == 0) {
+    static_cast<volatile uint8_t*>(page)[128] = 0xcc;
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(probe, &status, 0);
+  const bool still_writable = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  return still_writable ? kExitResilient : kExitAffected;
+}
+
+int run_scenario(PitfallId id, InterposerKind kind,
+                 const std::string& helper_dir) {
+  switch (id) {
+    case PitfallId::kP1a: return poc_p1a(kind, helper_dir);
+    case PitfallId::kP1b: return poc_p1b(kind);
+    case PitfallId::kP2a: return poc_p2a(kind);
+    case PitfallId::kP2b: return poc_p2b(kind, helper_dir);
+    case PitfallId::kP3a: return poc_p3a(kind);
+    case PitfallId::kP3b: return poc_p3b(kind);
+    case PitfallId::kP4a: return poc_p4a(kind);
+    case PitfallId::kP4b: return poc_p4b(kind);
+    case PitfallId::kP5: return poc_p5(kind);
+  }
+  return kExitError;
+}
+
+}  // namespace
+
+const char* interposer_name(InterposerKind kind) {
+  switch (kind) {
+    case InterposerKind::kZpolineDefault: return "zpoline-default";
+    case InterposerKind::kZpolineUltra: return "zpoline-ultra";
+    case InterposerKind::kLazypoline: return "lazypoline";
+    case InterposerKind::kK23Default: return "K23-default";
+    case InterposerKind::kK23Ultra: return "K23-ultra";
+  }
+  return "?";
+}
+
+const char* pitfall_name(PitfallId id) {
+  switch (id) {
+    case PitfallId::kP1a: return "P1a interposition bypass (env)";
+    case PitfallId::kP1b: return "P1b interposition bypass (prctl)";
+    case PitfallId::kP2a: return "P2a syscall overlook (late code)";
+    case PitfallId::kP2b: return "P2b syscall overlook (startup/vdso)";
+    case PitfallId::kP3a: return "P3a misidentification (static)";
+    case PitfallId::kP3b: return "P3b misidentification (attack)";
+    case PitfallId::kP4a: return "P4a NULL-exec undetected";
+    case PitfallId::kP4b: return "P4b NULL-check memory overhead";
+    case PitfallId::kP5: return "P5  unsafe runtime rewriting";
+  }
+  return "?";
+}
+
+const char* verdict_symbol(PocVerdict verdict) {
+  switch (verdict) {
+    case PocVerdict::kResilient: return "YES";      // handled (✓)
+    case PocVerdict::kAffected: return "VULN";      // pitfall manifests (✗)
+    case PocVerdict::kNotApplicable: return "n/a";  // counts as ✓
+    case PocVerdict::kSkipped: return "skip";
+    case PocVerdict::kError: return "ERR";
+  }
+  return "?";
+}
+
+PocVerdict run_poc(PitfallId id, InterposerKind kind,
+                   const std::string& helper_dir) {
+  // Capability gates: every interposer needs VA-0; SUD-based ones need SUD.
+  if (!capabilities().mmap_va0) return PocVerdict::kSkipped;
+  if (!is_zpoline(kind) && !capabilities().sud) return PocVerdict::kSkipped;
+
+  const std::string helpers = resolve_helper_dir(helper_dir);
+  ::fflush(nullptr);
+  pid_t pid = ::fork();
+  if (pid < 0) return PocVerdict::kError;
+  if (pid == 0) ::_exit(run_scenario(id, kind, helpers));
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return PocVerdict::kError;
+  if (!WIFEXITED(status)) {
+    // A PoC child killed by a signal means the pitfall crashed it.
+    return PocVerdict::kAffected;
+  }
+  switch (WEXITSTATUS(status)) {
+    case kExitResilient: return PocVerdict::kResilient;
+    case kExitAffected: return PocVerdict::kAffected;
+    case kExitNotApplicable: return PocVerdict::kNotApplicable;
+    case kExitSkipped: return PocVerdict::kSkipped;
+    case kExitSecurityAbort: return PocVerdict::kResilient;  // attack stopped
+    default: return PocVerdict::kError;
+  }
+}
+
+}  // namespace k23

@@ -1,0 +1,64 @@
+// System Call Interposition Pitfalls — PoC library (paper §4, Table 3).
+//
+// Each PoC stages the pitfall scenario against a chosen interposer and
+// reports whether that interposer is Affected or Resilient. The verdicts
+// regenerate Table 3; the PoCs themselves are the paper's "targeted
+// Proof-of-Concept programs".
+//
+// Every PoC mutates process-global state (SUD, VA-0 trampoline, rewritten
+// code), so run_poc executes the scenario in a forked child and derives
+// the verdict from its exit status.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+
+namespace k23 {
+
+enum class InterposerKind {
+  kZpolineDefault,
+  kZpolineUltra,
+  kLazypoline,
+  kK23Default,
+  kK23Ultra,
+};
+
+enum class PitfallId {
+  kP1a,  // interposition bypass via environment clearing (LD_PRELOAD)
+  kP1b,  // interposition bypass via prctl(PR_SYS_DISPATCH_OFF)
+  kP2a,  // overlooked syscall sites (late/generated code)
+  kP2b,  // syscalls before library load + vdso calls
+  kP3a,  // static-disassembly misidentification (embedded data rewritten)
+  kP3b,  // attack-induced misidentification (executed data rewritten)
+  kP4a,  // NULL-code execution not detected
+  kP4b,  // NULL-exec check memory overhead
+  kP5,   // unsafe runtime rewriting (perms / atomicity / serialization)
+};
+
+enum class PocVerdict {
+  kResilient,      // pitfall handled (✓ in Table 3)
+  kAffected,       // pitfall manifests (✗ in Table 3)
+  kNotApplicable,  // mechanism not present (counts as ✓, per the paper)
+  kSkipped,        // environment lacks required capabilities
+  kError,          // PoC harness failure
+};
+
+const char* interposer_name(InterposerKind kind);
+const char* pitfall_name(PitfallId id);
+const char* verdict_symbol(PocVerdict verdict);  // "OK" / "VULN" / ...
+
+// Runs one PoC in a forked child. `helper_dir` locates the auxiliary
+// executables some PoCs exec (empty = $K23_HELPER_DIR or alongside
+// /proc/self/exe).
+PocVerdict run_poc(PitfallId id, InterposerKind kind,
+                   const std::string& helper_dir = "");
+
+// All pitfalls in Table 3 order.
+inline constexpr PitfallId kAllPitfalls[] = {
+    PitfallId::kP1a, PitfallId::kP1b, PitfallId::kP2a,
+    PitfallId::kP2b, PitfallId::kP3a, PitfallId::kP3b,
+    PitfallId::kP4a, PitfallId::kP4b, PitfallId::kP5,
+};
+
+}  // namespace k23

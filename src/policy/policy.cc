@@ -1,0 +1,131 @@
+#include "policy/policy.h"
+
+#include <sys/syscall.h>
+
+#include <cstring>
+
+namespace k23 {
+namespace {
+
+Policy* g_installed = nullptr;
+
+HookResult policy_hook(void* user, SyscallArgs& args, const HookContext&) {
+  return static_cast<Policy*>(user)->evaluate(args);
+}
+
+}  // namespace
+
+Policy& Policy::allow(long nr) {
+  rules_.push_back({nr, "", PolicyAction::kAllow, 0});
+  return *this;
+}
+
+Policy& Policy::deny(long nr, int errno_value) {
+  rules_.push_back({nr, "", PolicyAction::kDeny, errno_value});
+  return *this;
+}
+
+Policy& Policy::kill(long nr) {
+  rules_.push_back({nr, "", PolicyAction::kKill, 0});
+  return *this;
+}
+
+Policy& Policy::deny_path_prefix(long nr, std::string prefix,
+                                 int errno_value) {
+  rules_.push_back({nr, std::move(prefix), PolicyAction::kDeny,
+                    errno_value});
+  return *this;
+}
+
+Policy& Policy::allow_path_prefix(long nr, std::string prefix) {
+  rules_.push_back({nr, std::move(prefix), PolicyAction::kAllow, 0});
+  return *this;
+}
+
+Policy& Policy::default_action(PolicyAction action, int errno_value) {
+  default_ = action;
+  default_errno_ = errno_value;
+  return *this;
+}
+
+void Policy::build() { built_ = true; }
+
+// Path-carrying syscalls: which register holds the pathname.
+const char* Policy::path_argument(const SyscallArgs& args) {
+  switch (args.nr) {
+    case SYS_open:
+    case SYS_stat:
+    case SYS_lstat:
+    case SYS_access:
+    case SYS_chdir:
+    case SYS_mkdir:
+    case SYS_rmdir:
+    case SYS_unlink:
+    case SYS_readlink:
+    case SYS_chmod:
+    case SYS_truncate:
+    case SYS_execve:
+      return reinterpret_cast<const char*>(args.rdi);
+    case SYS_openat:
+    case SYS_newfstatat:
+    case SYS_unlinkat:
+    case SYS_mkdirat:
+    case SYS_readlinkat:
+    case SYS_fchmodat:
+    case SYS_faccessat:
+    case SYS_execveat:
+    case SYS_utimensat:
+      return reinterpret_cast<const char*>(args.rsi);
+    default:
+      return nullptr;
+  }
+}
+
+HookResult Policy::evaluate(const SyscallArgs& args) const {
+  for (const PolicyRule& rule : rules_) {
+    if (rule.nr != -1 && rule.nr != args.nr) continue;
+    if (!rule.path_prefix.empty()) {
+      const char* path = path_argument(args);
+      if (path == nullptr ||
+          std::strncmp(path, rule.path_prefix.c_str(),
+                       rule.path_prefix.size()) != 0) {
+        continue;
+      }
+    }
+    switch (rule.action) {
+      case PolicyAction::kAllow:
+        allowed_.fetch_add(1, std::memory_order_relaxed);
+        return HookResult::passthrough();
+      case PolicyAction::kDeny:
+        denied_.fetch_add(1, std::memory_order_relaxed);
+        return HookResult::replace(-rule.errno_value);
+      case PolicyAction::kKill:
+        security_abort("syscall policy: kill rule matched");
+    }
+  }
+  if (default_ == PolicyAction::kDeny) {
+    denied_.fetch_add(1, std::memory_order_relaxed);
+    return HookResult::replace(-default_errno_);
+  }
+  if (default_ == PolicyAction::kKill) {
+    security_abort("syscall policy: default kill");
+  }
+  allowed_.fetch_add(1, std::memory_order_relaxed);
+  return HookResult::passthrough();
+}
+
+Status Policy::install() {
+  if (!built_) return Status::fail("policy not built");
+  if (g_installed != nullptr) return Status::fail("a policy is installed");
+  g_installed = this;
+  Dispatcher::instance().set_hook(&policy_hook, this);
+  return Status::ok();
+}
+
+void Policy::uninstall() {
+  if (g_installed == nullptr) return;
+  Dispatcher::instance().clear_hook();
+  g_installed = nullptr;
+}
+
+}  // namespace k23

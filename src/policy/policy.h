@@ -1,0 +1,79 @@
+// Declarative syscall policies on top of the hook API.
+//
+// The paper motivates exhaustive interposition with sandboxing (§4.2);
+// this module is the sandbox half: an ordered rule list evaluated on
+// every dispatched system call. Rules match on syscall number and
+// (optionally) a path-prefix for path-carrying calls; actions allow,
+// deny with an errno, or kill the process. First match wins; the default
+// action applies when nothing matches.
+//
+// The evaluator is allocation-free after build() — it runs inside the
+// dispatch path, including the SIGSYS fallback.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "interpose/dispatch.h"
+
+namespace k23 {
+
+enum class PolicyAction : uint8_t {
+  kAllow,
+  kDeny,  // replace result with -errno_value
+  kKill,  // security_abort
+};
+
+struct PolicyRule {
+  long nr = -1;                 // -1 = any syscall
+  std::string path_prefix;      // empty = any path / non-path syscall
+  PolicyAction action = PolicyAction::kAllow;
+  int errno_value = EPERM;      // for kDeny
+};
+
+class Policy {
+ public:
+  // Rule-building helpers (ordered; first match wins).
+  Policy& allow(long nr);
+  Policy& deny(long nr, int errno_value = EPERM);
+  Policy& kill(long nr);
+  // Path rules apply to syscalls whose signature carries a path
+  // (open/openat/stat/unlink/execve/...); the prefix matches the
+  // NUL-terminated string argument.
+  Policy& deny_path_prefix(long nr, std::string prefix,
+                           int errno_value = EACCES);
+  Policy& allow_path_prefix(long nr, std::string prefix);
+
+  Policy& default_action(PolicyAction action, int errno_value = EPERM);
+
+  // Freezes the rule list for evaluation.
+  void build();
+  bool built() const { return built_; }
+
+  // Evaluates one call. Exposed for tests; install() wires it into the
+  // dispatcher.
+  HookResult evaluate(const SyscallArgs& args) const;
+
+  // Installs this policy as the process-wide hook. The policy object
+  // must outlive the installation.
+  Status install();
+  static void uninstall();
+
+  // Decision counters.
+  uint64_t allowed() const { return allowed_; }
+  uint64_t denied() const { return denied_; }
+
+ private:
+  static const char* path_argument(const SyscallArgs& args);
+
+  std::vector<PolicyRule> rules_;
+  PolicyAction default_ = PolicyAction::kAllow;
+  int default_errno_ = EPERM;
+  bool built_ = false;
+  mutable std::atomic<uint64_t> allowed_{0};
+  mutable std::atomic<uint64_t> denied_{0};
+};
+
+}  // namespace k23

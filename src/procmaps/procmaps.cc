@@ -1,0 +1,179 @@
+#include "procmaps/procmaps.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <string_view>
+
+#include "common/files.h"
+#include "common/strings.h"
+
+namespace k23 {
+
+std::optional<MemoryRegion> parse_maps_line(std::string_view line) {
+  // Format: start-end perms offset dev inode [pathname]
+  auto fields = split_whitespace(line);
+  if (fields.size() < 5) return std::nullopt;
+
+  auto dash = fields[0].find('-');
+  if (dash == std::string_view::npos) return std::nullopt;
+  auto start = parse_u64(fields[0].substr(0, dash), 16);
+  auto end = parse_u64(fields[0].substr(dash + 1), 16);
+  if (!start || !end || *end < *start) return std::nullopt;
+
+  std::string_view perms = fields[1];
+  if (perms.size() < 4) return std::nullopt;
+
+  auto offset = parse_u64(fields[2], 16);
+  if (!offset) return std::nullopt;
+
+  MemoryRegion r;
+  r.start = *start;
+  r.end = *end;
+  r.readable = perms[0] == 'r';
+  r.writable = perms[1] == 'w';
+  r.executable = perms[2] == 'x';
+  r.shared = perms[3] == 's';
+  r.file_offset = *offset;
+  if (fields.size() >= 6) {
+    // Pathnames may contain spaces; take everything from field 6 on.
+    const char* path_begin = fields[5].data();
+    const char* line_end = line.data() + line.size();
+    r.pathname.assign(path_begin, line_end - path_begin);
+  }
+  return r;
+}
+
+Result<ProcessMaps> ProcessMaps::parse(const std::string& contents) {
+  ProcessMaps maps;
+  for (std::string_view line : split(contents, '\n')) {
+    if (trim(line).empty()) continue;
+    auto region = parse_maps_line(line);
+    if (!region) return Status::fail("malformed maps line");
+    maps.regions_.push_back(std::move(*region));
+  }
+  return maps;
+}
+
+Result<ProcessMaps> ProcessMaps::snapshot(pid_t pid) {
+  std::string path = pid == 0 ? "/proc/self/maps"
+                              : "/proc/" + std::to_string(pid) + "/maps";
+  auto contents = read_file(path);
+  if (!contents.is_ok()) return contents.error();
+  return parse(contents.value());
+}
+
+const MemoryRegion* ProcessMaps::find(uint64_t address) const {
+  for (const auto& r : regions_) {
+    if (r.contains(address)) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<MemoryRegion> ProcessMaps::executable_regions(
+    bool file_backed_only) const {
+  std::vector<MemoryRegion> out;
+  for (const auto& r : regions_) {
+    if (!r.executable) continue;
+    if (file_backed_only && !r.is_file_backed()) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+const MemoryRegion* ProcessMaps::find_by_path_suffix(
+    const std::string& suffix) const {
+  for (const auto& r : regions_) {
+    if (ends_with(r.pathname, suffix)) return &r;
+  }
+  return nullptr;
+}
+
+std::optional<uint64_t> ProcessMaps::file_offset_of(uint64_t address) const {
+  const MemoryRegion* r = find(address);
+  if (r == nullptr) return std::nullopt;
+  return r->file_offset + (address - r->start);
+}
+
+std::optional<uint64_t> ProcessMaps::address_of(const std::string& pathname,
+                                                uint64_t file_offset) const {
+  for (const auto& r : regions_) {
+    if (r.pathname != pathname) continue;
+    if (file_offset >= r.file_offset &&
+        file_offset < r.file_offset + r.size()) {
+      return r.start + (file_offset - r.file_offset);
+    }
+  }
+  return std::nullopt;
+}
+
+int query_address_prot_noalloc(uint64_t address) {
+  int fd = ::open("/proc/self/maps", O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return -1;
+
+  char buf[4096];
+  char line[512];
+  size_t line_len = 0;
+  int result = -1;
+  bool done = false;
+  while (!done) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n && !done; ++i) {
+      const char c = buf[i];
+      if (c != '\n') {
+        if (line_len < sizeof(line) - 1) line[line_len++] = c;
+        continue;
+      }
+      line[line_len] = '\0';
+      // Parse "start-end perms ..." with no library calls.
+      uint64_t start = 0, end = 0;
+      size_t pos = 0;
+      auto hex = [&](uint64_t* out) {
+        uint64_t v = 0;
+        bool any = false;
+        while (pos < line_len) {
+          const char h = line[pos];
+          int digit;
+          if (h >= '0' && h <= '9') {
+            digit = h - '0';
+          } else if (h >= 'a' && h <= 'f') {
+            digit = h - 'a' + 10;
+          } else {
+            break;
+          }
+          v = (v << 4) | static_cast<uint64_t>(digit);
+          any = true;
+          ++pos;
+        }
+        *out = v;
+        return any;
+      };
+      if (hex(&start) && pos < line_len && line[pos] == '-') {
+        ++pos;
+        if (hex(&end) && address >= start && address < end &&
+            pos + 4 < line_len && line[pos] == ' ') {
+          int prot = 0;
+          if (line[pos + 1] == 'r') prot |= PROT_READ;
+          if (line[pos + 2] == 'w') prot |= PROT_WRITE;
+          if (line[pos + 3] == 'x') prot |= PROT_EXEC;
+          result = prot;
+          done = true;
+        }
+      }
+      line_len = 0;
+    }
+  }
+  ::close(fd);
+  return result;
+}
+
+const MemoryRegion* ProcessMaps::vdso() const {
+  for (const auto& r : regions_) {
+    if (r.pathname == "[vdso]") return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace k23

@@ -1,0 +1,86 @@
+// /proc/<pid>/maps parsing and memory-region queries.
+//
+// The offline phase resolves each trapping syscall instruction to a
+// (region pathname, offset) pair so logs stay valid across ASLR (paper
+// §5.1); the online phase maps logged pairs back to live addresses.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace k23 {
+
+struct MemoryRegion {
+  uint64_t start = 0;
+  uint64_t end = 0;
+  bool readable = false;
+  bool writable = false;
+  bool executable = false;
+  bool shared = false;     // 's' flag (vs 'p' private)
+  uint64_t file_offset = 0;
+  std::string pathname;    // empty for anonymous mappings
+
+  uint64_t size() const { return end - start; }
+  bool contains(uint64_t address) const {
+    return address >= start && address < end;
+  }
+  bool is_file_backed() const {
+    return !pathname.empty() && pathname[0] == '/';
+  }
+  // Special kernel-provided regions ([vdso], [vvar], [stack], ...).
+  bool is_special() const {
+    return !pathname.empty() && pathname[0] == '[';
+  }
+};
+
+class ProcessMaps {
+ public:
+  // Snapshots /proc/<pid>/maps (pid 0 = self).
+  static Result<ProcessMaps> snapshot(pid_t pid = 0);
+  // Parses maps-format text directly (testing, post-mortem analysis).
+  static Result<ProcessMaps> parse(const std::string& contents);
+
+  const std::vector<MemoryRegion>& regions() const { return regions_; }
+
+  // Region containing `address`, or nullptr.
+  const MemoryRegion* find(uint64_t address) const;
+
+  // Executable regions, optionally restricted to file-backed ones
+  // (the offline phase only trusts "expected executable and non-writable
+  // regions" — paper §5.1).
+  std::vector<MemoryRegion> executable_regions(bool file_backed_only) const;
+
+  // First region whose pathname ends with `suffix` (e.g. "libc.so.6").
+  const MemoryRegion* find_by_path_suffix(const std::string& suffix) const;
+
+  // The lowest-addressed region of the file containing `address`
+  // (a library maps as several regions; offsets in offline logs are
+  // file offsets, computed via region file_offset + delta).
+  std::optional<uint64_t> file_offset_of(uint64_t address) const;
+
+  // Inverse: live virtual address of (pathname, file_offset), or nullopt.
+  std::optional<uint64_t> address_of(const std::string& pathname,
+                                     uint64_t file_offset) const;
+
+  const MemoryRegion* vdso() const;
+
+ private:
+  std::vector<MemoryRegion> regions_;
+};
+
+// Parses one maps line; exposed for fuzz-style tests.
+std::optional<MemoryRegion> parse_maps_line(std::string_view line);
+
+// Async-signal-safe protection query: parses /proc/self/maps with fixed
+// buffers (no allocation — callable from the SIGSYS handler) and returns
+// the PROT_* bitmask of the region containing `address`, or -1 if the
+// address is unmapped / the query failed.
+int query_address_prot_noalloc(uint64_t address);
+
+}  // namespace k23

@@ -1,0 +1,426 @@
+#include "ptracer/ptracer.h"
+
+#include <elf.h>
+#include <signal.h>
+#include <sys/ptrace.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <sys/user.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "arch/raw_syscall.h"
+#include "arch/regs.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace k23 {
+namespace {
+
+constexpr int kSyscallStopSig = SIGTRAP | 0x80;
+
+Status getregs(pid_t pid, user_regs_struct* regs) {
+  if (::ptrace(PTRACE_GETREGS, pid, nullptr, regs) != 0) {
+    return Status::from_errno("PTRACE_GETREGS");
+  }
+  return Status::ok();
+}
+
+Status setregs(pid_t pid, const user_regs_struct& regs) {
+  if (::ptrace(PTRACE_SETREGS, pid, nullptr, &regs) != 0) {
+    return Status::from_errno("PTRACE_SETREGS");
+  }
+  return Status::ok();
+}
+
+// Reads the NULL-terminated pointer array at `address` (envp/argv style).
+Result<std::vector<uint64_t>> read_pointer_array(pid_t pid,
+                                                 uint64_t address) {
+  std::vector<uint64_t> out;
+  constexpr size_t kMaxEntries = 4096;
+  while (out.size() < kMaxEntries) {
+    auto bytes = read_tracee_memory(pid, address + out.size() * 8, 8);
+    if (!bytes.is_ok()) return bytes.error();
+    uint64_t value;
+    std::memcpy(&value, bytes.value().data(), 8);
+    if (value == 0) return out;
+    out.push_back(value);
+  }
+  return Status::fail("unterminated pointer array in tracee");
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> read_tracee_memory(pid_t pid, uint64_t address,
+                                                size_t length) {
+  std::vector<uint8_t> buffer(length);
+  iovec local{buffer.data(), length};
+  iovec remote{reinterpret_cast<void*>(address), length};
+  ssize_t n = ::process_vm_readv(pid, &local, 1, &remote, 1, 0);
+  if (n < 0) return Result<std::vector<uint8_t>>::from_errno("process_vm_readv");
+  buffer.resize(static_cast<size_t>(n));
+  return buffer;
+}
+
+Status write_tracee_memory(pid_t pid, uint64_t address, const void* data,
+                           size_t length) {
+  iovec local{const_cast<void*>(data), length};
+  iovec remote{reinterpret_cast<void*>(address), length};
+  ssize_t n = ::process_vm_writev(pid, &local, 1, &remote, 1, 0);
+  if (n < 0 || static_cast<size_t>(n) != length) {
+    return Status::from_errno("process_vm_writev");
+  }
+  return Status::ok();
+}
+
+Result<std::string> read_tracee_cstring(pid_t pid, uint64_t address,
+                                        size_t max_length) {
+  std::string out;
+  while (out.size() < max_length) {
+    const size_t chunk = std::min<size_t>(256, max_length - out.size());
+    auto bytes = read_tracee_memory(pid, address + out.size(), chunk);
+    if (!bytes.is_ok()) return bytes.error();
+    for (uint8_t b : bytes.value()) {
+      if (b == 0) return out;
+      out.push_back(static_cast<char>(b));
+    }
+    if (bytes.value().size() < chunk) break;
+  }
+  return Status::fail("unterminated string in tracee");
+}
+
+namespace {
+
+// The tracer proper: one instance per traced child.
+class TraceLoop {
+ public:
+  TraceLoop(const Ptracer::Options& options, pid_t pid)
+      : options_(options), pid_(pid) {}
+
+  Result<TraceReport> run() {
+    report_.pid = pid_;
+    const long opts = PTRACE_O_TRACESYSGOOD | PTRACE_O_TRACEEXEC;
+    if (::ptrace(PTRACE_SETOPTIONS, pid_, nullptr, opts) != 0) {
+      return Result<TraceReport>::from_errno("PTRACE_SETOPTIONS");
+    }
+    if (::ptrace(PTRACE_SYSCALL, pid_, nullptr, 0) != 0) {
+      return Result<TraceReport>::from_errno("PTRACE_SYSCALL");
+    }
+    while (true) {
+      int status = 0;
+      if (::waitpid(pid_, &status, 0) != pid_) {
+        return Result<TraceReport>::from_errno("waitpid");
+      }
+      if (WIFEXITED(status)) {
+        report_.exit_code = WEXITSTATUS(status);
+        return report_;
+      }
+      if (WIFSIGNALED(status)) {
+        report_.term_signal = WTERMSIG(status);
+        return report_;
+      }
+      int forward_signal = 0;
+      if (WIFSTOPPED(status)) {
+        const int sig = WSTOPSIG(status);
+        if (sig == kSyscallStopSig) {
+          Status st = in_syscall_ ? on_syscall_exit() : on_syscall_entry();
+          in_syscall_ = !in_syscall_;
+          if (!st.is_ok()) return st.error();
+          if (detach_requested_ && !in_syscall_) {
+            // Exit-stop of the detach fake syscall just completed.
+            if (::ptrace(PTRACE_DETACH, pid_, nullptr, 0) != 0) {
+              return Result<TraceReport>::from_errno("PTRACE_DETACH");
+            }
+            report_.detached = true;
+            return report_;
+          }
+        } else if (status >> 8 == (SIGTRAP | (PTRACE_EVENT_EXEC << 8))) {
+          report_.state.execve_count++;
+          if (options_.disable_vdso) scrub_vdso_from_auxv();
+        } else if (sig != SIGTRAP) {
+          forward_signal = sig;  // deliver the application's own signal
+        }
+      }
+      if (::ptrace(PTRACE_SYSCALL, pid_, nullptr, forward_signal) != 0) {
+        return Result<TraceReport>::from_errno("PTRACE_SYSCALL resume");
+      }
+    }
+  }
+
+ private:
+  Status on_syscall_entry() {
+    user_regs_struct regs{};
+    K23_RETURN_IF_ERROR(getregs(pid_, &regs));
+    const long nr = static_cast<long>(regs.orig_rax);
+    report_.state.startup_syscall_count++;
+    report_.syscall_counts[nr]++;
+
+    if ((nr == SYS_execve || nr == SYS_execveat) &&
+        !options_.preload_library.empty()) {
+      enforce_ld_preload(regs, nr == SYS_execveat);
+    }
+
+    if (options_.allow_handoff && nr == kFakeSyscallStateHandoff) {
+      return begin_handoff(regs);
+    }
+    if (options_.allow_handoff && nr == kFakeSyscallDetach) {
+      if (verify_origin(regs)) {
+        detach_requested_ = true;
+        pending_result_ = 0;
+        has_pending_result_ = true;
+      }
+      return Status::ok();
+    }
+
+    if (options_.hooks.on_syscall != nullptr) {
+      SyscallArgs args = syscall_args_from_ptrace(regs);
+      HookContext ctx;
+      ctx.site_address = regs.rip - kSyscallInsnLen;
+      ctx.return_address = regs.rip;
+      ctx.path = EntryPath::kPtrace;
+      ctx.pid = pid_;
+      HookResult result =
+          options_.hooks.on_syscall(options_.hooks.user, args, ctx);
+      if (result.decision == HookDecision::kReplace) {
+        // Skip the syscall: invalid number -> kernel returns ENOSYS,
+        // which we overwrite with the hook's value at exit-stop.
+        regs.orig_rax = static_cast<unsigned long long>(-1);
+        K23_RETURN_IF_ERROR(setregs(pid_, regs));
+        pending_result_ = result.value;
+        has_pending_result_ = true;
+      } else {
+        // Propagate in-place argument modifications (if any).
+        user_regs_struct modified = regs;
+        modified.orig_rax = static_cast<unsigned long long>(args.nr);
+        modified.rdi = static_cast<unsigned long long>(args.rdi);
+        modified.rsi = static_cast<unsigned long long>(args.rsi);
+        modified.rdx = static_cast<unsigned long long>(args.rdx);
+        modified.r10 = static_cast<unsigned long long>(args.r10);
+        modified.r8 = static_cast<unsigned long long>(args.r8);
+        modified.r9 = static_cast<unsigned long long>(args.r9);
+        if (std::memcmp(&modified, &regs, sizeof(regs)) != 0) {
+          K23_RETURN_IF_ERROR(setregs(pid_, modified));
+        }
+      }
+    }
+    return Status::ok();
+  }
+
+  Status on_syscall_exit() {
+    if (!has_pending_result_) return Status::ok();
+    has_pending_result_ = false;
+    user_regs_struct regs{};
+    K23_RETURN_IF_ERROR(getregs(pid_, &regs));
+    regs.rax = static_cast<unsigned long long>(pending_result_);
+    return setregs(pid_, regs);
+  }
+
+  // Fake syscall ABI (paper §5.3): rdi = tracee buffer for the handoff
+  // state, rsi = buffer length, rdx/r10 = caller text range for origin
+  // verification (libK23 passes its own mapping bounds).
+  bool verify_origin(const user_regs_struct& regs) const {
+    if (!options_.verify_handoff_origin) return true;
+    const uint64_t lo = regs.rdx;
+    const uint64_t hi = regs.r10;
+    const uint64_t site = regs.rip - kSyscallInsnLen;
+    if (lo == 0 || hi <= lo) return false;
+    const bool ok = site >= lo && site < hi;
+    if (!ok) {
+      K23_LOG(kWarn) << "rejecting fake syscall from unexpected site "
+                     << to_hex(site) << " (expected [" << to_hex(lo) << ", "
+                     << to_hex(hi) << "))";
+    }
+    return ok;
+  }
+
+  Status begin_handoff(const user_regs_struct& regs) {
+    if (!verify_origin(regs)) return Status::ok();  // ENOSYS tells the story
+    PtracerHandoffState state = report_.state;
+    const uint64_t buffer = regs.rdi;
+    const uint64_t length = regs.rsi;
+    if (buffer != 0 && length >= sizeof(state)) {
+      Status st = write_tracee_memory(pid_, buffer, &state, sizeof(state));
+      if (!st.is_ok()) return st;
+      pending_result_ = 0;
+    } else {
+      pending_result_ = -EINVAL;
+    }
+    has_pending_result_ = true;
+    return Status::ok();
+  }
+
+  // Rewrites the execve envp so LD_PRELOAD contains the interposition
+  // library. New strings + array live in dead stack space well below the
+  // tracee's rsp (execve replaces the image on success; on failure the
+  // area below rsp minus the red zone is scratch anyway).
+  void enforce_ld_preload(user_regs_struct regs, bool is_execveat) {
+    const int env_reg_is_r10 = is_execveat ? 1 : 0;
+    const uint64_t envp_addr = env_reg_is_r10 ? regs.r10 : regs.rdx;
+    EnvBlock block;
+    if (envp_addr != 0) {
+      auto pointers = read_pointer_array(pid_, envp_addr);
+      if (!pointers.is_ok()) return;
+      for (uint64_t p : pointers.value()) {
+        auto entry = read_tracee_cstring(pid_, p);
+        if (!entry.is_ok()) return;
+        // Re-parse NAME=value through EnvBlock for dedup semantics.
+        auto eq = entry.value().find('=');
+        if (eq == std::string::npos) continue;
+        block.set(std::string_view(entry.value()).substr(0, eq),
+                  std::string_view(entry.value()).substr(eq + 1));
+      }
+    }
+    if (!block.ensure_ld_preload(options_.preload_library)) {
+      return;  // already present (P1a not attempted)
+    }
+    report_.state.env_rewrites++;
+
+    // Serialize the new environment: [pointer array][string pool].
+    const auto& entries = block.entries();
+    std::vector<uint8_t> blob;
+    const size_t array_bytes = (entries.size() + 1) * 8;
+    std::vector<uint64_t> offsets;
+    offsets.reserve(entries.size());
+    size_t cursor = array_bytes;
+    for (const auto& entry : entries) {
+      offsets.push_back(cursor);
+      cursor += entry.size() + 1;
+    }
+    blob.resize(cursor);
+
+    const uint64_t base = (regs.rsp - 64 * 1024 - blob.size()) & ~uint64_t{15};
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const uint64_t ptr = base + offsets[i];
+      std::memcpy(blob.data() + i * 8, &ptr, 8);
+      std::memcpy(blob.data() + offsets[i], entries[i].c_str(),
+                  entries[i].size() + 1);
+    }
+    std::memset(blob.data() + entries.size() * 8, 0, 8);  // NULL terminator
+
+    if (!write_tracee_memory(pid_, base, blob.data(), blob.size()).is_ok()) {
+      K23_LOG(kWarn) << "LD_PRELOAD enforcement: tracee stack write failed";
+      report_.state.env_rewrites--;
+      return;
+    }
+    if (env_reg_is_r10) {
+      regs.r10 = base;
+    } else {
+      regs.rdx = base;
+    }
+    (void)setregs(pid_, regs);
+  }
+
+  // After PTRACE_EVENT_EXEC the new image's stack is live but nothing has
+  // run: rsp -> argc, argv..., NULL, envp..., NULL, auxv. Rewriting
+  // AT_SYSINFO_EHDR to AT_IGNORE prevents ld.so/libc from ever finding
+  // the vdso, so clock_gettime/getcpu/... issue real syscalls (P2b).
+  void scrub_vdso_from_auxv() {
+    user_regs_struct regs{};
+    if (!getregs(pid_, &regs).is_ok()) return;
+    uint64_t cursor = regs.rsp;
+    auto argc_mem = read_tracee_memory(pid_, cursor, 8);
+    if (!argc_mem.is_ok()) return;
+    uint64_t argc;
+    std::memcpy(&argc, argc_mem.value().data(), 8);
+    if (argc > 1 << 20) return;  // sanity
+    cursor += 8 + (argc + 1) * 8;  // argc + argv[] + NULL
+
+    // Skip environment pointers.
+    auto env = read_pointer_array(pid_, cursor);
+    if (!env.is_ok()) return;
+    cursor += (env.value().size() + 1) * 8;
+
+    // Walk auxv entries.
+    for (int i = 0; i < 512; ++i) {
+      auto pair = read_tracee_memory(pid_, cursor, 16);
+      if (!pair.is_ok() || pair.value().size() != 16) return;
+      uint64_t type;
+      std::memcpy(&type, pair.value().data(), 8);
+      if (type == AT_NULL) return;
+      if (type == AT_SYSINFO_EHDR) {
+        const uint64_t ignore = AT_IGNORE;
+        if (write_tracee_memory(pid_, cursor, &ignore, 8).is_ok()) {
+          report_.state.vdso_scrubs++;
+        }
+        return;
+      }
+      cursor += 16;
+    }
+  }
+
+  const Ptracer::Options& options_;
+  pid_t pid_;
+  TraceReport report_;
+  bool in_syscall_ = false;
+  bool detach_requested_ = false;
+  bool has_pending_result_ = false;
+  long pending_result_ = 0;
+};
+
+}  // namespace
+
+Result<TraceReport> Ptracer::run(const std::vector<std::string>& argv,
+                                 const std::vector<std::string>* env) {
+  if (argv.empty()) return Status::fail("empty argv");
+
+  std::vector<char*> argv_ptrs;
+  std::vector<std::string> argv_copy = argv;
+  for (auto& a : argv_copy) argv_ptrs.push_back(a.data());
+  argv_ptrs.push_back(nullptr);
+
+  EnvBlock block = env != nullptr
+                       ? [&] {
+                           EnvBlock b;
+                           for (const auto& e : *env) {
+                             auto eq = e.find('=');
+                             if (eq != std::string::npos) {
+                               b.set(std::string_view(e).substr(0, eq),
+                                     std::string_view(e).substr(eq + 1));
+                             }
+                           }
+                           return b;
+                         }()
+                       : EnvBlock::from_current();
+  // The initial exec is enforced tracer-side too, but setting it here
+  // avoids one env rewrite round-trip.
+  if (!options_.preload_library.empty()) {
+    block.ensure_ld_preload(options_.preload_library);
+  }
+  std::vector<char*> env_ptrs = block.as_envp();
+
+  ::fflush(nullptr);
+  pid_t pid = ::fork();
+  if (pid < 0) return Result<TraceReport>::from_errno("fork");
+  if (pid == 0) {
+    if (::ptrace(PTRACE_TRACEME, 0, nullptr, nullptr) != 0) ::_exit(127);
+    // Stop so the tracer can set options before execve runs.
+    ::raise(SIGSTOP);
+    ::execve(argv_ptrs[0], argv_ptrs.data(), env_ptrs.data());
+    ::_exit(127);
+  }
+
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid || !WIFSTOPPED(status)) {
+    return Status::fail("tracee failed to stop at startup");
+  }
+  TraceLoop loop(options_, pid);
+  return loop.run();
+}
+
+Result<TraceReport> Ptracer::attach_and_run(pid_t pid) {
+  if (::ptrace(PTRACE_ATTACH, pid, nullptr, nullptr) != 0) {
+    return Result<TraceReport>::from_errno("PTRACE_ATTACH");
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid || !WIFSTOPPED(status)) {
+    return Status::fail("attach: tracee failed to stop");
+  }
+  TraceLoop loop(options_, pid);
+  return loop.run();
+}
+
+}  // namespace k23

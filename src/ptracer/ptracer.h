@@ -1,0 +1,98 @@
+// Cross-process syscall interposition via ptrace (paper §5.2–5.3).
+//
+// ptrace is the only stock-kernel mechanism that observes a process "from
+// the very first instruction" — before any library (including an
+// interposer injected with LD_PRELOAD) has loaded. K23 uses it exactly for
+// that startup window (P2b), then hands off to the in-process libK23:
+//
+//   1. fork + PTRACE_TRACEME + execve the target;
+//   2. syscall-stop loop: every syscall is funneled to the hook;
+//   3. execve entry: rewrite the tracee's envp so LD_PRELOAD always
+//      contains the interposition library (P1a defense);
+//   4. execve exit: scrub AT_SYSINFO_EHDR from the fresh auxv so the
+//      program never binds vdso fast paths (all "vdso" calls become real
+//      syscalls and stay interposable — P2b);
+//   5. fake syscall kFakeSyscallStateHandoff: copy accumulated state into
+//      the tracee buffer (process_vm_writev);
+//   6. fake syscall kFakeSyscallDetach: PTRACE_DETACH, wait for exit.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "interpose/dispatch.h"
+
+namespace k23 {
+
+// State handed to libK23 at detach (written into the tracee's buffer).
+// Layout is part of the handoff ABI; keep it POD and versioned.
+struct PtracerHandoffState {
+  uint32_t version = 1;
+  uint32_t reserved = 0;
+  uint64_t startup_syscall_count = 0;  // syscalls seen before handoff
+  uint64_t execve_count = 0;           // execs traced (incl. initial)
+  uint64_t env_rewrites = 0;           // LD_PRELOAD enforcement actions
+  uint64_t vdso_scrubs = 0;            // auxv AT_SYSINFO_EHDR removals
+};
+
+struct TraceReport {
+  bool detached = false;   // handoff path (vs traced to exit)
+  int exit_code = -1;      // valid when !detached and the tracee exited
+  int term_signal = 0;
+  PtracerHandoffState state;
+  std::map<long, uint64_t> syscall_counts;  // nr -> count while attached
+  pid_t pid = -1;
+};
+
+// Tracer-side hook: observes (and may modify) each syscall at entry-stop.
+// Return kReplace to skip the syscall and force `value` as its result.
+struct PtracerHooks {
+  SyscallHookFn on_syscall = nullptr;
+  void* user = nullptr;
+};
+
+class Ptracer {
+ public:
+  struct Options {
+    // Library path enforced into LD_PRELOAD on every execve (empty = off).
+    std::string preload_library;
+    // Scrub vdso from the auxv of each exec'd image.
+    bool disable_vdso = true;
+    // Honor the fake-syscall handoff/detach protocol.
+    bool allow_handoff = true;
+    // Verify fake syscalls originate from the expected library (the
+    // tracee passes its address range; spoofed callers are rejected).
+    bool verify_handoff_origin = true;
+    PtracerHooks hooks;
+  };
+
+  explicit Ptracer(Options options) : options_(std::move(options)) {}
+
+  // Launches argv[0] under trace with the given env (nullptr = inherit)
+  // and runs the interposition loop until the tracee exits or detaches.
+  Result<TraceReport> run(const std::vector<std::string>& argv,
+                          const std::vector<std::string>* env = nullptr);
+
+  // Attaches to an already-running process (the execve re-attach flow;
+  // paper §5.3) and traces until it exits or requests detach.
+  Result<TraceReport> attach_and_run(pid_t pid);
+
+ private:
+  Options options_;
+};
+
+// --- tracee memory access helpers (exposed for tests) ----------------------
+
+Result<std::vector<uint8_t>> read_tracee_memory(pid_t pid, uint64_t address,
+                                                size_t length);
+Status write_tracee_memory(pid_t pid, uint64_t address,
+                           const void* data, size_t length);
+Result<std::string> read_tracee_cstring(pid_t pid, uint64_t address,
+                                        size_t max_length = 4096);
+
+}  // namespace k23

@@ -1,0 +1,26 @@
+#include "rewrite/nopatch.h"
+
+extern "C" {
+// Provided by the linker for any section whose name is a valid C
+// identifier; weak so images without the section still link.
+extern char __start_k23_nopatch[] __attribute__((weak));
+extern char __stop_k23_nopatch[] __attribute__((weak));
+}
+
+namespace k23 {
+
+uint64_t nopatch_begin() {
+  return reinterpret_cast<uint64_t>(__start_k23_nopatch);
+}
+
+uint64_t nopatch_end() {
+  return reinterpret_cast<uint64_t>(__stop_k23_nopatch);
+}
+
+bool in_nopatch_section(uint64_t address) {
+  const uint64_t lo = nopatch_begin();
+  const uint64_t hi = nopatch_end();
+  return lo != 0 && address >= lo && address < hi;
+}
+
+}  // namespace k23

@@ -1,0 +1,23 @@
+// The k23_nopatch section: code that must never be rewritten.
+//
+// The interposers' final passthrough primitives (`syscall; ret` thunk,
+// sigreturn thunk, SUD gadget template) live in a dedicated linker section.
+// If a whole-image rewriter patched *them*, the passthrough would recurse
+// into the trampoline forever. The real zpoline avoids this with dlmopen
+// namespace isolation; for a statically linked interposer the section
+// exclusion is the equivalent mechanism (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+namespace k23 {
+
+// True if `address` falls inside the k23_nopatch section of this image.
+bool in_nopatch_section(uint64_t address);
+
+// Section bounds (0,0 when the section is absent) — also the "caller text
+// range" libK23 passes to ptracer for fake-syscall origin verification.
+uint64_t nopatch_begin();
+uint64_t nopatch_end();
+
+}  // namespace k23

@@ -1,0 +1,251 @@
+#include "rewrite/patcher.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "arch/raw_syscall.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "procmaps/procmaps.h"
+
+namespace k23 {
+namespace {
+
+constexpr uint64_t kPageMask = ~uint64_t{0xfff};
+
+uint64_t page_of(uint64_t address) { return address & kPageMask; }
+
+int prot_of(const MemoryRegion& region) {
+  int prot = 0;
+  if (region.readable) prot |= PROT_READ;
+  if (region.writable) prot |= PROT_WRITE;
+  if (region.executable) prot |= PROT_EXEC;
+  return prot;
+}
+
+// RAII: makes the page span [start, end) writable+executable, restoring
+// each page's *original* region permissions on destruction (safe mode) or
+// blindly forcing r-x (unsafe lazypoline mode — loses XOM, W^X custom
+// perms, and everything else the application had set up).
+class PagePermissionGuard {
+ public:
+  static Result<PagePermissionGuard> acquire(uint64_t first_page,
+                                             uint64_t last_page,
+                                             PatchMode mode) {
+    PagePermissionGuard guard;
+    guard.first_page_ = first_page;
+    guard.length_ = last_page - first_page + 0x1000;
+    guard.mode_ = mode;
+
+    if (mode == PatchMode::kSafe) {
+      // Save exact prior permissions per page (regions may differ).
+      auto maps = ProcessMaps::snapshot();
+      if (!maps.is_ok()) return maps.error();
+      for (uint64_t page = first_page; page <= last_page; page += 0x1000) {
+        const MemoryRegion* region = maps.value().find(page);
+        if (region == nullptr) {
+          return Status::fail("patch target page not mapped");
+        }
+        guard.saved_.push_back({page, prot_of(*region)});
+      }
+    }
+    if (::mprotect(reinterpret_cast<void*>(first_page), guard.length_,
+                   PROT_READ | PROT_WRITE | PROT_EXEC) != 0) {
+      return Status::from_errno("mprotect writable");
+    }
+    guard.active_ = true;
+    return guard;
+  }
+
+  PagePermissionGuard(PagePermissionGuard&& other) noexcept { *this = std::move(other); }
+  PagePermissionGuard& operator=(PagePermissionGuard&& other) noexcept {
+    release();
+    first_page_ = other.first_page_;
+    length_ = other.length_;
+    mode_ = other.mode_;
+    saved_ = std::move(other.saved_);
+    active_ = other.active_;
+    other.active_ = false;
+    return *this;
+  }
+  ~PagePermissionGuard() { release(); }
+
+ private:
+  PagePermissionGuard() = default;
+
+  void release() {
+    if (!active_) return;
+    active_ = false;
+    if (mode_ == PatchMode::kSafe) {
+      for (const auto& [page, prot] : saved_) {
+        if (::mprotect(reinterpret_cast<void*>(page), 0x1000, prot) != 0) {
+          safe_log("warning: failed to restore page permissions at",
+                   reinterpret_cast<void*>(page));
+        }
+      }
+    } else {
+      // lazypoline's assumption: "code pages were r-x before".
+      ::mprotect(reinterpret_cast<void*>(first_page_), length_,
+                 PROT_READ | PROT_EXEC);
+    }
+  }
+
+  uint64_t first_page_ = 0;
+  size_t length_ = 0;
+  PatchMode mode_ = PatchMode::kSafe;
+  std::vector<std::pair<uint64_t, int>> saved_;
+  bool active_ = false;
+};
+
+bool is_syscall_bytes(const uint8_t* p) {
+  return p[0] == 0x0f && (p[1] == 0x05 || p[1] == 0x34);
+}
+
+}  // namespace
+
+bool same_cache_line(uint64_t site) {
+  return (site / 64) == ((site + 1) / 64);
+}
+
+void serialize_instruction_stream() {
+  // cpuid is architecturally serializing and available everywhere.
+  unsigned a = 0, b, c, d;
+  asm volatile("cpuid" : "+a"(a), "=b"(b), "=c"(c), "=d"(d) : : "memory");
+}
+
+Status CodePatcher::write_two_bytes(uint64_t site, uint8_t b0, uint8_t b1) {
+  auto* p = reinterpret_cast<uint8_t*>(site);
+  if (mode_ == PatchMode::kUnsafeLazypoline) {
+    // Reproduces P5: two independent stores. A thread racing through the
+    // site can fetch the torn encoding {b0_new, b1_old}.
+    p[0] = b0;
+    p[1] = b1;
+    return Status::ok();
+  }
+  if (same_cache_line(site)) {
+    const uint16_t packed = static_cast<uint16_t>(b0) |
+                            (static_cast<uint16_t>(b1) << 8);
+    // x86 guarantees atomicity for a 2-byte store contained in one cache
+    // line; __atomic keeps the compiler from splitting it.
+    __atomic_store_n(reinterpret_cast<uint16_t*>(p), packed,
+                     __ATOMIC_RELEASE);
+    return Status::ok();
+  }
+  // The two bytes straddle a cache line: no atomic 2-byte store exists.
+  // K23 only patches at load time (before application threads run), so a
+  // plain store is still race-free there; flag it for visibility.
+  K23_LOG(kDebug) << "patch site " << reinterpret_cast<void*>(site)
+                  << " straddles a cache line; non-atomic store";
+  p[0] = b0;
+  p[1] = b1;
+  return Status::ok();
+}
+
+Status CodePatcher::patch_site(uint64_t site, bool force) {
+  auto report = patch_sites({site}, force);
+  if (!report.is_ok()) return report.status();
+  if (report.value().patched == 1) return Status::ok();
+  if (report.value().skipped_not_syscall == 1) {
+    return Status::fail("bytes at site are not a syscall instruction");
+  }
+  return Status::fail("patch failed");
+}
+
+Result<PatchReport> CodePatcher::patch_sites(
+    const std::vector<uint64_t>& sites, bool force) {
+  PatchReport report;
+  if (sites.empty()) return report;
+
+  std::vector<uint64_t> sorted = sites;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Group contiguous page runs so each gets one mprotect round-trip.
+  size_t i = 0;
+  while (i < sorted.size()) {
+    const uint64_t first_page = page_of(sorted[i]);
+    size_t j = i;
+    uint64_t last_page = page_of(sorted[j] + 1);
+    while (j + 1 < sorted.size() &&
+           page_of(sorted[j + 1]) <= last_page + 0x1000) {
+      ++j;
+      last_page = std::max(last_page, page_of(sorted[j] + 1));
+    }
+    auto guard = PagePermissionGuard::acquire(first_page, last_page, mode_);
+    if (!guard.is_ok()) {
+      report.failed += j - i + 1;
+      K23_LOG(kWarn) << "patch run at " << to_hex(first_page)
+                     << " failed: " << guard.message();
+    } else {
+      for (size_t k = i; k <= j; ++k) {
+        const auto* bytes = reinterpret_cast<const uint8_t*>(sorted[k]);
+        if (!force && !is_syscall_bytes(bytes)) {
+          ++report.skipped_not_syscall;
+          continue;
+        }
+        Status st =
+            write_two_bytes(sorted[k], kCallRaxInsn[0], kCallRaxInsn[1]);
+        if (st.is_ok()) {
+          ++report.patched;
+        } else {
+          ++report.failed;
+        }
+      }
+    }
+    i = j + 1;
+  }
+
+  if (mode_ == PatchMode::kSafe) serialize_instruction_stream();
+  return report;
+}
+
+Status patch_site_signal_safe(uint64_t site, PatchMode mode) {
+  const uint64_t first_page = page_of(site);
+  const size_t length = page_of(site + 1) - first_page + 0x1000;
+  auto* target = reinterpret_cast<void*>(first_page);
+  // kSafe preserves the page's prior protection (allocation-free query);
+  // kUnsafeLazypoline reproduces the published flaw: restore to r-x
+  // regardless of what the application had configured.
+  int restore_prot = PROT_READ | PROT_EXEC;
+  if (mode == PatchMode::kSafe) {
+    const int prior = query_address_prot_noalloc(site);
+    if (prior >= 0) restore_prot = prior;
+  }
+  if (::mprotect(target, length, PROT_READ | PROT_WRITE | PROT_EXEC) != 0) {
+    return Status::from_errno("mprotect writable");
+  }
+  auto* p = reinterpret_cast<uint8_t*>(site);
+  if (mode == PatchMode::kUnsafeLazypoline) {
+    p[0] = kCallRaxInsn[0];
+    p[1] = kCallRaxInsn[1];
+  } else {
+    if (same_cache_line(site)) {
+      const uint16_t packed = static_cast<uint16_t>(kCallRaxInsn[0]) |
+                              (static_cast<uint16_t>(kCallRaxInsn[1]) << 8);
+      __atomic_store_n(reinterpret_cast<uint16_t*>(p), packed,
+                       __ATOMIC_RELEASE);
+    } else {
+      p[0] = kCallRaxInsn[0];
+      p[1] = kCallRaxInsn[1];
+    }
+    serialize_instruction_stream();
+  }
+  if (::mprotect(target, length, restore_prot) != 0) {
+    return Status::from_errno("mprotect restore");
+  }
+  return Status::ok();
+}
+
+Status CodePatcher::unpatch_site(uint64_t site, bool was_sysenter) {
+  const uint64_t first_page = page_of(site);
+  const uint64_t last_page = page_of(site + 1);
+  auto guard = PagePermissionGuard::acquire(first_page, last_page, mode_);
+  if (!guard.is_ok()) return guard.status();
+  const uint8_t* insn = was_sysenter ? kSysenterInsn : kSyscallInsn;
+  return write_two_bytes(site, insn[0], insn[1]);
+}
+
+}  // namespace k23

@@ -1,0 +1,76 @@
+// In-place rewriting of syscall/sysenter instructions to `call *%rax`.
+//
+// This is where pitfall P5 lives or dies (paper §4.5). The safe mode does
+// what zpoline/K23 do:
+//   1. snapshot and save the target pages' permissions (via /proc/self/maps),
+//   2. mprotect them writable,
+//   3. store both bytes with a single atomic 16-bit store (verified not to
+//      cross a cache line — a cross-line store is not atomic on x86),
+//   4. serialize the instruction stream (cpuid),
+//   5. restore the exact original permissions.
+//
+// The kUnsafeLazypoline mode reproduces the flawed sequence the paper
+// found in lazypoline — two separate byte stores, no serialization, and
+// permissions blindly reset to r-x — so the P5 PoCs can demonstrate the
+// failure observably.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace k23 {
+
+enum class PatchMode {
+  kSafe,             // atomic store + serialize + permission save/restore
+  kUnsafeLazypoline, // byte-by-byte, no serialize, perms forced to r-x
+};
+
+struct PatchReport {
+  size_t patched = 0;
+  size_t skipped_not_syscall = 0;  // bytes at site were not 0f 05 / 0f 34
+  size_t failed = 0;
+};
+
+class CodePatcher {
+ public:
+  explicit CodePatcher(PatchMode mode = PatchMode::kSafe) : mode_(mode) {}
+
+  // Rewrites the 2-byte syscall/sysenter instruction at `site` to
+  // call *%rax. Verifies the original bytes first (refuses to clobber
+  // anything else) unless `force` — the PoCs use force to show what a
+  // misidentifying rewriter does to innocent bytes.
+  Status patch_site(uint64_t site, bool force = false);
+
+  // Batch variant: one maps snapshot, one mprotect per page run, one
+  // serialization point. This is K23's "single selective rewriting step".
+  Result<PatchReport> patch_sites(const std::vector<uint64_t>& sites,
+                                  bool force = false);
+
+  // Restores the original syscall instruction (tests / teardown).
+  Status unpatch_site(uint64_t site, bool was_sysenter = false);
+
+  PatchMode mode() const { return mode_; }
+
+ private:
+  Status write_two_bytes(uint64_t site, uint8_t b0, uint8_t b1);
+  PatchMode mode_;
+};
+
+// Allocation-free single-site patch for use inside signal handlers
+// (lazypoline's lazy rewrite runs in the SIGSYS handler; a malloc there
+// can deadlock against an interrupted allocator). No maps snapshot:
+// permissions are restored to r-x, which is lazypoline's exact (flawed)
+// assumption in both modes — the kSafe mode here still stores atomically
+// and serializes.
+Status patch_site_signal_safe(uint64_t site, PatchMode mode);
+
+// True if the two bytes at `site` lie within one cache line (atomic
+// 16-bit store possible).
+bool same_cache_line(uint64_t site);
+
+// Serializes the instruction stream on the current CPU (cpuid).
+void serialize_instruction_stream();
+
+}  // namespace k23

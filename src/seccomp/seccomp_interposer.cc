@@ -1,0 +1,191 @@
+#include "seccomp/seccomp_interposer.h"
+
+#include <linux/audit.h>
+#include <linux/filter.h>
+#include <linux/seccomp.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#include <sys/syscall.h>
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstring>
+
+#ifndef SYS_SECCOMP
+#define SYS_SECCOMP 1  // siginfo si_code for seccomp-generated SIGSYS
+#endif
+#ifndef SECCOMP_RET_KILL_PROCESS
+#define SECCOMP_RET_KILL_PROCESS 0x80000000U
+#endif
+
+#include "arch/regs.h"
+#include "arch/thunks.h"
+#include "common/logging.h"
+#include "common/scope_guard.h"
+#include "interpose/internal.h"
+
+namespace k23 {
+namespace {
+
+constexpr size_t kGadgetPageSize = 0x1000;
+constexpr size_t kRestorerOffset = 0x100;
+constexpr size_t kSigreturnOffset = 0x180;
+
+std::atomic<bool> g_armed{false};
+SeccompInterposer::Options g_options;
+uint8_t* g_gadget_page = nullptr;
+std::atomic<uint64_t> g_trap_count{0};
+
+using GadgetFn = long (*)(long, long, long, long, long, long, long);
+GadgetFn gadget_fn() { return reinterpret_cast<GadgetFn>(g_gadget_page); }
+
+struct KernelSigaction {
+  void* handler;
+  unsigned long flags;
+  void* restorer;
+  unsigned long mask;
+};
+constexpr unsigned long kSaRestorer = 0x04000000;
+
+void sigsys_handler(int, siginfo_t* info, void* ucv) {
+  if (info == nullptr || info->si_code != SYS_SECCOMP) return;
+  auto* uc = static_cast<ucontext_t*>(ucv);
+  g_trap_count.fetch_add(1, std::memory_order_relaxed);
+
+  SyscallArgs args = syscall_args_from_ucontext(*uc);
+  HookContext ctx;
+  ctx.return_address = uc->uc_mcontext.gregs[REG_RIP];
+  ctx.site_address = trapping_insn_address(*uc);
+  ctx.path = g_options.entry_path;
+
+  if (args.nr == SYS_rt_sigreturn) {
+    args.rdi = static_cast<long>(stack_pointer(*uc));
+    Dispatcher::execute(args, ctx.return_address);  // never returns
+  }
+  set_syscall_result(*uc, Dispatcher::instance().on_syscall(args, ctx));
+}
+
+Status build_gadget_page() {
+  void* page = ::mmap(nullptr, kGadgetPageSize, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (page == MAP_FAILED) return Status::from_errno("mmap gadget page");
+  auto* p = static_cast<uint8_t*>(page);
+  const size_t thunk_len = static_cast<size_t>(k23_gadget_template_end -
+                                               k23_gadget_template_begin);
+  std::memcpy(p, k23_gadget_template_begin, thunk_len);
+  const uint8_t restorer[] = {0xb8, 0x0f, 0x00, 0x00, 0x00, 0x0f, 0x05};
+  std::memcpy(p + kRestorerOffset, restorer, sizeof(restorer));
+  const uint8_t sigreturn_thunk[] = {0x48, 0x89, 0xfc, 0xb8, 0x0f, 0x00,
+                                     0x00, 0x00, 0x0f, 0x05, 0x0f, 0x0b};
+  std::memcpy(p + kSigreturnOffset, sigreturn_thunk,
+              sizeof(sigreturn_thunk));
+  if (::mprotect(page, kGadgetPageSize, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(page, kGadgetPageSize);
+    return Status::from_errno("mprotect gadget page");
+  }
+  g_gadget_page = p;
+  return Status::ok();
+}
+
+Status install_handler() {
+  KernelSigaction ksa{};
+  ksa.handler = reinterpret_cast<void*>(&sigsys_handler);
+  ksa.flags = SA_SIGINFO | SA_NODEFER | kSaRestorer;
+  ksa.restorer = g_gadget_page + kRestorerOffset;
+  long rc = raw_syscall(SYS_rt_sigaction, SIGSYS,
+                        reinterpret_cast<long>(&ksa), 0, 8);
+  if (rc != 0) {
+    errno = syscall_errno(rc);
+    return Status::from_errno("rt_sigaction(SIGSYS)");
+  }
+  return Status::ok();
+}
+
+// BPF: trap unless the trapping instruction lies inside the gadget page.
+// seccomp_data.instruction_pointer is the address *after* `syscall`, so
+// the window is (page, page + size].
+Status install_filter() {
+  const uint64_t lo = reinterpret_cast<uint64_t>(g_gadget_page);
+  const uint64_t hi = lo + kGadgetPageSize;
+
+  sock_filter filter[] = {
+      // Architecture pin: kill on anything but x86-64.
+      BPF_STMT(BPF_LD | BPF_W | BPF_ABS,
+               offsetof(seccomp_data, arch)),
+      BPF_JUMP(BPF_JMP | BPF_JEQ | BPF_K, AUDIT_ARCH_X86_64, 1, 0),
+      BPF_STMT(BPF_RET | BPF_K, SECCOMP_RET_KILL_PROCESS),
+      // IP low word.
+      BPF_STMT(BPF_LD | BPF_W | BPF_ABS,
+               offsetof(seccomp_data, instruction_pointer)),
+      // ip_lo < lo_lo? -> compare full via high word first. Classic BPF
+      // is 32-bit; compare the high words, then the low words.
+      BPF_STMT(BPF_LD | BPF_W | BPF_ABS,
+               offsetof(seccomp_data, instruction_pointer) + 4),
+      BPF_JUMP(BPF_JMP | BPF_JEQ | BPF_K,
+               static_cast<uint32_t>(lo >> 32), 1, 0),
+      BPF_STMT(BPF_RET | BPF_K, SECCOMP_RET_TRAP),  // different high word
+      BPF_STMT(BPF_LD | BPF_W | BPF_ABS,
+               offsetof(seccomp_data, instruction_pointer)),
+      // low >= lo_lo ?
+      BPF_JUMP(BPF_JMP | BPF_JGE | BPF_K, static_cast<uint32_t>(lo), 1, 0),
+      BPF_STMT(BPF_RET | BPF_K, SECCOMP_RET_TRAP),
+      // low <= hi_lo ? (ip is post-instruction, window is (lo, hi])
+      BPF_JUMP(BPF_JMP | BPF_JGT | BPF_K, static_cast<uint32_t>(hi), 0, 1),
+      BPF_STMT(BPF_RET | BPF_K, SECCOMP_RET_TRAP),
+      BPF_STMT(BPF_RET | BPF_K, SECCOMP_RET_ALLOW),
+  };
+  sock_fprog prog{};
+  prog.len = sizeof(filter) / sizeof(filter[0]);
+  prog.filter = filter;
+
+  if (::prctl(PR_SET_NO_NEW_PRIVS, 1, 0, 0, 0) != 0) {
+    return Status::from_errno("PR_SET_NO_NEW_PRIVS");
+  }
+  long rc = raw_syscall(SYS_seccomp, SECCOMP_SET_MODE_FILTER,
+                        SECCOMP_FILTER_FLAG_TSYNC,
+                        reinterpret_cast<long>(&prog));
+  if (rc != 0) {
+    errno = syscall_errno(rc);
+    return Status::from_errno("seccomp(SET_MODE_FILTER)");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status SeccompInterposer::arm(const Options& options) {
+  if (g_armed.load(std::memory_order_acquire)) {
+    return Status::fail("seccomp interposer already armed");
+  }
+  g_options = options;
+  if (g_gadget_page == nullptr) {
+    K23_RETURN_IF_ERROR(build_gadget_page());
+  }
+  K23_RETURN_IF_ERROR(install_handler());
+  // Repoint the dispatcher's primitives at the allowlisted page *before*
+  // the filter goes live: between the two calls every dispatcher
+  // passthrough must already avoid trapping.
+  internal::set_syscall_fn(gadget_fn());
+  internal::set_sigreturn_fn(reinterpret_cast<void (*)(uint64_t)>(
+      g_gadget_page + kSigreturnOffset));
+  Status st = install_filter();
+  if (!st.is_ok()) {
+    internal::set_syscall_fn(nullptr);
+    internal::set_sigreturn_fn(nullptr);
+    return st;
+  }
+  g_trap_count.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+bool SeccompInterposer::armed() {
+  return g_armed.load(std::memory_order_acquire);
+}
+
+uint64_t SeccompInterposer::trap_count() {
+  return g_trap_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace k23

@@ -1,0 +1,40 @@
+// seccomp(SECCOMP_RET_TRAP)-based syscall interposition.
+//
+// The paper names seccomp as an alternative exhaustive mechanism for the
+// offline phase (§5.1). This implementation mirrors SudSession's shape:
+// a BPF filter traps every syscall whose instruction pointer lies outside
+// the allowlisted gadget page (seccomp_data carries the IP, so the filter
+// plays the role of SUD's address-range check), the SIGSYS handler
+// funnels into interpose::Dispatcher, and passthrough executions run
+// from the gadget page so they never re-trap.
+//
+// Two differences from SUD matter operationally and are covered in tests:
+//   * seccomp filters are irrevocable — there is no disarm();
+//   * filters are inherited across fork AND execve (no re-arming needed,
+//     but also no way to scope the effect to one program phase).
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "interpose/dispatch.h"
+
+namespace k23 {
+
+class SeccompInterposer {
+ public:
+  struct Options {
+    EntryPath entry_path = EntryPath::kSudFallback;
+  };
+
+  // Installs the filter on the calling thread (and, via
+  // SECCOMP_FILTER_FLAG_TSYNC, every existing thread). Irrevocable.
+  static Status arm(const Options& options);
+  static Status arm() { return arm(Options{}); }
+  static bool armed();
+
+  // Number of SIGSYS traps dispatched since arm().
+  static uint64_t trap_count();
+};
+
+}  // namespace k23

@@ -1,0 +1,252 @@
+#include "sud/sud_session.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#include <sys/syscall.h>
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "arch/regs.h"
+#include "arch/thunks.h"
+#include "common/logging.h"
+#include "common/scope_guard.h"
+#include "interpose/internal.h"
+
+#ifndef PR_SET_SYSCALL_USER_DISPATCH
+#define PR_SET_SYSCALL_USER_DISPATCH 59
+#endif
+#ifndef PR_SYS_DISPATCH_OFF
+#define PR_SYS_DISPATCH_OFF 0
+#endif
+#ifndef PR_SYS_DISPATCH_ON
+#define PR_SYS_DISPATCH_ON 1
+#endif
+#ifndef SYSCALL_DISPATCH_FILTER_ALLOW
+#define SYSCALL_DISPATCH_FILTER_ALLOW 0
+#endif
+#ifndef SYSCALL_DISPATCH_FILTER_BLOCK
+#define SYSCALL_DISPATCH_FILTER_BLOCK 1
+#endif
+#ifndef SYS_USER_DISPATCH
+#define SYS_USER_DISPATCH 2  // siginfo si_code for SUD-generated SIGSYS
+#endif
+
+namespace k23 {
+namespace {
+
+constexpr size_t kGadgetPageSize = 0x1000;
+constexpr size_t kRestorerOffset = 0x100;
+constexpr size_t kSigreturnOffset = 0x180;
+
+std::atomic<bool> g_armed{false};
+SudSession::Options g_options;
+uint8_t* g_gadget_page = nullptr;
+std::atomic<uint64_t> g_trap_count{0};
+std::atomic<bool> g_default_block{true};
+
+// Per-thread selector consulted by the kernel on every syscall.
+thread_local volatile char t_selector = SYSCALL_DISPATCH_FILTER_ALLOW;
+
+using GadgetFn = long (*)(long, long, long, long, long, long, long);
+GadgetFn gadget_fn() {
+  return reinterpret_cast<GadgetFn>(g_gadget_page);
+}
+
+// The kernel sigaction layout (glibc's struct differs).
+struct KernelSigaction {
+  void* handler;
+  unsigned long flags;
+  void* restorer;
+  unsigned long mask;
+};
+
+constexpr unsigned long kSaRestorer = 0x04000000;
+
+void sigsys_handler(int sig, siginfo_t* info, void* ucv) {
+  if (info == nullptr || info->si_code != SYS_USER_DISPATCH) {
+    // Not a SUD trap (e.g. seccomp SIGSYS): nothing we can do safely.
+    return;
+  }
+  auto* uc = static_cast<ucontext_t*>(ucv);
+  g_trap_count.fetch_add(1, std::memory_order_relaxed);
+
+  // Allow: hook code may call straight into libc below.
+  t_selector = SYSCALL_DISPATCH_FILTER_ALLOW;
+  auto rearm = make_scope_guard(
+      [] { t_selector = SYSCALL_DISPATCH_FILTER_BLOCK; });
+
+  SyscallArgs args = syscall_args_from_ucontext(*uc);
+  HookContext ctx;
+  ctx.return_address = uc->uc_mcontext.gregs[REG_RIP];
+  ctx.site_address = trapping_insn_address(*uc);
+  ctx.path = g_options.entry_path;
+
+  if (g_options.pre_dispatch != nullptr &&
+      !g_options.pre_dispatch(ctx.site_address)) {
+    return;  // callback consumed the event (selector re-arms via guard)
+  }
+
+  if (args.nr == SYS_rt_sigreturn) {
+    // The application's own signal restorer trapped. Execute sigreturn on
+    // the application's frame (at the trap-time rsp); this abandons our
+    // SIGSYS frame entirely, which is exactly the desired end state.
+    // Selector must be re-armed *before* the jump (the guard won't run).
+    t_selector = SYSCALL_DISPATCH_FILTER_BLOCK;
+    args.rdi = static_cast<long>(stack_pointer(*uc));
+    Dispatcher::execute(args, ctx.return_address);  // never returns
+  }
+
+  long result = Dispatcher::instance().on_syscall(args, ctx);
+  set_syscall_result(*uc, result);
+}
+
+Status install_sigsys_handler() {
+  KernelSigaction ksa{};
+  ksa.handler = reinterpret_cast<void*>(&sigsys_handler);
+  // SA_NODEFER: do not block SIGSYS inside the handler — clone children
+  // spawned from hook context must not start life with SIGSYS masked.
+  ksa.flags = SA_SIGINFO | SA_NODEFER | kSaRestorer;
+  ksa.restorer = g_gadget_page + kRestorerOffset;
+  long rc = raw_syscall(SYS_rt_sigaction, SIGSYS,
+                        reinterpret_cast<long>(&ksa), 0, 8);
+  if (rc != 0) {
+    errno = syscall_errno(rc);
+    return Status::from_errno("rt_sigaction(SIGSYS)");
+  }
+  return Status::ok();
+}
+
+Status build_gadget_page() {
+  void* page = ::mmap(nullptr, kGadgetPageSize, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (page == MAP_FAILED) return Status::from_errno("mmap gadget page");
+  auto* p = static_cast<uint8_t*>(page);
+
+  const size_t thunk_len = static_cast<size_t>(k23_gadget_template_end -
+                                               k23_gadget_template_begin);
+  if (thunk_len > kRestorerOffset) {
+    ::munmap(page, kGadgetPageSize);
+    return Status::fail("gadget template larger than expected");
+  }
+  std::memcpy(p, k23_gadget_template_begin, thunk_len);
+
+  // Restorer: mov $__NR_rt_sigreturn, %eax ; syscall
+  const uint8_t restorer[] = {0xb8, 0x0f, 0x00, 0x00, 0x00, 0x0f, 0x05};
+  std::memcpy(p + kRestorerOffset, restorer, sizeof(restorer));
+
+  // Sigreturn-on-frame: mov %rdi,%rsp ; mov $15,%eax ; syscall ; ud2
+  const uint8_t sigreturn_thunk[] = {0x48, 0x89, 0xfc, 0xb8, 0x0f, 0x00,
+                                     0x00, 0x00, 0x0f, 0x05, 0x0f, 0x0b};
+  std::memcpy(p + kSigreturnOffset, sigreturn_thunk, sizeof(sigreturn_thunk));
+
+  if (::mprotect(page, kGadgetPageSize, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(page, kGadgetPageSize);
+    return Status::from_errno("mprotect gadget page");
+  }
+  g_gadget_page = p;
+  return Status::ok();
+}
+
+Status enable_sud_current_thread() {
+  t_selector = SYSCALL_DISPATCH_FILTER_ALLOW;
+  long rc = raw_syscall(SYS_prctl, PR_SET_SYSCALL_USER_DISPATCH,
+                        PR_SYS_DISPATCH_ON,
+                        reinterpret_cast<long>(g_gadget_page),
+                        kGadgetPageSize,
+                        reinterpret_cast<long>(&t_selector));
+  if (rc != 0) {
+    errno = syscall_errno(rc);
+    return Status::from_errno("prctl(PR_SET_SYSCALL_USER_DISPATCH, ON)");
+  }
+  return Status::ok();
+}
+
+// Runs on each new thread created through the dispatcher (clone shim).
+void rearm_thread_trampoline() {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  // Must go through the gadget: this thread's inherited SUD config points
+  // at the *parent's* selector, whose current value may be BLOCK.
+  t_selector = SYSCALL_DISPATCH_FILTER_ALLOW;
+  gadget_fn()(SYS_prctl, PR_SET_SYSCALL_USER_DISPATCH, PR_SYS_DISPATCH_ON,
+              reinterpret_cast<long>(g_gadget_page), kGadgetPageSize,
+              reinterpret_cast<long>(&t_selector), 0);
+  t_selector = g_default_block.load(std::memory_order_acquire)
+                   ? SYSCALL_DISPATCH_FILTER_BLOCK
+                   : SYSCALL_DISPATCH_FILTER_ALLOW;
+}
+
+}  // namespace
+
+Status SudSession::arm(const Options& options) {
+  if (g_armed.load(std::memory_order_acquire)) {
+    return Status::fail("SUD session already armed");
+  }
+  g_options = options;
+  if (g_gadget_page == nullptr) {
+    K23_RETURN_IF_ERROR(build_gadget_page());
+  }
+  K23_RETURN_IF_ERROR(install_sigsys_handler());
+  K23_RETURN_IF_ERROR(enable_sud_current_thread());
+
+  // From here on every dispatcher passthrough must use the gadget.
+  internal::set_syscall_fn(gadget_fn());
+  internal::set_sigreturn_fn(reinterpret_cast<void (*)(uint64_t)>(
+      g_gadget_page + kSigreturnOffset));
+  set_thread_reinit(&rearm_thread_trampoline);
+  g_trap_count.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+
+  t_selector = SYSCALL_DISPATCH_FILTER_BLOCK;
+  return Status::ok();
+}
+
+void SudSession::disarm() {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  t_selector = SYSCALL_DISPATCH_FILTER_ALLOW;
+  gadget_fn()(SYS_prctl, PR_SET_SYSCALL_USER_DISPATCH, PR_SYS_DISPATCH_OFF,
+              0, 0, 0, 0);
+  set_thread_reinit(nullptr);
+  internal::set_syscall_fn(nullptr);
+  internal::set_sigreturn_fn(nullptr);
+  g_armed.store(false, std::memory_order_release);
+}
+
+bool SudSession::armed() { return g_armed.load(std::memory_order_acquire); }
+
+void SudSession::set_block(bool block) {
+  t_selector = block ? SYSCALL_DISPATCH_FILTER_BLOCK
+                     : SYSCALL_DISPATCH_FILTER_ALLOW;
+}
+
+bool SudSession::blocked() {
+  return t_selector == SYSCALL_DISPATCH_FILTER_BLOCK;
+}
+
+void SudSession::set_default_block(bool block) {
+  g_default_block.store(block, std::memory_order_release);
+}
+
+Status SudSession::rearm_current_thread() {
+  if (!g_armed.load(std::memory_order_acquire)) {
+    return Status::fail("SUD session not armed");
+  }
+  rearm_thread_trampoline();
+  return Status::ok();
+}
+
+long SudSession::gadget_syscall(long nr, long a0, long a1, long a2, long a3,
+                                long a4, long a5) {
+  if (g_gadget_page == nullptr) {
+    return k23_syscall_ret_thunk(nr, a0, a1, a2, a3, a4, a5);
+  }
+  return gadget_fn()(nr, a0, a1, a2, a3, a4, a5);
+}
+
+uint64_t SudSession::trap_count() {
+  return g_trap_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace k23

@@ -1,0 +1,73 @@
+// Syscall User Dispatch management (paper §2.1).
+//
+// Arming SUD makes every syscall outside an allowlisted address range
+// deliver SIGSYS instead of entering the kernel's syscall path. The
+// session owns:
+//
+//  * the gadget page — a private executable page containing a
+//    position-independent `syscall; ret` thunk and an rt_sigreturn
+//    restorer. The page itself is the SUD allowlisted range, so
+//    dispatcher passthroughs and handler returns never re-trap;
+//  * the per-thread selector byte (thread_local). The SIGSYS handler
+//    flips it to ALLOW on entry (hook code may call into libc freely) and
+//    back to BLOCK on exit, exactly the protocol the paper describes;
+//  * the SIGSYS handler, installed via raw rt_sigaction with
+//    SA_RESTORER pointing into the gadget page and SA_NODEFER (clone
+//    children must not inherit a blocked SIGSYS);
+//  * thread re-arming — new threads created through the dispatcher
+//    re-run prctl with their own selector address (the kernel inherits
+//    the *parent's* selector address otherwise, a subtle correctness trap).
+//
+// Used directly by: lazypoline (discovery + fallback), K23 (fallback
+// only), libLogger (offline recorder), and the SUD baseline benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "interpose/dispatch.h"
+
+namespace k23 {
+
+class SudSession {
+ public:
+  struct Options {
+    // Dispatch path recorded in HookContext for trapped syscalls.
+    EntryPath entry_path = EntryPath::kSudFallback;
+    // Called (if set) with the trapping site before dispatch — lazypoline
+    // uses this to rewrite the site on first execution. Return false to
+    // skip normal dispatch (the callback handled everything).
+    bool (*pre_dispatch)(uint64_t site_address) = nullptr;
+  };
+
+  // Arms SUD on the calling thread (and, via the dispatcher's clone
+  // interception, on threads it creates). One session per process.
+  static Status arm(const Options& options);
+  static Status arm() { return arm(Options{}); }
+  static void disarm();
+  static bool armed();
+
+  // Selector control for the current thread. ALLOW lets syscalls through
+  // untrapped ("SUD-no-interposition" in Table 5); BLOCK traps them.
+  static void set_block(bool block);
+  static bool blocked();
+
+  // Selector value installed on threads the dispatcher re-arms (clone
+  // children). Default true (BLOCK); the SUD-no-interposition baseline
+  // sets false so worker threads also run with interposition disabled.
+  static void set_default_block(bool block);
+
+  // Re-arms SUD on the current thread (used by the clone child-init shim
+  // and after fork when needed).
+  static Status rearm_current_thread();
+
+  // The gadget-page syscall entry (allowlisted `syscall; ret` thunk); for
+  // tests and the SUD overhead benchmarks.
+  static long gadget_syscall(long nr, long a0 = 0, long a1 = 0, long a2 = 0,
+                             long a3 = 0, long a4 = 0, long a5 = 0);
+
+  // Number of SIGSYS traps dispatched since arm().
+  static uint64_t trap_count();
+};
+
+}  // namespace k23

@@ -1,0 +1,328 @@
+#include "trace/format.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "arch/syscall_table.h"
+#include "common/strings.h"
+
+namespace k23 {
+namespace {
+
+constexpr ArgKind I = ArgKind::kInt;
+constexpr ArgKind FD = ArgKind::kFd;
+constexpr ArgKind PATH = ArgKind::kPath;
+constexpr ArgKind BUF = ArgKind::kBuffer;
+constexpr ArgKind LEN = ArgKind::kLength;
+constexpr ArgKind PTR = ArgKind::kPointer;
+constexpr ArgKind OFL = ArgKind::kOpenFlags;
+constexpr ArgKind PROT = ArgKind::kProtFlags;
+constexpr ArgKind MAPF = ArgKind::kMapFlags;
+constexpr ArgKind SIG = ArgKind::kSignal;
+constexpr ArgKind MODE = ArgKind::kMode;
+
+struct Entry {
+  long nr;
+  SyscallSignature sig;
+};
+
+// Signatures for the syscalls tracing tools meet constantly. Order is
+// irrelevant (linear lookup; tracing is not a hot path).
+const Entry kSignatures[] = {
+    {SYS_read, {"read", {FD, BUF, LEN}, 3}},
+    {SYS_write, {"write", {FD, BUF, LEN}, 3}},
+    {SYS_open, {"open", {PATH, OFL, MODE}, 3}},
+    {SYS_close, {"close", {FD}, 1}},
+    {SYS_openat, {"openat", {FD, PATH, OFL, MODE}, 4}},
+    {SYS_stat, {"stat", {PATH, PTR}, 2}},
+    {SYS_fstat, {"fstat", {FD, PTR}, 2}},
+    {SYS_lstat, {"lstat", {PATH, PTR}, 2}},
+    {SYS_newfstatat, {"newfstatat", {FD, PATH, PTR, I}, 4}},
+    {SYS_lseek, {"lseek", {FD, I, I}, 3}},
+    {SYS_mmap, {"mmap", {PTR, LEN, PROT, MAPF, FD, I}, 6}},
+    {SYS_mprotect, {"mprotect", {PTR, LEN, PROT}, 3}},
+    {SYS_munmap, {"munmap", {PTR, LEN}, 2}},
+    {SYS_brk, {"brk", {PTR}, 1}},
+    {SYS_ioctl, {"ioctl", {FD, I, PTR}, 3}},
+    {SYS_pread64, {"pread64", {FD, BUF, LEN, I}, 4}},
+    {SYS_pwrite64, {"pwrite64", {FD, BUF, LEN, I}, 4}},
+    {SYS_readv, {"readv", {FD, PTR, I}, 3}},
+    {SYS_writev, {"writev", {FD, PTR, I}, 3}},
+    {SYS_access, {"access", {PATH, I}, 2}},
+    {SYS_pipe, {"pipe", {PTR}, 1}},
+    {SYS_pipe2, {"pipe2", {PTR, OFL}, 2}},
+    {SYS_dup, {"dup", {FD}, 1}},
+    {SYS_dup2, {"dup2", {FD, FD}, 2}},
+    {SYS_dup3, {"dup3", {FD, FD, OFL}, 3}},
+    {SYS_socket, {"socket", {I, I, I}, 3}},
+    {SYS_connect, {"connect", {FD, PTR, LEN}, 3}},
+    {SYS_accept, {"accept", {FD, PTR, PTR}, 3}},
+    {SYS_accept4, {"accept4", {FD, PTR, PTR, I}, 4}},
+    {SYS_bind, {"bind", {FD, PTR, LEN}, 3}},
+    {SYS_listen, {"listen", {FD, I}, 2}},
+    {SYS_sendto, {"sendto", {FD, BUF, LEN, I, PTR, I}, 6}},
+    {SYS_recvfrom, {"recvfrom", {FD, BUF, LEN, I, PTR, PTR}, 6}},
+    {SYS_setsockopt, {"setsockopt", {FD, I, I, PTR, LEN}, 5}},
+    {SYS_epoll_create1, {"epoll_create1", {OFL}, 1}},
+    {SYS_epoll_ctl, {"epoll_ctl", {FD, I, FD, PTR}, 4}},
+    {SYS_epoll_wait, {"epoll_wait", {FD, PTR, I, I}, 4}},
+    {SYS_clone, {"clone", {I, PTR, PTR, PTR, PTR}, 5}},
+    {SYS_clone3, {"clone3", {PTR, LEN}, 2}},
+    {SYS_fork, {"fork", {}, 0}},
+    {SYS_vfork, {"vfork", {}, 0}},
+    {SYS_execve, {"execve", {PATH, PTR, PTR}, 3}},
+    {SYS_execveat, {"execveat", {FD, PATH, PTR, PTR, I}, 5}},
+    {SYS_exit, {"exit", {I}, 1}},
+    {SYS_exit_group, {"exit_group", {I}, 1}},
+    {SYS_wait4, {"wait4", {I, PTR, I, PTR}, 4}},
+    {SYS_kill, {"kill", {I, SIG}, 2}},
+    {SYS_getpid, {"getpid", {}, 0}},
+    {SYS_getppid, {"getppid", {}, 0}},
+    {SYS_gettid, {"gettid", {}, 0}},
+    {SYS_getuid, {"getuid", {}, 0}},
+    {SYS_geteuid, {"geteuid", {}, 0}},
+    {SYS_getcwd, {"getcwd", {PTR, LEN}, 2}},
+    {SYS_chdir, {"chdir", {PATH}, 1}},
+    {SYS_mkdir, {"mkdir", {PATH, MODE}, 2}},
+    {SYS_rmdir, {"rmdir", {PATH}, 1}},
+    {SYS_unlink, {"unlink", {PATH}, 1}},
+    {SYS_unlinkat, {"unlinkat", {FD, PATH, I}, 3}},
+    {SYS_rename, {"rename", {PATH, PATH}, 2}},
+    {SYS_readlink, {"readlink", {PATH, PTR, LEN}, 3}},
+    {SYS_chmod, {"chmod", {PATH, MODE}, 2}},
+    {SYS_fchmod, {"fchmod", {FD, MODE}, 2}},
+    {SYS_ftruncate, {"ftruncate", {FD, I}, 2}},
+    {SYS_fdatasync, {"fdatasync", {FD}, 1}},
+    {SYS_fsync, {"fsync", {FD}, 1}},
+    {SYS_getdents64, {"getdents64", {FD, PTR, LEN}, 3}},
+    {SYS_clock_gettime, {"clock_gettime", {I, PTR}, 2}},
+    {SYS_nanosleep, {"nanosleep", {PTR, PTR}, 2}},
+    {SYS_futex, {"futex", {PTR, I, I, PTR, PTR, I}, 6}},
+    {SYS_rt_sigaction, {"rt_sigaction", {SIG, PTR, PTR, LEN}, 4}},
+    {SYS_rt_sigprocmask, {"rt_sigprocmask", {I, PTR, PTR, LEN}, 4}},
+    {SYS_rt_sigreturn, {"rt_sigreturn", {}, 0}},
+    {SYS_prctl, {"prctl", {I, I, I, I, I}, 5}},
+    {SYS_mremap, {"mremap", {PTR, LEN, LEN, I, PTR}, 5}},
+    {SYS_madvise, {"madvise", {PTR, LEN, I}, 3}},
+    {SYS_utimensat, {"utimensat", {FD, PATH, PTR, I}, 4}},
+};
+
+struct FlagName {
+  long value;
+  const char* name;
+};
+
+std::string render_flags(long flags, const FlagName* names, size_t count,
+                         const char* zero_name) {
+  if (flags == 0) return zero_name;
+  std::vector<std::string> parts;
+  long remaining = flags;
+  for (size_t i = 0; i < count; ++i) {
+    if (names[i].value != 0 && (remaining & names[i].value) ==
+                                   names[i].value) {
+      parts.push_back(names[i].name);
+      remaining &= ~names[i].value;
+    }
+  }
+  if (remaining != 0) parts.push_back(to_hex(remaining));
+  return parts.empty() ? to_hex(flags) : join(parts, "|");
+}
+
+std::string quote_string(const std::string& raw, size_t max) {
+  std::string out = "\"";
+  size_t shown = 0;
+  for (char c : raw) {
+    if (shown >= max) {
+      out += "\"...";
+      return out;
+    }
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (std::isprint(static_cast<unsigned char>(c))) {
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\x%02x",
+                    static_cast<unsigned char>(c));
+      out += hex;
+    }
+    ++shown;
+  }
+  out += '"';
+  return out;
+}
+
+std::string read_string(uint64_t address, const MemoryReader& reader,
+                        size_t max) {
+  if (address == 0) return "NULL";
+  std::string raw;
+  char chunk[64];
+  while (raw.size() < max + 1) {
+    if (!reader(address + raw.size(), chunk, sizeof(chunk))) break;
+    for (char c : chunk) {
+      if (c == '\0') return quote_string(raw, max);
+      raw.push_back(c);
+    }
+  }
+  if (raw.empty()) return to_hex(address);  // unreadable pointer
+  return quote_string(raw, max);
+}
+
+}  // namespace
+
+SyscallSignature syscall_signature(long nr) {
+  for (const Entry& entry : kSignatures) {
+    if (entry.nr == nr) return entry.sig;
+  }
+  SyscallSignature generic{};
+  generic.name = syscall_name(nr);
+  static thread_local char fallback[32];
+  if (generic.name == nullptr) {
+    std::snprintf(fallback, sizeof(fallback), "syscall_%ld", nr);
+    generic.name = fallback;
+  }
+  for (int i = 0; i < 6; ++i) generic.args[i] = I;
+  generic.arg_count = 6;
+  return generic;
+}
+
+bool read_local_memory(uint64_t address, void* out, size_t length) {
+  // process_vm_readv on self validates the range without risking a fault
+  // on a bad pointer argument.
+  iovec local{out, length};
+  iovec remote{reinterpret_cast<void*>(address), length};
+  return ::process_vm_readv(::getpid(), &local, 1, &remote, 1, 0) ==
+         static_cast<ssize_t>(length);
+}
+
+std::string format_open_flags(long flags) {
+  static const FlagName kNames[] = {
+      {O_WRONLY, "O_WRONLY"},   {O_RDWR, "O_RDWR"},
+      {O_CREAT, "O_CREAT"},     {O_EXCL, "O_EXCL"},
+      {O_TRUNC, "O_TRUNC"},     {O_APPEND, "O_APPEND"},
+      {O_NONBLOCK, "O_NONBLOCK"}, {O_CLOEXEC, "O_CLOEXEC"},
+      {O_DIRECTORY, "O_DIRECTORY"}, {O_NOFOLLOW, "O_NOFOLLOW"},
+      {O_NOCTTY, "O_NOCTTY"},
+  };
+  return render_flags(flags, kNames, std::size(kNames), "O_RDONLY");
+}
+
+std::string format_prot_flags(long prot) {
+  static const FlagName kNames[] = {
+      {PROT_READ, "PROT_READ"},
+      {PROT_WRITE, "PROT_WRITE"},
+      {PROT_EXEC, "PROT_EXEC"},
+  };
+  return render_flags(prot, kNames, std::size(kNames), "PROT_NONE");
+}
+
+std::string format_map_flags(long flags) {
+  static const FlagName kNames[] = {
+      {MAP_SHARED, "MAP_SHARED"},       {MAP_PRIVATE, "MAP_PRIVATE"},
+      {MAP_FIXED, "MAP_FIXED"},         {MAP_ANONYMOUS, "MAP_ANONYMOUS"},
+      {MAP_NORESERVE, "MAP_NORESERVE"}, {MAP_STACK, "MAP_STACK"},
+      {MAP_FIXED_NOREPLACE, "MAP_FIXED_NOREPLACE"},
+  };
+  return render_flags(flags, kNames, std::size(kNames), "0");
+}
+
+std::string format_errno_result(long result) {
+  if (!is_syscall_error(result)) return std::to_string(result);
+  const int err = syscall_errno(result);
+  return "-1 " + std::string(strerrorname_np(err) != nullptr
+                                 ? strerrorname_np(err)
+                                 : std::to_string(err).c_str()) +
+         " (" + std::strerror(err) + ")";
+}
+
+std::string format_syscall(const SyscallArgs& args,
+                           const MemoryReader& reader,
+                           const FormatOptions& options) {
+  const SyscallSignature sig = syscall_signature(args.nr);
+  const long values[6] = {args.rdi, args.rsi, args.rdx,
+                          args.r10, args.r8,  args.r9};
+  std::string out = sig.name;
+  out += '(';
+  for (int i = 0; i < sig.arg_count; ++i) {
+    if (i != 0) out += ", ";
+    const long value = values[i];
+    switch (sig.args[i]) {
+      case ArgKind::kInt:
+      case ArgKind::kLength:
+        out += std::to_string(value);
+        break;
+      case ArgKind::kFd:
+        out += value == AT_FDCWD ? "AT_FDCWD" : std::to_string(value);
+        break;
+      case ArgKind::kPath:
+        out += read_string(static_cast<uint64_t>(value), reader,
+                           options.max_string);
+        break;
+      case ArgKind::kBuffer: {
+        const size_t length =
+            i + 1 < sig.arg_count
+                ? std::min<size_t>(values[i + 1], options.max_buffer)
+                : options.max_buffer;
+        std::string data(length, '\0');
+        if (value != 0 && length > 0 &&
+            reader(static_cast<uint64_t>(value), data.data(), length)) {
+          out += quote_string(data, options.max_buffer);
+          if (static_cast<size_t>(values[i + 1]) > length) out += "...";
+        } else {
+          out += value == 0 ? "NULL" : to_hex(value);
+        }
+        break;
+      }
+      case ArgKind::kPointer:
+        out += value == 0 ? "NULL" : to_hex(value);
+        break;
+      case ArgKind::kOpenFlags:
+        out += format_open_flags(value);
+        break;
+      case ArgKind::kProtFlags:
+        out += format_prot_flags(value);
+        break;
+      case ArgKind::kMapFlags:
+        out += format_map_flags(value);
+        break;
+      case ArgKind::kSignal: {
+        const char* name = ::sigabbrev_np(static_cast<int>(value));
+        out += name != nullptr ? ("SIG" + std::string(name))
+                               : std::to_string(value);
+        break;
+      }
+      case ArgKind::kMode: {
+        char mode[8];
+        std::snprintf(mode, sizeof(mode), "0%o",
+                      static_cast<unsigned>(value));
+        out += mode;
+        break;
+      }
+      case ArgKind::kNone:
+        break;
+    }
+  }
+  out += ')';
+  return out;
+}
+
+std::string format_syscall_with_result(const SyscallArgs& args, long result,
+                                       const MemoryReader& reader,
+                                       const FormatOptions& options) {
+  return format_syscall(args, reader, options) + " = " +
+         format_errno_result(result);
+}
+
+}  // namespace k23

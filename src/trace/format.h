@@ -1,0 +1,72 @@
+// Human-readable system-call formatting for tracing tools.
+//
+// Maps each syscall to an argument signature (paths, fds, buffers,
+// flags, ...) and renders "openat(AT_FDCWD, \"/etc/passwd\", O_RDONLY)"
+// style lines. Reading pointer arguments requires access to the traced
+// address space: in-process hooks pass read_local_memory; cross-process
+// tracers pass a process_vm_readv-backed reader.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "arch/raw_syscall.h"
+
+namespace k23 {
+
+// Argument kinds a signature can declare.
+enum class ArgKind : uint8_t {
+  kNone = 0,
+  kInt,        // plain integer
+  kFd,         // file descriptor (AT_FDCWD rendered symbolically)
+  kPath,       // NUL-terminated string in traced memory
+  kBuffer,     // pointer + the *next* argument is its length
+  kLength,     // length consumed by a preceding kBuffer
+  kPointer,    // opaque pointer
+  kOpenFlags,  // O_* flag set
+  kProtFlags,  // PROT_* flag set
+  kMapFlags,   // MAP_* flag set
+  kSignal,     // signal number
+  kMode,       // octal file mode
+};
+
+struct SyscallSignature {
+  const char* name;
+  ArgKind args[6];
+  int arg_count;
+};
+
+// Signature for `nr`; falls back to a generic 6-int signature with the
+// table name (or "syscall_<nr>") when unknown.
+SyscallSignature syscall_signature(long nr);
+
+// Reads `length` bytes at `address` of the traced address space into
+// `out`; returns false if unreadable. The in-process implementation is
+// provided below; ptrace-based tracers supply their own.
+using MemoryReader =
+    std::function<bool(uint64_t address, void* out, size_t length)>;
+
+bool read_local_memory(uint64_t address, void* out, size_t length);
+
+struct FormatOptions {
+  size_t max_string = 48;   // truncate long strings with "..."
+  size_t max_buffer = 16;   // bytes of buffer contents to show
+};
+
+// Renders the call. `result_known` appends " = value" (with errno names
+// for kernel error returns).
+std::string format_syscall(const SyscallArgs& args,
+                           const MemoryReader& reader,
+                           const FormatOptions& options = {});
+std::string format_syscall_with_result(const SyscallArgs& args, long result,
+                                       const MemoryReader& reader,
+                                       const FormatOptions& options = {});
+
+// Flag-set renderers (exposed for tests).
+std::string format_open_flags(long flags);
+std::string format_prot_flags(long prot);
+std::string format_map_flags(long flags);
+std::string format_errno_result(long result);
+
+}  // namespace k23

@@ -1,0 +1,96 @@
+#include "trace/recorder.h"
+
+#include <algorithm>
+
+#include "trace/format.h"
+
+namespace k23 {
+namespace {
+
+FlightRecorder* g_hook_recorder = nullptr;
+
+HookResult recording_hook(void* user, SyscallArgs& args,
+                          const HookContext& ctx) {
+  auto* recorder = static_cast<FlightRecorder*>(user);
+  // Execute first so the result can be recorded, then replace with the
+  // real value (execution already happened).
+  const long result = Dispatcher::execute(args, ctx.return_address);
+  recorder->record(args, result, ctx);
+  return HookResult::replace(result);
+}
+
+size_t round_up_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : slots_(round_up_pow2(capacity < 2 ? 2 : capacity)) {}
+
+void FlightRecorder::record(const SyscallArgs& args, long result,
+                            const HookContext& ctx) {
+  const uint64_t sequence = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[sequence & (slots_.size() - 1)];
+  // Mark in-progress (odd sentinel distinct from any final sequence),
+  // write the payload, then publish the final sequence.
+  slot.sequence.store(~uint64_t{0}, std::memory_order_release);
+  slot.call.args = args;
+  slot.call.result = result;
+  slot.call.site_address = ctx.site_address;
+  slot.call.path = static_cast<uint8_t>(ctx.path);
+  slot.call.sequence = sequence;
+  slot.sequence.store(sequence, std::memory_order_release);
+}
+
+std::vector<RecordedCall> FlightRecorder::snapshot() const {
+  std::vector<RecordedCall> out;
+  for (const Slot& slot : slots_) {
+    const uint64_t sequence = slot.sequence.load(std::memory_order_acquire);
+    if (sequence == ~uint64_t{0}) continue;  // empty or mid-write
+    RecordedCall call = slot.call;
+    // Re-check: a concurrent overwrite changes the published sequence.
+    if (slot.sequence.load(std::memory_order_acquire) != sequence) continue;
+    if (call.sequence != sequence) continue;
+    out.push_back(call);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RecordedCall& a, const RecordedCall& b) {
+              return a.sequence < b.sequence;
+            });
+  return out;
+}
+
+std::string FlightRecorder::dump() const {
+  std::string out;
+  for (const RecordedCall& call : snapshot()) {
+    out += "#";
+    out += std::to_string(call.sequence);
+    out += call.path == static_cast<uint8_t>(EntryPath::kRewritten)
+               ? " [fast] "
+               : " [slow] ";
+    out += format_syscall_with_result(call.args, call.result,
+                                      read_local_memory);
+    out += '\n';
+  }
+  return out;
+}
+
+Status FlightRecorder::install_as_hook() {
+  if (g_hook_recorder != nullptr) {
+    return Status::fail("a recorder hook is already installed");
+  }
+  g_hook_recorder = this;
+  Dispatcher::instance().set_hook(&recording_hook, this);
+  return Status::ok();
+}
+
+void FlightRecorder::uninstall_hook() {
+  if (g_hook_recorder == nullptr) return;
+  Dispatcher::instance().clear_hook();
+  g_hook_recorder = nullptr;
+}
+
+}  // namespace k23

@@ -1,0 +1,65 @@
+// Flight recorder: a lock-free ring buffer of recent system calls.
+//
+// Debugging an interposed application often needs "what were the last N
+// syscalls before things went wrong?" without paying for full tracing.
+// The recorder's record() is wait-free (one fetch_add + slot write) and
+// safe from any dispatch path, including the SIGSYS handler; dump()
+// renders the ring through trace/format.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/raw_syscall.h"
+#include "common/result.h"
+#include "interpose/dispatch.h"
+
+namespace k23 {
+
+struct RecordedCall {
+  SyscallArgs args;
+  long result = 0;
+  uint64_t site_address = 0;
+  uint8_t path = 0;          // EntryPath
+  uint64_t sequence = 0;     // global order
+};
+
+class FlightRecorder {
+ public:
+  // Capacity is rounded up to a power of two.
+  explicit FlightRecorder(size_t capacity = 1024);
+
+  // Wait-free append (overwrites the oldest entry when full).
+  void record(const SyscallArgs& args, long result,
+              const HookContext& ctx);
+
+  // Snapshot of the retained window, oldest first. Entries being written
+  // concurrently are skipped (sequence mismatch check).
+  std::vector<RecordedCall> snapshot() const;
+
+  // Renders the window as strace-style lines (in-process memory reader).
+  std::string dump() const;
+
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return slots_.size(); }
+
+  // Installs a dispatcher hook that records every syscall into this
+  // recorder and passes it through. The recorder must outlive the hook.
+  Status install_as_hook();
+  static void uninstall_hook();
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> sequence{~uint64_t{0}};
+    RecordedCall call;
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> next_{0};
+};
+
+}  // namespace k23

@@ -1,0 +1,234 @@
+#include "trampoline/trampoline.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "arch/thunks.h"
+#include "common/launder.h"
+#include "common/logging.h"
+
+namespace k23 {
+namespace {
+
+constexpr size_t kPageSize = 0x1000;
+
+std::atomic<bool> g_installed{false};
+Trampoline::Options g_options;
+bool g_xom_effective = false;
+int g_pkey = -1;
+size_t g_mapped_size = 0;
+
+// Dedicated stacks for the ultra+ variant: 64 KiB per thread.
+constexpr size_t kDedicatedStackSize = 64 * 1024;
+alignas(16) thread_local uint8_t t_dedicated_stack[kDedicatedStackSize];
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry stub. Rewritten sites reach this via the sled with:
+//   rax = syscall number, args in rdi/rsi/rdx/r10/r8/r9,
+//   [rsp] = application return address (pushed by `call *%rax`).
+//
+// The stub skips the remaining red zone, saves every GPR the application
+// can observe, realigns, and calls the C++ dispatcher with a pointer to
+// the saved frame. The dispatcher writes the result into the frame's rax
+// slot.
+// ---------------------------------------------------------------------------
+asm(R"(
+    .text
+    .globl  k23_trampoline_entry
+    .type   k23_trampoline_entry, @function
+k23_trampoline_entry:
+    lea     -128(%rsp), %rsp
+    pushq   128(%rsp)           /* copy of the application return address */
+    push    %rax
+    push    %rdi
+    push    %rsi
+    push    %rdx
+    push    %rcx
+    push    %r8
+    push    %r9
+    push    %r10
+    push    %r11
+    push    %rbx
+    push    %rbp
+    push    %r12
+    push    %r13
+    push    %r14
+    push    %r15
+    mov     %rsp, %rdi          /* TrampolineFrame* */
+    mov     %rsp, %rbp          /* app rbp already saved; reuse as anchor */
+    and     $-16, %rsp
+    call    k23_trampoline_dispatch
+    mov     %rbp, %rsp
+    pop     %r15
+    pop     %r14
+    pop     %r13
+    pop     %r12
+    pop     %rbp
+    pop     %rbx
+    pop     %r11
+    pop     %r10
+    pop     %r9
+    pop     %r8
+    pop     %rcx
+    pop     %rdx
+    pop     %rsi
+    pop     %rdi
+    pop     %rax                /* syscall result placed by the dispatcher */
+    lea     8(%rsp), %rsp       /* drop the return-address copy */
+    lea     128(%rsp), %rsp     /* restore the red-zone skip */
+    ret
+    .size   k23_trampoline_entry, . - k23_trampoline_entry
+)");
+
+namespace {
+
+// Must mirror the push sequence above (lowest address first).
+struct TrampolineFrame {
+  uint64_t r15, r14, r13, r12, rbp, rbx, r11, r10, r9, r8;
+  uint64_t rcx, rdx, rsi, rdi, rax;
+  uint64_t return_address;
+};
+
+struct DispatchCall {
+  TrampolineFrame* frame;
+};
+
+long dispatch_on_current_stack(void* opaque) {
+  auto* frame = static_cast<DispatchCall*>(opaque)->frame;
+  SyscallArgs args;
+  args.nr = static_cast<long>(frame->rax);
+  args.rdi = static_cast<long>(frame->rdi);
+  args.rsi = static_cast<long>(frame->rsi);
+  args.rdx = static_cast<long>(frame->rdx);
+  args.r10 = static_cast<long>(frame->r10);
+  args.r8 = static_cast<long>(frame->r8);
+  args.r9 = static_cast<long>(frame->r9);
+
+  HookContext ctx;
+  ctx.return_address = frame->return_address;
+  ctx.site_address = frame->return_address - kSyscallInsnLen;
+  ctx.path = EntryPath::kRewritten;
+
+  if (args.nr == SYS_rt_sigreturn) {
+    // The restorer entered with rsp at the signal frame; our `call`
+    // pushed 8 bytes below it. The frame therefore starts just above the
+    // stored return address: &frame->return_address points into the stack
+    // at entry_rsp + 120... reconstruct from the frame layout instead:
+    // the return-address slot sits 128 bytes below the application rsp
+    // value at the call, whose pre-call value was (slot address + 8 + 128).
+    uint64_t app_rsp_after_call =
+        reinterpret_cast<uint64_t>(&frame->return_address) + 8 + 128;
+    args.rdi = static_cast<long>(app_rsp_after_call + 8);
+  }
+
+  return Dispatcher::instance().on_syscall(args, ctx);
+}
+
+}  // namespace
+
+extern "C" void k23_trampoline_dispatch(TrampolineFrame* frame) {
+  if (g_options.validator != nullptr) {
+    const uint64_t site = frame->return_address - kSyscallInsnLen;
+    if (!g_options.validator(site)) {
+      security_abort(
+          "trampoline entered from unknown site (NULL-exec check, P4a)");
+    }
+  }
+  DispatchCall call{frame};
+  long result;
+  if (g_options.dedicated_stack) {
+    result = k23_call_on_stack(&dispatch_on_current_stack, &call,
+                               t_dedicated_stack + kDedicatedStackSize);
+  } else {
+    result = dispatch_on_current_stack(&call);
+  }
+  frame->rax = static_cast<uint64_t>(result);
+}
+
+Status Trampoline::install(const Options& options) {
+  if (g_installed.load(std::memory_order_acquire)) {
+    return Status::fail("trampoline already installed");
+  }
+  const size_t total =
+      (options.sled_size + 16 + kPageSize - 1) & ~(kPageSize - 1);
+
+  void* page = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED_NOREPLACE, -1,
+                      0);
+  if (page != nullptr) {
+    if (page != MAP_FAILED) ::munmap(page, total);
+    return Status::fail(
+        "cannot map virtual address 0 (vm.mmap_min_addr, or page in use)");
+  }
+
+  uint8_t* p = launder_va0_addr(0);
+  std::memset(p, 0x90 /* nop */, options.sled_size);
+  // movabs $k23_trampoline_entry, %r11 ; jmp *%r11  (r11 is syscall-
+  // clobbered anyway, so the application cannot observe the write).
+  size_t off = options.sled_size;
+  p[off++] = 0x49;
+  p[off++] = 0xbb;
+  const uint64_t target = reinterpret_cast<uint64_t>(&k23_trampoline_entry);
+  std::memcpy(p + off, &target, sizeof(target));
+  off += sizeof(target);
+  p[off++] = 0x41;
+  p[off++] = 0xff;
+  p[off++] = 0xe3;
+
+  // Protection: PKU gives true execute-only (reads fault too); without it
+  // PROT_EXEC implies readability on x86-64, but writes still fault.
+  g_xom_effective = false;
+  if (::mprotect(nullptr, total, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(nullptr, total);
+    return Status::from_errno("mprotect trampoline");
+  }
+  if (options.protect_xom) {
+    // PKEY_DISABLE_ACCESS: reads/writes fault, instruction fetch does not
+    // (PKU never gates execution) — i.e. execute-only memory.
+    int pkey = ::pkey_alloc(0, PKEY_DISABLE_ACCESS);
+    if (pkey >= 0) {
+      if (::pkey_mprotect(nullptr, total, PROT_EXEC, pkey) == 0) {
+        // Disable read/write access for this thread's PKRU by default.
+        g_pkey = pkey;
+        g_xom_effective = true;
+      } else {
+        ::pkey_free(pkey);
+      }
+    }
+  }
+
+  g_options = options;
+  g_mapped_size = total;
+  g_installed.store(true, std::memory_order_release);
+  K23_LOG(kDebug) << "trampoline installed at VA 0, sled="
+                  << options.sled_size << ", xom="
+                  << (g_xom_effective ? "pku" : "prot_exec");
+  return Status::ok();
+}
+
+bool Trampoline::installed() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+void Trampoline::remove() {
+  if (!installed()) return;
+  ::munmap(nullptr, g_mapped_size);
+  if (g_pkey >= 0) {
+    ::pkey_free(g_pkey);
+    g_pkey = -1;
+  }
+  g_options = Options{};
+  g_xom_effective = false;
+  g_installed.store(false, std::memory_order_release);
+}
+
+bool Trampoline::xom_effective() { return g_xom_effective; }
+
+const Trampoline::Options& Trampoline::options() { return g_options; }
+
+}  // namespace k23

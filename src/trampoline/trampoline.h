@@ -1,0 +1,65 @@
+// The virtual-address-0 trampoline (paper §2.2.1, §4.4, §5.3).
+//
+// Rewritten sites execute `call *%rax` with rax holding the syscall
+// number, so control lands at a small virtual address. The trampoline page
+// mapped at VA 0 starts with a sled of single-byte nops covering every
+// possible landing offset, followed by a jump into the register-saving
+// entry stub, which funnels into interpose::Dispatcher.
+//
+// Because mapping page 0 removes the classic fault-on-NULL behaviour, the
+// installer supports:
+//   * an entry validator — "did this call really come from a rewritten
+//     site?" (zpoline-ultra: AddressBitmap; K23-ultra: RobinSet; none:
+//     lazypoline, which is pitfall P4a);
+//   * XOM-style protection of the page (PKU when available, otherwise
+//     PROT_EXEC only) so NULL reads/writes still fault;
+//   * an optional dedicated-stack switch for the hook (K23-ultra+).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "interpose/dispatch.h"
+
+namespace k23 {
+
+// Returns false to reject (process is security_abort()ed). Must be
+// async-signal-safe; receives the *site* address (return_address - 2).
+using EntryValidatorFn = bool (*)(uint64_t site_address);
+
+class Trampoline {
+ public:
+  struct Options {
+    // Landing offsets [0, sled_size) are valid syscall numbers. 512
+    // covers the real table (max ~450) plus the paper's stress number
+    // 500 — zpoline's "typically N < 500" (every extra sled byte is a
+    // nop most calls execute, so keep it tight).
+    size_t sled_size = 512;
+    // Protect the page against NULL reads/writes (PKU if available, else
+    // PROT_EXEC only — recorded in `xom_effective`).
+    bool protect_xom = true;
+    // Reject entries from unknown sites (P4a defense). Null = no check.
+    EntryValidatorFn validator = nullptr;
+    // Run the dispatcher on a dedicated per-thread stack (K23-ultra+).
+    bool dedicated_stack = false;
+  };
+
+  // Maps and arms the trampoline. One per process. Fails cleanly when the
+  // environment forbids mapping VA 0 (see common/caps.h).
+  static Status install(const Options& options);
+  static bool installed();
+  // Unmaps the page and clears configuration (tests only; rewritten call
+  // sites must no longer execute).
+  static void remove();
+
+  // Whether true XOM (PKU) protection was applied, vs PROT_EXEC fallback.
+  static bool xom_effective();
+
+  static const Options& options();
+};
+
+// The asm entry stub (exposed for tests that examine the jump target).
+extern "C" void k23_trampoline_entry();
+
+}  // namespace k23

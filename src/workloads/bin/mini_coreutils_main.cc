@@ -1,0 +1,14 @@
+// Multi-call binary: mini_coreutils <pwd|touch|ls|cat|clear> [arg]
+#include <cstdio>
+#include <string>
+
+#include "workloads/coreutils.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <pwd|touch|ls|cat|clear> [arg]\n",
+                 argv[0]);
+    return 2;
+  }
+  return k23::run_coreutil(argv[1], argc >= 3 ? argv[2] : "");
+}

@@ -1,0 +1,30 @@
+// Standalone static-file HTTP server: mini_http [port] [body_bytes] [workers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/mini_http.h"
+
+int main(int argc, char** argv) {
+  k23::MiniHttpOptions options;
+  if (argc >= 2) options.port = static_cast<uint16_t>(std::atoi(argv[1]));
+  if (argc >= 3) options.body_size = static_cast<size_t>(std::atol(argv[2]));
+  if (argc >= 4) options.workers = std::atoi(argv[3]);
+
+  if (options.workers <= 1) {
+    uint16_t port = 0;
+    std::fprintf(stderr, "mini_http: single worker starting\n");
+    k23::Status st = k23::run_http_server_inline(options, &port);
+    std::fprintf(stderr, "mini_http: %s\n", st.message().c_str());
+    return st.is_ok() ? 0 : 1;
+  }
+  auto handle = k23::spawn_http_server(options);
+  if (!handle.is_ok()) {
+    std::fprintf(stderr, "mini_http: %s\n", handle.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "mini_http: %d workers on port %u\n", options.workers,
+               handle.value().port);
+  ::pause();
+  k23::stop_http_server(handle.value());
+  return 0;
+}

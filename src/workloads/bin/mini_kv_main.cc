@@ -1,0 +1,17 @@
+// Standalone KV server: mini_kv [port] [io_threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/mini_kv.h"
+
+int main(int argc, char** argv) {
+  k23::MiniKvOptions options;
+  if (argc >= 2) options.port = static_cast<uint16_t>(std::atoi(argv[1]));
+  if (argc >= 3) options.io_threads = std::atoi(argv[2]);
+  uint16_t port = 0;
+  std::fprintf(stderr, "mini_kv: starting (%d I/O threads)\n",
+               options.io_threads);
+  k23::Status st = k23::run_kv_server_inline(options, &port);
+  std::fprintf(stderr, "mini_kv: %s\n", st.message().c_str());
+  return st.is_ok() ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#include "workloads/coreutils.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <limits.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/files.h"
+#include "common/scope_guard.h"
+
+namespace k23 {
+
+Result<std::string> tool_pwd() {
+  char buf[PATH_MAX];
+  if (::getcwd(buf, sizeof(buf)) == nullptr) {
+    return Result<std::string>::from_errno("getcwd");
+  }
+  return std::string(buf);
+}
+
+Status tool_touch(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_NOCTTY | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Status::from_errno("open");
+  ::close(fd);
+  if (::utimensat(AT_FDCWD, path.c_str(), nullptr, 0) != 0) {
+    return Status::from_errno("utimensat");
+  }
+  return Status::ok();
+}
+
+Result<std::string> tool_ls(const std::string& directory) {
+  DIR* dir = ::opendir(directory.c_str());
+  if (dir == nullptr) return Result<std::string>::from_errno("opendir");
+  auto closer = make_scope_guard([dir] { ::closedir(dir); });
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    names.emplace_back(entry->d_name);
+  }
+  std::sort(names.begin(), names.end());
+  std::string out;
+  for (const auto& name : names) {
+    // Real ls stats each entry (for type/permissions): keep that
+    // syscall pattern.
+    struct stat st;
+    (void)::fstatat(::dirfd(dir), name.c_str(), &st, AT_SYMLINK_NOFOLLOW);
+    out += name;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> tool_cat(const std::string& path) {
+  return read_file(path);
+}
+
+std::string tool_clear() {
+  // What ncurses' clear(1) emits for common terminals.
+  return "\x1b[H\x1b[2J\x1b[3J";
+}
+
+int run_coreutil(const std::string& tool, const std::string& argument) {
+  auto emit = [](const std::string& text) {
+    ::fwrite(text.data(), 1, text.size(), stdout);
+    ::fflush(stdout);
+  };
+  if (tool == "pwd") {
+    auto out = tool_pwd();
+    if (!out.is_ok()) return 1;
+    emit(out.value() + "\n");
+    return 0;
+  }
+  if (tool == "touch") {
+    return tool_touch(argument).is_ok() ? 0 : 1;
+  }
+  if (tool == "ls") {
+    auto out = tool_ls(argument.empty() ? "." : argument);
+    if (!out.is_ok()) return 1;
+    emit(out.value());
+    return 0;
+  }
+  if (tool == "cat") {
+    auto out = tool_cat(argument);
+    if (!out.is_ok()) return 1;
+    emit(out.value());
+    return 0;
+  }
+  if (tool == "clear") {
+    emit(tool_clear());
+    return 0;
+  }
+  ::fprintf(stderr, "mini_coreutils: unknown tool '%s'\n", tool.c_str());
+  return 2;
+}
+
+}  // namespace k23

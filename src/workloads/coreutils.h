@@ -1,0 +1,35 @@
+// Mini coreutils (pwd, touch, ls, cat, clear) — the Table 2 workloads.
+//
+// Implemented against libc (as the real coreutils are), so the offline
+// phase observes them the same way it observes GNU coreutils: a handful
+// of unique syscall sites in libc per tool. Each tool is a function so
+// the Table 2 harness can run them in-process under libLogger, plus a
+// multi-call binary (mini_coreutils <tool> [args]) for tracing examples.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+
+namespace k23 {
+
+// pwd: print the current working directory.
+Result<std::string> tool_pwd();
+
+// touch: create the file / update its mtime.
+Status tool_touch(const std::string& path);
+
+// ls: list directory entries (sorted), one per line.
+Result<std::string> tool_ls(const std::string& directory);
+
+// cat: read a file and return its contents (the binary writes to stdout).
+Result<std::string> tool_cat(const std::string& path);
+
+// clear: emit the ANSI clear-screen sequence.
+std::string tool_clear();
+
+// Entry point shared with the mini_coreutils binary: runs a tool by name
+// with an optional argument, writing output to stdout. Returns exit code.
+int run_coreutil(const std::string& tool, const std::string& argument);
+
+}  // namespace k23

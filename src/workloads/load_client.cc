@@ -1,0 +1,165 @@
+#include "workloads/load_client.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workloads/net.h"
+
+namespace k23 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One request/response state machine per connection. The client drives
+// all connections from one epoll loop (the paper matches client threads
+// to server workers; on this box both are loopback-bound anyway).
+struct ClientConn {
+  int fd = -1;
+  std::string inbox;
+  bool awaiting_reply = false;
+};
+
+struct Protocol {
+  std::string request;
+  std::string reply_terminator;        // frame delimiter scan
+  size_t (*frame_size)(const std::string& inbox);  // 0 = incomplete
+};
+
+// HTTP: responses are Content-Length framed; we know the server sends a
+// fixed-size response, so learn the frame size from the first reply.
+size_t http_frame_size(const std::string& inbox) {
+  const size_t header_end = inbox.find("\r\n\r\n");
+  if (header_end == std::string::npos) return 0;
+  const size_t content = inbox.find("Content-Length: ");
+  if (content == std::string::npos || content > header_end) return 0;
+  const size_t value_begin = content + std::strlen("Content-Length: ");
+  const size_t value_end = inbox.find("\r\n", value_begin);
+  size_t length = 0;
+  for (size_t i = value_begin; i < value_end; ++i) {
+    if (inbox[i] < '0' || inbox[i] > '9') return 0;
+    length = length * 10 + static_cast<size_t>(inbox[i] - '0');
+  }
+  const size_t total = header_end + 4 + length;
+  return inbox.size() >= total ? total : 0;
+}
+
+// KV (RESP-like): replies are single "$<len>\r\n<payload>\r\n" bulk
+// strings or "+OK\r\n" / "$-1\r\n".
+size_t kv_frame_size(const std::string& inbox) {
+  if (inbox.empty()) return 0;
+  if (inbox[0] == '+' || inbox[0] == '-') {
+    const size_t end = inbox.find("\r\n");
+    return end == std::string::npos ? 0 : end + 2;
+  }
+  if (inbox[0] == '$') {
+    const size_t len_end = inbox.find("\r\n");
+    if (len_end == std::string::npos) return 0;
+    long length = std::strtol(inbox.c_str() + 1, nullptr, 10);
+    if (length < 0) return len_end + 2;  // $-1\r\n (nil)
+    const size_t total = len_end + 2 + static_cast<size_t>(length) + 2;
+    return inbox.size() >= total ? total : 0;
+  }
+  return 0;
+}
+
+Result<LoadResult> run_load(const LoadOptions& options,
+                            const Protocol& protocol) {
+  std::vector<ClientConn> conns(options.connections);
+  EpollLoop loop;
+  K23_RETURN_IF_ERROR(loop.init());
+
+  for (int i = 0; i < options.connections; ++i) {
+    auto fd = tcp_connect(options.port);
+    if (!fd.is_ok()) return fd.error();
+    conns[i].fd = fd.value();
+    (void)set_nodelay(fd.value());
+    (void)set_nonblocking(fd.value(), true);
+    K23_RETURN_IF_ERROR(
+        loop.add(fd.value(), EPOLLIN | EPOLLOUT, static_cast<uint64_t>(i)));
+  }
+
+  LoadResult result;
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration<double>(options.duration_seconds);
+  char buf[8192];
+  EpollLoop::Event events[64];
+
+  while (Clock::now() < deadline) {
+    auto n = loop.wait(events, 64, 10);
+    if (!n.is_ok()) return n.status();
+    for (int i = 0; i < n.value(); ++i) {
+      ClientConn& conn = conns[events[i].tag];
+      if (conn.fd < 0) continue;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        ++result.errors;
+        (void)loop.remove(conn.fd);
+        ::close(conn.fd);
+        conn.fd = -1;
+        continue;
+      }
+      if (!conn.awaiting_reply && (events[i].events & EPOLLOUT) != 0) {
+        if (write_all(conn.fd, protocol.request.data(),
+                      protocol.request.size())
+                .is_ok()) {
+          conn.awaiting_reply = true;
+          (void)loop.modify(conn.fd, EPOLLIN, events[i].tag);
+        } else {
+          ++result.errors;
+        }
+      }
+      if (conn.awaiting_reply && (events[i].events & EPOLLIN) != 0) {
+        while (true) {
+          ssize_t got = ::read(conn.fd, buf, sizeof(buf));
+          if (got > 0) {
+            conn.inbox.append(buf, static_cast<size_t>(got));
+            continue;
+          }
+          break;
+        }
+        size_t frame;
+        while ((frame = protocol.frame_size(conn.inbox)) != 0) {
+          conn.inbox.erase(0, frame);
+          ++result.requests;
+          conn.awaiting_reply = false;
+        }
+        if (!conn.awaiting_reply) {
+          (void)loop.modify(conn.fd, EPOLLIN | EPOLLOUT, events[i].tag);
+        }
+      }
+    }
+  }
+
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (auto& conn : conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<LoadResult> run_http_load(const LoadOptions& options) {
+  Protocol protocol;
+  protocol.request =
+      "GET / HTTP/1.1\r\nHost: localhost\r\nConnection: keep-alive\r\n\r\n";
+  protocol.frame_size = &http_frame_size;
+  return run_load(options, protocol);
+}
+
+Result<LoadResult> run_kv_load(const LoadOptions& options) {
+  Protocol protocol;
+  // RESP inline-ish command; the server also understands SET (see
+  // mini_kv.cc). 100% GET matches the paper's redis-benchmark workload.
+  protocol.request = "GET bench:key:1\r\n";
+  protocol.frame_size = &kv_frame_size;
+  return run_load(options, protocol);
+}
+
+}  // namespace k23

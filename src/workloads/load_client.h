@@ -1,0 +1,36 @@
+// Load generators: an HTTP client (wrk stand-in) and a KV client
+// (redis-benchmark stand-in). Both run C concurrent keep-alive
+// connections against 127.0.0.1 for a fixed duration and report
+// completed requests per second — the Table 6 metric.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace k23 {
+
+struct LoadResult {
+  uint64_t requests = 0;
+  double seconds = 0;
+  uint64_t errors = 0;
+
+  double requests_per_second() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  }
+};
+
+struct LoadOptions {
+  uint16_t port = 0;
+  int connections = 16;   // paper: 16 connections per client thread
+  double duration_seconds = 2.0;
+};
+
+// HTTP: GET / with keep-alive; counts complete 200 responses.
+Result<LoadResult> run_http_load(const LoadOptions& options);
+
+// KV: alternating pipeline-free GET requests (paper: 100% GET workload);
+// counts complete replies.
+Result<LoadResult> run_kv_load(const LoadOptions& options);
+
+}  // namespace k23

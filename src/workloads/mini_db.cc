@@ -1,0 +1,291 @@
+#include "workloads/mini_db.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "common/scope_guard.h"
+
+namespace k23 {
+namespace {
+
+// Frame header stored at the start of each WAL frame (inside the page).
+struct FrameHeader {
+  uint64_t magic = 0x4b323357414c3031ULL;  // "K23WAL01"
+  uint64_t page_number = 0;
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;
+  uint64_t commit_marker = 0;  // nonzero on the last frame of a commit
+};
+
+uint64_t fnv1a(const void* data, size_t length) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < length; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// Page payload: [u32 key_len][key][u32 value_len][value]
+std::string encode_record(const std::string& key, const std::string& value) {
+  std::string out;
+  uint32_t klen = key.size(), vlen = value.size();
+  out.append(reinterpret_cast<char*>(&klen), 4);
+  out.append(key);
+  out.append(reinterpret_cast<char*>(&vlen), 4);
+  out.append(value);
+  return out;
+}
+
+bool decode_record(const std::string& page, std::string* key,
+                   std::string* value) {
+  if (page.size() < 8) return false;
+  uint32_t klen;
+  std::memcpy(&klen, page.data(), 4);
+  if (4 + klen + 4 > page.size()) return false;
+  key->assign(page.data() + 4, klen);
+  uint32_t vlen;
+  std::memcpy(&vlen, page.data() + 4 + klen, 4);
+  if (4 + klen + 4 + vlen > page.size()) return false;
+  value->assign(page.data() + 4 + klen + 4, vlen);
+  return true;
+}
+
+}  // namespace
+
+Result<MiniDb*> MiniDb::open(const MiniDbOptions& options) {
+  auto* db = new MiniDb();
+  auto cleanup = make_scope_guard([db] { delete db; });
+  db->options_ = options;
+
+  const std::string db_path = options.directory + "/mini.db";
+  const std::string wal_path = options.directory + "/mini.db-wal";
+  db->db_fd_ = ::open(db_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (db->db_fd_ < 0) return Result<MiniDb*>::from_errno("open db");
+  db->wal_fd_ =
+      ::open(wal_path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (db->wal_fd_ < 0) return Result<MiniDb*>::from_errno("open wal");
+
+  K23_RETURN_IF_ERROR(db->load_existing());
+  cleanup.dismiss();
+  return db;
+}
+
+MiniDb::~MiniDb() {
+  if (db_fd_ >= 0) ::close(db_fd_);
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+}
+
+Status MiniDb::load_existing() {
+  // Recover the index: main file pages first, then WAL frames in order
+  // (newest frame for a page wins) — standard WAL read semantics.
+  const off_t db_size = ::lseek(db_fd_, 0, SEEK_END);
+  const auto page_size = static_cast<off_t>(options_.page_size);
+  for (off_t off = 0; off + page_size <= db_size; off += page_size) {
+    std::string page(options_.page_size, '\0');
+    if (::pread(db_fd_, page.data(), page.size(), off) !=
+        static_cast<ssize_t>(page.size())) {
+      return Status::from_errno("pread recover");
+    }
+    std::string key, value;
+    if (decode_record(page, &key, &value)) {
+      const uint64_t page_number = off / page_size;
+      index_[key] = page_number;
+      next_page_ = std::max(next_page_, page_number + 1);
+    }
+  }
+  const off_t wal_size = ::lseek(wal_fd_, 0, SEEK_END);
+  for (off_t off = 0; off + page_size <= wal_size; off += page_size) {
+    std::string frame(options_.page_size, '\0');
+    if (::pread(wal_fd_, frame.data(), frame.size(), off) !=
+        static_cast<ssize_t>(frame.size())) {
+      return Status::from_errno("pread wal recover");
+    }
+    FrameHeader header;
+    std::memcpy(&header, frame.data(), sizeof(header));
+    if (header.magic != FrameHeader{}.magic) break;  // torn tail
+    const std::string payload =
+        frame.substr(sizeof(header), header.payload_size);
+    if (fnv1a(payload.data(), payload.size()) != header.checksum) break;
+    wal_index_[header.page_number] = off;
+    std::string key, value;
+    if (decode_record(payload, &key, &value)) {
+      index_[key] = header.page_number;
+      next_page_ = std::max(next_page_, header.page_number + 1);
+    }
+    ++wal_frames_;
+  }
+  return Status::ok();
+}
+
+Status MiniDb::begin() {
+  if (in_transaction_) return Status::fail("nested transaction");
+  in_transaction_ = true;
+  return Status::ok();
+}
+
+Status MiniDb::write_frame(uint64_t page_number, const std::string& data) {
+  std::string frame(options_.page_size, '\0');
+  FrameHeader header;
+  header.page_number = page_number;
+  header.payload_size = data.size();
+  header.checksum = fnv1a(data.data(), data.size());
+  header.commit_marker = 0;
+  if (sizeof(header) + data.size() > frame.size()) {
+    return Status::fail("record larger than page");
+  }
+  std::memcpy(frame.data(), &header, sizeof(header));
+  std::memcpy(frame.data() + sizeof(header), data.data(), data.size());
+
+  const off_t offset = ::lseek(wal_fd_, 0, SEEK_END);
+  if (::pwrite(wal_fd_, frame.data(), frame.size(), offset) !=
+      static_cast<ssize_t>(frame.size())) {
+    return Status::from_errno("pwrite wal");
+  }
+  wal_index_[page_number] = offset;
+  ++wal_frames_;
+  return Status::ok();
+}
+
+Status MiniDb::put(const std::string& key, const std::string& value) {
+  const bool implicit = !in_transaction_;
+  if (implicit) K23_RETURN_IF_ERROR(begin());
+  auto it = index_.find(key);
+  const uint64_t page_number =
+      it != index_.end() ? it->second : next_page_++;
+  K23_RETURN_IF_ERROR(write_frame(page_number, encode_record(key, value)));
+  index_[key] = page_number;
+  if (implicit) return commit();
+  return Status::ok();
+}
+
+Result<std::string> MiniDb::read_page(uint64_t page_number) {
+  std::string page(options_.page_size, '\0');
+  auto wal_it = wal_index_.find(page_number);
+  if (wal_it != wal_index_.end()) {
+    if (::pread(wal_fd_, page.data(), page.size(), wal_it->second) !=
+        static_cast<ssize_t>(page.size())) {
+      return Result<std::string>::from_errno("pread wal");
+    }
+    FrameHeader header;
+    std::memcpy(&header, page.data(), sizeof(header));
+    return page.substr(sizeof(header), header.payload_size);
+  }
+  if (::pread(db_fd_, page.data(), page.size(),
+              page_number * options_.page_size) !=
+      static_cast<ssize_t>(page.size())) {
+    return Result<std::string>::from_errno("pread db");
+  }
+  return page;
+}
+
+Result<std::string> MiniDb::get(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::fail("key not found", ENOENT);
+  auto page = read_page(it->second);
+  if (!page.is_ok()) return page;
+  std::string stored_key, value;
+  if (!decode_record(page.value(), &stored_key, &value) ||
+      stored_key != key) {
+    return Status::fail("page/index mismatch", EIO);
+  }
+  return value;
+}
+
+Status MiniDb::commit() {
+  if (!in_transaction_) return Status::fail("no transaction");
+  in_transaction_ = false;
+  ++commits_;
+  // synchronous=NORMAL: one fdatasync of the WAL per commit; the main
+  // database file is only synced at checkpoint time.
+  if (options_.synchronous_normal) {
+    if (::fdatasync(wal_fd_) != 0) return Status::from_errno("fdatasync");
+  }
+  if (options_.auto_checkpoint && wal_frames_ > 1000) return checkpoint();
+  return Status::ok();
+}
+
+Status MiniDb::checkpoint() {
+  for (const auto& [page_number, wal_offset] : wal_index_) {
+    std::string frame(options_.page_size, '\0');
+    if (::pread(wal_fd_, frame.data(), frame.size(), wal_offset) !=
+        static_cast<ssize_t>(frame.size())) {
+      return Status::from_errno("pread checkpoint");
+    }
+    FrameHeader header;
+    std::memcpy(&header, frame.data(), sizeof(header));
+    std::string page = frame.substr(sizeof(header), header.payload_size);
+    page.resize(options_.page_size, '\0');
+    if (::pwrite(db_fd_, page.data(), page.size(),
+                 page_number * options_.page_size) !=
+        static_cast<ssize_t>(page.size())) {
+      return Status::from_errno("pwrite checkpoint");
+    }
+  }
+  if (::fdatasync(db_fd_) != 0) return Status::from_errno("fdatasync db");
+  if (::ftruncate(wal_fd_, 0) != 0) return Status::from_errno("truncate wal");
+  wal_index_.clear();
+  wal_frames_ = 0;
+  return Status::ok();
+}
+
+Result<DbSpeedtestReport> run_db_speedtest(const std::string& directory,
+                                           int size) {
+  MiniDbOptions options;
+  options.directory = directory;
+  auto db = MiniDb::open(options);
+  if (!db.is_ok()) return db.error();
+  auto cleanup = make_scope_guard([&] { delete db.value(); });
+
+  const auto start = std::chrono::steady_clock::now();
+  DbSpeedtestReport report;
+  const int rows = size * 25;  // sqlite speedtest1 scales counts by -size
+
+  // Phase 1: batched inserts (speedtest1's big INSERT transactions).
+  K23_RETURN_IF_ERROR(db.value()->begin());
+  for (int i = 0; i < rows; ++i) {
+    K23_RETURN_IF_ERROR(db.value()->put(
+        "row:" + std::to_string(i),
+        "payload-" + std::to_string(i * 2654435761u)));
+    ++report.operations;
+  }
+  K23_RETURN_IF_ERROR(db.value()->commit());
+
+  // Phase 2: point selects.
+  for (int i = 0; i < rows; ++i) {
+    auto value = db.value()->get("row:" + std::to_string(i % rows));
+    if (!value.is_ok()) return value.error();
+    ++report.operations;
+  }
+
+  // Phase 3: updates in small transactions (fdatasync per commit).
+  for (int batch = 0; batch < rows / 25; ++batch) {
+    K23_RETURN_IF_ERROR(db.value()->begin());
+    for (int i = 0; i < 25; ++i) {
+      const int row = batch * 25 + i;
+      K23_RETURN_IF_ERROR(db.value()->put("row:" + std::to_string(row),
+                                          "updated-" + std::to_string(row)));
+      ++report.operations;
+    }
+    K23_RETURN_IF_ERROR(db.value()->commit());
+  }
+
+  // Phase 4: verify reads land post-update.
+  for (int i = 0; i < rows; i += 7) {
+    auto value = db.value()->get("row:" + std::to_string(i));
+    if (!value.is_ok()) return value.error();
+    ++report.operations;
+  }
+
+  report.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return report;
+}
+
+}  // namespace k23

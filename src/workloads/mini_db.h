@@ -1,0 +1,76 @@
+// mini_db — an embedded, WAL-mode key-value store (sqlite stand-in).
+//
+// Matches the shape of the paper's sqlite configuration: a fresh
+// 4 KiB-page database in WAL mode with synchronous=NORMAL and no
+// auto-checkpointing. Writes append page-sized frames (with checksums)
+// to a write-ahead log; commits mark a frame batch and fdatasync at most
+// once per commit (NORMAL); reads consult the WAL index before the main
+// file. The speedtest-like driver (run_db_speedtest) performs the mixed
+// insert/select/update phases that make sqlite's benchmark syscall-dense:
+// every page touch is a pread/pwrite.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace k23 {
+
+struct MiniDbOptions {
+  std::string directory;       // database + WAL live here
+  size_t page_size = 4096;     // paper: 4 KiB pages
+  bool synchronous_normal = true;  // fdatasync on commit (NORMAL)
+  bool auto_checkpoint = false;    // paper: disabled
+};
+
+class MiniDb {
+ public:
+  static Result<MiniDb*> open(const MiniDbOptions& options);
+  ~MiniDb();
+  MiniDb(const MiniDb&) = delete;
+  MiniDb& operator=(const MiniDb&) = delete;
+
+  Status begin();
+  Status put(const std::string& key, const std::string& value);
+  Result<std::string> get(const std::string& key);
+  Status commit();
+
+  // Folds WAL frames back into the main database file.
+  Status checkpoint();
+
+  // Introspection for tests.
+  uint64_t wal_frames() const { return wal_frames_; }
+  uint64_t commits() const { return commits_; }
+
+ private:
+  MiniDb() = default;
+  Status write_frame(uint64_t page_number, const std::string& data);
+  Result<std::string> read_page(uint64_t page_number);
+  Status load_existing();
+
+  MiniDbOptions options_;
+  int db_fd_ = -1;
+  int wal_fd_ = -1;
+  // key -> page number holding the record (one record per page: crude but
+  // page-I/O faithful); pages assigned append-only.
+  std::map<std::string, uint64_t> index_;
+  // WAL index: page number -> newest WAL frame offset.
+  std::map<uint64_t, uint64_t> wal_index_;
+  uint64_t next_page_ = 0;
+  uint64_t wal_frames_ = 0;
+  uint64_t commits_ = 0;
+  bool in_transaction_ = false;
+};
+
+// speedtest1-like driver: size parameter scales row counts the way
+// sqlite's -size does. Returns wall-clock seconds.
+struct DbSpeedtestReport {
+  double seconds = 0;
+  uint64_t operations = 0;
+};
+Result<DbSpeedtestReport> run_db_speedtest(const std::string& directory,
+                                           int size = 100);
+
+}  // namespace k23

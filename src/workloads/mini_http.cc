@@ -1,0 +1,187 @@
+#include "workloads/mini_http.h"
+
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include <cstring>
+#include <string>
+
+#include "workloads/net.h"
+
+namespace k23 {
+namespace {
+
+std::string build_header(size_t body_size) {
+  std::string response = "HTTP/1.1 200 OK\r\n";
+  response += "Server: mini_http\r\n";
+  response += "Content-Type: text/plain\r\n";
+  response += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  response += "Connection: keep-alive\r\n\r\n";
+  return response;
+}
+
+// Writes header+body as two iovecs (lighttpd-style response path).
+Status writev_response(int fd, const std::string& header,
+                       const std::string& body) {
+  iovec iov[2];
+  iov[0] = {const_cast<char*>(header.data()), header.size()};
+  iov[1] = {const_cast<char*>(body.data()), body.size()};
+  size_t total = header.size() + body.size();
+  size_t sent = 0;
+  while (sent < total) {
+    ssize_t n = ::writev(fd, iov, 2);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("writev");
+    }
+    sent += static_cast<size_t>(n);
+    // Adjust iovecs for partial writes (rare on loopback).
+    size_t remaining = static_cast<size_t>(n);
+    for (auto& v : iov) {
+      const size_t take = std::min(remaining, v.iov_len);
+      v.iov_base = static_cast<char*>(v.iov_base) + take;
+      v.iov_len -= take;
+      remaining -= take;
+    }
+  }
+  return Status::ok();
+}
+
+// One keep-alive connection's receive buffer.
+struct Connection {
+  int fd = -1;
+  std::string inbox;
+};
+
+constexpr uint64_t kListenerTag = ~uint64_t{0};
+
+Status serve_loop(int listen_fd, const MiniHttpOptions& options) {
+  const std::string header = build_header(options.body_size);
+  const std::string body(options.body_size, 'x');
+  const std::string response = header + body;
+
+  EpollLoop loop;
+  K23_RETURN_IF_ERROR(loop.init());
+  K23_RETURN_IF_ERROR(loop.add(listen_fd, EPOLLIN, kListenerTag));
+
+  // fd-indexed connection table; loopback benches stay small.
+  std::vector<Connection> connections(4096);
+
+  char buf[8192];
+  EpollLoop::Event events[64];
+  while (options.stop == nullptr ||
+         !options.stop->load(std::memory_order_relaxed)) {
+    auto n = loop.wait(events, 64, 50);
+    if (!n.is_ok()) return n.status();
+    for (int i = 0; i < n.value(); ++i) {
+      if (events[i].tag == kListenerTag) {
+        while (true) {
+          int client = ::accept4(listen_fd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (client < 0) break;
+          if (static_cast<size_t>(client) >= connections.size()) {
+            connections.resize(client + 1);
+          }
+          connections[client] = Connection{client, {}};
+          (void)set_nodelay(client);
+          (void)loop.add(client, EPOLLIN, static_cast<uint64_t>(client));
+        }
+        continue;
+      }
+      const int fd = static_cast<int>(events[i].tag);
+      Connection& conn = connections[fd];
+      bool closed = false;
+      while (true) {
+        ssize_t got = ::read(fd, buf, sizeof(buf));
+        if (got > 0) {
+          conn.inbox.append(buf, static_cast<size_t>(got));
+          continue;
+        }
+        if (got == 0) closed = true;
+        break;  // EAGAIN or error or EOF
+      }
+      // Answer every complete request in the buffer (handles pipelining).
+      size_t pos;
+      while ((pos = conn.inbox.find("\r\n\r\n")) != std::string::npos) {
+        conn.inbox.erase(0, pos + 4);
+        Status sent = options.use_writev
+                          ? writev_response(fd, header, body)
+                          : write_all(fd, response.data(), response.size());
+        if (!sent.is_ok()) {
+          closed = true;
+          break;
+        }
+      }
+      if (closed) {
+        (void)loop.remove(fd);
+        ::close(fd);
+        conn = Connection{};
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status run_http_server_inline(const MiniHttpOptions& options,
+                              uint16_t* bound_port) {
+  auto listen_fd = tcp_listen(options.port);
+  if (!listen_fd.is_ok()) return listen_fd.status();
+  if (bound_port != nullptr) {
+    auto port = tcp_local_port(listen_fd.value());
+    if (!port.is_ok()) return port.status();
+    *bound_port = port.value();
+  }
+  (void)set_nonblocking(listen_fd.value(), true);
+  Status st = serve_loop(listen_fd.value(), options);
+  ::close(listen_fd.value());
+  return st;
+}
+
+Result<MiniHttpHandle> spawn_http_server(const MiniHttpOptions& options) {
+  // Bind in the parent so the port is known before workers start; each
+  // worker inherits the socket (same accept queue — classic prefork).
+  auto listen_fd = tcp_listen(options.port);
+  if (!listen_fd.is_ok()) return listen_fd.error();
+  auto port = tcp_local_port(listen_fd.value());
+  if (!port.is_ok()) return port.error();
+  (void)set_nonblocking(listen_fd.value(), true);
+
+  MiniHttpHandle handle;
+  handle.port = port.value();
+  for (int i = 0; i < options.workers; ++i) {
+    ::fflush(nullptr);
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      stop_http_server(handle);
+      ::close(listen_fd.value());
+      return Result<MiniHttpHandle>::from_errno("fork worker");
+    }
+    if (pid == 0) {
+      MiniHttpOptions worker = options;
+      worker.stop = nullptr;  // workers run until killed
+      Status st = serve_loop(listen_fd.value(), worker);
+      ::_exit(st.is_ok() ? 0 : 1);
+    }
+    handle.workers.push_back(pid);
+  }
+  ::close(listen_fd.value());
+  return handle;
+}
+
+void stop_http_server(const MiniHttpHandle& handle) {
+  for (pid_t pid : handle.workers) ::kill(pid, SIGKILL);
+  for (pid_t pid : handle.workers) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+}
+
+}  // namespace k23

@@ -1,0 +1,51 @@
+// mini_http — static-file HTTP/1.1 server (nginx / lighttpd stand-in).
+//
+// Matches the paper's Table 6 configurations: N workers sharing a port
+// (SO_REUSEPORT, like nginx's per-worker accept), each running a
+// level-triggered epoll loop, serving a fixed in-memory body of
+// configurable size (0 KB / 4 KB rows) with keep-alive.
+//
+// The request path is deliberately syscall-dense — accept4, read, write,
+// epoll_ctl, epoll_wait, close — because that is exactly the traffic an
+// interposer must keep cheap.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace k23 {
+
+struct MiniHttpOptions {
+  uint16_t port = 0;        // 0 = auto-assign
+  size_t body_size = 0;     // response body bytes (0 KB / 4 KB rows)
+  int workers = 1;          // forked worker processes sharing the port
+  // false: one buffered write per response (nginx-style buffer);
+  // true: writev of separate header+body iovecs (lighttpd-style) — a
+  // genuinely different syscall pattern for the Table 6 lighttpd rows.
+  bool use_writev = false;
+  // Stop flag polled between epoll waits (nullptr = run forever).
+  const std::atomic<bool>* stop = nullptr;
+};
+
+struct MiniHttpHandle {
+  uint16_t port = 0;
+  std::vector<pid_t> workers;  // empty when run inline
+};
+
+// Runs the accept/serve loop in the calling process (single worker).
+// Returns when *options.stop becomes true.
+Status run_http_server_inline(const MiniHttpOptions& options,
+                              uint16_t* bound_port = nullptr);
+
+// Forks `workers` processes each running the inline loop; returns
+// immediately with the bound port and worker pids. Callers stop the
+// server by killing the workers (SIGTERM) and reaping them.
+Result<MiniHttpHandle> spawn_http_server(const MiniHttpOptions& options);
+void stop_http_server(const MiniHttpHandle& handle);
+
+}  // namespace k23

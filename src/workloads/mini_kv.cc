@@ -1,0 +1,171 @@
+#include "workloads/mini_kv.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "workloads/net.h"
+
+namespace k23 {
+namespace {
+
+// Shared store: reader-heavy (the benchmark is 100% GET), so a
+// shared_mutex keeps multi-I/O-thread rows honest without a lock-free
+// structure the paper's redis doesn't have either.
+class Store {
+ public:
+  void set(const std::string& key, std::string value) {
+    std::unique_lock lock(mutex_);
+    map_[key] = std::move(value);
+  }
+
+  bool get(const std::string& key, std::string* value) const {
+    std::shared_lock lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    *value = it->second;
+    return true;
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::string> map_;
+};
+
+struct KvConn {
+  int fd = -1;
+  std::string inbox;
+};
+
+constexpr uint64_t kListenerTag = ~uint64_t{0};
+
+void handle_command(Store& store, const std::string& line,
+                    std::string* out) {
+  if (line.rfind("GET ", 0) == 0) {
+    std::string value;
+    if (store.get(line.substr(4), &value)) {
+      *out += "$" + std::to_string(value.size()) + "\r\n" + value + "\r\n";
+    } else {
+      *out += "$-1\r\n";
+    }
+  } else if (line.rfind("SET ", 0) == 0) {
+    const size_t space = line.find(' ', 4);
+    if (space != std::string::npos) {
+      store.set(line.substr(4, space - 4), line.substr(space + 1));
+      *out += "+OK\r\n";
+    } else {
+      *out += "-ERR missing value\r\n";
+    }
+  } else if (line == "PING") {
+    *out += "+PONG\r\n";
+  } else {
+    *out += "-ERR unknown command\r\n";
+  }
+}
+
+Status io_loop(Store& store, int listen_fd, const MiniKvOptions& options) {
+  EpollLoop loop;
+  K23_RETURN_IF_ERROR(loop.init());
+  K23_RETURN_IF_ERROR(loop.add(listen_fd, EPOLLIN, kListenerTag));
+
+  std::vector<KvConn> conns(4096);
+  char buf[8192];
+  EpollLoop::Event events[64];
+  while (options.stop == nullptr ||
+         !options.stop->load(std::memory_order_relaxed)) {
+    auto n = loop.wait(events, 64, 50);
+    if (!n.is_ok()) return n.status();
+    for (int i = 0; i < n.value(); ++i) {
+      if (events[i].tag == kListenerTag) {
+        while (true) {
+          int client = ::accept4(listen_fd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (client < 0) break;
+          if (static_cast<size_t>(client) >= conns.size()) {
+            conns.resize(client + 1);
+          }
+          conns[client] = KvConn{client, {}};
+          (void)set_nodelay(client);
+          (void)loop.add(client, EPOLLIN, static_cast<uint64_t>(client));
+        }
+        continue;
+      }
+      const int fd = static_cast<int>(events[i].tag);
+      KvConn& conn = conns[fd];
+      bool closed = false;
+      while (true) {
+        ssize_t got = ::read(fd, buf, sizeof(buf));
+        if (got > 0) {
+          conn.inbox.append(buf, static_cast<size_t>(got));
+          continue;
+        }
+        if (got == 0) closed = true;
+        break;
+      }
+      std::string reply;
+      size_t pos;
+      while ((pos = conn.inbox.find("\r\n")) != std::string::npos) {
+        std::string line = conn.inbox.substr(0, pos);
+        conn.inbox.erase(0, pos + 2);
+        handle_command(store, line, &reply);
+      }
+      if (!reply.empty() &&
+          !write_all(fd, reply.data(), reply.size()).is_ok()) {
+        closed = true;
+      }
+      if (closed) {
+        (void)loop.remove(fd);
+        ::close(fd);
+        conn = KvConn{};
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status run_kv_server_inline(const MiniKvOptions& options,
+                            uint16_t* bound_port) {
+  static Store store;  // shared across I/O threads
+  for (int i = 0; i < options.preload_keys; ++i) {
+    store.set("bench:key:" + std::to_string(i), std::string(64, 'v'));
+  }
+
+  // First listener binds (possibly auto-assigned); extra I/O threads get
+  // their own SO_REUSEPORT listener on the same port.
+  auto first = tcp_listen(options.port);
+  if (!first.is_ok()) return first.status();
+  auto port = tcp_local_port(first.value());
+  if (!port.is_ok()) return port.status();
+  if (bound_port != nullptr) *bound_port = port.value();
+  (void)set_nonblocking(first.value(), true);
+
+  std::vector<std::thread> threads;
+  std::vector<int> extra_fds;
+  for (int i = 1; i < options.io_threads; ++i) {
+    auto fd = tcp_listen(port.value());
+    if (!fd.is_ok()) return fd.status();
+    (void)set_nonblocking(fd.value(), true);
+    extra_fds.push_back(fd.value());
+    threads.emplace_back([&store, fd = fd.value(), &options] {
+      (void)io_loop(store, fd, options);
+    });
+  }
+
+  Status st = io_loop(store, first.value(), options);
+  for (auto& t : threads) t.join();
+  ::close(first.value());
+  for (int fd : extra_fds) ::close(fd);
+  return st;
+}
+
+}  // namespace k23

@@ -1,0 +1,34 @@
+// mini_kv — in-memory key-value server speaking a RESP-like inline
+// protocol (redis stand-in for Table 6).
+//
+// Commands (newline-framed, case-sensitive):
+//   GET <key>          -> "$<len>\r\n<value>\r\n" or "$-1\r\n"
+//   SET <key> <value>  -> "+OK\r\n"
+//   PING               -> "+PONG\r\n"
+//
+// Threading mirrors the paper's two redis configurations: 1 I/O thread
+// (classic single-threaded redis) or N I/O threads each running its own
+// epoll loop over a SO_REUSEPORT listener.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace k23 {
+
+struct MiniKvOptions {
+  uint16_t port = 0;      // 0 = auto-assign
+  int io_threads = 1;
+  const std::atomic<bool>* stop = nullptr;
+  // Keys preloaded as bench:key:<i> = 64-byte values (so GET hits).
+  int preload_keys = 16;
+};
+
+// Runs in the calling process; spawns (io_threads - 1) extra threads.
+// Returns when *options.stop becomes true.
+Status run_kv_server_inline(const MiniKvOptions& options,
+                            uint16_t* bound_port = nullptr);
+
+}  // namespace k23

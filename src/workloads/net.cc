@@ -1,0 +1,184 @@
+#include "workloads/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace k23 {
+
+Result<int> tcp_listen(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Result<int>::from_errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Result<int>::from_errno("bind");
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return Result<int>::from_errno("listen");
+  }
+  return fd;
+}
+
+Result<uint16_t> tcp_local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Result<uint16_t>::from_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<int> tcp_connect(uint16_t port, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return Result<int>::from_errno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;
+    }
+    ::close(fd);
+    if (errno != ECONNREFUSED && errno != EINTR) {
+      return Result<int>::from_errno("connect");
+    }
+    ::usleep(10'000);  // server may still be binding
+  }
+  return Status::fail("connect: server never came up", ECONNREFUSED);
+}
+
+Status write_all(int fd, const void* data, size_t length) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t off = 0;
+  while (off < length) {
+    ssize_t n = ::write(fd, p + off, length - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("write");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status read_exact(int fd, void* data, size_t length) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t off = 0;
+  while (off < length) {
+    ssize_t n = ::read(fd, p + off, length - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::from_errno("read");
+    }
+    if (n == 0) return Status::fail("unexpected EOF", EPIPE);
+    off += static_cast<size_t>(n);
+  }
+  return Status::ok();
+}
+
+Result<std::string> read_until(int fd, const std::string& terminator,
+                               size_t max) {
+  std::string out;
+  char buf[4096];
+  while (out.size() < max) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Result<std::string>::from_errno("read");
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+    if (out.find(terminator) != std::string::npos) return out;
+  }
+  if (out.find(terminator) != std::string::npos) return out;
+  return Status::fail("terminator not found", EPROTO);
+}
+
+Status set_nonblocking(int fd, bool enabled) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::from_errno("fcntl F_GETFL");
+  flags = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::from_errno("fcntl F_SETFL");
+  }
+  return Status::ok();
+}
+
+Status set_nodelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Status::from_errno("setsockopt TCP_NODELAY");
+  }
+  return Status::ok();
+}
+
+EpollLoop::~EpollLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EpollLoop::init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Status::from_errno("epoll_create1");
+  return Status::ok();
+}
+
+Status EpollLoop::add(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::from_errno("epoll_ctl ADD");
+  }
+  return Status::ok();
+}
+
+Status EpollLoop::modify(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::from_errno("epoll_ctl MOD");
+  }
+  return Status::ok();
+}
+
+Status EpollLoop::remove(int fd) {
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return Status::from_errno("epoll_ctl DEL");
+  }
+  return Status::ok();
+}
+
+Result<int> EpollLoop::wait(Event* events, int capacity, int timeout_ms) {
+  epoll_event raw[64];
+  if (capacity > 64) capacity = 64;
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, raw, capacity, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Result<int>::from_errno("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    events[i].tag = raw[i].data.u64;
+    events[i].events = raw[i].events;
+  }
+  return n;
+}
+
+}  // namespace k23

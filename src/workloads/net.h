@@ -1,0 +1,63 @@
+// Minimal TCP/epoll plumbing for the benchmark workloads.
+//
+// The paper's macrobenchmarks (Table 6) run nginx/lighttpd/redis under
+// each interposer; these helpers implement the same syscall-heavy
+// accept/recv/send/epoll loops for the from-scratch stand-ins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace k23 {
+
+// Listening socket on 127.0.0.1:port (port 0 = kernel-assigned; the
+// chosen port is returned). SO_REUSEADDR + SO_REUSEPORT so multi-worker
+// servers can share a port the way nginx workers do.
+Result<int> tcp_listen(uint16_t port, int backlog = 128);
+
+// Port a listening socket is bound to.
+Result<uint16_t> tcp_local_port(int fd);
+
+// Blocking connect to 127.0.0.1:port with retry while the server starts.
+Result<int> tcp_connect(uint16_t port, int max_attempts = 50);
+
+// Full-buffer I/O (retry on EINTR / partial transfers).
+Status write_all(int fd, const void* data, size_t length);
+Status read_exact(int fd, void* data, size_t length);
+
+// Reads until `terminator` is seen or `max` bytes arrive.
+Result<std::string> read_until(int fd, const std::string& terminator,
+                               size_t max = 1 << 20);
+
+Status set_nonblocking(int fd, bool enabled);
+Status set_nodelay(int fd);
+
+// Thin epoll wrapper (edge cases kept simple: level-triggered).
+class EpollLoop {
+ public:
+  EpollLoop() = default;
+  ~EpollLoop();
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  Status init();
+  Status add(int fd, uint32_t events, uint64_t tag);
+  Status modify(int fd, uint32_t events, uint64_t tag);
+  Status remove(int fd);
+
+  struct Event {
+    uint64_t tag = 0;
+    uint32_t events = 0;
+  };
+  // Waits up to timeout_ms; fills `events` (size = capacity), returns count.
+  Result<int> wait(Event* events, int capacity, int timeout_ms);
+
+  int fd() const { return epoll_fd_; }
+
+ private:
+  int epoll_fd_ = -1;
+};
+
+}  // namespace k23

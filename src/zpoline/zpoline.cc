@@ -1,0 +1,100 @@
+#include "zpoline/zpoline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "container/address_bitmap.h"
+#include "rewrite/nopatch.h"
+#include "rewrite/patcher.h"
+#include "trampoline/trampoline.h"
+
+namespace k23 {
+namespace {
+
+struct ZpolineState {
+  bool initialized = false;
+  ZpolineVariant variant = ZpolineVariant::kDefault;
+  std::vector<SyscallSite> rewritten;
+  AddressBitmap bitmap;  // -ultra only
+};
+
+ZpolineState& state() {
+  static ZpolineState s;
+  return s;
+}
+
+bool bitmap_validator(uint64_t site) { return state().bitmap.test(site); }
+
+}  // namespace
+
+Result<size_t> ZpolineInterposer::init(const Options& options) {
+  ZpolineState& s = state();
+  if (s.initialized) return Status::fail("zpoline already initialized");
+
+  // 1. Static scan of everything currently mapped (zpoline's load-time
+  //    disassembly step). Anything loaded or generated later is missed —
+  //    pitfall P2a, by design.
+  auto scanned = scan_self_filtered(options.scan_mode, options.path_suffixes);
+  if (!scanned.is_ok()) return scanned.error();
+
+  std::vector<uint64_t> addresses;
+  for (const SyscallSite& site : scanned.value().sites) {
+    if (in_nopatch_section(site.address)) continue;
+    addresses.push_back(site.address);
+    s.rewritten.push_back(site);
+  }
+
+  // 2. NULL-exec check bitmap (-ultra): mark valid sites across the whole
+  //    address space (pitfall P4b: huge virtual reservation).
+  s.variant = options.variant;
+  if (options.variant == ZpolineVariant::kUltra) {
+    K23_RETURN_IF_ERROR(s.bitmap.reserve());
+    for (uint64_t a : addresses) s.bitmap.set(a);
+  }
+
+  // 3. Trampoline at VA 0.
+  Trampoline::Options tramp;
+  if (options.variant == ZpolineVariant::kUltra) {
+    tramp.validator = &bitmap_validator;
+  }
+  K23_RETURN_IF_ERROR(Trampoline::install(tramp));
+
+  // 4. The single rewrite pass, with permission save/restore (zpoline
+  //    handles P5 by doing all rewriting up front, before threads exist).
+  CodePatcher patcher(PatchMode::kSafe);
+  // force: in kByteScan mode zpoline-style tools happily rewrite partial
+  // instructions and data (P3a); in kLinearSweep mode every site already
+  // holds real syscall bytes, so force changes nothing.
+  auto report =
+      patcher.patch_sites(addresses,
+                          /*force=*/options.scan_mode == ScanMode::kByteScan);
+  if (!report.is_ok()) return report.error();
+
+  s.initialized = true;
+  K23_LOG(kDebug) << "zpoline: rewrote " << report.value().patched << "/"
+                  << addresses.size() << " sites ("
+                  << scanned.value().stats.decode_failures
+                  << " disasm resyncs)";
+  return report.value().patched;
+}
+
+bool ZpolineInterposer::initialized() { return state().initialized; }
+
+void ZpolineInterposer::shutdown() {
+  ZpolineState& s = state();
+  if (!s.initialized) return;
+  CodePatcher patcher(PatchMode::kSafe);
+  for (const SyscallSite& site : s.rewritten) {
+    (void)patcher.unpatch_site(site.address, site.is_sysenter);
+  }
+  s.rewritten.clear();
+  Trampoline::remove();
+  s.bitmap = AddressBitmap();
+  s.initialized = false;
+}
+
+uint64_t ZpolineInterposer::bitmap_reserved_bytes() {
+  return state().bitmap.reserved() ? state().bitmap.reserved_bytes() : 0;
+}
+
+}  // namespace k23

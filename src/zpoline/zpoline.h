@@ -1,0 +1,52 @@
+// Reproduction of zpoline (Yasukata et al., USENIX ATC '23; paper §2.2.1).
+//
+// Load-time binary rewriting: disassemble every executable mapping,
+// rewrite each syscall/sysenter found to `call *%rax`, install the VA-0
+// trampoline. Faithful to the original's design envelope, including its
+// documented pitfalls:
+//   P1a — relies on LD_PRELOAD-style injection (bypassed by env clearing);
+//   P2a — misses sites the static disassembly cannot see, and anything
+//         generated/loaded after init;
+//   P2b — misses syscalls issued before init and vdso calls;
+//   P3a — inherits static-disassembly misidentification (exposed directly
+//         via ScanMode::kByteScan);
+//   P4b — the -ultra NULL-exec check costs a whole-address-space bitmap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "disasm/scanner.h"
+
+namespace k23 {
+
+enum class ZpolineVariant {
+  kDefault,  // no NULL-execution check
+  kUltra,    // AddressBitmap check at trampoline entry (Table 4)
+};
+
+class ZpolineInterposer {
+ public:
+  struct Options {
+    ZpolineVariant variant = ZpolineVariant::kDefault;
+    // Restrict rewriting to mappings whose path ends with one of these
+    // (empty = every file-backed executable mapping). Tests use this to
+    // scope rewrites; production zpoline rewrites everything.
+    std::vector<std::string> path_suffixes;
+    // kLinearSweep is what zpoline does; kByteScan demonstrates P3a.
+    ScanMode scan_mode = ScanMode::kLinearSweep;
+  };
+
+  // Installs trampoline + performs the single load-time rewrite.
+  // Returns the number of sites rewritten.
+  static Result<size_t> init(const Options& options);
+  static bool initialized();
+  static void shutdown();  // tests only: unpatches all rewritten sites
+
+  // Virtual bytes reserved by the -ultra bitmap (0 for -default): the
+  // P4b memory overhead measured in the benchmarks.
+  static uint64_t bitmap_reserved_bytes();
+};
+
+}  // namespace k23

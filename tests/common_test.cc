@@ -1,0 +1,290 @@
+// Unit tests: common utilities (Result/Status, strings, files, env,
+// signal-safe formatting).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "common/caps.h"
+#include "common/env.h"
+#include "common/files.h"
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/scope_guard.h"
+#include "common/strings.h"
+
+namespace k23 {
+namespace {
+
+// --- Result / Status --------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(st.message(), "OK");
+}
+
+TEST(Status, FromErrnoCapturesCodeAndContext) {
+  errno = ENOENT;
+  Status st = Status::from_errno("open config");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.error().code, ENOENT);
+  EXPECT_NE(st.message().find("open config"), std::string::npos);
+  EXPECT_NE(st.message().find("No such file"), std::string::npos);
+}
+
+TEST(Result, HoldsValueOrError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(-1), 42);
+
+  Result<int> bad(Error{EINVAL, "parse"});
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(bad.error().code, EINVAL);
+  EXPECT_FALSE(bad.status().is_ok());
+}
+
+TEST(Result, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.is_ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+Status fails_here() { return Status::fail("inner failure", EIO); }
+Status propagates() {
+  K23_RETURN_IF_ERROR(fails_here());
+  return Status::ok();
+}
+
+TEST(Result, ReturnIfErrorPropagates) {
+  Status st = propagates();
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.error().code, EIO);
+}
+
+// --- ScopeGuard --------------------------------------------------------------
+
+TEST(ScopeGuard, RunsOnExit) {
+  int runs = 0;
+  {
+    auto guard = make_scope_guard([&] { ++runs; });
+  }
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ScopeGuard, DismissCancels) {
+  int runs = 0;
+  {
+    auto guard = make_scope_guard([&] { ++runs; });
+    guard.dismiss();
+  }
+  EXPECT_EQ(runs, 0);
+}
+
+// --- strings -----------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  auto parts = split_whitespace("  one \t two\nthree  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[2], "three");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, ParseU64Decimal) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("12x").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+}
+
+TEST(Strings, ParseU64Hex) {
+  EXPECT_EQ(parse_u64("ff", 16), 255u);
+  EXPECT_EQ(parse_u64("0xff", 16), 255u);
+  EXPECT_EQ(parse_u64("7f1234500000", 16), 0x7f1234500000u);
+  EXPECT_FALSE(parse_u64("fg", 16).has_value());
+}
+
+TEST(Strings, ParseI64Signs) {
+  EXPECT_EQ(parse_i64("-42"), -42);
+  EXPECT_EQ(parse_i64("+42"), 42);
+  EXPECT_EQ(parse_i64("-9223372036854775808"), INT64_MIN);
+  EXPECT_FALSE(parse_i64("9223372036854775808").has_value());
+}
+
+TEST(Strings, ToHexRoundTrips) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xdeadbeef},
+                     UINT64_MAX}) {
+    EXPECT_EQ(parse_u64(to_hex(v), 16), v) << to_hex(v);
+  }
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("LD_PRELOAD=x", "LD_PRELOAD="));
+  EXPECT_FALSE(starts_with("LD", "LD_PRELOAD="));
+  EXPECT_TRUE(ends_with("/usr/lib/libc.so.6", "libc.so.6"));
+  EXPECT_FALSE(ends_with("libc.so", "libc.so.6"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ":"), "a:b:c");
+  EXPECT_EQ(join({}, ":"), "");
+  EXPECT_EQ(join({"solo"}, ":"), "solo");
+}
+
+// --- signal-safe formatting --------------------------------------------------
+
+TEST(SafeFormat, Decimal) {
+  char buf[32];
+  EXPECT_EQ(std::string(buf, format_decimal(0, buf, sizeof(buf))), "0");
+  EXPECT_EQ(std::string(buf, format_decimal(-123, buf, sizeof(buf))),
+            "-123");
+  EXPECT_EQ(std::string(buf, format_decimal(INT64_MIN, buf, sizeof(buf))),
+            "-9223372036854775808");
+}
+
+TEST(SafeFormat, Hex) {
+  char buf[32];
+  EXPECT_EQ(std::string(buf, format_hex(0, buf, sizeof(buf))), "0x0");
+  EXPECT_EQ(std::string(buf, format_hex(0xabc, buf, sizeof(buf))), "0xabc");
+}
+
+// --- files -------------------------------------------------------------------
+
+TEST(Files, WriteReadRoundTrip) {
+  auto dir = make_temp_dir("k23_files_");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value() + "/data.bin";
+  const std::string payload = std::string("hello\0world", 11);
+  ASSERT_TRUE(write_file(path, payload).is_ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), payload);
+  EXPECT_TRUE(file_exists(path));
+  ASSERT_TRUE(remove_tree(dir.value()).is_ok());
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST(Files, AppendAccumulates) {
+  auto dir = make_temp_dir("k23_files_");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value() + "/log.txt";
+  ASSERT_TRUE(append_file(path, "one\n").is_ok());
+  ASSERT_TRUE(append_file(path, "two\n").is_ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), "one\ntwo\n");
+  (void)remove_tree(dir.value());
+}
+
+TEST(Files, MakeReadOnlyPreventsWrites) {
+  auto dir = make_temp_dir("k23_files_");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value() + "/ro.txt";
+  ASSERT_TRUE(write_file(path, "locked").is_ok());
+  ASSERT_TRUE(make_read_only(path).is_ok());
+  if (::geteuid() != 0) {  // root bypasses mode bits
+    EXPECT_FALSE(write_file(path, "overwrite").is_ok());
+  }
+  (void)remove_tree(dir.value());
+}
+
+TEST(Files, SelfExePathResolves) {
+  auto exe = self_exe_path();
+  ASSERT_TRUE(exe.is_ok());
+  EXPECT_NE(exe.value().find("common_test"), std::string::npos);
+}
+
+TEST(Files, ReadMissingFileFails) {
+  auto r = read_file("/nonexistent/definitely/missing");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.error().code, ENOENT);
+}
+
+// --- env ---------------------------------------------------------------------
+
+TEST(Env, SetGetUnset) {
+  EnvBlock block;
+  block.set("FOO", "bar");
+  ASSERT_NE(block.get("FOO"), nullptr);
+  EXPECT_EQ(*block.get("FOO"), "FOO=bar");
+  block.set("FOO", "baz");  // overwrite, not duplicate
+  EXPECT_EQ(block.size(), 1u);
+  EXPECT_EQ(*block.get("FOO"), "FOO=baz");
+  block.unset("FOO");
+  EXPECT_EQ(block.get("FOO"), nullptr);
+}
+
+TEST(Env, GetDoesNotMatchPrefixes) {
+  EnvBlock block;
+  block.set("PATHS", "x");
+  EXPECT_EQ(block.get("PATH"), nullptr);
+}
+
+TEST(Env, EnsureLdPreloadAddsWhenMissing) {
+  EnvBlock block;
+  EXPECT_TRUE(block.ensure_ld_preload("/lib/libk23_preload.so"));
+  EXPECT_EQ(*block.get("LD_PRELOAD"), "LD_PRELOAD=/lib/libk23_preload.so");
+}
+
+TEST(Env, EnsureLdPreloadPrependsToExisting) {
+  EnvBlock block;
+  block.set("LD_PRELOAD", "/lib/other.so");
+  EXPECT_TRUE(block.ensure_ld_preload("/lib/libk23_preload.so"));
+  EXPECT_EQ(*block.get("LD_PRELOAD"),
+            "LD_PRELOAD=/lib/libk23_preload.so:/lib/other.so");
+}
+
+TEST(Env, EnsureLdPreloadIdempotent) {
+  EnvBlock block;
+  block.set("LD_PRELOAD", "/lib/libk23_preload.so:/lib/other.so");
+  EXPECT_FALSE(block.ensure_ld_preload("/lib/libk23_preload.so"));
+}
+
+TEST(Env, AsEnvpIsNullTerminated) {
+  EnvBlock block;
+  block.set("A", "1");
+  block.set("B", "2");
+  auto envp = block.as_envp();
+  ASSERT_EQ(envp.size(), 3u);
+  EXPECT_STREQ(envp[0], "A=1");
+  EXPECT_EQ(envp[2], nullptr);
+}
+
+TEST(Env, LdPreloadContainsMatchesSuffix) {
+  const char* envp[] = {"PATH=/bin",
+                        "LD_PRELOAD=/x/libk23_preload.so:/y/z.so", nullptr};
+  EXPECT_TRUE(ld_preload_contains(envp, "libk23_preload.so"));
+  EXPECT_TRUE(ld_preload_contains(envp, "z.so"));
+  EXPECT_FALSE(ld_preload_contains(envp, "absent.so"));
+  EXPECT_FALSE(ld_preload_contains(nullptr, "x"));
+}
+
+// --- capability probe ---------------------------------------------------------
+
+TEST(Caps, ProbeIsStableAcrossCalls) {
+  const Capabilities& first = capabilities();
+  const Capabilities& second = capabilities();
+  EXPECT_EQ(&first, &second);
+  EXPECT_FALSE(first.summary().empty());
+}
+
+}  // namespace
+}  // namespace k23

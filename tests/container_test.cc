@@ -1,0 +1,200 @@
+// Unit + property tests: RobinSet and AddressBitmap.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <unordered_set>
+
+#include "common/caps.h"
+#include "container/address_bitmap.h"
+#include "container/robin_set.h"
+
+namespace k23 {
+namespace {
+
+TEST(RobinSet, BasicInsertContainsErase) {
+  AddressSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.insert(0x1000));
+  EXPECT_FALSE(set.insert(0x1000));  // duplicate
+  EXPECT_TRUE(set.contains(0x1000));
+  EXPECT_FALSE(set.contains(0x2000));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.erase(0x1000));
+  EXPECT_FALSE(set.erase(0x1000));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(RobinSet, GrowsPastInitialCapacity) {
+  RobinSet<uint64_t> set(4);
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(set.insert(i * 7 + 1));
+  EXPECT_EQ(set.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(set.contains(i * 7 + 1));
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(RobinSet, ToVectorAndClear) {
+  AddressSet set;
+  set.insert(1);
+  set.insert(2);
+  set.insert(3);
+  auto v = set.to_vector();
+  EXPECT_EQ(std::set<uint64_t>(v.begin(), v.end()),
+            (std::set<uint64_t>{1, 2, 3}));
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(1));
+}
+
+TEST(RobinSet, MemoryBytesIsBounded) {
+  AddressSet set;
+  for (uint64_t i = 0; i < 92; ++i) set.insert(0x7f0000000000 + i * 13);
+  // Table 2's largest log (92 sites) must stay far under a megabyte —
+  // that is the whole point of P4b.
+  EXPECT_LT(set.memory_bytes(), 64u * 1024);
+}
+
+// Property: RobinSet agrees with std::unordered_set under a random
+// insert/erase/lookup workload, across several seeds.
+class RobinSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RobinSetProperty, MatchesReferenceSet) {
+  std::mt19937_64 rng(GetParam());
+  RobinSet<uint64_t, AddressHash> ours;
+  std::unordered_set<uint64_t> reference;
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t key = rng() % 512;  // small domain forces collisions
+    switch (rng() % 3) {
+      case 0:
+        EXPECT_EQ(ours.insert(key), reference.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(ours.erase(key), reference.erase(key) > 0);
+        break;
+      default:
+        EXPECT_EQ(ours.contains(key), reference.contains(key));
+    }
+    if (op % 1000 == 0) EXPECT_EQ(ours.size(), reference.size());
+  }
+  EXPECT_EQ(ours.size(), reference.size());
+  for (uint64_t key : reference) EXPECT_TRUE(ours.contains(key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobinSetProperty,
+                         ::testing::Values(1, 2, 3, 42, 0xdead, 0xbeef,
+                                           99991, 123456789));
+
+// Property: backward-shift deletion never corrupts probe chains.
+class RobinSetDeletionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RobinSetDeletionProperty, HeavyChurnKeepsInvariants) {
+  std::mt19937_64 rng(GetParam());
+  AddressSet set;
+  std::set<uint64_t> alive;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      uint64_t key = rng() % 4096;
+      set.insert(key);
+      alive.insert(key);
+    }
+    // Erase half.
+    std::vector<uint64_t> victims(alive.begin(), alive.end());
+    for (size_t i = 0; i < victims.size(); i += 2) {
+      EXPECT_TRUE(set.erase(victims[i]));
+      alive.erase(victims[i]);
+    }
+    for (uint64_t key : alive) {
+      EXPECT_TRUE(set.contains(key)) << "lost key " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobinSetDeletionProperty,
+                         ::testing::Values(7, 13, 1999));
+
+TEST(AddressBitmap, SetTestClear) {
+  AddressBitmap bitmap;
+  ASSERT_TRUE(bitmap.reserve(1 << 20).is_ok());
+  EXPECT_FALSE(bitmap.test(12345));
+  bitmap.set(12345);
+  EXPECT_TRUE(bitmap.test(12345));
+  EXPECT_FALSE(bitmap.test(12344));
+  EXPECT_FALSE(bitmap.test(12346));
+  bitmap.clear(12345);
+  EXPECT_FALSE(bitmap.test(12345));
+}
+
+TEST(AddressBitmap, OutOfRangeIsFalse) {
+  AddressBitmap bitmap;
+  ASSERT_TRUE(bitmap.reserve(1 << 20).is_ok());
+  bitmap.set(1 << 21);            // silently ignored
+  EXPECT_FALSE(bitmap.test(1 << 21));
+}
+
+TEST(AddressBitmap, RejectsDoubleReserveAndBadLimit) {
+  AddressBitmap bitmap;
+  ASSERT_TRUE(bitmap.reserve(1 << 20).is_ok());
+  EXPECT_FALSE(bitmap.reserve(1 << 20).is_ok());
+  AddressBitmap other;
+  EXPECT_FALSE(other.reserve(3).is_ok());  // not a multiple of 8
+  EXPECT_FALSE(other.reserve(0).is_ok());
+}
+
+TEST(AddressBitmap, FullAddressSpaceReservationIsLazy) {
+  // The P4b scenario: reserve the default 47-bit space (16 TiB of
+  // virtual bitmap), touch a handful of addresses, and confirm the
+  // physical footprint stays tiny.
+  AddressBitmap bitmap;
+  Status st = bitmap.reserve();
+  if (!st.is_ok()) GTEST_SKIP() << "overcommit policy forbids reservation";
+  EXPECT_EQ(bitmap.reserved_bytes(), (1ULL << 47) / 8);
+  for (uint64_t i = 0; i < 92; ++i) {
+    bitmap.set(0x7f0000000000ULL + i * 4096);
+  }
+  for (uint64_t i = 0; i < 92; ++i) {
+    EXPECT_TRUE(bitmap.test(0x7f0000000000ULL + i * 4096));
+  }
+  auto resident = bitmap.resident_bytes();
+  ASSERT_TRUE(resident.is_ok()) << resident.message();
+  // 92 spread-out bits still only dirty a few pages.
+  EXPECT_LT(resident.value(), 4u << 20);
+}
+
+TEST(AddressBitmap, MoveTransfersOwnership) {
+  AddressBitmap a;
+  ASSERT_TRUE(a.reserve(1 << 20).is_ok());
+  a.set(99);
+  AddressBitmap b = std::move(a);
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(a.reserved());  // NOLINT(bugprone-use-after-move)
+}
+
+// Property: bitmap agrees with a reference set over random addresses.
+class BitmapProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitmapProperty, MatchesReference) {
+  std::mt19937_64 rng(GetParam());
+  AddressBitmap bitmap;
+  ASSERT_TRUE(bitmap.reserve(1 << 22).is_ok());
+  std::set<uint64_t> reference;
+  for (int op = 0; op < 5000; ++op) {
+    const uint64_t address = rng() % (1 << 22);
+    if (rng() % 2 == 0) {
+      bitmap.set(address);
+      reference.insert(address);
+    } else {
+      bitmap.clear(address);
+      reference.erase(address);
+    }
+  }
+  for (int probe = 0; probe < 5000; ++probe) {
+    const uint64_t address = rng() % (1 << 22);
+    EXPECT_EQ(bitmap.test(address), reference.contains(address));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapProperty,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace k23

@@ -1,0 +1,126 @@
+// Property/fuzz tests for the x86-64 length decoder and patcher.
+//
+// The decoder must uphold its invariants on *arbitrary* bytes — a
+// rewriter that crashes or mis-sizes on weird input corrupts whatever it
+// scans (that is P3a's root cause). These sweeps run millions of random
+// decodes per suite.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "disasm/decoder.h"
+#include "disasm/scanner.h"
+#include "rewrite/patcher.h"
+
+namespace k23 {
+namespace {
+
+class DecoderFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecoderFuzz, InvariantsHoldOnRandomBytes) {
+  std::mt19937_64 rng(GetParam());
+  std::vector<uint8_t> buffer(64);
+  for (int round = 0; round < 200000; ++round) {
+    for (auto& b : buffer) b = static_cast<uint8_t>(rng());
+    const size_t window = 1 + rng() % buffer.size();
+    DecodedInsn insn =
+        decode_insn(std::span<const uint8_t>(buffer.data(), window));
+    if (insn.valid()) {
+      // A valid decode is non-empty, bounded, and within the window.
+      EXPECT_GT(insn.length, 0u);
+      EXPECT_LE(insn.length, kMaxInsnLength);
+      EXPECT_LE(insn.length, window);
+      if (insn.kind == InsnKind::kSyscall) {
+        // The final two bytes must actually be 0f 05.
+        EXPECT_EQ(buffer[insn.length - 2], 0x0f);
+        EXPECT_EQ(buffer[insn.length - 1], 0x05);
+      }
+    } else {
+      EXPECT_EQ(insn.length, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz,
+                         ::testing::Values(1, 7, 1337, 0xabcdef));
+
+class ScannerFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScannerFuzz, SweepTerminatesAndReportsInBounds) {
+  std::mt19937_64 rng(GetParam());
+  std::vector<uint8_t> buffer(4096);
+  for (int round = 0; round < 50; ++round) {
+    for (auto& b : buffer) b = static_cast<uint8_t>(rng());
+    for (ScanMode mode : {ScanMode::kLinearSweep, ScanMode::kByteScan}) {
+      ScanResult result = scan_buffer(buffer, 0x7f0000000000, mode);
+      for (const SyscallSite& site : result.sites) {
+        ASSERT_GE(site.address, 0x7f0000000000u);
+        ASSERT_LT(site.address, 0x7f0000000000u + buffer.size() - 1);
+        const size_t offset = site.address - 0x7f0000000000;
+        // Whatever mode flagged it, the bytes really are the opcode.
+        EXPECT_EQ(buffer[offset], 0x0f);
+        EXPECT_TRUE(buffer[offset + 1] == 0x05 ||
+                    buffer[offset + 1] == 0x34);
+      }
+      EXPECT_EQ(result.stats.bytes_scanned, buffer.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScannerFuzz, ::testing::Values(3, 99));
+
+TEST(DecoderExhaustive, EveryTwoByteSequenceDecodesSanely) {
+  // All 65536 two-byte starts (padded with nops): no crashes, no
+  // out-of-bounds lengths, and syscall/sysenter recognized exactly once
+  // each among no-prefix starts.
+  std::vector<uint8_t> buffer(18, 0x90);
+  int syscalls = 0;
+  int sysenters = 0;
+  for (int b0 = 0; b0 < 256; ++b0) {
+    for (int b1 = 0; b1 < 256; ++b1) {
+      buffer[0] = static_cast<uint8_t>(b0);
+      buffer[1] = static_cast<uint8_t>(b1);
+      DecodedInsn insn = decode_insn(std::span<const uint8_t>(buffer));
+      if (insn.valid()) {
+        ASSERT_LE(insn.length, kMaxInsnLength);
+        if (insn.kind == InsnKind::kSyscall && insn.length == 2) {
+          ++syscalls;
+        }
+        if (insn.kind == InsnKind::kSysenter && insn.length == 2) {
+          ++sysenters;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(syscalls, 1);   // only 0f 05
+  EXPECT_EQ(sysenters, 1);  // only 0f 34
+}
+
+TEST(PatcherProperty, CacheLineStraddleDetection) {
+  for (uint64_t base = 0; base < 256; ++base) {
+    const bool expected = (base % 64) != 63;
+    EXPECT_EQ(same_cache_line(base), expected) << base;
+  }
+}
+
+TEST(PatcherProperty, PatchUnpatchRoundTripsAtEveryLineOffset) {
+  // Sites at every offset within a cache line — including the straddle
+  // case — must patch and restore byte-exactly.
+  alignas(4096) static uint8_t page[4096];
+  for (size_t offset = 32; offset < 96; ++offset) {
+    page[offset] = 0x0f;
+    page[offset + 1] = 0x05;
+    const auto site = reinterpret_cast<uint64_t>(page + offset);
+    ASSERT_TRUE(patch_site_signal_safe(site, PatchMode::kSafe).is_ok())
+        << offset;
+    EXPECT_EQ(page[offset], 0xff) << offset;
+    EXPECT_EQ(page[offset + 1], 0xd0) << offset;
+    CodePatcher patcher;
+    ASSERT_TRUE(patcher.unpatch_site(site).is_ok());
+    EXPECT_EQ(page[offset], 0x0f) << offset;
+    EXPECT_EQ(page[offset + 1], 0x05) << offset;
+  }
+}
+
+}  // namespace
+}  // namespace k23

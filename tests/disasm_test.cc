@@ -1,0 +1,265 @@
+// Unit tests: x86-64 length decoder + syscall-site scanner.
+//
+// Length ground truth comes from hand-assembled encodings (checked
+// against `as`/objdump during development); the scanner is additionally
+// validated against the real libc in scanner self-scan tests.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/files.h"
+#include "disasm/decoder.h"
+#include "disasm/scanner.h"
+#include "elfio/elf_reader.h"
+
+namespace k23 {
+namespace {
+
+size_t decode_len(std::initializer_list<uint8_t> bytes) {
+  std::vector<uint8_t> code(bytes);
+  code.resize(code.size() + 16, 0x90);  // padding so truncation ≠ failure
+  return decode_insn(std::span<const uint8_t>(code.data(), code.size()))
+      .length;
+}
+
+TEST(Decoder, SyscallAndSysenterAreRecognized) {
+  const uint8_t syscall_bytes[] = {0x0f, 0x05};
+  auto insn = decode_insn(syscall_bytes);
+  EXPECT_EQ(insn.kind, InsnKind::kSyscall);
+  EXPECT_EQ(insn.length, 2u);
+
+  const uint8_t sysenter_bytes[] = {0x0f, 0x34};
+  insn = decode_insn(sysenter_bytes);
+  EXPECT_EQ(insn.kind, InsnKind::kSysenter);
+  EXPECT_EQ(insn.length, 2u);
+}
+
+// (encoding bytes, expected length) pairs covering the decoder tables.
+using LengthCase = std::tuple<std::vector<uint8_t>, size_t, const char*>;
+
+class DecoderLength : public ::testing::TestWithParam<LengthCase> {};
+
+TEST_P(DecoderLength, MatchesExpected) {
+  auto [bytes, expected, name] = GetParam();
+  bytes.resize(bytes.size() + 16, 0x90);
+  auto insn = decode_insn(std::span<const uint8_t>(bytes));
+  ASSERT_TRUE(insn.valid()) << name;
+  EXPECT_EQ(insn.length, expected) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoreEncodings, DecoderLength,
+    ::testing::Values(
+        LengthCase{{0x90}, 1, "nop"},
+        LengthCase{{0xc3}, 1, "ret"},
+        LengthCase{{0x50}, 1, "push rax"},
+        LengthCase{{0x55}, 1, "push rbp"},
+        LengthCase{{0x48, 0x89, 0xe5}, 3, "mov rbp,rsp"},
+        LengthCase{{0x48, 0x83, 0xec, 0x20}, 4, "sub rsp,0x20"},
+        LengthCase{{0x48, 0x81, 0xec, 0x00, 0x01, 0x00, 0x00}, 7,
+                   "sub rsp,0x100"},
+        LengthCase{{0xb8, 0x27, 0x00, 0x00, 0x00}, 5, "mov eax,0x27"},
+        LengthCase{{0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8}, 10,
+                   "movabs rax,imm64"},
+        LengthCase{{0x66, 0xb8, 0x34, 0x12}, 4, "mov ax,0x1234"},
+        LengthCase{{0xe8, 0x00, 0x00, 0x00, 0x00}, 5, "call rel32"},
+        LengthCase{{0xeb, 0x10}, 2, "jmp rel8"},
+        LengthCase{{0x74, 0x05}, 2, "je rel8"},
+        LengthCase{{0x0f, 0x84, 0x00, 0x01, 0x00, 0x00}, 6, "je rel32"},
+        LengthCase{{0xff, 0xd0}, 2, "call *rax"},
+        LengthCase{{0xff, 0x25, 0x00, 0x00, 0x00, 0x00}, 6,
+                   "jmp [rip+0] (PLT)"},
+        LengthCase{{0x8b, 0x45, 0xfc}, 3, "mov eax,[rbp-4]"},
+        LengthCase{{0x48, 0x8b, 0x04, 0x25, 0, 0, 0, 0}, 8,
+                   "mov rax,[abs32] (SIB no base)"},
+        LengthCase{{0x48, 0x8b, 0x44, 0x24, 0x08}, 5,
+                   "mov rax,[rsp+8] (SIB disp8)"},
+        LengthCase{{0x48, 0x8b, 0x84, 0x24, 0, 1, 0, 0}, 8,
+                   "mov rax,[rsp+256] (SIB disp32)"},
+        LengthCase{{0x48, 0x8d, 0x05, 1, 0, 0, 0}, 7, "lea rax,[rip+1]"},
+        LengthCase{{0xc6, 0x00, 0x7f}, 3, "mov byte [rax],0x7f"},
+        LengthCase{{0xc7, 0x00, 1, 2, 3, 4}, 6, "mov dword [rax],imm32"},
+        LengthCase{{0xf6, 0xc0, 0x01}, 3, "test al,1 (group3 imm)"},
+        LengthCase{{0xf7, 0xc0, 1, 0, 0, 0}, 6, "test eax,imm32"},
+        LengthCase{{0xf7, 0xd8}, 2, "neg eax (group3 no imm)"},
+        LengthCase{{0xf7, 0xe1}, 2, "mul ecx (group3 no imm)"},
+        LengthCase{{0xc2, 0x08, 0x00}, 3, "ret 8"},
+        LengthCase{{0xc8, 0x10, 0x00, 0x01}, 4, "enter 16,1"},
+        LengthCase{{0xcd, 0x80}, 2, "int 0x80"},
+        LengthCase{{0xa8, 0x01}, 2, "test al,1"},
+        LengthCase{{0x6a, 0x01}, 2, "push 1"},
+        LengthCase{{0x68, 1, 2, 3, 4}, 5, "push imm32"},
+        LengthCase{{0x69, 0xc0, 1, 0, 0, 0}, 6, "imul eax,eax,imm32"},
+        LengthCase{{0x6b, 0xc0, 0x08}, 3, "imul eax,eax,8"},
+        LengthCase{{0x63, 0xc0}, 2, "movsxd eax,eax"},
+        LengthCase{{0xa0, 1, 2, 3, 4, 5, 6, 7, 8}, 9, "mov al,moffs64"},
+        LengthCase{{0x48, 0xa1, 1, 2, 3, 4, 5, 6, 7, 8}, 10,
+                   "mov rax,moffs64"},
+        LengthCase{{0xd1, 0xe0}, 2, "shl eax,1"},
+        LengthCase{{0xc1, 0xe0, 0x04}, 3, "shl eax,4"},
+        LengthCase{{0xd8, 0xc0}, 2, "fadd st0 (x87)"},
+        LengthCase{{0xe2, 0xfe}, 2, "loop -2"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    PrefixedEncodings, DecoderLength,
+    ::testing::Values(
+        LengthCase{{0xf3, 0xc3}, 2, "rep ret"},
+        LengthCase{{0xf0, 0x48, 0x0f, 0xb1, 0x0f}, 5, "lock cmpxchg"},
+        LengthCase{{0x64, 0x48, 0x8b, 0x04, 0x25, 0x28, 0, 0, 0}, 9,
+                   "mov rax, fs:[0x28] (stack guard)"},
+        LengthCase{{0xf3, 0x0f, 0x1e, 0xfa}, 4, "endbr64"},
+        LengthCase{{0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00}, 6,
+                   "nopw [rax+rax]"},
+        LengthCase{{0x2e, 0x0f, 0x1f, 0x84, 0x00, 0, 0, 0, 0}, 9,
+                   "cs nopl pad"},
+        LengthCase{{0xf2, 0x0f, 0x10, 0x05, 1, 0, 0, 0}, 8,
+                   "movsd xmm0,[rip+1]"},
+        LengthCase{{0x66, 0x90}, 2, "xchg ax,ax"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SimdEncodings, DecoderLength,
+    ::testing::Values(
+        LengthCase{{0x0f, 0x10, 0x06}, 3, "movups xmm0,[rsi]"},
+        LengthCase{{0x0f, 0x70, 0xc0, 0x4e}, 4, "pshufw (0F+ib)"},
+        LengthCase{{0x66, 0x0f, 0x70, 0xc0, 0x4e}, 5, "pshufd"},
+        LengthCase{{0x0f, 0xc2, 0xc1, 0x00}, 4, "cmpps xmm0,xmm1,0"},
+        LengthCase{{0x66, 0x0f, 0x38, 0x17, 0xc0}, 5, "ptest (0F38)"},
+        LengthCase{{0x66, 0x0f, 0x3a, 0x0f, 0xc1, 0x08}, 6,
+                   "palignr (0F3A+ib)"},
+        // VEX
+        LengthCase{{0xc5, 0xf8, 0x10, 0x06}, 4, "vmovups xmm0,[rsi]"},
+        LengthCase{{0xc5, 0xfd, 0x6f, 0x07}, 4, "vmovdqa ymm0,[rdi]"},
+        LengthCase{{0xc4, 0xe2, 0x7d, 0x5a, 0x07}, 5,
+                   "vbroadcasti128 (VEX 0F38)"},
+        LengthCase{{0xc4, 0xe3, 0x7d, 0x39, 0xc1, 0x01}, 6,
+                   "vextracti128 (VEX 0F3A+ib)"},
+        LengthCase{{0xc5, 0xfd, 0x70, 0xc0, 0x4e}, 5,
+                   "vpshufd ymm (VEX map1 ib)"},
+        // EVEX
+        LengthCase{{0x62, 0xf1, 0x7c, 0x48, 0x10, 0x07}, 6,
+                   "vmovups zmm0,[rdi] (EVEX)"},
+        LengthCase{{0x62, 0xf1, 0x7c, 0x48, 0x10, 0x47, 0x01}, 7,
+                   "vmovups zmm0,[rdi+64] (EVEX disp8)"}));
+
+TEST(Decoder, RejectsTruncatedAndInvalid) {
+  const uint8_t truncated[] = {0x48};  // lone REX
+  EXPECT_FALSE(decode_insn(truncated).valid());
+  const uint8_t empty[] = {0x90};
+  EXPECT_FALSE(decode_insn({empty, size_t{0}}).valid());
+  const uint8_t invalid64[] = {0x06, 0x90, 0x90};  // push es: invalid
+  EXPECT_FALSE(decode_insn(invalid64).valid());
+  // 15 prefix bytes exceed the architectural limit.
+  std::vector<uint8_t> too_long(16, 0x66);
+  too_long.push_back(0x90);
+  EXPECT_FALSE(decode_insn(std::span<const uint8_t>(too_long)).valid());
+}
+
+TEST(Decoder, PrefixedSyscallStillRecognized) {
+  EXPECT_EQ(decode_len({0x0f, 0x05}), 2u);
+  const uint8_t prefixed[] = {0x66, 0x0f, 0x05, 0x90};
+  auto insn = decode_insn(prefixed);
+  EXPECT_EQ(insn.kind, InsnKind::kSyscall);
+  EXPECT_EQ(insn.length, 3u);
+}
+
+// --- scanner -----------------------------------------------------------------
+
+TEST(Scanner, LinearSweepFindsRealSitesOnly) {
+  // call rel32 whose immediate contains 0f 05 — a byte scan flags it,
+  // a synchronized linear sweep must not.
+  const uint8_t code[] = {
+      0xe8, 0x0f, 0x05, 0x00, 0x00,  // call +0x50f (imm contains 0f 05!)
+      0x0f, 0x05,                    // real syscall
+      0xc3,                          // ret
+  };
+  auto sweep = scan_buffer(code, 0x1000, ScanMode::kLinearSweep);
+  ASSERT_EQ(sweep.sites.size(), 1u);
+  EXPECT_EQ(sweep.sites[0].address, 0x1005u);
+
+  auto bytes = scan_buffer(code, 0x1000, ScanMode::kByteScan);
+  EXPECT_EQ(bytes.sites.size(), 2u);  // the misidentification (P3a)
+}
+
+TEST(Scanner, SweepDesyncsIntoEmbeddedData) {
+  // Data placed after an unconditional jmp (classic jump-table layout):
+  // the sweep does not follow control flow, walks into the data, and
+  // reports a phantom site — P3a, observable.
+  const uint8_t code[] = {
+      0xeb, 0x02,  // jmp +2 (over the data)
+      0x0f, 0x05,  // DATA that happens to match syscall
+      0x31, 0xc0,  // xor eax,eax (the jmp target)
+      0xc3,        // ret
+  };
+  auto sweep = scan_buffer(code, 0, ScanMode::kLinearSweep);
+  ASSERT_EQ(sweep.sites.size(), 1u);
+  EXPECT_EQ(sweep.sites[0].address, 2u);  // phantom: it is data
+}
+
+TEST(Scanner, SysenterFlagged) {
+  const uint8_t code[] = {0x0f, 0x34, 0xc3};
+  auto result = scan_buffer(code, 0, ScanMode::kLinearSweep);
+  ASSERT_EQ(result.sites.size(), 1u);
+  EXPECT_TRUE(result.sites[0].is_sysenter);
+}
+
+TEST(Scanner, ScanElfFindsLibcSites) {
+  const char* libc = "/usr/lib/x86_64-linux-gnu/libc.so.6";
+  if (!file_exists(libc)) GTEST_SKIP() << "no libc at expected path";
+  auto result = scan_elf(libc, ScanMode::kLinearSweep);
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  // glibc has hundreds of syscall sites; decode failures must be a
+  // vanishing fraction of decoded instructions.
+  EXPECT_GT(result.value().sites.size(), 300u);
+  EXPECT_GT(result.value().stats.instructions_decoded, 100000u);
+  EXPECT_LT(result.value().stats.decode_failures * 1000,
+            result.value().stats.instructions_decoded);
+}
+
+TEST(Scanner, SelfScanRebasesFileOffsetsToLiveAddresses) {
+  auto result = scan_self(ScanMode::kLinearSweep);
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  // Mapped libc alone contributes hundreds of live sites; every reported
+  // address must hold real syscall/sysenter bytes right now.
+  ASSERT_GT(result.value().sites.size(), 300u);
+  for (const SyscallSite& site : result.value().sites) {
+    const auto* bytes = reinterpret_cast<const uint8_t*>(site.address);
+    EXPECT_EQ(bytes[0], 0x0f) << "at " << site.address;
+    EXPECT_TRUE(bytes[1] == 0x05 || bytes[1] == 0x34)
+        << "at " << site.address;
+  }
+}
+
+TEST(Scanner, SelfScanFilterRestrictsToSuffix) {
+  auto all = scan_self(ScanMode::kLinearSweep);
+  auto only_libc =
+      scan_self_filtered(ScanMode::kLinearSweep, {"libc.so.6"});
+  ASSERT_TRUE(all.is_ok());
+  ASSERT_TRUE(only_libc.is_ok());
+  EXPECT_GT(only_libc.value().sites.size(), 0u);
+  EXPECT_LE(only_libc.value().sites.size(), all.value().sites.size());
+}
+
+TEST(Scanner, ByteScanSupersetOfSweep) {
+  const char* libc = "/usr/lib/x86_64-linux-gnu/libc.so.6";
+  if (!file_exists(libc)) GTEST_SKIP() << "no libc at expected path";
+  auto sweep = scan_elf(libc, ScanMode::kLinearSweep);
+  auto bytes = scan_elf(libc, ScanMode::kByteScan);
+  ASSERT_TRUE(sweep.is_ok());
+  ASSERT_TRUE(bytes.is_ok());
+  // Every true site is a 0f 05 byte pair, so byte scan ⊇ sweep.
+  std::set<uint64_t> byte_sites;
+  for (const auto& site : bytes.value().sites) {
+    byte_sites.insert(site.address);
+  }
+  for (const auto& site : sweep.value().sites) {
+    EXPECT_TRUE(byte_sites.contains(site.address))
+        << "sweep-only site at " << site.address;
+  }
+  // And on real binaries the byte scan typically over-approximates —
+  // exactly the P3a risk (equality would make the pitfall vacuous).
+  EXPECT_GE(bytes.value().sites.size(), sweep.value().sites.size());
+}
+
+}  // namespace
+}  // namespace k23

@@ -1,0 +1,278 @@
+// Integration tests: K23 online phase + libLogger offline phase.
+#include "k23/k23.h"
+
+#include <gtest/gtest.h>
+#include <sys/prctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/caps.h"
+#include "interpose/dispatch.h"
+#include "k23/liblogger.h"
+#include "support/subprocess.h"
+#include "support/syscall_sites.h"
+#include "sud/sud_session.h"
+
+namespace k23 {
+namespace {
+
+#define SKIP_WITHOUT_K23_CAPS()                                        \
+  if (!capabilities().mmap_va0 || !capabilities().sud) {               \
+    GTEST_SKIP() << "needs VA-0 mapping and Syscall User Dispatch";    \
+  }
+
+// Offline phase against our labelled sites, entirely in the child.
+OfflineLog record_test_sites() {
+  auto log = LibLogger::record([] {
+    for (int i = 0; i < 3; ++i) {
+      (void)k23_test_getpid();
+      (void)k23_test_getuid();
+    }
+  });
+  return log.is_ok() ? std::move(log).value() : OfflineLog{};
+}
+
+TEST(LibLogger, RecordsUniqueSitesWithRegionAndOffset) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_test_sites();
+    // Two distinct labelled sites + whatever libc touched in between;
+    // both of ours must be present exactly once.
+    auto maps = ProcessMaps::snapshot();
+    if (!maps.is_ok()) return 1;
+    auto self_exe_sites = 0;
+    for (const auto& entry : log.entries()) {
+      if (entry.region.empty() || entry.region[0] != '/') return 2;
+      auto live = maps.value().address_of(entry.region, entry.offset);
+      if (!live) return 3;
+      if (*live == testing::getpid_site() ||
+          *live == testing::getuid_site()) {
+        ++self_exe_sites;
+      }
+    }
+    return self_exe_sites == 2 ? 0 : 4;
+  });
+}
+
+TEST(LibLogger, RoundTripsThroughFigure3Format) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_test_sites();
+    std::string text = log.serialize();
+    // Figure 3 shape: "<path>,<decimal>\n" lines.
+    if (text.find(",") == std::string::npos) return 1;
+    auto parsed = OfflineLog::deserialize(text);
+    if (!parsed.is_ok()) return 2;
+    return parsed.value().entries() == log.entries() ? 0 : 3;
+  });
+}
+
+TEST(K23, LoggedSitesTakeFastPathOthersFallBack) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log;
+    // Log only the getpid site; getuid stays unlogged.
+    auto maps = ProcessMaps::snapshot();
+    if (!maps.is_ok()) return 1;
+    if (!log.add_address(maps.value(), testing::getpid_site())) return 2;
+
+    auto report = K23Interposer::init(log, K23Interposer::Options{});
+    if (!report.is_ok()) return 3;
+    if (report.value().rewritten_sites != 1) return 4;
+
+    auto& stats = Dispatcher::instance().stats();
+    uint64_t fast0 = stats.by_path(EntryPath::kRewritten);
+    uint64_t slow0 = stats.by_path(EntryPath::kSudFallback);
+    if (k23_test_getpid() != ::getpid()) return 5;   // rewritten
+    if (k23_test_getuid() != ::getuid()) return 6;   // SUD fallback
+    if (stats.by_path(EntryPath::kRewritten) != fast0 + 1) return 7;
+    if (stats.by_path(EntryPath::kSudFallback) < slow0 + 1) return 8;
+
+    // Crucially (unlike lazypoline) the fallback did NOT rewrite:
+    const auto* bytes =
+        reinterpret_cast<const uint8_t*>(testing::getuid_site());
+    return (bytes[0] == 0x0f && bytes[1] == 0x05) ? 0 : 9;
+  });
+}
+
+TEST(K23, FullOfflineOnlineCycle) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_test_sites();
+    auto report = K23Interposer::init(log, K23Interposer::Options{});
+    if (!report.is_ok()) return 1;
+    if (report.value().rewritten_sites < 2) return 2;  // both our sites
+    auto& stats = Dispatcher::instance().stats();
+    uint64_t fast0 = stats.by_path(EntryPath::kRewritten);
+    if (k23_test_getpid() != ::getpid()) return 3;
+    if (k23_test_getuid() != ::getuid()) return 4;
+    return stats.by_path(EntryPath::kRewritten) >= fast0 + 2 ? 0 : 5;
+  });
+}
+
+TEST(K23, PrctlGuardAbortsP1b) {
+  SKIP_WITHOUT_K23_CAPS();
+  testing::ChildResult r = testing::run_in_child([] {
+    OfflineLog log = record_test_sites();
+    K23Interposer::Options options;
+    options.prctl_guard = true;
+    if (!K23Interposer::init(log, options).is_ok()) return 1;
+    ::syscall(SYS_prctl, 59, 0 /*PR_SYS_DISPATCH_OFF*/, 0, 0, 0);
+    return 0;  // unreachable
+  });
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 134);
+}
+
+TEST(K23, BenignPrctlStillWorks) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_test_sites();
+    if (!K23Interposer::init(log, K23Interposer::Options{}).is_ok()) return 1;
+    char name[16] = {};
+    if (::prctl(PR_GET_NAME, name) != 0) return 2;  // unrelated prctl: fine
+    return name[0] != '\0' ? 0 : 3;
+  });
+}
+
+TEST(K23, UltraEntryCheckAbortsForgedEntry) {
+  SKIP_WITHOUT_K23_CAPS();
+  testing::ChildResult r = testing::run_in_child([] {
+    OfflineLog log = record_test_sites();
+    K23Interposer::Options options;
+    options.variant = K23Variant::kUltra;
+    if (!K23Interposer::init(log, options).is_ok()) return 1;
+    long nr = SYS_getpid;
+    long out;
+    asm volatile("call *%1" : "=a"(out) : "r"(nr), "a"(nr) : "rcx", "r11",
+                 "memory");
+    (void)out;
+    return 0;  // unreachable: RobinSet validator must abort
+  });
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 134);
+}
+
+TEST(K23, UltraEntryCheckMemoryIsBounded) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_test_sites();
+    K23Interposer::Options options;
+    options.variant = K23Variant::kUltra;
+    if (!K23Interposer::init(log, options).is_ok()) return 1;
+    // P4b resolved: a few KiB, vs zpoline's multi-TiB reservation.
+    uint64_t bytes = K23Interposer::entry_check_memory_bytes();
+    return (bytes > 0 && bytes < 1 << 20) ? 0 : 2;
+  });
+}
+
+TEST(K23, UltraPlusVariantRunsOnDedicatedStack) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_test_sites();
+    K23Interposer::Options options;
+    options.variant = K23Variant::kUltraPlus;
+    if (!K23Interposer::init(log, options).is_ok()) return 1;
+    static uint64_t hook_rsp;
+    Dispatcher::instance().set_hook(
+        [](void*, SyscallArgs& args, const HookContext& ctx) {
+          // Only the rewritten path switches stacks; the SUD fallback
+          // (e.g. libc's own getpid below) runs on the signal stack.
+          if (args.nr == SYS_getpid && ctx.path == EntryPath::kRewritten) {
+            asm volatile("mov %%rsp, %0" : "=r"(hook_rsp));
+          }
+          return HookResult::passthrough();
+        },
+        nullptr);
+    uint64_t app_rsp;
+    asm volatile("mov %%rsp, %0" : "=r"(app_rsp));
+    if (k23_test_getpid() != ::getpid()) return 2;
+    Dispatcher::instance().clear_hook();
+    // Hook ran far from the application stack.
+    uint64_t distance = hook_rsp > app_rsp ? hook_rsp - app_rsp
+                                           : app_rsp - hook_rsp;
+    return distance > 16 * 1024 ? 0 : 3;
+  });
+}
+
+TEST(K23, StaleLogEntriesAreSkippedNotPatched) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    // A log entry pointing at bytes that are NOT a syscall instruction
+    // (e.g. the library was updated since the offline phase) must be
+    // skipped — K23 never force-patches (contrast with P3a/P3b).
+    auto maps = ProcessMaps::snapshot();
+    if (!maps.is_ok()) return 1;
+    OfflineLog log;
+    if (!log.add_address(maps.value(), testing::getpid_site() + 1)) return 2;
+    auto report = K23Interposer::init(log, K23Interposer::Options{});
+    if (!report.is_ok()) return 3;
+    if (report.value().rewritten_sites != 0) return 4;
+    if (report.value().stale_entries != 1) return 5;
+    // The bytes are untouched and the call still works via SUD.
+    return k23_test_getpid() == ::getpid() ? 0 : 6;
+  });
+}
+
+TEST(K23, UnresolvedLogEntriesAreCounted) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log;
+    log.add("/nonexistent/library.so.1", 12345);
+    auto report = K23Interposer::init(log, K23Interposer::Options{});
+    if (!report.is_ok()) return 1;
+    if (report.value().unresolved_entries != 1) return 2;
+    return report.value().rewritten_sites == 0 ? 0 : 3;
+  });
+}
+
+TEST(K23, InitFromFileMatchesInMemoryInit) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_test_sites();
+    std::string path = "/tmp/k23_test_log_" + std::to_string(::getpid());
+    if (!log.save(path).is_ok()) return 1;
+    auto report =
+        K23Interposer::init_from_file(path, K23Interposer::Options{});
+    ::unlink(path.c_str());
+    if (!report.is_ok()) return 2;
+    if (report.value().rewritten_sites < 2) return 3;
+    return k23_test_getpid() == ::getpid() ? 0 : 4;
+  });
+}
+
+TEST(K23, LibcWorkloadUnderFullK23) {
+  SKIP_WITHOUT_K23_CAPS();
+  // Offline-log real libc activity, then run the same workload online.
+  EXPECT_CHILD_EXITS(0, [] {
+    auto workload = [] {
+      for (int i = 0; i < 20; ++i) {
+        FILE* f = ::fopen("/proc/self/stat", "r");
+        if (f != nullptr) {
+          char buf[128];
+          (void)::fgets(buf, sizeof(buf), f);
+          ::fclose(f);
+        }
+      }
+    };
+    auto logged = LibLogger::record(workload);
+    if (!logged.is_ok()) return 1;
+    if (logged.value().empty()) return 2;
+
+    auto report =
+        K23Interposer::init(logged.value(), K23Interposer::Options{});
+    if (!report.is_ok()) return 3;
+    if (report.value().rewritten_sites == 0) return 4;
+
+    auto& stats = Dispatcher::instance().stats();
+    uint64_t fast0 = stats.by_path(EntryPath::kRewritten);
+    workload();
+    // The hot libc sites were logged, so most traffic takes the fast path.
+    return stats.by_path(EntryPath::kRewritten) > fast0 ? 0 : 5;
+  });
+}
+
+}  // namespace
+}  // namespace k23

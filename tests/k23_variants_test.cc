@@ -1,0 +1,181 @@
+// Parameterized sweeps over K23 variants (Table 4): every variant must
+// deliver identical application-visible behaviour; only the protection
+// features differ. Each case runs in a forked child.
+#include <gtest/gtest.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <tuple>
+
+#include "common/caps.h"
+#include "interpose/dispatch.h"
+#include "k23/k23.h"
+#include "k23/liblogger.h"
+#include "support/subprocess.h"
+#include "support/syscall_sites.h"
+
+namespace k23 {
+namespace {
+
+class K23Variants : public ::testing::TestWithParam<K23Variant> {
+ protected:
+  void SetUp() override {
+    if (!capabilities().mmap_va0 || !capabilities().sud) {
+      GTEST_SKIP() << "needs VA-0 mapping and SUD";
+    }
+  }
+};
+
+int init_variant_in_child(K23Variant variant) {
+  auto log = LibLogger::record([] {
+    for (int i = 0; i < 3; ++i) {
+      (void)k23_test_getpid();
+      (void)k23_test_getuid();
+    }
+  });
+  if (!log.is_ok()) return -1;
+  K23Interposer::Options options;
+  options.variant = variant;
+  return K23Interposer::init(log.value(), options).is_ok() ? 0 : -2;
+}
+
+TEST_P(K23Variants, CorrectResultsOnBothPaths) {
+  const K23Variant variant = GetParam();
+  EXPECT_CHILD_EXITS(0, [variant] {
+    if (init_variant_in_child(variant) != 0) return 1;
+    auto& stats = Dispatcher::instance().stats();
+    stats.reset();
+    // Logged sites: fast path.
+    for (int i = 0; i < 100; ++i) {
+      if (k23_test_getpid() != ::getpid()) return 2;
+      if (k23_test_getuid() != static_cast<long>(::getuid())) return 3;
+    }
+    if (stats.by_path(EntryPath::kRewritten) < 200) return 4;
+    // Unlogged site: fallback path, same answers.
+    uint64_t slow0 = stats.by_path(EntryPath::kSudFallback);
+    if (k23_test_enosys() != -ENOSYS) return 5;
+    return stats.by_path(EntryPath::kSudFallback) > slow0 ? 0 : 6;
+  });
+}
+
+TEST_P(K23Variants, VariantNameIsStable) {
+  EXPECT_NE(std::string(variant_name(GetParam())).find("K23"),
+            std::string::npos);
+}
+
+TEST_P(K23Variants, ShutdownRestoresDirectSyscalls) {
+  const K23Variant variant = GetParam();
+  EXPECT_CHILD_EXITS(0, [variant] {
+    if (init_variant_in_child(variant) != 0) return 1;
+    if (k23_test_getpid() != ::getpid()) return 2;
+    K23Interposer::shutdown();
+    auto& stats = Dispatcher::instance().stats();
+    const uint64_t before = stats.total();
+    if (k23_test_getpid() != ::getpid()) return 3;
+    return stats.total() == before ? 0 : 4;
+  });
+}
+
+TEST_P(K23Variants, SignalsKeepWorking) {
+  const K23Variant variant = GetParam();
+  EXPECT_CHILD_EXITS(0, [variant] {
+    static volatile sig_atomic_t fired = 0;
+    if (init_variant_in_child(variant) != 0) return 1;
+    struct sigaction sa{};
+    sa.sa_handler = [](int) { fired = 1; };
+    if (::sigaction(SIGUSR2, &sa, nullptr) != 0) return 2;
+    if (::raise(SIGUSR2) != 0) return 3;
+    if (!fired) return 4;
+    // Both paths still live after the app's signal round trip.
+    return k23_test_getpid() == ::getpid() ? 0 : 5;
+  });
+}
+
+TEST_P(K23Variants, ThreadsInheritInterposition) {
+  const K23Variant variant = GetParam();
+  EXPECT_CHILD_EXITS(0, [variant] {
+    if (init_variant_in_child(variant) != 0) return 1;
+    static std::atomic<int> good{0};
+    pthread_t threads[3];
+    for (auto& t : threads) {
+      if (pthread_create(&t, nullptr,
+                         [](void*) -> void* {
+                           for (int i = 0; i < 50; ++i) {
+                             if (k23_test_getpid() == ::getpid()) {
+                               good.fetch_add(1);
+                             }
+                           }
+                           return nullptr;
+                         },
+                         nullptr) != 0) {
+        return 2;
+      }
+    }
+    for (auto& t : threads) pthread_join(t, nullptr);
+    return good.load() == 150 ? 0 : 3;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, K23Variants,
+    ::testing::Values(K23Variant::kDefault, K23Variant::kUltra,
+                      K23Variant::kUltraPlus),
+    [](const ::testing::TestParamInfo<K23Variant>& info) {
+      switch (info.param) {
+        case K23Variant::kDefault: return "Default";
+        case K23Variant::kUltra: return "Ultra";
+        case K23Variant::kUltraPlus: return "UltraPlus";
+      }
+      return "Unknown";
+    });
+
+// Entry-check behaviour differs by design: only ultra variants abort on
+// forged entries. Swept as (variant, expect_abort) pairs.
+using ForgedEntryCase = std::tuple<K23Variant, bool>;
+
+class K23ForgedEntry : public ::testing::TestWithParam<ForgedEntryCase> {
+ protected:
+  void SetUp() override {
+    if (!capabilities().mmap_va0 || !capabilities().sud) {
+      GTEST_SKIP() << "needs VA-0 mapping and SUD";
+    }
+  }
+};
+
+TEST_P(K23ForgedEntry, MatchesVariantContract) {
+  auto [variant, expect_abort] = GetParam();
+  testing::ChildResult r = testing::run_in_child([variant] {
+    if (init_variant_in_child(variant) != 0) return 1;
+    long nr = SYS_getpid;
+    long out;
+    asm volatile("call *%1" : "=a"(out) : "r"(nr), "a"(nr) : "rcx", "r11",
+                 "memory");
+    return out == ::getpid() ? 0 : 2;
+  });
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, expect_abort ? 134 : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contract, K23ForgedEntry,
+    ::testing::Values(ForgedEntryCase{K23Variant::kDefault, false},
+                      ForgedEntryCase{K23Variant::kUltra, true},
+                      ForgedEntryCase{K23Variant::kUltraPlus, true}),
+    [](const ::testing::TestParamInfo<ForgedEntryCase>& info) {
+      const bool abort_expected = std::get<1>(info.param);
+      switch (std::get<0>(info.param)) {
+        case K23Variant::kDefault:
+          return std::string("Default_") +
+                 (abort_expected ? "aborts" : "permits");
+        case K23Variant::kUltra:
+          return std::string("Ultra_") +
+                 (abort_expected ? "aborts" : "permits");
+        case K23Variant::kUltraPlus:
+          return std::string("UltraPlus_") +
+                 (abort_expected ? "aborts" : "permits");
+      }
+      return std::string("Unknown");
+    });
+
+}  // namespace
+}  // namespace k23

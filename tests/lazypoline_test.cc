@@ -1,0 +1,193 @@
+// Integration tests: lazypoline reproduction (SUD-driven lazy rewriting).
+#include "lazypoline/lazypoline.h"
+
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "common/caps.h"
+#include "interpose/dispatch.h"
+#include "support/subprocess.h"
+#include "support/syscall_sites.h"
+#include "sud/sud_session.h"
+
+namespace k23 {
+namespace {
+
+#define SKIP_WITHOUT_LAZYPOLINE_CAPS()                                 \
+  if (!capabilities().mmap_va0 || !capabilities().sud) {               \
+    GTEST_SKIP() << "needs VA-0 mapping and Syscall User Dispatch";    \
+  }
+
+TEST(Lazypoline, FirstCallTrapsThenRewrites) {
+  SKIP_WITHOUT_LAZYPOLINE_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!LazypolineInterposer::init().is_ok()) return 1;
+    uint64_t traps0 = SudSession::trap_count();
+    (void)k23_test_getpid();  // first execution: SIGSYS + rewrite
+    uint64_t traps1 = SudSession::trap_count();
+    if (traps1 <= traps0) return 2;
+    if (LazypolineInterposer::sites_rewritten() == 0) return 3;
+
+    // Subsequent executions take the trampoline, not SIGSYS.
+    uint64_t rewritten0 =
+        Dispatcher::instance().stats().by_path(EntryPath::kRewritten);
+    for (int i = 0; i < 10; ++i) {
+      if (k23_test_getpid() != ::getpid()) return 4;
+    }
+    uint64_t rewritten1 =
+        Dispatcher::instance().stats().by_path(EntryPath::kRewritten);
+    if (rewritten1 < rewritten0 + 10) return 5;
+    // And the trap count for THIS site stayed put (other libc syscalls
+    // may still trap, so compare the site-specific path counters).
+    return 0;
+  });
+}
+
+TEST(Lazypoline, InterposesDynamicallyGeneratedCode) {
+  SKIP_WITHOUT_LAZYPOLINE_CAPS();
+  // The design win over zpoline (fixes P2a for JIT code): code that did
+  // not exist at init time still gets interposed on first execution.
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!LazypolineInterposer::init().is_ok()) return 1;
+    // JIT a function: mov $39, %eax ; syscall ; ret
+    uint8_t code[] = {0xb8, 0x27, 0x00, 0x00, 0x00, 0x0f, 0x05, 0xc3};
+    void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (page == MAP_FAILED) return 2;
+    ::memcpy(page, code, sizeof(code));
+    ::mprotect(page, 4096, PROT_READ | PROT_EXEC);
+    auto jit_getpid = reinterpret_cast<long (*)()>(page);
+
+    uint64_t traps0 = SudSession::trap_count();
+    if (jit_getpid() != ::getpid()) return 3;   // traps + rewrites
+    if (SudSession::trap_count() <= traps0) return 4;
+    uint64_t fast0 =
+        Dispatcher::instance().stats().by_path(EntryPath::kRewritten);
+    if (jit_getpid() != ::getpid()) return 5;   // fast path now
+    uint64_t fast1 =
+        Dispatcher::instance().stats().by_path(EntryPath::kRewritten);
+    return fast1 > fast0 ? 0 : 6;
+  });
+}
+
+TEST(Lazypoline, RewriteDisabledDegeneratesToPureSud) {
+  SKIP_WITHOUT_LAZYPOLINE_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    LazypolineInterposer::Options options;
+    options.rewrite = false;
+    if (!LazypolineInterposer::init(options).is_ok()) return 1;
+    uint64_t traps0 = SudSession::trap_count();
+    for (int i = 0; i < 10; ++i) (void)k23_test_getuid();
+    uint64_t traps1 = SudSession::trap_count();
+    // Every execution keeps trapping: no rewrite happened.
+    if (LazypolineInterposer::sites_rewritten() != 0) return 2;
+    return traps1 >= traps0 + 10 ? 0 : 3;
+  });
+}
+
+TEST(Lazypoline, P1bDisableSilencesInterposition) {
+  SKIP_WITHOUT_LAZYPOLINE_CAPS();
+  // The P1b pitfall, live: prctl(OFF) kills the *fallback* discovery, so
+  // never-before-executed sites stop being interposed.
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!LazypolineInterposer::init().is_ok()) return 1;
+    ::syscall(SYS_prctl, 59 /*PR_SET_SYSCALL_USER_DISPATCH*/, 0 /*OFF*/, 0,
+              0, 0);
+    uint64_t traps0 = SudSession::trap_count();
+    (void)k23_test_getpid();  // fresh site: would have trapped
+    return SudSession::trap_count() == traps0 ? 0 : 2;
+  });
+}
+
+TEST(Lazypoline, UnsafePatcherForcesPermissionsToRX) {
+  SKIP_WITHOUT_LAZYPOLINE_CAPS();
+  // P5 (permissions): after a lazy rewrite, the faithful mode resets the
+  // page to r-x regardless of what it was. We stage a site in a page the
+  // application had made r-w-x; lazypoline's rewrite must clobber the W.
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!LazypolineInterposer::init().is_ok()) return 1;
+    uint8_t code[] = {0xb8, 0x27, 0x00, 0x00, 0x00, 0x0f, 0x05, 0xc3};
+    void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE | PROT_EXEC,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (page == MAP_FAILED) return 2;
+    ::memcpy(page, code, sizeof(code));
+    auto jit = reinterpret_cast<long (*)()>(page);
+    (void)jit();  // trap + faithful rewrite
+    // The page should still be writable by the application's design; the
+    // P5 mode forced r-x, so this write must now fault. Probe via a
+    // write through a syscall that reports EFAULT instead of crashing.
+    long rc = ::syscall(SYS_read, -1, page, 1);
+    // rc is EBADF either way; check writability via mincore-style probe:
+    // attempt an actual write in a grandchild and observe the signal.
+    pid_t probe = ::fork();
+    if (probe == 0) {
+      static_cast<volatile uint8_t*>(page)[64] = 0xcc;
+      ::_exit(0);  // write succeeded -> page still writable
+    }
+    int status = 0;
+    ::waitpid(probe, &status, 0);
+    (void)rc;
+    const bool write_faulted = WIFSIGNALED(status);
+    return write_faulted ? 0 : 3;  // P5 reproduced: W permission lost
+  });
+}
+
+TEST(Lazypoline, SafePatcherPreservesPermissions) {
+  SKIP_WITHOUT_LAZYPOLINE_CAPS();
+  // Ablation: with faithful_p5 off, the same flow preserves rwx.
+  EXPECT_CHILD_EXITS(0, [] {
+    LazypolineInterposer::Options options;
+    options.faithful_p5 = false;
+    if (!LazypolineInterposer::init(options).is_ok()) return 1;
+    uint8_t code[] = {0xb8, 0x27, 0x00, 0x00, 0x00, 0x0f, 0x05, 0xc3};
+    void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE | PROT_EXEC,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (page == MAP_FAILED) return 2;
+    ::memcpy(page, code, sizeof(code));
+    auto jit = reinterpret_cast<long (*)()>(page);
+    (void)jit();
+    pid_t probe = ::fork();
+    if (probe == 0) {
+      static_cast<volatile uint8_t*>(page)[64] = 0xcc;
+      ::_exit(0);
+    }
+    int status = 0;
+    ::waitpid(probe, &status, 0);
+    return (WIFEXITED(status) && WEXITSTATUS(status) == 0) ? 0 : 3;
+  });
+}
+
+TEST(Lazypoline, MultithreadedLazyDiscovery) {
+  SKIP_WITHOUT_LAZYPOLINE_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!LazypolineInterposer::init().is_ok()) return 1;
+    static std::atomic<int> ok{0};
+    pthread_t threads[4];
+    for (auto& t : threads) {
+      if (pthread_create(&t, nullptr,
+                         [](void*) -> void* {
+                           for (int i = 0; i < 100; ++i) {
+                             if (k23_test_getuid() ==
+                                 static_cast<long>(::getuid())) {
+                               ok.fetch_add(1);
+                             }
+                           }
+                           return nullptr;
+                         },
+                         nullptr) != 0) {
+        return 2;
+      }
+    }
+    for (auto& t : threads) pthread_join(t, nullptr);
+    return ok.load() == 400 ? 0 : 3;
+  });
+}
+
+}  // namespace
+}  // namespace k23

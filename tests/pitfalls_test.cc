@@ -1,0 +1,162 @@
+// The Table 3 matrix as assertions: every (pitfall, interposer) verdict
+// the paper reports must reproduce on this machine.
+#include "pitfalls/pitfalls.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/caps.h"
+
+namespace k23 {
+namespace {
+
+class PitfallMatrix : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Helpers live next to the pitfalls library's binaries.
+    if (std::getenv("K23_HELPER_DIR") == nullptr) {
+      ::setenv("K23_HELPER_DIR", K23_HELPER_DIR, 0);
+    }
+  }
+
+  void expect_verdict(PitfallId id, InterposerKind kind,
+                      PocVerdict expected) {
+    PocVerdict verdict = run_poc(id, kind);
+    if (verdict == PocVerdict::kSkipped) {
+      GTEST_SKIP() << "capability missing for " << pitfall_name(id);
+    }
+    EXPECT_EQ(static_cast<int>(verdict), static_cast<int>(expected))
+        << pitfall_name(id) << " / " << interposer_name(kind) << ": got "
+        << verdict_symbol(verdict);
+  }
+};
+
+// --- P1a: env-clearing bypass (paper: zpoline ✗, lazypoline ✗, K23 ✓) ---
+TEST_F(PitfallMatrix, P1a_Zpoline_Affected) {
+  expect_verdict(PitfallId::kP1a, InterposerKind::kZpolineDefault,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P1a_Lazypoline_Affected) {
+  expect_verdict(PitfallId::kP1a, InterposerKind::kLazypoline,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P1a_K23_Resilient) {
+  expect_verdict(PitfallId::kP1a, InterposerKind::kK23Default,
+                 PocVerdict::kResilient);
+}
+
+// --- P1b: prctl bypass (paper: zpoline ✓(n/a), lazypoline ✗, K23 ✓) ------
+TEST_F(PitfallMatrix, P1b_Zpoline_NotApplicable) {
+  expect_verdict(PitfallId::kP1b, InterposerKind::kZpolineDefault,
+                 PocVerdict::kNotApplicable);
+}
+TEST_F(PitfallMatrix, P1b_Lazypoline_Affected) {
+  expect_verdict(PitfallId::kP1b, InterposerKind::kLazypoline,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P1b_K23_Resilient) {
+  expect_verdict(PitfallId::kP1b, InterposerKind::kK23Default,
+                 PocVerdict::kResilient);
+}
+
+// --- P2a: late code (paper: zpoline ✗, lazypoline ✓, K23 ✓) --------------
+TEST_F(PitfallMatrix, P2a_Zpoline_Affected) {
+  expect_verdict(PitfallId::kP2a, InterposerKind::kZpolineDefault,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P2a_Lazypoline_Resilient) {
+  expect_verdict(PitfallId::kP2a, InterposerKind::kLazypoline,
+                 PocVerdict::kResilient);
+}
+TEST_F(PitfallMatrix, P2a_K23_Resilient) {
+  expect_verdict(PitfallId::kP2a, InterposerKind::kK23Default,
+                 PocVerdict::kResilient);
+}
+
+// --- P2b: startup + vdso (paper: zpoline ✗, lazypoline ✗, K23 ✓) ---------
+TEST_F(PitfallMatrix, P2b_Zpoline_Affected) {
+  expect_verdict(PitfallId::kP2b, InterposerKind::kZpolineDefault,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P2b_Lazypoline_Affected) {
+  expect_verdict(PitfallId::kP2b, InterposerKind::kLazypoline,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P2b_K23_Resilient) {
+  expect_verdict(PitfallId::kP2b, InterposerKind::kK23Default,
+                 PocVerdict::kResilient);
+}
+
+// --- P3a: static misidentification (zpoline ✗, lazypoline ✓, K23 ✓) ------
+TEST_F(PitfallMatrix, P3a_Zpoline_Affected) {
+  expect_verdict(PitfallId::kP3a, InterposerKind::kZpolineDefault,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P3a_Lazypoline_Resilient) {
+  expect_verdict(PitfallId::kP3a, InterposerKind::kLazypoline,
+                 PocVerdict::kResilient);
+}
+TEST_F(PitfallMatrix, P3a_K23_Resilient) {
+  expect_verdict(PitfallId::kP3a, InterposerKind::kK23Default,
+                 PocVerdict::kResilient);
+}
+
+// --- P3b: attack-induced (zpoline ✓, lazypoline ✗, K23 ✓) ----------------
+TEST_F(PitfallMatrix, P3b_Zpoline_Resilient) {
+  expect_verdict(PitfallId::kP3b, InterposerKind::kZpolineDefault,
+                 PocVerdict::kResilient);
+}
+TEST_F(PitfallMatrix, P3b_Lazypoline_Affected) {
+  expect_verdict(PitfallId::kP3b, InterposerKind::kLazypoline,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P3b_K23_Resilient) {
+  expect_verdict(PitfallId::kP3b, InterposerKind::kK23Default,
+                 PocVerdict::kResilient);
+}
+
+// --- P4a: NULL exec (zpoline ✓ via check, lazypoline ✗, K23 ✓) -----------
+TEST_F(PitfallMatrix, P4a_ZpolineUltra_Resilient) {
+  expect_verdict(PitfallId::kP4a, InterposerKind::kZpolineUltra,
+                 PocVerdict::kResilient);
+}
+TEST_F(PitfallMatrix, P4a_Lazypoline_Affected) {
+  expect_verdict(PitfallId::kP4a, InterposerKind::kLazypoline,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P4a_K23Ultra_Resilient) {
+  expect_verdict(PitfallId::kP4a, InterposerKind::kK23Ultra,
+                 PocVerdict::kResilient);
+}
+
+// --- P4b: check memory (zpoline ✗, lazypoline ✓(n/a), K23 ✓) -------------
+TEST_F(PitfallMatrix, P4b_ZpolineUltra_Affected) {
+  expect_verdict(PitfallId::kP4b, InterposerKind::kZpolineUltra,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P4b_Lazypoline_NotApplicable) {
+  expect_verdict(PitfallId::kP4b, InterposerKind::kLazypoline,
+                 PocVerdict::kNotApplicable);
+}
+TEST_F(PitfallMatrix, P4b_K23Ultra_Resilient) {
+  expect_verdict(PitfallId::kP4b, InterposerKind::kK23Ultra,
+                 PocVerdict::kResilient);
+}
+
+// --- P5: runtime rewriting (zpoline ✓, lazypoline ✗, K23 ✓) --------------
+TEST_F(PitfallMatrix, P5_Zpoline_Resilient) {
+  expect_verdict(PitfallId::kP5, InterposerKind::kZpolineDefault,
+                 PocVerdict::kResilient);
+}
+TEST_F(PitfallMatrix, P5_Lazypoline_Affected) {
+  expect_verdict(PitfallId::kP5, InterposerKind::kLazypoline,
+                 PocVerdict::kAffected);
+}
+TEST_F(PitfallMatrix, P5_K23_Resilient) {
+  expect_verdict(PitfallId::kP5, InterposerKind::kK23Default,
+                 PocVerdict::kResilient);
+}
+
+}  // namespace
+}  // namespace k23

@@ -1,0 +1,152 @@
+// Unit + integration tests: declarative syscall policies.
+#include "policy/policy.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "common/caps.h"
+#include "k23/k23.h"
+#include "k23/liblogger.h"
+#include "support/subprocess.h"
+
+namespace k23 {
+namespace {
+
+SyscallArgs openat_args(const char* path, int flags) {
+  SyscallArgs args;
+  args.nr = SYS_openat;
+  args.rdi = AT_FDCWD;
+  args.rsi = reinterpret_cast<long>(path);
+  args.rdx = flags;
+  return args;
+}
+
+TEST(Policy, FirstMatchWins) {
+  Policy policy;
+  policy.allow_path_prefix(SYS_openat, "/tmp/")
+      .deny(SYS_openat, EACCES)
+      .build();
+  EXPECT_EQ(policy.evaluate(openat_args("/tmp/x", O_RDONLY)).decision,
+            HookDecision::kPassthrough);
+  auto denied = policy.evaluate(openat_args("/etc/shadow", O_RDONLY));
+  EXPECT_EQ(denied.decision, HookDecision::kReplace);
+  EXPECT_EQ(denied.value, -EACCES);
+}
+
+TEST(Policy, DefaultActionApplies) {
+  Policy policy;
+  policy.allow(SYS_read)
+      .default_action(PolicyAction::kDeny, EPERM)
+      .build();
+  SyscallArgs read_args;
+  read_args.nr = SYS_read;
+  EXPECT_EQ(policy.evaluate(read_args).decision,
+            HookDecision::kPassthrough);
+  SyscallArgs write_args;
+  write_args.nr = SYS_write;
+  auto verdict = policy.evaluate(write_args);
+  EXPECT_EQ(verdict.decision, HookDecision::kReplace);
+  EXPECT_EQ(verdict.value, -EPERM);
+}
+
+TEST(Policy, WildcardRuleMatchesAnySyscall) {
+  Policy policy;
+  policy.deny(-1, ENOSYS).build();
+  SyscallArgs args;
+  args.nr = SYS_getpid;
+  EXPECT_EQ(policy.evaluate(args).value, -ENOSYS);
+}
+
+TEST(Policy, PathRuleSkipsNonPathSyscalls) {
+  Policy policy;
+  policy.deny_path_prefix(-1, "/etc/").build();
+  SyscallArgs args;
+  args.nr = SYS_getpid;  // carries no path: rule must not match
+  EXPECT_EQ(policy.evaluate(args).decision, HookDecision::kPassthrough);
+}
+
+TEST(Policy, NullPathDoesNotMatchPrefix) {
+  Policy policy;
+  policy.deny_path_prefix(SYS_openat, "/etc/").build();
+  EXPECT_EQ(policy.evaluate(openat_args(nullptr, 0)).decision,
+            HookDecision::kPassthrough);
+}
+
+TEST(Policy, CountersTrackDecisions) {
+  Policy policy;
+  policy.deny(SYS_connect).build();
+  SyscallArgs connect_args;
+  connect_args.nr = SYS_connect;
+  SyscallArgs benign;
+  benign.nr = SYS_getpid;
+  (void)policy.evaluate(connect_args);
+  (void)policy.evaluate(benign);
+  (void)policy.evaluate(benign);
+  EXPECT_EQ(policy.denied(), 1u);
+  EXPECT_EQ(policy.allowed(), 2u);
+}
+
+TEST(Policy, InstallRequiresBuild) {
+  Policy policy;
+  EXPECT_FALSE(policy.install().is_ok());
+}
+
+TEST(Policy, EnforcedUnderFullK23) {
+  if (!capabilities().sud || !capabilities().mmap_va0) {
+    GTEST_SKIP() << "needs SUD + VA-0";
+  }
+  EXPECT_CHILD_EXITS(0, [] {
+    auto log = LibLogger::record([] {
+      (void)::open("/tmp/k23_policy_warmup", O_RDONLY);
+    });
+    if (!log.is_ok()) return 1;
+    if (!K23Interposer::init(log.value(), K23Interposer::Options{})
+             .is_ok()) {
+      return 2;
+    }
+    static Policy policy;
+    policy.deny_path_prefix(SYS_openat, "/etc/", EACCES).build();
+    if (!policy.install().is_ok()) return 3;
+
+    errno = 0;
+    int fd = ::open("/etc/hostname", O_RDONLY);  // libc open -> openat
+    const int denied_errno = errno;
+    if (fd >= 0) {
+      ::close(fd);
+      return 4;  // policy failed to block
+    }
+    int ok_fd = ::open("/proc/self/stat", O_RDONLY);
+    Policy::uninstall();
+    if (denied_errno != EACCES) return 5;
+    if (ok_fd < 0) return 6;
+    ::close(ok_fd);
+    return 0;
+  });
+}
+
+TEST(Policy, KillRuleTerminates) {
+  if (!capabilities().sud || !capabilities().mmap_va0) {
+    GTEST_SKIP() << "needs SUD + VA-0";
+  }
+  testing::ChildResult r = testing::run_in_child([] {
+    auto log = LibLogger::record([] { (void)::getpid(); });
+    if (!log.is_ok()) return 1;
+    if (!K23Interposer::init(log.value(), K23Interposer::Options{})
+             .is_ok()) {
+      return 2;
+    }
+    static Policy policy;
+    policy.kill(SYS_socket).build();
+    if (!policy.install().is_ok()) return 3;
+    (void)::socket(AF_INET, SOCK_STREAM, 0);
+    return 4;  // unreachable
+  });
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 134);
+}
+
+}  // namespace
+}  // namespace k23

@@ -1,0 +1,281 @@
+// Unit tests: /proc/<pid>/maps parsing, region queries, ELF reading,
+// offline-log round trips.
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "common/files.h"
+#include "elfio/elf_reader.h"
+#include "k23/offline_log.h"
+#include "procmaps/procmaps.h"
+
+namespace k23 {
+namespace {
+
+TEST(MapsLine, ParsesTypicalLibraryLine) {
+  auto region = parse_maps_line(
+      "7f2c14a00000-7f2c14b85000 r-xp 00028000 103:02 3675 "
+      "/usr/lib/x86_64-linux-gnu/libc.so.6");
+  ASSERT_TRUE(region.has_value());
+  EXPECT_EQ(region->start, 0x7f2c14a00000u);
+  EXPECT_EQ(region->end, 0x7f2c14b85000u);
+  EXPECT_TRUE(region->readable);
+  EXPECT_FALSE(region->writable);
+  EXPECT_TRUE(region->executable);
+  EXPECT_FALSE(region->shared);
+  EXPECT_EQ(region->file_offset, 0x28000u);
+  EXPECT_EQ(region->pathname, "/usr/lib/x86_64-linux-gnu/libc.so.6");
+  EXPECT_TRUE(region->is_file_backed());
+  EXPECT_FALSE(region->is_special());
+}
+
+TEST(MapsLine, ParsesAnonymousAndSpecial) {
+  auto anon = parse_maps_line("7f0000000000-7f0000001000 rw-p 00000000 "
+                              "00:00 0 ");
+  ASSERT_TRUE(anon.has_value());
+  EXPECT_TRUE(anon->pathname.empty());
+  EXPECT_FALSE(anon->is_file_backed());
+
+  auto vdso = parse_maps_line(
+      "7ffe001f9000-7ffe001fb000 r-xp 00000000 00:00 0 [vdso]");
+  ASSERT_TRUE(vdso.has_value());
+  EXPECT_TRUE(vdso->is_special());
+}
+
+TEST(MapsLine, PathnameWithSpacesSurvives) {
+  auto region = parse_maps_line(
+      "1000-2000 r--p 00000000 08:01 5 /tmp/my lib with spaces.so");
+  ASSERT_TRUE(region.has_value());
+  EXPECT_EQ(region->pathname, "/tmp/my lib with spaces.so");
+}
+
+TEST(MapsLine, RejectsGarbage) {
+  EXPECT_FALSE(parse_maps_line("").has_value());
+  EXPECT_FALSE(parse_maps_line("not a maps line").has_value());
+  EXPECT_FALSE(parse_maps_line("1000 2000 r-xp 0 0 0").has_value());
+  EXPECT_FALSE(parse_maps_line("zzzz-1000 r-xp 0 00:00 0").has_value());
+}
+
+TEST(ProcessMaps, SnapshotSelfFindsOwnCode) {
+  auto maps = ProcessMaps::snapshot();
+  ASSERT_TRUE(maps.is_ok()) << maps.message();
+  const auto address = reinterpret_cast<uint64_t>(&parse_maps_line);
+  const MemoryRegion* region = maps.value().find(address);
+  ASSERT_NE(region, nullptr);
+  EXPECT_TRUE(region->executable);
+  EXPECT_NE(region->pathname.find("procmaps_test"), std::string::npos);
+}
+
+TEST(ProcessMaps, FileOffsetRoundTrips) {
+  auto maps = ProcessMaps::snapshot();
+  ASSERT_TRUE(maps.is_ok());
+  const auto address = reinterpret_cast<uint64_t>(&parse_maps_line);
+  auto offset = maps.value().file_offset_of(address);
+  ASSERT_TRUE(offset.has_value());
+  const MemoryRegion* region = maps.value().find(address);
+  ASSERT_NE(region, nullptr);
+  auto back = maps.value().address_of(region->pathname, *offset);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, address);
+}
+
+TEST(ProcessMaps, ExecutableRegionsFilter) {
+  auto maps = ProcessMaps::snapshot();
+  ASSERT_TRUE(maps.is_ok());
+  auto file_backed = maps.value().executable_regions(true);
+  auto all = maps.value().executable_regions(false);
+  EXPECT_GE(all.size(), file_backed.size());
+  for (const auto& region : file_backed) {
+    EXPECT_TRUE(region.executable);
+    EXPECT_TRUE(region.is_file_backed());
+  }
+}
+
+TEST(ProcessMaps, VdsoPresent) {
+  auto maps = ProcessMaps::snapshot();
+  ASSERT_TRUE(maps.is_ok());
+  // Normal processes map the vdso (the P2b blind spot's home).
+  EXPECT_NE(maps.value().vdso(), nullptr);
+}
+
+TEST(ProcessMaps, FindByPathSuffix) {
+  auto maps = ProcessMaps::snapshot();
+  ASSERT_TRUE(maps.is_ok());
+  EXPECT_NE(maps.value().find_by_path_suffix("libc.so.6"), nullptr);
+  EXPECT_EQ(maps.value().find_by_path_suffix("no-such-lib.so.99"), nullptr);
+}
+
+TEST(ProcessMaps, NoallocProtQuery) {
+  // Readable+executable: our own code page.
+  const auto code = reinterpret_cast<uint64_t>(&parse_maps_line);
+  const int code_prot = query_address_prot_noalloc(code);
+  ASSERT_GE(code_prot, 0);
+  EXPECT_TRUE(code_prot & PROT_EXEC);
+
+  // A freshly mapped r/w page.
+  void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(page, MAP_FAILED);
+  const int rw = query_address_prot_noalloc(reinterpret_cast<uint64_t>(page));
+  EXPECT_EQ(rw, PROT_READ | PROT_WRITE);
+  ::mprotect(page, 4096, PROT_READ);
+  const int ro = query_address_prot_noalloc(reinterpret_cast<uint64_t>(page));
+  EXPECT_EQ(ro, PROT_READ);
+  ::munmap(page, 4096);
+  // Unmapped address: -1.
+  EXPECT_EQ(query_address_prot_noalloc(reinterpret_cast<uint64_t>(page)),
+            -1);
+}
+
+// --- elfio -------------------------------------------------------------------
+
+TEST(ElfReader, ParsesOwnBinary) {
+  auto exe = self_exe_path();
+  ASSERT_TRUE(exe.is_ok());
+  auto reader = ElfReader::open(exe.value());
+  ASSERT_TRUE(reader.is_ok()) << reader.message();
+  EXPECT_TRUE(reader.value().is_pie());
+  EXPECT_FALSE(reader.value().sections().empty());
+  EXPECT_FALSE(reader.value().segments().empty());
+
+  const ElfSection* text = reader.value().find_section(".text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_TRUE(text->executable);
+  EXPECT_GT(text->size, 0u);
+
+  auto exec_sections = reader.value().executable_sections();
+  EXPECT_FALSE(exec_sections.empty());
+  for (const auto& section : exec_sections) {
+    EXPECT_TRUE(section.executable);
+    EXPECT_TRUE(section.alloc);
+  }
+}
+
+TEST(ElfReader, SectionBytesMatchFile) {
+  auto exe = self_exe_path();
+  ASSERT_TRUE(exe.is_ok());
+  auto reader = ElfReader::open(exe.value());
+  ASSERT_TRUE(reader.is_ok());
+  const ElfSection* text = reader.value().find_section(".text");
+  ASSERT_NE(text, nullptr);
+  auto bytes = reader.value().section_bytes(*text);
+  ASSERT_TRUE(bytes.is_ok());
+  EXPECT_EQ(bytes.value().size(), text->size);
+}
+
+TEST(ElfReader, SymbolsIncludeKnownFunction) {
+  auto exe = self_exe_path();
+  ASSERT_TRUE(exe.is_ok());
+  auto reader = ElfReader::open(exe.value());
+  ASSERT_TRUE(reader.is_ok());
+  auto symbols = reader.value().symbols();
+  ASSERT_TRUE(symbols.is_ok());
+  bool found_main = false;
+  for (const auto& symbol : symbols.value()) {
+    if (symbol.name == "main" && symbol.is_function) found_main = true;
+  }
+  EXPECT_TRUE(found_main);
+}
+
+TEST(ElfReader, RejectsNonElf) {
+  auto parsed = ElfReader::parse("definitely not an ELF file");
+  EXPECT_FALSE(parsed.is_ok());
+  auto truncated = ElfReader::parse(std::string("\x7f"
+                                                "ELF"));
+  EXPECT_FALSE(truncated.is_ok());
+}
+
+// --- offline log ---------------------------------------------------------------
+
+TEST(OfflineLog, SerializeMatchesFigure3Format) {
+  OfflineLog log;
+  log.add("/usr/lib/x86_64-linux-gnu/libc.so.6", 1153562);
+  log.add("/usr/lib/x86_64-linux-gnu/libc.so.6", 943685);
+  const std::string text = log.serialize();
+  EXPECT_EQ(text,
+            "/usr/lib/x86_64-linux-gnu/libc.so.6,943685\n"
+            "/usr/lib/x86_64-linux-gnu/libc.so.6,1153562\n");
+}
+
+TEST(OfflineLog, DeduplicatesEntries) {
+  OfflineLog log;
+  EXPECT_TRUE(log.add("/lib/a.so", 10));
+  EXPECT_FALSE(log.add("/lib/a.so", 10));
+  EXPECT_TRUE(log.add("/lib/a.so", 11));
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(OfflineLog, DeserializeToleratesCommentsAndBlankLines) {
+  auto log = OfflineLog::deserialize(
+      "# produced by libLogger\n\n/lib/a.so,42\n/lib/b.so,7\n");
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_EQ(log.value().size(), 2u);
+}
+
+TEST(OfflineLog, DeserializeRejectsMalformed) {
+  EXPECT_FALSE(OfflineLog::deserialize("no comma here\n").is_ok());
+  EXPECT_FALSE(OfflineLog::deserialize("/lib/a.so,notanumber\n").is_ok());
+  EXPECT_FALSE(OfflineLog::deserialize(",42\n").is_ok());
+}
+
+TEST(OfflineLog, PathWithCommaUsesLastComma) {
+  auto log = OfflineLog::deserialize("/tmp/weird,lib.so,42\n");
+  ASSERT_TRUE(log.is_ok());
+  ASSERT_EQ(log.value().size(), 1u);
+  EXPECT_EQ(log.value().entries().begin()->region, "/tmp/weird,lib.so");
+  EXPECT_EQ(log.value().entries().begin()->offset, 42u);
+}
+
+TEST(OfflineLog, MergeUnions) {
+  OfflineLog a;
+  a.add("/lib/a.so", 1);
+  OfflineLog b;
+  b.add("/lib/a.so", 1);
+  b.add("/lib/b.so", 2);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(OfflineLog, SaveImmutableStripsWrite) {
+  auto dir = make_temp_dir("k23_log_");
+  ASSERT_TRUE(dir.is_ok());
+  OfflineLog log;
+  log.add("/lib/x.so", 5);
+  const std::string path = dir.value() + "/app.log";
+  ASSERT_TRUE(log.save_immutable(path).is_ok());
+  auto loaded = OfflineLog::load(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+  struct stat st;
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  EXPECT_EQ(st.st_mode & 0222, 0u);  // no write bits
+  (void)remove_tree(dir.value());
+}
+
+TEST(OfflineLog, AddAddressFiltersWritableRegions) {
+  // A writable page must be refused (paper §5.1: only executable,
+  // non-writable, file-backed regions are trusted).
+  auto maps = ProcessMaps::snapshot();
+  ASSERT_TRUE(maps.is_ok());
+  OfflineLog log;
+  int dummy = 0;
+  EXPECT_FALSE(
+      log.add_address(maps.value(), reinterpret_cast<uint64_t>(&dummy)));
+  EXPECT_TRUE(log.add_address(
+      maps.value(), reinterpret_cast<uint64_t>(&parse_maps_line)));
+}
+
+TEST(OfflineLog, ResolveReportsUnresolved) {
+  OfflineLog log;
+  log.add("/nonexistent/lib.so", 123);
+  auto maps = ProcessMaps::snapshot();
+  ASSERT_TRUE(maps.is_ok());
+  std::vector<LogEntry> unresolved;
+  auto addresses = log.resolve(maps.value(), &unresolved);
+  EXPECT_TRUE(addresses.empty());
+  ASSERT_EQ(unresolved.size(), 1u);
+  EXPECT_EQ(unresolved[0].region, "/nonexistent/lib.so");
+}
+
+}  // namespace
+}  // namespace k23

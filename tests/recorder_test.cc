@@ -1,0 +1,111 @@
+// Unit + concurrency tests: the syscall flight recorder.
+#include "trace/recorder.h"
+
+#include <gtest/gtest.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "support/subprocess.h"
+
+namespace k23 {
+namespace {
+
+SyscallArgs args_for(long nr, long a0 = 0) {
+  SyscallArgs args;
+  args.nr = nr;
+  args.rdi = a0;
+  return args;
+}
+
+HookContext ctx_at(uint64_t site, EntryPath path = EntryPath::kRewritten) {
+  HookContext ctx;
+  ctx.site_address = site;
+  ctx.path = path;
+  return ctx;
+}
+
+TEST(FlightRecorder, RecordsInOrder) {
+  FlightRecorder recorder(16);
+  for (long i = 0; i < 5; ++i) {
+    recorder.record(args_for(SYS_getpid, i), 100 + i, ctx_at(0x1000 + i));
+  }
+  auto window = recorder.snapshot();
+  ASSERT_EQ(window.size(), 5u);
+  for (size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(window[i].sequence, i);
+    EXPECT_EQ(window[i].args.rdi, static_cast<long>(i));
+    EXPECT_EQ(window[i].result, 100 + static_cast<long>(i));
+    EXPECT_EQ(window[i].site_address, 0x1000 + i);
+  }
+}
+
+TEST(FlightRecorder, OverwritesOldestWhenFull) {
+  FlightRecorder recorder(4);
+  for (long i = 0; i < 10; ++i) {
+    recorder.record(args_for(SYS_getuid, i), i, ctx_at(0));
+  }
+  auto window = recorder.snapshot();
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_EQ(window.front().sequence, 6u);  // oldest retained
+  EXPECT_EQ(window.back().sequence, 9u);
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+}
+
+TEST(FlightRecorder, CapacityRoundsToPowerOfTwo) {
+  FlightRecorder recorder(100);
+  EXPECT_EQ(recorder.capacity(), 128u);
+}
+
+TEST(FlightRecorder, DumpRendersReadableLines) {
+  FlightRecorder recorder(8);
+  recorder.record(args_for(SYS_getpid), 1234, ctx_at(0x42));
+  recorder.record(args_for(SYS_close, 7), 0,
+                  ctx_at(0x43, EntryPath::kSudFallback));
+  const std::string dump = recorder.dump();
+  EXPECT_NE(dump.find("getpid() = 1234"), std::string::npos);
+  EXPECT_NE(dump.find("close(7) = 0"), std::string::npos);
+  EXPECT_NE(dump.find("[fast]"), std::string::npos);
+  EXPECT_NE(dump.find("[slow]"), std::string::npos);
+}
+
+TEST(FlightRecorder, ConcurrentRecordersDontCorrupt) {
+  FlightRecorder recorder(256);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (long i = 0; i < 5000; ++i) {
+        recorder.record(args_for(SYS_write, t), i, ctx_at(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.total_recorded(), 20000u);
+  // Every surviving entry must be internally consistent.
+  for (const RecordedCall& call : recorder.snapshot()) {
+    EXPECT_EQ(call.args.nr, SYS_write);
+    EXPECT_GE(call.args.rdi, 0);
+    EXPECT_LT(call.args.rdi, 4);
+    EXPECT_EQ(call.site_address, static_cast<uint64_t>(call.args.rdi));
+  }
+}
+
+TEST(FlightRecorder, HookRecordsRealDispatches) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static FlightRecorder recorder(64);
+    if (!recorder.install_as_hook().is_ok()) return 1;
+    SyscallArgs args = args_for(SYS_getpid);
+    HookContext ctx;
+    long pid = Dispatcher::instance().on_syscall(args, ctx);
+    FlightRecorder::uninstall_hook();
+    if (pid != ::getpid()) return 2;
+    auto window = recorder.snapshot();
+    if (window.empty()) return 3;
+    if (window.back().args.nr != SYS_getpid) return 4;
+    return window.back().result == pid ? 0 : 5;
+  });
+}
+
+}  // namespace
+}  // namespace k23

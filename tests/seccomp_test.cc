@@ -1,0 +1,118 @@
+// Integration tests: the seccomp(SECCOMP_RET_TRAP) interposer — the
+// paper's named alternative exhaustive mechanism for the offline phase.
+// All scenarios fork: seccomp filters are irrevocable.
+#include "seccomp/seccomp_interposer.h"
+
+#include <gtest/gtest.h>
+#include <sys/syscall.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+
+#include "arch/raw_syscall.h"
+#include "support/subprocess.h"
+#include "support/syscall_sites.h"
+
+namespace k23 {
+namespace {
+
+TEST(Seccomp, ArmInterposesLibcSyscalls) {
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!SeccompInterposer::arm().is_ok()) return 1;
+    pid_t pid = ::getpid();
+    if (pid <= 0) return 2;
+    return SeccompInterposer::trap_count() >= 1 ? 0 : 3;
+  });
+}
+
+TEST(Seccomp, HookSeesTrappedCalls) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static long seen = 0;
+    if (!SeccompInterposer::arm().is_ok()) return 1;
+    Dispatcher::instance().set_hook(
+        [](void*, SyscallArgs& args, const HookContext&) {
+          if (args.nr == kBenchSyscallNr) {
+            seen = args.rdi;
+            return HookResult::replace(1234);
+          }
+          return HookResult::passthrough();
+        },
+        nullptr);
+    long rc = ::syscall(kBenchSyscallNr, 77L);
+    Dispatcher::instance().clear_hook();
+    if (rc != 1234) return 2;
+    return seen == 77 ? 0 : 3;
+  });
+}
+
+TEST(Seccomp, SiteAddressIsAccurate) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static uint64_t site = 0;
+    if (!SeccompInterposer::arm().is_ok()) return 1;
+    Dispatcher::instance().set_hook(
+        [](void*, SyscallArgs& args, const HookContext& ctx) {
+          if (args.nr == SYS_getpid) site = ctx.site_address;
+          return HookResult::passthrough();
+        },
+        nullptr);
+    (void)k23_test_getpid();
+    Dispatcher::instance().clear_hook();
+    return site == testing::getpid_site() ? 0 : 2;
+  });
+}
+
+TEST(Seccomp, FilterSurvivesForkUnlikeSud) {
+  // The operational difference from SUD: the filter is inherited and
+  // needs no dispatcher-driven re-arming in the child.
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!SeccompInterposer::arm().is_ok()) return 1;
+    pid_t pid = ::fork();
+    if (pid < 0) return 2;
+    if (pid == 0) {
+      uint64_t before = SeccompInterposer::trap_count();
+      (void)::getuid();
+      ::_exit(SeccompInterposer::trap_count() > before ? 0 : 1);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return (WIFEXITED(status) && WEXITSTATUS(status) == 0) ? 0 : 3;
+  });
+}
+
+TEST(Seccomp, ApplicationSignalsStillWork) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static volatile sig_atomic_t fired = 0;
+    if (!SeccompInterposer::arm().is_ok()) return 1;
+    struct sigaction sa{};
+    sa.sa_handler = [](int) { fired = 1; };
+    if (::sigaction(SIGUSR1, &sa, nullptr) != 0) return 2;
+    if (::raise(SIGUSR1) != 0) return 3;
+    if (!fired) return 4;
+    return ::getpid() > 0 ? 0 : 5;  // interposition still live after
+  });
+}
+
+TEST(Seccomp, DoubleArmIsRejected) {
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!SeccompInterposer::arm().is_ok()) return 1;
+    return SeccompInterposer::arm().is_ok() ? 2 : 0;
+  });
+}
+
+TEST(Seccomp, HeavyLibcTrafficSurvives) {
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!SeccompInterposer::arm().is_ok()) return 1;
+    for (int i = 0; i < 50; ++i) {
+      FILE* f = ::fopen("/proc/self/status", "r");
+      if (f == nullptr) return 2;
+      char buf[128];
+      if (::fgets(buf, sizeof(buf), f) == nullptr) return 3;
+      ::fclose(f);
+    }
+    return SeccompInterposer::trap_count() >= 150 ? 0 : 4;
+  });
+}
+
+}  // namespace
+}  // namespace k23

@@ -1,0 +1,178 @@
+// End-to-end tests of the SUD session (SIGSYS interposition).
+#include "sud/sud_session.h"
+
+#include <gtest/gtest.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <csignal>
+
+#include "arch/raw_syscall.h"
+#include "common/caps.h"
+#include "interpose/dispatch.h"
+#include "support/subprocess.h"
+#include "support/syscall_sites.h"
+
+namespace k23 {
+namespace {
+
+#define SKIP_WITHOUT_SUD()                                      \
+  if (!capabilities().sud) {                                    \
+    GTEST_SKIP() << "kernel lacks Syscall User Dispatch";       \
+  }
+
+TEST(Sud, ArmInterposesLibcSyscalls) {
+  SKIP_WITHOUT_SUD();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!SudSession::arm().is_ok()) return 1;
+    pid_t via_libc = ::getpid();      // traps -> SIGSYS -> dispatcher
+    uint64_t traps = SudSession::trap_count();
+    SudSession::disarm();
+    if (via_libc != ::getpid()) return 2;
+    return traps >= 1 ? 0 : 3;
+  });
+}
+
+TEST(Sud, SelectorAllowBypassesInterposition) {
+  SKIP_WITHOUT_SUD();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!SudSession::arm().is_ok()) return 1;
+    SudSession::set_block(false);  // SUD-no-interposition mode
+    uint64_t before = SudSession::trap_count();
+    for (int i = 0; i < 100; ++i) (void)::getpid();
+    uint64_t after = SudSession::trap_count();
+    SudSession::disarm();
+    return after == before ? 0 : 2;
+  });
+}
+
+TEST(Sud, HookSeesSyscallNumberAndArgs) {
+  SKIP_WITHOUT_SUD();
+  EXPECT_CHILD_EXITS(0, [] {
+    static long seen_nr = 0;
+    static long seen_arg = 0;
+    if (!SudSession::arm().is_ok()) return 1;
+    Dispatcher::instance().set_hook(
+        [](void*, SyscallArgs& args, const HookContext& ctx) {
+          if (args.nr == kBenchSyscallNr) {
+            seen_nr = args.nr;
+            seen_arg = args.rdi;
+            if (ctx.path != EntryPath::kSudFallback) seen_nr = -1;
+            if (ctx.site_address == 0) seen_nr = -2;
+            return HookResult::replace(777);
+          }
+          return HookResult::passthrough();
+        },
+        nullptr);
+    long rc = ::syscall(kBenchSyscallNr, 31337L);
+    Dispatcher::instance().clear_hook();
+    SudSession::disarm();
+    if (rc != 777) return 2;
+    if (seen_nr != kBenchSyscallNr) return 3;
+    return seen_arg == 31337 ? 0 : 4;
+  });
+}
+
+TEST(Sud, SiteAddressPointsAtSyscallInsn) {
+  SKIP_WITHOUT_SUD();
+  EXPECT_CHILD_EXITS(0, [] {
+    static uint64_t reported_site = 0;
+    if (!SudSession::arm().is_ok()) return 1;
+    Dispatcher::instance().set_hook(
+        [](void*, SyscallArgs& args, const HookContext& ctx) {
+          if (args.nr == SYS_getpid) reported_site = ctx.site_address;
+          return HookResult::passthrough();
+        },
+        nullptr);
+    (void)k23_test_getpid();
+    Dispatcher::instance().clear_hook();
+    SudSession::disarm();
+    return reported_site == testing::getpid_site() ? 0 : 2;
+  });
+}
+
+TEST(Sud, PrctlGuardAbortsDisableAttempt) {
+  SKIP_WITHOUT_SUD();
+  testing::ChildResult r = testing::run_in_child([] {
+    if (!SudSession::arm().is_ok()) return 1;
+    Dispatcher::instance().set_prctl_guard(true);
+    // Listing 2 from the paper: the P1b bypass attempt.
+    ::syscall(SYS_prctl, 59 /*PR_SET_SYSCALL_USER_DISPATCH*/, 0 /*OFF*/, 0,
+              0, 0);
+    return 0;  // unreachable: the guard must abort
+  });
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 134);
+}
+
+TEST(Sud, WithoutGuardDisableSucceeds) {
+  SKIP_WITHOUT_SUD();
+  // lazypoline's behaviour (P1b unhandled): prctl OFF silently disables.
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!SudSession::arm().is_ok()) return 1;
+    ::syscall(SYS_prctl, 59, 0 /*OFF*/, 0, 0, 0);
+    uint64_t before = SudSession::trap_count();
+    for (int i = 0; i < 10; ++i) (void)::getpid();
+    return SudSession::trap_count() == before ? 0 : 2;  // no longer trapped
+  });
+}
+
+TEST(Sud, SignalsInsideInterposedAppStillWork) {
+  SKIP_WITHOUT_SUD();
+  // The application handles its own signal while SUD is armed; the
+  // app's rt_sigreturn goes through the dispatcher's sigreturn path.
+  EXPECT_CHILD_EXITS(0, [] {
+    static volatile sig_atomic_t fired = 0;
+    if (!SudSession::arm().is_ok()) return 1;
+    struct sigaction sa{};
+    sa.sa_handler = [](int) { fired = 1; };
+    if (::sigaction(SIGUSR1, &sa, nullptr) != 0) return 2;
+    if (::raise(SIGUSR1) != 0) return 3;
+    if (!fired) return 4;
+    // Interposition still active after the app handler returned?
+    uint64_t before = SudSession::trap_count();
+    (void)::getpid();
+    uint64_t after = SudSession::trap_count();
+    SudSession::disarm();
+    return after > before ? 0 : 5;
+  });
+}
+
+TEST(Sud, ThreadsCreatedUnderSudAreInterposed) {
+  SKIP_WITHOUT_SUD();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!SudSession::arm().is_ok()) return 1;
+    uint64_t before = SudSession::trap_count();
+    pthread_t thread;
+    auto body = [](void*) -> void* {
+      for (int i = 0; i < 5; ++i) (void)::syscall(SYS_getuid);
+      return nullptr;
+    };
+    if (pthread_create(&thread, nullptr, body, nullptr) != 0) return 2;
+    pthread_join(thread, nullptr);
+    uint64_t after = SudSession::trap_count();
+    SudSession::disarm();
+    return after >= before + 5 ? 0 : 3;
+  });
+}
+
+TEST(Sud, ForkedChildRemainsInterposed) {
+  SKIP_WITHOUT_SUD();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!SudSession::arm().is_ok()) return 1;
+    pid_t pid = ::fork();  // itself interposed
+    if (pid < 0) return 2;
+    if (pid == 0) {
+      uint64_t before = SudSession::trap_count();
+      (void)::getpid();
+      ::_exit(SudSession::trap_count() > before ? 0 : 1);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    SudSession::disarm();
+    return (WIFEXITED(status) && WEXITSTATUS(status) == 0) ? 0 : 3;
+  });
+}
+
+}  // namespace
+}  // namespace k23

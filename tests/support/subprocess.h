@@ -1,0 +1,68 @@
+// Crash isolation for interposition tests.
+//
+// Enabling SUD, mapping VA 0, or rewriting code mutates process-global
+// state and a bug takes the whole process down. Every test that does any
+// of those runs its body in a forked child and asserts on the exit status,
+// so one failure cannot poison the gtest process or sibling tests.
+#pragma once
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace k23::testing {
+
+struct ChildResult {
+  bool exited = false;     // exited normally (vs signal)
+  int exit_code = -1;      // valid when exited
+  int term_signal = 0;     // valid when !exited
+};
+
+// Runs `fn` in a forked child. The child's exit code is fn's return value.
+// The function must not return control by other means (no gtest asserts
+// inside; communicate via the exit code).
+template <typename Fn>
+ChildResult run_in_child(Fn&& fn) {
+  ::fflush(nullptr);
+  pid_t pid = ::fork();
+  if (pid < 0) return {};
+  if (pid == 0) {
+    int code = fn();
+    ::fflush(nullptr);
+    ::_exit(code);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return {};
+  ChildResult result;
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.term_signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+// Convenience: child exit code 0 = success.
+template <typename Fn>
+bool child_succeeds(Fn&& fn) {
+  ChildResult r = run_in_child(static_cast<Fn&&>(fn));
+  return r.exited && r.exit_code == 0;
+}
+
+}  // namespace k23::testing
+
+// Expects the child to exit normally with `code`. Variadic so lambda
+// bodies containing top-level commas (braced initializers) parse.
+#define EXPECT_CHILD_EXITS(code, ...)                                  \
+  do {                                                                 \
+    ::k23::testing::ChildResult _r =                                   \
+        ::k23::testing::run_in_child(__VA_ARGS__);                     \
+    EXPECT_TRUE(_r.exited) << "child died with signal "                \
+                           << _r.term_signal;                          \
+    if (_r.exited) {                                                   \
+      EXPECT_EQ(_r.exit_code, (code));                                 \
+    }                                                                  \
+  } while (0)

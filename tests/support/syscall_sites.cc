@@ -1,0 +1,49 @@
+#include "support/syscall_sites.h"
+
+#include <sys/syscall.h>
+
+namespace {
+
+long do_syscall0(long nr, char* /*site marker forces distinct codegen*/) {
+  return nr;
+}
+
+}  // namespace
+
+// Hand-written so each site is a plain `syscall` at a known label with the
+// standard register protocol around it.
+asm(R"(
+    .text
+    .globl k23_test_getpid
+    .globl k23_test_getpid_site
+    .type  k23_test_getpid, @function
+k23_test_getpid:
+    mov $39, %eax
+k23_test_getpid_site:
+    syscall
+    ret
+    .size k23_test_getpid, . - k23_test_getpid
+
+    .globl k23_test_getuid
+    .globl k23_test_getuid_site
+    .type  k23_test_getuid, @function
+k23_test_getuid:
+    mov $102, %eax
+k23_test_getuid_site:
+    syscall
+    ret
+    .size k23_test_getuid, . - k23_test_getuid
+
+    .globl k23_test_enosys
+    .globl k23_test_enosys_site
+    .type  k23_test_enosys, @function
+k23_test_enosys:
+    mov $500, %eax
+k23_test_enosys_site:
+    syscall
+    ret
+    .size k23_test_enosys, . - k23_test_enosys
+)");
+
+// Reference to keep the helper from being dropped (and -Wunused quiet).
+long k23_test_support_anchor() { return do_syscall0(0, nullptr); }

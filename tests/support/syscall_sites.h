@@ -1,0 +1,36 @@
+// Known syscall sites for rewriting tests.
+//
+// Each helper contains exactly one labelled `syscall` instruction, so
+// tests can rewrite a site whose address they control instead of touching
+// libc. Compiled with noinline and referenced by label.
+#pragma once
+
+#include <cstdint>
+
+extern "C" {
+
+// getpid via a private labelled syscall site.
+long k23_test_getpid();
+// getuid via a second private site.
+long k23_test_getuid();
+// Invokes syscall number 500 (non-existent; paper's stress syscall).
+long k23_test_enosys();
+// Labels marking the 2-byte syscall instructions inside the above.
+extern char k23_test_getpid_site[];
+extern char k23_test_getuid_site[];
+extern char k23_test_enosys_site[];
+}
+
+namespace k23::testing {
+
+inline uint64_t getpid_site() {
+  return reinterpret_cast<uint64_t>(&k23_test_getpid_site);
+}
+inline uint64_t getuid_site() {
+  return reinterpret_cast<uint64_t>(&k23_test_getuid_site);
+}
+inline uint64_t enosys_site() {
+  return reinterpret_cast<uint64_t>(&k23_test_enosys_site);
+}
+
+}  // namespace k23::testing

@@ -1,0 +1,121 @@
+// Unit tests: syscall trace formatting.
+#include "trace/format.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+
+namespace k23 {
+namespace {
+
+SyscallArgs make(long nr, long a0 = 0, long a1 = 0, long a2 = 0,
+                 long a3 = 0, long a4 = 0, long a5 = 0) {
+  SyscallArgs args;
+  args.nr = nr;
+  args.rdi = a0;
+  args.rsi = a1;
+  args.rdx = a2;
+  args.r10 = a3;
+  args.r8 = a4;
+  args.r9 = a5;
+  return args;
+}
+
+TEST(Format, OpenatWithPathAndFlags) {
+  const char* path = "/etc/passwd";
+  auto args = make(SYS_openat, AT_FDCWD, reinterpret_cast<long>(path),
+                   O_RDONLY | O_CLOEXEC);
+  std::string out = format_syscall(args, read_local_memory);
+  EXPECT_EQ(out, "openat(AT_FDCWD, \"/etc/passwd\", O_CLOEXEC, 00)");
+}
+
+TEST(Format, WriteShowsBufferPrefix) {
+  const char* data = "hello world, this is a long buffer";
+  auto args = make(SYS_write, 1, reinterpret_cast<long>(data), 34);
+  std::string out = format_syscall(args, read_local_memory);
+  EXPECT_EQ(out, "write(1, \"hello world, thi\"..., 34)");
+}
+
+TEST(Format, MmapRendersAllFlagKinds) {
+  auto args = make(SYS_mmap, 0, 4096, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  std::string out = format_syscall(args, read_local_memory);
+  EXPECT_EQ(out,
+            "mmap(NULL, 4096, PROT_READ|PROT_WRITE, "
+            "MAP_PRIVATE|MAP_ANONYMOUS, -1, 0)");
+}
+
+TEST(Format, NullAndUnreadablePointers) {
+  auto args = make(SYS_openat, AT_FDCWD, 0, 0);
+  EXPECT_EQ(format_syscall(args, read_local_memory),
+            "openat(AT_FDCWD, NULL, O_RDONLY, 00)");
+  // A wild pointer renders as hex instead of crashing.
+  args.rsi = 0x1234;
+  std::string out = format_syscall(args, read_local_memory);
+  EXPECT_NE(out.find("0x1234"), std::string::npos);
+}
+
+TEST(Format, StringEscaping) {
+  const char* tricky = "tab\there \"quote\" \x01";
+  auto args = make(SYS_chdir, reinterpret_cast<long>(tricky));
+  std::string out = format_syscall(args, read_local_memory);
+  EXPECT_NE(out.find("\\t"), std::string::npos);
+  EXPECT_NE(out.find("\\\""), std::string::npos);
+  EXPECT_NE(out.find("\\x01"), std::string::npos);
+}
+
+TEST(Format, LongStringsTruncate) {
+  std::string long_path(200, 'a');
+  auto args = make(SYS_chdir, reinterpret_cast<long>(long_path.c_str()));
+  FormatOptions options;
+  options.max_string = 10;
+  std::string out = format_syscall(args, read_local_memory, options);
+  EXPECT_NE(out.find("aaaaaaaaaa\"..."), std::string::npos);
+  EXPECT_LT(out.size(), 40u);
+}
+
+TEST(Format, ResultsIncludeErrnoNames) {
+  EXPECT_EQ(format_errno_result(3), "3");
+  std::string err = format_errno_result(-ENOENT);
+  EXPECT_NE(err.find("ENOENT"), std::string::npos);
+  EXPECT_NE(err.find("No such file"), std::string::npos);
+}
+
+TEST(Format, WithResultAppendsValue) {
+  auto args = make(SYS_getpid);
+  EXPECT_EQ(format_syscall_with_result(args, 1234, read_local_memory),
+            "getpid() = 1234");
+}
+
+TEST(Format, UnknownSyscallFallsBack) {
+  auto args = make(kBenchSyscallNr, 1, 2, 3, 4, 5, 6);
+  std::string out = format_syscall(args, read_local_memory);
+  EXPECT_EQ(out, "syscall_500(1, 2, 3, 4, 5, 6)");
+}
+
+TEST(Format, KnownButUntabledSyscallUsesName) {
+  // getpgid is in the number table but has no signature entry.
+  auto args = make(SYS_getpgid, 0);
+  std::string out = format_syscall(args, read_local_memory);
+  EXPECT_EQ(out.substr(0, 8), "getpgid(");
+}
+
+TEST(Format, SignalNamesRendered) {
+  auto args = make(SYS_kill, 1234, 9);
+  std::string out = format_syscall(args, read_local_memory);
+  EXPECT_EQ(out, "kill(1234, SIGKILL)");
+}
+
+TEST(Format, FlagRenderers) {
+  EXPECT_EQ(format_open_flags(0), "O_RDONLY");
+  EXPECT_EQ(format_open_flags(O_WRONLY | O_CREAT), "O_WRONLY|O_CREAT");
+  EXPECT_EQ(format_prot_flags(0), "PROT_NONE");
+  EXPECT_EQ(format_prot_flags(PROT_EXEC), "PROT_EXEC");
+  EXPECT_EQ(format_map_flags(MAP_SHARED), "MAP_SHARED");
+  // Unknown bits surface as hex rather than vanishing.
+  EXPECT_NE(format_open_flags(1 << 30).find("0x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace k23

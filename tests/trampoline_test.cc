@@ -1,0 +1,185 @@
+// End-to-end tests of the VA-0 trampoline + code patcher.
+#include "trampoline/trampoline.h"
+
+#include <gtest/gtest.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "arch/raw_syscall.h"
+#include "common/caps.h"
+#include "interpose/dispatch.h"
+#include "rewrite/patcher.h"
+#include "support/subprocess.h"
+#include "support/syscall_sites.h"
+
+namespace k23 {
+namespace {
+
+using testing::run_in_child;
+
+#define SKIP_WITHOUT_VA0()                                          \
+  if (!capabilities().mmap_va0) {                                   \
+    GTEST_SKIP() << "environment cannot map virtual address 0";     \
+  }
+
+TEST(Trampoline, InstallAndRemove) {
+  SKIP_WITHOUT_VA0();
+  EXPECT_CHILD_EXITS(0, [] {
+    Status st = Trampoline::install(Trampoline::Options{});
+    if (!st.is_ok()) return 1;
+    if (!Trampoline::installed()) return 2;
+    // Double install must fail.
+    if (Trampoline::install(Trampoline::Options{}).is_ok()) return 3;
+    Trampoline::remove();
+    if (Trampoline::installed()) return 4;
+    return 0;
+  });
+}
+
+TEST(Trampoline, RewrittenSyscallGoesThroughDispatcher) {
+  SKIP_WITHOUT_VA0();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!Trampoline::install(Trampoline::Options{}).is_ok()) return 1;
+    CodePatcher patcher;
+    if (!patcher.patch_site(testing::getpid_site()).is_ok()) return 2;
+
+    long pid = k23_test_getpid();           // now routed via trampoline
+    if (pid != ::getpid()) return 3;
+    if (Dispatcher::instance().stats().by_nr(SYS_getpid) == 0) return 4;
+    if (Dispatcher::instance().stats().by_path(EntryPath::kRewritten) == 0) {
+      return 5;
+    }
+    return 0;
+  });
+}
+
+TEST(Trampoline, HookCanReplaceResult) {
+  SKIP_WITHOUT_VA0();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!Trampoline::install(Trampoline::Options{}).is_ok()) return 1;
+    CodePatcher patcher;
+    if (!patcher.patch_site(testing::getpid_site()).is_ok()) return 2;
+
+    Dispatcher::instance().set_hook(
+        [](void*, SyscallArgs& args, const HookContext&) {
+          if (args.nr == SYS_getpid) return HookResult::replace(4242);
+          return HookResult::passthrough();
+        },
+        nullptr);
+    long pid = k23_test_getpid();
+    Dispatcher::instance().clear_hook();
+    return pid == 4242 ? 0 : 3;
+  });
+}
+
+TEST(Trampoline, NonexistentSyscallReturnsEnosys) {
+  SKIP_WITHOUT_VA0();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!Trampoline::install(Trampoline::Options{}).is_ok()) return 1;
+    CodePatcher patcher;
+    if (!patcher.patch_site(testing::enosys_site()).is_ok()) return 2;
+    long rc = k23_test_enosys();  // syscall 500 through the 1024-nop sled
+    return (is_syscall_error(rc) && syscall_errno(rc) == ENOSYS) ? 0 : 3;
+  });
+}
+
+TEST(Trampoline, EntryValidatorAbortsUnknownSites) {
+  SKIP_WITHOUT_VA0();
+  testing::ChildResult r = run_in_child([] {
+    Trampoline::Options options;
+    options.validator = [](uint64_t) { return false; };  // reject all
+    if (!Trampoline::install(options).is_ok()) return 1;
+    CodePatcher patcher;
+    if (!patcher.patch_site(testing::getpid_site()).is_ok()) return 2;
+    (void)k23_test_getpid();  // must security_abort -> exit code 134
+    return 0;
+  });
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 134);
+}
+
+TEST(Trampoline, ValidatorAcceptsKnownSite) {
+  SKIP_WITHOUT_VA0();
+  EXPECT_CHILD_EXITS(0, [] {
+    static uint64_t known_site;
+    known_site = testing::getpid_site();
+    Trampoline::Options options;
+    options.validator = [](uint64_t site) { return site == known_site; };
+    if (!Trampoline::install(options).is_ok()) return 1;
+    CodePatcher patcher;
+    if (!patcher.patch_site(known_site).is_ok()) return 2;
+    return k23_test_getpid() == ::getpid() ? 0 : 3;
+  });
+}
+
+TEST(Trampoline, DedicatedStackVariant) {
+  SKIP_WITHOUT_VA0();
+  EXPECT_CHILD_EXITS(0, [] {
+    Trampoline::Options options;
+    options.dedicated_stack = true;  // K23-ultra+
+    if (!Trampoline::install(options).is_ok()) return 1;
+    CodePatcher patcher;
+    if (!patcher.patch_site(testing::getpid_site()).is_ok()) return 2;
+    for (int i = 0; i < 1000; ++i) {
+      if (k23_test_getpid() != ::getpid()) return 3;
+    }
+    return 0;
+  });
+}
+
+TEST(Trampoline, NullWriteStillFaults) {
+  SKIP_WITHOUT_VA0();
+  testing::ChildResult r = run_in_child([] {
+    if (!Trampoline::install(Trampoline::Options{}).is_ok()) return 1;
+    // The page is PROT_EXEC (or PKU-protected): a NULL write must fault.
+    volatile int* null_ptr = nullptr;
+    asm volatile("" : "+r"(null_ptr));
+    *null_ptr = 7;
+    return 0;  // unreachable if protection works
+  });
+  EXPECT_FALSE(r.exited && r.exit_code == 0)
+      << "NULL write did not fault with trampoline installed";
+}
+
+TEST(Patcher, RefusesNonSyscallBytes) {
+  // patch_site on bytes that are not 0f 05 must be refused (no force).
+  EXPECT_CHILD_EXITS(0, [] {
+    CodePatcher patcher;
+    uint64_t not_a_site = testing::getpid_site() + 1;  // misaligned bytes
+    return patcher.patch_site(not_a_site).is_ok() ? 1 : 0;
+  });
+}
+
+TEST(Patcher, UnpatchRestoresOriginal) {
+  SKIP_WITHOUT_VA0();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!Trampoline::install(Trampoline::Options{}).is_ok()) return 1;
+    CodePatcher patcher;
+    if (!patcher.patch_site(testing::getuid_site()).is_ok()) return 2;
+    if (k23_test_getuid() != ::getuid()) return 3;
+    uint64_t before = Dispatcher::instance().stats().total();
+    if (!patcher.unpatch_site(testing::getuid_site()).is_ok()) return 4;
+    if (k23_test_getuid() != ::getuid()) return 5;  // direct syscall again
+    return Dispatcher::instance().stats().total() == before ? 0 : 6;
+  });
+}
+
+TEST(Patcher, BatchPatchReportsCounts) {
+  SKIP_WITHOUT_VA0();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!Trampoline::install(Trampoline::Options{}).is_ok()) return 1;
+    CodePatcher patcher;
+    auto report = patcher.patch_sites(
+        {testing::getpid_site(), testing::getuid_site(),
+         testing::getpid_site() + 1 /* not a syscall */});
+    if (!report.is_ok()) return 2;
+    if (report.value().patched != 2) return 3;
+    if (report.value().skipped_not_syscall != 1) return 4;
+    if (k23_test_getpid() != ::getpid()) return 5;
+    if (k23_test_getuid() != ::getuid()) return 6;
+    return 0;
+  });
+}
+
+}  // namespace
+}  // namespace k23

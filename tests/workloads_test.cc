@@ -1,0 +1,276 @@
+// Functional tests for the benchmark workloads (servers, db, coreutils).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/files.h"
+#include "support/subprocess.h"
+#include "workloads/coreutils.h"
+#include "workloads/load_client.h"
+#include "workloads/mini_db.h"
+#include "workloads/mini_http.h"
+#include "workloads/mini_kv.h"
+#include "workloads/net.h"
+
+namespace k23 {
+namespace {
+
+TEST(MiniHttp, ServesAndCountsRequests) {
+  MiniHttpOptions options;
+  options.body_size = 4096;
+  options.workers = 1;
+  auto handle = spawn_http_server(options);
+  ASSERT_TRUE(handle.is_ok()) << handle.message();
+
+  LoadOptions load;
+  load.port = handle.value().port;
+  load.connections = 4;
+  load.duration_seconds = 0.3;
+  auto result = run_http_load(load);
+  stop_http_server(handle.value());
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  EXPECT_GT(result.value().requests, 100u);
+  EXPECT_EQ(result.value().errors, 0u);
+}
+
+TEST(MiniHttp, MultiWorkerSharesPort) {
+  MiniHttpOptions options;
+  options.body_size = 0;
+  options.workers = 3;
+  auto handle = spawn_http_server(options);
+  ASSERT_TRUE(handle.is_ok()) << handle.message();
+  ASSERT_EQ(handle.value().workers.size(), 3u);
+
+  LoadOptions load;
+  load.port = handle.value().port;
+  load.connections = 6;
+  load.duration_seconds = 0.3;
+  auto result = run_http_load(load);
+  stop_http_server(handle.value());
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  EXPECT_GT(result.value().requests, 100u);
+}
+
+TEST(MiniHttp, ResponseIsWellFormed) {
+  MiniHttpOptions options;
+  options.body_size = 16;
+  auto handle = spawn_http_server(options);
+  ASSERT_TRUE(handle.is_ok());
+  auto fd = tcp_connect(handle.value().port);
+  ASSERT_TRUE(fd.is_ok());
+  const char request[] = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(write_all(fd.value(), request, sizeof(request) - 1).is_ok());
+  auto reply = read_until(fd.value(), "xxxxxxxxxxxxxxxx");
+  ::close(fd.value());
+  stop_http_server(handle.value());
+  ASSERT_TRUE(reply.is_ok()) << reply.message();
+  EXPECT_NE(reply.value().find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(reply.value().find("Content-Length: 16"), std::string::npos);
+}
+
+TEST(MiniKv, GetSetPing) {
+  // Pick a free port via a throwaway listener so the server thread can
+  // bind it deterministically (no port-publication race).
+  auto probe = tcp_listen(0);
+  ASSERT_TRUE(probe.is_ok());
+  auto chosen = tcp_local_port(probe.value());
+  ASSERT_TRUE(chosen.is_ok());
+  ::close(probe.value());
+  const uint16_t port = chosen.value();
+
+  std::atomic<bool> stop{false};
+  std::thread server2([&] {
+    MiniKvOptions options;
+    options.port = port;
+    options.stop = &stop;
+    (void)run_kv_server_inline(options, nullptr);
+  });
+
+  auto fd = tcp_connect(port);
+  ASSERT_TRUE(fd.is_ok()) << fd.message();
+  auto send = [&](const std::string& cmd) {
+    ASSERT_TRUE(write_all(fd.value(), cmd.data(), cmd.size()).is_ok());
+  };
+  send("PING\r\n");
+  auto pong = read_until(fd.value(), "\r\n");
+  ASSERT_TRUE(pong.is_ok());
+  EXPECT_EQ(pong.value(), "+PONG\r\n");
+
+  send("SET color purple\r\n");
+  auto ok = read_until(fd.value(), "\r\n");
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), "+OK\r\n");
+
+  send("GET color\r\n");
+  auto got = read_until(fd.value(), "purple\r\n");
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), "$6\r\npurple\r\n");
+
+  send("GET missing-key\r\n");
+  auto nil = read_until(fd.value(), "\r\n");
+  ASSERT_TRUE(nil.is_ok());
+  EXPECT_EQ(nil.value(), "$-1\r\n");
+
+  ::close(fd.value());
+  stop = true;
+  server2.join();
+}
+
+TEST(MiniKv, SurvivesLoadWithMultipleIoThreads) {
+  auto probe = tcp_listen(0);
+  ASSERT_TRUE(probe.is_ok());
+  auto chosen = tcp_local_port(probe.value());
+  ASSERT_TRUE(chosen.is_ok());
+  ::close(probe.value());
+
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    MiniKvOptions options;
+    options.port = chosen.value();
+    options.io_threads = 2;
+    options.stop = &stop;
+    (void)run_kv_server_inline(options, nullptr);
+  });
+
+  LoadOptions load;
+  load.port = chosen.value();
+  load.connections = 4;
+  load.duration_seconds = 0.3;
+  auto result = run_kv_load(load);
+  stop = true;
+  server.join();
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  EXPECT_GT(result.value().requests, 100u);
+}
+
+class MiniDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = make_temp_dir("k23_db_test_");
+    ASSERT_TRUE(dir.is_ok());
+    directory_ = dir.value();
+  }
+  void TearDown() override { (void)remove_tree(directory_); }
+  std::string directory_;
+};
+
+TEST_F(MiniDbTest, PutGetRoundTrip) {
+  MiniDbOptions options;
+  options.directory = directory_;
+  auto db = MiniDb::open(options);
+  ASSERT_TRUE(db.is_ok()) << db.message();
+  std::unique_ptr<MiniDb> owned(db.value());
+  ASSERT_TRUE(owned->put("alpha", "1").is_ok());
+  ASSERT_TRUE(owned->put("beta", "2").is_ok());
+  auto a = owned->get("alpha");
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(a.value(), "1");
+  EXPECT_FALSE(owned->get("gamma").is_ok());
+}
+
+TEST_F(MiniDbTest, UpdatesReadBackThroughWal) {
+  MiniDbOptions options;
+  options.directory = directory_;
+  auto db = MiniDb::open(options);
+  ASSERT_TRUE(db.is_ok());
+  std::unique_ptr<MiniDb> owned(db.value());
+  ASSERT_TRUE(owned->put("key", "v1").is_ok());
+  ASSERT_TRUE(owned->put("key", "v2").is_ok());
+  auto value = owned->get("key");
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(value.value(), "v2");
+  EXPECT_GE(owned->wal_frames(), 2u);  // both versions are WAL frames
+}
+
+TEST_F(MiniDbTest, TransactionBatchesSyncs) {
+  MiniDbOptions options;
+  options.directory = directory_;
+  auto db = MiniDb::open(options);
+  ASSERT_TRUE(db.is_ok());
+  std::unique_ptr<MiniDb> owned(db.value());
+  ASSERT_TRUE(owned->begin().is_ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(owned->put("k" + std::to_string(i), "v").is_ok());
+  }
+  ASSERT_TRUE(owned->commit().is_ok());
+  EXPECT_EQ(owned->commits(), 1u);
+}
+
+TEST_F(MiniDbTest, RecoversFromWalAfterReopen) {
+  MiniDbOptions options;
+  options.directory = directory_;
+  {
+    auto db = MiniDb::open(options);
+    ASSERT_TRUE(db.is_ok());
+    std::unique_ptr<MiniDb> owned(db.value());
+    ASSERT_TRUE(owned->put("persist", "me").is_ok());
+  }
+  auto db = MiniDb::open(options);
+  ASSERT_TRUE(db.is_ok());
+  std::unique_ptr<MiniDb> owned(db.value());
+  auto value = owned->get("persist");
+  ASSERT_TRUE(value.is_ok()) << value.message();
+  EXPECT_EQ(value.value(), "me");
+}
+
+TEST_F(MiniDbTest, CheckpointFoldsWalIntoMainFile) {
+  MiniDbOptions options;
+  options.directory = directory_;
+  auto db = MiniDb::open(options);
+  ASSERT_TRUE(db.is_ok());
+  std::unique_ptr<MiniDb> owned(db.value());
+  ASSERT_TRUE(owned->put("cp", "value").is_ok());
+  ASSERT_TRUE(owned->checkpoint().is_ok());
+  EXPECT_EQ(owned->wal_frames(), 0u);
+  auto value = owned->get("cp");
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(value.value(), "value");
+}
+
+TEST_F(MiniDbTest, SpeedtestCompletes) {
+  auto report = run_db_speedtest(directory_, /*size=*/4);
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_GT(report.value().operations, 200u);
+  EXPECT_GT(report.value().seconds, 0.0);
+}
+
+TEST(Coreutils, PwdMatchesGetcwd) {
+  auto out = tool_pwd();
+  ASSERT_TRUE(out.is_ok());
+  char buf[4096];
+  ASSERT_NE(::getcwd(buf, sizeof(buf)), nullptr);
+  EXPECT_EQ(out.value(), buf);
+}
+
+TEST(Coreutils, TouchLsCat) {
+  auto dir = make_temp_dir("k23_coreutils_");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string file = dir.value() + "/hello.txt";
+  ASSERT_TRUE(tool_touch(file).is_ok());
+  ASSERT_TRUE(write_file(file, "contents\n").is_ok());
+
+  auto listing = tool_ls(dir.value());
+  ASSERT_TRUE(listing.is_ok());
+  EXPECT_EQ(listing.value(), "hello.txt\n");
+
+  auto contents = tool_cat(file);
+  ASSERT_TRUE(contents.is_ok());
+  EXPECT_EQ(contents.value(), "contents\n");
+  (void)remove_tree(dir.value());
+}
+
+TEST(Coreutils, ClearEmitsAnsi) {
+  EXPECT_EQ(tool_clear().substr(0, 2), "\x1b[");
+}
+
+TEST(Coreutils, MulticallDispatch) {
+  EXPECT_EQ(run_coreutil("clear", ""), 0);
+  EXPECT_EQ(run_coreutil("no-such-tool", ""), 2);
+}
+
+}  // namespace
+}  // namespace k23
