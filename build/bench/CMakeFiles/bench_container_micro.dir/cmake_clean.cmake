@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_container_micro.dir/bench_container_micro.cc.o"
+  "CMakeFiles/bench_container_micro.dir/bench_container_micro.cc.o.d"
+  "bench_container_micro"
+  "bench_container_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_container_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

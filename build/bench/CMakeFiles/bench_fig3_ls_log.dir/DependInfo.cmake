@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_ls_log.cc" "bench/CMakeFiles/bench_fig3_ls_log.dir/bench_fig3_ls_log.cc.o" "gcc" "bench/CMakeFiles/bench_fig3_ls_log.dir/bench_fig3_ls_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/k23_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/k23_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/k23/CMakeFiles/k23_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zpoline/CMakeFiles/k23_zpoline.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/k23_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/disasm/CMakeFiles/k23_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/elfio/CMakeFiles/k23_elfio.dir/DependInfo.cmake"
+  "/root/repo/build/src/lazypoline/CMakeFiles/k23_lazypoline.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/k23_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/procmaps/CMakeFiles/k23_procmaps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trampoline/CMakeFiles/k23_trampoline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sud/CMakeFiles/k23_sud.dir/DependInfo.cmake"
+  "/root/repo/build/src/interpose/CMakeFiles/k23_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/k23_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/k23_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

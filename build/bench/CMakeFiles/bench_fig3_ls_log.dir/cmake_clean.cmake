@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ls_log.dir/bench_fig3_ls_log.cc.o"
+  "CMakeFiles/bench_fig3_ls_log.dir/bench_fig3_ls_log.cc.o.d"
+  "bench_fig3_ls_log"
+  "bench_fig3_ls_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ls_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mechanism_micro.dir/bench_mechanism_micro.cc.o"
+  "CMakeFiles/bench_mechanism_micro.dir/bench_mechanism_micro.cc.o.d"
+  "bench_mechanism_micro"
+  "bench_mechanism_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mechanism_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_offline_sites.dir/bench_table2_offline_sites.cc.o"
+  "CMakeFiles/bench_table2_offline_sites.dir/bench_table2_offline_sites.cc.o.d"
+  "bench_table2_offline_sites"
+  "bench_table2_offline_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_offline_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

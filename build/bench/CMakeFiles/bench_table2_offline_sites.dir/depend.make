@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_offline_sites.
+# This may be replaced when dependencies are built.

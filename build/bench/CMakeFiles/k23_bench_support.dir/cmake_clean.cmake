@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_bench_support.dir/support/stress_loop.cc.o"
+  "CMakeFiles/k23_bench_support.dir/support/stress_loop.cc.o.d"
+  "CMakeFiles/k23_bench_support.dir/support/variants.cc.o"
+  "CMakeFiles/k23_bench_support.dir/support/variants.cc.o.d"
+  "support/libk23_bench_support.a"
+  "support/libk23_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

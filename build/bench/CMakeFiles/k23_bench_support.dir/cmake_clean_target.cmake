@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "support/libk23_bench_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_online_demo.dir/offline_online_demo.cpp.o"
+  "CMakeFiles/offline_online_demo.dir/offline_online_demo.cpp.o.d"
+  "offline_online_demo"
+  "offline_online_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_online_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

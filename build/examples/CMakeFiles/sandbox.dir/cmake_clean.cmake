@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox.dir/sandbox.cpp.o"
+  "CMakeFiles/sandbox.dir/sandbox.cpp.o.d"
+  "sandbox"
+  "sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strace_like.dir/strace_like.cpp.o"
+  "CMakeFiles/strace_like.dir/strace_like.cpp.o.d"
+  "strace_like"
+  "strace_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strace_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_profiler.dir/syscall_profiler.cpp.o"
+  "CMakeFiles/syscall_profiler.dir/syscall_profiler.cpp.o.d"
+  "syscall_profiler"
+  "syscall_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("container")
+subdirs("arch")
+subdirs("procmaps")
+subdirs("elfio")
+subdirs("disasm")
+subdirs("rewrite")
+subdirs("trampoline")
+subdirs("interpose")
+subdirs("sud")
+subdirs("ptracer")
+subdirs("zpoline")
+subdirs("lazypoline")
+subdirs("k23")
+subdirs("workloads")
+subdirs("pitfalls")
+subdirs("seccomp")
+subdirs("trace")
+subdirs("policy")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/syscall_table.cc" "src/arch/CMakeFiles/k23_arch.dir/syscall_table.cc.o" "gcc" "src/arch/CMakeFiles/k23_arch.dir/syscall_table.cc.o.d"
+  "/root/repo/src/arch/thunks.cc" "src/arch/CMakeFiles/k23_arch.dir/thunks.cc.o" "gcc" "src/arch/CMakeFiles/k23_arch.dir/thunks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/k23_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

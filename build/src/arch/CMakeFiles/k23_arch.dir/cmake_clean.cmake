@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_arch.dir/syscall_table.cc.o"
+  "CMakeFiles/k23_arch.dir/syscall_table.cc.o.d"
+  "CMakeFiles/k23_arch.dir/thunks.cc.o"
+  "CMakeFiles/k23_arch.dir/thunks.cc.o.d"
+  "libk23_arch.a"
+  "libk23_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_common.dir/caps.cc.o"
+  "CMakeFiles/k23_common.dir/caps.cc.o.d"
+  "CMakeFiles/k23_common.dir/env.cc.o"
+  "CMakeFiles/k23_common.dir/env.cc.o.d"
+  "CMakeFiles/k23_common.dir/files.cc.o"
+  "CMakeFiles/k23_common.dir/files.cc.o.d"
+  "CMakeFiles/k23_common.dir/logging.cc.o"
+  "CMakeFiles/k23_common.dir/logging.cc.o.d"
+  "CMakeFiles/k23_common.dir/strings.cc.o"
+  "CMakeFiles/k23_common.dir/strings.cc.o.d"
+  "libk23_common.a"
+  "libk23_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_container.dir/address_bitmap.cc.o"
+  "CMakeFiles/k23_container.dir/address_bitmap.cc.o.d"
+  "libk23_container.a"
+  "libk23_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

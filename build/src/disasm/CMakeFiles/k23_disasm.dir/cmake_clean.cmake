@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_disasm.dir/decoder.cc.o"
+  "CMakeFiles/k23_disasm.dir/decoder.cc.o.d"
+  "CMakeFiles/k23_disasm.dir/scanner.cc.o"
+  "CMakeFiles/k23_disasm.dir/scanner.cc.o.d"
+  "libk23_disasm.a"
+  "libk23_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_elfio.dir/elf_reader.cc.o"
+  "CMakeFiles/k23_elfio.dir/elf_reader.cc.o.d"
+  "libk23_elfio.a"
+  "libk23_elfio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_elfio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

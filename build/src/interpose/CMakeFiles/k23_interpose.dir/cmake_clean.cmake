@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_interpose.dir/dispatch.cc.o"
+  "CMakeFiles/k23_interpose.dir/dispatch.cc.o.d"
+  "libk23_interpose.a"
+  "libk23_interpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_interpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

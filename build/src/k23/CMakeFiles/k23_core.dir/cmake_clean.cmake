@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_core.dir/k23.cc.o"
+  "CMakeFiles/k23_core.dir/k23.cc.o.d"
+  "CMakeFiles/k23_core.dir/liblogger.cc.o"
+  "CMakeFiles/k23_core.dir/liblogger.cc.o.d"
+  "CMakeFiles/k23_core.dir/offline_log.cc.o"
+  "CMakeFiles/k23_core.dir/offline_log.cc.o.d"
+  "libk23_core.a"
+  "libk23_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/k23/logmerge_main.cc" "src/k23/CMakeFiles/k23_logmerge.dir/logmerge_main.cc.o" "gcc" "src/k23/CMakeFiles/k23_logmerge.dir/logmerge_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/k23/CMakeFiles/k23_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/k23_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/k23_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/procmaps/CMakeFiles/k23_procmaps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sud/CMakeFiles/k23_sud.dir/DependInfo.cmake"
+  "/root/repo/build/src/trampoline/CMakeFiles/k23_trampoline.dir/DependInfo.cmake"
+  "/root/repo/build/src/interpose/CMakeFiles/k23_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/k23_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/k23_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

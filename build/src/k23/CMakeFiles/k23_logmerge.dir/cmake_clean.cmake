@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_logmerge.dir/logmerge_main.cc.o"
+  "CMakeFiles/k23_logmerge.dir/logmerge_main.cc.o.d"
+  "k23_logmerge"
+  "k23_logmerge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_logmerge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_preload.dir/preload.cc.o"
+  "CMakeFiles/k23_preload.dir/preload.cc.o.d"
+  "libk23_preload.pdb"
+  "libk23_preload.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_run.dir/launcher_main.cc.o"
+  "CMakeFiles/k23_run.dir/launcher_main.cc.o.d"
+  "k23_run"
+  "k23_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_lazypoline.dir/lazypoline.cc.o"
+  "CMakeFiles/k23_lazypoline.dir/lazypoline.cc.o.d"
+  "libk23_lazypoline.a"
+  "libk23_lazypoline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_lazypoline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libk23_lazypoline.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helper_clock.dir/bin/helper_clock.cc.o"
+  "CMakeFiles/helper_clock.dir/bin/helper_clock.cc.o.d"
+  "helper_clock"
+  "helper_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helper_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

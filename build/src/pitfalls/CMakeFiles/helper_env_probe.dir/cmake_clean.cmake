@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helper_env_probe.dir/bin/helper_env_probe.cc.o"
+  "CMakeFiles/helper_env_probe.dir/bin/helper_env_probe.cc.o.d"
+  "helper_env_probe"
+  "helper_env_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helper_env_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

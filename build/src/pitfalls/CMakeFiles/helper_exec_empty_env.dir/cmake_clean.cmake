@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helper_exec_empty_env.dir/bin/helper_exec_empty_env.cc.o"
+  "CMakeFiles/helper_exec_empty_env.dir/bin/helper_exec_empty_env.cc.o.d"
+  "helper_exec_empty_env"
+  "helper_exec_empty_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helper_exec_empty_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for helper_exec_empty_env.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helper_handoff.dir/bin/helper_handoff.cc.o"
+  "CMakeFiles/helper_handoff.dir/bin/helper_handoff.cc.o.d"
+  "helper_handoff"
+  "helper_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helper_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_pitfalls.dir/pitfalls.cc.o"
+  "CMakeFiles/k23_pitfalls.dir/pitfalls.cc.o.d"
+  "libk23_pitfalls.a"
+  "libk23_pitfalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_policy.dir/policy.cc.o"
+  "CMakeFiles/k23_policy.dir/policy.cc.o.d"
+  "libk23_policy.a"
+  "libk23_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

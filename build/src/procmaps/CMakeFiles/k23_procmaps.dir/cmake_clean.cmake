@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_procmaps.dir/procmaps.cc.o"
+  "CMakeFiles/k23_procmaps.dir/procmaps.cc.o.d"
+  "libk23_procmaps.a"
+  "libk23_procmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_procmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_ptracer.dir/ptracer.cc.o"
+  "CMakeFiles/k23_ptracer.dir/ptracer.cc.o.d"
+  "libk23_ptracer.a"
+  "libk23_ptracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_ptracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

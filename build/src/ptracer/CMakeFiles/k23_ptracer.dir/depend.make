@@ -1,0 +1,2 @@
+# Empty dependencies file for k23_ptracer.
+# This may be replaced when dependencies are built.

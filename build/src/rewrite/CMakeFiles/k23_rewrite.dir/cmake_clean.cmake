@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_rewrite.dir/nopatch.cc.o"
+  "CMakeFiles/k23_rewrite.dir/nopatch.cc.o.d"
+  "CMakeFiles/k23_rewrite.dir/patcher.cc.o"
+  "CMakeFiles/k23_rewrite.dir/patcher.cc.o.d"
+  "libk23_rewrite.a"
+  "libk23_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

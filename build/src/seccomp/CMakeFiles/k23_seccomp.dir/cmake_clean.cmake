@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_seccomp.dir/seccomp_interposer.cc.o"
+  "CMakeFiles/k23_seccomp.dir/seccomp_interposer.cc.o.d"
+  "libk23_seccomp.a"
+  "libk23_seccomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_seccomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for k23_seccomp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_sud.dir/sud_session.cc.o"
+  "CMakeFiles/k23_sud.dir/sud_session.cc.o.d"
+  "libk23_sud.a"
+  "libk23_sud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_sud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_trace.dir/format.cc.o"
+  "CMakeFiles/k23_trace.dir/format.cc.o.d"
+  "CMakeFiles/k23_trace.dir/recorder.cc.o"
+  "CMakeFiles/k23_trace.dir/recorder.cc.o.d"
+  "libk23_trace.a"
+  "libk23_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

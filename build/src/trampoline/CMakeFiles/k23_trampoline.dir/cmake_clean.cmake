@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_trampoline.dir/trampoline.cc.o"
+  "CMakeFiles/k23_trampoline.dir/trampoline.cc.o.d"
+  "libk23_trampoline.a"
+  "libk23_trampoline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_trampoline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

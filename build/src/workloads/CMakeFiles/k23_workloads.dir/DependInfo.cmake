@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/coreutils.cc" "src/workloads/CMakeFiles/k23_workloads.dir/coreutils.cc.o" "gcc" "src/workloads/CMakeFiles/k23_workloads.dir/coreutils.cc.o.d"
+  "/root/repo/src/workloads/load_client.cc" "src/workloads/CMakeFiles/k23_workloads.dir/load_client.cc.o" "gcc" "src/workloads/CMakeFiles/k23_workloads.dir/load_client.cc.o.d"
+  "/root/repo/src/workloads/mini_db.cc" "src/workloads/CMakeFiles/k23_workloads.dir/mini_db.cc.o" "gcc" "src/workloads/CMakeFiles/k23_workloads.dir/mini_db.cc.o.d"
+  "/root/repo/src/workloads/mini_http.cc" "src/workloads/CMakeFiles/k23_workloads.dir/mini_http.cc.o" "gcc" "src/workloads/CMakeFiles/k23_workloads.dir/mini_http.cc.o.d"
+  "/root/repo/src/workloads/mini_kv.cc" "src/workloads/CMakeFiles/k23_workloads.dir/mini_kv.cc.o" "gcc" "src/workloads/CMakeFiles/k23_workloads.dir/mini_kv.cc.o.d"
+  "/root/repo/src/workloads/net.cc" "src/workloads/CMakeFiles/k23_workloads.dir/net.cc.o" "gcc" "src/workloads/CMakeFiles/k23_workloads.dir/net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/k23_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

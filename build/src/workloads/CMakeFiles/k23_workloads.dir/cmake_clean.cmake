@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_workloads.dir/coreutils.cc.o"
+  "CMakeFiles/k23_workloads.dir/coreutils.cc.o.d"
+  "CMakeFiles/k23_workloads.dir/load_client.cc.o"
+  "CMakeFiles/k23_workloads.dir/load_client.cc.o.d"
+  "CMakeFiles/k23_workloads.dir/mini_db.cc.o"
+  "CMakeFiles/k23_workloads.dir/mini_db.cc.o.d"
+  "CMakeFiles/k23_workloads.dir/mini_http.cc.o"
+  "CMakeFiles/k23_workloads.dir/mini_http.cc.o.d"
+  "CMakeFiles/k23_workloads.dir/mini_kv.cc.o"
+  "CMakeFiles/k23_workloads.dir/mini_kv.cc.o.d"
+  "CMakeFiles/k23_workloads.dir/net.cc.o"
+  "CMakeFiles/k23_workloads.dir/net.cc.o.d"
+  "libk23_workloads.a"
+  "libk23_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bin/mini_coreutils_main.cc" "src/workloads/CMakeFiles/mini_coreutils.dir/bin/mini_coreutils_main.cc.o" "gcc" "src/workloads/CMakeFiles/mini_coreutils.dir/bin/mini_coreutils_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/k23_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/k23_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_coreutils.dir/bin/mini_coreutils_main.cc.o"
+  "CMakeFiles/mini_coreutils.dir/bin/mini_coreutils_main.cc.o.d"
+  "mini_coreutils"
+  "mini_coreutils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_coreutils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

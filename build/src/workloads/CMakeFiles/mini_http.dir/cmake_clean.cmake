@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_http.dir/bin/mini_http_main.cc.o"
+  "CMakeFiles/mini_http.dir/bin/mini_http_main.cc.o.d"
+  "mini_http"
+  "mini_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

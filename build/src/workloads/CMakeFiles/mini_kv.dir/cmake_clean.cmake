@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_kv.dir/bin/mini_kv_main.cc.o"
+  "CMakeFiles/mini_kv.dir/bin/mini_kv_main.cc.o.d"
+  "mini_kv"
+  "mini_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_zpoline.dir/zpoline.cc.o"
+  "CMakeFiles/k23_zpoline.dir/zpoline.cc.o.d"
+  "libk23_zpoline.a"
+  "libk23_zpoline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_zpoline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

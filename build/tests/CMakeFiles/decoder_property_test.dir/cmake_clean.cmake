@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_property_test.dir/decoder_property_test.cc.o"
+  "CMakeFiles/decoder_property_test.dir/decoder_property_test.cc.o.d"
+  "decoder_property_test"
+  "decoder_property_test.pdb"
+  "decoder_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_test.dir/k23_test.cc.o"
+  "CMakeFiles/k23_test.dir/k23_test.cc.o.d"
+  "k23_test"
+  "k23_test.pdb"
+  "k23_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k23_test_support.dir/support/syscall_sites.cc.o"
+  "CMakeFiles/k23_test_support.dir/support/syscall_sites.cc.o.d"
+  "libk23_test_support.a"
+  "libk23_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k23_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazypoline_test.dir/lazypoline_test.cc.o"
+  "CMakeFiles/lazypoline_test.dir/lazypoline_test.cc.o.d"
+  "lazypoline_test"
+  "lazypoline_test.pdb"
+  "lazypoline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazypoline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_test.dir/pitfalls_test.cc.o"
+  "CMakeFiles/pitfalls_test.dir/pitfalls_test.cc.o.d"
+  "pitfalls_test"
+  "pitfalls_test.pdb"
+  "pitfalls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

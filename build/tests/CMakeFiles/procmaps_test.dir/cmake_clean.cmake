@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procmaps_test.dir/procmaps_test.cc.o"
+  "CMakeFiles/procmaps_test.dir/procmaps_test.cc.o.d"
+  "procmaps_test"
+  "procmaps_test.pdb"
+  "procmaps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procmaps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptracer_test.dir/ptracer_test.cc.o"
+  "CMakeFiles/ptracer_test.dir/ptracer_test.cc.o.d"
+  "ptracer_test"
+  "ptracer_test.pdb"
+  "ptracer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptracer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

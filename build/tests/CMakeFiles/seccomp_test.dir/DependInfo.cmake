@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/seccomp_test.cc" "tests/CMakeFiles/seccomp_test.dir/seccomp_test.cc.o" "gcc" "tests/CMakeFiles/seccomp_test.dir/seccomp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/k23_test_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/seccomp/CMakeFiles/k23_seccomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/interpose/CMakeFiles/k23_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/k23_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/k23_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccomp_test.dir/seccomp_test.cc.o"
+  "CMakeFiles/seccomp_test.dir/seccomp_test.cc.o.d"
+  "seccomp_test"
+  "seccomp_test.pdb"
+  "seccomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

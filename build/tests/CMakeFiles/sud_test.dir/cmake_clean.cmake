@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sud_test.dir/sud_test.cc.o"
+  "CMakeFiles/sud_test.dir/sud_test.cc.o.d"
+  "sud_test"
+  "sud_test.pdb"
+  "sud_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

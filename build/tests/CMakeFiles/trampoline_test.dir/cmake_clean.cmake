@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trampoline_test.dir/trampoline_test.cc.o"
+  "CMakeFiles/trampoline_test.dir/trampoline_test.cc.o.d"
+  "trampoline_test"
+  "trampoline_test.pdb"
+  "trampoline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trampoline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zpoline_test.dir/zpoline_test.cc.o"
+  "CMakeFiles/zpoline_test.dir/zpoline_test.cc.o.d"
+  "zpoline_test"
+  "zpoline_test.pdb"
+  "zpoline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zpoline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

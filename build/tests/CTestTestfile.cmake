@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/trampoline_test[1]_include.cmake")
+include("/root/repo/build/tests/sud_test[1]_include.cmake")
+include("/root/repo/build/tests/zpoline_test[1]_include.cmake")
+include("/root/repo/build/tests/lazypoline_test[1]_include.cmake")
+include("/root/repo/build/tests/k23_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/pitfalls_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/container_test[1]_include.cmake")
+include("/root/repo/build/tests/disasm_test[1]_include.cmake")
+include("/root/repo/build/tests/procmaps_test[1]_include.cmake")
+include("/root/repo/build/tests/ptracer_test[1]_include.cmake")
+include("/root/repo/build/tests/interpose_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/seccomp_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/recorder_test[1]_include.cmake")
+include("/root/repo/build/tests/decoder_property_test[1]_include.cmake")
+include("/root/repo/build/tests/k23_variants_test[1]_include.cmake")
