@@ -1,0 +1,162 @@
+// Fault matrix — walks the K23 degradation ladder by injecting failures
+// with K23_FAULTS (DESIGN.md §7) and reports which coverage tier init
+// lands on for each scenario, plus whether syscalls are still
+// intercepted there. Each scenario runs in a forked child: armed SUD,
+// seccomp filters and patched text must never leak into the harness.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/caps.h"
+#include "faultinject/faultinject.h"
+#include "interpose/dispatch.h"
+#include "k23/k23.h"
+#include "k23/liblogger.h"
+#include "support/stress_loop.h"
+
+namespace k23::bench {
+namespace {
+
+struct Scenario {
+  const char* faults;        // K23_FAULTS spec ("" = fault-free baseline)
+  CoverageTier expected;     // tier init must land on
+  bool init_fails;           // bottom rung: init returns an error
+  bool needs_seccomp;        // scenario exercises the seccomp rung
+};
+
+const Scenario kScenarios[] = {
+    {"", CoverageTier::kRewriteAndSud, false, false},
+    {"mprotect:enomem:every=1", CoverageTier::kSudOnly, false, false},
+    {"mprotect:enomem:nth=2", CoverageTier::kSudOnly, false, false},
+    {"sud_arm:enosys", CoverageTier::kRewriteAndSeccomp, false, true},
+    {"sud_arm:enosys;mprotect:enomem:every=1", CoverageTier::kSeccompOnly,
+     false, true},
+    {"sud_arm:enosys;seccomp_arm:enosys;mprotect:enomem:every=1",
+     CoverageTier::kNone, true, true},
+};
+
+struct ChildReport {
+  int init_ok = 0;
+  int tier = -1;
+  uint32_t rewritten = 0;
+  uint32_t events = 0;
+  int intercepted = 0;
+};
+
+ChildReport run_scenario(const Scenario& sc) {
+  ChildReport out;
+  int fds[2];
+  if (::pipe(fds) != 0) return out;
+  ::fflush(nullptr);
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fds[0]);
+    ChildReport r;
+    ::setenv("K23_FAULTS", sc.faults, 1);
+    // The workload spans two text mappings (this binary's stress site
+    // plus libc's I/O sites) so the patcher always has at least two page
+    // runs — that is what makes the nth=2 mid-batch scenario bite.
+    auto log = LibLogger::record([] {
+      k23_bench_stress_loop(100);
+      for (int i = 0; i < 3; ++i) {
+        FILE* f = ::fopen("/proc/self/stat", "r");
+        if (f != nullptr) {
+          char buf[64];
+          (void)::fgets(buf, sizeof(buf), f);
+          ::fclose(f);
+        }
+      }
+    });
+    if (log.is_ok() && FaultInjector::configure_from_env().is_ok()) {
+      auto report =
+          K23Interposer::init(log.value(), K23Interposer::Options{});
+      FaultInjector::reset();
+      r.init_ok = report.is_ok() ? 1 : 0;
+      if (report.is_ok()) {
+        const auto& deg = report.value().degradation;
+        r.tier = static_cast<int>(deg.tier);
+        r.rewritten = static_cast<uint32_t>(
+            report.value().rewritten_sites);
+        r.events = static_cast<uint32_t>(deg.events.size());
+        auto& stats = Dispatcher::instance().stats();
+        const uint64_t before = stats.by_path(EntryPath::kRewritten) +
+                                stats.by_path(EntryPath::kSudFallback);
+        k23_bench_stress_loop(10);
+        const uint64_t after = stats.by_path(EntryPath::kRewritten) +
+                               stats.by_path(EntryPath::kSudFallback);
+        r.intercepted = after >= before + 10 ? 1 : 0;
+      }
+    }
+    ssize_t ignored = ::write(fds[1], &r, sizeof(r));
+    (void)ignored;
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  ssize_t got = ::read(fds[0], &out, sizeof(out));
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (got != sizeof(out) || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return ChildReport{};
+  }
+  return out;
+}
+
+int run() {
+  if (!capabilities().mmap_va0 || !capabilities().sud) {
+    std::printf("fault matrix: skipped (needs VA-0 + SUD)\n");
+    return 0;
+  }
+  const bool have_seccomp = capabilities().seccomp;
+
+  std::printf("Fault matrix — degradation ladder under K23_FAULTS "
+              "(DESIGN.md §7)\n\n");
+  std::printf("%-52s %-16s %-16s %-11s %s\n", "K23_FAULTS", "expected",
+              "observed", "intercepts", "verdict");
+  std::printf("%-52s %-16s %-16s %-11s %s\n", "----------", "--------",
+              "--------", "----------", "-------");
+
+  int mismatches = 0;
+  for (const Scenario& sc : kScenarios) {
+    const char* label = sc.faults[0] != '\0' ? sc.faults : "(none)";
+    if (sc.needs_seccomp && !have_seccomp) {
+      std::printf("%-52s %-16s %-16s %-11s %s\n", label,
+                  tier_name(sc.expected), "-", "-", "skip (no seccomp)");
+      continue;
+    }
+    ChildReport r = run_scenario(sc);
+    const char* observed =
+        sc.init_fails
+            ? (r.init_ok != 0 ? "init-succeeded" : tier_name(sc.expected))
+            : (r.init_ok != 0
+                   ? tier_name(static_cast<CoverageTier>(r.tier))
+                   : "init-failed");
+    bool ok;
+    const char* intercepts;
+    if (sc.init_fails) {
+      // Bottom rung: init must REFUSE to come up rather than claim
+      // coverage it does not have.
+      ok = r.init_ok == 0;
+      intercepts = "n/a";
+    } else {
+      ok = r.init_ok != 0 &&
+           r.tier == static_cast<int>(sc.expected) && r.intercepted != 0;
+      intercepts = r.intercepted != 0 ? "yes" : "NO";
+    }
+    std::printf("%-52s %-16s %-16s %-11s %s\n", label,
+                tier_name(sc.expected), observed, intercepts,
+                ok ? "ok" : "MISMATCH");
+    if (!ok) ++mismatches;
+  }
+  std::printf("\nEvery rung keeps intercepting until the ladder is "
+              "exhausted; the bottom rung fails closed.\n");
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace k23::bench
+
+int main() { return k23::bench::run(); }

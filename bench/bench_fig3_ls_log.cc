@@ -35,7 +35,7 @@ int run() {
     ::close(fds[0]);
     auto log = LibLogger::record([&] { (void)tool_ls(tmp.value()); });
     if (log.is_ok()) {
-      const std::string text = log.value().serialize();
+      const std::string text = log.value().serialize_v1();
       ssize_t ignored = ::write(fds[1], text.data(), text.size());
       (void)ignored;
     }

@@ -7,8 +7,21 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <linux/seccomp.h>
+#include <sys/syscall.h>
+
 #include <cstdint>
 #include <mutex>
+
+#include "arch/raw_syscall.h"
+#include "faultinject/faultinject.h"
+
+#ifndef SECCOMP_GET_ACTION_AVAIL
+#define SECCOMP_GET_ACTION_AVAIL 2
+#endif
+#ifndef SECCOMP_RET_TRAP
+#define SECCOMP_RET_TRAP 0x00030000U
+#endif
 
 #ifndef PR_SET_SYSCALL_USER_DISPATCH
 #define PR_SET_SYSCALL_USER_DISPATCH 59
@@ -76,6 +89,15 @@ int probe_ptrace_child() {
   return 0;
 }
 
+int probe_seccomp() {
+  // Non-destructive: asks the kernel whether SECCOMP_RET_TRAP filters are
+  // available at all without installing one (filters are irrevocable).
+  const uint32_t action = SECCOMP_RET_TRAP;
+  long rc = raw_syscall(SYS_seccomp, SECCOMP_GET_ACTION_AVAIL, 0,
+                        reinterpret_cast<long>(&action));
+  return rc == 0 ? 0 : 1;
+}
+
 int probe_exec_only() {
   void* p = ::mmap(nullptr, 0x1000, PROT_EXEC,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -95,20 +117,42 @@ std::string Capabilities::summary() const {
   s += pku ? " +pku" : " -pku";
   s += ptrace ? " +ptrace" : " -ptrace";
   s += exec_only_mem ? " +xom" : " -xom";
+  s += seccomp ? " +seccomp" : " -seccomp";
   return s;
+}
+
+Capabilities probe_capabilities_uncached() {
+  Capabilities caps;
+  // "sud_probe:fail" lets tests exercise the no-SUD rungs of the
+  // degradation ladder on machines where SUD actually works.
+  caps.sud = FaultInjector::check("sud_probe") == 0 &&
+             probe_in_child(probe_sud);
+  caps.mmap_va0 = probe_in_child(probe_mmap_va0);
+  caps.pku = probe_in_child(probe_pku);
+  caps.ptrace = probe_in_child(probe_ptrace_child);
+  caps.exec_only_mem = probe_in_child(probe_exec_only);
+  caps.seccomp = FaultInjector::check("seccomp_probe") == 0 &&
+                 probe_seccomp() == 0;
+  return caps;
 }
 
 const Capabilities& capabilities() {
   static Capabilities caps;
   static std::once_flag once;
-  std::call_once(once, [] {
-    caps.sud = probe_in_child(probe_sud);
-    caps.mmap_va0 = probe_in_child(probe_mmap_va0);
-    caps.pku = probe_in_child(probe_pku);
-    caps.ptrace = probe_in_child(probe_ptrace_child);
-    caps.exec_only_mem = probe_in_child(probe_exec_only);
-  });
+  std::call_once(once, [] { caps = probe_capabilities_uncached(); });
   return caps;
+}
+
+std::string degradation_ladder_summary(const Capabilities& caps) {
+  const bool full = caps.sud && caps.mmap_va0;
+  std::string s = "degradation ladder (highest available tier first):\n";
+  s += "  rewrite+SUD   (needs sud + mmap_va0) : ";
+  s += full ? "available\n" : "unavailable\n";
+  s += "  SUD-only      (needs sud)            : ";
+  s += caps.sud ? "available\n" : "unavailable\n";
+  s += "  seccomp-only  (needs seccomp)        : ";
+  s += caps.seccomp ? "available" : "unavailable";
+  return s;
 }
 
 }  // namespace k23

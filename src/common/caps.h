@@ -16,6 +16,7 @@ struct Capabilities {
   bool pku = false;          // pkey_alloc works (XOM via protection keys)
   bool ptrace = false;       // PTRACE_TRACEME + syscall-stop loop works
   bool exec_only_mem = false;  // PROT_EXEC-only mapping is readable-not
+  bool seccomp = false;      // seccomp filters installable (ladder rung 3)
 
   std::string summary() const;
 };
@@ -23,5 +24,15 @@ struct Capabilities {
 // Probes once per process (forks children for the destructive probes)
 // and caches the result.
 const Capabilities& capabilities();
+
+// Uncached probe run (tests exercise fault-injected probes; the cached
+// accessor above would pin whatever the first caller saw).
+Capabilities probe_capabilities_uncached();
+
+// The K23 graceful-degradation ladder (DESIGN.md §7): which coverage
+// tiers the probed capabilities support, one line per rung. Printed by
+// `k23_run --stats` so operators see up front how far the runtime could
+// degrade on this machine.
+std::string degradation_ladder_summary(const Capabilities& caps);
 
 }  // namespace k23

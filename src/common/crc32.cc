@@ -1,0 +1,32 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace k23 {
+namespace {
+
+std::array<uint32_t, 256> build_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t length, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = build_table();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < length; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace k23

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for offline-log record
+// integrity. A torn or bit-rotted log record must be detected before the
+// online phase trusts it as a rewrite site (paper §5.1: the log is the
+// *only* thing standing between K23 and pitfall P3a).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace k23 {
+
+// One-shot CRC over a buffer. `seed` allows incremental composition:
+// crc32(b, crc32(a)) == crc32(a+b).
+uint32_t crc32(const void* data, size_t length, uint32_t seed = 0);
+
+inline uint32_t crc32(std::string_view s, uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace k23

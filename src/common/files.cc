@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common/scope_guard.h"
+#include "faultinject/faultinject.h"
 
 namespace k23 {
 
@@ -36,12 +37,8 @@ Result<std::string> read_file(const std::string& path) {
 
 namespace {
 
-Status write_with_flags(const std::string& path, std::string_view contents,
-                        int flags) {
-  int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) return Status::from_errno("open for write");
-  auto closer = make_scope_guard([fd] { ::close(fd); });
-
+Status write_all(int fd, std::string_view contents) {
+  if (fault_fires("file_write")) return Status::from_errno("write");
   size_t off = 0;
   while (off < contents.size()) {
     ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
@@ -54,6 +51,14 @@ Status write_with_flags(const std::string& path, std::string_view contents,
   return Status::ok();
 }
 
+Status write_with_flags(const std::string& path, std::string_view contents,
+                        int flags) {
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Status::from_errno("open for write");
+  auto closer = make_scope_guard([fd] { ::close(fd); });
+  return write_all(fd, contents);
+}
+
 }  // namespace
 
 Status write_file(const std::string& path, std::string_view contents) {
@@ -64,6 +69,47 @@ Status write_file(const std::string& path, std::string_view contents) {
 Status append_file(const std::string& path, std::string_view contents) {
   return write_with_flags(path, contents,
                           O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC);
+}
+
+Status write_file_atomic(const std::string& path,
+                         std::string_view contents) {
+  const size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  std::string tmpl = dir + "/.k23.tmp.XXXXXX";
+  std::vector<char> tmp(tmpl.begin(), tmpl.end());
+  tmp.push_back('\0');
+
+  int fd = ::mkostemp(tmp.data(), O_CLOEXEC);
+  if (fd < 0) return Status::from_errno("mkostemp");
+  const std::string tmp_path(tmp.data());
+  bool committed = false;
+  auto cleanup = make_scope_guard([&] {
+    ::close(fd);
+    if (!committed) ::unlink(tmp_path.c_str());
+  });
+
+  ::fchmod(fd, 0644);  // mkostemp creates 0600; match write_file
+  K23_RETURN_IF_ERROR(write_all(fd, contents));
+
+  if (fault_fires("file_fsync")) return Status::from_errno("fsync");
+  if (::fsync(fd) != 0) return Status::from_errno("fsync");
+
+  if (fault_fires("file_rename")) return Status::from_errno("rename");
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::from_errno("rename");
+  }
+  committed = true;
+
+  // Persist the directory entry too; best effort (some filesystems
+  // reject O_DIRECTORY fsync, and the data itself is already durable).
+  int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return Status::ok();
 }
 
 bool file_exists(const std::string& path) {

@@ -14,6 +14,15 @@ Status write_file(const std::string& path, std::string_view contents);
 Status append_file(const std::string& path, std::string_view contents);
 bool file_exists(const std::string& path);
 
+// Crash-atomic replace: writes to a temp file in `path`'s directory,
+// fsyncs it, rename(2)s it over `path`, then fsyncs the directory. A
+// crash (or injected fault) at any step leaves either the old contents
+// or the new contents — never a torn file. Used for offline-log saves: a
+// half-written log poisoning the next online phase is exactly the
+// failure mode the paper's immutable-log discipline exists to prevent.
+// Fault-injection points: file_write, file_fsync, file_rename.
+Status write_file_atomic(const std::string& path, std::string_view contents);
+
 // Creates a unique temporary directory under $TMPDIR (default /tmp)
 // with the given prefix; returns its path.
 Result<std::string> make_temp_dir(const std::string& prefix);

@@ -1,0 +1,57 @@
+#include "common/retry.h"
+
+#include <sys/wait.h>
+#include <time.h>
+
+#include <cerrno>
+
+#include "faultinject/faultinject.h"
+
+namespace k23 {
+
+pid_t waitpid_eintr(pid_t pid, int* status, int flags) {
+  for (;;) {
+    const int injected = FaultInjector::check("waitpid");
+    if (injected == EINTR) continue;  // transient, same as a real EINTR
+    if (injected != 0) {
+      errno = injected > 0 ? injected : EIO;
+      return -1;
+    }
+    const pid_t r = ::waitpid(pid, status, flags);
+    if (r < 0 && errno == EINTR) continue;
+    return r;
+  }
+}
+
+pid_t waitpid_deadline(pid_t pid, int* status, int flags,
+                       uint64_t deadline_ms) {
+  if (deadline_ms == 0) return waitpid_eintr(pid, status, flags);
+  const uint64_t deadline = monotonic_ms() + deadline_ms;
+  Backoff backoff;
+  for (;;) {
+    const pid_t r = waitpid_eintr(pid, status, flags | WNOHANG);
+    if (r != 0) return r;  // state change or terminal error
+    if (monotonic_ms() >= deadline) return 0;
+    backoff.sleep();
+  }
+}
+
+void Backoff::sleep() {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(interval_us_ / 1000000);
+  ts.tv_nsec = static_cast<long>((interval_us_ % 1000000) * 1000);
+  // EINTR mid-sleep just shortens this round; the loop re-evaluates.
+  ::nanosleep(&ts, nullptr);
+  if (interval_us_ < cap_us_) {
+    interval_us_ = interval_us_ * 2 < cap_us_ ? interval_us_ * 2 : cap_us_;
+  }
+}
+
+uint64_t monotonic_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+}  // namespace k23

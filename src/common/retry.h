@@ -1,0 +1,51 @@
+// Retry/backoff helpers for raw process-management syscalls.
+//
+// The tracer loop and the capability probes historically treated any
+// waitpid() hiccup as fatal — but EINTR is routine (a SIGCHLD or timer in
+// the tracer process) and must never abort a trace (tentpole of the
+// robustness work; compare SYSPART's handling of partial tracer state).
+// These wrappers centralize the retry policy and double as fault-
+// injection points ("waitpid"), so tests can force any transient or
+// terminal failure deterministically.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace k23 {
+
+// waitpid() that retries EINTR forever. Returns what waitpid returns
+// (the pid, or 0 under WNOHANG); on a non-EINTR failure returns -1 with
+// errno set, exactly like the raw call.
+pid_t waitpid_eintr(pid_t pid, int* status, int flags);
+
+// waitpid() bounded by a deadline: polls with WNOHANG and an exponential
+// backoff sleep (100 µs doubling to 10 ms) until the child changes state
+// or `deadline_ms` elapses. Returns the pid on a state change, 0 on
+// timeout, -1 with errno set on error. `deadline_ms == 0` degrades to
+// the unbounded EINTR-retrying wait.
+pid_t waitpid_deadline(pid_t pid, int* status, int flags,
+                       uint64_t deadline_ms);
+
+// Exponential backoff sleeper for poll loops: sleep() nanosleeps the
+// current interval and doubles it up to the cap.
+class Backoff {
+ public:
+  explicit Backoff(uint64_t initial_us = 100, uint64_t cap_us = 10000)
+      : interval_us_(initial_us), cap_us_(cap_us) {}
+
+  void sleep();
+  void reset(uint64_t initial_us = 100) { interval_us_ = initial_us; }
+
+ private:
+  uint64_t interval_us_;
+  uint64_t cap_us_;
+};
+
+// Monotonic milliseconds (CLOCK_MONOTONIC) for deadline arithmetic.
+uint64_t monotonic_ms();
+
+}  // namespace k23

@@ -1,0 +1,289 @@
+#include "faultinject/faultinject.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace k23 {
+namespace {
+
+// Symbolic errno names accepted by the spec grammar. Lowercase on
+// purpose: specs live in environment variables and shell quoting, where
+// "eintr" reads better than "EINTR".
+struct ErrnoName {
+  const char* name;
+  int code;
+};
+constexpr ErrnoName kErrnoNames[] = {
+    {"eperm", EPERM},   {"enoent", ENOENT}, {"esrch", ESRCH},
+    {"eintr", EINTR},   {"eio", EIO},       {"eagain", EAGAIN},
+    {"enomem", ENOMEM}, {"eacces", EACCES}, {"efault", EFAULT},
+    {"ebusy", EBUSY},   {"einval", EINVAL}, {"enospc", ENOSPC},
+    {"enosys", ENOSYS}, {"echild", ECHILD}, {"etimedout", ETIMEDOUT},
+};
+
+struct InjectorState {
+  std::mutex mutex;
+  std::vector<FaultRule> rules;
+  bool env_loaded = false;
+};
+
+InjectorState& state() {
+  static InjectorState s;
+  return s;
+}
+
+// enabled() must be readable without the mutex from hot-ish paths; the
+// flag only transitions under the mutex.
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+// Set (under the mutex) once the environment has been consulted; lets
+// check()/enabled() skip the lock entirely on the steady-state path.
+std::atomic<bool>& env_checked_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+std::string_view trim_view(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_u64_view(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_error_code(std::string_view token, int* out) {
+  if (token == "fail") {
+    *out = -1;
+    return true;
+  }
+  for (const auto& entry : kErrnoNames) {
+    if (token == entry.name) {
+      *out = entry.code;
+      return true;
+    }
+  }
+  uint64_t numeric = 0;
+  if (parse_u64_view(token, &numeric) && numeric > 0 && numeric < 4096) {
+    *out = static_cast<int>(numeric);
+    return true;
+  }
+  return false;
+}
+
+bool parse_trigger(std::string_view token, FaultRule* rule) {
+  uint64_t n = 0;
+  if (token.rfind("every=", 0) == 0 &&
+      parse_u64_view(token.substr(6), &n) && n > 0) {
+    rule->every = n;
+    return true;
+  }
+  if (token.rfind("nth=", 0) == 0 &&
+      parse_u64_view(token.substr(4), &n) && n > 0) {
+    rule->nth = n;
+    return true;
+  }
+  if (token.rfind("times=", 0) == 0 &&
+      parse_u64_view(token.substr(6), &n) && n > 0) {
+    rule->times = n;
+    return true;
+  }
+  return false;
+}
+
+bool valid_point_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// Parses one `point:error[:trigger]` rule; returns false on any
+// malformation (the caller reports which rule failed via Status context).
+bool parse_rule(std::string_view text, FaultRule* rule) {
+  const size_t first = text.find(':');
+  if (first == std::string_view::npos) return false;
+  std::string_view point = trim_view(text.substr(0, first));
+  if (!valid_point_name(point)) return false;
+
+  std::string_view rest = text.substr(first + 1);
+  const size_t second = rest.find(':');
+  std::string_view error_token =
+      trim_view(second == std::string_view::npos ? rest
+                                                 : rest.substr(0, second));
+  rule->point.assign(point.data(), point.size());
+  if (!parse_error_code(error_token, &rule->error_code)) return false;
+  if (second != std::string_view::npos) {
+    std::string_view trigger = trim_view(rest.substr(second + 1));
+    if (trigger.find(':') != std::string_view::npos) return false;
+    if (!parse_trigger(trigger, rule)) return false;
+  }
+  return true;
+}
+
+// Decides whether a rule fires for its `calls`-th arrival (1-based;
+// `calls` has already been incremented).
+bool rule_fires(const FaultRule& rule) {
+  if (rule.nth != 0) return rule.calls == rule.nth;
+  if (rule.every != 0) return rule.calls % rule.every == 0;
+  if (rule.times != 0) return rule.calls <= rule.times;
+  return true;  // no trigger clause: every call
+}
+
+void maybe_load_env_locked(InjectorState& s) {
+  if (s.env_loaded) return;
+  s.env_loaded = true;
+  const char* spec = std::getenv("K23_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return;
+  std::vector<FaultRule> rules;
+  std::string_view remaining = spec;
+  while (!remaining.empty()) {
+    const size_t semi = remaining.find(';');
+    std::string_view piece = trim_view(
+        semi == std::string_view::npos ? remaining
+                                       : remaining.substr(0, semi));
+    remaining = semi == std::string_view::npos
+                    ? std::string_view{}
+                    : remaining.substr(semi + 1);
+    if (piece.empty()) continue;
+    FaultRule rule;
+    if (!parse_rule(piece, &rule)) {
+      // A typo in K23_FAULTS must be loud, not silently fault-free —
+      // but env loading happens lazily deep inside check(), where
+      // returning an error is impossible. Abort instead.
+      std::fprintf(stderr, "k23: malformed K23_FAULTS rule: %.*s\n",
+                   static_cast<int>(piece.size()), piece.data());
+      std::abort();
+    }
+    rules.push_back(std::move(rule));
+  }
+  s.rules = std::move(rules);
+  enabled_flag().store(!s.rules.empty(), std::memory_order_release);
+}
+
+// Lazily consults K23_FAULTS exactly once, then keeps the fast path
+// lock-free: one acquire load when no faults are configured.
+void ensure_env_loaded() {
+  if (env_checked_flag().load(std::memory_order_acquire)) return;
+  InjectorState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  maybe_load_env_locked(s);
+  env_checked_flag().store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+Status FaultInjector::configure(std::string_view spec) {
+  std::vector<FaultRule> rules;
+  std::string_view remaining = spec;
+  while (!remaining.empty()) {
+    const size_t semi = remaining.find(';');
+    std::string_view piece = trim_view(
+        semi == std::string_view::npos ? remaining
+                                       : remaining.substr(0, semi));
+    remaining = semi == std::string_view::npos
+                    ? std::string_view{}
+                    : remaining.substr(semi + 1);
+    if (piece.empty()) continue;
+    FaultRule rule;
+    if (!parse_rule(piece, &rule)) {
+      reset();
+      return Status::fail("malformed K23_FAULTS rule", EINVAL);
+    }
+    rules.push_back(std::move(rule));
+  }
+  InjectorState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.env_loaded = true;  // explicit configuration wins over the env
+  s.rules = std::move(rules);
+  enabled_flag().store(!s.rules.empty(), std::memory_order_release);
+  env_checked_flag().store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+Status FaultInjector::configure_from_env() {
+  const char* spec = std::getenv("K23_FAULTS");
+  {
+    InjectorState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.env_loaded = true;
+  }
+  return configure(spec != nullptr ? std::string_view(spec)
+                                   : std::string_view{});
+}
+
+void FaultInjector::reset() {
+  InjectorState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.env_loaded = true;
+  s.rules.clear();
+  enabled_flag().store(false, std::memory_order_release);
+  env_checked_flag().store(true, std::memory_order_release);
+}
+
+bool FaultInjector::enabled() {
+  ensure_env_loaded();
+  return enabled_flag().load(std::memory_order_acquire);
+}
+
+int FaultInjector::check(const char* point) {
+  if (!enabled()) return 0;
+  InjectorState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& rule : s.rules) {
+    if (rule.point != point) continue;
+    ++rule.calls;
+    if (rule_fires(rule)) {
+      ++rule.fired;
+      return rule.error_code;
+    }
+  }
+  return 0;
+}
+
+uint64_t FaultInjector::fired(const char* point) {
+  InjectorState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  uint64_t total = 0;
+  for (const auto& rule : s.rules) {
+    if (rule.point == point) total += rule.fired;
+  }
+  return total;
+}
+
+std::vector<FaultRule> FaultInjector::snapshot() {
+  InjectorState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.rules;
+}
+
+bool fault_fires(const char* point) {
+  const int code = FaultInjector::check(point);
+  if (code == 0) return false;
+  errno = code > 0 ? code : EIO;
+  return true;
+}
+
+}  // namespace k23

@@ -1,0 +1,99 @@
+// Deterministic fault injection for the K23 runtime.
+//
+// The online phase composes several mechanisms (rewriting, SUD, seccomp,
+// ptrace, file I/O) whose partial-failure states are exactly where
+// interposition systems historically break (paper §4; SYSPART's temporal
+// filtering discussion). Reproducing those states with root privileges or
+// timing tricks makes tests flaky; this injector instead lets tests and
+// benches force any failure at any named point, deterministically and
+// without privileges.
+//
+// Configuration is a spec string, normally from the K23_FAULTS
+// environment variable:
+//
+//   K23_FAULTS="waitpid:eintr:every=3;mprotect:enomem:nth=2;sud_probe:fail"
+//
+// Grammar (see DESIGN.md §7 for the full description):
+//
+//   spec    := rule (';' rule)*
+//   rule    := point ':' error (':' trigger)?
+//   point   := identifier        -- an injection-point name (see below)
+//   error   := errno-name | decimal errno | 'fail'
+//   trigger := 'every=' N        -- fire on every Nth call (N, 2N, ...)
+//            | 'nth=' N          -- fire exactly once, on the Nth call
+//            | 'times=' N        -- fire on the first N calls
+//                                 (no trigger: fire on every call)
+//
+// Instrumented points (the set grows with the runtime):
+//   waitpid      -- common/retry.h waitpid wrappers (ptracer, caps probes)
+//   mprotect     -- rewrite/patcher.cc text-permission flips
+//   sud_arm      -- sud/sud_session.cc SudSession::arm
+//   seccomp_arm  -- seccomp/seccomp_interposer.cc SeccompInterposer::arm
+//   sud_probe    -- common/caps.cc SUD capability probe
+//   seccomp_probe-- common/caps.cc seccomp capability probe
+//   file_write   -- common/files.cc write paths (offline log saves)
+//   file_fsync   -- common/files.cc fsync in the atomic-save sequence
+//   file_rename  -- common/files.cc rename in the atomic-save sequence
+//
+// The injector holds no reference to the rest of the tree (only the
+// header-only Status/Result types), so every layer — including common —
+// may consult it without a dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace k23 {
+
+// One parsed rule. `calls`/`fired` are live counters (snapshot() copies).
+struct FaultRule {
+  std::string point;
+  int error_code = -1;   // positive errno, or -1 for a generic failure
+  uint64_t every = 0;    // fire when calls % every == 0 (0 = unused)
+  uint64_t nth = 0;      // fire when calls == nth (0 = unused)
+  uint64_t times = 0;    // fire while calls <= times (0 = unused)
+  uint64_t calls = 0;    // observed arrivals at this point
+  uint64_t fired = 0;    // injected failures so far
+};
+
+class FaultInjector {
+ public:
+  // Replaces the active rule set with the parsed `spec`. An empty spec
+  // disables injection. Returns an error (and clears all rules) on a
+  // malformed spec — a typo must never silently run fault-free.
+  static Status configure(std::string_view spec);
+
+  // Loads K23_FAULTS from the environment (missing/empty = disabled).
+  // check() calls this lazily on first use, so exported faults reach
+  // every process without explicit setup.
+  static Status configure_from_env();
+
+  // Drops all rules and counters.
+  static void reset();
+
+  // True if any rule is active (cheap: one relaxed atomic load).
+  static bool enabled();
+
+  // Consult an injection point. Returns 0 when no fault fires, else the
+  // errno to inject (-1 encodes "generic failure" for non-errno paths).
+  // Not async-signal-safe; instrumented points all run in normal context
+  // (init, probes, file I/O, the tracer loop).
+  static int check(const char* point);
+
+  // Total injected failures at `point` since configure()/reset().
+  static uint64_t fired(const char* point);
+
+  // Copy of the active rules with live counters (diagnostics, tests).
+  static std::vector<FaultRule> snapshot();
+};
+
+// True when a fault fires at `point`; sets errno to the injected code
+// (generic failures surface as EIO). Convenience for call sites that
+// report through Status::from_errno.
+bool fault_fires(const char* point);
+
+}  // namespace k23

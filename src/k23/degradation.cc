@@ -1,0 +1,31 @@
+#include "k23/degradation.h"
+
+namespace k23 {
+
+const char* tier_name(CoverageTier tier) {
+  switch (tier) {
+    case CoverageTier::kRewriteAndSud: return "rewrite+sud";
+    case CoverageTier::kRewriteAndSeccomp: return "rewrite+seccomp";
+    case CoverageTier::kRewriteOnly: return "rewrite-only";
+    case CoverageTier::kSudOnly: return "sud-only";
+    case CoverageTier::kSeccompOnly: return "seccomp-only";
+    case CoverageTier::kNone: return "none";
+  }
+  return "?";
+}
+
+std::string DegradationReport::summary() const {
+  std::string out = "coverage tier: ";
+  out += tier_name(tier);
+  out += '\n';
+  for (const auto& event : events) {
+    out += "  degraded [";
+    out += event.component;
+    out += "]: ";
+    out += event.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace k23

@@ -1,0 +1,56 @@
+// Graceful-degradation ladder for the K23 online phase.
+//
+// K23's full configuration — selective rewriting of offline-validated
+// sites plus an exhaustive SUD fallback — needs several kernel features
+// and mutable text pages at init time. Any of those can be refused
+// (ENOMEM on mprotect, a pre-5.11 kernel without SUD, a seccomp-confined
+// container). Rather than failing closed, init walks a ladder:
+//
+//   rewrite + SUD  ->  SUD-only  ->  seccomp-only  ->  (error)
+//
+// with two side rungs (rewrite + seccomp when SUD alone is missing, and
+// rewrite-only when the user disabled the fallback). Each step down is
+// recorded as a DegradationEvent so callers — the caps probe, the
+// launcher, the preload constructor — can report exactly what coverage
+// the process actually has, instead of silently running with less.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace k23 {
+
+// Interposition coverage actually achieved, best to worst. "Exhaustive"
+// means every syscall in the process is intercepted; rewrite-only covers
+// just the offline-validated sites.
+enum class CoverageTier {
+  kRewriteAndSud,      // the full K23 design: fast path + exhaustive net
+  kRewriteAndSeccomp,  // fast path + exhaustive net via SIGSYS traps
+  kRewriteOnly,        // no exhaustive net (sud_fallback disabled & no alt)
+  kSudOnly,            // exhaustive but every syscall pays the SUD trap
+  kSeccompOnly,        // exhaustive, slowest; filter is also irrevocable
+  kNone,               // nothing armed — init failed outright
+};
+
+const char* tier_name(CoverageTier tier);
+
+struct DegradationEvent {
+  const char* component = "";  // "patcher", "sud", "seccomp", "offline-log"
+  std::string detail;
+};
+
+struct DegradationReport {
+  CoverageTier tier = CoverageTier::kRewriteAndSud;
+  std::vector<DegradationEvent> events;
+
+  void add(const char* component, std::string detail) {
+    events.push_back(DegradationEvent{component, std::move(detail)});
+  }
+  // Anything short of the configuration the caller asked for.
+  bool degraded() const { return !events.empty(); }
+
+  // Multi-line human-readable summary (one line per event + final tier).
+  std::string summary() const;
+};
+
+}  // namespace k23

@@ -6,6 +6,7 @@
 #include "container/robin_set.h"
 #include "rewrite/nopatch.h"
 #include "rewrite/patcher.h"
+#include "seccomp/seccomp_interposer.h"
 #include "sud/sud_session.h"
 #include "trampoline/trampoline.h"
 
@@ -27,6 +28,8 @@ struct K23State {
   K23Interposer::Options options;
   AddressSet valid_sites;               // entry check (P4a) — tiny (P4b)
   std::vector<uint64_t> rewritten;      // for shutdown()
+  bool sud_armed = false;
+  bool seccomp_armed = false;  // irrevocable — shutdown() cannot undo it
 };
 
 K23State& state() {
@@ -83,59 +86,157 @@ Result<K23Interposer::InitReport> K23Interposer::init(
     }
   }
 
-  // 3. Entry-check set (ultra variants): bounded by the offline log —
-  //    tens of entries (Table 2) vs zpoline's 16 TiB bitmap reservation.
+  DegradationReport& deg = report.degradation;
   const bool entry_check = options.variant != K23Variant::kDefault;
+
+  // 3. Trampoline + the single selective rewriting step, safe mode:
+  //    permission save/restore, atomic stores, serialization (P5). The
+  //    rewrite is transactional — a mid-batch mprotect refusal rolls the
+  //    whole batch back so the ladder never runs with half-patched text.
+  //    The entry-check set must cover every candidate *before* the first
+  //    byte is written: once a libc site is rewritten, the very next
+  //    maps snapshot (for the next page run, or for the rollback) enters
+  //    the trampoline through it. After a failed batch the set shrinks
+  //    back to exactly the sites still carrying rewritten bytes.
+  bool rewrite_active = false;
   if (entry_check) {
     for (uint64_t address : to_patch) s.valid_sites.insert(address);
   }
-
-  // 4. Trampoline.
   Trampoline::Options tramp;
   tramp.validator = entry_check ? &robin_set_validator : nullptr;
   tramp.dedicated_stack = options.variant == K23Variant::kUltraPlus;
-  K23_RETURN_IF_ERROR(Trampoline::install(tramp));
-
-  // 5. The single selective rewriting step, safe mode: permission
-  //    save/restore, atomic stores, serialization (P5).
-  CodePatcher patcher(PatchMode::kSafe);
-  auto patch_report = patcher.patch_sites(to_patch, /*force=*/false);
-  if (!patch_report.is_ok()) {
-    Trampoline::remove();
-    return patch_report.error();
-  }
-  report.rewritten_sites = patch_report.value().patched;
-  s.rewritten = to_patch;
-
-  // 6. SUD fallback for everything the offline phase missed (P2a). K23
-  //    never rewrites from this path — it only dispatches.
-  if (options.sud_fallback) {
-    SudSession::Options sud;
-    sud.entry_path = EntryPath::kSudFallback;
-    Status st = SudSession::arm(sud);
-    if (!st.is_ok()) {
+  Status tramp_st = Trampoline::install(tramp);
+  if (!tramp_st.is_ok()) {
+    deg.add("patcher", std::string("trampoline install failed: ") +
+                           tramp_st.message());
+    s.valid_sites.clear();
+  } else {
+    CodePatcher patcher(PatchMode::kSafe);
+    PatchReport patched =
+        patcher.patch_sites_transactional(to_patch, /*force=*/false);
+    if (patched.committed) {
+      report.rewritten_sites = patched.patched;
+      s.rewritten = to_patch;
+      // An empty commit (nothing resolvable/patchable) is not coverage:
+      // the ladder must not count a zero-site rewrite layer as a rung.
+      rewrite_active = patched.patched > 0;
+    } else if (patched.residual.empty()) {
+      // Clean rollback: zero rewritten bytes remain, so the trampoline
+      // can come down and the exhaustive fallback carries everything.
+      deg.add("patcher",
+              "mid-batch patch failure, " +
+                  std::to_string(patched.rolled_back) +
+                  " sites rolled back; dropping to exhaustive-only");
       Trampoline::remove();
-      return st;
+      s.valid_sites.clear();
+    } else {
+      // Rollback itself faulted: live `call *%rax` bytes remain. The
+      // trampoline must stay installed and exactly the residual sites
+      // stay registered, or the next execution of one is a wild call.
+      deg.add("patcher",
+              "mid-batch patch failure with " +
+                  std::to_string(patched.residual.size()) +
+                  " un-rollback-able sites; trampoline retained for them");
+      report.rewritten_sites = patched.residual.size();
+      s.rewritten = patched.residual;
+      rewrite_active = true;
+      if (entry_check) {
+        s.valid_sites.clear();
+        for (uint64_t address : s.rewritten) s.valid_sites.insert(address);
+      }
     }
   }
 
-  // 7. P1b guard: abort if the application tries to turn SUD off.
+  // 4. Exhaustive net: SUD first, seccomp when SUD is refused (P2a). K23
+  //    never rewrites from these paths — they only dispatch. When the
+  //    rewrite layer is down, a fallback is mandatory even if the caller
+  //    disabled it: rewrite-less + fallback-less means no interposition
+  //    at all, which is an error, not a tier.
+  const bool need_fallback = options.sud_fallback || !rewrite_active;
+  if (need_fallback && !options.sud_fallback) {
+    deg.add("sud",
+            "arming fallback despite sud_fallback=false: rewrite layer "
+            "unavailable");
+  }
+  if (need_fallback) {
+    SudSession::Options sud;
+    sud.entry_path = EntryPath::kSudFallback;
+    Status st = SudSession::arm(sud);
+    if (st.is_ok()) {
+      s.sud_armed = true;
+    } else {
+      deg.add("sud", std::string("SUD arm failed: ") + st.message());
+      SeccompInterposer::Options sec;
+      sec.entry_path = EntryPath::kSudFallback;
+      Status sec_st = SeccompInterposer::arm(sec);
+      if (sec_st.is_ok()) {
+        s.seccomp_armed = true;
+      } else {
+        deg.add("seccomp",
+                std::string("seccomp arm failed: ") + sec_st.message());
+        if (!rewrite_active) {
+          // Bottom of the ladder: nothing is armed. Fail closed.
+          s.valid_sites.clear();
+          s.rewritten.clear();
+          if (Trampoline::installed()) Trampoline::remove();
+          deg.tier = CoverageTier::kNone;
+          K23_LOG(kError) << "K23: no interposition mechanism available";
+          return Status::fail("K23 init: rewrite, SUD and seccomp all "
+                              "unavailable");
+        }
+      }
+    }
+  }
+
+  // 5. P1b guard: abort if the application tries to turn SUD off. Only
+  //    meaningful when SUD is what's armed.
   Dispatcher::instance().set_prctl_guard(options.prctl_guard &&
-                                         options.sud_fallback);
+                                         s.sud_armed);
+
+  if (rewrite_active) {
+    deg.tier = s.sud_armed       ? CoverageTier::kRewriteAndSud
+               : s.seccomp_armed ? CoverageTier::kRewriteAndSeccomp
+                                 : CoverageTier::kRewriteOnly;
+  } else {
+    deg.tier = s.sud_armed ? CoverageTier::kSudOnly
+                           : CoverageTier::kSeccompOnly;
+  }
+  // Requested-but-absent fallback is a documented ablation, not a step
+  // down the ladder — only record it when it was *asked for* and denied,
+  // which the event list above already captures.
 
   s.initialized = true;
   K23_LOG(kDebug) << variant_name(options.variant) << ": "
                   << report.rewritten_sites << " sites rewritten, "
                   << report.unresolved_entries << " unresolved, "
-                  << report.stale_entries << " stale";
+                  << report.stale_entries << " stale, tier "
+                  << tier_name(deg.tier);
+  if (deg.degraded()) K23_LOG(kWarn) << "K23 degraded:\n" << deg.summary();
   return report;
 }
 
 Result<K23Interposer::InitReport> K23Interposer::init_from_file(
     const std::string& log_path, const Options& options) {
-  auto log = OfflineLog::load(log_path);
+  LogLoadReport load_report;
+  auto log = OfflineLog::load(log_path, &load_report);
   if (!log.is_ok()) return log.error();
-  return init(log.value(), options);
+  auto report = init(log.value(), options);
+  if (!report.is_ok()) return report;
+  // A corrupt or torn log is a coverage loss, not a fatal error: the
+  // recovered prefix was rewritten and the exhaustive net catches the
+  // rest — but the operator should hear about it.
+  if (load_report.corrupt_records > 0) {
+    report.value().degradation.add(
+        "offline-log", std::to_string(load_report.corrupt_records) +
+                           " corrupt records dropped from " + log_path);
+  }
+  if (load_report.torn_tail) {
+    report.value().degradation.add(
+        "offline-log", "torn tail detected in " + log_path + "; " +
+                           std::to_string(load_report.recovered) +
+                           " records recovered");
+  }
+  return report;
 }
 
 bool K23Interposer::initialized() { return state().initialized; }
@@ -144,14 +245,21 @@ void K23Interposer::shutdown() {
   K23State& s = state();
   if (!s.initialized) return;
   Dispatcher::instance().set_prctl_guard(false);
-  if (s.options.sud_fallback) SudSession::disarm();
+  if (s.sud_armed) SudSession::disarm();
+  if (s.seccomp_armed) {
+    // Irrevocable by design — the filter outlives shutdown(). Tests that
+    // arm seccomp must do so in a forked child.
+    K23_LOG(kDebug) << "K23: seccomp filter remains armed (irrevocable)";
+  }
   CodePatcher patcher(PatchMode::kSafe);
   for (uint64_t address : s.rewritten) {
     (void)patcher.unpatch_site(address);
   }
   s.rewritten.clear();
-  Trampoline::remove();
+  if (Trampoline::installed()) Trampoline::remove();
   s.valid_sites.clear();
+  s.sud_armed = false;
+  s.seccomp_armed = false;
   s.initialized = false;
 }
 

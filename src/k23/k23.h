@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "k23/degradation.h"
 #include "k23/offline_log.h"
 
 namespace k23 {
@@ -52,9 +53,17 @@ class K23Interposer {
     size_t rewritten_sites = 0;  // successfully patched
     size_t stale_entries = 0;    // resolved but bytes were not syscall
     size_t unresolved_entries = 0;
+    // Which rung of the ladder init actually landed on, and every step
+    // down it took to get there (see k23/degradation.h). A clean init
+    // reports the requested tier with no events.
+    DegradationReport degradation;
   };
 
-  // Brings up the online phase from an in-memory offline log.
+  // Brings up the online phase from an in-memory offline log. Init walks
+  // the degradation ladder rather than failing closed: a refused rewrite
+  // (mprotect failure mid-batch) rolls back and drops to SUD-only; a
+  // kernel without SUD drops to seccomp-only. Only when *no* mechanism
+  // can be armed does init return an error (tier kNone).
   static Result<InitReport> init(const OfflineLog& log,
                                  const Options& options);
   // Same, loading the log from disk (Figure 3 format).

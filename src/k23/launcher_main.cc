@@ -13,7 +13,8 @@
 //     --preload=PATH       libk23_preload.so location (default: alongside
 //                          this binary)
 //     --keep-vdso          do not scrub AT_SYSINFO_EHDR
-//     --stats              print the trace report at exit
+//     --stats              print the trace report + capability ladder
+//     --deadline-ms=N      detach from a wedged tracee after N ms (0 = off)
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -23,8 +24,10 @@
 #include <vector>
 
 #include "arch/syscall_table.h"
+#include "common/caps.h"
 #include "common/env.h"
 #include "common/files.h"
+#include "common/strings.h"
 #include "ptracer/ptracer.h"
 
 namespace k23 {
@@ -41,8 +44,8 @@ std::string default_preload_path() {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--offline] [--log=PATH] [--variant=V] "
-               "[--mode=M] [--preload=PATH] [--keep-vdso] [--stats] -- "
-               "program [args...]\n",
+               "[--mode=M] [--preload=PATH] [--keep-vdso] [--stats] "
+               "[--deadline-ms=N] -- program [args...]\n",
                argv0);
   return 2;
 }
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
   bool offline = false;
   bool keep_vdso = false;
   bool stats = false;
+  uint64_t deadline_ms = 0;
   std::string log_path = "k23.log";
   std::string variant = "default";
   std::string mode;
@@ -82,6 +86,10 @@ int main(int argc, char** argv) {
       mode = arg.substr(7);
     } else if (arg.rfind("--preload=", 0) == 0) {
       preload = arg.substr(10);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      auto parsed = parse_u64(arg.substr(14));
+      if (!parsed) return usage(argv[0]);
+      deadline_ms = *parsed;
     } else {
       return usage(argv[0]);
     }
@@ -105,6 +113,7 @@ int main(int argc, char** argv) {
   // ptracer-like component only guards injection, not performance);
   // online mode detaches at the libK23 handoff.
   options.allow_handoff = !offline;
+  options.deadline_ms = deadline_ms;
 
   Ptracer tracer(options);
   auto report = tracer.run(target, &env_strings);
@@ -115,9 +124,20 @@ int main(int argc, char** argv) {
 
   if (stats) {
     const TraceReport& r = report.value();
+    std::fprintf(stderr, "k23_run: %s\n", capabilities().summary().c_str());
+    std::fprintf(stderr, "%s\n",
+                 degradation_ladder_summary(capabilities()).c_str());
     std::fprintf(stderr, "k23_run: traced pid %d, %s\n", r.pid,
-                 r.detached ? "detached at libK23 handoff"
-                            : "traced to exit");
+                 !r.detached          ? "traced to exit"
+                 : r.deadline_expired ? "detached at deadline"
+                                      : "detached at libK23 handoff");
+    if (r.tracee_died) {
+      std::fprintf(stderr, "k23_run: tracee died mid-trace\n");
+    }
+    if (r.deadline_expired) {
+      std::fprintf(stderr,
+                   "k23_run: trace deadline expired; tracee detached\n");
+    }
     std::fprintf(stderr,
                  "k23_run: %llu syscalls while attached, %llu execs, "
                  "%llu env rewrites, %llu vdso scrubs\n",
@@ -133,6 +153,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (report.value().deadline_expired) {
+    // The whole point of --deadline-ms was to stop waiting on a wedged
+    // tracee: leave it running detached and exit like timeout(1) does.
+    std::fprintf(stderr,
+                 "k23_run: deadline expired; tracee %d left running\n",
+                 report.value().pid);
+    return 124;
+  }
   if (report.value().detached) {
     // The tracee runs on unattended; mirror its lifetime.
     int status = 0;

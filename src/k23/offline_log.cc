@@ -4,10 +4,54 @@
 
 #include <algorithm>
 
+#include "common/crc32.h"
 #include "common/files.h"
 #include "common/strings.h"
 
 namespace k23 {
+namespace {
+
+constexpr std::string_view kHeaderPrefix = "# k23-offline-log v";
+constexpr int kCurrentVersion = 2;
+
+std::string crc_hex8(uint32_t crc) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[crc & 0xf];
+    crc >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex32(std::string_view text, uint32_t* out) {
+  if (text.size() != 8) return false;
+  uint32_t value = 0;
+  for (char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+    else return false;
+  }
+  *out = value;
+  return true;
+}
+
+// Parses one "region,offset" payload (the v1 record / v2 record prefix).
+bool parse_payload(std::string_view payload, std::string* region,
+                   uint64_t* offset) {
+  // The pathname may itself contain commas; the offset is everything
+  // after the *last* comma.
+  const size_t comma = payload.rfind(',');
+  if (comma == std::string_view::npos || comma == 0) return false;
+  auto parsed = parse_u64(payload.substr(comma + 1));
+  if (!parsed) return false;
+  *region = std::string(payload.substr(0, comma));
+  *offset = *parsed;
+  return true;
+}
+
+}  // namespace
 
 bool OfflineLog::add(const std::string& region, uint64_t offset) {
   return entries_.insert(LogEntry{region, offset}).second;
@@ -26,12 +70,9 @@ bool OfflineLog::add_address(const ProcessMaps& maps, uint64_t address) {
 
 std::vector<std::string> OfflineLog::regions() const {
   std::vector<std::string> out;
+  std::set<std::string_view> seen;
   for (const auto& entry : entries_) {
-    if (out.empty() || out.back() != entry.region) {
-      if (std::find(out.begin(), out.end(), entry.region) == out.end()) {
-        out.push_back(entry.region);
-      }
-    }
+    if (seen.insert(entry.region).second) out.push_back(entry.region);
   }
   return out;
 }
@@ -41,6 +82,22 @@ void OfflineLog::merge(const OfflineLog& other) {
 }
 
 std::string OfflineLog::serialize() const {
+  std::string out = std::string(kHeaderPrefix) +
+                    std::to_string(kCurrentVersion) +
+                    " n=" + std::to_string(entries_.size()) + "\n";
+  for (const auto& entry : entries_) {
+    std::string payload = entry.region;
+    payload += ',';
+    payload += std::to_string(entry.offset);
+    out += payload;
+    out += ',';
+    out += crc_hex8(crc32(payload));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string OfflineLog::serialize_v1() const {
   std::string out;
   for (const auto& entry : entries_) {
     out += entry.region;
@@ -51,34 +108,109 @@ std::string OfflineLog::serialize() const {
   return out;
 }
 
-Result<OfflineLog> OfflineLog::deserialize(const std::string& text) {
-  OfflineLog log;
-  for (std::string_view line : split(text, '\n')) {
-    line = trim(line);
-    if (line.empty() || line[0] == '#') continue;
-    // The pathname may itself contain commas; the offset is everything
-    // after the *last* comma.
-    const size_t comma = line.rfind(',');
-    if (comma == std::string_view::npos) {
-      return Status::fail("malformed offline log line (no comma)");
+Result<OfflineLog> OfflineLog::deserialize(const std::string& text,
+                                           LogLoadReport* report) {
+  LogLoadReport local;
+  LogLoadReport& rep = report != nullptr ? *report : local;
+  rep = LogLoadReport{};
+
+  // Header sniff: only a leading "# k23-offline-log v<N>" line switches
+  // the parser off the strict Figure-3 path.
+  int version = 1;
+  size_t declared = std::string::npos;  // npos: header absent / no n=
+  size_t body_start = 0;
+  if (text.compare(0, kHeaderPrefix.size(), kHeaderPrefix) == 0) {
+    const size_t eol = text.find('\n');
+    std::string_view header(text.data(), eol == std::string::npos
+                                             ? text.size()
+                                             : eol);
+    auto v = parse_u64(trim(header.substr(kHeaderPrefix.size(),
+                                          header.find(' ', kHeaderPrefix.size()) -
+                                              kHeaderPrefix.size())));
+    if (!v) return Status::fail("malformed offline log header version");
+    version = static_cast<int>(*v);
+    if (version > kCurrentVersion) {
+      return Status::fail("offline log version newer than this build");
     }
-    auto offset = parse_u64(line.substr(comma + 1));
-    if (!offset) return Status::fail("malformed offline log offset");
-    std::string_view region = line.substr(0, comma);
-    if (region.empty()) return Status::fail("empty region in offline log");
-    log.add(std::string(region), *offset);
+    const size_t n_pos = header.find("n=");
+    if (n_pos != std::string_view::npos) {
+      auto n = parse_u64(trim(header.substr(n_pos + 2)));
+      if (!n) return Status::fail("malformed offline log header count");
+      declared = *n;
+    }
+    body_start = eol == std::string::npos ? text.size() : eol + 1;
+  }
+  rep.version = version;
+
+  OfflineLog log;
+  const std::string_view body(text.data() + body_start,
+                              text.size() - body_start);
+  const bool ends_with_newline = body.empty() || body.back() == '\n';
+
+  // Find the last non-empty line so a corrupt final record without a
+  // trailing newline can be classified as a torn tail, not random damage.
+  std::vector<std::string_view> lines = split(body, '\n');
+  size_t last_content = std::string::npos;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (!trim(lines[i]).empty()) last_content = i;
+  }
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = trim(lines[i]);
+    if (line.empty() || line[0] == '#') continue;
+
+    std::string region;
+    uint64_t offset = 0;
+    bool ok = false;
+    const char* why = "malformed record";
+    if (version == 1) {
+      ok = parse_payload(line, &region, &offset);
+      if (!ok) {
+        // Figure-3 files keep the original strict contract: v1 carries
+        // no integrity data, so a bad line means the file is not a log.
+        return Status::fail("malformed offline log line");
+      }
+    } else {
+      const size_t comma = line.rfind(',');
+      uint32_t stored = 0;
+      if (comma == std::string_view::npos ||
+          !parse_hex32(line.substr(comma + 1), &stored)) {
+        why = "record lacks an 8-hex-digit CRC field";
+      } else if (crc32(line.substr(0, comma)) != stored) {
+        why = "CRC mismatch";
+      } else {
+        ok = parse_payload(line.substr(0, comma), &region, &offset);
+      }
+    }
+
+    if (!ok) {
+      ++rep.corrupt_records;
+      rep.issues.push_back("record " + std::to_string(i + 1) + ": " + why);
+      if (i == last_content && !ends_with_newline) rep.torn_tail = true;
+      continue;
+    }
+    log.add(region, offset);
+    ++rep.recovered;
+  }
+
+  if (declared != std::string::npos && rep.recovered < declared) {
+    rep.torn_tail = true;
+    rep.issues.push_back("header declares " + std::to_string(declared) +
+                         " records, only " + std::to_string(rep.recovered) +
+                         " recovered (truncated tail?)");
   }
   return log;
 }
 
 Status OfflineLog::save(const std::string& path) const {
-  return write_file(path, serialize());
+  return write_file_atomic(path, serialize());
 }
 
-Result<OfflineLog> OfflineLog::load(const std::string& path) {
+Result<OfflineLog> OfflineLog::load(const std::string& path,
+                                    LogLoadReport* report) {
   auto contents = read_file(path);
   if (!contents.is_ok()) return contents.error();
-  return deserialize(contents.value());
+  return deserialize(contents.value(), report);
 }
 
 Status OfflineLog::save_immutable(const std::string& path) const {

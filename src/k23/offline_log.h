@@ -6,7 +6,21 @@
 // across runs — including under ASLR — so the online phase can map records
 // back to live virtual addresses.
 //
-// On-disk format (exactly Figure 3):   <pathname>,<decimal offset>\n
+// On-disk formats:
+//   v1 (exactly Figure 3):   <pathname>,<decimal offset>\n
+//   v2 (this repo's hardened format):
+//        # k23-offline-log v2 n=<record count>
+//        <pathname>,<decimal offset>,<crc32 of "pathname,offset" as 8
+//        lowercase hex digits>\n
+//
+// v1 has no integrity protection: a log truncated by a crashed offline
+// run, or a flipped bit, either fails the whole load or — worse — yields
+// a wrong offset the online phase would then verify-and-skip at best. v2
+// detects both: per-record CRCs catch corruption, the header count
+// catches a torn tail, and loading *recovers* the valid prefix instead
+// of discarding the run (the SUD fallback covers whatever was lost; the
+// DegradationReport says so out loud). Files without the header parse as
+// v1, strictly, so Figure-3 logs keep working.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +41,17 @@ struct LogEntry {
   auto operator<=>(const LogEntry&) const = default;
 };
 
+// What deserialize/load observed about the file's integrity. `recovered`
+// counts records accepted; corruption never fails a v2 load (the caller
+// degrades gracefully), only an unknown future version does.
+struct LogLoadReport {
+  int version = 1;
+  size_t recovered = 0;        // records accepted into the log
+  size_t corrupt_records = 0;  // lines dropped (bad CRC / malformed)
+  bool torn_tail = false;      // file ends mid-record or short of n=
+  std::vector<std::string> issues;  // human-readable, one per problem
+};
+
 class OfflineLog {
  public:
   // Records one site; duplicates collapse. Returns true if new.
@@ -43,19 +68,30 @@ class OfflineLog {
   bool empty() const { return entries_.empty(); }
   const std::set<LogEntry>& entries() const { return entries_; }
 
-  // Unique regions referenced (Table 2 reports counts per application).
+  // Unique regions referenced (Table 2 reports counts per application),
+  // in entry-iteration (sorted) first-seen order.
   std::vector<std::string> regions() const;
 
   // Merge another log (multiple offline runs with different inputs).
   void merge(const OfflineLog& other);
 
-  // --- Figure 3 serialization ---------------------------------------------
+  // --- serialization ------------------------------------------------------
+  // Writes the v2 format. serialize_v1() emits the bare Figure 3 layout
+  // for interop with the paper's tooling.
   std::string serialize() const;
-  static Result<OfflineLog> deserialize(const std::string& text);
+  std::string serialize_v1() const;
+  // `report`, when given, receives integrity details; a v2 file with
+  // corrupt records still loads (valid prefix recovered). v1 files keep
+  // the original strict behavior: any malformed line fails the load.
+  static Result<OfflineLog> deserialize(const std::string& text,
+                                        LogLoadReport* report = nullptr);
+  // Crash-atomic: temp file + fsync + rename (a torn save can otherwise
+  // poison every later online phase).
   Status save(const std::string& path) const;
-  static Result<OfflineLog> load(const std::string& path);
+  static Result<OfflineLog> load(const std::string& path,
+                                 LogLoadReport* report = nullptr);
 
-  // Saves and strips write permission from the file + directory — the
+  // Atomic save, then strips write permission from the file — the
   // portable part of the paper's "mark the log directory immutable".
   Status save_immutable(const std::string& path) const;
 

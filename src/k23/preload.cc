@@ -112,9 +112,10 @@ __attribute__((constructor)) void k23_preload_init() {
   // Default: full K23 online phase.
   ptracer_handoff();
   OfflineLog log;
+  LogLoadReport load_report;
   const char* log_file = std::getenv("K23_LOG_FILE");
   if (log_file != nullptr) {
-    auto loaded = OfflineLog::load(log_file);
+    auto loaded = OfflineLog::load(log_file, &load_report);
     if (loaded.is_ok()) {
       log = std::move(loaded).value();
     } else {
@@ -129,7 +130,21 @@ __attribute__((constructor)) void k23_preload_init() {
     K23_LOG(kError) << "libk23_preload: K23 init failed: "
                     << report.message();
   } else {
-    K23_LOG(kDebug) << "libk23_preload: K23 online, "
+    DegradationReport& deg = report.value().degradation;
+    if (load_report.corrupt_records > 0 || load_report.torn_tail) {
+      deg.add("offline-log",
+              std::to_string(load_report.corrupt_records) +
+                  " corrupt records, torn tail: " +
+                  (load_report.torn_tail ? "yes" : "no") + "; " +
+                  std::to_string(load_report.recovered) +
+                  " records recovered");
+    }
+    if (deg.degraded()) {
+      K23_LOG(kWarn) << "libk23_preload: running degraded\n"
+                     << deg.summary();
+    }
+    K23_LOG(kDebug) << "libk23_preload: K23 online (tier "
+                    << tier_name(deg.tier) << "), "
                     << report.value().rewritten_sites << " sites rewritten";
   }
 }

@@ -16,6 +16,7 @@
 #include "arch/regs.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/strings.h"
 
 namespace k23 {
@@ -103,16 +104,30 @@ class TraceLoop {
 
   Result<TraceReport> run() {
     report_.pid = pid_;
+    const uint64_t deadline =
+        options_.deadline_ms > 0 ? monotonic_ms() + options_.deadline_ms : 0;
     const long opts = PTRACE_O_TRACESYSGOOD | PTRACE_O_TRACEEXEC;
     if (::ptrace(PTRACE_SETOPTIONS, pid_, nullptr, opts) != 0) {
+      if (errno == ESRCH) return finish_after_tracee_death();
       return Result<TraceReport>::from_errno("PTRACE_SETOPTIONS");
     }
     if (::ptrace(PTRACE_SYSCALL, pid_, nullptr, 0) != 0) {
+      if (errno == ESRCH) return finish_after_tracee_death();
       return Result<TraceReport>::from_errno("PTRACE_SYSCALL");
     }
     while (true) {
       int status = 0;
-      if (::waitpid(pid_, &status, 0) != pid_) {
+      pid_t waited;
+      if (deadline != 0) {
+        const uint64_t now = monotonic_ms();
+        if (now >= deadline) return detach_on_deadline();
+        waited = waitpid_deadline(pid_, &status, 0, deadline - now);
+        if (waited == 0) return detach_on_deadline();
+      } else {
+        waited = waitpid_eintr(pid_, &status, 0);
+      }
+      if (waited != pid_) {
+        if (errno == ECHILD) return finish_after_tracee_death();
         return Result<TraceReport>::from_errno("waitpid");
       }
       if (WIFEXITED(status)) {
@@ -129,10 +144,17 @@ class TraceLoop {
         if (sig == kSyscallStopSig) {
           Status st = in_syscall_ ? on_syscall_exit() : on_syscall_entry();
           in_syscall_ = !in_syscall_;
-          if (!st.is_ok()) return st.error();
+          if (!st.is_ok()) {
+            // SIGKILL races every stop: the tracee can vanish between the
+            // waitpid and the next ptrace request. Treat ESRCH as "the
+            // tracee died", not as a tracer bug.
+            if (st.error().code == ESRCH) return finish_after_tracee_death();
+            return st.error();
+          }
           if (detach_requested_ && !in_syscall_) {
             // Exit-stop of the detach fake syscall just completed.
             if (::ptrace(PTRACE_DETACH, pid_, nullptr, 0) != 0) {
+              if (errno == ESRCH) return finish_after_tracee_death();
               return Result<TraceReport>::from_errno("PTRACE_DETACH");
             }
             report_.detached = true;
@@ -146,12 +168,76 @@ class TraceLoop {
         }
       }
       if (::ptrace(PTRACE_SYSCALL, pid_, nullptr, forward_signal) != 0) {
+        if (errno == ESRCH) return finish_after_tracee_death();
         return Result<TraceReport>::from_errno("PTRACE_SYSCALL resume");
       }
     }
   }
 
  private:
+  // A ptrace request answered ESRCH mid-trace: the tracee is gone (or a
+  // zombie). Reap it within a bound and return what was collected —
+  // losing the tracee is the *tracee's* outcome, not a tracer error.
+  Result<TraceReport> finish_after_tracee_death() {
+    report_.tracee_died = true;
+    int status = 0;
+    pid_t waited = waitpid_deadline(pid_, &status, 0, 2000);
+    if (waited == pid_) {
+      if (WIFEXITED(status)) {
+        report_.exit_code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        report_.term_signal = WTERMSIG(status);
+      } else if (WIFSTOPPED(status)) {
+        // ESRCH against a live-but-stopped tracee means the thread we
+        // traced is in an unwaitable state transition; release it.
+        (void)::ptrace(PTRACE_DETACH, pid_, nullptr, 0);
+        report_.detached = true;
+      }
+    } else if (report_.exit_code < 0 && report_.term_signal == 0) {
+      // Unreapable within the bound (reaped elsewhere, or the kernel is
+      // still tearing the task down). The only way a traced child dies
+      // without us seeing its exit stop is a hard kill.
+      report_.term_signal = SIGKILL;
+    }
+    K23_LOG(kWarn) << "ptracer: tracee " << pid_ << " died mid-trace ("
+                   << report_.state.startup_syscall_count
+                   << " syscalls observed)";
+    return report_;
+  }
+
+  // Options::deadline_ms elapsed: stop the tracee, detach cleanly, leave
+  // it running untraced. Never leaves the tracee stopped: the SIGSTOP we
+  // inject to create a detachable stop is cancelled with SIGCONT after
+  // the detach (the stop may be delivered post-detach).
+  Result<TraceReport> detach_on_deadline() {
+    report_.deadline_expired = true;
+    (void)::kill(pid_, SIGSTOP);
+    int status = 0;
+    pid_t waited = waitpid_deadline(pid_, &status, 0, 2000);
+    if (waited == pid_) {
+      if (WIFEXITED(status)) {
+        report_.exit_code = WEXITSTATUS(status);
+        return report_;
+      }
+      if (WIFSIGNALED(status)) {
+        report_.term_signal = WTERMSIG(status);
+        return report_;
+      }
+    }
+    // Stopped (or unwaitable): detach without delivering a signal, then
+    // clear the pending/delivered SIGSTOP so the tracee keeps running.
+    if (::ptrace(PTRACE_DETACH, pid_, nullptr, 0) != 0 && errno == ESRCH &&
+        waited != pid_) {
+      return finish_after_tracee_death();
+    }
+    (void)::kill(pid_, SIGCONT);
+    report_.detached = true;
+    K23_LOG(kWarn) << "ptracer: deadline of " << options_.deadline_ms
+                   << " ms expired; tracee " << pid_
+                   << " detached and released";
+    return report_;
+  }
+
   Status on_syscall_entry() {
     user_regs_struct regs{};
     K23_RETURN_IF_ERROR(getregs(pid_, &regs));
@@ -404,7 +490,7 @@ Result<TraceReport> Ptracer::run(const std::vector<std::string>& argv,
   }
 
   int status = 0;
-  if (::waitpid(pid, &status, 0) != pid || !WIFSTOPPED(status)) {
+  if (waitpid_eintr(pid, &status, 0) != pid || !WIFSTOPPED(status)) {
     return Status::fail("tracee failed to stop at startup");
   }
   TraceLoop loop(options_, pid);
@@ -416,7 +502,7 @@ Result<TraceReport> Ptracer::attach_and_run(pid_t pid) {
     return Result<TraceReport>::from_errno("PTRACE_ATTACH");
   }
   int status = 0;
-  if (::waitpid(pid, &status, 0) != pid || !WIFSTOPPED(status)) {
+  if (waitpid_eintr(pid, &status, 0) != pid || !WIFSTOPPED(status)) {
     return Status::fail("attach: tracee failed to stop");
   }
   TraceLoop loop(options_, pid);

@@ -44,6 +44,14 @@ struct TraceReport {
   bool detached = false;   // handoff path (vs traced to exit)
   int exit_code = -1;      // valid when !detached and the tracee exited
   int term_signal = 0;
+  // The tracee vanished mid-operation (a ptrace request came back ESRCH —
+  // typically killed by SIGKILL or an OOM kill between stops). The report
+  // is still returned with whatever was collected; exit_code/term_signal
+  // are filled when the zombie was reapable within a bounded wait.
+  bool tracee_died = false;
+  // Options::deadline_ms elapsed: the tracee was cleanly detached (left
+  // running, no longer traced) instead of the loop blocking forever.
+  bool deadline_expired = false;
   PtracerHandoffState state;
   std::map<long, uint64_t> syscall_counts;  // nr -> count while attached
   pid_t pid = -1;
@@ -68,6 +76,12 @@ class Ptracer {
     // Verify fake syscalls originate from the expected library (the
     // tracee passes its address range; spoofed callers are rejected).
     bool verify_handoff_origin = true;
+    // Upper bound on total trace time, in milliseconds. 0 = unbounded.
+    // On expiry the tracee is stopped, cleanly PTRACE_DETACHed and left
+    // running untraced; the report carries deadline_expired = true. This
+    // keeps a wedged tracee (e.g. blocked forever in a syscall the hook
+    // was supposed to observe) from wedging the launcher with it.
+    uint64_t deadline_ms = 0;
     PtracerHooks hooks;
   };
 

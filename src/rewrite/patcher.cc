@@ -10,6 +10,7 @@
 #include "arch/raw_syscall.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "faultinject/faultinject.h"
 #include "procmaps/procmaps.h"
 
 namespace k23 {
@@ -53,7 +54,11 @@ class PagePermissionGuard {
         guard.saved_.push_back({page, prot_of(*region)});
       }
     }
-    if (::mprotect(reinterpret_cast<void*>(first_page), guard.length_,
+    // "mprotect" fault point: the rewriter's text-permission flips are
+    // where a mid-batch failure strands a half-patched segment; tests
+    // force that state here (K23_FAULTS="mprotect:enomem:nth=2").
+    if (fault_fires("mprotect") ||
+        ::mprotect(reinterpret_cast<void*>(first_page), guard.length_,
                    PROT_READ | PROT_WRITE | PROT_EXEC) != 0) {
       return Status::from_errno("mprotect writable");
     }
@@ -199,6 +204,78 @@ Result<PatchReport> CodePatcher::patch_sites(
   }
 
   if (mode_ == PatchMode::kSafe) serialize_instruction_stream();
+  return report;
+}
+
+PatchReport CodePatcher::patch_sites_transactional(
+    const std::vector<uint64_t>& sites, bool force) {
+  PatchReport report;
+  if (sites.empty()) return report;
+
+  std::vector<uint64_t> sorted = sites;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Every successfully-rewritten site, with the byte needed to undo it.
+  std::vector<std::pair<uint64_t, bool>> applied;  // (site, was_sysenter)
+  applied.reserve(sorted.size());
+  bool failed = false;
+
+  size_t i = 0;
+  while (i < sorted.size() && !failed) {
+    const uint64_t first_page = page_of(sorted[i]);
+    size_t j = i;
+    uint64_t last_page = page_of(sorted[j] + 1);
+    while (j + 1 < sorted.size() &&
+           page_of(sorted[j + 1]) <= last_page + 0x1000) {
+      ++j;
+      last_page = std::max(last_page, page_of(sorted[j] + 1));
+    }
+    auto guard = PagePermissionGuard::acquire(first_page, last_page, mode_);
+    if (!guard.is_ok()) {
+      report.failed += j - i + 1;
+      failed = true;
+      K23_LOG(kWarn) << "transactional patch: run at " << to_hex(first_page)
+                     << " failed (" << guard.message() << "); aborting batch";
+      break;
+    }
+    for (size_t k = i; k <= j; ++k) {
+      const auto* bytes = reinterpret_cast<const uint8_t*>(sorted[k]);
+      if (!force && !is_syscall_bytes(bytes)) {
+        ++report.skipped_not_syscall;
+        continue;
+      }
+      const bool was_sysenter = bytes[1] == kSysenterInsn[1];
+      Status st =
+          write_two_bytes(sorted[k], kCallRaxInsn[0], kCallRaxInsn[1]);
+      if (!st.is_ok()) {
+        ++report.failed;
+        failed = true;
+        break;
+      }
+      applied.emplace_back(sorted[k], was_sysenter);
+      ++report.patched;
+    }
+    i = j + 1;
+  }
+
+  if (mode_ == PatchMode::kSafe) serialize_instruction_stream();
+  if (!failed) return report;
+
+  // Mid-batch failure: restore every site already rewritten, newest
+  // first. A site whose rollback also fails stays listed in `residual`;
+  // the caller must keep it dispatchable (trampoline stays installed).
+  report.committed = false;
+  for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+    if (unpatch_site(it->first, it->second).is_ok()) {
+      ++report.rolled_back;
+    } else {
+      report.residual.push_back(it->first);
+      K23_LOG(kError) << "transactional patch: rollback of "
+                      << to_hex(it->first)
+                      << " failed; site remains rewritten";
+    }
+  }
+  report.patched = report.residual.size();
   return report;
 }
 

@@ -31,6 +31,13 @@ struct PatchReport {
   size_t patched = 0;
   size_t skipped_not_syscall = 0;  // bytes at site were not 0f 05 / 0f 34
   size_t failed = 0;
+  // Transactional batches only:
+  bool committed = true;     // false: a mid-batch failure aborted the batch
+  size_t rolled_back = 0;    // sites restored to their original bytes
+  // Sites that could not be rolled back (a second fault during recovery).
+  // Non-empty means rewritten bytes remain live — the caller MUST keep
+  // the trampoline installed for exactly these addresses.
+  std::vector<uint64_t> residual;
 };
 
 class CodePatcher {
@@ -47,6 +54,18 @@ class CodePatcher {
   // serialization point. This is K23's "single selective rewriting step".
   Result<PatchReport> patch_sites(const std::vector<uint64_t>& sites,
                                   bool force = false);
+
+  // All-or-nothing batch: on a mid-batch failure (an mprotect that the
+  // kernel — or the fault injector — refuses), every already-rewritten
+  // site is restored to its original instruction and `committed` comes
+  // back false. A half-patched text segment is the one state the K23
+  // degradation ladder cannot tolerate: the interposer either rewrites
+  // everything it promised or falls back to exhaustive SUD coverage with
+  // pristine code. If the rollback itself faults, the still-rewritten
+  // sites are listed in `residual` so the caller can keep them
+  // dispatchable instead of leaving landmine `call *%rax` bytes behind.
+  PatchReport patch_sites_transactional(const std::vector<uint64_t>& sites,
+                                        bool force = false);
 
   // Restores the original syscall instruction (tests / teardown).
   Status unpatch_site(uint64_t site, bool was_sysenter = false);

@@ -23,6 +23,7 @@
 #include "arch/thunks.h"
 #include "common/logging.h"
 #include "common/scope_guard.h"
+#include "faultinject/faultinject.h"
 #include "interpose/internal.h"
 
 namespace k23 {
@@ -157,6 +158,11 @@ Status install_filter() {
 Status SeccompInterposer::arm(const Options& options) {
   if (g_armed.load(std::memory_order_acquire)) {
     return Status::fail("seccomp interposer already armed");
+  }
+  // "seccomp_arm" fault point: lets tests drive the ladder all the way
+  // to its bottom rung (no exhaustive mechanism available at all).
+  if (fault_fires("seccomp_arm")) {
+    return Status::from_errno("seccomp arm");
   }
   g_options = options;
   if (g_gadget_page == nullptr) {

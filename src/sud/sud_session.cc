@@ -13,6 +13,7 @@
 #include "arch/thunks.h"
 #include "common/logging.h"
 #include "common/scope_guard.h"
+#include "faultinject/faultinject.h"
 #include "interpose/internal.h"
 
 #ifndef PR_SET_SYSCALL_USER_DISPATCH
@@ -184,6 +185,10 @@ Status SudSession::arm(const Options& options) {
   if (g_armed.load(std::memory_order_acquire)) {
     return Status::fail("SUD session already armed");
   }
+  // "sud_arm" fault point: models a kernel without SUD (pre-5.11, or a
+  // seccomp-confined container) so the degradation ladder's seccomp rung
+  // is testable on machines where SUD works.
+  if (fault_fires("sud_arm")) return Status::from_errno("SUD arm");
   g_options = options;
   if (g_gadget_page == nullptr) {
     K23_RETURN_IF_ERROR(build_gadget_page());

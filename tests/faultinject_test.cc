@@ -1,0 +1,150 @@
+// Unit tests for the deterministic fault injector (K23_FAULTS grammar,
+// trigger patterns, counters). Pure logic — no forked children needed.
+#include "faultinject/faultinject.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace k23 {
+namespace {
+
+// Every test starts and ends with a clean injector; rules are process
+// globals and must not leak between tests.
+class FaultInject : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::reset(); }
+  void TearDown() override {
+    FaultInjector::reset();
+    ::unsetenv("K23_FAULTS");
+  }
+};
+
+TEST_F(FaultInject, DisabledByDefault) {
+  EXPECT_FALSE(FaultInjector::enabled());
+  EXPECT_EQ(FaultInjector::check("waitpid"), 0);
+  EXPECT_FALSE(fault_fires("anything"));
+}
+
+TEST_F(FaultInject, AlwaysFireRuleInjectsNamedErrno) {
+  ASSERT_TRUE(FaultInjector::configure("waitpid:eintr").is_ok());
+  EXPECT_TRUE(FaultInjector::enabled());
+  EXPECT_EQ(FaultInjector::check("waitpid"), EINTR);
+  EXPECT_EQ(FaultInjector::check("waitpid"), EINTR);
+  // Other points are untouched.
+  EXPECT_EQ(FaultInjector::check("mprotect"), 0);
+}
+
+TEST_F(FaultInject, DecimalErrnoAndGenericFail) {
+  ASSERT_TRUE(FaultInjector::configure("a:12;b:fail").is_ok());
+  EXPECT_EQ(FaultInjector::check("a"), 12);
+  EXPECT_EQ(FaultInjector::check("b"), -1);  // generic
+  errno = 0;
+  EXPECT_TRUE(fault_fires("b"));
+  EXPECT_EQ(errno, EIO);  // generic surfaces as EIO for errno paths
+  errno = 0;
+  EXPECT_TRUE(fault_fires("a"));
+  EXPECT_EQ(errno, 12);
+}
+
+TEST_F(FaultInject, EveryTriggerFiresOnMultiples) {
+  ASSERT_TRUE(FaultInjector::configure("p:enomem:every=3").is_ok());
+  // Calls 1..9: fires on 3, 6, 9.
+  int fired = 0;
+  for (int i = 1; i <= 9; ++i) {
+    if (FaultInjector::check("p") != 0) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(FaultInjector::fired("p"), 3u);
+}
+
+TEST_F(FaultInject, NthTriggerFiresExactlyOnce) {
+  ASSERT_TRUE(FaultInjector::configure("p:eacces:nth=2").is_ok());
+  EXPECT_EQ(FaultInjector::check("p"), 0);       // call 1
+  EXPECT_EQ(FaultInjector::check("p"), EACCES);  // call 2
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(FaultInjector::check("p"), 0);
+  EXPECT_EQ(FaultInjector::fired("p"), 1u);
+}
+
+TEST_F(FaultInject, TimesTriggerFiresOnFirstN) {
+  ASSERT_TRUE(FaultInjector::configure("p:ebusy:times=2").is_ok());
+  EXPECT_EQ(FaultInjector::check("p"), EBUSY);
+  EXPECT_EQ(FaultInjector::check("p"), EBUSY);
+  EXPECT_EQ(FaultInjector::check("p"), 0);
+  EXPECT_EQ(FaultInjector::fired("p"), 2u);
+}
+
+TEST_F(FaultInject, MultipleRulesTrackIndependentCounters) {
+  ASSERT_TRUE(
+      FaultInjector::configure("a:eintr:nth=1; b:enomem:every=2").is_ok());
+  EXPECT_EQ(FaultInjector::check("a"), EINTR);
+  EXPECT_EQ(FaultInjector::check("b"), 0);
+  EXPECT_EQ(FaultInjector::check("b"), ENOMEM);
+  auto rules = FaultInjector::snapshot();
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].point, "a");
+  EXPECT_EQ(rules[0].calls, 1u);
+  EXPECT_EQ(rules[1].calls, 2u);
+  EXPECT_EQ(rules[1].fired, 1u);
+}
+
+TEST_F(FaultInject, MalformedSpecsRejectAndDisable) {
+  // A working config first, to prove rejection clears it.
+  ASSERT_TRUE(FaultInjector::configure("a:eintr").is_ok());
+  const char* bad[] = {
+      "noerror",          // rule without ':'
+      "p:",               // empty error
+      "p:notanerrno",     // unknown errno name
+      "p:eintr:bogus=3",  // unknown trigger
+      "p:eintr:nth=",     // trigger without a number
+      "p:eintr:every=0",  // zero period is meaningless
+      ":eintr",           // empty point
+  };
+  for (const char* spec : bad) {
+    EXPECT_FALSE(FaultInjector::configure(spec).is_ok()) << spec;
+    EXPECT_FALSE(FaultInjector::enabled()) << spec;
+  }
+}
+
+TEST_F(FaultInject, EmptySpecAndResetDisable) {
+  ASSERT_TRUE(FaultInjector::configure("a:eintr").is_ok());
+  ASSERT_TRUE(FaultInjector::configure("").is_ok());
+  EXPECT_FALSE(FaultInjector::enabled());
+  ASSERT_TRUE(FaultInjector::configure("a:eintr").is_ok());
+  FaultInjector::reset();
+  EXPECT_FALSE(FaultInjector::enabled());
+  EXPECT_EQ(FaultInjector::check("a"), 0);
+}
+
+TEST_F(FaultInject, WhitespaceTolerantSpec) {
+  ASSERT_TRUE(
+      FaultInjector::configure("  a : eintr ; b : enomem : nth=1 ").is_ok());
+  EXPECT_EQ(FaultInjector::check("a"), EINTR);
+  EXPECT_EQ(FaultInjector::check("b"), ENOMEM);
+}
+
+TEST_F(FaultInject, ConfigureFromEnvReadsK23Faults) {
+  ::setenv("K23_FAULTS", "envpoint:eagain:times=1", 1);
+  ASSERT_TRUE(FaultInjector::configure_from_env().is_ok());
+  EXPECT_EQ(FaultInjector::check("envpoint"), EAGAIN);
+  EXPECT_EQ(FaultInjector::check("envpoint"), 0);
+}
+
+TEST_F(FaultInject, ErrnoNameTable) {
+  struct { const char* name; int code; } cases[] = {
+      {"eperm", EPERM},   {"enoent", ENOENT}, {"eintr", EINTR},
+      {"eio", EIO},       {"enomem", ENOMEM}, {"eacces", EACCES},
+      {"efault", EFAULT}, {"ebusy", EBUSY},   {"einval", EINVAL},
+      {"enosys", ENOSYS}, {"eagain", EAGAIN}, {"esrch", ESRCH},
+  };
+  for (const auto& c : cases) {
+    ASSERT_TRUE(
+        FaultInjector::configure(std::string("p:") + c.name).is_ok())
+        << c.name;
+    EXPECT_EQ(FaultInjector::check("p"), c.code) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace k23

@@ -1,0 +1,241 @@
+// Offline-log integrity: v2 CRC records, torn-tail recovery, atomic
+// saves under injected I/O faults, and v1 (Figure 3) strictness.
+#include "k23/offline_log.h"
+
+#include <dirent.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/crc32.h"
+#include "common/files.h"
+#include "faultinject/faultinject.h"
+
+namespace k23 {
+namespace {
+
+class OfflineLogV2 : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::reset(); }
+  void TearDown() override {
+    FaultInjector::reset();
+    if (!dir_.empty()) (void)remove_tree(dir_);
+  }
+
+  // Lazily created temp dir for tests that touch disk.
+  const std::string& dir() {
+    if (dir_.empty()) {
+      auto made = make_temp_dir("k23_offlog_");
+      EXPECT_TRUE(made.is_ok());
+      dir_ = made.value_or("/tmp/k23_offlog_fallback");
+    }
+    return dir_;
+  }
+
+  static OfflineLog sample() {
+    OfflineLog log;
+    log.add("/lib/a.so", 100);
+    log.add("/lib/a.so", 200);
+    log.add("/lib/b.so", 300);
+    return log;
+  }
+
+ private:
+  std::string dir_;
+};
+
+TEST_F(OfflineLogV2, TruncatedTailRecoversValidPrefix) {
+  const std::string text = sample().serialize();
+  // Cut mid-way through the final record (simulates a crash mid-write of
+  // a non-atomic writer, or a torn disk block).
+  const std::string torn = text.substr(0, text.size() - 7);
+  LogLoadReport report;
+  auto parsed = OfflineLog::deserialize(torn, &report);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().size(), 2u);  // first two records intact
+  EXPECT_EQ(report.recovered, 2u);
+  EXPECT_EQ(report.corrupt_records, 1u);
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_FALSE(report.issues.empty());
+}
+
+TEST_F(OfflineLogV2, TruncationOnRecordBoundaryCaughtByHeaderCount) {
+  const std::string text = sample().serialize();
+  // Drop the last record *including* its newline: every surviving line
+  // is individually valid, only the header count can tell.
+  std::string cut = text;
+  cut.resize(cut.rfind('\n', cut.size() - 2) + 1);
+  LogLoadReport report;
+  auto parsed = OfflineLog::deserialize(cut, &report);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(report.recovered, 2u);
+  EXPECT_EQ(report.corrupt_records, 0u);
+  EXPECT_TRUE(report.torn_tail);
+}
+
+TEST_F(OfflineLogV2, GarbageLineIsDroppedAndCounted) {
+  std::string text = sample().serialize();
+  const size_t first_record = text.find('\n') + 1;
+  text.insert(first_record, "!!! not a log record !!!\n");
+  LogLoadReport report;
+  auto parsed = OfflineLog::deserialize(text, &report);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().size(), 3u);  // real records all survive
+  EXPECT_EQ(report.corrupt_records, 1u);
+  EXPECT_FALSE(report.torn_tail);  // count matches, tail intact
+}
+
+TEST_F(OfflineLogV2, CrcMismatchDropsOnlyTheFlippedRecord) {
+  std::string text = sample().serialize();
+  // Flip one digit inside the first record's offset: the payload stays
+  // parseable, so only the CRC can catch it.
+  const size_t p = text.find("100,");
+  ASSERT_NE(p, std::string::npos);
+  text[p] = '9';
+  LogLoadReport report;
+  auto parsed = OfflineLog::deserialize(text, &report);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(report.corrupt_records, 1u);
+  // The damaged record is gone, not silently mis-parsed.
+  for (const auto& entry : parsed.value().entries()) {
+    EXPECT_NE(entry.offset, 900u);
+  }
+}
+
+TEST_F(OfflineLogV2, EmptyFileLoadsAsEmptyLog) {
+  LogLoadReport report;
+  auto parsed = OfflineLog::deserialize("", &report);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed.value().empty());
+  EXPECT_EQ(report.version, 1);  // headerless = Figure 3 dialect
+  EXPECT_FALSE(report.torn_tail);
+}
+
+TEST_F(OfflineLogV2, HeaderOnlyFileLoadsAsEmptyV2) {
+  LogLoadReport report;
+  auto parsed = OfflineLog::deserialize("# k23-offline-log v2 n=0\n",
+                                        &report);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed.value().empty());
+  EXPECT_EQ(report.version, 2);
+  EXPECT_FALSE(report.torn_tail);
+}
+
+TEST_F(OfflineLogV2, FutureVersionIsAHardError) {
+  EXPECT_FALSE(OfflineLog::deserialize("# k23-offline-log v3 n=0\n").is_ok());
+}
+
+TEST_F(OfflineLogV2, V1StaysStrict) {
+  // Headerless files keep the original contract: valid Figure 3 parses,
+  // any malformed line fails the whole load (no CRC = no way to tell
+  // damage from data).
+  auto ok = OfflineLog::deserialize("/lib/a.so,42\n");
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value().size(), 1u);
+  EXPECT_FALSE(OfflineLog::deserialize("/lib/a.so,42\ngarbage\n").is_ok());
+  EXPECT_FALSE(OfflineLog::deserialize("/lib/a.so,nan\n").is_ok());
+}
+
+TEST_F(OfflineLogV2, V2RecordCrcIsOverThePayloadPrefix) {
+  OfflineLog log;
+  log.add("/lib/a.so", 7);
+  const std::string text = log.serialize();
+  const std::string payload = "/lib/a.so,7";
+  ASSERT_NE(text.find(payload), std::string::npos);
+  char expected[16];
+  std::snprintf(expected, sizeof(expected), "%08x", crc32(payload));
+  EXPECT_NE(text.find(payload + "," + expected), std::string::npos);
+}
+
+TEST_F(OfflineLogV2, AtomicSaveFaultLeavesOriginalIntact) {
+  const std::string path = dir() + "/app.log";
+  ASSERT_TRUE(sample().save(path).is_ok());
+
+  OfflineLog replacement;
+  replacement.add("/lib/z.so", 999);
+  // Inject a rename failure at the commit point: the save must fail
+  // WITHOUT touching the original and WITHOUT leaking its temp file.
+  ASSERT_TRUE(FaultInjector::configure("file_rename:eio").is_ok());
+  EXPECT_FALSE(replacement.save(path).is_ok());
+  FaultInjector::reset();
+
+  auto loaded = OfflineLog::load(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().entries(), sample().entries());
+  // No temp droppings: the directory holds exactly the original file.
+  DIR* d = ::opendir(dir().c_str());
+  ASSERT_NE(d, nullptr);
+  int files = 0;
+  while (struct dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.' && (e->d_name[1] == '\0' ||
+                                (e->d_name[1] == '.' && e->d_name[2] == '\0'))) {
+      continue;
+    }
+    ++files;
+    EXPECT_STREQ(e->d_name, "app.log");
+  }
+  ::closedir(d);
+  EXPECT_EQ(files, 1);
+}
+
+TEST_F(OfflineLogV2, WriteAndFsyncFaultsAlsoFailCleanly) {
+  const std::string path = dir() + "/app.log";
+  ASSERT_TRUE(sample().save(path).is_ok());
+  for (const char* spec : {"file_write:enospc", "file_fsync:eio"}) {
+    ASSERT_TRUE(FaultInjector::configure(spec).is_ok()) << spec;
+    EXPECT_FALSE(sample().save(path).is_ok()) << spec;
+    FaultInjector::reset();
+    auto loaded = OfflineLog::load(path);
+    ASSERT_TRUE(loaded.is_ok()) << spec;
+    EXPECT_EQ(loaded.value().size(), 3u) << spec;
+  }
+}
+
+TEST_F(OfflineLogV2, SaveImmutableCanBeOverwrittenAtomically) {
+  // rename(2) replaces a read-only *file* (only directory perms gate it),
+  // so a second immutable save over the first must succeed — this is what
+  // the old truncate-in-place save could not do.
+  const std::string path = dir() + "/app.log";
+  ASSERT_TRUE(sample().save_immutable(path).is_ok());
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  EXPECT_EQ(st.st_mode & 0222, 0u);
+
+  OfflineLog updated = sample();
+  updated.add("/lib/c.so", 400);
+  ASSERT_TRUE(updated.save_immutable(path).is_ok());
+  auto loaded = OfflineLog::load(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().size(), 4u);
+}
+
+TEST_F(OfflineLogV2, RegionsDeduplicatesPreservingFirstSeenOrder) {
+  OfflineLog log;
+  log.add("/lib/b.so", 2);
+  log.add("/lib/a.so", 1);
+  log.add("/lib/a.so", 3);
+  log.add("/lib/c.so", 9);
+  log.add("/lib/b.so", 4);
+  const auto regions = log.regions();
+  // Entries iterate sorted (a, b, c); each region exactly once.
+  ASSERT_EQ(regions.size(), 3u);
+  EXPECT_EQ(regions[0], "/lib/a.so");
+  EXPECT_EQ(regions[1], "/lib/b.so");
+  EXPECT_EQ(regions[2], "/lib/c.so");
+}
+
+TEST_F(OfflineLogV2, RoundTripSurvivesCommasInPaths) {
+  OfflineLog log;
+  log.add("/tmp/weird,lib.so", 42);
+  LogLoadReport report;
+  auto parsed = OfflineLog::deserialize(log.serialize(), &report);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(report.corrupt_records, 0u);
+  EXPECT_EQ(parsed.value().entries(), log.entries());
+}
+
+}  // namespace
+}  // namespace k23

@@ -187,14 +187,30 @@ TEST(ElfReader, RejectsNonElf) {
 
 // --- offline log ---------------------------------------------------------------
 
-TEST(OfflineLog, SerializeMatchesFigure3Format) {
+TEST(OfflineLog, SerializeV1MatchesFigure3Format) {
+  OfflineLog log;
+  log.add("/usr/lib/x86_64-linux-gnu/libc.so.6", 1153562);
+  log.add("/usr/lib/x86_64-linux-gnu/libc.so.6", 943685);
+  const std::string text = log.serialize_v1();
+  EXPECT_EQ(text,
+            "/usr/lib/x86_64-linux-gnu/libc.so.6,943685\n"
+            "/usr/lib/x86_64-linux-gnu/libc.so.6,1153562\n");
+}
+
+TEST(OfflineLog, SerializeV2CarriesHeaderAndCrcs) {
   OfflineLog log;
   log.add("/usr/lib/x86_64-linux-gnu/libc.so.6", 1153562);
   log.add("/usr/lib/x86_64-linux-gnu/libc.so.6", 943685);
   const std::string text = log.serialize();
-  EXPECT_EQ(text,
-            "/usr/lib/x86_64-linux-gnu/libc.so.6,943685\n"
-            "/usr/lib/x86_64-linux-gnu/libc.so.6,1153562\n");
+  EXPECT_EQ(text.substr(0, text.find('\n')), "# k23-offline-log v2 n=2");
+  LogLoadReport report;
+  auto parsed = OfflineLog::deserialize(text, &report);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(report.version, 2);
+  EXPECT_EQ(report.recovered, 2u);
+  EXPECT_EQ(report.corrupt_records, 0u);
+  EXPECT_FALSE(report.torn_tail);
+  EXPECT_EQ(parsed.value().entries(), log.entries());
 }
 
 TEST(OfflineLog, DeduplicatesEntries) {

@@ -8,11 +8,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdlib>
 
 #include "arch/raw_syscall.h"
 #include "common/caps.h"
 #include "common/files.h"
+#include "faultinject/faultinject.h"
 #include "k23/offline_log.h"
 
 #ifndef K23_BUILD_DIR
@@ -178,6 +180,48 @@ TEST(Ptracer, OriginVerificationRejectsSpoofedHandoff) {
   ASSERT_TRUE(report.is_ok()) << report.message();
   EXPECT_FALSE(report.value().detached);
   EXPECT_EQ(report.value().exit_code, 3);  // helper saw "no tracer"
+}
+
+TEST(Ptracer, SurvivesInjectedEintrDuringWaits) {
+  SKIP_WITHOUT_PTRACE();
+  // A signal-heavy tracer environment delivers EINTR from waitpid at
+  // arbitrary points of the trace loop. Injected every third wait, the
+  // trace must still complete; a non-retrying loop would lose the tracee
+  // at the first interruption.
+  ASSERT_TRUE(FaultInjector::configure("waitpid:eintr:every=3").is_ok());
+  Ptracer::Options options;
+  options.allow_handoff = false;
+  Ptracer tracer(options);
+  auto report = tracer.run({"/bin/true"});
+  const uint64_t injected = FaultInjector::fired("waitpid");
+  FaultInjector::reset();
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().exit_code, 0);
+  EXPECT_FALSE(report.value().tracee_died);
+  // The fault actually exercised the retry path (a /bin/true trace stops
+  // hundreds of times, so every=3 fires plenty).
+  EXPECT_GT(injected, 0u);
+}
+
+TEST(Ptracer, DeadlineDetachesFromWedgedTracee) {
+  SKIP_WITHOUT_PTRACE();
+  // A tracee that blocks forever (P2 hazard: the tracer wedges with it)
+  // must be released once the deadline passes: detached, not killed.
+  Ptracer::Options options;
+  options.allow_handoff = false;
+  options.deadline_ms = 300;
+  Ptracer tracer(options);
+  auto report = tracer.run({"/bin/sh", "-c", "exec sleep 30"});
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_TRUE(report.value().deadline_expired);
+  EXPECT_TRUE(report.value().detached);
+  EXPECT_FALSE(report.value().tracee_died);
+  // The detached sleeper runs on unattended; it is our child — reap it.
+  const pid_t pid = report.value().pid;
+  ASSERT_GT(pid, 0);
+  EXPECT_EQ(::kill(pid, SIGKILL), 0);  // alive until now = truly detached
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
 }
 
 // --- k23_run end to end -------------------------------------------------------

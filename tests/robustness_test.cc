@@ -1,0 +1,257 @@
+// Fault-matrix tests: drive the K23 degradation ladder with K23_FAULTS
+// alone (ISSUE acceptance scenarios). Every scenario forks — armed SUD,
+// seccomp filters and patched text must never leak into the test runner.
+#include "k23/k23.h"
+
+#include <gtest/gtest.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/caps.h"
+#include "faultinject/faultinject.h"
+#include "interpose/dispatch.h"
+#include "k23/liblogger.h"
+#include "seccomp/seccomp_interposer.h"
+#include "support/subprocess.h"
+#include "support/syscall_sites.h"
+
+namespace k23 {
+namespace {
+
+#define SKIP_WITHOUT_K23_CAPS()                                        \
+  if (!capabilities().mmap_va0 || !capabilities().sud) {               \
+    GTEST_SKIP() << "needs VA-0 mapping and Syscall User Dispatch";    \
+  }
+
+// Parent-side hygiene: a child misbehaving must not leave K23_FAULTS or
+// live rules behind for later suites in this binary.
+class FaultMatrix : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::reset();
+    ::unsetenv("K23_FAULTS");
+  }
+  void TearDown() override {
+    FaultInjector::reset();
+    ::unsetenv("K23_FAULTS");
+  }
+};
+
+// Configure injection the way production would see it: through the
+// environment variable, not the C++ API.
+int arm_faults(const char* spec) {
+  ::setenv("K23_FAULTS", spec, 1);
+  return FaultInjector::configure_from_env().is_ok() ? 0 : -1;
+}
+
+// Offline phase against our labelled sites (plus whatever libc touches).
+OfflineLog record_test_sites() {
+  auto log = LibLogger::record([] {
+    for (int i = 0; i < 3; ++i) {
+      (void)k23_test_getpid();
+      (void)k23_test_getuid();
+    }
+  });
+  return log.is_ok() ? std::move(log).value() : OfflineLog{};
+}
+
+// Offline phase spanning at least two text mappings (this binary AND
+// libc), so the patcher is guaranteed more than one page run.
+OfflineLog record_multi_region_sites() {
+  auto log = LibLogger::record([] {
+    for (int i = 0; i < 3; ++i) {
+      (void)k23_test_getpid();
+      FILE* f = ::fopen("/proc/self/stat", "r");
+      if (f != nullptr) {
+        char buf[64];
+        (void)::fgets(buf, sizeof(buf), f);
+        ::fclose(f);
+      }
+    }
+  });
+  return log.is_ok() ? std::move(log).value() : OfflineLog{};
+}
+
+bool site_is_pristine(uint64_t address) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(address);
+  return bytes[0] == 0x0f && bytes[1] == 0x05;  // still `syscall`
+}
+
+// Acceptance scenario 1: a refused mprotect must leave ZERO rewritten
+// bytes in the text and drop the interposer to SUD-only — the syscalls
+// still get intercepted, just on the slow rung.
+TEST_F(FaultMatrix, MprotectFaultDropsToSudOnlyWithPristineText) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_test_sites();
+    if (log.empty()) return 1;
+    if (arm_faults("mprotect:enomem:every=1") != 0) return 2;
+
+    auto report = K23Interposer::init(log, K23Interposer::Options{});
+    FaultInjector::reset();
+    if (!report.is_ok()) return 3;  // ladder, not failure
+    if (report.value().rewritten_sites != 0) return 4;
+    if (report.value().degradation.tier != CoverageTier::kSudOnly) return 5;
+    if (!report.value().degradation.degraded()) return 6;
+
+    // Not a single byte of text was altered.
+    if (!site_is_pristine(testing::getpid_site())) return 7;
+    if (!site_is_pristine(testing::getuid_site())) return 8;
+
+    // Interception still works, and via SUD, not the (absent) rewrite.
+    auto& stats = Dispatcher::instance().stats();
+    uint64_t slow0 = stats.by_path(EntryPath::kSudFallback);
+    uint64_t fast0 = stats.by_path(EntryPath::kRewritten);
+    if (k23_test_getpid() != ::getpid()) return 9;
+    if (stats.by_path(EntryPath::kSudFallback) < slow0 + 1) return 10;
+    if (stats.by_path(EntryPath::kRewritten) != fast0) return 11;
+    return 0;
+  });
+}
+
+// Mid-batch failure: the SECOND page run's permission flip fails, so the
+// first run's already-applied patches must be rolled back. After the
+// clean rollback the ladder drops to SUD-only with pristine text.
+TEST_F(FaultMatrix, MidBatchPatchFailureRollsBackAppliedRuns) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_multi_region_sites();
+    if (log.regions().size() < 2) return 1;  // need >= 2 page runs
+    if (arm_faults("mprotect:enomem:nth=2") != 0) return 2;
+
+    auto report = K23Interposer::init(log, K23Interposer::Options{});
+    FaultInjector::reset();
+    if (!report.is_ok()) return 3;
+    if (report.value().rewritten_sites != 0) return 4;
+    if (report.value().degradation.tier != CoverageTier::kSudOnly) return 5;
+
+    // The patcher reported the partial failure on its way down.
+    bool patcher_event = false;
+    for (const auto& event : report.value().degradation.events) {
+      if (std::string(event.component) == "patcher") patcher_event = true;
+    }
+    if (!patcher_event) return 6;
+
+    if (!site_is_pristine(testing::getpid_site())) return 7;
+    return k23_test_getpid() == ::getpid() ? 0 : 8;
+  });
+}
+
+// Acceptance scenario 2: a torn offline log (crash mid-write) loads with
+// the valid prefix recovered; init succeeds, rewrites the recovered
+// sites, and surfaces the corruption in the DegradationReport.
+TEST_F(FaultMatrix, TornLogRecoversPrefixAndReportsCorruption) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_test_sites();
+    if (log.size() < 2) return 1;
+    std::string text = log.serialize();
+    std::string torn = text.substr(0, text.size() - 5);  // mid-record cut
+
+    std::string path = "/tmp/k23_torn_log_" + std::to_string(::getpid());
+    FILE* f = ::fopen(path.c_str(), "w");
+    if (f == nullptr) return 2;
+    ::fwrite(torn.data(), 1, torn.size(), f);
+    ::fclose(f);
+
+    auto report =
+        K23Interposer::init_from_file(path, K23Interposer::Options{});
+    ::unlink(path.c_str());
+    if (!report.is_ok()) return 3;
+    // The recovered prefix still drove real rewrites.
+    if (report.value().rewritten_sites < 1) return 4;
+    bool log_event = false;
+    for (const auto& event : report.value().degradation.events) {
+      if (std::string(event.component) == "offline-log") log_event = true;
+    }
+    if (!log_event) return 5;
+    return k23_test_getpid() == ::getpid() ? 0 : 6;
+  });
+}
+
+// Two rungs down: rewrite refused AND SUD refused (pre-5.11 kernel
+// model) leaves seccomp carrying everything — irrevocable, hence forked.
+TEST_F(FaultMatrix, SudArmFaultDropsToSeccompOnly) {
+  if (!capabilities().seccomp) GTEST_SKIP() << "needs seccomp filters";
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log = record_test_sites();
+    if (arm_faults("sud_arm:enosys;mprotect:enomem:every=1") != 0) return 1;
+
+    auto report = K23Interposer::init(log, K23Interposer::Options{});
+    FaultInjector::reset();
+    if (!report.is_ok()) return 2;
+    if (report.value().degradation.tier != CoverageTier::kSeccompOnly) {
+      return 3;
+    }
+    if (report.value().rewritten_sites != 0) return 4;
+
+    uint64_t traps0 = SeccompInterposer::trap_count();
+    if (k23_test_getpid() != ::getpid()) return 5;
+    return SeccompInterposer::trap_count() > traps0 ? 0 : 6;
+  });
+}
+
+// The bottom of the ladder: when no mechanism can be armed at all, init
+// must fail closed rather than claim coverage it does not have.
+TEST_F(FaultMatrix, AllMechanismsRefusedFailsClosed) {
+  EXPECT_CHILD_EXITS(0, [] {
+    OfflineLog log;
+    log.add("/nonexistent/lib.so", 1);
+    if (arm_faults(
+            "sud_arm:enosys;seccomp_arm:enosys;mprotect:enomem:every=1") !=
+        0) {
+      return 1;
+    }
+    auto report = K23Interposer::init(log, K23Interposer::Options{});
+    FaultInjector::reset();
+    if (report.is_ok()) return 2;
+    if (K23Interposer::initialized()) return 3;
+    // Nothing armed: native syscalls still behave.
+    return k23_test_getpid() == ::getpid() ? 0 : 4;
+  });
+}
+
+// The capability probe itself honours injection, and the operator-facing
+// ladder summary reflects the missing rungs.
+TEST_F(FaultMatrix, SudProbeFaultShowsUnavailableRungs) {
+  EXPECT_CHILD_EXITS(0, [] {
+    if (arm_faults("sud_probe:fail") != 0) return 1;
+    Capabilities caps = probe_capabilities_uncached();
+    FaultInjector::reset();
+    if (caps.sud) return 2;
+    std::string ladder = degradation_ladder_summary(caps);
+    // Both SUD-dependent rungs (rewrite+SUD and SUD-only) are reported
+    // down; the text carries at least those two "unavailable" marks.
+    size_t first = ladder.find("unavailable");
+    if (first == std::string::npos) return 3;
+    return ladder.find("unavailable", first + 1) != std::string::npos ? 0
+                                                                      : 4;
+  });
+}
+
+// SUD-only still enforces the P1b prctl guard: degradation must not
+// silently shed the security posture of the tier above.
+TEST_F(FaultMatrix, SudOnlyTierKeepsPrctlGuard) {
+  SKIP_WITHOUT_K23_CAPS();
+  testing::ChildResult r = testing::run_in_child([] {
+    OfflineLog log = record_test_sites();
+    if (arm_faults("mprotect:enomem:every=1") != 0) return 1;
+    K23Interposer::Options options;
+    options.prctl_guard = true;
+    auto report = K23Interposer::init(log, options);
+    FaultInjector::reset();
+    if (!report.is_ok()) return 2;
+    if (report.value().degradation.tier != CoverageTier::kSudOnly) return 3;
+    ::syscall(SYS_prctl, 59, 0 /*PR_SYS_DISPATCH_OFF*/, 0, 0, 0);
+    return 0;  // unreachable: guard must abort
+  });
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 134);
+}
+
+}  // namespace
+}  // namespace k23
