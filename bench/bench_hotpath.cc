@@ -1,0 +1,379 @@
+// Hot-path price list for the interposition funnel, and the payoff of
+// online promotion (see k23/promotion.h).
+//
+// Part 1 — per-entry-path syscall latency, one forked child, K23 armed
+// with an offline log that covers exactly one of three labelled sites:
+//
+//   site A  logged      -> startup-rewritten `call *%rax` (the fast path)
+//   site B  cache-line-straddling syscall insn -> promotion *refuses* it
+//           (no atomic 2-byte store exists), so it pays the SUD SIGSYS
+//           round-trip forever — the paper's price for an unlogged site
+//   site C  unlogged but well-formed -> starts on SUD, crosses the
+//           promotion threshold, finishes as a rewritten site
+//
+// The interesting ratios: promoted-C vs rewritten-A (how close online
+// promotion gets to the startup rewrite; target: within 10%), and SUD-B
+// vs promoted-C (what promotion saves; target: >= 10x).
+//
+// Part 2 — statistics sharding: the funnel records every syscall. The
+// legacy SyscallStats bumped process-shared atomics (three `lock xadd`s
+// per syscall); the sharded version (interpose/stats.h) does three
+// relaxed load+stores on thread-private cache lines. Both are measured
+// at 1/4/16 threads. (On a single-core builder the lock prefix still
+// costs, but the cache-line ping-pong that motivates sharding only shows
+// with real parallelism — the JSON records nproc for that reason.)
+//
+//   bench_hotpath [--json=PATH] [--scale=N]
+//
+// Writes machine-readable results to PATH (default BENCH_hotpath.json).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/raw_syscall.h"
+#include "common/caps.h"
+#include "interpose/stats.h"
+#include "k23/k23.h"
+#include "procmaps/procmaps.h"
+
+// Three labelled syscall loops (non-existent syscall 500, paper §6.2.1:
+// minimal kernel time, interposition cost dominates). Site B's syscall
+// instruction is placed at offset 63 of a 64-byte-aligned block so its
+// two bytes straddle a cache line: the promotion validator must refuse
+// it (and the startup rewriter would too), pinning it to the SUD path.
+asm(R"(
+    .text
+    .globl  k23_hotpath_loop_a
+    .globl  k23_hotpath_site_a
+    .type   k23_hotpath_loop_a, @function
+k23_hotpath_loop_a:
+1:  mov     $500, %eax
+k23_hotpath_site_a:
+    syscall
+    dec     %rdi
+    jnz     1b
+    ret
+    .size   k23_hotpath_loop_a, . - k23_hotpath_loop_a
+
+    .p2align 6
+    .globl  k23_hotpath_loop_b
+    .globl  k23_hotpath_site_b
+    .type   k23_hotpath_loop_b, @function
+k23_hotpath_loop_b:
+    mov     $500, %eax
+    .fill   58, 1, 0x90
+k23_hotpath_site_b:
+    syscall
+    dec     %rdi
+    jnz     k23_hotpath_loop_b
+    ret
+    .size   k23_hotpath_loop_b, . - k23_hotpath_loop_b
+
+    .globl  k23_hotpath_loop_c
+    .globl  k23_hotpath_site_c
+    .type   k23_hotpath_loop_c, @function
+k23_hotpath_loop_c:
+1:  mov     $500, %eax
+k23_hotpath_site_c:
+    syscall
+    dec     %rdi
+    jnz     1b
+    ret
+    .size   k23_hotpath_loop_c, . - k23_hotpath_loop_c
+)");
+
+extern "C" {
+long k23_hotpath_loop_a(long iters);
+long k23_hotpath_loop_b(long iters);
+long k23_hotpath_loop_c(long iters);
+extern char k23_hotpath_site_a[];
+extern char k23_hotpath_site_b[];
+extern char k23_hotpath_site_c[];
+}
+
+namespace k23::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_per_op(long (*loop)(long), long iters) {
+  const auto start = Clock::now();
+  (void)loop(iters);
+  const auto stop = Clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                  start)
+                 .count()) /
+         static_cast<double>(iters);
+}
+
+// ---- Part 1: per-path latency, measured inside a forked child ----------
+
+// Child writes "key value" lines into the pipe; parent collects them.
+void part1_child(int fd, long scale) {
+  auto emit = [fd](const char* key, double value) {
+    char line[96];
+    int n = std::snprintf(line, sizeof(line), "%s %.3f\n", key, value);
+    (void)!::write(fd, line, static_cast<size_t>(n));
+  };
+
+  const long raw_iters = 100000 * scale;
+  const long fast_iters = 100000 * scale;
+  const long sud_iters = 10000 * scale;
+
+  emit("raw_ns", ns_per_op(&k23_hotpath_loop_a, raw_iters));
+
+  OfflineLog log;
+  auto maps = ProcessMaps::snapshot();
+  if (!maps.is_ok()) ::_exit(2);
+  if (!log.add_address(maps.value(),
+                       reinterpret_cast<uint64_t>(&k23_hotpath_site_a))) {
+    ::_exit(3);
+  }
+  K23Interposer::Options options;
+  options.promotion.threshold = 64;
+  auto report = K23Interposer::init(log, options);
+  if (!report.is_ok() || report.value().rewritten_sites != 1 ||
+      !report.value().promotion_active) {
+    ::_exit(4);
+  }
+
+  (void)k23_hotpath_loop_a(1000);  // warmup: caches, branch predictors
+  emit("rewritten_ns", ns_per_op(&k23_hotpath_loop_a, fast_iters));
+
+  // Site C: drive it across the promotion threshold, then measure the
+  // promoted path.
+  (void)k23_hotpath_loop_c(200);
+  const bool promoted = Promotion::is_promoted(
+      reinterpret_cast<uint64_t>(&k23_hotpath_site_c));
+  emit("c_promoted", promoted ? 1 : 0);
+  if (!promoted) ::_exit(5);
+  emit("promoted_ns", ns_per_op(&k23_hotpath_loop_c, fast_iters));
+
+  // Site B: same traffic, but the straddling instruction must have been
+  // refused — it stays on the SUD path, which is what we measure.
+  (void)k23_hotpath_loop_b(200);
+  const bool b_refused =
+      !Promotion::is_promoted(
+          reinterpret_cast<uint64_t>(&k23_hotpath_site_b)) &&
+      Promotion::stats().refused >= 1;
+  emit("b_refused", b_refused ? 1 : 0);
+  if (!b_refused) ::_exit(6);
+  emit("sud_ns", ns_per_op(&k23_hotpath_loop_b, sud_iters));
+
+  ::_exit(0);
+}
+
+bool run_part1(long scale, std::map<std::string, double>* out) {
+  int fds[2];
+  if (::pipe(fds) != 0) return false;
+  ::fflush(nullptr);
+  pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::close(fds[0]);
+    part1_child(fds[1], scale);
+  }
+  ::close(fds[1]);
+  std::string text;
+  char buf[256];
+  ssize_t n;
+  while ((n = ::read(fds[0], buf, sizeof(buf))) > 0) {
+    text.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "bench_hotpath: part-1 child failed (%s %d)\n",
+                 WIFEXITED(status) ? "exit" : "signal",
+                 WIFEXITED(status) ? WEXITSTATUS(status) : WTERMSIG(status));
+    return false;
+  }
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    (*out)[line.substr(0, space)] = std::atof(line.c_str() + space + 1);
+  }
+  return true;
+}
+
+// ---- Part 2: legacy shared-atomic stats vs the sharded implementation --
+
+// Faithful replica of the pre-sharding SyscallStats record(): three
+// relaxed fetch_adds on process-shared counters.
+struct LegacyStats {
+  static constexpr long kMaxTracked = 512;
+  static constexpr size_t kPaths =
+      static_cast<size_t>(EntryPath::kPathCount);
+  std::atomic<uint64_t> total{0};
+  std::atomic<uint64_t> by_path[kPaths]{};
+  std::atomic<uint64_t> by_nr_path[kPaths][kMaxTracked]{};
+
+  void record(long nr, EntryPath path) {
+    total.fetch_add(1, std::memory_order_relaxed);
+    const auto p = static_cast<size_t>(path);
+    if (p < kPaths) {
+      by_path[p].fetch_add(1, std::memory_order_relaxed);
+      if (nr >= 0 && nr < kMaxTracked) {
+        by_nr_path[p][nr].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+template <typename RecordFn>
+double record_mops(int threads, uint64_t per_thread, RecordFn record) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        record(static_cast<long>(39 + (t & 3)));
+      }
+    });
+  }
+  while (ready.load() != threads) {
+  }
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const auto stop = Clock::now();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+  return static_cast<double>(threads) * static_cast<double>(per_thread) /
+         seconds / 1e6;
+}
+
+}  // namespace
+}  // namespace k23::bench
+
+int main(int argc, char** argv) {
+  using namespace k23;
+  using namespace k23::bench;
+
+  std::string json_path = "BENCH_hotpath.json";
+  long scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::atol(argv[i] + 8);
+      if (scale < 1) scale = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=PATH] [--scale=N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const long nproc = ::sysconf(_SC_NPROCESSORS_ONLN);
+
+  std::map<std::string, double> r;
+  bool part1_ok = false;
+  if (capabilities().mmap_va0 && capabilities().sud) {
+    part1_ok = run_part1(scale, &r);
+  } else {
+    std::fprintf(stderr,
+                 "bench_hotpath: skipping part 1 (needs VA-0 + SUD)\n");
+  }
+
+  // Part 2 needs no kernel features.
+  const uint64_t base_records = 2000000ull * static_cast<uint64_t>(scale);
+  const int thread_counts[] = {1, 4, 16};
+  std::map<int, double> legacy_mops;
+  std::map<int, double> sharded_mops;
+  for (int threads : thread_counts) {
+    const uint64_t per_thread = base_records / static_cast<uint64_t>(threads);
+    {
+      auto legacy = std::make_unique<LegacyStats>();
+      legacy_mops[threads] = record_mops(
+          threads, per_thread,
+          [&](long nr) { legacy->record(nr, EntryPath::kRewritten); });
+    }
+    {
+      SyscallStats sharded;
+      sharded_mops[threads] = record_mops(
+          threads, per_thread,
+          [&](long nr) { sharded.record(nr, EntryPath::kRewritten); });
+    }
+  }
+
+  // ---- report ------------------------------------------------------------
+  if (part1_ok) {
+    std::printf("per-path latency (ns/op, syscall 500):\n");
+    std::printf("  raw            %10.1f\n", r["raw_ns"]);
+    std::printf("  rewritten (A)  %10.1f\n", r["rewritten_ns"]);
+    std::printf("  promoted  (C)  %10.1f\n", r["promoted_ns"]);
+    std::printf("  sud       (B)  %10.1f\n", r["sud_ns"]);
+    std::printf("  promoted/rewritten = %.3f, sud/promoted = %.1fx\n",
+                r["promoted_ns"] / r["rewritten_ns"],
+                r["sud_ns"] / r["promoted_ns"]);
+  }
+  std::printf("stats record() throughput (Mops/s, %ld cpus):\n", nproc);
+  for (int threads : thread_counts) {
+    std::printf("  %2d threads: legacy %8.1f   sharded %8.1f   (%.2fx)\n",
+                threads, legacy_mops[threads], sharded_mops[threads],
+                sharded_mops[threads] / legacy_mops[threads]);
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_hotpath: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"hotpath\",\n  \"nproc\": %ld,\n",
+               nproc);
+  std::fprintf(f, "  \"part1_ran\": %s,\n", part1_ok ? "true" : "false");
+  if (part1_ok) {
+    std::fprintf(f,
+                 "  \"single_thread_ns_per_op\": {\n"
+                 "    \"raw\": %.1f,\n    \"rewritten\": %.1f,\n"
+                 "    \"promoted\": %.1f,\n    \"sud\": %.1f\n  },\n",
+                 r["raw_ns"], r["rewritten_ns"], r["promoted_ns"],
+                 r["sud_ns"]);
+    std::fprintf(f,
+                 "  \"ratios\": {\n"
+                 "    \"promoted_vs_rewritten\": %.3f,\n"
+                 "    \"sud_vs_promoted\": %.1f\n  },\n",
+                 r["promoted_ns"] / r["rewritten_ns"],
+                 r["sud_ns"] / r["promoted_ns"]);
+  }
+  std::fprintf(f, "  \"stats_record_mops\": {\n");
+  const char* sep = "";
+  std::fprintf(f, "    \"legacy\": {");
+  for (int threads : thread_counts) {
+    std::fprintf(f, "%s\"%d\": %.1f", sep, threads, legacy_mops[threads]);
+    sep = ", ";
+  }
+  std::fprintf(f, "},\n    \"sharded\": {");
+  sep = "";
+  for (int threads : thread_counts) {
+    std::fprintf(f, "%s\"%d\": %.1f", sep, threads, sharded_mops[threads]);
+    sep = ", ";
+  }
+  std::fprintf(f, "}\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return part1_ok || !(capabilities().mmap_va0 && capabilities().sud) ? 0
+                                                                      : 1;
+}

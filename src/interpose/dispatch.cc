@@ -95,9 +95,46 @@ Dispatcher& Dispatcher::instance() {
   return dispatcher;
 }
 
+namespace {
+// The pristine snapshot the dispatcher starts from (no hook, no guard).
+// Static so config_ is never null and needs no heap before first use.
+Dispatcher::Config g_default_config;
+}  // namespace
+
+Dispatcher::Dispatcher() : config_(&g_default_config) {}
+
+template <typename Mutate>
+void Dispatcher::update_config(Mutate&& mutate) {
+  // Spinlock, not std::mutex: configuration changes may run before libc
+  // is fully up (preload constructor) and must never be able to block on
+  // a lock a signal handler could also take.
+  while (config_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  auto* next = new Config(*config_.load(std::memory_order_relaxed));
+  next->retired_next = nullptr;
+  mutate(*next);
+  const Config* old = config_.exchange(next, std::memory_order_acq_rel);
+  // Retire rather than delete: a dispatch path that loaded `old` just
+  // before the swap may still be reading it. Snapshots are tiny and
+  // configuration changes are rare, so the chain stays reachable (and
+  // leak-checker clean) for the life of the process.
+  if (old != &g_default_config) {
+    auto* retired = const_cast<Config*>(old);
+    retired->retired_next = retired_head_;
+    retired_head_ = retired;
+  }
+  config_lock_.clear(std::memory_order_release);
+}
+
 void Dispatcher::set_hook(SyscallHookFn fn, void* user) {
-  hook_user_.store(user, std::memory_order_release);
-  hook_.store(fn, std::memory_order_release);
+  update_config([&](Config& c) {
+    c.hook = fn;
+    c.hook_user = user;
+  });
+}
+
+void Dispatcher::set_prctl_guard(bool enabled) {
+  update_config([&](Config& c) { c.prctl_guard = enabled; });
 }
 
 long Dispatcher::execute(const SyscallArgs& args, uint64_t return_address) {
@@ -131,18 +168,19 @@ long Dispatcher::execute(const SyscallArgs& args, uint64_t return_address) {
 }
 
 long Dispatcher::on_syscall(SyscallArgs& args, const HookContext& ctx) {
+  // One acquire load covers hook, hook context, and the prctl guard; the
+  // snapshot is immutable, so hook and hook_user are always consistent.
+  const Config* cfg = config_.load(std::memory_order_acquire);
   stats_.record(args.nr, ctx.path);
 
-  if (prctl_guard_.load(std::memory_order_acquire) &&
-      args.nr == SYS_prctl && args.rdi == PR_SET_SYSCALL_USER_DISPATCH &&
+  if (cfg->prctl_guard && args.nr == SYS_prctl &&
+      args.rdi == PR_SET_SYSCALL_USER_DISPATCH &&
       args.rsi == PR_SYS_DISPATCH_OFF) {
     security_abort("application attempted to disable SUD (pitfall P1b)");
   }
 
-  SyscallHookFn hook = hook_.load(std::memory_order_acquire);
-  if (hook != nullptr) {
-    HookResult result = hook(hook_user_.load(std::memory_order_acquire),
-                             args, ctx);
+  if (cfg->hook != nullptr) {
+    HookResult result = cfg->hook(cfg->hook_user, args, ctx);
     if (result.decision == HookDecision::kReplace) return result.value;
   }
   return execute(args, ctx.return_address);

@@ -1,0 +1,301 @@
+#include "interpose/stats.h"
+
+#include <pthread.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "arch/raw_syscall.h"
+#include "interpose/internal.h"
+
+namespace k23 {
+namespace {
+
+constexpr size_t kPathCount = static_cast<size_t>(EntryPath::kPathCount);
+
+// Relaxed non-RMW increment: the slot is written by exactly one thread,
+// so load+store is race-free for writers and atomic loads keep readers
+// tear-free. This is the whole point of sharding — no lock prefix.
+inline void bump(std::atomic<uint64_t>& c) {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+std::atomic<uint64_t> g_next_stats_id{1};
+
+}  // namespace
+
+// One thread's counters for one SyscallStats instance. Cache-line
+// aligned and mmap'd one-per-thread, so the hot increments never share a
+// line with another thread's.
+struct alignas(64) SyscallStats::Shard {
+  std::atomic<uint64_t> total{0};
+  std::atomic<uint64_t> by_path[kPathCount]{};
+  std::atomic<uint64_t> by_nr_path[kPathCount][kMaxTracked]{};
+  // Owning instance id; 0 = free (in the reuse pool).
+  std::atomic<uint64_t> owner_id{0};
+  // True while a live thread holds this shard in its TLS table.
+  std::atomic<bool> attached{false};
+  // Global registry chain; shards are mmap'd once and never unmapped, so
+  // stale pointers (a dying thread's TLS, a racing aggregator) are always
+  // safe to dereference.
+  Shard* next = nullptr;
+
+  void zero() {
+    total.store(0, std::memory_order_relaxed);
+    for (size_t p = 0; p < kPathCount; ++p) {
+      by_path[p].store(0, std::memory_order_relaxed);
+      for (long nr = 0; nr < kMaxTracked; ++nr) {
+        by_nr_path[p][nr].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+namespace {
+
+constexpr size_t kShardBytes =
+    (sizeof(SyscallStats::Shard) + 0xfff) & ~size_t{0xfff};
+
+// All shards ever created, across all instances, never unmapped.
+std::atomic<SyscallStats::Shard*> g_shard_registry{nullptr};
+
+// Thread-local shard table: slot 0 is almost always the (single)
+// Dispatcher instance, so the common lookup is one compare.
+//
+// Everything thread-local here must be constinit with a trivial
+// destructor: the first record() on a thread can happen inside the
+// SIGSYS handler (SUD/seccomp paths) or in the middle of an interposed
+// libc call, where a lazy TLS guard or a __cxa_thread_atexit
+// registration — both of which allocate — would deadlock or recurse.
+constexpr size_t kTlsSlots = 4;
+struct TlsEntry {
+  uint64_t owner_id = 0;
+  const SyscallStats* owner = nullptr;
+  SyscallStats::Shard* shard = nullptr;
+};
+constinit thread_local TlsEntry t_shards[kTlsSlots]{};
+constinit thread_local size_t t_evict_next = 0;
+constinit thread_local bool t_reclaim_registered = false;
+
+// Thread-exit reclamation via a pthread key instead of a thread_local
+// destructor: key destructors run in normal context at pthread_exit, and
+// pthread_setspecific on an early-created key (first block, < 32) is a
+// plain TCB write — no allocation, safe from the handler-context slow
+// path of acquire_shard. Detaching returns only the *slot* to the pool,
+// never the samples: the shard stays owned by its instance.
+pthread_key_t g_reclaim_key;
+bool g_reclaim_key_ok = false;
+
+void reclaim_thread_shards(void* arg) {
+  auto* entries = static_cast<TlsEntry*>(arg);
+  for (size_t i = 0; i < kTlsSlots; ++i) {
+    if (entries[i].shard != nullptr) {
+      entries[i].shard->attached.store(false, std::memory_order_release);
+    }
+    entries[i] = TlsEntry{};
+  }
+}
+
+__attribute__((constructor)) void create_reclaim_key() {
+  g_reclaim_key_ok =
+      pthread_key_create(&g_reclaim_key, &reclaim_thread_shards) == 0;
+}
+
+// mmap for a new shard, issued through the dispatcher's passthrough
+// primitive: a libc ::mmap here would re-enter the interposer (its
+// syscall instruction may be rewritten — infinite recursion through
+// record() — and under seccomp it would trap with SIGSYS blocked, which
+// kills the process). The primitive is the nopatch thunk, repointed at
+// the allowlisted gadget while SUD/seccomp sessions are armed.
+void* shard_mmap(size_t bytes) {
+  long rc = internal::syscall_fn()(
+      SYS_mmap, 0, static_cast<long>(bytes), PROT_READ | PROT_WRITE,
+      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  return is_syscall_error(rc) ? nullptr : reinterpret_cast<void*>(rc);
+}
+
+}  // namespace
+
+SyscallStats::SyscallStats()
+    : id_(g_next_stats_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+SyscallStats::~SyscallStats() {
+  // Contract: no thread may be recording into this instance anymore.
+  // Return every owned shard to the global pool; the id tag keeps stale
+  // TLS entries from matching a future instance at the same address.
+  for (Shard* s = g_shard_registry.load(std::memory_order_acquire);
+       s != nullptr; s = s->next) {
+    if (s->owner_id.load(std::memory_order_relaxed) == id_) {
+      s->zero();
+      s->attached.store(false, std::memory_order_relaxed);
+      s->owner_id.store(0, std::memory_order_release);
+    }
+  }
+  for (auto& entry : t_shards) {
+    if (entry.owner == this) entry = TlsEntry{};
+  }
+}
+
+SyscallStats::Shard* SyscallStats::acquire_shard() {
+  if (!t_reclaim_registered && g_reclaim_key_ok) {
+    t_reclaim_registered = pthread_setspecific(g_reclaim_key, t_shards) == 0;
+  }
+
+  Shard* shard = nullptr;
+  // Reuse: a free-pool shard (owner_id 0) or a detached shard of this
+  // instance (its previous thread exited). Claiming is a CAS on owner_id
+  // or `attached`, so the walk is lock-free — no lock a SIGSYS handler
+  // could deadlock against.
+  for (Shard* s = g_shard_registry.load(std::memory_order_acquire);
+       s != nullptr && shard == nullptr; s = s->next) {
+    const uint64_t owner = s->owner_id.load(std::memory_order_acquire);
+    if (owner == 0) {
+      uint64_t expected = 0;
+      if (s->owner_id.compare_exchange_strong(expected, id_,
+                                              std::memory_order_acq_rel)) {
+        s->zero();  // a freed shard may carry a previous owner's counts
+        s->attached.store(true, std::memory_order_release);
+        shard = s;
+      }
+    } else if (owner == id_ &&
+               !s->attached.load(std::memory_order_acquire)) {
+      bool expected = false;
+      if (s->attached.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+        shard = s;  // inherited counts are still this instance's — keep
+      }
+    }
+  }
+
+  if (shard == nullptr) {
+    void* mem = shard_mmap(kShardBytes);
+    if (mem == nullptr) return nullptr;
+    shard = new (mem) Shard();
+    shard->owner_id.store(id_, std::memory_order_relaxed);
+    shard->attached.store(true, std::memory_order_relaxed);
+    Shard* head = g_shard_registry.load(std::memory_order_relaxed);
+    do {
+      shard->next = head;
+    } while (!g_shard_registry.compare_exchange_weak(
+        head, shard, std::memory_order_release, std::memory_order_relaxed));
+  }
+
+  // Install in the TLS table; evict round-robin if a thread records into
+  // more than kTlsSlots instances (the evicted shard detaches and can be
+  // re-acquired later with its counts intact).
+  size_t slot = kTlsSlots;
+  for (size_t i = 0; i < kTlsSlots; ++i) {
+    if (t_shards[i].shard == nullptr) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == kTlsSlots) {
+    slot = t_evict_next;
+    t_evict_next = (t_evict_next + 1) % kTlsSlots;
+    t_shards[slot].shard->attached.store(false, std::memory_order_release);
+  }
+  t_shards[slot] = TlsEntry{id_, this, shard};
+  return shard;
+}
+
+void SyscallStats::record(long nr, EntryPath path) {
+  Shard* shard = nullptr;
+  for (const auto& entry : t_shards) {
+    if (entry.owner == this && entry.owner_id == id_) {
+      shard = entry.shard;
+      break;
+    }
+  }
+  if (shard == nullptr) {
+    shard = acquire_shard();
+    if (shard == nullptr) return;  // mmap refused: drop the sample
+  }
+  const auto p = static_cast<size_t>(path);
+  bump(shard->total);
+  if (p < kPathCount) {
+    bump(shard->by_path[p]);
+    if (nr >= 0 && nr < kMaxTracked) bump(shard->by_nr_path[p][nr]);
+  }
+}
+
+uint64_t SyscallStats::total() const {
+  uint64_t sum = 0;
+  for (Shard* s = g_shard_registry.load(std::memory_order_acquire);
+       s != nullptr; s = s->next) {
+    if (s->owner_id.load(std::memory_order_acquire) == id_) {
+      sum += s->total.load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+uint64_t SyscallStats::by_path(EntryPath path) const {
+  const auto p = static_cast<size_t>(path);
+  if (p >= kPathCount) return 0;
+  uint64_t sum = 0;
+  for (Shard* s = g_shard_registry.load(std::memory_order_acquire);
+       s != nullptr; s = s->next) {
+    if (s->owner_id.load(std::memory_order_acquire) == id_) {
+      sum += s->by_path[p].load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+uint64_t SyscallStats::by_nr_path(long nr, EntryPath path) const {
+  const auto p = static_cast<size_t>(path);
+  if (p >= kPathCount || nr < 0 || nr >= kMaxTracked) return 0;
+  uint64_t sum = 0;
+  for (Shard* s = g_shard_registry.load(std::memory_order_acquire);
+       s != nullptr; s = s->next) {
+    if (s->owner_id.load(std::memory_order_acquire) == id_) {
+      sum += s->by_nr_path[p][nr].load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+uint64_t SyscallStats::by_nr(long nr) const {
+  if (nr < 0 || nr >= kMaxTracked) return 0;
+  uint64_t sum = 0;
+  for (size_t p = 0; p < kPathCount; ++p) {
+    sum += by_nr_path(nr, static_cast<EntryPath>(p));
+  }
+  return sum;
+}
+
+std::vector<std::pair<long, uint64_t>> SyscallStats::top_by_nr(
+    EntryPath path, size_t n) const {
+  std::vector<std::pair<long, uint64_t>> counts;
+  for (long nr = 0; nr < kMaxTracked; ++nr) {
+    const uint64_t c = by_nr_path(nr, path);
+    if (c > 0) counts.emplace_back(nr, c);
+  }
+  std::sort(counts.begin(), counts.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (counts.size() > n) counts.resize(n);
+  return counts;
+}
+
+void SyscallStats::reset() {
+  for (Shard* s = g_shard_registry.load(std::memory_order_acquire);
+       s != nullptr; s = s->next) {
+    if (s->owner_id.load(std::memory_order_acquire) == id_) s->zero();
+  }
+}
+
+size_t SyscallStats::shard_count() const {
+  size_t count = 0;
+  for (Shard* s = g_shard_registry.load(std::memory_order_acquire);
+       s != nullptr; s = s->next) {
+    if (s->owner_id.load(std::memory_order_acquire) == id_) ++count;
+  }
+  return count;
+}
+
+}  // namespace k23

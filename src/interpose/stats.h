@@ -1,0 +1,89 @@
+// Contention-free syscall statistics for the interposition funnel.
+//
+// Every syscall on every thread passes through Dispatcher::on_syscall and
+// records one sample here. The original implementation bumped shared
+// relaxed atomics, which is correct but makes the fast path a cache-line
+// ping-pong under multithreaded traffic: sixteen threads doing getpid in
+// a loop serialize on the `lock xadd` of a single counter word.
+//
+// This version shards the counters per thread:
+//
+//  * each (thread, SyscallStats instance) pair owns a cache-line-aligned
+//    Shard allocated directly with mmap (async-signal-safe: the first
+//    record() on a thread may happen inside the SIGSYS handler);
+//  * record() is three relaxed load+store increments on memory no other
+//    thread writes — no lock prefix, no sharing;
+//  * readers (total / by_path / by_nr / top_by_nr) aggregate across the
+//    global shard registry on demand; totals are approximate-by-design
+//    while writers are live, exact once they quiesce;
+//  * shards of exited threads stay in a global pool and are reused by new
+//    threads, so memory is bounded by peak thread count, and the counts
+//    a dead thread accumulated stay part of the aggregate.
+//
+// reset() zeroes every owned shard with relaxed stores (the old
+// implementation's seq_cst default was pure overhead); concurrent
+// record()/reset()/total() is benign — see tests/stats_test.cc, which is
+// also the K23_SANITIZE=thread regression for this file.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace k23 {
+
+// How a system call reached the dispatcher.
+enum class EntryPath : uint8_t {
+  kRewritten = 0,  // binary-rewritten call *%rax -> trampoline
+  kSudFallback,    // SIGSYS via Syscall User Dispatch
+  kPtrace,         // cross-process ptracer (startup window)
+  kOffline,        // libLogger during the offline phase
+  kPathCount,
+};
+
+class SyscallStats {
+ public:
+  static constexpr long kMaxTracked = 512;
+
+  SyscallStats();
+  ~SyscallStats();
+  SyscallStats(const SyscallStats&) = delete;
+  SyscallStats& operator=(const SyscallStats&) = delete;
+
+  // Hot path. Async-signal-safe; the slow branch (first call on a thread)
+  // acquires a shard via mmap or the reuse pool, never via malloc.
+  void record(long nr, EntryPath path);
+
+  // Aggregated readers. Approximate while threads are recording.
+  uint64_t total() const;
+  uint64_t by_path(EntryPath path) const;
+  uint64_t by_nr(long nr) const;
+  uint64_t by_nr_path(long nr, EntryPath path) const;
+
+  // Top `n` syscall numbers by count on `path`, descending — the
+  // `k23_run --stats` view of what the offline log missed (the
+  // kSudFallback column is exactly the promotion candidate set).
+  std::vector<std::pair<long, uint64_t>> top_by_nr(EntryPath path,
+                                                   size_t n) const;
+
+  // Zeroes every counter with relaxed stores. Racing record() calls may
+  // survive into the fresh epoch; that is fine for reporting counters.
+  void reset();
+
+  // Number of shards currently owned (== threads that have recorded into
+  // this instance and not yet had their shard reclaimed + reused).
+  size_t shard_count() const;
+
+  struct Shard;  // defined in stats.cc; opaque to users
+
+ private:
+  Shard* acquire_shard();
+
+  // Unique instance id: shards are tagged with it so thread-local caches
+  // and the global pool can tell a destroyed-and-reallocated instance
+  // from its predecessor at the same address.
+  uint64_t id_ = 0;
+};
+
+}  // namespace k23

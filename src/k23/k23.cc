@@ -1,5 +1,7 @@
 #include "k23/k23.h"
 
+#include <atomic>
+
 #include "arch/raw_syscall.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -37,10 +39,43 @@ K23State& state() {
   return s;
 }
 
-// Trampoline entry validator: lookups only, no allocation (the set is
-// frozen after init), safe from the dispatch path.
+// Generation counter for the per-thread validator cache below. Bumped
+// whenever registered sites can *shrink* (shutdown); growth (promotion)
+// needs no bump because a cached positive stays correct.
+std::atomic<uint64_t> g_site_epoch{1};
+
+// Per-thread cache in front of the entry check. A hot loop enters the
+// trampoline from the same handful of sites over and over; eight words of
+// TLS turn the common case into a linear scan of one cache line instead
+// of a RobinSet probe plus (with promotion armed) a promoted-set probe.
+struct ValidatorCache {
+  uint64_t epoch = 0;
+  uint64_t sites[8] = {};
+  uint32_t next = 0;
+};
+thread_local ValidatorCache t_validator_cache;
+
+// Trampoline entry validator: lookups only, no allocation (the RobinSet
+// is frozen after init; the promoted set is insert-only and lock-free),
+// safe from the dispatch path.
 bool robin_set_validator(uint64_t site) {
-  return state().valid_sites.contains(site);
+  ValidatorCache& cache = t_validator_cache;
+  const uint64_t epoch = g_site_epoch.load(std::memory_order_acquire);
+  if (cache.epoch == epoch) {
+    for (uint64_t cached : cache.sites) {
+      if (cached == site) return true;
+    }
+  } else {
+    cache.epoch = epoch;
+    for (auto& cached : cache.sites) cached = 0;
+    cache.next = 0;
+  }
+  if (!state().valid_sites.contains(site) && !Promotion::is_promoted(site)) {
+    return false;
+  }
+  cache.sites[cache.next] = site;
+  cache.next = (cache.next + 1) & 7;
+  return true;
 }
 
 }  // namespace
@@ -161,10 +196,23 @@ Result<K23Interposer::InitReport> K23Interposer::init(
   if (need_fallback) {
     SudSession::Options sud;
     sud.entry_path = EntryPath::kSudFallback;
+    // Hot-site promotion rides the SUD fallback: its hit counter is the
+    // pre-dispatch callback, armed *before* SUD so the first SIGSYS is
+    // already counted. Gated on the trampoline being up — promotion is a
+    // rewrite-tier feature; when the ladder dropped the rewrite
+    // mechanism, patching from the SIGSYS path would resurrect exactly
+    // what the ladder refused.
+    const bool want_promotion =
+        options.promotion.enabled && Trampoline::installed();
+    if (want_promotion && Promotion::init(options.promotion).is_ok()) {
+      sud.pre_dispatch = &Promotion::note_sud_hit;
+    }
     Status st = SudSession::arm(sud);
     if (st.is_ok()) {
       s.sud_armed = true;
+      report.promotion_active = Promotion::active();
     } else {
+      Promotion::shutdown();
       deg.add("sud", std::string("SUD arm failed: ") + st.message());
       SeccompInterposer::Options sec;
       sec.entry_path = EntryPath::kSudFallback;
@@ -246,6 +294,11 @@ void K23Interposer::shutdown() {
   if (!s.initialized) return;
   Dispatcher::instance().set_prctl_guard(false);
   if (s.sud_armed) SudSession::disarm();
+  // After SUD is down no new hits can arrive; restore promoted sites'
+  // original bytes while the trampoline is still installed, then drop
+  // the per-thread validator caches that may hold them.
+  Promotion::shutdown();
+  g_site_epoch.fetch_add(1, std::memory_order_acq_rel);
   if (s.seccomp_armed) {
     // Irrevocable by design — the filter outlives shutdown(). Tests that
     // arm seccomp must do so in a forked child.

@@ -24,6 +24,7 @@
 #include "common/result.h"
 #include "k23/degradation.h"
 #include "k23/offline_log.h"
+#include "k23/promotion.h"
 
 namespace k23 {
 
@@ -45,6 +46,11 @@ class K23Interposer {
     // Install the SUD fallback. Disabling leaves only rewritten sites
     // interposed — used by ablation benchmarks to price the fallback.
     bool sud_fallback = true;
+    // Online hot-site promotion (k23/promotion.h). Only armed when both
+    // the rewrite mechanism (trampoline) and the SUD fallback are up;
+    // promotion.enabled=false (K23_PROMOTE=off) restores the paper's
+    // exact never-rewrite-from-SIGSYS semantics.
+    PromotionConfig promotion;
   };
 
   struct InitReport {
@@ -53,6 +59,7 @@ class K23Interposer {
     size_t rewritten_sites = 0;  // successfully patched
     size_t stale_entries = 0;    // resolved but bytes were not syscall
     size_t unresolved_entries = 0;
+    bool promotion_active = false;  // hot-site promotion armed
     // Which rung of the ladder init actually landed on, and every step
     // down it took to get there (see k23/degradation.h). A clean init
     // reports the requested tier with no events.

@@ -103,6 +103,10 @@ int main(int argc, char** argv) {
   env.set("K23_MODE", mode);
   env.set("K23_LOG_FILE", log_path);
   env.set("K23_VARIANT", variant);
+  // The interesting counters (per-path dispatch totals, promotion
+  // activity) live in the tracee's libk23_preload, not here: ask it to
+  // dump them at exit.
+  if (stats) env.set("K23_STATS", "1");
   std::vector<std::string> env_strings;
   for (const auto& entry : env.entries()) env_strings.push_back(entry);
 

@@ -17,10 +17,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
+#include <vector>
 
 #include "arch/raw_syscall.h"
+#include "arch/syscall_table.h"
 #include "arch/thunks.h"
 #include "common/logging.h"
+#include "common/strings.h"
+#include "interpose/dispatch.h"
 #include "k23/k23.h"
 #include "k23/liblogger.h"
 #include "lazypoline/lazypoline.h"
@@ -71,6 +76,67 @@ void save_logger_output() {
   if (existing.is_ok()) log.value().merge(existing.value());
   if (!log.value().save(path).is_ok()) {
     K23_LOG(kError) << "libk23_preload: cannot write log to " << path;
+  }
+}
+
+// Exit-time duties of k23 mode, registered with atexit once init
+// succeeds: fold promoted sites back into the offline log (the next run
+// rewrites them at startup — the promotion round trip), and honor
+// K23_STATS (set by `k23_run --stats`) with the in-process view the
+// launcher cannot see: per-path totals, the hottest syscalls on each
+// path, and what promotion did.
+void k23_exit_report() {
+  const char* log_file = std::getenv("K23_LOG_FILE");
+  if (Promotion::active() && log_file != nullptr) {
+    OfflineLog log;
+    if (auto existing = OfflineLog::load(log_file); existing.is_ok()) {
+      log = std::move(existing).value();
+    }
+    if (Promotion::append_to_log(&log) > 0 &&
+        !log.save(log_file).is_ok()) {
+      K23_LOG(kWarn) << "libk23_preload: cannot append promoted sites to "
+                     << log_file;
+    }
+  }
+
+  if (std::getenv("K23_STATS") == nullptr) return;
+  // Snapshot every number before the first fprintf: the dump's own
+  // writes are interposed too, so interleaving reads with printing
+  // would make the per-nr lines disagree with their path header.
+  SyscallStats& stats = Dispatcher::instance().stats();
+  const uint64_t grand_total = stats.total();
+  static const char* kPathNames[] = {"rewritten", "sud-fallback", "ptrace",
+                                     "offline"};
+  constexpr size_t kPaths = static_cast<size_t>(EntryPath::kPathCount);
+  uint64_t path_totals[kPaths];
+  std::vector<std::pair<long, uint64_t>> path_tops[kPaths];
+  for (size_t p = 0; p < kPaths; ++p) {
+    const auto path = static_cast<EntryPath>(p);
+    path_totals[p] = stats.by_path(path);
+    if (path_totals[p] != 0) path_tops[p] = stats.top_by_nr(path, 10);
+  }
+  std::fprintf(stderr, "k23 stats: %llu syscalls interposed\n",
+               static_cast<unsigned long long>(grand_total));
+  for (size_t p = 0; p < kPaths; ++p) {
+    if (path_totals[p] == 0) continue;
+    std::fprintf(stderr, "  via %-12s %llu\n", kPathNames[p],
+                 static_cast<unsigned long long>(path_totals[p]));
+    for (const auto& [nr, nr_count] : path_tops[p]) {
+      const char* name = syscall_name(nr);
+      std::fprintf(stderr, "    %-24s %llu\n", name != nullptr ? name : "?",
+                   static_cast<unsigned long long>(nr_count));
+    }
+  }
+  const PromotionStats promo = Promotion::stats();
+  std::fprintf(stderr,
+               "  promotion: %llu sud hits, %llu promoted, %llu refused, "
+               "%llu dropped\n",
+               static_cast<unsigned long long>(promo.sud_hits),
+               static_cast<unsigned long long>(promo.promoted),
+               static_cast<unsigned long long>(promo.refused),
+               static_cast<unsigned long long>(promo.dropped));
+  for (uint64_t site : Promotion::promoted_sites()) {
+    std::fprintf(stderr, "    promoted site %s\n", to_hex(site).c_str());
   }
 }
 
@@ -125,11 +191,13 @@ __attribute__((constructor)) void k23_preload_init() {
   }
   K23Interposer::Options options;
   options.variant = parse_variant(env_or("K23_VARIANT", "default"));
+  options.promotion = PromotionConfig::from_env();
   auto report = K23Interposer::init(log, options);
   if (!report.is_ok()) {
     K23_LOG(kError) << "libk23_preload: K23 init failed: "
                     << report.message();
   } else {
+    std::atexit(&k23_exit_report);
     DegradationReport& deg = report.value().degradation;
     if (load_report.corrupt_records > 0 || load_report.torn_tail) {
       deg.add("offline-log",

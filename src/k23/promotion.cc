@@ -1,0 +1,408 @@
+#include "k23/promotion.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+
+#include "arch/raw_syscall.h"
+#include "common/strings.h"
+#include "disasm/decoder.h"
+#include "faultinject/faultinject.h"
+#include "procmaps/procmaps.h"
+#include "rewrite/nopatch.h"
+#include "rewrite/patcher.h"
+
+#ifndef MEMBARRIER_CMD_PRIVATE_EXPEDITED_SYNC_CORE
+#define MEMBARRIER_CMD_PRIVATE_EXPEDITED_SYNC_CORE (1 << 5)
+#endif
+#ifndef MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED_SYNC_CORE
+#define MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED_SYNC_CORE (1 << 6)
+#endif
+
+namespace k23 {
+namespace {
+
+// Why a site failed promotion. Stored per slot so append_events can
+// narrate each refusal without the handler having allocated anything.
+enum RefuseReason : uint8_t {
+  kReasonNone = 0,
+  kReasonNopatch,        // inside the k23_nopatch section
+  kReasonCacheLineSplit, // bytes straddle a cache line: no atomic store
+  kReasonRegion,         // unmapped / writable / anonymous / non-exec
+  kReasonDecode,         // bytes are not a syscall/sysenter instruction
+  kReasonCapacity,       // max_sites promoted already / set table full
+  kReasonMprotect,       // kernel (or fault injector) refused mprotect
+};
+
+const char* refuse_reason_name(uint8_t reason) {
+  switch (reason) {
+    case kReasonNopatch:        return "site in k23_nopatch section";
+    case kReasonCacheLineSplit: return "bytes straddle a cache line";
+    case kReasonRegion:         return "region not file-backed r-x";
+    case kReasonDecode:         return "bytes do not decode as syscall";
+    case kReasonCapacity:       return "promotion capacity exhausted";
+    case kReasonMprotect:       return "mprotect refused";
+    default:                    return "unknown";
+  }
+}
+
+// Per-site state machine. Exactly one thread wins the kCounting ->
+// kPromoting CAS, so validation+patching is single-threaded per site even
+// though hits arrive concurrently from every thread's SIGSYS handler.
+enum SlotState : uint32_t {
+  kCounting = 0,
+  kPromoting,
+  kPromoted,
+  kRefused,
+};
+
+struct alignas(64) HitSlot {
+  std::atomic<uint64_t> site{0};  // 0 = free
+  std::atomic<uint32_t> hits{0};
+  std::atomic<uint32_t> state{kCounting};
+  std::atomic<uint8_t> refuse_reason{kReasonNone};
+  std::atomic<int> refuse_errno{0};
+  bool was_sysenter = false;  // written only by the kPromoting owner
+};
+
+constexpr size_t kHitSlots = 1024;       // power of two (mask probing)
+constexpr size_t kMaxProbes = 32;        // bound handler latency when full
+constexpr size_t kPromotedSetSlots = 512;
+
+// Static tables: the SIGSYS handler must never allocate, and the
+// trampoline validator reads the promoted set on every rewritten-site
+// entry, so both live in the image for the life of the process.
+HitSlot g_hit_table[kHitSlots];
+std::atomic<uint64_t> g_promoted_set[kPromotedSetSlots];
+
+std::atomic<bool> g_active{false};
+PromotionConfig g_config;
+std::atomic<uint64_t> g_sud_hits{0};
+std::atomic<uint64_t> g_promoted{0};
+std::atomic<uint64_t> g_refused{0};
+std::atomic<uint64_t> g_dropped{0};
+std::atomic<bool> g_membarrier_sync_core{false};
+
+size_t slot_hash(uint64_t site) {
+  return static_cast<size_t>((site * 0x9E3779B97F4A7C15ull) >> 33);
+}
+
+// Registers the site with the trampoline-side membership test. Insert
+// happens BEFORE the bytes flip so a thread that executes the freshly
+// patched `call *%rax` always passes the entry check (P4a window).
+bool promoted_set_insert(uint64_t site) {
+  size_t idx = slot_hash(site) & (kPromotedSetSlots - 1);
+  for (size_t probe = 0; probe < kPromotedSetSlots; ++probe) {
+    uint64_t cur = g_promoted_set[idx].load(std::memory_order_acquire);
+    if (cur == site) return true;
+    if (cur == 0) {
+      uint64_t expected = 0;
+      if (g_promoted_set[idx].compare_exchange_strong(
+              expected, site, std::memory_order_acq_rel)) {
+        return true;
+      }
+      if (expected == site) return true;
+      // Lost the race to a different site; keep probing.
+    }
+    idx = (idx + 1) & (kPromotedSetSlots - 1);
+  }
+  return false;  // set full
+}
+
+bool promoted_set_contains(uint64_t site) {
+  size_t idx = slot_hash(site) & (kPromotedSetSlots - 1);
+  for (size_t probe = 0; probe < kPromotedSetSlots; ++probe) {
+    uint64_t cur = g_promoted_set[idx].load(std::memory_order_acquire);
+    if (cur == site) return true;
+    if (cur == 0) return false;  // insert-only table: empty ends the chain
+    idx = (idx + 1) & (kPromotedSetSlots - 1);
+  }
+  return false;
+}
+
+void refuse(HitSlot& slot, uint8_t reason, int err = 0) {
+  slot.refuse_reason.store(reason, std::memory_order_relaxed);
+  slot.refuse_errno.store(err, std::memory_order_relaxed);
+  slot.state.store(kRefused, std::memory_order_release);
+  g_refused.fetch_add(1, std::memory_order_relaxed);
+}
+
+// The transactional patch. Runs inside the SIGSYS handler of the thread
+// that crossed the threshold, so: raw syscalls only, no allocation, and
+// every failure path leaves the original bytes live (mprotect-restore is
+// attempted even on the failure paths — the region was validated r-x one
+// step earlier, so the restore target is known-correct, unlike
+// lazypoline's blind r-x assumption).
+bool patch_promoted_site(HitSlot& slot, uint64_t site, int orig_prot,
+                         int* out_errno) {
+  const uint64_t page = site & ~0xfffull;
+  // same_cache_line(site) already passed, so both bytes share the page.
+  if (fault_fires("mprotect")) {
+    *out_errno = errno;
+    return false;
+  }
+  long rc = raw_syscall(SYS_mprotect, static_cast<long>(page), 0x1000,
+                        PROT_READ | PROT_WRITE | PROT_EXEC);
+  if (rc != 0) {
+    *out_errno = syscall_errno(rc);
+    return false;
+  }
+
+  // Re-verify under write access: the validation read and this store are
+  // not atomic together, and a concurrent shutdown/unpatch must not be
+  // double-patched.
+  auto* p = reinterpret_cast<uint8_t*>(site);
+  const bool is_syscall = p[0] == kSyscallInsn[0] && p[1] == kSyscallInsn[1];
+  const bool is_sysenter = p[0] == kSysenterInsn[0] && p[1] == kSysenterInsn[1];
+  if (!is_syscall && !is_sysenter) {
+    raw_syscall(SYS_mprotect, static_cast<long>(page), 0x1000, orig_prot);
+    *out_errno = 0;
+    return false;
+  }
+  slot.was_sysenter = is_sysenter;
+
+  // P5 discipline: one atomic 16-bit store (both bytes in one cache
+  // line), then serialize this core...
+  const uint16_t packed = static_cast<uint16_t>(kCallRaxInsn[0]) |
+                          static_cast<uint16_t>(kCallRaxInsn[1]) << 8;
+  __atomic_store_n(reinterpret_cast<uint16_t*>(p), packed, __ATOMIC_SEQ_CST);
+  serialize_instruction_stream();
+  // ...and every other core: threads mid-fetch pipeline either encoding
+  // (both valid), and the expedited SYNC_CORE membarrier forces all cores
+  // to re-fetch before their next instruction so no stale decode of the
+  // 0f 05 bytes survives the transition.
+  if (g_membarrier_sync_core.load(std::memory_order_relaxed)) {
+    raw_syscall(SYS_membarrier, MEMBARRIER_CMD_PRIVATE_EXPEDITED_SYNC_CORE, 0);
+  }
+
+  raw_syscall(SYS_mprotect, static_cast<long>(page), 0x1000, orig_prot);
+  return true;
+}
+
+// Validation predicate + patch. Same checks as the startup rewrite path
+// (k23.cc byte validation + offline_log region rules), re-expressed with
+// async-signal-safe primitives.
+void attempt_promotion(HitSlot& slot, uint64_t site) {
+  if (g_promoted.load(std::memory_order_relaxed) >= g_config.max_sites) {
+    refuse(slot, kReasonCapacity);
+    return;
+  }
+  if (in_nopatch_section(site)) {
+    refuse(slot, kReasonNopatch);
+    return;
+  }
+  if (!same_cache_line(site)) {
+    refuse(slot, kReasonCacheLineSplit);
+    return;
+  }
+  RegionProbe probe;
+  if (!query_address_region_noalloc(site, &probe) || probe.prot < 0 ||
+      (probe.prot & PROT_READ) == 0 || (probe.prot & PROT_EXEC) == 0 ||
+      (probe.prot & PROT_WRITE) != 0 || !probe.file_backed) {
+    refuse(slot, kReasonRegion);
+    return;
+  }
+  const auto* bytes = reinterpret_cast<const uint8_t*>(site);
+  DecodedInsn insn = decode_insn(std::span<const uint8_t>(bytes, 2));
+  if (insn.kind != InsnKind::kSyscall && insn.kind != InsnKind::kSysenter) {
+    refuse(slot, kReasonDecode);
+    return;
+  }
+  if (!promoted_set_insert(site)) {
+    refuse(slot, kReasonCapacity);
+    return;
+  }
+  int err = 0;
+  if (!patch_promoted_site(slot, site, probe.prot, &err)) {
+    // The promoted-set entry stays behind (insert-only table), which is
+    // benign: the site's bytes are untouched, so nothing ever enters the
+    // trampoline from it. The slot records why for append_events.
+    refuse(slot, kReasonMprotect, err);
+    return;
+  }
+  slot.state.store(kPromoted, std::memory_order_release);
+  g_promoted.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+PromotionConfig PromotionConfig::from_env() {
+  PromotionConfig config;
+  if (const char* v = std::getenv("K23_PROMOTE")) {
+    std::string_view s(v);
+    config.enabled = !(s == "off" || s == "0" || s == "false");
+  }
+  if (const char* v = std::getenv("K23_PROMOTE_THRESHOLD")) {
+    if (auto n = parse_u64(v, 10); n && *n >= 1 && *n <= UINT32_MAX) {
+      config.threshold = static_cast<uint32_t>(*n);
+    }
+  }
+  if (const char* v = std::getenv("K23_PROMOTE_MAX_SITES")) {
+    if (auto n = parse_u64(v, 10); n && *n <= UINT32_MAX) {
+      config.max_sites = static_cast<uint32_t>(*n);
+    }
+  }
+  return config;
+}
+
+Status Promotion::init(const PromotionConfig& config) {
+  shutdown();  // idempotent re-init (tests)
+  g_config = config;
+  if (!config.enabled) return Status::ok();
+
+  // Register intent to use the expedited SYNC_CORE membarrier; the
+  // registration must happen before any thread relies on it. A kernel
+  // without it (pre-4.16) degrades to the atomic-store-only guarantee.
+  long rc = raw_syscall(SYS_membarrier,
+                        MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED_SYNC_CORE, 0);
+  g_membarrier_sync_core.store(rc == 0, std::memory_order_relaxed);
+
+  g_active.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+void Promotion::shutdown() {
+  g_active.store(false, std::memory_order_release);
+  CodePatcher patcher;
+  for (auto& slot : g_hit_table) {
+    const uint64_t site = slot.site.load(std::memory_order_acquire);
+    if (site != 0 &&
+        slot.state.load(std::memory_order_acquire) == kPromoted) {
+      patcher.unpatch_site(site, slot.was_sysenter);
+    }
+    slot.site.store(0, std::memory_order_relaxed);
+    slot.hits.store(0, std::memory_order_relaxed);
+    slot.state.store(kCounting, std::memory_order_relaxed);
+    slot.refuse_reason.store(kReasonNone, std::memory_order_relaxed);
+    slot.refuse_errno.store(0, std::memory_order_relaxed);
+    slot.was_sysenter = false;
+  }
+  for (auto& entry : g_promoted_set) {
+    entry.store(0, std::memory_order_relaxed);
+  }
+  g_sud_hits.store(0, std::memory_order_relaxed);
+  g_promoted.store(0, std::memory_order_relaxed);
+  g_refused.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+bool Promotion::active() { return g_active.load(std::memory_order_acquire); }
+
+bool Promotion::note_sud_hit(uint64_t site_address) {
+  if (!g_active.load(std::memory_order_acquire) || site_address == 0) {
+    return true;
+  }
+  g_sud_hits.fetch_add(1, std::memory_order_relaxed);
+
+  size_t idx = slot_hash(site_address) & (kHitSlots - 1);
+  HitSlot* slot = nullptr;
+  for (size_t probe = 0; probe < kMaxProbes; ++probe) {
+    HitSlot& candidate = g_hit_table[idx];
+    uint64_t cur = candidate.site.load(std::memory_order_acquire);
+    if (cur == site_address) {
+      slot = &candidate;
+      break;
+    }
+    if (cur == 0) {
+      uint64_t expected = 0;
+      if (candidate.site.compare_exchange_strong(expected, site_address,
+                                                 std::memory_order_acq_rel)) {
+        slot = &candidate;
+        break;
+      }
+      if (expected == site_address) {
+        slot = &candidate;
+        break;
+      }
+    }
+    idx = (idx + 1) & (kHitSlots - 1);
+  }
+  if (slot == nullptr) {
+    // Probe budget exhausted (pathological site count). The syscall still
+    // works via SUD — promotion just stops learning new sites.
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  const uint32_t hits = slot->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hits >= g_config.threshold) {
+    uint32_t expected = kCounting;
+    if (slot->state.compare_exchange_strong(expected, kPromoting,
+                                            std::memory_order_acq_rel)) {
+      attempt_promotion(*slot, site_address);
+    }
+  }
+  return true;
+}
+
+bool Promotion::is_promoted(uint64_t site_address) {
+  return promoted_set_contains(site_address);
+}
+
+PromotionStats Promotion::stats() {
+  PromotionStats s;
+  s.sud_hits = g_sud_hits.load(std::memory_order_relaxed);
+  s.promoted = g_promoted.load(std::memory_order_relaxed);
+  s.refused = g_refused.load(std::memory_order_relaxed);
+  s.dropped = g_dropped.load(std::memory_order_relaxed);
+  s.membarrier_sync_core =
+      g_membarrier_sync_core.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<uint64_t> Promotion::promoted_sites() {
+  std::vector<uint64_t> sites;
+  for (auto& slot : g_hit_table) {
+    const uint64_t site = slot.site.load(std::memory_order_acquire);
+    if (site != 0 &&
+        slot.state.load(std::memory_order_acquire) == kPromoted) {
+      sites.push_back(site);
+    }
+  }
+  return sites;
+}
+
+size_t Promotion::append_to_log(OfflineLog* log) {
+  auto sites = promoted_sites();
+  if (sites.empty()) return 0;
+  auto maps = ProcessMaps::snapshot();
+  if (!maps.is_ok()) return 0;
+  size_t added = 0;
+  for (uint64_t site : sites) {
+    if (log->add_address(maps.value(), site)) ++added;
+  }
+  return added;
+}
+
+void Promotion::append_events(DegradationReport* report) {
+  if (g_active.load(std::memory_order_acquire) &&
+      !g_membarrier_sync_core.load(std::memory_order_relaxed)) {
+    report->add("promotion",
+                "membarrier SYNC_CORE unavailable; relying on atomic-store "
+                "validity of both encodings");
+  }
+  for (auto& slot : g_hit_table) {
+    const uint64_t site = slot.site.load(std::memory_order_acquire);
+    if (site == 0 ||
+        slot.state.load(std::memory_order_acquire) != kRefused) {
+      continue;
+    }
+    std::string detail = "promotion refused at 0x" + to_hex(site) + ": " +
+                         refuse_reason_name(
+                             slot.refuse_reason.load(std::memory_order_relaxed));
+    const int err = slot.refuse_errno.load(std::memory_order_relaxed);
+    if (err > 0) {
+      detail += " (errno ";
+      detail += std::to_string(err);
+      detail += ")";
+    }
+    report->add("promotion", std::move(detail));
+  }
+}
+
+}  // namespace k23

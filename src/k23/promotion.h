@@ -1,0 +1,104 @@
+// Online hot-site promotion for the K23 SUD fallback.
+//
+// K23's exhaustive SUD net makes every syscall site the offline log
+// missed pay a full SIGSYS round-trip — orders of magnitude more than a
+// rewritten `call *%rax` site (paper Table 5) — and in the paper's design
+// it pays that price forever. This subsystem closes the gap at runtime:
+//
+//   1. every SUD-fallback hit bumps a per-site counter in a lock-free,
+//      cache-line-sharded hit table (async-signal-safe; no allocation);
+//   2. when a site crosses the promotion threshold, the thread that
+//      crossed it claims the site (CAS on a per-site state machine) and
+//      validates it with the *same* predicate the startup rewrite uses:
+//      not in the k23_nopatch section, both bytes within one cache line
+//      (an atomic 16-bit store must be possible while other threads
+//      run), region file-backed + r-x + non-writable (no-allocation
+//      procmaps walk), and the bytes decode as syscall/sysenter;
+//   3. the site is registered with the trampoline entry check *first*,
+//      then patched with the signal-safe transactional sequence (atomic
+//      two-byte store, cpuid serialize, membarrier
+//      PRIVATE_EXPEDITED_SYNC_CORE to serialize every other core's
+//      pipeline; if membarrier is unavailable the atomic store still
+//      guarantees each CPU fetches either the old or the new — both
+//      valid — encoding, exactly the startup rewriter's P5 discipline);
+//   4. promoted sites are appended to the offline log at exit
+//      (crash-atomic v2 save) so the next run starts hot.
+//
+// Why this is NOT lazypoline's P3b hazard: lazypoline rewrites whatever
+// address trapped, including executed *data*. Promotion only ever patches
+// bytes that pass the decoder + region predicate, a failed step refuses
+// the site permanently (it simply keeps dispatching via SUD — recorded as
+// a DegradationReport event, never a torn patch), promotion never runs
+// below the rewrite tier of the degradation ladder, and K23_PROMOTE=off
+// restores the paper's exact never-rewrite-from-SIGSYS semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "k23/degradation.h"
+#include "k23/offline_log.h"
+
+namespace k23 {
+
+struct PromotionConfig {
+  bool enabled = true;
+  // SUD hits at one site before it is promoted. Low values promote cold
+  // sites (wasting patch work + log entries); high values leave hot sites
+  // on the trap path longer. 64 amortizes the one-time patch cost to
+  // noise against the per-hit SIGSYS round-trip.
+  uint32_t threshold = 64;
+  // Upper bound on promoted sites per process (table capacity).
+  uint32_t max_sites = 256;
+
+  // Parses K23_PROMOTE (off|0|false disables; anything else enables),
+  // K23_PROMOTE_THRESHOLD (decimal, >= 1) and K23_PROMOTE_MAX_SITES.
+  static PromotionConfig from_env();
+};
+
+struct PromotionStats {
+  uint64_t sud_hits = 0;        // fallback hits counted
+  uint64_t promoted = 0;        // sites successfully rewritten online
+  uint64_t refused = 0;         // sites that failed the predicate/patch
+  uint64_t dropped = 0;         // hits not counted (hit table full)
+  bool membarrier_sync_core = false;  // EXPEDITED_SYNC_CORE available
+};
+
+class Promotion {
+ public:
+  // Arms the subsystem (registers the membarrier intent, clears tables).
+  // Normal context only; K23 init calls this before arming SUD, and only
+  // when the rewrite tier (trampoline) is actually up.
+  static Status init(const PromotionConfig& config);
+
+  // Restores original bytes at every promoted site and disarms. Safe to
+  // call with threads quiesced (tests / interposer shutdown).
+  static void shutdown();
+
+  static bool active();
+
+  // SUD pre-dispatch notification. Async-signal-safe: counting is
+  // lock-free, and a threshold crossing runs the whole validate+patch
+  // pipeline with signal-safe primitives only. Always returns true —
+  // the current occurrence still dispatches through SUD regardless of
+  // the promotion outcome.
+  static bool note_sud_hit(uint64_t site_address);
+
+  // Lock-free membership test for the trampoline entry validator.
+  static bool is_promoted(uint64_t site_address);
+
+  static PromotionStats stats();
+  static std::vector<uint64_t> promoted_sites();
+
+  // Appends every promoted site (resolved to region,offset against a
+  // fresh maps snapshot) to `log`; returns how many were added.
+  static size_t append_to_log(OfflineLog* log);
+
+  // Adds one DegradationEvent per refused promotion (and one for a
+  // missing membarrier) to `report` — the operator-visible record that a
+  // site stayed on the SUD path on purpose.
+  static void append_events(DegradationReport* report);
+};
+
+}  // namespace k23

@@ -109,13 +109,18 @@ std::optional<uint64_t> ProcessMaps::address_of(const std::string& pathname,
 }
 
 int query_address_prot_noalloc(uint64_t address) {
+  RegionProbe probe;
+  return query_address_region_noalloc(address, &probe) ? probe.prot : -1;
+}
+
+bool query_address_region_noalloc(uint64_t address, RegionProbe* out) {
   int fd = ::open("/proc/self/maps", O_RDONLY | O_CLOEXEC);
-  if (fd < 0) return -1;
+  if (fd < 0) return false;
 
   char buf[4096];
   char line[512];
   size_t line_len = 0;
-  int result = -1;
+  bool found = false;
   bool done = false;
   while (!done) {
     ssize_t n = ::read(fd, buf, sizeof(buf));
@@ -158,7 +163,18 @@ int query_address_prot_noalloc(uint64_t address) {
           if (line[pos + 1] == 'r') prot |= PROT_READ;
           if (line[pos + 2] == 'w') prot |= PROT_WRITE;
           if (line[pos + 3] == 'x') prot |= PROT_EXEC;
-          result = prot;
+          out->prot = prot;
+          // A pathname field starting with '/' marks a file-backed
+          // region; the fields before it (offset, dev, inode) never
+          // contain one, so any '/' later in the line is the pathname.
+          out->file_backed = false;
+          for (size_t rest = pos + 4; rest < line_len; ++rest) {
+            if (line[rest] == '/') {
+              out->file_backed = true;
+              break;
+            }
+          }
+          found = true;
           done = true;
         }
       }
@@ -166,7 +182,7 @@ int query_address_prot_noalloc(uint64_t address) {
     }
   }
   ::close(fd);
-  return result;
+  return found;
 }
 
 const MemoryRegion* ProcessMaps::vdso() const {

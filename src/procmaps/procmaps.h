@@ -83,4 +83,18 @@ std::optional<MemoryRegion> parse_maps_line(std::string_view line);
 // address is unmapped / the query failed.
 int query_address_prot_noalloc(uint64_t address);
 
+// What the no-allocation maps walk saw about one region. `file_backed`
+// means the line carries a '/...' pathname (the paper's "expected"
+// region shape: code mapped from a file, not anonymous/JIT memory).
+struct RegionProbe {
+  int prot = -1;  // PROT_* bitmask, -1 = unknown
+  bool file_backed = false;
+};
+
+// Async-signal-safe variant reporting protection *and* file-backedness —
+// the region half of the hot-site promotion validation predicate (see
+// k23/promotion.h). Returns false if the address is unmapped or the
+// query failed.
+bool query_address_region_noalloc(uint64_t address, RegionProbe* out);
+
 }  // namespace k23

@@ -1,0 +1,239 @@
+// Online hot-site promotion (k23/promotion.h).
+//
+// Every test that arms K23 runs in a forked child: promotion mutates
+// text pages and process-global interposer state. The labelled syscall
+// sites from tests/support give each test an address it controls.
+#include "k23/promotion.h"
+
+#include <gtest/gtest.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "arch/raw_syscall.h"
+#include "common/caps.h"
+#include "faultinject/faultinject.h"
+#include "k23/k23.h"
+#include "support/subprocess.h"
+#include "support/syscall_sites.h"
+
+namespace k23 {
+namespace {
+
+#define SKIP_WITHOUT_K23_CAPS()                                        \
+  if (!capabilities().mmap_va0 || !capabilities().sud) {               \
+    GTEST_SKIP() << "needs VA-0 mapping and Syscall User Dispatch";    \
+  }
+
+bool site_is_call_rax(uint64_t site) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(site);
+  return bytes[0] == kCallRaxInsn[0] && bytes[1] == kCallRaxInsn[1];
+}
+
+bool site_is_syscall(uint64_t site) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(site);
+  return bytes[0] == kSyscallInsn[0] && bytes[1] == kSyscallInsn[1];
+}
+
+TEST(Promotion, PromotesHotSiteAfterThreshold) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    // Empty log: the site starts on the SUD path. kUltra so the
+    // trampoline entry check (which must learn promoted sites) is live.
+    K23Interposer::Options options;
+    options.variant = K23Variant::kUltra;
+    options.promotion.threshold = 4;
+    auto report = K23Interposer::init(OfflineLog{}, options);
+    if (!report.is_ok()) return 1;
+    if (!report.value().promotion_active) return 2;
+
+    const uint64_t site = testing::getpid_site();
+    const long pid = ::getpid();
+    for (int i = 0; i < 3; ++i) {
+      if (k23_test_getpid() != pid) return 3;
+    }
+    if (!site_is_syscall(site)) return 4;  // below threshold: untouched
+    if (k23_test_getpid() != pid) return 5;  // 4th hit crosses threshold
+    if (!site_is_call_rax(site)) return 6;   // now rewritten online
+    if (!Promotion::is_promoted(site)) return 7;
+    // The promoted site must keep working — now through the trampoline
+    // and its entry check, repeatedly (exercises the validator cache).
+    for (int i = 0; i < 16; ++i) {
+      if (k23_test_getpid() != pid) return 8;
+    }
+    PromotionStats stats = Promotion::stats();
+    if (stats.promoted != 1) return 9;
+    if (stats.sud_hits < 4) return 10;
+    return 0;
+  });
+}
+
+TEST(Promotion, DisabledKeepsPaperSemantics) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    // K23_PROMOTE=off (here via the option it parses into): the SIGSYS
+    // path must never rewrite anything, exactly the paper's design.
+    K23Interposer::Options options;
+    options.promotion.enabled = false;
+    options.promotion.threshold = 2;
+    auto report = K23Interposer::init(OfflineLog{}, options);
+    if (!report.is_ok()) return 1;
+    if (report.value().promotion_active) return 2;
+
+    const long pid = ::getpid();
+    for (int i = 0; i < 50; ++i) {
+      if (k23_test_getpid() != pid) return 3;
+    }
+    if (!site_is_syscall(testing::getpid_site())) return 4;
+    if (Promotion::stats().promoted != 0) return 5;
+    if (Promotion::stats().sud_hits != 0) return 6;  // not even counting
+    return 0;
+  });
+}
+
+TEST(Promotion, MprotectFaultRefusesSiteAndSudKeepsWorking) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    K23Interposer::Options options;
+    options.promotion.threshold = 3;
+    auto report = K23Interposer::init(OfflineLog{}, options);
+    if (!report.is_ok()) return 1;
+    // Configure AFTER init: the startup rewrite path consults the same
+    // "mprotect" point and must not eat the injected fault.
+    if (!FaultInjector::configure("mprotect:enomem").is_ok()) return 2;
+
+    const long pid = ::getpid();
+    for (int i = 0; i < 10; ++i) {
+      if (k23_test_getpid() != pid) return 3;  // SUD carries every call
+    }
+    FaultInjector::reset();
+    // The patch was refused transactionally: original bytes intact.
+    if (!site_is_syscall(testing::getpid_site())) return 4;
+    PromotionStats stats = Promotion::stats();
+    if (stats.promoted != 0) return 5;
+    if (stats.refused != 1) return 6;  // refusal is permanent, not retried
+    // ...and the refusal is an operator-visible degradation event.
+    DegradationReport deg;
+    Promotion::append_events(&deg);
+    bool recorded = false;
+    for (const auto& event : deg.events) {
+      if (std::strcmp(event.component, "promotion") == 0 &&
+          event.detail.find("mprotect") != std::string::npos) {
+        recorded = true;
+      }
+    }
+    if (!recorded) return 7;
+    // The site still dispatches via SUD afterwards.
+    if (k23_test_getpid() != pid) return 8;
+    return 0;
+  });
+}
+
+TEST(Promotion, RoundTripSecondRunStartsHot) {
+  SKIP_WITHOUT_K23_CAPS();
+  std::string log_path = "/tmp/k23_promotion_roundtrip." +
+                         std::to_string(::getpid()) + ".log";
+
+  // Run 1: promote the site online, persist it into the offline log the
+  // way the preload's exit hook does.
+  EXPECT_CHILD_EXITS(0, [&] {
+    K23Interposer::Options options;
+    options.promotion.threshold = 4;
+    auto report = K23Interposer::init(OfflineLog{}, options);
+    if (!report.is_ok()) return 1;
+    const long pid = ::getpid();
+    for (int i = 0; i < 8; ++i) {
+      if (k23_test_getpid() != pid) return 2;
+    }
+    if (Promotion::stats().promoted != 1) return 3;
+    OfflineLog log;
+    if (Promotion::append_to_log(&log) != 1) return 4;
+    if (!log.save(log_path).is_ok()) return 5;
+    return 0;
+  });
+
+  // Run 2: a fresh process loads that log and rewrites the site at
+  // startup — byte check before any call, zero SUD traffic needed.
+  EXPECT_CHILD_EXITS(0, [&] {
+    auto log = OfflineLog::load(log_path);
+    if (!log.is_ok()) return 1;
+    K23Interposer::Options options;
+    auto report = K23Interposer::init(log.value(), options);
+    if (!report.is_ok()) return 2;
+    if (report.value().rewritten_sites != 1) return 3;
+    if (!site_is_call_rax(testing::getpid_site())) return 4;
+    const long pid = ::getpid();
+    if (k23_test_getpid() != pid) return 5;
+    // Startup-rewritten, not re-promoted: promotion never had to act on
+    // this site in the second run.
+    if (Promotion::is_promoted(testing::getpid_site())) return 6;
+    return 0;
+  });
+
+  ::unlink(log_path.c_str());
+}
+
+TEST(Promotion, ShutdownRestoresOriginalBytes) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    K23Interposer::Options options;
+    options.promotion.threshold = 2;
+    if (!K23Interposer::init(OfflineLog{}, options).is_ok()) return 1;
+    const long pid = ::getpid();
+    for (int i = 0; i < 4; ++i) {
+      if (k23_test_getpid() != pid) return 2;
+    }
+    if (!site_is_call_rax(testing::getpid_site())) return 3;
+    K23Interposer::shutdown();
+    if (!site_is_syscall(testing::getpid_site())) return 4;
+    if (k23_test_getpid() != pid) return 5;  // plain syscall again
+    return 0;
+  });
+}
+
+TEST(Promotion, ConfigFromEnvParsesGrammar) {
+  EXPECT_CHILD_EXITS(0, [] {
+    ::unsetenv("K23_PROMOTE");
+    ::unsetenv("K23_PROMOTE_THRESHOLD");
+    ::unsetenv("K23_PROMOTE_MAX_SITES");
+    PromotionConfig config = PromotionConfig::from_env();
+    if (!config.enabled || config.threshold != 64) return 1;
+
+    ::setenv("K23_PROMOTE", "off", 1);
+    if (PromotionConfig::from_env().enabled) return 2;
+    ::setenv("K23_PROMOTE", "0", 1);
+    if (PromotionConfig::from_env().enabled) return 3;
+    ::setenv("K23_PROMOTE", "false", 1);
+    if (PromotionConfig::from_env().enabled) return 4;
+    ::setenv("K23_PROMOTE", "on", 1);
+    if (!PromotionConfig::from_env().enabled) return 5;
+
+    ::setenv("K23_PROMOTE_THRESHOLD", "128", 1);
+    ::setenv("K23_PROMOTE_MAX_SITES", "7", 1);
+    config = PromotionConfig::from_env();
+    if (config.threshold != 128 || config.max_sites != 7) return 6;
+
+    // Garbage falls back to defaults rather than poisoning the config.
+    ::setenv("K23_PROMOTE_THRESHOLD", "banana", 1);
+    if (PromotionConfig::from_env().threshold != 64) return 7;
+    ::setenv("K23_PROMOTE_THRESHOLD", "0", 1);  // 0 = promote-always: refused
+    if (PromotionConfig::from_env().threshold != 64) return 8;
+    return 0;
+  });
+}
+
+TEST(Promotion, NoteSudHitInactiveIsANoop) {
+  // Without init, counting must be off (the paper's default behavior
+  // when no interposer is up) and crash-free.
+  Promotion::shutdown();
+  EXPECT_TRUE(Promotion::note_sud_hit(testing::getpid_site()));
+  EXPECT_EQ(Promotion::stats().sud_hits, 0u);
+  EXPECT_FALSE(Promotion::is_promoted(testing::getpid_site()));
+}
+
+}  // namespace
+}  // namespace k23
