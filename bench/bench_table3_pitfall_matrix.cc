@@ -1,11 +1,20 @@
 // Regenerates Table 3: the pitfall matrix. Every cell runs the live PoC
 // for that (pitfall, interposer) pair; ✓ means handled or not relevant,
 // ✗ means the pitfall manifests — same convention as the paper.
+//
+//   bench_table3_pitfall_matrix [--json=PATH]
+//
+// --json encodes each executed cell as cell/<pitfall>/<column> with value
+// 1 (ok) or 0 (VULN/ERR), so CI can diff the matrix against a baseline;
+// skipped cells (missing kernel capability) are omitted.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/caps.h"
 #include "pitfalls/pitfalls.h"
+#include "support/json_out.h"
 
 namespace k23::bench {
 namespace {
@@ -41,7 +50,7 @@ const char* cell(PocVerdict verdict) {
   return "?";
 }
 
-int run() {
+int run(const std::string& json_path) {
   std::printf("Table 3 — interposers vs System Call Interposition "
               "Pitfalls (live PoCs)\n");
   std::printf("ok = handled / not relevant (paper: check mark), "
@@ -51,11 +60,20 @@ int run() {
   std::printf("%-38s %10s %12s %8s\n", "-------", "-------", "----------",
               "---");
 
+  JsonReport json("table3_pitfall_matrix");
+  static const char* kColumns[3] = {"zpoline", "lazypoline", "k23"};
   int mismatches = 0;
   for (PitfallId id : kAllPitfalls) {
     PocVerdict verdicts[3];
     for (int column = 0; column < 3; ++column) {
       verdicts[column] = run_poc(id, column_kind(id, column));
+      if (verdicts[column] != PocVerdict::kSkipped) {
+        const bool ok = verdicts[column] == PocVerdict::kResilient ||
+                        verdicts[column] == PocVerdict::kNotApplicable;
+        json.add("cell/" + metric_slug(pitfall_name(id)) + "/" +
+                     kColumns[column],
+                 ok ? 1.0 : 0.0, /*higher_is_better=*/true);
+      }
     }
     std::printf("%-38s %10s %12s %8s\n", pitfall_name(id),
                 cell(verdicts[0]), cell(verdicts[1]), cell(verdicts[2]));
@@ -68,10 +86,18 @@ int run() {
   std::printf("\nExpected shape (paper Table 3): zpoline VULN on "
               "P1a/P2a/P2b/P3a/P4b; lazypoline VULN on\n"
               "P1a/P1b/P2b/P3b/P4a/P5; K23 ok everywhere.\n");
+  json.add("k23_mismatches", mismatches, /*higher_is_better=*/false);
+  if (!json_path.empty() && !json.write(json_path)) return 1;
   return mismatches == 0 ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace k23::bench
 
-int main() { return k23::bench::run(); }
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  return k23::bench::run(json_path);
+}

@@ -7,7 +7,7 @@
 // the max and min runs are discarded and the geometric mean of the
 // remaining overheads is reported with the standard deviation.
 //
-//   bench_table5_micro [--iters=N] [--runs=R]
+//   bench_table5_micro [--iters=N] [--runs=R] [--json=PATH]
 // Paper defaults were 100M iterations x 10 runs on an isolated Xeon;
 // defaults here are sized for a shared 1-core builder.
 #include <sys/wait.h>
@@ -23,6 +23,7 @@
 
 #include "common/caps.h"
 #include "k23/liblogger.h"
+#include "support/json_out.h"
 #include "support/stress_loop.h"
 #include "support/variants.h"
 
@@ -104,7 +105,8 @@ Sample summarize(std::vector<double> values) {
   return out;
 }
 
-int run(long iterations, int runs) {
+int run(long iterations, int runs, const std::string& json_path) {
+  JsonReport json("table5_micro");
   std::printf("Table 5 — microbenchmark overhead vs native "
               "(syscall 500 x %ld, %d runs/variant)\n\n",
               iterations, runs);
@@ -126,6 +128,9 @@ int run(long iterations, int runs) {
     std::printf("%-24s %13.4fx %10.3f%%  (%.1f ns/syscall)\n", "native",
                 1.0, native.stddev_pct,
                 native.mean / static_cast<double>(iterations));
+    json.add("native_ns_per_syscall",
+             native.mean / static_cast<double>(iterations),
+             /*higher_is_better=*/false);
   }
 
   for (Variant variant : kTable5Variants) {
@@ -152,6 +157,8 @@ int run(long iterations, int runs) {
       std::printf("%-24s %14s\n", variant_label(variant), "failed");
       continue;
     }
+    json.add("overhead/" + metric_slug(variant_label(variant)), s.mean,
+             /*higher_is_better=*/false);
     std::printf("%-24s %13.4fx %10.3f%%\n", variant_label(variant), s.mean,
                 s.stddev_pct);
   }
@@ -159,6 +166,7 @@ int run(long iterations, int runs) {
       "\nExpected shape (paper): zpoline < K23-default < lazypoline ~ "
       "K23-ultra(+) << SUD;\nSUD-no-interposition explains most of the "
       "gap between rewriting variants.\n");
+  if (!json_path.empty() && !json.write(json_path)) return 1;
   return 0;
 }
 
@@ -168,12 +176,15 @@ int run(long iterations, int runs) {
 int main(int argc, char** argv) {
   long iterations = 1'000'000;
   int runs = 5;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--iters=", 8) == 0) {
       iterations = std::atol(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
       runs = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     }
   }
-  return k23::bench::run(iterations, runs);
+  return k23::bench::run(iterations, runs, json_path);
 }

@@ -17,7 +17,7 @@
 // builder (paper: 10 workers on 12 cores; --workers overrides).
 //
 //   bench_table6_macro [--duration=SECS] [--workers=N] [--kv-threads=N]
-//                      [--db-size=N]
+//                      [--db-size=N] [--json=PATH]
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -33,6 +33,7 @@
 #include "common/caps.h"
 #include "common/files.h"
 #include "k23/liblogger.h"
+#include "support/json_out.h"
 #include "support/variants.h"
 #include "workloads/load_client.h"
 #include "workloads/mini_db.h"
@@ -57,6 +58,11 @@ struct RowConfig {
   bool use_writev = false;
   int kv_threads = 1;
   int db_size = 8;
+  // Pre-fork supervisor with worker recycling: workers exit after
+  // max_requests responses and are re-forked, so the cell continuously
+  // exercises the fork path (process-tree propagation, DESIGN.md §9).
+  bool prefork_respawn = false;
+  long max_requests = 0;
 };
 
 bool is_k23_variant(Variant v) {
@@ -79,6 +85,12 @@ int serve_row(const RowConfig& row, uint16_t port) {
     options.port = port;
     options.body_size = row.body_size;
     options.use_writev = row.use_writev;
+    if (row.prefork_respawn) {
+      options.workers = row.workers;
+      options.max_requests_per_worker = row.max_requests;
+      options.stop = &g_serve_stop;
+      return run_http_server_prefork(options).is_ok() ? 0 : 1;
+    }
     if (row.workers <= 1) {
       options.stop = &g_serve_stop;
       return run_http_server_inline(options).is_ok() ? 0 : 1;
@@ -238,7 +250,7 @@ double measure_cell(const RowConfig& row, Variant variant, double duration,
 }
 
 int run(double duration, int workers, int kv_threads, int db_size,
-        int runs) {
+        int runs, const std::string& json_path) {
   {
     // Discarded warmup: the first speedtest pays one-time filesystem
     // costs (journal, page cache) that would otherwise penalize whichever
@@ -274,6 +286,16 @@ int run(double duration, int workers, int kv_threads, int db_size,
   RowConfig db{"sqlite-like   (speedtest)", RowConfig::App::kDb};
   db.db_size = db_size;
   rows.push_back(db);
+  // Process-churn row: pre-fork supervisor with worker recycling — each
+  // fork must re-arm SUD and each worker's artifacts must stay per-PID
+  // (process-tree propagation, DESIGN.md §9). Recycling every ~2000
+  // requests keeps fork rate high enough to matter without turning the
+  // cell into a pure fork benchmark.
+  RowConfig prefork{"nginx-like    (prefork respawn)", RowConfig::App::kHttp,
+                    0, std::max(workers, 2), false};
+  prefork.prefork_respawn = true;
+  prefork.max_requests = 2000;
+  rows.push_back(prefork);
 
   std::printf("Table 6 — macrobenchmark throughput relative to native "
               "(%% of native; native = 100%%)\n");
@@ -291,6 +313,7 @@ int run(double duration, int workers, int kv_threads, int db_size,
   // Geometric-mean accumulators per variant.
   std::vector<double> geo_log(std::size(kTable6Variants), 0.0);
   std::vector<int> geo_n(std::size(kTable6Variants), 0);
+  JsonReport json("table6_macro");
 
   for (const RowConfig& row : rows) {
     const double native =
@@ -314,6 +337,9 @@ int run(double duration, int workers, int kv_threads, int db_size,
       const double relative = 100.0 * value / native;
       geo_log[index - 1] += std::log(relative);
       geo_n[index - 1] += 1;
+      json.add("relative/" + metric_slug(row.label) + "/" +
+                   metric_slug(variant_label(v)),
+               relative, /*higher_is_better=*/true);
       std::printf(" %11.2f%%", relative);
       ::fflush(stdout);
     }
@@ -335,6 +361,7 @@ int run(double duration, int workers, int kv_threads, int db_size,
   std::printf("\n\nExpected shape (paper): rewriting interposers >= ~95%% "
               "of native;\nSUD collapses to ~35-65%% on syscall-heavy "
               "rows.\nUnits: r = requests/s, o = db operations/s.\n");
+  if (!json_path.empty() && !json.write(json_path)) return 1;
   return 0;
 }
 
@@ -347,6 +374,7 @@ int main(int argc, char** argv) {
   int kv_threads = 3;
   int db_size = 8;
   int runs = 2;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--duration=", 11) == 0) {
       duration = std::atof(argv[i] + 11);
@@ -358,7 +386,10 @@ int main(int argc, char** argv) {
       db_size = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
       runs = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     }
   }
-  return k23::bench::run(duration, workers, kv_threads, db_size, runs);
+  return k23::bench::run(duration, workers, kv_threads, db_size, runs,
+                         json_path);
 }

@@ -1,0 +1,109 @@
+// Machine-readable benchmark output for CI regression gating.
+//
+// Every table bench accepts --json=PATH and appends its metrics here; the
+// nightly workflow diffs the file against the committed BENCH_*.json
+// baseline with scripts/check_bench_regression.py. One flat shape for
+// every bench:
+//
+//   {
+//     "benchmark": "<name>",
+//     "metrics": [
+//       {"name": "relative/nginx-like.../k23", "value": 97.1,
+//        "higher_is_better": true},
+//       ...
+//     ]
+//   }
+//
+// Metric names are stable identifiers (slashes as separators, no spaces):
+// renaming one silently drops it from the regression comparison, so treat
+// names as API.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace k23::bench {
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  void add(std::string name, double value, bool higher_is_better) {
+    metrics_.push_back({std::move(name), value, higher_is_better});
+  }
+
+  // Writes the report; returns false (and prints to stderr) on failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json report: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"metrics\": [",
+                 escape(benchmark_).c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"value\": %.6g, "
+                   "\"higher_is_better\": %s}",
+                   i == 0 ? "" : ",", escape(metrics_[i].name).c_str(),
+                   metrics_[i].value,
+                   metrics_[i].higher_is_better ? "true" : "false");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (!ok) std::fprintf(stderr, "json report: write %s failed\n",
+                          path.c_str());
+    return ok;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value = 0;
+    bool higher_is_better = true;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string benchmark_;
+  std::vector<Metric> metrics_;
+};
+
+// Turns a human row/variant label into a stable metric-name segment:
+// lowercase, runs of non-alphanumerics collapse to one '-'.
+inline std::string metric_slug(const std::string& label) {
+  std::string out;
+  bool dash = false;
+  for (char c : label) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out.push_back(c);
+      dash = false;
+    } else if (c >= 'A' && c <= 'Z') {
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+      dash = false;
+    } else if (c == '+') {
+      // "K23-ultra+" and "K23-ultra" must stay distinct metric names.
+      if (!out.empty() && !dash) out.push_back('-');
+      out += "plus";
+      dash = false;
+    } else if (!out.empty() && !dash) {
+      out.push_back('-');
+      dash = true;
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+}  // namespace k23::bench

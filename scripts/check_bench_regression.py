@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a benchmark JSON report against a committed baseline.
+
+Usage:
+    check_bench_regression.py --baseline BENCH_table6.json \
+        --current table6.json [--tolerance 0.25]
+
+Both files use the bench/support/json_out.h shape:
+
+    {"benchmark": "...",
+     "metrics": [{"name": ..., "value": ..., "higher_is_better": ...}]}
+
+Only metric names present in BOTH files are compared (a new row or variant
+is not a regression; a renamed metric silently drops out, which is why
+metric names are treated as API). For higher-is-better metrics the check
+fails when current < baseline * (1 - tolerance); for lower-is-better when
+current > baseline * (1 + tolerance). The default 25% tolerance absorbs
+shared-runner noise; real interposition regressions (a variant falling off
+its ladder tier) move throughput far more than that.
+
+Exit codes: 0 = ok, 1 = regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench_regression: cannot read {path}: {exc}",
+              file=sys.stderr)
+        sys.exit(2)
+    metrics = {}
+    for metric in doc.get("metrics", []):
+        name = metric.get("name")
+        value = metric.get("value")
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            print(f"check_bench_regression: malformed metric in {path}: "
+                  f"{metric!r}", file=sys.stderr)
+            sys.exit(2)
+        metrics[name] = (float(value), bool(metric.get("higher_is_better")))
+    return doc.get("benchmark", path), metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark metrics regress past a tolerance.")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative tolerance (default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    name, baseline = load_metrics(args.baseline)
+    _, current = load_metrics(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    missing = sorted(set(baseline) - set(current))
+    extra = sorted(set(current) - set(baseline))
+    for metric in missing:
+        print(f"warning: {metric} in baseline but not in current run "
+              "(skipped cell or renamed metric)")
+    for metric in extra:
+        print(f"note: new metric {metric} (not in baseline, not compared)")
+    if not shared:
+        print("check_bench_regression: no overlapping metrics to compare",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for metric in shared:
+        base_value, higher_is_better = baseline[metric]
+        cur_value, _ = current[metric]
+        if higher_is_better:
+            floor = base_value * (1.0 - args.tolerance)
+            ok = cur_value >= floor
+            bound = f">= {floor:.4g}"
+        else:
+            ceiling = base_value * (1.0 + args.tolerance)
+            ok = cur_value <= ceiling
+            bound = f"<= {ceiling:.4g}"
+        verdict = "ok  " if ok else "FAIL"
+        print(f"{verdict} {metric}: baseline {base_value:.4g}, "
+              f"current {cur_value:.4g} (need {bound})")
+        if not ok:
+            failures.append(metric)
+
+    if failures:
+        print(f"\n{name}: {len(failures)}/{len(shared)} metric(s) regressed "
+              f"past {args.tolerance:.0%}:", file=sys.stderr)
+        for metric in failures:
+            print(f"  {metric}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\n{name}: {len(shared)} metric(s) within {args.tolerance:.0%} "
+          "of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -127,6 +128,31 @@ Result<std::string> make_temp_dir(const std::string& prefix) {
     return Result<std::string>::from_errno("mkdtemp");
   }
   return std::string(buf.data());
+}
+
+Status make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::from_errno("mkdir");
+  }
+  return Status::ok();
+}
+
+Result<std::vector<std::string>> list_dir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    return Result<std::vector<std::string>>::from_errno("opendir");
+  }
+  auto closer = make_scope_guard([dir] { ::closedir(dir); });
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(dir)) {
+    if (std::strcmp(e->d_name, ".") == 0 ||
+        std::strcmp(e->d_name, "..") == 0) {
+      continue;
+    }
+    names.emplace_back(e->d_name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 Status remove_tree(const std::string& path) {

@@ -27,6 +27,14 @@ Status write_file_atomic(const std::string& path, std::string_view contents);
 // with the given prefix; returns its path.
 Result<std::string> make_temp_dir(const std::string& prefix);
 
+// Creates `path` (one level, 0755). An existing directory is not an error
+// — k23_run and forked preload processes race to create the stats dir.
+Status make_dir(const std::string& path);
+
+// Non-recursive listing of `path` (entry names, "." and ".." excluded,
+// sorted). Used to discover per-process log shards and stats dumps.
+Result<std::vector<std::string>> list_dir(const std::string& path);
+
 // Recursively removes a directory tree (best effort).
 Status remove_tree(const std::string& path);
 

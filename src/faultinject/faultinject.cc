@@ -71,13 +71,26 @@ bool parse_u64_view(std::string_view s, uint64_t* out) {
   return true;
 }
 
+// Errno names match case-insensitively: specs are written both as
+// "eagain" (grammar examples) and "EAGAIN" (errno.h spelling).
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
 bool parse_error_code(std::string_view token, int* out) {
   if (token == "fail") {
     *out = -1;
     return true;
   }
   for (const auto& entry : kErrnoNames) {
-    if (token == entry.name) {
+    if (iequals(token, entry.name)) {
       *out = entry.code;
       return true;
     }

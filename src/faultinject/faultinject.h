@@ -28,6 +28,9 @@
 //   waitpid      -- common/retry.h waitpid wrappers (ptracer, caps probes)
 //   mprotect     -- rewrite/patcher.cc text-permission flips
 //   sud_arm      -- sud/sud_session.cc SudSession::arm
+//   prctl_sud    -- sud/sud_session.cc rearm_current_thread (post-fork
+//                   SUD re-arm; EAGAIN here exercises the child-side
+//                   degradation path without a hostile kernel)
 //   seccomp_arm  -- seccomp/seccomp_interposer.cc SeccompInterposer::arm
 //   sud_probe    -- common/caps.cc SUD capability probe
 //   seccomp_probe-- common/caps.cc seccomp capability probe

@@ -8,6 +8,7 @@
 
 #include "arch/thunks.h"
 #include "common/logging.h"
+#include "interpose/internal.h"
 
 #ifndef PR_SET_SYSCALL_USER_DISPATCH
 #define PR_SET_SYSCALL_USER_DISPATCH 59
@@ -27,6 +28,11 @@ std::atomic<SyscallFn> g_syscall_fn{&k23_syscall_ret_thunk};
 
 using SigreturnFn = void (*)(uint64_t);
 std::atomic<SigreturnFn> g_sigreturn_fn{&k23_sigreturn_thunk};
+
+// Optional exec shim (k23/process_tree.cc): owns execve/execveat
+// passthroughs so LD_PRELOAD/K23_* injection survives the exec (P1a
+// follow-through after the ptracer detaches).
+std::atomic<internal::ExecShimFn> g_exec_shim{nullptr};
 
 long invoke(const SyscallArgs& a) {
   return g_syscall_fn.load(std::memory_order_acquire)(
@@ -153,6 +159,13 @@ long Dispatcher::execute(const SyscallArgs& args, uint64_t return_address) {
       as_fork.nr = SYS_fork;
       return reinit_child_if_forked(invoke(as_fork));
     }
+    case SYS_execve:
+    case SYS_execveat: {
+      const internal::ExecShimFn shim =
+          g_exec_shim.load(std::memory_order_acquire);
+      if (shim != nullptr) return shim(args);
+      return invoke(args);
+    }
     case SYS_rt_sigreturn: {
       // Restores the signal frame the application's restorer was entered
       // with. kRewritten entry: the `call` pushed 8 bytes below the frame.
@@ -212,6 +225,14 @@ long (*syscall_fn())(long, long, long, long, long, long, long) {
 void set_sigreturn_fn(void (*fn)(uint64_t)) {
   g_sigreturn_fn.store(fn != nullptr ? fn : &k23_sigreturn_thunk,
                        std::memory_order_release);
+}
+
+void set_exec_shim(ExecShimFn fn) {
+  g_exec_shim.store(fn, std::memory_order_release);
+}
+
+ExecShimFn exec_shim() {
+  return g_exec_shim.load(std::memory_order_acquire);
 }
 
 }  // namespace k23::internal

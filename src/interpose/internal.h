@@ -2,6 +2,10 @@
 // Not part of the public API.
 #pragma once
 
+#include <cstdint>
+
+#include "arch/raw_syscall.h"
+
 namespace k23::internal {
 
 // Swaps the passthrough syscall primitive. SudSession points this at the
@@ -15,5 +19,15 @@ long (*syscall_fn())(long, long, long, long, long, long, long);
 // gadget page, or it would trap recursively with the selector re-armed).
 void set_sigreturn_fn(void (*fn)(uint64_t frame_rsp));
 
+// Exec shim (process-tree propagation, P1a). When set, the dispatcher
+// routes every execve/execveat passthrough to `fn` instead of issuing it
+// directly; the shim owns the whole call — typically rebuilding envp so
+// LD_PRELOAD/K23_* injection survives the exec (including the
+// `envp = {NULL}` Listing-1 case) before forwarding through syscall_fn().
+// Returns the syscall result (exec only returns on failure). Must be
+// async-signal-safe: an execve may arrive via the SIGSYS fallback.
+using ExecShimFn = long (*)(const SyscallArgs& args);
+void set_exec_shim(ExecShimFn fn);
+ExecShimFn exec_shim();
 
 }  // namespace k23::internal

@@ -1,5 +1,7 @@
 #include "k23/k23.h"
 
+#include <sys/mman.h>
+
 #include <atomic>
 
 #include "arch/raw_syscall.h"
@@ -314,6 +316,70 @@ void K23Interposer::shutdown() {
   s.sud_armed = false;
   s.seccomp_armed = false;
   s.initialized = false;
+}
+
+K23Interposer::ChildReinitReport K23Interposer::atfork_child_reinit() {
+  ChildReinitReport r;
+  K23State& s = state();
+  if (!s.initialized) return r;
+
+  // 1. Re-arm SUD. fork does not preserve the dispatch config, and the
+  //    child has exactly one thread — the forking one — so one prctl
+  //    restores the exhaustive net. A refusal (EAGAIN under fork-storm
+  //    pressure, or an injected prctl_sud fault) steps the child down the
+  //    ladder to rewritten-sites-only coverage; it must not abort.
+  if (s.sud_armed) {
+    Status st = SudSession::rearm_current_thread();
+    if (st.is_ok()) {
+      r.sud_rearmed = true;
+    } else {
+      s.sud_armed = false;
+      // A prctl guard without SUD underneath guards nothing; leaving it
+      // on would abort the child on its own (now harmless) prctl calls.
+      Dispatcher::instance().set_prctl_guard(false);
+      r.events.add("sud",
+                   std::string("post-fork SUD re-arm refused: ") +
+                       st.message() +
+                       "; child coverage is rewritten sites only");
+    }
+  }
+
+  // 2. Re-validate the rewritten sites against the child's own maps. The
+  //    text pages are shared COW so the patches normally survive, but a
+  //    parent-side munmap/dlclose between init and fork (or a hostile
+  //    remap) would leave the entry check vouching for addresses that no
+  //    longer hold our `call *%rax` — prune those rather than trust them.
+  if (!s.rewritten.empty()) {
+    std::vector<uint64_t> surviving;
+    surviving.reserve(s.rewritten.size());
+    for (uint64_t site : s.rewritten) {
+      RegionProbe probe;
+      const bool live = query_address_region_noalloc(site, &probe) &&
+                        (probe.prot & PROT_EXEC) != 0;
+      if (live) {
+        surviving.push_back(site);
+      } else {
+        ++r.lost_sites;
+      }
+    }
+    r.revalidated_sites = surviving.size();
+    if (r.lost_sites > 0) {
+      s.rewritten = std::move(surviving);
+      const bool entry_check = s.options.variant != K23Variant::kDefault;
+      if (entry_check) {
+        s.valid_sites.clear();
+        for (uint64_t site : s.rewritten) s.valid_sites.insert(site);
+      }
+      // The registered-site set shrank: invalidate per-thread validator
+      // caches exactly like shutdown() does.
+      g_site_epoch.fetch_add(1, std::memory_order_acq_rel);
+      r.events.add("patcher",
+                   std::to_string(r.lost_sites) +
+                       " rewritten sites no longer executable in forked "
+                       "child; dropped from the entry check");
+    }
+  }
+  return r;
 }
 
 uint64_t K23Interposer::entry_check_memory_bytes() {

@@ -79,6 +79,27 @@ class K23Interposer {
   static bool initialized();
   static void shutdown();  // tests only
 
+  // What the post-fork child re-init did (process-tree propagation,
+  // DESIGN.md §9). The kernel drops SUD across fork, so a child that
+  // skipped this would silently run with only the rewritten sites covered
+  // — reopening exactly the coverage hole the exhaustive net exists for.
+  struct ChildReinitReport {
+    bool sud_rearmed = false;
+    size_t revalidated_sites = 0;  // rewritten sites still live in child
+    size_t lost_sites = 0;         // dropped from the entry check
+    DegradationReport events;      // child-side steps down the ladder
+  };
+
+  // Re-establishes interposition in a freshly forked child: re-arms SUD
+  // on the (single) surviving thread, re-validates every rewritten site
+  // against the child's /proc/self/maps with the no-allocation probe, and
+  // reports each refusal as a DegradationEvent instead of aborting — a
+  // degraded child is a child the operator hears about, a dead worker is
+  // an outage. Called from the pthread_atfork child handler registered by
+  // ProcessTree::init (k23/process_tree.h); safe to call when K23 is not
+  // initialized (no-op). Async-signal-safe except for event strings.
+  static ChildReinitReport atfork_child_reinit();
+
   // Memory held by the entry-check structure (P4b comparison point:
   // RobinSet bytes vs zpoline's bitmap reservation).
   static uint64_t entry_check_memory_bytes();

@@ -14,6 +14,10 @@
 //                          this binary)
 //     --keep-vdso          do not scrub AT_SYSINFO_EHDR
 //     --stats              print the trace report + capability ladder
+//     --tree               interpose the whole process tree: per-process
+//                          offline-log shards (merged back into --log after
+//                          exit) and, with --stats, per-process stats dumps
+//                          aggregated post-mortem
 //     --deadline-ms=N      detach from a wedged tracee after N ms (0 = off)
 #include <sys/wait.h>
 #include <unistd.h>
@@ -28,6 +32,8 @@
 #include "common/env.h"
 #include "common/files.h"
 #include "common/strings.h"
+#include "k23/offline_log.h"
+#include "k23/process_tree.h"
 #include "ptracer/ptracer.h"
 
 namespace k23 {
@@ -45,9 +51,63 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--offline] [--log=PATH] [--variant=V] "
                "[--mode=M] [--preload=PATH] [--keep-vdso] [--stats] "
-               "[--deadline-ms=N] -- program [args...]\n",
+               "[--tree] [--deadline-ms=N] -- program [args...]\n",
                argv0);
   return 2;
+}
+
+// Post-mortem half of --tree: fold every per-process log shard back into
+// the base log (crash-atomic save, shards removed on success) and, when
+// stats dumps were requested, print the per-process and aggregate view.
+void merge_tree_artifacts(const std::string& log_path, bool stats,
+                          const std::string& stats_dir) {
+  LogLoadReport merge_report;
+  const std::vector<std::string> shards = discover_log_shards(log_path);
+  if (!shards.empty()) {
+    auto merged = load_merged_shards(log_path, &merge_report);
+    if (merged.is_ok() && merged.value().save(log_path).is_ok()) {
+      for (const std::string& shard : shards) ::unlink(shard.c_str());
+      std::fprintf(stderr,
+                   "k23_run: merged %zu log shard%s into %s (%zu sites)\n",
+                   shards.size(), shards.size() == 1 ? "" : "s",
+                   log_path.c_str(), merged.value().size());
+      for (const std::string& issue : merge_report.issues) {
+        std::fprintf(stderr, "k23_run: shard issue: %s\n", issue.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "k23_run: shard merge failed: %s\n",
+                   merged.is_ok() ? "cannot save merged log"
+                                  : merged.message().c_str());
+    }
+  }
+
+  if (!stats || stats_dir.empty()) return;
+  auto dumps = ProcessTree::load_stats_dir(stats_dir);
+  if (!dumps.is_ok() || dumps.value().empty()) return;
+  static const char* kPathNames[] = {"rewritten", "sud-fallback", "ptrace",
+                                     "offline"};
+  ProcessStatsDump aggregate;
+  std::fprintf(stderr, "k23_run: process tree (%zu stats dump%s):\n",
+               dumps.value().size(),
+               dumps.value().size() == 1 ? "" : "s");
+  for (const ProcessStatsDump& dump : dumps.value()) {
+    std::fprintf(stderr, "  pid %-8d %llu syscalls", dump.pid,
+                 static_cast<unsigned long long>(dump.total));
+    for (size_t p = 0; p < 4; ++p) {
+      aggregate.by_path[p] += dump.by_path[p];
+      if (dump.by_path[p] != 0) {
+        std::fprintf(stderr, ", %s %llu", kPathNames[p],
+                     static_cast<unsigned long long>(dump.by_path[p]));
+      }
+    }
+    aggregate.total += dump.total;
+    aggregate.promoted += dump.promoted;
+    std::fprintf(stderr, ", promoted %llu\n",
+                 static_cast<unsigned long long>(dump.promoted));
+  }
+  std::fprintf(stderr, "  tree total %llu syscalls, %llu promoted sites\n",
+               static_cast<unsigned long long>(aggregate.total),
+               static_cast<unsigned long long>(aggregate.promoted));
 }
 
 }  // namespace
@@ -59,6 +119,7 @@ int main(int argc, char** argv) {
   bool offline = false;
   bool keep_vdso = false;
   bool stats = false;
+  bool tree = false;
   uint64_t deadline_ms = 0;
   std::string log_path = "k23.log";
   std::string variant = "default";
@@ -78,6 +139,8 @@ int main(int argc, char** argv) {
       keep_vdso = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--tree") {
+      tree = true;
     } else if (arg.rfind("--log=", 0) == 0) {
       log_path = arg.substr(6);
     } else if (arg.rfind("--variant=", 0) == 0) {
@@ -107,6 +170,23 @@ int main(int argc, char** argv) {
   // activity) live in the tracee's libk23_preload, not here: ask it to
   // dump them at exit.
   if (stats) env.set("K23_STATS", "1");
+  std::string stats_dir;
+  if (tree) {
+    // Whole-tree interposition: follow children across fork/exec, give
+    // each process its own log shard, and (with --stats) its own stats
+    // dump directory entry — both merged after the tree exits.
+    env.set("K23_FOLLOW", "on");
+    env.set("K23_LOG_SHARDS", "1");
+    if (stats) {
+      stats_dir = log_path + ".stats.d";
+      if (!make_dir(stats_dir).is_ok()) {
+        std::fprintf(stderr, "k23_run: cannot create %s\n",
+                     stats_dir.c_str());
+        return 1;
+      }
+      env.set("K23_STATS_DIR", stats_dir);
+    }
+  }
   std::vector<std::string> env_strings;
   for (const auto& entry : env.entries()) env_strings.push_back(entry);
 
@@ -169,7 +249,9 @@ int main(int argc, char** argv) {
     // The tracee runs on unattended; mirror its lifetime.
     int status = 0;
     ::waitpid(report.value().pid, &status, 0);
+    if (tree) merge_tree_artifacts(log_path, stats, stats_dir);
     return WIFEXITED(status) ? WEXITSTATUS(status) : 128;
   }
+  if (tree) merge_tree_artifacts(log_path, stats, stats_dir);
   return report.value().exit_code >= 0 ? report.value().exit_code : 1;
 }

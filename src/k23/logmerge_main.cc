@@ -3,8 +3,14 @@
 // generating additional logs").
 //
 //   k23_logmerge [--immutable] -o merged.log run1.log run2.log ...
+//   k23_logmerge [--immutable] -o merged.log --shards base.log
 //
-// Prints a per-input and merged summary; --immutable strips write
+// Plain inputs are whole logs from separate offline runs. --shards BASE
+// instead folds a process tree's per-PID shard files ("BASE.<pid>.shard",
+// written under K23_LOG_SHARDS=1) plus BASE itself into the output;
+// per-shard corruption (a worker killed mid-save leaves a torn v2 tail)
+// degrades to the recovered prefix and a printed issue, never a failed
+// merge. Prints a per-input and merged summary; --immutable strips write
 // permission from the output (the paper's log-integrity step).
 #include <cstdio>
 #include <cstring>
@@ -17,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace k23;
   std::string output;
   std::vector<std::string> inputs;
+  std::vector<std::string> shard_bases;
   bool immutable = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -24,14 +31,16 @@ int main(int argc, char** argv) {
       immutable = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       output = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_bases.emplace_back(argv[++i]);
     } else {
       inputs.emplace_back(argv[i]);
     }
   }
-  if (output.empty() || inputs.empty()) {
+  if (output.empty() || (inputs.empty() && shard_bases.empty())) {
     std::fprintf(stderr,
-                 "usage: %s [--immutable] -o merged.log run1.log "
-                 "[run2.log ...]\n",
+                 "usage: %s [--immutable] -o merged.log "
+                 "[run1.log ...] [--shards base.log ...]\n",
                  argv[0]);
     return 2;
   }
@@ -48,6 +57,25 @@ int main(int argc, char** argv) {
     merged.merge(log.value());
     std::printf("%-40s %6zu sites (%zu new)\n", path.c_str(),
                 log.value().size(), merged.size() - before);
+  }
+  for (const std::string& base : shard_bases) {
+    LogLoadReport report;
+    auto tree = load_merged_shards(base, &report);
+    if (!tree.is_ok()) {
+      std::fprintf(stderr, "k23_logmerge: shards of %s: %s\n", base.c_str(),
+                   tree.message().c_str());
+      return 1;
+    }
+    const size_t shard_count = discover_log_shards(base).size();
+    const size_t before = merged.size();
+    merged.merge(tree.value());
+    std::printf("%-40s %6zu sites (%zu new) from %zu shard%s\n",
+                base.c_str(), tree.value().size(), merged.size() - before,
+                shard_count, shard_count == 1 ? "" : "s");
+    for (const std::string& issue : report.issues) {
+      std::fprintf(stderr, "k23_logmerge: %s: %s (recovered prefix kept)\n",
+                   base.c_str(), issue.c_str());
+    }
   }
 
   Status st = immutable ? merged.save_immutable(output)

@@ -218,6 +218,73 @@ Status OfflineLog::save_immutable(const std::string& path) const {
   return make_read_only(path);
 }
 
+std::string log_shard_path(const std::string& base, pid_t pid) {
+  return base + "." + std::to_string(pid) + ".shard";
+}
+
+std::vector<std::string> discover_log_shards(const std::string& base) {
+  const size_t slash = base.rfind('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : base.substr(0, slash);
+  const std::string stem =
+      slash == std::string::npos ? base : base.substr(slash + 1);
+  const std::string prefix = stem + ".";
+  constexpr std::string_view kSuffix = ".shard";
+
+  std::vector<std::string> shards;
+  auto names = list_dir(dir);
+  if (!names.is_ok()) return shards;
+  for (const std::string& name : names.value()) {
+    if (name.size() <= prefix.size() + kSuffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    // The middle component must be a bare PID — "<stem>.123.extra.shard"
+    // or a renamed backup must not be swept into a merge.
+    const std::string_view middle(name.data() + prefix.size(),
+                                  name.size() - prefix.size() -
+                                      kSuffix.size());
+    if (middle.empty() || !parse_u64(middle)) continue;
+    shards.push_back(dir + "/" + name);
+  }
+  return shards;
+}
+
+Result<OfflineLog> load_merged_shards(const std::string& base,
+                                      LogLoadReport* report) {
+  LogLoadReport local;
+  LogLoadReport& rep = report != nullptr ? *report : local;
+  rep = LogLoadReport{};
+
+  OfflineLog merged;
+  std::vector<std::string> inputs;
+  if (file_exists(base)) inputs.push_back(base);
+  for (auto& shard : discover_log_shards(base)) {
+    inputs.push_back(std::move(shard));
+  }
+  for (const std::string& path : inputs) {
+    LogLoadReport one;
+    auto log = OfflineLog::load(path, &one);
+    if (!log.is_ok()) {
+      // A shard that cannot be read at all (unreadable, future version)
+      // is a coverage loss for that one process, not a failed merge.
+      ++rep.corrupt_records;
+      rep.issues.push_back(path + ": " + log.message());
+      continue;
+    }
+    merged.merge(log.value());
+    rep.recovered += one.recovered;
+    rep.corrupt_records += one.corrupt_records;
+    rep.torn_tail = rep.torn_tail || one.torn_tail;
+    for (const std::string& issue : one.issues) {
+      rep.issues.push_back(path + ": " + issue);
+    }
+  }
+  return merged;
+}
+
 std::vector<uint64_t> OfflineLog::resolve(
     const ProcessMaps& maps, std::vector<LogEntry>* unresolved) const {
   std::vector<uint64_t> out;

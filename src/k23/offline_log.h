@@ -104,4 +104,28 @@ class OfflineLog {
   std::set<LogEntry> entries_;
 };
 
+// --- per-process log shards (process-tree propagation, DESIGN.md §9) -------
+//
+// A worker tree cannot share one log file: concurrent crash-atomic saves
+// are last-writer-wins, silently dropping every other process's sites.
+// With K23_LOG_SHARDS=1 each process instead writes its own PID-tagged
+// shard next to the base log ("<base>.<pid>.shard", v2 format, atomic
+// save) and k23_logmerge / `k23_run --tree` fold the shards back into one
+// merged site log — duplicates collapse on merge, torn shards recover
+// their valid prefix exactly like any v2 log.
+
+// "<base>.<pid>.shard".
+std::string log_shard_path(const std::string& base, pid_t pid);
+
+// Full paths of every "<base>.<pid>.shard" sibling of `base`, sorted.
+// A missing directory yields an empty list, not an error.
+std::vector<std::string> discover_log_shards(const std::string& base);
+
+// Loads `base` (when present) plus every discovered shard and merges them.
+// Per-file corruption degrades (valid prefix recovered, issue recorded in
+// `report`) rather than failing the merge; `report`, when given,
+// accumulates totals across all inputs.
+Result<OfflineLog> load_merged_shards(const std::string& base,
+                                      LogLoadReport* report = nullptr);
+
 }  // namespace k23

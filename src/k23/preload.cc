@@ -14,6 +14,8 @@
 // verify they come from interposer code. Without a tracer the kernel
 // returns ENOSYS and startup continues identically — the protocol is
 // fully optional.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +30,7 @@
 #include "interpose/dispatch.h"
 #include "k23/k23.h"
 #include "k23/liblogger.h"
+#include "k23/process_tree.h"
 #include "lazypoline/lazypoline.h"
 #include "ptracer/ptracer.h"
 #include "rewrite/nopatch.h"
@@ -66,10 +69,16 @@ K23Variant parse_variant(const char* name) {
 }
 
 void save_logger_output() {
-  const char* path = std::getenv("K23_LOG_FILE");
-  if (path == nullptr || !LibLogger::running()) return;
+  const char* base = std::getenv("K23_LOG_FILE");
+  if (base == nullptr || !LibLogger::running()) return;
   auto log = LibLogger::stop();
   if (!log.is_ok()) return;
+  // With sharding on (K23_LOG_SHARDS=1), each process of an offline
+  // worker tree saves its own PID shard — concurrent crash-atomic saves
+  // of one shared file are last-writer-wins, silently dropping sites.
+  const ProcessTreeConfig tree = ProcessTreeConfig::from_env();
+  const std::string path =
+      tree.log_shards ? log_shard_path(base, ::getpid()) : std::string(base);
   // Merge with earlier runs of the offline phase (paper §5.1: repeat
   // with different inputs to improve coverage).
   auto existing = OfflineLog::load(path);
@@ -86,8 +95,17 @@ void save_logger_output() {
 // launcher cannot see: per-path totals, the hottest syscalls on each
 // path, and what promotion did.
 void k23_exit_report() {
-  const char* log_file = std::getenv("K23_LOG_FILE");
-  if (Promotion::active() && log_file != nullptr) {
+  if (ProcessTree::active()) {
+    // Sharded paths: this process's promoted sites land in its own PID
+    // shard, and its counters in its own stats dump — the launcher (or
+    // k23_logmerge) folds them together post-mortem.
+    ProcessTree::append_promoted_sites_to_log();
+    if (Status st = ProcessTree::write_stats_dump(); !st.is_ok()) {
+      K23_LOG(kWarn) << "libk23_preload: cannot write stats dump: "
+                     << st.message();
+    }
+  } else if (const char* log_file = std::getenv("K23_LOG_FILE");
+             Promotion::active() && log_file != nullptr) {
     OfflineLog log;
     if (auto existing = OfflineLog::load(log_file); existing.is_ok()) {
       log = std::move(existing).value();
@@ -198,6 +216,14 @@ __attribute__((constructor)) void k23_preload_init() {
                     << report.message();
   } else {
     std::atexit(&k23_exit_report);
+    // Arm process-tree propagation (DESIGN.md §9): atfork child re-init
+    // plus — unless K23_FOLLOW=off — the exec shim that carries
+    // LD_PRELOAD/K23_* across execve, including Listing 1's envp={NULL}.
+    if (Status tree = ProcessTree::init(ProcessTreeConfig::from_env());
+        !tree.is_ok()) {
+      K23_LOG(kWarn) << "libk23_preload: process-tree propagation off: "
+                     << tree.message();
+    }
     DegradationReport& deg = report.value().degradation;
     if (load_report.corrupt_records > 0 || load_report.torn_tail) {
       deg.add("offline-log",

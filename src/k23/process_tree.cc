@@ -1,0 +1,409 @@
+#include "k23/process_tree.h"
+
+#include <pthread.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+
+#include "common/files.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "interpose/dispatch.h"
+#include "interpose/internal.h"
+#include "k23/k23.h"
+#include "k23/offline_log.h"
+#include "k23/promotion.h"
+
+extern char** environ;
+
+namespace k23 {
+namespace {
+
+constexpr const char* kPathNames[] = {"rewritten", "sud-fallback", "ptrace",
+                                      "offline"};
+constexpr size_t kPaths = static_cast<size_t>(EntryPath::kPathCount);
+constexpr std::string_view kStatsHeader = "# k23-stats v1 pid=";
+constexpr std::string_view kStatsSuffix = ".k23stats";
+
+struct TreeState {
+  bool enabled = false;
+  bool atfork_registered = false;
+  ProcessTreeConfig config;
+  uint32_t fork_generation = 0;  // copied by fork, bumped in the child
+  DegradationReport report;
+};
+
+TreeState& state() {
+  // Leaked on purpose: the preload's atexit handler reads the config
+  // (shard path, stats dir) after static destructors may already have
+  // run, so this state must live for the whole process. A destructed
+  // TreeState only *appears* to work while its strings fit in the SSO
+  // buffer — longer paths dangle.
+  static TreeState* s = new TreeState;
+  return *s;
+}
+
+// --- exec shim --------------------------------------------------------------
+//
+// Everything the shim touches at exec time is snapshotted here at init:
+// reading ::environ or allocating inside the shim would be unsafe when the
+// execve arrives via the SIGSYS fallback path. Static, fixed-size storage;
+// a tree whose environment outgrows it degrades to pass-through (logged),
+// never to a torn envp.
+
+constexpr size_t kMaxForced = 64;        // LD_PRELOAD + K23_* entries
+constexpr size_t kForcedBytes = 16384;   // backing store for forced entries
+constexpr size_t kMaxMergedEnv = 1024;   // total entries in the rebuilt envp
+constexpr size_t kLdScratchBytes = 4096; // merged LD_PRELOAD value
+
+char g_forced_storage[kForcedBytes];
+const char* g_forced[kMaxForced];        // full "NAME=value" strings
+size_t g_forced_name_len[kMaxForced];    // bytes before '='
+size_t g_forced_count = 0;
+size_t g_forced_ld_preload = SIZE_MAX;   // index of LD_PRELOAD in g_forced
+
+// Rebuilt envp lives here while the execve syscall copies it. The lock is
+// held across the syscall itself: exec either replaces the image (lock
+// irrelevant) or fails and unlocks — so a concurrent exec on another
+// thread can never observe a half-rebuilt block.
+char* g_merged_env[kMaxMergedEnv + 1];
+char g_ld_scratch[kLdScratchBytes];
+std::atomic_flag g_exec_lock = ATOMIC_FLAG_INIT;
+
+size_t env_name_len(const char* entry) {
+  const char* eq = std::strchr(entry, '=');
+  return eq != nullptr ? static_cast<size_t>(eq - entry)
+                       : std::strlen(entry);
+}
+
+bool is_forced_name(const char* entry, size_t name_len) {
+  if (name_len == 10 && std::strncmp(entry, "LD_PRELOAD", 10) == 0) {
+    return true;
+  }
+  return name_len >= 4 && std::strncmp(entry, "K23_", 4) == 0;
+}
+
+// Snapshots LD_PRELOAD and every K23_* variable from the live environment
+// into the static forced-entry table. Returns false when it does not fit.
+bool snapshot_forced_env() {
+  g_forced_count = 0;
+  g_forced_ld_preload = SIZE_MAX;
+  size_t used = 0;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const size_t name_len = env_name_len(*e);
+    if (!is_forced_name(*e, name_len)) continue;
+    const size_t bytes = std::strlen(*e) + 1;
+    if (g_forced_count >= kMaxForced || used + bytes > kForcedBytes) {
+      return false;
+    }
+    std::memcpy(g_forced_storage + used, *e, bytes);
+    if (name_len == 10) g_forced_ld_preload = g_forced_count;
+    g_forced[g_forced_count] = g_forced_storage + used;
+    g_forced_name_len[g_forced_count] = name_len;
+    ++g_forced_count;
+    used += bytes;
+  }
+  return true;
+}
+
+long invoke_exec(const SyscallArgs& args) {
+  return internal::syscall_fn()(args.nr, args.rdi, args.rsi, args.rdx,
+                                args.r10, args.r8, args.r9);
+}
+
+// The dispatcher routes every interposed execve/execveat here. Rebuilds
+// envp so the forced entries survive — including the `envp = {NULL}` and
+// `envp = NULL` shapes of pitfall P1a — then forwards the call.
+long exec_shim(const SyscallArgs& args) {
+  const bool at = args.nr == SYS_execveat;
+  char* const* app_envp =
+      reinterpret_cast<char* const*>(at ? args.r10 : args.rdx);
+
+  while (g_exec_lock.test_and_set(std::memory_order_acquire)) {
+  }
+  size_t n = 0;
+  bool overflow = false;
+  const char* saved_ld_entry = nullptr;  // pre-merge LD_PRELOAD, restored below
+
+  // Application entries first (pointers into the caller's memory stay
+  // valid for the duration of the syscall); entries whose name collides
+  // with a forced one are replaced below, except LD_PRELOAD which merges.
+  for (char* const* e = app_envp; e != nullptr && *e != nullptr; ++e) {
+    const size_t name_len = env_name_len(*e);
+    if (is_forced_name(*e, name_len)) {
+      if (name_len == 10 && g_forced_ld_preload != SIZE_MAX) {
+        // Merge: our library first, then the application's own preloads.
+        const char* forced = g_forced[g_forced_ld_preload];
+        const char* app_value = *e + name_len;
+        if (*app_value == '=') ++app_value;
+        const size_t forced_len = std::strlen(forced);
+        const size_t app_len = std::strlen(app_value);
+        if (app_len > 0 && forced_len + 1 + app_len + 1 <= kLdScratchBytes &&
+            std::strstr(forced, app_value) == nullptr) {
+          std::memcpy(g_ld_scratch, forced, forced_len);
+          g_ld_scratch[forced_len] = ':';
+          std::memcpy(g_ld_scratch + forced_len + 1, app_value, app_len + 1);
+          saved_ld_entry = forced;
+          g_forced[g_forced_ld_preload] = g_ld_scratch;
+        }
+      }
+      continue;  // forced entry emitted below
+    }
+    if (n >= kMaxMergedEnv) {
+      overflow = true;
+      break;
+    }
+    g_merged_env[n++] = *e;
+  }
+  for (size_t i = 0; i < g_forced_count && !overflow; ++i) {
+    if (n >= kMaxMergedEnv) {
+      overflow = true;
+      break;
+    }
+    g_merged_env[n++] = const_cast<char*>(g_forced[i]);
+  }
+  g_merged_env[n] = nullptr;
+
+  if (overflow) {
+    // Degrade to pass-through: an exec with a truncated environment is a
+    // worse outcome than a child that escapes interposition and says so.
+    safe_log("k23: exec env rebuild overflow; child not re-injected");
+    if (saved_ld_entry != nullptr) {
+      g_forced[g_forced_ld_preload] = saved_ld_entry;
+    }
+    g_exec_lock.clear(std::memory_order_release);
+    return invoke_exec(args);
+  }
+
+  SyscallArgs forwarded = args;
+  if (at) {
+    forwarded.r10 = reinterpret_cast<long>(g_merged_env);
+  } else {
+    forwarded.rdx = reinterpret_cast<long>(g_merged_env);
+  }
+  long rc = invoke_exec(forwarded);  // returns only on failure
+  // Restore the pre-merge LD_PRELOAD entry: g_ld_scratch is per-call.
+  if (saved_ld_entry != nullptr) {
+    g_forced[g_forced_ld_preload] = saved_ld_entry;
+  }
+  g_exec_lock.clear(std::memory_order_release);
+  return rc;
+}
+
+// --- fork handler -----------------------------------------------------------
+
+void atfork_child() {
+  TreeState& s = state();
+  if (!s.enabled) return;
+  ++s.fork_generation;
+  // Re-arm SUD / re-validate sites; every refusal lands on the child's
+  // ladder instead of killing the worker. (The dispatcher's clone shim
+  // usually re-armed SUD already on the way through; the re-arm here is
+  // idempotent and also covers forks the dispatcher never saw — e.g. a
+  // fork issued while the ladder had degraded to rewritten-only.)
+  auto reinit = K23Interposer::atfork_child_reinit();
+  for (auto& event : reinit.events.events) {
+    s.report.events.push_back(std::move(event));
+  }
+  // Fresh per-process counters: this child's stats dump and log shard
+  // must describe *this* process, not the ancestors it was copied from.
+  Dispatcher::instance().stats().reset();
+}
+
+}  // namespace
+
+ProcessTreeConfig ProcessTreeConfig::from_env() {
+  ProcessTreeConfig config;
+  const char* follow = std::getenv("K23_FOLLOW");
+  if (follow != nullptr &&
+      (std::strcmp(follow, "off") == 0 || std::strcmp(follow, "0") == 0 ||
+       std::strcmp(follow, "false") == 0)) {
+    config.follow = false;
+  }
+  const char* log_file = std::getenv("K23_LOG_FILE");
+  if (log_file != nullptr) config.log_file = log_file;
+  const char* shards = std::getenv("K23_LOG_SHARDS");
+  config.log_shards = shards != nullptr && std::strcmp(shards, "0") != 0 &&
+                      shards[0] != '\0';
+  const char* stats_dir = std::getenv("K23_STATS_DIR");
+  if (stats_dir != nullptr) config.stats_dir = stats_dir;
+  return config;
+}
+
+Status ProcessTree::init(const ProcessTreeConfig& config) {
+  TreeState& s = state();
+  s.config = config;
+  if (!s.atfork_registered) {
+    if (::pthread_atfork(nullptr, nullptr, &atfork_child) != 0) {
+      return Status::from_errno("pthread_atfork");
+    }
+    s.atfork_registered = true;
+  }
+  if (config.follow) {
+    if (!snapshot_forced_env()) {
+      return Status::fail(
+          "process tree: LD_PRELOAD/K23_* environment exceeds the exec "
+          "shim's static storage");
+    }
+    internal::set_exec_shim(&exec_shim);
+  } else {
+    internal::set_exec_shim(nullptr);
+  }
+  s.enabled = true;
+  return Status::ok();
+}
+
+void ProcessTree::shutdown() {
+  TreeState& s = state();
+  s.enabled = false;
+  s.fork_generation = 0;
+  s.report = DegradationReport{};
+  internal::set_exec_shim(nullptr);
+}
+
+bool ProcessTree::active() { return state().enabled; }
+
+const ProcessTreeConfig& ProcessTree::config() { return state().config; }
+
+uint32_t ProcessTree::fork_generation() { return state().fork_generation; }
+
+const DegradationReport& ProcessTree::report() { return state().report; }
+
+std::string ProcessTree::log_shard_file() {
+  const TreeState& s = state();
+  if (!s.config.log_shards || s.config.log_file.empty()) return {};
+  return log_shard_path(s.config.log_file, ::getpid());
+}
+
+std::string ProcessTree::stats_dump_file() {
+  const TreeState& s = state();
+  if (s.config.stats_dir.empty()) return {};
+  return s.config.stats_dir + "/" + std::to_string(::getpid()) +
+         std::string(kStatsSuffix);
+}
+
+std::string ProcessTree::log_output_path() {
+  const TreeState& s = state();
+  std::string shard = log_shard_file();
+  if (!shard.empty()) return shard;
+  return s.config.log_file;
+}
+
+size_t ProcessTree::append_promoted_sites_to_log() {
+  const std::string path = log_output_path();
+  if (path.empty() || !Promotion::active()) return 0;
+  OfflineLog log;
+  if (auto existing = OfflineLog::load(path); existing.is_ok()) {
+    log = std::move(existing).value();
+  }
+  const size_t added = Promotion::append_to_log(&log);
+  if (added == 0) return 0;
+  if (!log.save(path).is_ok()) {
+    K23_LOG(kWarn) << "process tree: cannot append promoted sites to "
+                   << path;
+    return 0;
+  }
+  return added;
+}
+
+std::string ProcessTree::serialize_stats_dump() {
+  SyscallStats& stats = Dispatcher::instance().stats();
+  std::string out = std::string(kStatsHeader) +
+                    std::to_string(::getpid()) + "\n";
+  std::map<long, uint64_t> by_nr;
+  for (size_t p = 0; p < kPaths; ++p) {
+    const auto path = static_cast<EntryPath>(p);
+    const uint64_t count = stats.by_path(path);
+    out += "path,";
+    out += kPathNames[p];
+    out += ',';
+    out += std::to_string(count);
+    out += '\n';
+    if (count == 0) continue;
+    for (const auto& [nr, nr_count] :
+         stats.top_by_nr(path, SyscallStats::kMaxTracked)) {
+      by_nr[nr] += nr_count;
+    }
+  }
+  for (const auto& [nr, count] : by_nr) {
+    out += "nr," + std::to_string(nr) + "," + std::to_string(count) + "\n";
+  }
+  const PromotionStats promo = Promotion::stats();
+  out += "promotion,promoted," + std::to_string(promo.promoted) + "\n";
+  out += "promotion,sud_hits," + std::to_string(promo.sud_hits) + "\n";
+  return out;
+}
+
+Status ProcessTree::write_stats_dump() {
+  const std::string path = stats_dump_file();
+  if (path.empty()) return Status::ok();
+  return write_file_atomic(path, serialize_stats_dump());
+}
+
+Result<ProcessStatsDump> ProcessTree::parse_stats_dump(
+    const std::string& text) {
+  if (text.compare(0, kStatsHeader.size(), kStatsHeader) != 0) {
+    return Status::fail("not a k23 stats dump");
+  }
+  ProcessStatsDump dump;
+  bool first = true;
+  for (std::string_view line : split(text, '\n')) {
+    line = trim(line);
+    if (line.empty()) continue;
+    if (first) {
+      auto pid = parse_u64(line.substr(kStatsHeader.size()));
+      if (!pid) return Status::fail("malformed stats dump pid");
+      dump.pid = static_cast<pid_t>(*pid);
+      first = false;
+      continue;
+    }
+    std::vector<std::string_view> fields = split(line, ',');
+    if (fields.size() != 3) continue;
+    auto value = parse_u64(fields[2]);
+    if (!value) continue;
+    if (fields[0] == "path") {
+      for (size_t p = 0; p < kPaths; ++p) {
+        if (fields[1] == kPathNames[p]) {
+          dump.by_path[p] = *value;
+          dump.total += *value;
+        }
+      }
+    } else if (fields[0] == "nr") {
+      auto nr = parse_u64(fields[1]);
+      if (nr) dump.by_nr.emplace_back(static_cast<long>(*nr), *value);
+    } else if (fields[0] == "promotion") {
+      if (fields[1] == "promoted") dump.promoted = *value;
+      if (fields[1] == "sud_hits") dump.sud_hits = *value;
+    }
+  }
+  std::sort(dump.by_nr.begin(), dump.by_nr.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return dump;
+}
+
+Result<std::vector<ProcessStatsDump>> ProcessTree::load_stats_dir(
+    const std::string& dir) {
+  auto names = list_dir(dir);
+  if (!names.is_ok()) return names.error();
+  std::vector<ProcessStatsDump> dumps;
+  for (const std::string& name : names.value()) {
+    if (name.size() <= kStatsSuffix.size() ||
+        name.compare(name.size() - kStatsSuffix.size(), kStatsSuffix.size(),
+                     kStatsSuffix) != 0) {
+      continue;
+    }
+    auto contents = read_file(dir + "/" + name);
+    if (!contents.is_ok()) continue;
+    auto dump = parse_stats_dump(contents.value());
+    if (dump.is_ok()) dumps.push_back(std::move(dump).value());
+  }
+  std::sort(dumps.begin(), dumps.end(),
+            [](const auto& a, const auto& b) { return a.pid < b.pid; });
+  return dumps;
+}
+
+}  // namespace k23

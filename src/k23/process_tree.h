@@ -1,0 +1,129 @@
+// Process-tree propagation: fork/vfork/execve lifecycle (DESIGN.md §9).
+//
+// The paper's online phase is armed once, in one process. Every real
+// server in the Table 6 class creates children — nginx-style pre-fork
+// workers, redis-style background-save forks, shell-outs via
+// fork+execve — and each transition is a distinct way to silently lose
+// interposition:
+//
+//  * fork/vfork: the kernel drops Syscall User Dispatch in the child, so
+//    an un-re-armed worker runs with only the rewritten sites covered;
+//  * execve: the fresh image loads without libk23_preload unless the
+//    environment carries it — and the `envp = {NULL}` pattern (paper
+//    Listing 1, pitfall P1a) drops it even from a cooperative parent.
+//    The ptracer defends P1a only while attached; after the startup
+//    handoff the tracer is gone and exec'd children escaped entirely.
+//
+// ProcessTree closes both holes from inside the process:
+//
+//  * a pthread_atfork child handler (gadget-routed, allocation-light)
+//    re-arms SUD, re-validates the rewritten sites against the child's
+//    own /proc/self/maps, resets per-process statistics, and records
+//    every refusal on a child-side DegradationReport;
+//  * an exec shim registered with the dispatcher rebuilds envp on every
+//    interposed execve/execveat from a snapshot taken at init — static
+//    storage only, so it is safe from the SIGSYS path — ensuring
+//    LD_PRELOAD and all K23_* variables survive, including through an
+//    empty environment. K23_FOLLOW=off opts out (children escape, the
+//    paper's single-process behavior);
+//  * per-process offline-log shards and stats dumps (PID-tagged,
+//    crash-atomic) so a worker tree produces mergeable artifacts instead
+//    of racing on shared files — k23_logmerge and `k23_run --tree` fold
+//    them back together post-mortem.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "k23/degradation.h"
+
+namespace k23 {
+
+struct ProcessTreeConfig {
+  // Follow children across execve (the exec shim). Off restores the
+  // paper's behavior: exec'd children run uninterposed.
+  bool follow = true;
+  // Offline-log base path (K23_LOG_FILE); empty disables log shards.
+  std::string log_file;
+  // Write per-process "<log_file>.<pid>.shard" files instead of mutating
+  // the shared base log (K23_LOG_SHARDS=1).
+  bool log_shards = false;
+  // Directory for per-process stats dumps (K23_STATS_DIR); empty = off.
+  std::string stats_dir;
+
+  // Reads K23_FOLLOW (off|0|false opt out), K23_LOG_FILE,
+  // K23_LOG_SHARDS, K23_STATS_DIR.
+  static ProcessTreeConfig from_env();
+};
+
+// One process's post-mortem stats dump (written by write_stats_dump,
+// parsed by `k23_run --stats --tree`). Plain text, one file per PID:
+//
+//   # k23-stats v1 pid=<pid>
+//   path,<path-name>,<count>
+//   nr,<syscall-nr>,<count>
+//   promotion,<counter>,<value>
+struct ProcessStatsDump {
+  pid_t pid = 0;
+  uint64_t total = 0;
+  uint64_t by_path[4] = {};  // EntryPath order: rewritten, sud, ptrace, offline
+  std::vector<std::pair<long, uint64_t>> by_nr;  // sorted by count, desc
+  uint64_t promoted = 0;
+  uint64_t sud_hits = 0;
+};
+
+class ProcessTree {
+ public:
+  // Arms process-tree propagation for the current process: registers the
+  // pthread_atfork child handler (once per process — pthread_atfork
+  // cannot be unregistered, so shutdown() only disables it) and, when
+  // `config.follow`, snapshots the injection environment and installs the
+  // dispatcher exec shim. Idempotent; later calls replace the config.
+  static Status init(const ProcessTreeConfig& config);
+  static void shutdown();  // disables handlers; tests only
+  static bool active();
+  static const ProcessTreeConfig& config();
+
+  // How many forks deep this process is below the init()-calling root
+  // (0 in the root, 1 in its children, ...). Bumped by the atfork child
+  // handler — the direct witness that the handler ran.
+  static uint32_t fork_generation();
+
+  // Child-side degradation events accumulated by the atfork handler
+  // (post-fork SUD refusals, lost rewritten sites).
+  static const DegradationReport& report();
+
+  // This process's artifact paths under the current config ("" when the
+  // corresponding feature is off).
+  static std::string log_shard_file();
+  static std::string stats_dump_file();
+
+  // Where this process should persist offline-log output: the PID shard
+  // when sharding is on, the shared base log otherwise, "" when neither.
+  static std::string log_output_path();
+
+  // Appends this process's promoted sites to its shard/base log
+  // (crash-atomic, merging with the file's previous contents). Returns
+  // the number of sites appended; 0 when promotion is idle or logging is
+  // unconfigured.
+  static size_t append_promoted_sites_to_log();
+
+  // Writes the per-process stats dump (crash-atomic). No-op Status::ok
+  // when stats_dir is unset.
+  static Status write_stats_dump();
+
+  // --- post-mortem aggregation (k23_run --stats --tree) --------------------
+  static std::string serialize_stats_dump();
+  static Result<ProcessStatsDump> parse_stats_dump(const std::string& text);
+  // Every parseable dump in `dir`, sorted by pid. Unparseable files are
+  // skipped (a worker killed mid-save leaves a torn temp file at worst —
+  // the atomic rename means a present dump is always whole).
+  static Result<std::vector<ProcessStatsDump>> load_stats_dir(
+      const std::string& dir);
+};
+
+}  // namespace k23

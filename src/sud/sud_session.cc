@@ -165,18 +165,29 @@ Status enable_sud_current_thread() {
   return Status::ok();
 }
 
-// Runs on each new thread created through the dispatcher (clone shim).
-void rearm_thread_trampoline() {
-  if (!g_armed.load(std::memory_order_acquire)) return;
-  // Must go through the gadget: this thread's inherited SUD config points
-  // at the *parent's* selector, whose current value may be BLOCK.
+// Re-points SUD at this thread's own selector. Must go through the
+// gadget: the thread's inherited SUD config references the *parent's*
+// selector, whose current value may be BLOCK. Returns the raw prctl rc.
+long rearm_prctl_current_thread() {
   t_selector = SYSCALL_DISPATCH_FILTER_ALLOW;
-  gadget_fn()(SYS_prctl, PR_SET_SYSCALL_USER_DISPATCH, PR_SYS_DISPATCH_ON,
-              reinterpret_cast<long>(g_gadget_page), kGadgetPageSize,
-              reinterpret_cast<long>(&t_selector), 0);
+  long rc = gadget_fn()(SYS_prctl, PR_SET_SYSCALL_USER_DISPATCH,
+                        PR_SYS_DISPATCH_ON,
+                        reinterpret_cast<long>(g_gadget_page),
+                        kGadgetPageSize,
+                        reinterpret_cast<long>(&t_selector), 0);
   t_selector = g_default_block.load(std::memory_order_acquire)
                    ? SYSCALL_DISPATCH_FILTER_BLOCK
                    : SYSCALL_DISPATCH_FILTER_ALLOW;
+  return rc;
+}
+
+// Runs on each new thread created through the dispatcher (clone shim).
+// Void and best-effort by contract: the shim runs on a frameless fresh
+// stack with nowhere to report to — callers needing the verdict use
+// SudSession::rearm_current_thread.
+void rearm_thread_trampoline() {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  (void)rearm_prctl_current_thread();
 }
 
 }  // namespace
@@ -238,7 +249,17 @@ Status SudSession::rearm_current_thread() {
   if (!g_armed.load(std::memory_order_acquire)) {
     return Status::fail("SUD session not armed");
   }
-  rearm_thread_trampoline();
+  // "prctl_sud" fault point: models a kernel refusing the re-arm (EAGAIN
+  // under PID/rlimit pressure right after fork is the observed real-world
+  // shape) so the post-fork degradation path is testable deterministically.
+  if (fault_fires("prctl_sud")) {
+    return Status::from_errno("prctl(PR_SET_SYSCALL_USER_DISPATCH) re-arm");
+  }
+  long rc = rearm_prctl_current_thread();
+  if (rc != 0) {
+    errno = syscall_errno(rc);
+    return Status::from_errno("prctl(PR_SET_SYSCALL_USER_DISPATCH) re-arm");
+  }
   return Status::ok();
 }
 

@@ -1,4 +1,11 @@
-// Standalone static-file HTTP server: mini_http [port] [body_bytes] [workers]
+// Standalone static-file HTTP server:
+//   mini_http [port] [body_bytes] [workers] [max_requests_per_worker]
+//
+// A non-zero 4th argument selects the pre-fork supervisor: workers exit
+// cleanly after that many responses and are re-forked, exercising the
+// fork/exit process churn the process-tree propagation layer must survive.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,7 +16,17 @@ int main(int argc, char** argv) {
   if (argc >= 2) options.port = static_cast<uint16_t>(std::atoi(argv[1]));
   if (argc >= 3) options.body_size = static_cast<size_t>(std::atol(argv[2]));
   if (argc >= 4) options.workers = std::atoi(argv[3]);
+  if (argc >= 5) options.max_requests_per_worker = std::atol(argv[4]);
 
+  if (options.max_requests_per_worker > 0) {
+    uint16_t port = 0;
+    std::fprintf(stderr, "mini_http: prefork supervisor, %d workers, "
+                         "recycle every %ld requests\n",
+                 options.workers, options.max_requests_per_worker);
+    k23::Status st = k23::run_http_server_prefork(options, &port);
+    std::fprintf(stderr, "mini_http: %s\n", st.message().c_str());
+    return st.is_ok() ? 0 : 1;
+  }
   if (options.workers <= 1) {
     uint16_t port = 0;
     std::fprintf(stderr, "mini_http: single worker starting\n");

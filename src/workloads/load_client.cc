@@ -84,6 +84,26 @@ Result<LoadResult> run_load(const LoadOptions& options,
   }
 
   LoadResult result;
+  // A recycled pre-fork worker (max_requests_per_worker) takes its
+  // keep-alive connections down with it; the client treats that as churn,
+  // not failure, and dials a replacement connection.
+  auto reconnect = [&](ClientConn& conn, uint64_t tag) {
+    if (conn.fd >= 0) {
+      (void)loop.remove(conn.fd);
+      ::close(conn.fd);
+    }
+    conn = ClientConn{};
+    auto fd = tcp_connect(options.port);
+    if (!fd.is_ok()) {
+      conn.fd = -1;
+      return;
+    }
+    conn.fd = fd.value();
+    (void)set_nodelay(conn.fd);
+    (void)set_nonblocking(conn.fd, true);
+    (void)loop.add(conn.fd, EPOLLIN | EPOLLOUT, tag);
+  };
+
   const auto start = Clock::now();
   const auto deadline =
       start + std::chrono::duration<double>(options.duration_seconds);
@@ -98,9 +118,7 @@ Result<LoadResult> run_load(const LoadOptions& options,
       if (conn.fd < 0) continue;
       if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
         ++result.errors;
-        (void)loop.remove(conn.fd);
-        ::close(conn.fd);
-        conn.fd = -1;
+        reconnect(conn, events[i].tag);
         continue;
       }
       if (!conn.awaiting_reply && (events[i].events & EPOLLOUT) != 0) {
@@ -114,12 +132,14 @@ Result<LoadResult> run_load(const LoadOptions& options,
         }
       }
       if (conn.awaiting_reply && (events[i].events & EPOLLIN) != 0) {
+        bool eof = false;
         while (true) {
           ssize_t got = ::read(conn.fd, buf, sizeof(buf));
           if (got > 0) {
             conn.inbox.append(buf, static_cast<size_t>(got));
             continue;
           }
+          if (got == 0) eof = true;
           break;
         }
         size_t frame;
@@ -127,6 +147,11 @@ Result<LoadResult> run_load(const LoadOptions& options,
           conn.inbox.erase(0, frame);
           ++result.requests;
           conn.awaiting_reply = false;
+        }
+        if (eof) {
+          ++result.errors;
+          reconnect(conn, events[i].tag);
+          continue;
         }
         if (!conn.awaiting_reply) {
           (void)loop.modify(conn.fd, EPOLLIN | EPOLLOUT, events[i].tag);

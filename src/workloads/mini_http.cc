@@ -75,8 +75,11 @@ Status serve_loop(int listen_fd, const MiniHttpOptions& options) {
 
   char buf[8192];
   EpollLoop::Event events[64];
-  while (options.stop == nullptr ||
-         !options.stop->load(std::memory_order_relaxed)) {
+  long served = 0;
+  bool quota_reached = false;
+  while (!quota_reached &&
+         (options.stop == nullptr ||
+          !options.stop->load(std::memory_order_relaxed))) {
     auto n = loop.wait(events, 64, 50);
     if (!n.is_ok()) return n.status();
     for (int i = 0; i < n.value(); ++i) {
@@ -116,6 +119,10 @@ Status serve_loop(int listen_fd, const MiniHttpOptions& options) {
         if (!sent.is_ok()) {
           closed = true;
           break;
+        }
+        if (options.max_requests_per_worker > 0 &&
+            ++served >= options.max_requests_per_worker) {
+          quota_reached = true;  // recycle after draining this event batch
         }
       }
       if (closed) {
@@ -174,6 +181,67 @@ Result<MiniHttpHandle> spawn_http_server(const MiniHttpOptions& options) {
   }
   ::close(listen_fd.value());
   return handle;
+}
+
+Status run_http_server_prefork(const MiniHttpOptions& options,
+                               uint16_t* bound_port) {
+  auto listen_fd = tcp_listen(options.port);
+  if (!listen_fd.is_ok()) return listen_fd.status();
+  auto port = tcp_local_port(listen_fd.value());
+  if (!port.is_ok()) return port.status();
+  if (bound_port != nullptr) *bound_port = port.value();
+  (void)set_nonblocking(listen_fd.value(), true);
+
+  std::vector<pid_t> workers;
+  auto spawn_worker = [&]() -> Status {
+    ::fflush(nullptr);
+    pid_t pid = ::fork();
+    if (pid < 0) return Status::from_errno("fork worker");
+    if (pid == 0) {
+      MiniHttpOptions worker = options;
+      worker.stop = nullptr;  // workers run to quota or SIGKILL
+      Status st = serve_loop(listen_fd.value(), worker);
+      // exit(3), not _exit: the recycled worker's atexit duties must run
+      // (under libk23_preload that writes its log shard + stats dump).
+      ::exit(st.is_ok() ? 0 : 1);
+    }
+    workers.push_back(pid);
+    return Status::ok();
+  };
+
+  const int worker_count = options.workers > 0 ? options.workers : 1;
+  for (int i = 0; i < worker_count; ++i) {
+    if (Status st = spawn_worker(); !st.is_ok()) {
+      for (pid_t pid : workers) ::kill(pid, SIGKILL);
+      for (pid_t pid : workers) ::waitpid(pid, nullptr, 0);
+      ::close(listen_fd.value());
+      return st;
+    }
+  }
+
+  // Supervisor: reap recycled workers and fork replacements until stopped.
+  while (options.stop == nullptr ||
+         !options.stop->load(std::memory_order_relaxed)) {
+    int status = 0;
+    pid_t reaped = ::waitpid(-1, &status, WNOHANG);
+    if (reaped <= 0) {
+      ::usleep(2000);
+      continue;
+    }
+    workers.erase(std::remove(workers.begin(), workers.end(), reaped),
+                  workers.end());
+    if (Status st = spawn_worker(); !st.is_ok()) {
+      for (pid_t pid : workers) ::kill(pid, SIGKILL);
+      for (pid_t pid : workers) ::waitpid(pid, nullptr, 0);
+      ::close(listen_fd.value());
+      return st;
+    }
+  }
+
+  for (pid_t pid : workers) ::kill(pid, SIGKILL);
+  for (pid_t pid : workers) ::waitpid(pid, nullptr, 0);
+  ::close(listen_fd.value());
+  return Status::ok();
 }
 
 void stop_http_server(const MiniHttpHandle& handle) {

@@ -30,6 +30,11 @@ struct MiniHttpOptions {
   bool use_writev = false;
   // Stop flag polled between epoll waits (nullptr = run forever).
   const std::atomic<bool>* stop = nullptr;
+  // Pre-fork respawn mode: a worker exits cleanly after serving this many
+  // responses and the supervisor forks a replacement (nginx
+  // max_requests-style worker recycling). 0 = workers never recycle.
+  // Only meaningful for run_http_server_prefork.
+  long max_requests_per_worker = 0;
 };
 
 struct MiniHttpHandle {
@@ -47,5 +52,15 @@ Status run_http_server_inline(const MiniHttpOptions& options,
 // server by killing the workers (SIGTERM) and reaping them.
 Result<MiniHttpHandle> spawn_http_server(const MiniHttpOptions& options);
 void stop_http_server(const MiniHttpHandle& handle);
+
+// Pre-fork supervisor loop in the calling process: binds, forks `workers`
+// children sharing the listen fd, then reaps and re-forks workers as they
+// exit (worker recycling via max_requests_per_worker) until *options.stop
+// becomes true. Unlike spawn_http_server's workers, recycled workers
+// leave via exit(3) so atexit duties run — under libk23_preload that is
+// what flushes each worker's log shard and stats dump, making this the
+// process-churn workload for the Table 6 process-tree row.
+Status run_http_server_prefork(const MiniHttpOptions& options,
+                               uint16_t* bound_port = nullptr);
 
 }  // namespace k23

@@ -1,0 +1,126 @@
+// k23_logmerge / shard-merge coverage: per-PID shards round-trip through
+// load_merged_shards, shared sites dedup on merge, and a torn v2 tail (a
+// worker killed mid-save) degrades to the recovered prefix instead of
+// failing the whole merge.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/files.h"
+#include "k23/offline_log.h"
+
+namespace k23 {
+namespace {
+
+#ifndef K23_BUILD_DIR
+#define K23_BUILD_DIR "."
+#endif
+
+std::string logmerge_binary() {
+  return std::string(K23_BUILD_DIR) + "/src/k23/k23_logmerge";
+}
+
+class LogmergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = make_temp_dir("k23_logmerge_");
+    ASSERT_TRUE(dir.is_ok()) << dir.message();
+    dir_ = dir.value();
+    base_ = dir_ + "/base.log";
+  }
+  void TearDown() override { (void)remove_tree(dir_); }
+
+  std::string dir_;
+  std::string base_;
+};
+
+OfflineLog make_log(std::initializer_list<std::pair<const char*, uint64_t>>
+                        sites) {
+  OfflineLog log;
+  for (const auto& [region, offset] : sites) log.add(region, offset);
+  return log;
+}
+
+TEST_F(LogmergeTest, ShardRoundTripMergesAndDedups) {
+  // Base knows A,B; worker 111 rediscovered B and found C; worker 222
+  // found C and D. Shared sites must collapse, all four must survive.
+  ASSERT_TRUE(make_log({{"/lib/app", 0x10}, {"/lib/app", 0x20}})
+                  .save(base_)
+                  .is_ok());
+  ASSERT_TRUE(make_log({{"/lib/app", 0x20}, {"/lib/libc", 0x100}})
+                  .save(log_shard_path(base_, 111))
+                  .is_ok());
+  ASSERT_TRUE(make_log({{"/lib/libc", 0x100}, {"/lib/libc", 0x200}})
+                  .save(log_shard_path(base_, 222))
+                  .is_ok());
+
+  EXPECT_EQ(discover_log_shards(base_).size(), 2u);
+
+  LogLoadReport report;
+  auto merged = load_merged_shards(base_, &report);
+  ASSERT_TRUE(merged.is_ok()) << merged.message();
+  EXPECT_EQ(merged.value().size(), 4u);
+  EXPECT_EQ(merged.value().entries().count({"/lib/app", 0x10}), 1u);
+  EXPECT_EQ(merged.value().entries().count({"/lib/app", 0x20}), 1u);
+  EXPECT_EQ(merged.value().entries().count({"/lib/libc", 0x100}), 1u);
+  EXPECT_EQ(merged.value().entries().count({"/lib/libc", 0x200}), 1u);
+  EXPECT_EQ(report.corrupt_records, 0u);
+  EXPECT_FALSE(report.torn_tail);
+}
+
+TEST_F(LogmergeTest, BinaryMergesShardsIntoOneLog) {
+  ASSERT_TRUE(make_log({{"/lib/app", 0x10}}).save(base_).is_ok());
+  ASSERT_TRUE(make_log({{"/lib/app", 0x10}, {"/lib/libc", 0x100}})
+                  .save(log_shard_path(base_, 4242))
+                  .is_ok());
+
+  const std::string out = dir_ + "/merged.log";
+  const std::string cmd = logmerge_binary() + " -o " + out + " --shards " +
+                          base_ + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  auto merged = OfflineLog::load(out);
+  ASSERT_TRUE(merged.is_ok()) << merged.message();
+  EXPECT_EQ(merged.value().size(), 2u);
+  EXPECT_EQ(merged.value().entries().count({"/lib/libc", 0x100}), 1u);
+}
+
+TEST_F(LogmergeTest, TornShardTailRecoversPrefix) {
+  ASSERT_TRUE(make_log({{"/lib/app", 0x10}}).save(base_).is_ok());
+
+  // A worker killed mid-save: v2 header promises 3 records but the file
+  // ends inside the third line.
+  const std::string full =
+      make_log({{"/lib/libc", 0x100}, {"/lib/libc", 0x200},
+                {"/lib/libc", 0x300}})
+          .serialize();
+  ASSERT_FALSE(full.empty());
+  ASSERT_EQ(full.back(), '\n');
+  const std::string torn = full.substr(0, full.size() - 5);
+  ASSERT_TRUE(
+      write_file(log_shard_path(base_, 777), torn).is_ok());
+
+  LogLoadReport report;
+  auto merged = load_merged_shards(base_, &report);
+  ASSERT_TRUE(merged.is_ok()) << merged.message();  // degrade, don't fail
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_FALSE(report.issues.empty());
+  // The two complete records plus the base survive; the torn one is gone.
+  EXPECT_EQ(merged.value().size(), 3u);
+  EXPECT_EQ(merged.value().entries().count({"/lib/libc", 0x100}), 1u);
+  EXPECT_EQ(merged.value().entries().count({"/lib/libc", 0x200}), 1u);
+  EXPECT_EQ(merged.value().entries().count({"/lib/libc", 0x300}), 0u);
+
+  // The binary agrees: torn shards never fail the merge.
+  const std::string out = dir_ + "/merged.log";
+  const std::string cmd = logmerge_binary() + " -o " + out + " --shards " +
+                          base_ + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  auto from_bin = OfflineLog::load(out);
+  ASSERT_TRUE(from_bin.is_ok());
+  EXPECT_EQ(from_bin.value().size(), 3u);
+}
+
+}  // namespace
+}  // namespace k23

@@ -1,0 +1,219 @@
+// Process-tree propagation tests (DESIGN.md §9): forked workers stay
+// interposed with per-process artifacts, exec'd children are re-injected
+// across an empty environment (pitfall P1a), K23_FOLLOW=off restores the
+// single-process behavior, and a refused post-fork SUD re-arm lands on
+// the degradation ladder instead of killing the child.
+#include "k23/process_tree.h"
+
+#include <gtest/gtest.h>
+#include <sys/syscall.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "arch/raw_syscall.h"
+#include "common/caps.h"
+#include "common/files.h"
+#include "faultinject/faultinject.h"
+#include "interpose/dispatch.h"
+#include "k23/k23.h"
+#include "support/subprocess.h"
+#include "support/syscall_sites.h"
+
+namespace k23 {
+namespace {
+
+#define SKIP_WITHOUT_K23_CAPS()                                        \
+  if (!capabilities().mmap_va0 || !capabilities().sud) {               \
+    GTEST_SKIP() << "needs VA-0 mapping and Syscall User Dispatch";    \
+  }
+
+std::string helper_path(const char* name) {
+  return std::string(K23_HELPER_DIR) + "/" + name;
+}
+
+// Brings up the full online phase in the current (child) process: the
+// getpid site rewritten from the log, promotion at threshold 1 so a
+// single SUD hit on the getuid site promotes it.
+bool arm_k23_with_getpid_logged(OfflineLog* log_out = nullptr) {
+  OfflineLog log;
+  auto maps = ProcessMaps::snapshot();
+  if (!maps.is_ok()) return false;
+  if (!log.add_address(maps.value(), testing::getpid_site())) return false;
+  K23Interposer::Options options;
+  options.promotion.threshold = 1;
+  if (!K23Interposer::init(log, options).is_ok()) return false;
+  if (log_out != nullptr) *log_out = log;
+  return true;
+}
+
+TEST(ProcessTree, ForkedWorkerStaysInterposedWithPerProcessArtifacts) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    auto dir = make_temp_dir("k23_ptree_");
+    if (!dir.is_ok()) return 1;
+    const std::string base = dir.value() + "/base.log";
+    const std::string stats_dir = dir.value() + "/stats.d";
+    if (!make_dir(stats_dir).is_ok()) return 2;
+
+    OfflineLog base_log;
+    if (!arm_k23_with_getpid_logged(&base_log)) return 3;
+    if (!base_log.save(base).is_ok()) return 4;
+
+    ProcessTreeConfig config;
+    config.log_file = base;
+    config.log_shards = true;
+    config.stats_dir = stats_dir;
+    if (!ProcessTree::init(config).is_ok()) return 5;
+    if (ProcessTree::fork_generation() != 0) return 6;
+
+    // The forked worker: its syscalls must still be interposed, its
+    // counters must be its own, and its artifacts must be PID-tagged.
+    auto worker = testing::run_in_child([&] {
+      if (ProcessTree::fork_generation() != 1) return 10;
+      // Unlogged site: dispatches via the SUD fallback and, at
+      // threshold 1, gets promoted — a child-discovered site.
+      for (int i = 0; i < 5; ++i) {
+        if (k23_test_getuid() != ::getuid()) return 11;
+        if (k23_test_getpid() != ::getpid()) return 12;
+      }
+      SyscallStats& stats = Dispatcher::instance().stats();
+      // The atfork handler reset the counters, so everything counted
+      // here happened in *this* process.
+      if (stats.by_path(EntryPath::kSudFallback) == 0) return 13;
+      if (stats.by_path(EntryPath::kRewritten) == 0) return 14;
+      if (ProcessTree::append_promoted_sites_to_log() == 0) return 15;
+      if (!ProcessTree::write_stats_dump().is_ok()) return 16;
+      if (!file_exists(ProcessTree::log_shard_file())) return 17;
+      return 0;
+    });
+    if (!worker.exited || worker.exit_code != 0) {
+      return 20 + (worker.exited ? worker.exit_code : 99);
+    }
+
+    // The parent's generation is untouched by the child's bump.
+    if (ProcessTree::fork_generation() != 0) return 7;
+
+    // Post-mortem merge: the child's shard carries the getuid site the
+    // base log never knew about.
+    if (discover_log_shards(base).empty()) return 60;
+    LogLoadReport report;
+    auto merged = load_merged_shards(base, &report);
+    if (!merged.is_ok()) return 61;
+    auto maps = ProcessMaps::snapshot();
+    if (!maps.is_ok()) return 62;
+    OfflineLog expected;
+    if (!expected.add_address(maps.value(), testing::getuid_site())) {
+      return 63;
+    }
+    const LogEntry& getuid_entry = *expected.entries().begin();
+    if (merged.value().entries().count(getuid_entry) == 0) return 64;
+    // Base-log sites survive the merge too.
+    for (const LogEntry& entry : base_log.entries()) {
+      if (merged.value().entries().count(entry) == 0) return 65;
+    }
+
+    // Stats aggregation sees exactly the one worker dump, with traffic
+    // on both the fallback and the rewritten path.
+    auto dumps = ProcessTree::load_stats_dir(stats_dir);
+    if (!dumps.is_ok() || dumps.value().size() != 1) return 66;
+    const ProcessStatsDump& dump = dumps.value()[0];
+    if (dump.by_path[static_cast<size_t>(EntryPath::kSudFallback)] == 0) {
+      return 67;
+    }
+    if (dump.by_path[static_cast<size_t>(EntryPath::kRewritten)] == 0) {
+      return 68;
+    }
+    if (dump.promoted == 0) return 69;
+    (void)remove_tree(dir.value());
+    return 0;
+  });
+}
+
+TEST(ProcessTree, ExecveWithEmptyEnvIsReinjected) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    // The probe exits 0 iff LD_PRELOAD mentions k23_marker — the same
+    // witness the P1a PoC uses. The library need not exist; ld.so warns
+    // and continues, and only the variable's survival is under test.
+    ::setenv("LD_PRELOAD", "/tmp/libk23_marker.so", 1);
+    if (!arm_k23_with_getpid_logged()) return 1;
+    if (!ProcessTree::init(ProcessTreeConfig::from_env()).is_ok()) return 2;
+
+    const std::string probe = helper_path("helper_env_probe");
+    auto child = testing::run_in_child([&] {
+      // Listing 1 (pitfall P1a): execve with envp = {NULL} would drop
+      // LD_PRELOAD from any cooperative parent. The exec shim must
+      // rebuild the environment anyway.
+      char* argv[] = {const_cast<char*>("helper_env_probe"), nullptr};
+      char* envp[] = {nullptr};
+      (void)raw_syscall(SYS_execve, reinterpret_cast<long>(probe.c_str()),
+                        reinterpret_cast<long>(argv),
+                        reinterpret_cast<long>(envp));
+      return 9;  // execve returned — it failed
+    });
+    return child.exited && child.exit_code == 0 ? 0 : 3;
+  });
+}
+
+TEST(ProcessTree, FollowOffRestoresTheEscape) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    ::setenv("LD_PRELOAD", "/tmp/libk23_marker.so", 1);
+    ::setenv("K23_FOLLOW", "off", 1);
+    if (!arm_k23_with_getpid_logged()) return 1;
+    ProcessTreeConfig config = ProcessTreeConfig::from_env();
+    if (config.follow) return 2;  // K23_FOLLOW=off must parse as opt-out
+    if (!ProcessTree::init(config).is_ok()) return 3;
+
+    const std::string probe = helper_path("helper_env_probe");
+    auto child = testing::run_in_child([&] {
+      char* argv[] = {const_cast<char*>("helper_env_probe"), nullptr};
+      char* envp[] = {nullptr};
+      (void)raw_syscall(SYS_execve, reinterpret_cast<long>(probe.c_str()),
+                        reinterpret_cast<long>(argv),
+                        reinterpret_cast<long>(envp));
+      return 9;
+    });
+    // Paper behavior restored: the empty environment wipes LD_PRELOAD
+    // and the probe reports the escape (exit 1).
+    return child.exited && child.exit_code == 1 ? 0 : 4;
+  });
+}
+
+TEST(ProcessTree, PostForkRearmFaultIsRecordedNotFatal) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!FaultInjector::configure("prctl_sud:EAGAIN").is_ok()) return 1;
+    if (!arm_k23_with_getpid_logged()) return 2;
+    ProcessTreeConfig config;  // no shards/stats — just the fork handler
+    if (!ProcessTree::init(config).is_ok()) return 3;
+
+    auto child = testing::run_in_child([] {
+      // The injected EAGAIN refused the atfork re-arm; the child must be
+      // alive, degraded, and able to say so.
+      const DegradationReport& report = ProcessTree::report();
+      bool recorded = false;
+      for (const DegradationEvent& event : report.events) {
+        if (std::string_view(event.component) == "sud" &&
+            event.detail.find("re-arm refused") != std::string::npos) {
+          recorded = true;
+        }
+      }
+      if (!recorded) return 10;
+      // Rewritten sites still work — the child kept the rewrite tier.
+      if (k23_test_getpid() != ::getpid()) return 11;
+      return 0;
+    });
+    FaultInjector::reset();
+    return child.exited && child.exit_code == 0 ? 0
+           : child.exited                       ? 30 + child.exit_code
+                                                : 99;
+  });
+}
+
+}  // namespace
+}  // namespace k23
