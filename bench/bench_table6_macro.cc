@@ -18,6 +18,7 @@
 //
 //   bench_table6_macro [--duration=SECS] [--workers=N] [--kv-threads=N]
 //                      [--db-size=N] [--json=PATH]
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -63,6 +64,12 @@ struct RowConfig {
   // exercises the fork path (process-tree propagation, DESIGN.md §9).
   bool prefork_respawn = false;
   long max_requests = 0;
+  // Timestamp-heavy access logging + the accel layer answering the
+  // stamps in userspace (Table 6 "logging" row, DESIGN.md §10). The log
+  // sinks to /dev/null: the row isolates timestamp syscall traffic, not
+  // filesystem throughput.
+  bool access_log = false;
+  bool accel = false;
 };
 
 bool is_k23_variant(Variant v) {
@@ -85,6 +92,9 @@ int serve_row(const RowConfig& row, uint16_t port) {
     options.port = port;
     options.body_size = row.body_size;
     options.use_writev = row.use_writev;
+    if (row.access_log) {
+      options.access_log_fd = ::open("/dev/null", O_WRONLY | O_CLOEXEC);
+    }
     if (row.prefork_respawn) {
       options.workers = row.workers;
       options.max_requests_per_worker = row.max_requests;
@@ -122,8 +132,15 @@ OfflineLog offline_phase(const RowConfig& row, uint16_t port) {
       options.port = port;
       options.body_size = row.body_size;
       options.use_writev = row.use_writev;
+      // The warmup must take the same timestamp-stamping path as the
+      // measured serve: the offline log has to contain the stamp sites
+      // for the K23 variants to rewrite them.
+      if (row.access_log) {
+        options.access_log_fd = ::open("/dev/null", O_WRONLY | O_CLOEXEC);
+      }
       options.stop = &g_warmup_stop;
       (void)run_http_server_inline(options);
+      if (options.access_log_fd >= 0) ::close(options.access_log_fd);
     } else if (row.app == RowConfig::App::kKv) {
       MiniKvOptions options;
       options.port = port;
@@ -169,6 +186,7 @@ double run_cell(const RowConfig& row, Variant variant, double duration) {
 
     OfflineLog log;
     VariantOptions options;
+    options.accel = row.accel;
     if (is_k23_variant(variant)) {
       log = offline_phase(row, warmup_port);
       options.log = &log;
@@ -296,6 +314,17 @@ int run(double duration, int workers, int kv_threads, int db_size,
   prefork.prefork_respawn = true;
   prefork.max_requests = 2000;
   rows.push_back(prefork);
+  // Timestamp-heavy row: every response takes four extra timestamp/pid
+  // syscalls (the stamps a production access log pays with the vDSO
+  // scrubbed). With the accel layer armed the interposed variants answer
+  // them in userspace, so this row should land *above* its plain
+  // nginx-like sibling relative to native — the macro case for
+  // src/accel/ (DESIGN.md §10).
+  RowConfig logging{"nginx-like    (logging, accel)", RowConfig::App::kHttp,
+                    0, 1, false};
+  logging.access_log = true;
+  logging.accel = true;
+  rows.push_back(logging);
 
   std::printf("Table 6 — macrobenchmark throughput relative to native "
               "(%% of native; native = 100%%)\n");

@@ -1,5 +1,6 @@
 #include "support/variants.h"
 
+#include "accel/accel.h"
 #include "common/caps.h"
 #include "k23/k23.h"
 #include "lazypoline/lazypoline.h"
@@ -38,7 +39,9 @@ bool variant_supported(Variant variant) {
   }
 }
 
-Status init_variant(Variant variant, const VariantOptions& options) {
+namespace {
+
+Status arm_variant(Variant variant, const VariantOptions& options) {
   switch (variant) {
     case Variant::kNative:
       return Status::ok();
@@ -77,6 +80,16 @@ Status init_variant(Variant variant, const VariantOptions& options) {
     }
   }
   return Status::fail("unknown variant");
+}
+
+}  // namespace
+
+Status init_variant(Variant variant, const VariantOptions& options) {
+  K23_RETURN_IF_ERROR(arm_variant(variant, options));
+  if (options.accel && variant != Variant::kNative) {
+    return Accel::init(AccelConfig{});
+  }
+  return Status::ok();
 }
 
 }  // namespace k23::bench

@@ -50,6 +50,10 @@ bool variant_supported(Variant variant);
 struct VariantOptions {
   const OfflineLog* log = nullptr;
   std::vector<std::string> zpoline_scan;
+  // Register the userspace acceleration layer (src/accel/) on the armed
+  // dispatcher after the variant comes up. Ignored for kNative (there is
+  // no funnel to accelerate).
+  bool accel = false;
 };
 Status init_variant(Variant variant, const VariantOptions& options);
 

@@ -18,6 +18,12 @@ current > baseline * (1 + tolerance). The default 25% tolerance absorbs
 shared-runner noise; real interposition regressions (a variant falling off
 its ladder tier) move throughput far more than that.
 
+--require PREFIX (repeatable) closes the silent-skip hole: dropped
+metrics normally only warn, so a row that stops being produced at all
+(e.g. the accelerated rows failing to measure) would pass the gate.
+With --require accel/ the current run must contain at least one metric
+named accel/... or the check fails.
+
 Exit codes: 0 = ok, 1 = regression, 2 = usage/parse error.
 """
 
@@ -53,10 +59,23 @@ def main():
     parser.add_argument("--current", required=True)
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="relative tolerance (default 0.25 = 25%%)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless the current run produced at least "
+                             "one metric with this name prefix (repeatable)")
     args = parser.parse_args()
 
     name, baseline = load_metrics(args.baseline)
     _, current = load_metrics(args.current)
+
+    absent = [prefix for prefix in args.require
+              if not any(m.startswith(prefix) for m in current)]
+    if absent:
+        for prefix in absent:
+            print(f"check_bench_regression: required metric prefix "
+                  f"{prefix!r} missing from {args.current} "
+                  "(row skipped or failed to measure)", file=sys.stderr)
+        sys.exit(1)
 
     shared = sorted(set(baseline) & set(current))
     missing = sorted(set(baseline) - set(current))

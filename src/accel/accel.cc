@@ -1,0 +1,229 @@
+#include "accel/accel.h"
+
+#include <sys/syscall.h>
+#include <sys/utsname.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "accel/vdso.h"
+#include "common/env.h"
+#include "common/strings.h"
+#include "interpose/internal.h"
+
+namespace k23 {
+namespace {
+
+// vDSO entry points. All return 0/-errno like the raw syscalls they
+// mirror (they fall back to the real syscall internally for clocks the
+// fast path cannot serve — safe even under SUD, because the dispatcher
+// only runs hooks while the selector allows syscalls).
+using VdsoClockGettimeFn = long (*)(long clkid, void* ts);
+using VdsoGettimeofdayFn = long (*)(void* tv, void* tz);
+using VdsoTimeFn = long (*)(long* tloc);
+using VdsoGetcpuFn = long (*)(unsigned* cpu, unsigned* node, void* tcache);
+
+// All state is plain globals published by the g_active release-store:
+// no heap, readable from the SIGSYS handler.
+struct AccelState {
+  AccelConfig config;
+  VdsoClockGettimeFn clock_gettime = nullptr;
+  VdsoGettimeofdayFn gettimeofday = nullptr;
+  VdsoTimeFn time = nullptr;
+  VdsoGetcpuFn getcpu = nullptr;
+  bool uname_ok = false;
+  utsname uname_buf = {};
+  AccelReport report;
+};
+
+AccelState g_state;
+std::atomic<bool> g_active{false};
+HookHandle g_handle = 0;
+
+// PID cache: one word for the whole process (0 = not yet fetched, e.g.
+// in a clone child neither the dispatcher nor atfork saw — the first
+// getpid then pays one real syscall and re-primes). The TID cache is
+// per-thread and constinit: fresh threads start at 0, so no stale tid
+// can ever be served across clone.
+std::atomic<long> g_pid{0};
+constinit thread_local long t_tid = 0;
+
+long raw(long nr, long a1 = 0) {
+  return internal::syscall_fn()(nr, a1, 0, 0, 0, 0, 0);
+}
+
+// Served calls return through HookResult::accelerate so the dispatcher
+// counts entry path and kAccelerated outcome in one stats pass — the
+// hook itself touches no shard.
+HookResult served(long value) { return HookResult::accelerate(value); }
+
+}  // namespace
+
+AccelConfig AccelConfig::from_env() {
+  AccelConfig config;
+  const char* value = env_raw("K23_ACCEL");
+  if (value == nullptr || value[0] == '\0') return config;  // default: on
+  const std::string_view v(value);
+  if (v == "off" || v == "0" || v == "false" || v == "no") {
+    config.enabled = false;
+    config.time = config.pid = config.uname = false;
+    return config;
+  }
+  if (v == "on" || v == "1" || v == "true" || v == "yes") return config;
+  // Comma-separated subset; unknown tokens are ignored (forward compat).
+  config.time = config.pid = config.uname = false;
+  for (std::string_view item : split(v, ',')) {
+    item = trim(item);
+    if (item == "time") config.time = true;
+    if (item == "pid") config.pid = true;
+    if (item == "uname") config.uname = true;
+  }
+  config.enabled = config.time || config.pid || config.uname;
+  return config;
+}
+
+HookResult Accel::hook(void*, SyscallArgs& args, const HookContext& ctx) {
+  // Observe pass: an earlier entry (policy deny) already decided the
+  // call; serving it now would override a security verdict.
+  if (ctx.replaced) return HookResult::passthrough();
+  if (!g_active.load(std::memory_order_acquire)) {
+    return HookResult::passthrough();
+  }
+
+  // Pointer arguments are handed to the vDSO exactly as libc would hand
+  // them: a bad pointer faults in userspace instead of earning EFAULT,
+  // which matches the un-interposed vDSO-backed libc behavior (documented
+  // deviation, DESIGN.md §10). Null pointers the kernel treats specially
+  // fall through to passthrough for exact errno semantics.
+  switch (args.nr) {
+    case SYS_clock_gettime: {
+      const VdsoClockGettimeFn fn = g_state.clock_gettime;
+      if (fn == nullptr || args.rsi == 0) break;
+      if (fn(args.rdi, reinterpret_cast<void*>(args.rsi)) != 0) break;
+      return served(0);
+    }
+    case SYS_gettimeofday: {
+      const VdsoGettimeofdayFn fn = g_state.gettimeofday;
+      if (fn == nullptr || args.rdi == 0) break;
+      if (fn(reinterpret_cast<void*>(args.rdi),
+             reinterpret_cast<void*>(args.rsi)) != 0) {
+        break;
+      }
+      return served(0);
+    }
+    case SYS_time: {
+      const VdsoTimeFn fn = g_state.time;
+      if (fn == nullptr) break;
+      return served(fn(reinterpret_cast<long*>(args.rdi)));
+    }
+    case SYS_getcpu: {
+      const VdsoGetcpuFn fn = g_state.getcpu;
+      if (fn == nullptr) break;
+      if (fn(reinterpret_cast<unsigned*>(args.rdi),
+             reinterpret_cast<unsigned*>(args.rsi),
+             reinterpret_cast<void*>(args.rdx)) != 0) {
+        break;
+      }
+      return served(0);
+    }
+    case SYS_getpid: {
+      if (!g_state.config.pid) break;
+      long pid = g_pid.load(std::memory_order_relaxed);
+      if (pid == 0) {
+        pid = raw(SYS_getpid);
+        g_pid.store(pid, std::memory_order_relaxed);
+      }
+      return served(pid);
+    }
+    case SYS_gettid: {
+      if (!g_state.config.pid) break;
+      if (t_tid == 0) t_tid = raw(SYS_gettid);
+      return served(t_tid);
+    }
+    case SYS_uname: {
+      if (!g_state.uname_ok || args.rdi == 0) break;
+      std::memcpy(reinterpret_cast<void*>(args.rdi), &g_state.uname_buf,
+                  sizeof(g_state.uname_buf));
+      return served(0);
+    }
+    default:
+      break;
+  }
+  return HookResult::passthrough();
+}
+
+Status Accel::init(const AccelConfig& config) {
+  shutdown();
+  if (!config.enabled) return Status::ok();
+
+  g_state = AccelState{};
+  g_state.config = config;
+  if (config.time) {
+    // from_process, not from_auxv: inside a k23_run tracee the auxv
+    // entry is scrubbed and only the /proc/self/maps fallback finds the
+    // still-mapped vDSO (vdso.h).
+    const VdsoImage vdso = VdsoImage::from_process();
+    g_state.report.vdso_present = vdso.present();
+    g_state.clock_gettime = reinterpret_cast<VdsoClockGettimeFn>(
+        vdso.lookup("__vdso_clock_gettime"));
+    g_state.gettimeofday = reinterpret_cast<VdsoGettimeofdayFn>(
+        vdso.lookup("__vdso_gettimeofday"));
+    g_state.time =
+        reinterpret_cast<VdsoTimeFn>(vdso.lookup("__vdso_time"));
+    g_state.getcpu =
+        reinterpret_cast<VdsoGetcpuFn>(vdso.lookup("__vdso_getcpu"));
+    g_state.report.vdso_symbols =
+        (g_state.clock_gettime != nullptr) +
+        (g_state.gettimeofday != nullptr) + (g_state.time != nullptr) +
+        (g_state.getcpu != nullptr);
+  }
+  if (config.pid) {
+    g_pid.store(raw(SYS_getpid), std::memory_order_relaxed);
+    t_tid = raw(SYS_gettid);
+  }
+  if (config.uname) {
+    g_state.uname_ok =
+        raw(SYS_uname, reinterpret_cast<long>(&g_state.uname_buf)) == 0;
+  }
+
+  const HookHandle handle = Dispatcher::instance().register_hook(
+      hook_priority::kAccel, &Accel::hook, nullptr);
+  if (handle == 0) {
+    g_state = AccelState{};
+    return Status::fail("accel: hook chain is full");
+  }
+  g_handle = handle;
+  internal::set_child_refresh(&Accel::refresh_after_fork);
+  g_active.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+void Accel::shutdown() {
+  g_active.store(false, std::memory_order_release);
+  if (g_handle != 0) {
+    Dispatcher::instance().unregister_hook(g_handle);
+    g_handle = 0;
+  }
+  if (internal::child_refresh() == &Accel::refresh_after_fork) {
+    internal::set_child_refresh(nullptr);
+  }
+  g_state = AccelState{};
+  g_pid.store(0, std::memory_order_relaxed);
+  t_tid = 0;
+}
+
+bool Accel::active() { return g_active.load(std::memory_order_acquire); }
+
+AccelReport Accel::report() { return g_state.report; }
+
+void Accel::refresh_after_fork() {
+  if (!g_active.load(std::memory_order_acquire)) return;
+  if (!g_state.config.pid) return;
+  // Raw syscalls through the passthrough primitive: this runs in a
+  // freshly-forked child, possibly from the dispatcher's own fork return
+  // path with SUD re-armed — a libc getpid() here would recurse.
+  g_pid.store(raw(SYS_getpid), std::memory_order_relaxed);
+  t_tid = raw(SYS_gettid);
+}
+
+}  // namespace k23

@@ -1,0 +1,70 @@
+// Userspace syscall acceleration (DESIGN.md §10).
+//
+// The paper's Table 5 treats interposition purely as a tax; this layer
+// flips the sign for the hottest kernel-round-trip-free calls by answering
+// them directly from the dispatcher's hook chain:
+//
+//  * clock_gettime / gettimeofday / time / getcpu are forwarded to the
+//    __vdso_* implementations, resolved once at init from AT_SYSINFO_EHDR.
+//    This matters most under k23_run, which scrubs the auxv entry so the
+//    *application* cannot bypass interposition through the vDSO (P2b):
+//    its libc falls back to real syscall instructions, every time call is
+//    interposed — and this layer gives the vDSO speed back without
+//    reopening the hole, because the call still traverses the full chain
+//    (policy first, recorder after). When the vDSO is absent for the
+//    interposer too, the time paths silently fall back to passthrough.
+//  * getpid is served from a process-global cache, gettid from a
+//    per-thread cache, uname from an init-time snapshot. The PID cache is
+//    invalidated through the dispatcher's fork return path and through
+//    process_tree's pthread_atfork child handler (internal::child_refresh),
+//    so a forked child never serves its parent's pid.
+//
+// The hook is an ordinary chain entry at hook_priority::kAccel and obeys
+// the SIGSYS-safety rules: no allocation, no libc locks, raw syscalls only
+// through internal::syscall_fn(). Served calls are tagged in the sharded
+// SyscallStats as SyscallOutcome::kAccelerated. K23_ACCEL controls the
+// layer: off disables it, a comma list ("time,pid,uname") selects subsets.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "interpose/dispatch.h"
+
+namespace k23 {
+
+struct AccelConfig {
+  bool enabled = true;
+  bool time = true;   // vDSO forwards: clock_gettime/gettimeofday/time/getcpu
+  bool pid = true;    // getpid/gettid caches
+  bool uname = true;  // uname snapshot
+  // Parses K23_ACCEL (see common/env.h grammar table).
+  static AccelConfig from_env();
+};
+
+struct AccelReport {
+  bool vdso_present = false;  // AT_SYSINFO_EHDR resolved to a sane image
+  int vdso_symbols = 0;       // __vdso_* functions actually found
+};
+
+class Accel {
+ public:
+  // Resolves the fast paths and registers the chain entry. Idempotent
+  // (re-init replaces the previous configuration). A config with
+  // enabled=false deactivates and returns ok.
+  static Status init(const AccelConfig& config);
+  static void shutdown();
+  static bool active();
+  static AccelReport report();
+
+  // Re-reads the pid/tid caches via the passthrough primitive. Wired to
+  // internal::set_child_refresh by init(); async-signal-safe.
+  static void refresh_after_fork();
+
+  // The chain entry itself, exposed for tests and benchmarks that build
+  // their own chain.
+  static HookResult hook(void* user, SyscallArgs& args,
+                         const HookContext& ctx);
+};
+
+}  // namespace k23

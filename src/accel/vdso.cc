@@ -1,0 +1,155 @@
+#include "accel/vdso.h"
+
+#include <elf.h>
+#include <fcntl.h>
+#include <sys/auxv.h>
+#include <sys/syscall.h>
+
+#include <cstring>
+
+#include "interpose/internal.h"
+
+namespace k23 {
+namespace {
+
+// Base of the `[vdso]` mapping per /proc/self/maps, 0 when absent.
+// Raw syscalls and fixed buffers only: this runs from the preload
+// constructor, possibly with SUD already armed (the traps just take the
+// dispatcher's passthrough like any other interposed syscall).
+uintptr_t vdso_base_from_maps() {
+  const auto sys = internal::syscall_fn();
+  const long fd = sys(SYS_openat, AT_FDCWD,
+                      reinterpret_cast<long>("/proc/self/maps"),
+                      O_RDONLY | O_CLOEXEC, 0, 0, 0);
+  if (fd < 0) return 0;
+
+  uintptr_t base = 0;
+  char buf[4096];
+  // Reassembled current line. The vdso line is short ("start-end r-xp
+  // ... [vdso]"); anything that overflows the window is some other
+  // mapping's long pathname and is skipped wholesale.
+  char line[128];
+  size_t line_len = 0;
+  bool overflow = false;
+  for (;;) {
+    const long got = sys(SYS_read, fd, reinterpret_cast<long>(buf),
+                         sizeof(buf), 0, 0, 0);
+    if (got <= 0) break;
+    for (long i = 0; i < got && base == 0; ++i) {
+      const char c = buf[i];
+      if (c != '\n') {
+        if (line_len < sizeof(line) - 1) {
+          line[line_len++] = c;
+        } else {
+          overflow = true;
+        }
+        continue;
+      }
+      line[line_len] = '\0';
+      if (!overflow && line_len >= 6 &&
+          std::strcmp(line + line_len - 6, "[vdso]") == 0) {
+        uintptr_t value = 0;
+        const char* p = line;
+        for (; *p != '\0' && *p != '-'; ++p) {
+          const char h = *p;
+          if (h >= '0' && h <= '9') value = value * 16 + (h - '0');
+          else if (h >= 'a' && h <= 'f') value = value * 16 + (h - 'a' + 10);
+          else { value = 0; break; }
+        }
+        if (*p == '-') base = value;
+      }
+      line_len = 0;
+      overflow = false;
+    }
+    if (base != 0) break;
+  }
+  sys(SYS_close, fd, 0, 0, 0, 0, 0);
+  return base;
+}
+
+}  // namespace
+
+VdsoImage::VdsoImage(uintptr_t base) {
+  if (base == 0) return;
+  const auto* ehdr = reinterpret_cast<const Elf64_Ehdr*>(base);
+  if (std::memcmp(ehdr->e_ident, ELFMAG, SELFMAG) != 0 ||
+      ehdr->e_ident[EI_CLASS] != ELFCLASS64) {
+    return;
+  }
+
+  // The vDSO's dynamic entries hold link-time vaddrs; everything is
+  // rebased by (mapped base - first PT_LOAD vaddr), which the kernel
+  // keeps 0-based so the offset is usually just `base`.
+  const auto* phdrs =
+      reinterpret_cast<const Elf64_Phdr*>(base + ehdr->e_phoff);
+  const Elf64_Dyn* dyn = nullptr;
+  uintptr_t load_offset = 0;
+  bool have_load = false;
+  for (uint16_t i = 0; i < ehdr->e_phnum; ++i) {
+    const Elf64_Phdr& ph = phdrs[i];
+    if (ph.p_type == PT_LOAD && !have_load) {
+      load_offset = base + ph.p_offset - ph.p_vaddr;
+      have_load = true;
+    } else if (ph.p_type == PT_DYNAMIC) {
+      dyn = reinterpret_cast<const Elf64_Dyn*>(base + ph.p_offset);
+    }
+  }
+  if (!have_load || dyn == nullptr) return;
+
+  const Elf64_Sym* symtab = nullptr;
+  const char* strtab = nullptr;
+  const uint32_t* hash = nullptr;
+  for (const Elf64_Dyn* d = dyn; d->d_tag != DT_NULL; ++d) {
+    const uintptr_t ptr = load_offset + d->d_un.d_ptr;
+    switch (d->d_tag) {
+      case DT_SYMTAB:
+        symtab = reinterpret_cast<const Elf64_Sym*>(ptr);
+        break;
+      case DT_STRTAB:
+        strtab = reinterpret_cast<const char*>(ptr);
+        break;
+      case DT_HASH:
+        // The SysV hash table's nchain equals the symbol count — the
+        // only way to size a dynsym without section headers. The Linux
+        // vDSO always carries DT_HASH.
+        hash = reinterpret_cast<const uint32_t*>(ptr);
+        break;
+      default:
+        break;
+    }
+  }
+  if (symtab == nullptr || strtab == nullptr || hash == nullptr) return;
+
+  load_offset_ = load_offset;
+  symtab_ = symtab;
+  strtab_ = strtab;
+  sym_count_ = hash[1];  // nchain
+}
+
+VdsoImage VdsoImage::from_auxv() {
+  return VdsoImage(static_cast<uintptr_t>(getauxval(AT_SYSINFO_EHDR)));
+}
+
+VdsoImage VdsoImage::from_process() {
+  const auto base = static_cast<uintptr_t>(getauxval(AT_SYSINFO_EHDR));
+  if (base != 0) return VdsoImage(base);
+  return VdsoImage(vdso_base_from_maps());
+}
+
+void* VdsoImage::lookup(const char* name) const {
+  if (sym_count_ == 0) return nullptr;
+  const auto* syms = reinterpret_cast<const Elf64_Sym*>(symtab_);
+  // Linear scan: the vDSO exports a handful of symbols and lookups happen
+  // once at init, so the hash chains are not worth the code.
+  for (uint32_t i = 0; i < sym_count_; ++i) {
+    const Elf64_Sym& sym = syms[i];
+    if (sym.st_shndx == SHN_UNDEF) continue;
+    const unsigned char type = ELF64_ST_TYPE(sym.st_info);
+    if (type != STT_FUNC && type != STT_NOTYPE) continue;
+    if (std::strcmp(strtab_ + sym.st_name, name) != 0) continue;
+    return reinterpret_cast<void*>(load_offset_ + sym.st_value);
+  }
+  return nullptr;
+}
+
+}  // namespace k23

@@ -1,0 +1,47 @@
+// Minimal vDSO symbol resolution from the in-memory ELF image.
+//
+// The kernel maps the vDSO into every process and publishes its base via
+// the AT_SYSINFO_EHDR auxv entry. libc normally resolves __vdso_* through
+// the dynamic linker, but the accel layer cannot rely on that: under
+// k23_run the auxv entry is scrubbed (pitfall P2b — the vDSO's syscall
+// instructions cannot be interposed) and the preload shares the tracee's
+// auxv, so getauxval sees 0 too. The mapping itself survives the scrub —
+// auxv is how libc *finds* the vDSO, not what keeps it mapped — so
+// from_process() falls back to the `[vdso]` line of /proc/self/maps.
+// Symbol resolution then parses the in-memory image directly (the
+// dynamic linker never loaded it). Fixed buffers, raw syscalls, no
+// allocation: safe to run from a preload constructor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace k23 {
+
+class VdsoImage {
+ public:
+  VdsoImage() = default;
+  // `base` is the AT_SYSINFO_EHDR value; 0 (or a malformed image) yields
+  // an absent VdsoImage whose lookup() always returns nullptr.
+  explicit VdsoImage(uintptr_t base);
+  // Reads the base from getauxval(AT_SYSINFO_EHDR) only. Absent when the
+  // launcher scrubbed the entry (k23_run's default).
+  static VdsoImage from_auxv();
+  // from_auxv(), then the /proc/self/maps `[vdso]` mapping when the
+  // auxv entry is scrubbed. What Accel::init uses: inside a k23_run
+  // tracee this is the only way to reach the vDSO at all.
+  static VdsoImage from_process();
+
+  bool present() const { return sym_count_ != 0; }
+  // Resolves a defined dynamic symbol (e.g. "__vdso_clock_gettime") to
+  // its mapped address; nullptr when absent.
+  void* lookup(const char* name) const;
+
+ private:
+  uintptr_t load_offset_ = 0;        // mapped base minus first PT_LOAD vaddr
+  const void* symtab_ = nullptr;     // Elf64_Sym[]
+  const char* strtab_ = nullptr;
+  uint32_t sym_count_ = 0;
+};
+
+}  // namespace k23

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 
 #include "common/strings.h"
@@ -20,7 +21,90 @@ size_t match_entry(std::string_view entry, std::string_view name) {
   return std::string_view::npos;
 }
 
+// The single source of truth for the K23_* grammar. Adding a variable
+// anywhere else in the tree without a row here is a review error: the
+// env-grammar test cross-checks this table against the sources.
+constexpr EnvSpec kEnvTable[] = {
+    {"K23_MODE", "k23|logger|zpoline|lazypoline|sud", "k23",
+     "interposition mode brought up by libk23_preload"},
+    {"K23_VARIANT", "default|ultra|ultra+", "default",
+     "rewriter variant (k23/zpoline modes)"},
+    {"K23_LOG_FILE", "path", "unset",
+     "offline-log path: read by k23 mode, written by logger mode"},
+    {"K23_LOG_LEVEL", "0..3", "1",
+     "diagnostic verbosity (0=error, 1=warn, 2=info, 3=debug)"},
+    {"K23_LOG_SHARDS", "on|off", "off",
+     "write per-PID offline-log shards instead of the shared base log"},
+    {"K23_STATS", "on|off", "off",
+     "print the in-process interposition statistics at exit"},
+    {"K23_STATS_DIR", "path", "unset",
+     "directory for per-process stats dumps (k23_run --stats --tree)"},
+    {"K23_FOLLOW", "on|off", "on",
+     "carry LD_PRELOAD/K23_* across execve (process-tree propagation)"},
+    {"K23_PROMOTE", "on|off", "on",
+     "adaptive promotion of hot SUD-fallback sites to rewritten sites"},
+    {"K23_PROMOTE_THRESHOLD", "count (>= 1)", "64",
+     "SUD hits at one site before it is considered for promotion"},
+    {"K23_PROMOTE_MAX_SITES", "count", "256",
+     "upper bound on sites promoted at runtime"},
+    {"K23_ACCEL", "on|off|list of time,pid,uname", "on",
+     "userspace acceleration: vDSO-forwarded clock_gettime/gettimeofday/"
+     "time/getcpu (time), cached getpid/gettid (pid), cached uname (uname)"},
+    {"K23_FAULTS", "point:error[:trigger][;...]", "unset",
+     "fault-injection rules (e.g. \"sud_arm:eagain:nth=2\"); "
+     "error is an errno name, number, or \"fail\""},
+};
+
+bool iequals_ascii(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+const EnvSpec* env_spec_table(size_t* count) {
+  if (count != nullptr) *count = sizeof(kEnvTable) / sizeof(kEnvTable[0]);
+  return kEnvTable;
+}
+
+const EnvSpec* env_spec(std::string_view name) {
+  for (const EnvSpec& spec : kEnvTable) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+const char* env_raw(const char* name) { return std::getenv(name); }
+
+bool env_flag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const std::string_view v(value);
+  for (std::string_view off : {"off", "0", "false", "no"}) {
+    if (iequals_ascii(v, off)) return false;
+  }
+  return true;
+}
+
+uint64_t env_u64(const char* name, uint64_t fallback, uint64_t min,
+                 uint64_t max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  auto parsed = parse_u64(value, 10);
+  if (!parsed || *parsed < min || *parsed > max) return fallback;
+  return *parsed;
+}
+
+std::string env_string(const char* name, std::string_view fallback) {
+  const char* value = std::getenv(name);
+  return std::string(value != nullptr ? std::string_view(value) : fallback);
+}
 
 EnvBlock EnvBlock::from_envp(const char* const* envp) {
   EnvBlock block;

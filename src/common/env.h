@@ -1,15 +1,57 @@
-// Environment-block helpers for LD_PRELOAD handling (pitfall P1a).
+// Environment handling: the K23_* configuration grammar and the
+// environment-block helpers for LD_PRELOAD handling (pitfall P1a).
 //
-// ptracer rewrites a tracee's execve environment so the interposition
-// library cannot be dropped by clearing LD_PRELOAD; these helpers build and
-// edit `envp`-style blocks.
+// Every K23_* variable the runtime recognizes is declared once in the
+// grammar table below (env_spec_table); modules read their configuration
+// through the typed accessors instead of hand-rolling getenv parsing, and
+// `k23_run --help` prints the table verbatim. ptracer rewrites a tracee's
+// execve environment so the interposition library cannot be dropped by
+// clearing LD_PRELOAD; the EnvBlock helpers build and edit `envp`-style
+// blocks for that.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace k23 {
+
+// --- K23_* configuration grammar --------------------------------------------
+
+// One recognized K23_* environment variable. `grammar` is the accepted
+// value syntax, `fallback` the human-readable default — both are
+// documentation rendered by `k23_run --help`; the parsing itself happens
+// through the typed accessors below.
+struct EnvSpec {
+  const char* name;
+  const char* grammar;
+  const char* fallback;
+  const char* description;
+};
+
+// The full table, terminated by *count. Compile-time constant data.
+const EnvSpec* env_spec_table(size_t* count);
+// Looks `name` up in the table; nullptr when unrecognized.
+const EnvSpec* env_spec(std::string_view name);
+
+// Raw getenv (nullptr when unset). Exists so call sites stay greppable as
+// env accesses even where the typed accessors don't fit (K23_FAULTS'
+// rule grammar has its own parser in faultinject).
+const char* env_raw(const char* name);
+
+// Boolean knob. Unset or empty -> `fallback`; "off"/"0"/"false"/"no"
+// (case-insensitive) -> false; any other value -> true.
+bool env_flag(const char* name, bool fallback);
+
+// Unsigned knob. Unset, unparseable, or outside [min, max] -> `fallback`.
+uint64_t env_u64(const char* name, uint64_t fallback, uint64_t min = 0,
+                 uint64_t max = UINT64_MAX);
+
+// String knob. Unset -> `fallback` (empty values are returned as-is).
+std::string env_string(const char* name, std::string_view fallback = "");
+
+// --- environ-style block editing (P1a) --------------------------------------
 
 // A mutable owned copy of an environ-style block.
 class EnvBlock {

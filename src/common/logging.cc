@@ -7,18 +7,16 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
+
 namespace k23 {
 namespace {
 
 std::atomic<int> g_level{-1};  // -1 = not yet initialized
 
 int init_level_from_env() {
-  const char* env = std::getenv("K23_LOG_LEVEL");
-  int level = static_cast<int>(LogLevel::kInfo);
-  if (env != nullptr && env[0] >= '0' && env[0] <= '3' && env[1] == '\0') {
-    level = env[0] - '0';
-  }
-  return level;
+  return static_cast<int>(env_u64("K23_LOG_LEVEL",
+                                  static_cast<int>(LogLevel::kInfo), 0, 3));
 }
 
 const char* level_name(LogLevel level) {

@@ -34,6 +34,11 @@ std::atomic<SigreturnFn> g_sigreturn_fn{&k23_sigreturn_thunk};
 // follow-through after the ptracer detaches).
 std::atomic<internal::ExecShimFn> g_exec_shim{nullptr};
 
+// Optional post-fork child refresh (accel/accel.cc): invalidates caches
+// that went stale at fork (the PID cache must never serve the parent's
+// pid from the child).
+std::atomic<internal::ChildRefreshFn> g_child_refresh{nullptr};
+
 long invoke(const SyscallArgs& a) {
   return g_syscall_fn.load(std::memory_order_acquire)(
       a.nr, a.rdi, a.rsi, a.rdx, a.r10, a.r8, a.r9);
@@ -44,7 +49,12 @@ long invoke(const SyscallArgs& a) {
 // fork/clone (verified empirically on Linux 6.x), so the child must
 // re-arm before returning to application code.
 long reinit_child_if_forked(long rc) {
-  if (rc == 0 && thread_reinit() != nullptr) thread_reinit()();
+  if (rc == 0) {
+    if (thread_reinit() != nullptr) thread_reinit()();
+    const internal::ChildRefreshFn refresh =
+        g_child_refresh.load(std::memory_order_acquire);
+    if (refresh != nullptr) refresh();
+  }
   return rc;
 }
 
@@ -132,10 +142,71 @@ void Dispatcher::update_config(Mutate&& mutate) {
   config_lock_.clear(std::memory_order_release);
 }
 
-void Dispatcher::set_hook(SyscallHookFn fn, void* user) {
+namespace {
+
+// Removes `handle` from a config being built. Returns true if found.
+bool remove_hook_entry(Dispatcher::Config& c, HookHandle handle) {
+  for (size_t i = 0; i < c.hook_count; ++i) {
+    if (c.hooks[i].handle != handle) continue;
+    for (size_t j = i + 1; j < c.hook_count; ++j) c.hooks[j - 1] = c.hooks[j];
+    --c.hook_count;
+    c.hooks[c.hook_count] = Dispatcher::Config::HookEntry{};
+    return true;
+  }
+  return false;
+}
+
+// Inserts an entry keeping the chain sorted by priority, ties in
+// registration order (handles are monotonic, so appending after equal
+// priorities preserves it). Returns false when the chain is full.
+bool insert_hook_entry(Dispatcher::Config& c,
+                       const Dispatcher::Config::HookEntry& entry) {
+  if (c.hook_count >= Dispatcher::Config::kMaxHooks) return false;
+  size_t pos = c.hook_count;
+  while (pos > 0 && c.hooks[pos - 1].priority > entry.priority) --pos;
+  for (size_t j = c.hook_count; j > pos; --j) c.hooks[j] = c.hooks[j - 1];
+  c.hooks[pos] = entry;
+  ++c.hook_count;
+  return true;
+}
+
+}  // namespace
+
+HookHandle Dispatcher::register_hook(int priority, SyscallHookFn fn,
+                                     void* user) {
+  if (fn == nullptr) return 0;
+  HookHandle handle = 0;
   update_config([&](Config& c) {
-    c.hook = fn;
-    c.hook_user = user;
+    Config::HookEntry entry{fn, user, priority, next_handle_};
+    if (insert_hook_entry(c, entry)) handle = next_handle_++;
+  });
+  return handle;
+}
+
+bool Dispatcher::unregister_hook(HookHandle handle) {
+  if (handle == 0) return false;
+  bool removed = false;
+  update_config([&](Config& c) {
+    removed = remove_hook_entry(c, handle);
+    if (removed && legacy_handle_ == handle) legacy_handle_ = 0;
+  });
+  return removed;
+}
+
+void Dispatcher::set_hook(SyscallHookFn fn, void* user) {
+  // Compatibility shim over the chain: one slot at kLegacy priority,
+  // replaced wholesale on every call — exactly the old single-slot
+  // semantics for callers that never learned about handles.
+  update_config([&](Config& c) {
+    if (legacy_handle_ != 0) {
+      remove_hook_entry(c, legacy_handle_);
+      legacy_handle_ = 0;
+    }
+    if (fn != nullptr) {
+      Config::HookEntry entry{fn, user, hook_priority::kLegacy,
+                              next_handle_};
+      if (insert_hook_entry(c, entry)) legacy_handle_ = next_handle_++;
+    }
   });
 }
 
@@ -181,10 +252,14 @@ long Dispatcher::execute(const SyscallArgs& args, uint64_t return_address) {
 }
 
 long Dispatcher::on_syscall(SyscallArgs& args, const HookContext& ctx) {
-  // One acquire load covers hook, hook context, and the prctl guard; the
-  // snapshot is immutable, so hook and hook_user are always consistent.
+  // One acquire load covers the whole chain and the prctl guard; the
+  // snapshot is immutable, so every entry's fn/user pair is consistent.
   const Config* cfg = config_.load(std::memory_order_acquire);
-  stats_.record(args.nr, ctx.path);
+  // Stats are recorded once the chain has decided the call, so an
+  // accelerated replace folds its outcome tag into the same shard pass.
+  // Counted under the number the call arrived with: a hook that rewrites
+  // args.nr changes what executes, not what the caller asked for.
+  const long entry_nr = args.nr;
 
   if (cfg->prctl_guard && args.nr == SYS_prctl &&
       args.rdi == PR_SET_SYSCALL_USER_DISPATCH &&
@@ -192,10 +267,31 @@ long Dispatcher::on_syscall(SyscallArgs& args, const HookContext& ctx) {
     security_abort("application attempted to disable SUD (pitfall P1b)");
   }
 
-  if (cfg->hook != nullptr) {
-    HookResult result = cfg->hook(cfg->hook_user, args, ctx);
-    if (result.decision == HookDecision::kReplace) return result.value;
+  for (size_t i = 0; i < cfg->hook_count; ++i) {
+    const Config::HookEntry& entry = cfg->hooks[i];
+    const HookResult result = entry.fn(entry.user, args, ctx);
+    if (result.decision != HookDecision::kReplace) continue;
+    if (result.accelerated) {
+      stats_.record_accelerated(entry_nr, ctx.path);
+    } else {
+      stats_.record(entry_nr, ctx.path);
+    }
+    // First kReplace wins. The rest of the chain still observes the call
+    // (a recorder after an accelerator must log the served value) but
+    // cannot change the outcome: each observer gets a private copy of the
+    // arguments and its result is discarded.
+    if (i + 1 < cfg->hook_count) {
+      HookContext observed = ctx;
+      observed.replaced = true;
+      observed.replaced_value = result.value;
+      for (size_t j = i + 1; j < cfg->hook_count; ++j) {
+        SyscallArgs args_copy = args;
+        (void)cfg->hooks[j].fn(cfg->hooks[j].user, args_copy, observed);
+      }
+    }
+    return result.value;
   }
+  stats_.record(entry_nr, ctx.path);
   return execute(args, ctx.return_address);
 }
 
@@ -233,6 +329,14 @@ void set_exec_shim(ExecShimFn fn) {
 
 ExecShimFn exec_shim() {
   return g_exec_shim.load(std::memory_order_acquire);
+}
+
+void set_child_refresh(ChildRefreshFn fn) {
+  g_child_refresh.store(fn, std::memory_order_release);
+}
+
+ChildRefreshFn child_refresh() {
+  return g_child_refresh.load(std::memory_order_acquire);
 }
 
 }  // namespace k23::internal

@@ -6,15 +6,23 @@
 // Dispatcher is that code. Mechanisms extract SyscallArgs + a HookContext
 // and call on_syscall(); user hooks are written once and work everywhere.
 //
-// Hot-path design: the per-call state the dispatcher consults (user hook,
-// hook context pointer, the P1b prctl guard) lives in one immutable
-// Config snapshot behind a single atomically-swapped pointer, so dispatch
-// pays one acquire load instead of three; statistics are sharded per
-// thread (see interpose/stats.h) so the funnel touches no shared cache
-// line on the way through.
+// Hook API v2: instead of a single hook slot, the dispatcher runs an
+// ordered chain of entries (policy evaluator, acceleration fast paths,
+// flight recorder, user hooks) registered with register_hook(). The chain
+// is evaluated in ascending priority; the first entry returning kReplace
+// decides the call's result, and the remaining entries still run once in a
+// read-only observe pass (ctx.replaced set, argument mutations discarded)
+// so a recorder registered after an accelerator sees the served value.
+//
+// Hot-path design: the per-call state the dispatcher consults (the hook
+// chain, the P1b prctl guard) lives in one immutable Config snapshot
+// behind a single atomically-swapped pointer, so dispatch pays one acquire
+// load; statistics are sharded per thread (see interpose/stats.h) so the
+// funnel touches no shared cache line on the way through.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "arch/raw_syscall.h"
@@ -31,25 +39,58 @@ struct HookContext {
   // Process the call belongs to: 0 = the current process (in-process
   // mechanisms); the tracee pid on the kPtrace path.
   int pid = 0;
+  // Observe pass only (see on_syscall): an earlier chain entry already
+  // replaced the call with `replaced_value`. The current entry sees the
+  // original arguments (a private copy) and its own result is discarded.
+  bool replaced = false;
+  long replaced_value = 0;
 };
 
-// What a hook decided. On kPassthrough the dispatcher executes the
-// (possibly modified) syscall; on kReplace `value` is returned directly.
+// What a hook decided. On kPassthrough the dispatcher continues down the
+// chain and finally executes the (possibly modified) syscall; on kReplace
+// `value` is returned directly and no later entry can change it.
 enum class HookDecision : uint8_t { kPassthrough = 0, kReplace };
 
 struct HookResult {
   HookDecision decision = HookDecision::kPassthrough;
   long value = 0;
+  // kReplace only: the call was answered from userspace (vDSO forward or
+  // cache hit). The dispatcher folds the kAccelerated outcome into its
+  // one stats pass instead of the hook paying a second shard lookup —
+  // the accelerated rows of bench_table5 are gated at nanosecond
+  // granularity, so every lookup on this path shows up in the table.
+  bool accelerated = false;
 
   static HookResult passthrough() { return {}; }
   static HookResult replace(long v) { return {HookDecision::kReplace, v}; }
+  static HookResult accelerate(long v) {
+    return {HookDecision::kReplace, v, /*accelerated=*/true};
+  }
 };
 
 // Hooks are raw function pointers + context: they run inside signal
 // handlers and before libc is fully initialized, so no std::function.
-// The hook may modify `args` in place before a passthrough.
+// The hook may modify `args` in place before a passthrough. Chain entries
+// must obey the SIGSYS-safety rules in DESIGN.md §10: no allocation, no
+// libc locks, raw syscalls only through internal::syscall_fn().
 using SyscallHookFn = HookResult (*)(void* user, SyscallArgs& args,
                                      const HookContext& ctx);
+
+// Identifies one registered chain entry. 0 is never a valid handle.
+using HookHandle = uint64_t;
+
+// Fixed priorities of the built-in chain entries. Lower runs first. The
+// ordering is load-bearing: the legacy set_hook() shim runs before
+// everything (existing tests expect to see every call unfiltered), policy
+// decides before the accelerators can serve (a denied clock_gettime must
+// stay denied), and the flight recorder runs last so it observes the
+// final verdict — including values served by an accelerator.
+namespace hook_priority {
+inline constexpr int kLegacy = 0;
+inline constexpr int kPolicy = 100;
+inline constexpr int kAccel = 200;
+inline constexpr int kRecorder = 300;
+}  // namespace hook_priority
 
 class Dispatcher {
  public:
@@ -57,20 +98,44 @@ class Dispatcher {
   // immutable snapshot. Writers build a fresh Config and swap the
   // pointer; superseded snapshots are retired but never freed (a stalled
   // reader — possibly inside a signal handler — may still hold one).
+  // The chain is a fixed-capacity sorted array, not a vector: a snapshot
+  // must be traversable from the SIGSYS handler without touching heap
+  // metadata.
   struct Config {
-    SyscallHookFn hook = nullptr;
-    void* hook_user = nullptr;
+    static constexpr size_t kMaxHooks = 8;
+    struct HookEntry {
+      SyscallHookFn fn = nullptr;
+      void* user = nullptr;
+      int priority = 0;
+      HookHandle handle = 0;
+    };
+    HookEntry hooks[kMaxHooks] = {};
+    size_t hook_count = 0;
     bool prctl_guard = false;
     Config* retired_next = nullptr;
   };
 
   static Dispatcher& instance();
 
-  // Installs the user hook. nullptr restores pure passthrough.
+  // Adds a chain entry. Entries run in ascending `priority`; equal
+  // priorities run in registration order. Returns 0 when `fn` is null or
+  // the chain is full (Config::kMaxHooks entries).
+  HookHandle register_hook(int priority, SyscallHookFn fn, void* user);
+  // Removes the entry `handle` names. Returns false for unknown (or
+  // already removed) handles.
+  bool unregister_hook(HookHandle handle);
+
+  // Legacy single-slot API, kept as a shim over the chain: set_hook()
+  // replaces the previous set_hook() entry (at hook_priority::kLegacy),
+  // nullptr (or clear_hook) removes it. Entries registered through
+  // register_hook() are unaffected.
   void set_hook(SyscallHookFn fn, void* user);
   void clear_hook() { set_hook(nullptr, nullptr); }
   bool has_hook() const {
-    return config_.load(std::memory_order_acquire)->hook != nullptr;
+    return config_.load(std::memory_order_acquire)->hook_count != 0;
+  }
+  size_t hook_count() const {
+    return config_.load(std::memory_order_acquire)->hook_count;
   }
 
   // Aborts the process when the application tries to disable SUD via
@@ -81,13 +146,13 @@ class Dispatcher {
     return config_.load(std::memory_order_acquire)->prctl_guard;
   }
 
-  // Runs the hook and (unless replaced) executes the syscall. This is the
-  // only place a passthrough happens: clone/vfork/rt_sigreturn special
-  // cases are centralized here (see arch/thunks.h).
+  // Runs the hook chain and (unless replaced) executes the syscall. This
+  // is the only place a passthrough happens: clone/vfork/rt_sigreturn
+  // special cases are centralized here (see arch/thunks.h).
   long on_syscall(SyscallArgs& args, const HookContext& ctx);
 
   // Executes a syscall with full special-case handling but no hook —
-  // used by mechanisms that must forward without re-entering the hook.
+  // used by mechanisms that must forward without re-entering the chain.
   static long execute(const SyscallArgs& args, uint64_t return_address);
 
   SyscallStats& stats() { return stats_; }
@@ -103,6 +168,8 @@ class Dispatcher {
   std::atomic<const Config*> config_;
   std::atomic_flag config_lock_ = ATOMIC_FLAG_INIT;
   Config* retired_head_ = nullptr;  // keeps old snapshots leak-reachable
+  uint64_t next_handle_ = 1;       // guarded by config_lock_
+  HookHandle legacy_handle_ = 0;   // set_hook's entry; guarded by lock
   SyscallStats stats_;
 };
 

@@ -30,4 +30,14 @@ using ExecShimFn = long (*)(const SyscallArgs& args);
 void set_exec_shim(ExecShimFn fn);
 ExecShimFn exec_shim();
 
+// Post-fork child refresh (accel cache invalidation). When set, the
+// dispatcher calls `fn` in the child right after a fork-style passthrough
+// returns 0 (after the SUD re-arm via thread_reinit); the process-tree
+// atfork child handler calls it too, covering libc fork() paths the
+// dispatcher never saw while the ladder was degraded. Must be
+// async-signal-safe: fork can arrive through the SIGSYS fallback.
+using ChildRefreshFn = void (*)();
+void set_child_refresh(ChildRefreshFn fn);
+ChildRefreshFn child_refresh();
+
 }  // namespace k23::internal

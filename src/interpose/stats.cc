@@ -15,6 +15,8 @@ namespace k23 {
 namespace {
 
 constexpr size_t kPathCount = static_cast<size_t>(EntryPath::kPathCount);
+constexpr size_t kOutcomeCount =
+    static_cast<size_t>(SyscallOutcome::kOutcomeCount);
 
 // Relaxed non-RMW increment: the slot is written by exactly one thread,
 // so load+store is race-free for writers and atomic loads keep readers
@@ -34,6 +36,8 @@ struct alignas(64) SyscallStats::Shard {
   std::atomic<uint64_t> total{0};
   std::atomic<uint64_t> by_path[kPathCount]{};
   std::atomic<uint64_t> by_nr_path[kPathCount][kMaxTracked]{};
+  std::atomic<uint64_t> by_outcome[kOutcomeCount]{};
+  std::atomic<uint64_t> by_nr_outcome[kOutcomeCount][kMaxTracked]{};
   // Owning instance id; 0 = free (in the reuse pool).
   std::atomic<uint64_t> owner_id{0};
   // True while a live thread holds this shard in its TLS table.
@@ -49,6 +53,12 @@ struct alignas(64) SyscallStats::Shard {
       by_path[p].store(0, std::memory_order_relaxed);
       for (long nr = 0; nr < kMaxTracked; ++nr) {
         by_nr_path[p][nr].store(0, std::memory_order_relaxed);
+      }
+    }
+    for (size_t o = 0; o < kOutcomeCount; ++o) {
+      by_outcome[o].store(0, std::memory_order_relaxed);
+      for (long nr = 0; nr < kMaxTracked; ++nr) {
+        by_nr_outcome[o][nr].store(0, std::memory_order_relaxed);
       }
     }
   }
@@ -202,24 +212,45 @@ SyscallStats::Shard* SyscallStats::acquire_shard() {
   return shard;
 }
 
-void SyscallStats::record(long nr, EntryPath path) {
-  Shard* shard = nullptr;
+SyscallStats::Shard* SyscallStats::current_shard() {
   for (const auto& entry : t_shards) {
-    if (entry.owner == this && entry.owner_id == id_) {
-      shard = entry.shard;
-      break;
-    }
+    if (entry.owner == this && entry.owner_id == id_) return entry.shard;
   }
-  if (shard == nullptr) {
-    shard = acquire_shard();
-    if (shard == nullptr) return;  // mmap refused: drop the sample
-  }
+  return acquire_shard();  // nullptr when mmap refused: drop the sample
+}
+
+void SyscallStats::record(long nr, EntryPath path) {
+  Shard* shard = current_shard();
+  if (shard == nullptr) return;
   const auto p = static_cast<size_t>(path);
   bump(shard->total);
   if (p < kPathCount) {
     bump(shard->by_path[p]);
     if (nr >= 0 && nr < kMaxTracked) bump(shard->by_nr_path[p][nr]);
   }
+}
+
+void SyscallStats::record_accelerated(long nr, EntryPath path) {
+  Shard* shard = current_shard();
+  if (shard == nullptr) return;
+  const auto p = static_cast<size_t>(path);
+  constexpr auto o = static_cast<size_t>(SyscallOutcome::kAccelerated);
+  bump(shard->total);
+  if (p < kPathCount) {
+    bump(shard->by_path[p]);
+    if (nr >= 0 && nr < kMaxTracked) bump(shard->by_nr_path[p][nr]);
+  }
+  bump(shard->by_outcome[o]);
+  if (nr >= 0 && nr < kMaxTracked) bump(shard->by_nr_outcome[o][nr]);
+}
+
+void SyscallStats::record_outcome(long nr, SyscallOutcome outcome) {
+  Shard* shard = current_shard();
+  if (shard == nullptr) return;
+  const auto o = static_cast<size_t>(outcome);
+  if (o >= kOutcomeCount) return;
+  bump(shard->by_outcome[o]);
+  if (nr >= 0 && nr < kMaxTracked) bump(shard->by_nr_outcome[o][nr]);
 }
 
 uint64_t SyscallStats::total() const {
@@ -257,6 +288,46 @@ uint64_t SyscallStats::by_nr_path(long nr, EntryPath path) const {
     }
   }
   return sum;
+}
+
+uint64_t SyscallStats::by_outcome(SyscallOutcome outcome) const {
+  const auto o = static_cast<size_t>(outcome);
+  if (o >= kOutcomeCount) return 0;
+  uint64_t sum = 0;
+  for (Shard* s = g_shard_registry.load(std::memory_order_acquire);
+       s != nullptr; s = s->next) {
+    if (s->owner_id.load(std::memory_order_acquire) == id_) {
+      sum += s->by_outcome[o].load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+uint64_t SyscallStats::by_nr_outcome(long nr, SyscallOutcome outcome) const {
+  const auto o = static_cast<size_t>(outcome);
+  if (o >= kOutcomeCount || nr < 0 || nr >= kMaxTracked) return 0;
+  uint64_t sum = 0;
+  for (Shard* s = g_shard_registry.load(std::memory_order_acquire);
+       s != nullptr; s = s->next) {
+    if (s->owner_id.load(std::memory_order_acquire) == id_) {
+      sum += s->by_nr_outcome[o][nr].load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+std::vector<std::pair<long, uint64_t>> SyscallStats::top_by_outcome(
+    SyscallOutcome outcome, size_t n) const {
+  std::vector<std::pair<long, uint64_t>> counts;
+  for (long nr = 0; nr < kMaxTracked; ++nr) {
+    const uint64_t c = by_nr_outcome(nr, outcome);
+    if (c > 0) counts.emplace_back(nr, c);
+  }
+  std::sort(counts.begin(), counts.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (counts.size() > n) counts.resize(n);
+  return counts;
 }
 
 uint64_t SyscallStats::by_nr(long nr) const {

@@ -42,6 +42,15 @@ enum class EntryPath : uint8_t {
   kPathCount,
 };
 
+// What the dispatcher did with a call, beyond routing it (orthogonal to
+// EntryPath: an accelerated call still counts on the path it arrived
+// through). Only notable outcomes are recorded; plain kernel execution is
+// the untagged default.
+enum class SyscallOutcome : uint8_t {
+  kAccelerated = 0,  // answered in userspace by an accel chain entry
+  kOutcomeCount,
+};
+
 class SyscallStats {
  public:
   static constexpr long kMaxTracked = 512;
@@ -55,11 +64,28 @@ class SyscallStats {
   // acquires a shard via mmap or the reuse pool, never via malloc.
   void record(long nr, EntryPath path);
 
+  // Tags the current call with an outcome (in addition to record(), which
+  // already counted it on its entry path). Same hot-path properties.
+  void record_outcome(long nr, SyscallOutcome outcome);
+
+  // record() + record_outcome(kAccelerated) fused into one shard lookup.
+  // The dispatcher calls this instead of the pair when a hook answers a
+  // call from userspace: the separate lookups are ~7ns of the accel
+  // path's nanosecond budget (bench_table5 accelerated rows).
+  void record_accelerated(long nr, EntryPath path);
+
   // Aggregated readers. Approximate while threads are recording.
   uint64_t total() const;
   uint64_t by_path(EntryPath path) const;
   uint64_t by_nr(long nr) const;
   uint64_t by_nr_path(long nr, EntryPath path) const;
+  uint64_t by_outcome(SyscallOutcome outcome) const;
+  uint64_t by_nr_outcome(long nr, SyscallOutcome outcome) const;
+
+  // Top `n` syscall numbers by count tagged with `outcome`, descending —
+  // e.g. which calls the accel layer is actually serving.
+  std::vector<std::pair<long, uint64_t>> top_by_outcome(
+      SyscallOutcome outcome, size_t n) const;
 
   // Top `n` syscall numbers by count on `path`, descending — the
   // `k23_run --stats` view of what the offline log missed (the
@@ -79,6 +105,7 @@ class SyscallStats {
 
  private:
   Shard* acquire_shard();
+  Shard* current_shard();  // TLS lookup, falls back to acquire_shard()
 
   // Unique instance id: shards are tagged with it so thread-local caches
   // and the global pool can tell a destroyed-and-reallocated instance

@@ -56,6 +56,26 @@ int usage(const char* argv0) {
   return 2;
 }
 
+// --help: the usage line plus the full K23_* environment grammar, printed
+// straight from the table in common/env.h — the launcher never maintains
+// its own copy of the grammar.
+int help(const char* argv0) {
+  usage(argv0);
+  std::fprintf(stderr,
+               "\nrecognized environment variables (k23_run forwards the "
+               "current environment\nto the tracee; the flags above set "
+               "K23_MODE/K23_LOG_FILE/... on top of it):\n");
+  size_t count = 0;
+  const EnvSpec* table = env_spec_table(&count);
+  for (size_t i = 0; i < count; ++i) {
+    const EnvSpec& spec = table[i];
+    std::fprintf(stderr, "  %-24s %s\n", spec.name, spec.description);
+    std::fprintf(stderr, "  %-24s   value: %s (default: %s)\n", "",
+                 spec.grammar, spec.fallback);
+  }
+  return 0;
+}
+
 // Post-mortem half of --tree: fold every per-process log shard back into
 // the base log (crash-atomic save, shards removed on success) and, when
 // stats dumps were requested, print the per-process and aggregate view.
@@ -102,11 +122,19 @@ void merge_tree_artifacts(const std::string& log_path, bool stats,
     }
     aggregate.total += dump.total;
     aggregate.promoted += dump.promoted;
+    aggregate.accelerated += dump.accelerated;
+    if (dump.accelerated != 0) {
+      std::fprintf(stderr, ", accelerated %llu",
+                   static_cast<unsigned long long>(dump.accelerated));
+    }
     std::fprintf(stderr, ", promoted %llu\n",
                  static_cast<unsigned long long>(dump.promoted));
   }
-  std::fprintf(stderr, "  tree total %llu syscalls, %llu promoted sites\n",
+  std::fprintf(stderr,
+               "  tree total %llu syscalls, %llu accelerated, "
+               "%llu promoted sites\n",
                static_cast<unsigned long long>(aggregate.total),
+               static_cast<unsigned long long>(aggregate.accelerated),
                static_cast<unsigned long long>(aggregate.promoted));
 }
 
@@ -133,7 +161,9 @@ int main(int argc, char** argv) {
       ++i;
       break;
     }
-    if (arg == "--offline") {
+    if (arg == "--help" || arg == "-h") {
+      return help(argv[0]);
+    } else if (arg == "--offline") {
       offline = true;
     } else if (arg == "--keep-vdso") {
       keep_vdso = true;

@@ -22,9 +22,11 @@
 #include <utility>
 #include <vector>
 
+#include "accel/accel.h"
 #include "arch/raw_syscall.h"
 #include "arch/syscall_table.h"
 #include "arch/thunks.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "interpose/dispatch.h"
@@ -39,11 +41,6 @@
 
 namespace k23 {
 namespace {
-
-const char* env_or(const char* name, const char* fallback) {
-  const char* value = std::getenv(name);
-  return value != nullptr ? value : fallback;
-}
 
 void ptracer_handoff() {
   PtracerHandoffState state{};
@@ -62,14 +59,14 @@ void ptracer_handoff() {
                               static_cast<long>(nopatch_end()), 0, 0);
 }
 
-K23Variant parse_variant(const char* name) {
-  if (std::strcmp(name, "ultra") == 0) return K23Variant::kUltra;
-  if (std::strcmp(name, "ultra+") == 0) return K23Variant::kUltraPlus;
+K23Variant parse_variant(const std::string& name) {
+  if (name == "ultra") return K23Variant::kUltra;
+  if (name == "ultra+") return K23Variant::kUltraPlus;
   return K23Variant::kDefault;
 }
 
 void save_logger_output() {
-  const char* base = std::getenv("K23_LOG_FILE");
+  const char* base = env_raw("K23_LOG_FILE");
   if (base == nullptr || !LibLogger::running()) return;
   auto log = LibLogger::stop();
   if (!log.is_ok()) return;
@@ -104,7 +101,7 @@ void k23_exit_report() {
       K23_LOG(kWarn) << "libk23_preload: cannot write stats dump: "
                      << st.message();
     }
-  } else if (const char* log_file = std::getenv("K23_LOG_FILE");
+  } else if (const char* log_file = env_raw("K23_LOG_FILE");
              Promotion::active() && log_file != nullptr) {
     OfflineLog log;
     if (auto existing = OfflineLog::load(log_file); existing.is_ok()) {
@@ -117,7 +114,7 @@ void k23_exit_report() {
     }
   }
 
-  if (std::getenv("K23_STATS") == nullptr) return;
+  if (!env_flag("K23_STATS", false)) return;
   // Snapshot every number before the first fprintf: the dump's own
   // writes are interposed too, so interleaving reads with printing
   // would make the per-nr lines disagree with their path header.
@@ -145,6 +142,17 @@ void k23_exit_report() {
                    static_cast<unsigned long long>(nr_count));
     }
   }
+  const uint64_t accel_served = stats.by_outcome(SyscallOutcome::kAccelerated);
+  if (accel_served != 0) {
+    std::fprintf(stderr, "  accelerated  %llu (answered in userspace)\n",
+                 static_cast<unsigned long long>(accel_served));
+    for (const auto& [nr, nr_count] :
+         stats.top_by_outcome(SyscallOutcome::kAccelerated, 10)) {
+      const char* name = syscall_name(nr);
+      std::fprintf(stderr, "    %-24s %llu\n", name != nullptr ? name : "?",
+                   static_cast<unsigned long long>(nr_count));
+    }
+  }
   const PromotionStats promo = Promotion::stats();
   std::fprintf(stderr,
                "  promotion: %llu sud hits, %llu promoted, %llu refused, "
@@ -159,18 +167,18 @@ void k23_exit_report() {
 }
 
 __attribute__((constructor)) void k23_preload_init() {
-  const char* mode = env_or("K23_MODE", "k23");
+  const std::string mode = env_string("K23_MODE", "k23");
 
-  if (std::strcmp(mode, "logger") == 0) {
+  if (mode == "logger") {
     if (!LibLogger::start().is_ok()) {
       K23_LOG(kError) << "libk23_preload: libLogger failed to start";
     }
     std::atexit(&save_logger_output);
     return;
   }
-  if (std::strcmp(mode, "zpoline") == 0) {
+  if (mode == "zpoline") {
     ZpolineInterposer::Options options;
-    if (std::strcmp(env_or("K23_VARIANT", "default"), "ultra") == 0) {
+    if (env_string("K23_VARIANT", "default") == "ultra") {
       options.variant = ZpolineVariant::kUltra;
     }
     auto report = ZpolineInterposer::init(options);
@@ -180,13 +188,13 @@ __attribute__((constructor)) void k23_preload_init() {
     }
     return;
   }
-  if (std::strcmp(mode, "lazypoline") == 0) {
+  if (mode == "lazypoline") {
     if (!LazypolineInterposer::init().is_ok()) {
       K23_LOG(kError) << "libk23_preload: lazypoline init failed";
     }
     return;
   }
-  if (std::strcmp(mode, "sud") == 0) {
+  if (mode == "sud") {
     if (!SudSession::arm().is_ok()) {
       K23_LOG(kError) << "libk23_preload: SUD arm failed";
     }
@@ -197,7 +205,7 @@ __attribute__((constructor)) void k23_preload_init() {
   ptracer_handoff();
   OfflineLog log;
   LogLoadReport load_report;
-  const char* log_file = std::getenv("K23_LOG_FILE");
+  const char* log_file = env_raw("K23_LOG_FILE");
   if (log_file != nullptr) {
     auto loaded = OfflineLog::load(log_file, &load_report);
     if (loaded.is_ok()) {
@@ -208,7 +216,7 @@ __attribute__((constructor)) void k23_preload_init() {
     }
   }
   K23Interposer::Options options;
-  options.variant = parse_variant(env_or("K23_VARIANT", "default"));
+  options.variant = parse_variant(env_string("K23_VARIANT", "default"));
   options.promotion = PromotionConfig::from_env();
   auto report = K23Interposer::init(log, options);
   if (!report.is_ok()) {
@@ -223,6 +231,15 @@ __attribute__((constructor)) void k23_preload_init() {
         !tree.is_ok()) {
       K23_LOG(kWarn) << "libk23_preload: process-tree propagation off: "
                      << tree.message();
+    }
+    // Userspace acceleration (DESIGN.md §10): vDSO-forwarded time calls
+    // and pid/uname caches served straight from the dispatcher chain.
+    // K23_ACCEL=off opts out; under a vdso-scrubbing launcher the time
+    // fast paths silently fall back to passthrough.
+    if (const AccelConfig accel = AccelConfig::from_env(); accel.enabled) {
+      if (Status st = Accel::init(accel); !st.is_ok()) {
+        K23_LOG(kWarn) << "libk23_preload: accel off: " << st.message();
+      }
     }
     DegradationReport& deg = report.value().degradation;
     if (load_report.corrupt_records > 0 || load_report.torn_tail) {

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <map>
 
+#include "common/env.h"
 #include "common/files.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -212,25 +213,23 @@ void atfork_child() {
   // Fresh per-process counters: this child's stats dump and log shard
   // must describe *this* process, not the ancestors it was copied from.
   Dispatcher::instance().stats().reset();
+  // Invalidate accel caches (the PID cache in particular) for forks the
+  // dispatcher's own fork path didn't see — e.g. a libc fork() issued
+  // while the ladder had degraded to rewritten-only coverage.
+  if (internal::ChildRefreshFn refresh = internal::child_refresh();
+      refresh != nullptr) {
+    refresh();
+  }
 }
 
 }  // namespace
 
 ProcessTreeConfig ProcessTreeConfig::from_env() {
   ProcessTreeConfig config;
-  const char* follow = std::getenv("K23_FOLLOW");
-  if (follow != nullptr &&
-      (std::strcmp(follow, "off") == 0 || std::strcmp(follow, "0") == 0 ||
-       std::strcmp(follow, "false") == 0)) {
-    config.follow = false;
-  }
-  const char* log_file = std::getenv("K23_LOG_FILE");
-  if (log_file != nullptr) config.log_file = log_file;
-  const char* shards = std::getenv("K23_LOG_SHARDS");
-  config.log_shards = shards != nullptr && std::strcmp(shards, "0") != 0 &&
-                      shards[0] != '\0';
-  const char* stats_dir = std::getenv("K23_STATS_DIR");
-  if (stats_dir != nullptr) config.stats_dir = stats_dir;
+  config.follow = env_flag("K23_FOLLOW", config.follow);
+  config.log_file = env_string("K23_LOG_FILE");
+  config.log_shards = env_flag("K23_LOG_SHARDS", config.log_shards);
+  config.stats_dir = env_string("K23_STATS_DIR");
   return config;
 }
 
@@ -335,6 +334,11 @@ std::string ProcessTree::serialize_stats_dump() {
   const PromotionStats promo = Promotion::stats();
   out += "promotion,promoted," + std::to_string(promo.promoted) + "\n";
   out += "promotion,sud_hits," + std::to_string(promo.sud_hits) + "\n";
+  // Parsers predating the accel layer skip unknown row kinds, so this is
+  // a compatible v1 extension.
+  out += "accel,served," +
+         std::to_string(stats.by_outcome(SyscallOutcome::kAccelerated)) +
+         "\n";
   return out;
 }
 
@@ -378,6 +382,8 @@ Result<ProcessStatsDump> ProcessTree::parse_stats_dump(
     } else if (fields[0] == "promotion") {
       if (fields[1] == "promoted") dump.promoted = *value;
       if (fields[1] == "sud_hits") dump.sud_hits = *value;
+    } else if (fields[0] == "accel") {
+      if (fields[1] == "served") dump.accelerated = *value;
     }
   }
   std::sort(dump.by_nr.begin(), dump.by_nr.end(),

@@ -67,6 +67,7 @@ struct ProcessTreeConfig {
 //   path,<path-name>,<count>
 //   nr,<syscall-nr>,<count>
 //   promotion,<counter>,<value>
+//   accel,served,<count>
 struct ProcessStatsDump {
   pid_t pid = 0;
   uint64_t total = 0;
@@ -74,6 +75,7 @@ struct ProcessStatsDump {
   std::vector<std::pair<long, uint64_t>> by_nr;  // sorted by count, desc
   uint64_t promoted = 0;
   uint64_t sud_hits = 0;
+  uint64_t accelerated = 0;  // answered in userspace (SyscallOutcome)
 };
 
 class ProcessTree {

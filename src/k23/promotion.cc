@@ -10,6 +10,7 @@
 #include <span>
 
 #include "arch/raw_syscall.h"
+#include "common/env.h"
 #include "common/strings.h"
 #include "disasm/decoder.h"
 #include "faultinject/faultinject.h"
@@ -233,20 +234,11 @@ void attempt_promotion(HitSlot& slot, uint64_t site) {
 
 PromotionConfig PromotionConfig::from_env() {
   PromotionConfig config;
-  if (const char* v = std::getenv("K23_PROMOTE")) {
-    std::string_view s(v);
-    config.enabled = !(s == "off" || s == "0" || s == "false");
-  }
-  if (const char* v = std::getenv("K23_PROMOTE_THRESHOLD")) {
-    if (auto n = parse_u64(v, 10); n && *n >= 1 && *n <= UINT32_MAX) {
-      config.threshold = static_cast<uint32_t>(*n);
-    }
-  }
-  if (const char* v = std::getenv("K23_PROMOTE_MAX_SITES")) {
-    if (auto n = parse_u64(v, 10); n && *n <= UINT32_MAX) {
-      config.max_sites = static_cast<uint32_t>(*n);
-    }
-  }
+  config.enabled = env_flag("K23_PROMOTE", config.enabled);
+  config.threshold = static_cast<uint32_t>(
+      env_u64("K23_PROMOTE_THRESHOLD", config.threshold, 1, UINT32_MAX));
+  config.max_sites = static_cast<uint32_t>(
+      env_u64("K23_PROMOTE_MAX_SITES", config.max_sites, 0, UINT32_MAX));
   return config;
 }
 

@@ -1,0 +1,26 @@
+// Forks once and reports the child's pid from both sides: the child
+// prints what getpid() told it, the parent prints the fork return value
+// (the kernel's ground truth). Run under k23_run with acceleration on,
+// the child's getpid is answered from the accel PID cache — the two
+// lines agreeing proves the fork invalidation path re-primed the cache
+// (tests/accel_test.cc, the end-to-end case).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+int main() {
+  ::fflush(nullptr);
+  pid_t pid = ::fork();
+  if (pid < 0) return 1;
+  if (pid == 0) {
+    std::printf("child %ld\n", static_cast<long>(::getpid()));
+    std::fflush(nullptr);
+    return 0;
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return 2;
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return 3;
+  std::printf("parent-saw %ld\n", static_cast<long>(pid));
+  return 0;
+}

@@ -8,8 +8,13 @@ namespace k23 {
 namespace {
 
 Policy* g_installed = nullptr;
+HookHandle g_installed_handle = 0;
 
-HookResult policy_hook(void* user, SyscallArgs& args, const HookContext&) {
+HookResult policy_hook(void* user, SyscallArgs& args,
+                       const HookContext& ctx) {
+  // Observe pass: an earlier chain entry already decided this call;
+  // re-evaluating would double-count and the verdict would be discarded.
+  if (ctx.replaced) return HookResult::passthrough();
   return static_cast<Policy*>(user)->evaluate(args);
 }
 
@@ -117,15 +122,22 @@ HookResult Policy::evaluate(const SyscallArgs& args) const {
 Status Policy::install() {
   if (!built_) return Status::fail("policy not built");
   if (g_installed != nullptr) return Status::fail("a policy is installed");
+  // An ordinary chain entry at the fixed policy priority: runs after the
+  // legacy slot, before accelerators (a denied call must never be served
+  // from a userspace cache) and before the flight recorder.
+  const HookHandle handle = Dispatcher::instance().register_hook(
+      hook_priority::kPolicy, &policy_hook, this);
+  if (handle == 0) return Status::fail("policy: hook chain is full");
   g_installed = this;
-  Dispatcher::instance().set_hook(&policy_hook, this);
+  g_installed_handle = handle;
   return Status::ok();
 }
 
 void Policy::uninstall() {
   if (g_installed == nullptr) return;
-  Dispatcher::instance().clear_hook();
+  Dispatcher::instance().unregister_hook(g_installed_handle);
   g_installed = nullptr;
+  g_installed_handle = 0;
 }
 
 }  // namespace k23

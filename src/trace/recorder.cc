@@ -8,10 +8,17 @@ namespace k23 {
 namespace {
 
 FlightRecorder* g_hook_recorder = nullptr;
+HookHandle g_hook_handle = 0;
 
 HookResult recording_hook(void* user, SyscallArgs& args,
                           const HookContext& ctx) {
   auto* recorder = static_cast<FlightRecorder*>(user);
+  // Observe pass: an earlier chain entry (policy deny, accel fast path)
+  // already produced the result — log it without executing anything.
+  if (ctx.replaced) {
+    recorder->record(args, ctx.replaced_value, ctx);
+    return HookResult::passthrough();
+  }
   // Execute first so the result can be recorded, then replace with the
   // real value (execution already happened).
   const long result = Dispatcher::execute(args, ctx.return_address);
@@ -82,15 +89,22 @@ Status FlightRecorder::install_as_hook() {
   if (g_hook_recorder != nullptr) {
     return Status::fail("a recorder hook is already installed");
   }
+  // Last in the fixed-priority chain: the recorder must see the final
+  // verdict of every call, including values served by an accelerator or
+  // denied by policy (both arrive via the observe pass).
+  const HookHandle handle = Dispatcher::instance().register_hook(
+      hook_priority::kRecorder, &recording_hook, this);
+  if (handle == 0) return Status::fail("recorder: hook chain is full");
   g_hook_recorder = this;
-  Dispatcher::instance().set_hook(&recording_hook, this);
+  g_hook_handle = handle;
   return Status::ok();
 }
 
 void FlightRecorder::uninstall_hook() {
   if (g_hook_recorder == nullptr) return;
-  Dispatcher::instance().clear_hook();
+  Dispatcher::instance().unregister_hook(g_hook_handle);
   g_hook_recorder = nullptr;
+  g_hook_handle = 0;
 }
 
 }  // namespace k23

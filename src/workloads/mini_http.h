@@ -35,6 +35,15 @@ struct MiniHttpOptions {
   // max_requests-style worker recycling). 0 = workers never recycle.
   // Only meaningful for run_http_server_prefork.
   long max_requests_per_worker = 0;
+  // Timestamp-heavy access logging (Table 6 "logging" row): every
+  // response is stamped on arrival and completion with
+  // syscall(SYS_clock_gettime) plus syscall(SYS_getpid), and one
+  // CLF-style line is appended to this fd (buffered, flushed every
+  // ~4 KB). The stamps deliberately take the syscall path rather than
+  // libc's vDSO fast path: that is what a tracee sees under k23_run,
+  // which scrubs AT_SYSINFO_EHDR — so this row measures exactly the
+  // traffic the accel layer (src/accel/) exists to win back. -1 = off.
+  int access_log_fd = -1;
 };
 
 struct MiniHttpHandle {

@@ -1,0 +1,476 @@
+// The userspace acceleration layer (src/accel/): vDSO image parsing,
+// the K23_ACCEL grammar, correctness of served values against the real
+// syscalls, the kAccelerated stats dimension, and — the load-bearing
+// cases — PID-cache invalidation across fork on both wiring paths (the
+// dispatcher's fork return and process_tree's pthread_atfork handler).
+//
+// Accel state is process-global, so every test that arms it runs in a
+// forked child (support/subprocess.h) and reports via exit code.
+#include "accel/accel.h"
+
+#include <gtest/gtest.h>
+#include <sys/auxv.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <sys/utsname.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <thread>
+
+#include "accel/vdso.h"
+#include "arch/raw_syscall.h"
+#include "common/caps.h"
+#include "common/files.h"
+#include "interpose/dispatch.h"
+#include "interpose/internal.h"
+#include "k23/process_tree.h"
+#include "support/subprocess.h"
+
+#ifndef K23_BUILD_DIR
+#define K23_BUILD_DIR "."
+#endif
+
+namespace k23 {
+namespace {
+
+SyscallArgs make_args(long nr, long a0 = 0, long a1 = 0, long a2 = 0) {
+  SyscallArgs args;
+  args.nr = nr;
+  args.rdi = a0;
+  args.rsi = a1;
+  args.rdx = a2;
+  return args;
+}
+
+long dispatch(long nr, long a0 = 0, long a1 = 0, long a2 = 0) {
+  SyscallArgs args = make_args(nr, a0, a1, a2);
+  HookContext ctx;
+  return Dispatcher::instance().on_syscall(args, ctx);
+}
+
+// --- vDSO image parsing ------------------------------------------------------
+
+TEST(VdsoImage, ResolvesTimeSymbolsFromAuxv) {
+  if (getauxval(AT_SYSINFO_EHDR) == 0) {
+    GTEST_SKIP() << "no vDSO in this environment";
+  }
+  const VdsoImage vdso = VdsoImage::from_auxv();
+  ASSERT_TRUE(vdso.present());
+  using ClockFn = long (*)(long, timespec*);
+  auto* fn =
+      reinterpret_cast<ClockFn>(vdso.lookup("__vdso_clock_gettime"));
+  ASSERT_NE(fn, nullptr);
+  timespec ts{};
+  EXPECT_EQ(fn(CLOCK_MONOTONIC, &ts), 0);
+  EXPECT_TRUE(ts.tv_sec != 0 || ts.tv_nsec != 0);
+}
+
+TEST(VdsoImage, FromProcessMatchesAuxvWhenUnscrubbed) {
+  if (getauxval(AT_SYSINFO_EHDR) == 0) {
+    GTEST_SKIP() << "no vDSO in this environment";
+  }
+  // With the auxv intact both paths must resolve the same image; the
+  // scrubbed-auxv leg of from_process (the /proc/self/maps fallback) is
+  // pinned end-to-end by Accel.LauncherServesTimeWithScrubbedAuxv.
+  const VdsoImage via_auxv = VdsoImage::from_auxv();
+  const VdsoImage via_process = VdsoImage::from_process();
+  ASSERT_TRUE(via_process.present());
+  EXPECT_EQ(via_process.lookup("__vdso_clock_gettime"),
+            via_auxv.lookup("__vdso_clock_gettime"));
+  EXPECT_EQ(via_process.lookup("__vdso_time"),
+            via_auxv.lookup("__vdso_time"));
+}
+
+TEST(VdsoImage, AbsentImageResolvesNothing) {
+  // The k23_run-scrubbed case: AT_SYSINFO_EHDR = 0.
+  const VdsoImage none(0);
+  EXPECT_FALSE(none.present());
+  EXPECT_EQ(none.lookup("__vdso_clock_gettime"), nullptr);
+}
+
+TEST(VdsoImage, NonElfMemoryIsRejected) {
+  alignas(16) static const char garbage[4096] = {};
+  const VdsoImage bogus(reinterpret_cast<uintptr_t>(garbage));
+  EXPECT_FALSE(bogus.present());
+  EXPECT_EQ(bogus.lookup("__vdso_time"), nullptr);
+}
+
+TEST(VdsoImage, UnknownSymbolIsNull) {
+  if (getauxval(AT_SYSINFO_EHDR) == 0) {
+    GTEST_SKIP() << "no vDSO in this environment";
+  }
+  const VdsoImage vdso = VdsoImage::from_auxv();
+  ASSERT_TRUE(vdso.present());
+  EXPECT_EQ(vdso.lookup("__vdso_frobnicate"), nullptr);
+}
+
+// --- K23_ACCEL grammar -------------------------------------------------------
+
+struct EnvVarGuard {
+  explicit EnvVarGuard(const char* name) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+  }
+  ~EnvVarGuard() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(AccelConfig, UnsetMeansEverythingOn) {
+  EnvVarGuard guard("K23_ACCEL");
+  ::unsetenv("K23_ACCEL");
+  const AccelConfig c = AccelConfig::from_env();
+  EXPECT_TRUE(c.enabled);
+  EXPECT_TRUE(c.time && c.pid && c.uname);
+}
+
+TEST(AccelConfig, OffSpellingsDisable) {
+  EnvVarGuard guard("K23_ACCEL");
+  for (const char* off : {"off", "0", "false", "no"}) {
+    ::setenv("K23_ACCEL", off, 1);
+    const AccelConfig c = AccelConfig::from_env();
+    EXPECT_FALSE(c.enabled) << off;
+    EXPECT_FALSE(c.time || c.pid || c.uname) << off;
+  }
+}
+
+TEST(AccelConfig, OnSpellingsEnableEverything) {
+  EnvVarGuard guard("K23_ACCEL");
+  for (const char* on : {"on", "1", "true", "yes"}) {
+    ::setenv("K23_ACCEL", on, 1);
+    const AccelConfig c = AccelConfig::from_env();
+    EXPECT_TRUE(c.enabled && c.time && c.pid && c.uname) << on;
+  }
+}
+
+TEST(AccelConfig, CommaListSelectsSubsets) {
+  EnvVarGuard guard("K23_ACCEL");
+  ::setenv("K23_ACCEL", "time,pid", 1);
+  AccelConfig c = AccelConfig::from_env();
+  EXPECT_TRUE(c.enabled && c.time && c.pid);
+  EXPECT_FALSE(c.uname);
+
+  ::setenv("K23_ACCEL", " pid ,  uname ", 1);  // whitespace tolerated
+  c = AccelConfig::from_env();
+  EXPECT_TRUE(c.enabled && c.pid && c.uname);
+  EXPECT_FALSE(c.time);
+
+  // Only unknown tokens: nothing selected, the layer stays off.
+  ::setenv("K23_ACCEL", "frobnicate", 1);
+  c = AccelConfig::from_env();
+  EXPECT_FALSE(c.enabled);
+}
+
+// --- served values -----------------------------------------------------------
+
+TEST(Accel, ServedValuesMatchRealSyscalls) {
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!Accel::init(AccelConfig{}).is_ok()) return 1;
+    Dispatcher::instance().stats().reset();
+
+    if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 2;
+    if (dispatch(SYS_gettid) != raw_syscall(SYS_gettid)) return 3;
+
+    utsname served{};
+    utsname real{};
+    if (dispatch(SYS_uname, reinterpret_cast<long>(&served)) != 0) return 4;
+    if (raw_syscall(SYS_uname, reinterpret_cast<long>(&real)) != 0) return 5;
+    if (std::memcmp(&served, &real, sizeof(served)) != 0) return 6;
+
+    // Time results: bracket the dispatched reading between two raw ones.
+    timespec before{}, mid{}, after{};
+    raw_syscall(SYS_clock_gettime, CLOCK_MONOTONIC,
+                reinterpret_cast<long>(&before));
+    if (dispatch(SYS_clock_gettime, CLOCK_MONOTONIC,
+                 reinterpret_cast<long>(&mid)) != 0) {
+      return 7;
+    }
+    raw_syscall(SYS_clock_gettime, CLOCK_MONOTONIC,
+                reinterpret_cast<long>(&after));
+    auto ns = [](const timespec& ts) {
+      return ts.tv_sec * 1000000000L + ts.tv_nsec;
+    };
+    if (ns(mid) < ns(before) || ns(mid) > ns(after)) return 8;
+
+    timeval tv{};
+    if (dispatch(SYS_gettimeofday, reinterpret_cast<long>(&tv)) != 0) {
+      return 9;
+    }
+    const long raw_sec = raw_syscall(SYS_time, 0);
+    if (tv.tv_sec < raw_sec - 2 || tv.tv_sec > raw_sec + 2) return 10;
+    const long served_sec = dispatch(SYS_time);
+    if (served_sec < raw_sec - 2 || served_sec > raw_sec + 2) return 11;
+
+    // The cached families are always accelerated; the vDSO ones only
+    // when the image resolved (a scrubbed environment falls back).
+    auto& stats = Dispatcher::instance().stats();
+    if (stats.by_nr_outcome(SYS_getpid, SyscallOutcome::kAccelerated) != 1) {
+      return 12;
+    }
+    if (stats.by_nr_outcome(SYS_uname, SyscallOutcome::kAccelerated) != 1) {
+      return 13;
+    }
+    if (Accel::report().vdso_present &&
+        stats.by_nr_outcome(SYS_clock_gettime,
+                            SyscallOutcome::kAccelerated) != 1) {
+      return 14;
+    }
+    if (stats.by_outcome(SyscallOutcome::kAccelerated) <
+        stats.by_nr_outcome(SYS_getpid, SyscallOutcome::kAccelerated)) {
+      return 15;
+    }
+    Accel::shutdown();
+    return 0;
+  });
+}
+
+TEST(Accel, DisabledFamiliesFallBackToPassthrough) {
+  EXPECT_CHILD_EXITS(0, [] {
+    // time/uname off, pid on: the time calls must still be answered
+    // correctly — by the kernel — and never counted as accelerated.
+    // This is the same hook path the vDSO-absent fallback takes (the
+    // per-family function pointers are simply null).
+    AccelConfig config;
+    config.time = false;
+    config.uname = false;
+    if (!Accel::init(config).is_ok()) return 1;
+    Dispatcher::instance().stats().reset();
+
+    timespec ts{};
+    if (dispatch(SYS_clock_gettime, CLOCK_MONOTONIC,
+                 reinterpret_cast<long>(&ts)) != 0) {
+      return 2;
+    }
+    if (ts.tv_sec == 0 && ts.tv_nsec == 0) return 3;
+    utsname buf{};
+    if (dispatch(SYS_uname, reinterpret_cast<long>(&buf)) != 0) return 4;
+    if (buf.sysname[0] == '\0') return 5;
+    if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 6;
+
+    auto& stats = Dispatcher::instance().stats();
+    if (stats.by_nr_outcome(SYS_clock_gettime,
+                            SyscallOutcome::kAccelerated) != 0) {
+      return 7;
+    }
+    if (stats.by_nr_outcome(SYS_uname, SyscallOutcome::kAccelerated) != 0) {
+      return 8;
+    }
+    if (stats.by_nr_outcome(SYS_getpid, SyscallOutcome::kAccelerated) != 1) {
+      return 9;
+    }
+    Accel::shutdown();
+    return 0;
+  });
+}
+
+TEST(Accel, DisabledConfigDoesNotRegister) {
+  EXPECT_CHILD_EXITS(0, [] {
+    AccelConfig config;
+    config.enabled = false;
+    if (!Accel::init(config).is_ok()) return 1;
+    if (Accel::active()) return 2;
+    if (Dispatcher::instance().hook_count() != 0) return 3;
+    return 0;
+  });
+}
+
+TEST(Accel, EarlierReplaceSuppressesServing) {
+  EXPECT_CHILD_EXITS(0, [] {
+    // A policy-style entry below kAccel denies getpid; the accelerator
+    // must not overrule it from the observe pass.
+    if (Dispatcher::instance().register_hook(
+            hook_priority::kPolicy,
+            [](void*, SyscallArgs& args, const HookContext&) {
+              if (args.nr == SYS_getpid) return HookResult::replace(-77);
+              return HookResult::passthrough();
+            },
+            nullptr) == 0) {
+      return 1;
+    }
+    if (!Accel::init(AccelConfig{}).is_ok()) return 2;
+    Dispatcher::instance().stats().reset();
+    if (dispatch(SYS_getpid) != -77) return 3;
+    if (Dispatcher::instance().stats().by_nr_outcome(
+            SYS_getpid, SyscallOutcome::kAccelerated) != 0) {
+      return 4;
+    }
+    Accel::shutdown();
+    return 0;
+  });
+}
+
+TEST(Accel, ShutdownDeregistersAndReinitWorks) {
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!Accel::init(AccelConfig{}).is_ok()) return 1;
+    if (!Accel::active()) return 2;
+    if (Dispatcher::instance().hook_count() != 1) return 3;
+    Accel::shutdown();
+    if (Accel::active()) return 4;
+    if (Dispatcher::instance().hook_count() != 0) return 5;
+    if (internal::child_refresh() != nullptr) return 6;
+    Accel::shutdown();  // idempotent
+    if (!Accel::init(AccelConfig{}).is_ok()) return 7;
+    if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 8;
+    Accel::shutdown();
+    return 0;
+  });
+}
+
+// --- fork invalidation (the acceptance cases) --------------------------------
+
+TEST(Accel, ForkThroughDispatcherReprimesPidCache) {
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!Accel::init(AccelConfig{}).is_ok()) return 1;
+    const long parent_pid = dispatch(SYS_getpid);  // primes/uses the cache
+    if (parent_pid != raw_syscall(SYS_getpid)) return 2;
+
+    // Fork through the funnel, like an interposed fork() would: the
+    // dispatcher's fork return path must re-prime the cache in the child.
+    const long rc = dispatch(SYS_fork);
+    if (rc == 0) {
+      const long served = dispatch(SYS_getpid);
+      const long kernel = raw_syscall(SYS_getpid);
+      if (served != kernel) ::_exit(10);  // stale parent pid served
+      if (served == parent_pid) ::_exit(11);
+      // Still answered from the cache, not by accident of passthrough.
+      if (Dispatcher::instance().stats().by_nr_outcome(
+              SYS_getpid, SyscallOutcome::kAccelerated) == 0) {
+        ::_exit(12);
+      }
+      ::_exit(0);
+    }
+    if (rc < 0) return 3;
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(rc), &status, 0);
+    Accel::shutdown();
+    if (!WIFEXITED(status)) return 4;
+    return WEXITSTATUS(status) == 0 ? 0 : WEXITSTATUS(status);
+  });
+}
+
+TEST(Accel, LibcForkInvalidatesViaProcessTreeAtfork) {
+  EXPECT_CHILD_EXITS(0, [] {
+    // The other wiring: a libc fork() the dispatcher never sees (the
+    // degraded-ladder case) — process_tree's pthread_atfork child
+    // handler must run the same refresh.
+    if (!ProcessTree::init(ProcessTreeConfig{}).is_ok()) return 1;
+    if (!Accel::init(AccelConfig{}).is_ok()) return 2;
+    const long parent_pid = dispatch(SYS_getpid);
+
+    pid_t rc = ::fork();
+    if (rc == 0) {
+      const long served = dispatch(SYS_getpid);
+      const long kernel = raw_syscall(SYS_getpid);
+      if (served != kernel) ::_exit(10);
+      if (served == parent_pid) ::_exit(11);
+      ::_exit(0);
+    }
+    if (rc < 0) return 3;
+    int status = 0;
+    ::waitpid(rc, &status, 0);
+    Accel::shutdown();
+    ProcessTree::shutdown();
+    if (!WIFEXITED(status)) return 4;
+    return WEXITSTATUS(status) == 0 ? 0 : WEXITSTATUS(status);
+  });
+}
+
+TEST(Accel, NewThreadsGetTheirOwnTid) {
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!Accel::init(AccelConfig{}).is_ok()) return 1;
+    const long main_tid = dispatch(SYS_gettid);
+    if (main_tid != raw_syscall(SYS_gettid)) return 2;
+    static long thread_served = 0;
+    static long thread_kernel = 0;
+    std::thread([] {
+      thread_served = dispatch(SYS_gettid);
+      thread_kernel = raw_syscall(SYS_gettid);
+    }).join();
+    Accel::shutdown();
+    if (thread_served != thread_kernel) return 3;  // stale TLS cache
+    return thread_served != main_tid ? 0 : 4;
+  });
+}
+
+// --- end to end under the launcher -------------------------------------------
+
+TEST(Accel, LauncherForkedChildSeesItsOwnPid) {
+#if defined(K23_SANITIZED_BUILD)
+  GTEST_SKIP() << "spawns an interposing tree; not sanitizer-safe";
+#else
+  if (!capabilities().ptrace) GTEST_SKIP() << "ptrace unavailable";
+  const std::string launcher = std::string(K23_BUILD_DIR) + "/src/k23/k23_run";
+  const std::string helper =
+      std::string(K23_BUILD_DIR) + "/src/pitfalls/helper_fork_pid";
+  if (!file_exists(launcher) || !file_exists(helper)) {
+    GTEST_SKIP() << "launcher/helper binaries not built";
+  }
+  auto dir = make_temp_dir("k23_accel_e2e_");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string out = dir.value() + "/fork_pid.out";
+  // Default environment: vdso scrubbed, K23_ACCEL on — the helper child's
+  // getpid comes from the re-primed accel cache.
+  const std::string cmd = "K23_ACCEL=on " + launcher + " --log=" +
+                          dir.value() + "/k23.log -- " + helper + " > " +
+                          out + " 2>/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  auto text = read_file(out);
+  ASSERT_TRUE(text.is_ok());
+  long child_pid = -1, parent_saw = -2;
+  std::sscanf(text.value().c_str(), "child %ld\nparent-saw %ld", &child_pid,
+              &parent_saw);
+  EXPECT_GT(child_pid, 0) << text.value();
+  EXPECT_EQ(child_pid, parent_saw) << text.value();
+#endif
+}
+
+TEST(Accel, LauncherServesTimeWithScrubbedAuxv) {
+#if defined(K23_SANITIZED_BUILD)
+  GTEST_SKIP() << "spawns an interposing tree; not sanitizer-safe";
+#else
+  if (!capabilities().ptrace) GTEST_SKIP() << "ptrace unavailable";
+  if (getauxval(AT_SYSINFO_EHDR) == 0) {
+    GTEST_SKIP() << "no vDSO in this environment";
+  }
+  const std::string launcher = std::string(K23_BUILD_DIR) + "/src/k23/k23_run";
+  const std::string helper =
+      std::string(K23_BUILD_DIR) + "/src/pitfalls/helper_clock";
+  if (!file_exists(launcher) || !file_exists(helper)) {
+    GTEST_SKIP() << "launcher/helper binaries not built";
+  }
+  auto dir = make_temp_dir("k23_accel_vdso_e2e_");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string out = dir.value() + "/clock.out";
+  // k23_run scrubs AT_SYSINFO_EHDR from the tracee, so the preload's
+  // getauxval sees 0 — only the /proc/self/maps fallback can find the
+  // still-mapped vDSO. The --stats dump must show clock_gettime calls
+  // answered in userspace; zero accelerated calls means the fallback
+  // regressed and every timestamp went back to paying a kernel trip.
+  const std::string cmd = "K23_ACCEL=on " + launcher + " --stats --log=" +
+                          dir.value() + "/k23.log -- " + helper + " > " +
+                          out + " 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  auto text = read_file(out);
+  ASSERT_TRUE(text.is_ok());
+  EXPECT_NE(text.value().find("accelerated"), std::string::npos)
+      << text.value();
+  EXPECT_NE(text.value().find("answered in userspace"), std::string::npos)
+      << text.value();
+#endif
+}
+
+}  // namespace
+}  // namespace k23

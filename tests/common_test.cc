@@ -277,6 +277,86 @@ TEST(Env, LdPreloadContainsMatchesSuffix) {
   EXPECT_FALSE(ld_preload_contains(nullptr, "x"));
 }
 
+// --- K23_* grammar table and typed accessors ---------------------------------
+
+TEST(EnvGrammar, TableIsWellFormed) {
+  size_t count = 0;
+  const EnvSpec* table = env_spec_table(&count);
+  ASSERT_NE(table, nullptr);
+  EXPECT_GE(count, 10u);
+  for (size_t i = 0; i < count; ++i) {
+    // Every recognized variable is namespaced, documented, and unique.
+    EXPECT_EQ(std::string_view(table[i].name).rfind("K23_", 0), 0u)
+        << table[i].name;
+    EXPECT_NE(table[i].grammar[0], '\0') << table[i].name;
+    EXPECT_NE(table[i].fallback[0], '\0') << table[i].name;
+    EXPECT_NE(table[i].description[0], '\0') << table[i].name;
+    for (size_t j = i + 1; j < count; ++j) {
+      EXPECT_STRNE(table[i].name, table[j].name);
+    }
+    EXPECT_EQ(env_spec(table[i].name), &table[i]);
+  }
+  EXPECT_EQ(env_spec("K23_FROBNICATE"), nullptr);
+  // The knobs the subsystems actually read must all be declared.
+  for (const char* name : {"K23_MODE", "K23_VARIANT", "K23_ACCEL",
+                           "K23_STATS", "K23_FOLLOW", "K23_PROMOTE",
+                           "K23_LOG_LEVEL", "K23_FAULTS"}) {
+    EXPECT_NE(env_spec(name), nullptr) << name;
+  }
+}
+
+TEST(EnvGrammar, FlagSemantics) {
+  const char* kName = "K23_TEST_FLAG";
+  ::unsetenv(kName);
+  EXPECT_TRUE(env_flag(kName, true));
+  EXPECT_FALSE(env_flag(kName, false));
+  ::setenv(kName, "", 1);  // empty behaves like unset
+  EXPECT_TRUE(env_flag(kName, true));
+  for (const char* off : {"off", "0", "false", "no", "OFF", "No", "FALSE"}) {
+    ::setenv(kName, off, 1);
+    EXPECT_FALSE(env_flag(kName, true)) << off;
+  }
+  for (const char* on : {"on", "1", "true", "yes", "banana"}) {
+    ::setenv(kName, on, 1);
+    EXPECT_TRUE(env_flag(kName, false)) << on;
+  }
+  ::unsetenv(kName);
+}
+
+TEST(EnvGrammar, U64SemanticsAndRange) {
+  const char* kName = "K23_TEST_U64";
+  ::unsetenv(kName);
+  EXPECT_EQ(env_u64(kName, 7), 7u);
+  ::setenv(kName, "64", 1);
+  EXPECT_EQ(env_u64(kName, 7), 64u);
+  ::setenv(kName, "not-a-number", 1);
+  EXPECT_EQ(env_u64(kName, 7), 7u);
+  ::setenv(kName, "", 1);
+  EXPECT_EQ(env_u64(kName, 7), 7u);
+  // Out-of-range values fall back instead of clamping: a typo'd
+  // threshold must not silently become the extreme.
+  ::setenv(kName, "0", 1);
+  EXPECT_EQ(env_u64(kName, 7, 1, 100), 7u);
+  ::setenv(kName, "101", 1);
+  EXPECT_EQ(env_u64(kName, 7, 1, 100), 7u);
+  ::setenv(kName, "100", 1);
+  EXPECT_EQ(env_u64(kName, 7, 1, 100), 100u);
+  ::unsetenv(kName);
+}
+
+TEST(EnvGrammar, StringAndRawSemantics) {
+  const char* kName = "K23_TEST_STRING";
+  ::unsetenv(kName);
+  EXPECT_EQ(env_raw(kName), nullptr);
+  EXPECT_EQ(env_string(kName, "fallback"), "fallback");
+  ::setenv(kName, "value", 1);
+  EXPECT_STREQ(env_raw(kName), "value");
+  EXPECT_EQ(env_string(kName, "fallback"), "value");
+  ::setenv(kName, "", 1);  // set-but-empty is returned as-is, not fallback
+  EXPECT_EQ(env_string(kName, "fallback"), "");
+  ::unsetenv(kName);
+}
+
 // --- capability probe ---------------------------------------------------------
 
 TEST(Caps, ProbeIsStableAcrossCalls) {

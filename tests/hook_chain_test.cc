@@ -1,0 +1,322 @@
+// Hook-chain API v2 (interpose/dispatch.h): ordered registration,
+// first-replace-wins, the read-only observe pass, and the set_hook()
+// compatibility shim layered over the chain.
+//
+// The dispatcher is a process-global singleton, so every test that
+// mutates the chain runs in a forked child (support/subprocess.h) and
+// reports through its exit code — chain state can never leak between
+// tests or poison the sibling suites.
+#include "interpose/dispatch.h"
+
+#include <gtest/gtest.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "arch/raw_syscall.h"
+#include "support/subprocess.h"
+
+namespace k23 {
+namespace {
+
+SyscallArgs make_args(long nr, long a0 = 0, long a1 = 0) {
+  SyscallArgs args;
+  args.nr = nr;
+  args.rdi = a0;
+  args.rsi = a1;
+  return args;
+}
+
+// Shared scratch for hooks (raw function pointers, no captures): each
+// hook appends its tag so tests can assert on evaluation order.
+struct Trace {
+  char order[16] = {};
+  int calls = 0;
+  void append(char tag) {
+    if (calls < 15) order[calls] = tag;
+    ++calls;
+  }
+};
+
+TEST(HookChain, RunsInAscendingPriorityOrder) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static Trace trace;
+    static char tag_a = 'a', tag_b = 'b', tag_c = 'c';
+    auto tag = [](void* user, SyscallArgs&, const HookContext&) {
+      trace.append(*static_cast<char*>(user));
+      return HookResult::passthrough();
+    };
+    auto& d = Dispatcher::instance();
+    // Registered out of order on purpose; priority decides.
+    if (d.register_hook(30, tag, &tag_c) == 0) return 1;
+    if (d.register_hook(10, tag, &tag_a) == 0) return 2;
+    if (d.register_hook(20, tag, &tag_b) == 0) return 3;
+    SyscallArgs args = make_args(SYS_getpid);
+    HookContext ctx;
+    long rc = d.on_syscall(args, ctx);
+    if (rc != ::getpid()) return 4;
+    return std::strcmp(trace.order, "abc") == 0 ? 0 : 5;
+  });
+}
+
+TEST(HookChain, EqualPrioritiesKeepRegistrationOrder) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static Trace trace;
+    static char tag_a = '1', tag_b = '2', tag_c = '3';
+    auto tag = [](void* user, SyscallArgs&, const HookContext&) {
+      trace.append(*static_cast<char*>(user));
+      return HookResult::passthrough();
+    };
+    auto& d = Dispatcher::instance();
+    if (d.register_hook(50, tag, &tag_a) == 0) return 1;
+    if (d.register_hook(50, tag, &tag_b) == 0) return 2;
+    if (d.register_hook(50, tag, &tag_c) == 0) return 3;
+    SyscallArgs args = make_args(SYS_getuid);
+    HookContext ctx;
+    (void)d.on_syscall(args, ctx);
+    return std::strcmp(trace.order, "123") == 0 ? 0 : 4;
+  });
+}
+
+TEST(HookChain, FirstReplaceWinsAndLaterEntriesObserve) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static Trace trace;
+    struct Observed {
+      bool ran = false;
+      bool replaced = false;
+      long replaced_value = 0;
+    };
+    static Observed observed;
+    auto& d = Dispatcher::instance();
+    // Priority 10 replaces; priority 20 would replace with a different
+    // value but must be demoted to an observer.
+    if (d.register_hook(10,
+                        [](void*, SyscallArgs& args, const HookContext&) {
+                          if (args.nr == SYS_getpid)
+                            return HookResult::replace(-1111);
+                          return HookResult::passthrough();
+                        },
+                        nullptr) == 0)
+      return 1;
+    if (d.register_hook(20,
+                        [](void*, SyscallArgs&, const HookContext& ctx) {
+                          observed.ran = true;
+                          observed.replaced = ctx.replaced;
+                          observed.replaced_value = ctx.replaced_value;
+                          return HookResult::replace(-2222);  // discarded
+                        },
+                        nullptr) == 0)
+      return 2;
+    SyscallArgs args = make_args(SYS_getpid);
+    HookContext ctx;
+    long rc = d.on_syscall(args, ctx);
+    if (rc != -1111) return 3;  // first replace decided, -2222 discarded
+    if (!observed.ran) return 4;
+    if (!observed.replaced) return 5;
+    return observed.replaced_value == -1111 ? 0 : 6;
+  });
+}
+
+TEST(HookChain, ObserverArgumentMutationsDoNotLeak) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static long second_saw_rdi = -1;
+    auto& d = Dispatcher::instance();
+    if (d.register_hook(10,
+                        [](void*, SyscallArgs& args, const HookContext&) {
+                          if (args.nr == SYS_getpid)
+                            return HookResult::replace(-1);
+                          return HookResult::passthrough();
+                        },
+                        nullptr) == 0)
+      return 1;
+    // First observer scribbles on its (private) argument copy...
+    if (d.register_hook(20,
+                        [](void*, SyscallArgs& args, const HookContext&) {
+                          args.rdi = 0xdead;
+                          return HookResult::passthrough();
+                        },
+                        nullptr) == 0)
+      return 2;
+    // ...the next observer must still see the original arguments.
+    if (d.register_hook(30,
+                        [](void*, SyscallArgs& args, const HookContext&) {
+                          second_saw_rdi = args.rdi;
+                          return HookResult::passthrough();
+                        },
+                        nullptr) == 0)
+      return 3;
+    SyscallArgs args = make_args(SYS_getpid, 77);
+    HookContext ctx;
+    (void)d.on_syscall(args, ctx);
+    if (second_saw_rdi != 77) return 4;
+    // The caller's args are untouched by observers too.
+    return args.rdi == 77 ? 0 : 5;
+  });
+}
+
+TEST(HookChain, PassthroughHookMutationsStillStick) {
+  EXPECT_CHILD_EXITS(0, [] {
+    // No replace anywhere: the v1 contract (hooks may rewrite arguments
+    // before execution) must survive the chain rework.
+    auto& d = Dispatcher::instance();
+    if (d.register_hook(10,
+                        [](void*, SyscallArgs& args, const HookContext&) {
+                          if (args.nr == SYS_close && args.rdi == -1)
+                            args.rdi = -2;
+                          return HookResult::passthrough();
+                        },
+                        nullptr) == 0)
+      return 1;
+    static long next_saw_rdi = 0;
+    if (d.register_hook(20,
+                        [](void*, SyscallArgs& args, const HookContext&) {
+                          if (args.nr == SYS_close) next_saw_rdi = args.rdi;
+                          return HookResult::passthrough();
+                        },
+                        nullptr) == 0)
+      return 2;
+    SyscallArgs args = make_args(SYS_close, -1);
+    HookContext ctx;
+    long rc = d.on_syscall(args, ctx);
+    if (!is_syscall_error(rc) || syscall_errno(rc) != EBADF) return 3;
+    return next_saw_rdi == -2 ? 0 : 4;  // downstream saw the rewrite
+  });
+}
+
+TEST(HookChain, UnregisterRemovesEntryAndRejectsReuse) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static int calls = 0;
+    auto& d = Dispatcher::instance();
+    HookHandle h = d.register_hook(10,
+                                   [](void*, SyscallArgs&,
+                                      const HookContext&) {
+                                     ++calls;
+                                     return HookResult::passthrough();
+                                   },
+                                   nullptr);
+    if (h == 0) return 1;
+    SyscallArgs args = make_args(SYS_getuid);
+    HookContext ctx;
+    (void)d.on_syscall(args, ctx);
+    if (calls != 1) return 2;
+    if (!d.unregister_hook(h)) return 3;
+    if (d.unregister_hook(h)) return 4;  // double unregister: false
+    if (d.unregister_hook(0)) return 5;  // 0 is never valid
+    (void)d.on_syscall(args, ctx);
+    return calls == 1 ? 0 : 6;  // removed entry no longer runs
+  });
+}
+
+TEST(HookChain, CapacityIsBoundedAndFullChainRejects) {
+  EXPECT_CHILD_EXITS(0, [] {
+    auto& d = Dispatcher::instance();
+    auto noop = [](void*, SyscallArgs&, const HookContext&) {
+      return HookResult::passthrough();
+    };
+    HookHandle handles[Dispatcher::Config::kMaxHooks] = {};
+    for (size_t i = 0; i < Dispatcher::Config::kMaxHooks; ++i) {
+      handles[i] = d.register_hook(static_cast<int>(i), noop, nullptr);
+      if (handles[i] == 0) return 1;
+    }
+    if (d.register_hook(99, noop, nullptr) != 0) return 2;  // full
+    // Freeing one slot makes registration work again.
+    if (!d.unregister_hook(handles[0])) return 3;
+    return d.register_hook(99, noop, nullptr) != 0 ? 0 : 4;
+  });
+}
+
+TEST(HookChain, NullFnIsRejected) {
+  EXPECT_CHILD_EXITS(0, [] {
+    return Dispatcher::instance().register_hook(10, nullptr, nullptr) == 0
+               ? 0
+               : 1;
+  });
+}
+
+TEST(HookChain, SetHookShimReplacesItsOwnEntryOnly) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static int legacy_a = 0, legacy_b = 0, chained = 0;
+    auto& d = Dispatcher::instance();
+    if (d.register_hook(hook_priority::kPolicy,
+                        [](void*, SyscallArgs&, const HookContext&) {
+                          ++chained;
+                          return HookResult::passthrough();
+                        },
+                        nullptr) == 0)
+      return 1;
+    d.set_hook(
+        [](void*, SyscallArgs&, const HookContext&) {
+          ++legacy_a;
+          return HookResult::passthrough();
+        },
+        nullptr);
+    if (d.hook_count() != 2) return 2;
+    // A second set_hook replaces the first's entry — no stacking.
+    d.set_hook(
+        [](void*, SyscallArgs&, const HookContext&) {
+          ++legacy_b;
+          return HookResult::passthrough();
+        },
+        nullptr);
+    if (d.hook_count() != 2) return 3;
+    SyscallArgs args = make_args(SYS_getuid);
+    HookContext ctx;
+    (void)d.on_syscall(args, ctx);
+    if (legacy_a != 0 || legacy_b != 1 || chained != 1) return 4;
+    // clear_hook removes only the legacy slot; the chain entry stays.
+    d.clear_hook();
+    if (d.hook_count() != 1) return 5;
+    (void)d.on_syscall(args, ctx);
+    return (legacy_b == 1 && chained == 2) ? 0 : 6;
+  });
+}
+
+TEST(HookChain, LegacyShimRunsBeforeRegisteredEntries) {
+  EXPECT_CHILD_EXITS(0, [] {
+    static Trace trace;
+    static char tag_p = 'p';
+    auto& d = Dispatcher::instance();
+    // The policy-priority entry registers first, the legacy hook second —
+    // yet the legacy hook (priority kLegacy=0) must still run first.
+    if (d.register_hook(hook_priority::kPolicy,
+                        [](void* user, SyscallArgs&, const HookContext&) {
+                          trace.append(*static_cast<char*>(user));
+                          return HookResult::passthrough();
+                        },
+                        &tag_p) == 0)
+      return 1;
+    d.set_hook(
+        [](void*, SyscallArgs&, const HookContext&) {
+          trace.append('l');
+          return HookResult::passthrough();
+        },
+        nullptr);
+    SyscallArgs args = make_args(SYS_getuid);
+    HookContext ctx;
+    (void)d.on_syscall(args, ctx);
+    return std::strcmp(trace.order, "lp") == 0 ? 0 : 2;
+  });
+}
+
+TEST(HookChain, HasHookAndCountReflectTheChain) {
+  EXPECT_CHILD_EXITS(0, [] {
+    auto& d = Dispatcher::instance();
+    if (d.has_hook() || d.hook_count() != 0) return 1;
+    auto noop = [](void*, SyscallArgs&, const HookContext&) {
+      return HookResult::passthrough();
+    };
+    HookHandle h = d.register_hook(10, noop, nullptr);
+    if (h == 0) return 2;
+    if (!d.has_hook() || d.hook_count() != 1) return 3;
+    d.set_hook(noop, nullptr);
+    if (d.hook_count() != 2) return 4;
+    d.clear_hook();
+    if (d.hook_count() != 1) return 5;
+    if (!d.unregister_hook(h)) return 6;
+    return (!d.has_hook() && d.hook_count() == 0) ? 0 : 7;
+  });
+}
+
+}  // namespace
+}  // namespace k23
