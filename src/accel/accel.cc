@@ -23,8 +23,12 @@ using VdsoGettimeofdayFn = long (*)(void* tv, void* tz);
 using VdsoTimeFn = long (*)(long* tloc);
 using VdsoGetcpuFn = long (*)(unsigned* cpu, unsigned* node, void* tcache);
 
-// All state is plain globals published by the g_active release-store:
-// no heap, readable from the SIGSYS handler.
+// Everything the hook consults, published as one immutable snapshot
+// behind an atomic pointer (null = inactive). init() builds a fresh
+// snapshot off the hot path; superseded snapshots are retired but never
+// freed — a hook mid-flight, possibly inside the SIGSYS handler, may
+// still be dereferencing one — the same discipline as the dispatcher's
+// Config snapshots.
 struct AccelState {
   AccelConfig config;
   VdsoClockGettimeFn clock_gettime = nullptr;
@@ -34,10 +38,11 @@ struct AccelState {
   bool uname_ok = false;
   utsname uname_buf = {};
   AccelReport report;
+  AccelState* retired_next = nullptr;
 };
 
-AccelState g_state;
-std::atomic<bool> g_active{false};
+std::atomic<const AccelState*> g_state{nullptr};
+AccelState* g_retired_head = nullptr;  // keeps old snapshots leak-reachable
 HookHandle g_handle = 0;
 
 // PID cache: one word for the whole process (0 = not yet fetched, e.g.
@@ -47,6 +52,15 @@ HookHandle g_handle = 0;
 // can ever be served across clone.
 std::atomic<long> g_pid{0};
 constinit thread_local long t_tid = 0;
+
+// Sticky poison flag for the pid/tid caches. Set (and never cleared)
+// just before a CLONE_VM non-thread clone: from then on the cache words
+// are shared between two distinct processes — possibly including the
+// TLS slot, when the clone also omitted CLONE_SETTLS — and no value
+// either side writes can be correct for both. Both sides observe the
+// store (that is the point of setting it pre-clone, in memory that is
+// about to be shared) and fall back to the real syscall forever.
+std::atomic<bool> g_pid_cache_retired{false};
 
 long raw(long nr, long a1 = 0) {
   return internal::syscall_fn()(nr, a1, 0, 0, 0, 0, 0);
@@ -86,9 +100,8 @@ HookResult Accel::hook(void*, SyscallArgs& args, const HookContext& ctx) {
   // Observe pass: an earlier entry (policy deny) already decided the
   // call; serving it now would override a security verdict.
   if (ctx.replaced) return HookResult::passthrough();
-  if (!g_active.load(std::memory_order_acquire)) {
-    return HookResult::passthrough();
-  }
+  const AccelState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr) return HookResult::passthrough();
 
   // Pointer arguments are handed to the vDSO exactly as libc would hand
   // them: a bad pointer faults in userspace instead of earning EFAULT,
@@ -97,13 +110,13 @@ HookResult Accel::hook(void*, SyscallArgs& args, const HookContext& ctx) {
   // fall through to passthrough for exact errno semantics.
   switch (args.nr) {
     case SYS_clock_gettime: {
-      const VdsoClockGettimeFn fn = g_state.clock_gettime;
+      const VdsoClockGettimeFn fn = st->clock_gettime;
       if (fn == nullptr || args.rsi == 0) break;
       if (fn(args.rdi, reinterpret_cast<void*>(args.rsi)) != 0) break;
       return served(0);
     }
     case SYS_gettimeofday: {
-      const VdsoGettimeofdayFn fn = g_state.gettimeofday;
+      const VdsoGettimeofdayFn fn = st->gettimeofday;
       if (fn == nullptr || args.rdi == 0) break;
       if (fn(reinterpret_cast<void*>(args.rdi),
              reinterpret_cast<void*>(args.rsi)) != 0) {
@@ -112,12 +125,12 @@ HookResult Accel::hook(void*, SyscallArgs& args, const HookContext& ctx) {
       return served(0);
     }
     case SYS_time: {
-      const VdsoTimeFn fn = g_state.time;
+      const VdsoTimeFn fn = st->time;
       if (fn == nullptr) break;
       return served(fn(reinterpret_cast<long*>(args.rdi)));
     }
     case SYS_getcpu: {
-      const VdsoGetcpuFn fn = g_state.getcpu;
+      const VdsoGetcpuFn fn = st->getcpu;
       if (fn == nullptr) break;
       if (fn(reinterpret_cast<unsigned*>(args.rdi),
              reinterpret_cast<unsigned*>(args.rsi),
@@ -127,7 +140,8 @@ HookResult Accel::hook(void*, SyscallArgs& args, const HookContext& ctx) {
       return served(0);
     }
     case SYS_getpid: {
-      if (!g_state.config.pid) break;
+      if (!st->config.pid) break;
+      if (g_pid_cache_retired.load(std::memory_order_relaxed)) break;
       long pid = g_pid.load(std::memory_order_relaxed);
       if (pid == 0) {
         pid = raw(SYS_getpid);
@@ -136,14 +150,15 @@ HookResult Accel::hook(void*, SyscallArgs& args, const HookContext& ctx) {
       return served(pid);
     }
     case SYS_gettid: {
-      if (!g_state.config.pid) break;
+      if (!st->config.pid) break;
+      if (g_pid_cache_retired.load(std::memory_order_relaxed)) break;
       if (t_tid == 0) t_tid = raw(SYS_gettid);
       return served(t_tid);
     }
     case SYS_uname: {
-      if (!g_state.uname_ok || args.rdi == 0) break;
-      std::memcpy(reinterpret_cast<void*>(args.rdi), &g_state.uname_buf,
-                  sizeof(g_state.uname_buf));
+      if (!st->uname_ok || args.rdi == 0) break;
+      std::memcpy(reinterpret_cast<void*>(args.rdi), &st->uname_buf,
+                  sizeof(st->uname_buf));
       return served(0);
     }
     default:
@@ -156,50 +171,55 @@ Status Accel::init(const AccelConfig& config) {
   shutdown();
   if (!config.enabled) return Status::ok();
 
-  g_state = AccelState{};
-  g_state.config = config;
+  auto* next = new AccelState();
+  next->config = config;
   if (config.time) {
     // from_process, not from_auxv: inside a k23_run tracee the auxv
     // entry is scrubbed and only the /proc/self/maps fallback finds the
     // still-mapped vDSO (vdso.h).
     const VdsoImage vdso = VdsoImage::from_process();
-    g_state.report.vdso_present = vdso.present();
-    g_state.clock_gettime = reinterpret_cast<VdsoClockGettimeFn>(
+    next->report.vdso_present = vdso.present();
+    next->clock_gettime = reinterpret_cast<VdsoClockGettimeFn>(
         vdso.lookup("__vdso_clock_gettime"));
-    g_state.gettimeofday = reinterpret_cast<VdsoGettimeofdayFn>(
+    next->gettimeofday = reinterpret_cast<VdsoGettimeofdayFn>(
         vdso.lookup("__vdso_gettimeofday"));
-    g_state.time =
-        reinterpret_cast<VdsoTimeFn>(vdso.lookup("__vdso_time"));
-    g_state.getcpu =
+    next->time = reinterpret_cast<VdsoTimeFn>(vdso.lookup("__vdso_time"));
+    next->getcpu =
         reinterpret_cast<VdsoGetcpuFn>(vdso.lookup("__vdso_getcpu"));
-    g_state.report.vdso_symbols =
-        (g_state.clock_gettime != nullptr) +
-        (g_state.gettimeofday != nullptr) + (g_state.time != nullptr) +
-        (g_state.getcpu != nullptr);
+    next->report.vdso_symbols =
+        (next->clock_gettime != nullptr) + (next->gettimeofday != nullptr) +
+        (next->time != nullptr) + (next->getcpu != nullptr);
   }
-  if (config.pid) {
+  if (config.pid && !g_pid_cache_retired.load(std::memory_order_relaxed)) {
     g_pid.store(raw(SYS_getpid), std::memory_order_relaxed);
     t_tid = raw(SYS_gettid);
   }
   if (config.uname) {
-    g_state.uname_ok =
-        raw(SYS_uname, reinterpret_cast<long>(&g_state.uname_buf)) == 0;
+    next->uname_ok =
+        raw(SYS_uname, reinterpret_cast<long>(&next->uname_buf)) == 0;
   }
 
   const HookHandle handle = Dispatcher::instance().register_hook(
       hook_priority::kAccel, &Accel::hook, nullptr);
   if (handle == 0) {
-    g_state = AccelState{};
+    delete next;  // never published: no reader can hold it
     return Status::fail("accel: hook chain is full");
   }
   g_handle = handle;
   internal::set_child_refresh(&Accel::refresh_after_fork);
-  g_active.store(true, std::memory_order_release);
+  internal::set_shared_vm_clone_notify(&Accel::retire_pid_cache);
+  g_state.store(next, std::memory_order_release);
   return Status::ok();
 }
 
 void Accel::shutdown() {
-  g_active.store(false, std::memory_order_release);
+  // Unpublish first: hooks that load the pointer from here on pass
+  // through. A hook that already holds the old snapshot keeps a valid
+  // (retired, never freed) object — there is no window where it could
+  // observe half-cleared function pointers.
+  AccelState* old =
+      const_cast<AccelState*>(g_state.exchange(nullptr,
+                                               std::memory_order_acq_rel));
   if (g_handle != 0) {
     Dispatcher::instance().unregister_hook(g_handle);
     g_handle = 0;
@@ -207,23 +227,47 @@ void Accel::shutdown() {
   if (internal::child_refresh() == &Accel::refresh_after_fork) {
     internal::set_child_refresh(nullptr);
   }
-  g_state = AccelState{};
+  if (internal::shared_vm_clone_notify() == &Accel::retire_pid_cache) {
+    internal::set_shared_vm_clone_notify(nullptr);
+  }
+  if (old != nullptr) {
+    old->retired_next = g_retired_head;
+    g_retired_head = old;
+  }
   g_pid.store(0, std::memory_order_relaxed);
   t_tid = 0;
+  // g_pid_cache_retired stays set: a shared-VM sibling created earlier
+  // still shares these words, and no re-init can make them safe again.
 }
 
-bool Accel::active() { return g_active.load(std::memory_order_acquire); }
+bool Accel::active() {
+  return g_state.load(std::memory_order_acquire) != nullptr;
+}
 
-AccelReport Accel::report() { return g_state.report; }
+AccelReport Accel::report() {
+  const AccelState* st = g_state.load(std::memory_order_acquire);
+  return st != nullptr ? st->report : AccelReport{};
+}
 
 void Accel::refresh_after_fork() {
-  if (!g_active.load(std::memory_order_acquire)) return;
-  if (!g_state.config.pid) return;
+  const AccelState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr || !st->config.pid) return;
+  if (g_pid_cache_retired.load(std::memory_order_relaxed)) return;
   // Raw syscalls through the passthrough primitive: this runs in a
   // freshly-forked child, possibly from the dispatcher's own fork return
-  // path with SUD re-armed — a libc getpid() here would recurse.
+  // path with SUD re-armed — a libc getpid() here would recurse. Also
+  // runs for new threads (the child-init shim mirrors it), where
+  // re-priming stores the same pid and the thread's own tid: idempotent.
   g_pid.store(raw(SYS_getpid), std::memory_order_relaxed);
   t_tid = raw(SYS_gettid);
+}
+
+void Accel::retire_pid_cache() {
+  g_pid_cache_retired.store(true, std::memory_order_relaxed);
+}
+
+bool Accel::pid_cache_retired() {
+  return g_pid_cache_retired.load(std::memory_order_relaxed);
 }
 
 }  // namespace k23

@@ -15,9 +15,14 @@
 //    interposer too, the time paths silently fall back to passthrough.
 //  * getpid is served from a process-global cache, gettid from a
 //    per-thread cache, uname from an init-time snapshot. The PID cache is
-//    invalidated through the dispatcher's fork return path and through
-//    process_tree's pthread_atfork child handler (internal::child_refresh),
-//    so a forked child never serves its parent's pid.
+//    invalidated through the dispatcher's fork return path, the new-stack
+//    clone child-init shim, and process_tree's pthread_atfork child
+//    handler (all via internal::child_refresh), so a forked or cloned
+//    child never serves its parent's pid. CLONE_VM non-thread clones
+//    share memory across a process boundary, where no cached value can
+//    be correct for both sides: the dispatcher warns this layer before
+//    issuing one (internal::shared_vm_clone_notify) and the pid/tid
+//    caches are permanently retired to passthrough.
 //
 // The hook is an ordinary chain entry at hook_priority::kAccel and obeys
 // the SIGSYS-safety rules: no allocation, no libc locks, raw syscalls only
@@ -58,8 +63,19 @@ class Accel {
   static AccelReport report();
 
   // Re-reads the pid/tid caches via the passthrough primitive. Wired to
-  // internal::set_child_refresh by init(); async-signal-safe.
+  // internal::set_child_refresh by init() (which also mirrors it into the
+  // new-stack clone child-init shim); idempotent for same-process threads
+  // and async-signal-safe.
   static void refresh_after_fork();
+
+  // Permanently disables the pid/tid caches. Wired to
+  // internal::set_shared_vm_clone_notify by init(): the dispatcher calls
+  // it in the parent just before a CLONE_VM non-thread clone, while a
+  // store still reaches both sides of the split. Sticky across
+  // shutdown()/init() — once the cache words are shared between two
+  // processes they can never be trusted again. Async-signal-safe.
+  static void retire_pid_cache();
+  static bool pid_cache_retired();
 
   // The chain entry itself, exposed for tests and benchmarks that build
   // their own chain.

@@ -135,6 +135,7 @@ k23_call_on_stack:
 namespace k23 {
 namespace {
 std::atomic<ThreadReinitFn> g_thread_reinit{nullptr};
+std::atomic<ChildInitRefreshFn> g_child_init_refresh{nullptr};
 }  // namespace
 
 void set_thread_reinit(ThreadReinitFn fn) {
@@ -145,10 +146,23 @@ ThreadReinitFn thread_reinit() {
   return g_thread_reinit.load(std::memory_order_acquire);
 }
 
+void set_child_init_refresh(ChildInitRefreshFn fn) {
+  g_child_init_refresh.store(fn, std::memory_order_release);
+}
+
+ChildInitRefreshFn child_init_refresh() {
+  return g_child_init_refresh.load(std::memory_order_acquire);
+}
+
 }  // namespace k23
 
 // Called from k23_child_init_shim with all registers preserved around it.
 extern "C" void k23_invoke_thread_reinit() {
   k23::ThreadReinitFn fn = k23::thread_reinit();
   if (fn != nullptr) fn();
+  // New-stack clone children resume through the shim, never through the
+  // dispatcher's fork return path — so stale-cache invalidation (the
+  // accel PID cache) must run here as well.
+  k23::ChildInitRefreshFn refresh = k23::child_init_refresh();
+  if (refresh != nullptr) refresh();
 }

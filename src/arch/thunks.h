@@ -56,4 +56,14 @@ using ThreadReinitFn = void (*)();
 void set_thread_reinit(ThreadReinitFn fn);
 ThreadReinitFn thread_reinit();
 
+// Second callback the child-init shim runs after the SUD re-arm: cache
+// invalidation for clone children that land on a fresh stack (the
+// dispatch layer mirrors internal::child_refresh here so arch stays free
+// of upward dependencies). Runs for CLONE_THREAD children too — a refresh
+// must therefore be idempotent for same-process threads. Must be
+// async-safe.
+using ChildInitRefreshFn = void (*)();
+void set_child_init_refresh(ChildInitRefreshFn fn);
+ChildInitRefreshFn child_init_refresh();
+
 }  // namespace k23

@@ -32,7 +32,8 @@ constexpr EnvSpec kEnvTable[] = {
     {"K23_LOG_FILE", "path", "unset",
      "offline-log path: read by k23 mode, written by logger mode"},
     {"K23_LOG_LEVEL", "0..3", "1",
-     "diagnostic verbosity (0=error, 1=warn, 2=info, 3=debug)"},
+     "minimum diagnostic level (0=debug, 1=info, 2=warn, 3=error); "
+     "messages below the level are dropped"},
     {"K23_LOG_SHARDS", "on|off", "off",
      "write per-PID offline-log shards instead of the shared base log"},
     {"K23_STATS", "on|off", "off",

@@ -39,6 +39,11 @@ std::atomic<internal::ExecShimFn> g_exec_shim{nullptr};
 // pid from the child).
 std::atomic<internal::ChildRefreshFn> g_child_refresh{nullptr};
 
+// Optional shared-VM clone notification (accel/accel.cc): retires
+// process-wide caches before a CLONE_VM non-thread clone, while a store
+// is still visible to both sides (internal.h).
+std::atomic<internal::SharedVmCloneFn> g_shared_vm_clone{nullptr};
+
 long invoke(const SyscallArgs& a) {
   return g_syscall_fn.load(std::memory_order_acquire)(
       a.nr, a.rdi, a.rsi, a.rdx, a.r10, a.r8, a.r9);
@@ -58,14 +63,34 @@ long reinit_child_if_forked(long rc) {
   return rc;
 }
 
+// A CLONE_VM clone without CLONE_THREAD makes a new process that keeps
+// sharing our memory: told *before* the clone, the accel layer can retire
+// its process-wide caches with a store both sides will observe (a refresh
+// in the child would instead corrupt the parent's view, and vice versa).
+void notify_if_shared_vm_clone(uint64_t flags) {
+  if ((flags & CLONE_VM) == 0 || (flags & CLONE_THREAD) != 0) return;
+  const internal::SharedVmCloneFn fn =
+      g_shared_vm_clone.load(std::memory_order_acquire);
+  if (fn != nullptr) fn();
+}
+
+// Whether a new-stack clone child must detour through the child-init shim
+// before resuming application code: per-thread SUD re-arm and/or cache
+// refresh — the shim runs both (each independently registered).
+bool child_needs_init_shim() {
+  return thread_reinit() != nullptr ||
+         g_child_refresh.load(std::memory_order_acquire) != nullptr;
+}
+
 // clone with a fresh stack: seed the child's stack so it unwinds from the
 // thunk's `ret` through the init shim and into application code.
 long execute_clone(SyscallArgs args, uint64_t return_address) {
+  notify_if_shared_vm_clone(static_cast<uint64_t>(args.rdi));
   uint64_t child_sp = static_cast<uint64_t>(args.rsi);
   if (child_sp != 0 && return_address != 0) {
     child_sp -= 8;
     *reinterpret_cast<uint64_t*>(child_sp) = return_address;
-    if (thread_reinit() != nullptr) {
+    if (child_needs_init_shim()) {
       child_sp -= 8;
       *reinterpret_cast<uint64_t*>(child_sp) =
           reinterpret_cast<uint64_t>(&k23_child_init_shim);
@@ -79,8 +104,11 @@ long execute_clone(SyscallArgs args, uint64_t return_address) {
 long execute_clone3(SyscallArgs args, uint64_t return_address) {
   auto* user_args = reinterpret_cast<clone_args*>(args.rdi);
   const auto size = static_cast<size_t>(args.rsi);
-  if (user_args == nullptr || size < CLONE_ARGS_SIZE_VER0 ||
-      user_args->stack == 0 || return_address == 0) {
+  if (user_args == nullptr || size < CLONE_ARGS_SIZE_VER0) {
+    return reinit_child_if_forked(invoke(args));  // kernel rejects these
+  }
+  notify_if_shared_vm_clone(user_args->flags);
+  if (user_args->stack == 0 || return_address == 0) {
     return reinit_child_if_forked(invoke(args));
   }
   // Copy the struct: the application's instance may be const, and we must
@@ -91,7 +119,7 @@ long execute_clone3(SyscallArgs args, uint64_t return_address) {
   top -= 8;
   *reinterpret_cast<uint64_t*>(top) = return_address;
   uint64_t pushed = 8;
-  if (thread_reinit() != nullptr) {
+  if (child_needs_init_shim()) {
     top -= 8;
     *reinterpret_cast<uint64_t*>(top) =
         reinterpret_cast<uint64_t>(&k23_child_init_shim);
@@ -333,10 +361,22 @@ ExecShimFn exec_shim() {
 
 void set_child_refresh(ChildRefreshFn fn) {
   g_child_refresh.store(fn, std::memory_order_release);
+  // Mirror into arch so new-stack clone children — which resume through
+  // k23_child_init_shim, never through reinit_child_if_forked — run the
+  // same refresh.
+  set_child_init_refresh(fn);
 }
 
 ChildRefreshFn child_refresh() {
   return g_child_refresh.load(std::memory_order_acquire);
+}
+
+void set_shared_vm_clone_notify(SharedVmCloneFn fn) {
+  g_shared_vm_clone.store(fn, std::memory_order_release);
+}
+
+SharedVmCloneFn shared_vm_clone_notify() {
+  return g_shared_vm_clone.load(std::memory_order_acquire);
 }
 
 }  // namespace k23::internal

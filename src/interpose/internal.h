@@ -32,12 +32,26 @@ ExecShimFn exec_shim();
 
 // Post-fork child refresh (accel cache invalidation). When set, the
 // dispatcher calls `fn` in the child right after a fork-style passthrough
-// returns 0 (after the SUD re-arm via thread_reinit); the process-tree
-// atfork child handler calls it too, covering libc fork() paths the
-// dispatcher never saw while the ladder was degraded. Must be
-// async-signal-safe: fork can arrive through the SIGSYS fallback.
+// returns 0 (after the SUD re-arm via thread_reinit); new-stack clone
+// children run it through the child-init shim (set_child_refresh mirrors
+// `fn` into arch's set_child_init_refresh — which means it also fires for
+// CLONE_THREAD children and must be idempotent for same-process threads);
+// the process-tree atfork child handler calls it too, covering libc
+// fork() paths the dispatcher never saw while the ladder was degraded.
+// Must be async-signal-safe: fork can arrive through the SIGSYS fallback.
 using ChildRefreshFn = void (*)();
 void set_child_refresh(ChildRefreshFn fn);
 ChildRefreshFn child_refresh();
+
+// Shared-VM clone notification. A clone with CLONE_VM but not
+// CLONE_THREAD creates a new *process* whose memory stays shared with
+// the parent: no write either side makes to a process-wide cache can be
+// correct for both, so such caches must be retired, not refreshed. When
+// set, the dispatcher calls `fn` in the parent *before* issuing such a
+// clone — the store is visible to both sides, so the child is born with
+// the fast path already off. Must be async-signal-safe.
+using SharedVmCloneFn = void (*)();
+void set_shared_vm_clone_notify(SharedVmCloneFn fn);
+SharedVmCloneFn shared_vm_clone_notify();
 
 }  // namespace k23::internal

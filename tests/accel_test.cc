@@ -321,6 +321,7 @@ TEST(Accel, ShutdownDeregistersAndReinitWorks) {
     if (Accel::active()) return 4;
     if (Dispatcher::instance().hook_count() != 0) return 5;
     if (internal::child_refresh() != nullptr) return 6;
+    if (internal::shared_vm_clone_notify() != nullptr) return 9;
     Accel::shutdown();  // idempotent
     if (!Accel::init(AccelConfig{}).is_ok()) return 7;
     if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 8;
@@ -405,6 +406,210 @@ TEST(Accel, NewThreadsGetTheirOwnTid) {
   });
 }
 
+// --- clone invalidation ------------------------------------------------------
+
+// CLONE_* values the dispatcher keys on; <linux/sched.h> clashes with
+// <sched.h> (pulled in transitively), so spell them out guarded.
+#ifndef CLONE_VM
+#define CLONE_VM 0x00000100
+#endif
+#ifndef CLONE_THREAD
+#define CLONE_THREAD 0x00010000
+#endif
+
+TEST(Accel, CloneThroughDispatcherReprimesPidCache) {
+  EXPECT_CHILD_EXITS(0, [] {
+    // A fork-like clone (no CLONE_THREAD, no new stack) resumes inside
+    // dispatcher code like fork does — the reinit path must re-prime the
+    // cache before the child can ask.
+    if (!Accel::init(AccelConfig{}).is_ok()) return 1;
+    const long parent_pid = dispatch(SYS_getpid);
+    if (parent_pid != raw_syscall(SYS_getpid)) return 2;
+
+    const long rc = dispatch(SYS_clone, SIGCHLD, 0);
+    if (rc == 0) {
+      const long served = dispatch(SYS_getpid);
+      const long kernel = raw_syscall(SYS_getpid);
+      if (served != kernel) ::_exit(10);  // stale parent pid served
+      if (served == parent_pid) ::_exit(11);
+      if (Dispatcher::instance().stats().by_nr_outcome(
+              SYS_getpid, SyscallOutcome::kAccelerated) == 0) {
+        ::_exit(12);  // fell back to passthrough instead of the cache
+      }
+      ::_exit(0);
+    }
+    if (rc < 0) return 3;
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(rc), &status, 0);
+    Accel::shutdown();
+    if (!WIFEXITED(status)) return 4;
+    return WEXITSTATUS(status) == 0 ? 0 : WEXITSTATUS(status);
+  });
+}
+
+#if !defined(K23_SANITIZED_BUILD)
+// New-stack clone plumbing: the child resumes through the child-init
+// shim on a stack the test owns, and must enter here with the caches
+// already refreshed (arch mirrors internal::child_refresh into the
+// shim). Communicates via exit_group; never returns (there is no frame
+// to return to).
+alignas(64) unsigned char g_clone_stack[256 * 1024];
+long g_clone_parent_pid = 0;
+
+[[noreturn]] void clone_child_entry() {
+  int code = 0;
+  const long served = dispatch(SYS_getpid);
+  const long kernel = raw_syscall(SYS_getpid);
+  if (served != kernel) {
+    code = 10;  // shim never ran the refresh: parent's pid served
+  } else if (served == g_clone_parent_pid) {
+    code = 11;
+  } else if (dispatch(SYS_gettid) != raw_syscall(SYS_gettid)) {
+    code = 12;  // stale TLS tid survived the shim
+  }
+  raw_syscall(SYS_exit_group, code);
+  __builtin_unreachable();
+}
+#endif
+
+TEST(Accel, NewStackCloneChildRunsRefreshShim) {
+#if defined(K23_SANITIZED_BUILD)
+  GTEST_SKIP() << "raw clone onto a custom stack; not sanitizer-safe";
+#else
+  EXPECT_CHILD_EXITS(0, [] {
+    if (!Accel::init(AccelConfig{}).is_ok()) return 1;
+    g_clone_parent_pid = dispatch(SYS_getpid);
+    if (g_clone_parent_pid != raw_syscall(SYS_getpid)) return 2;
+
+    // Seed the clone the way a rewritten site would: a real return
+    // address (the child "returns" into clone_child_entry) and a fresh
+    // stack whose top leaves rsp ≡ 8 (mod 16) at entry, as after a call.
+    const uintptr_t top =
+        (reinterpret_cast<uintptr_t>(g_clone_stack) +
+         sizeof(g_clone_stack)) &
+        ~static_cast<uintptr_t>(15);
+    SyscallArgs args = make_args(SYS_clone, SIGCHLD,
+                                 static_cast<long>(top - 8));
+    HookContext ctx;
+    ctx.return_address = reinterpret_cast<uint64_t>(&clone_child_entry);
+    const long rc = Dispatcher::instance().on_syscall(args, ctx);
+    if (rc <= 0) return 3;
+    int status = 0;
+    if (::waitpid(static_cast<pid_t>(rc), &status, 0) != rc) return 4;
+    Accel::shutdown();
+    if (!WIFEXITED(status)) return 5;
+    return WEXITSTATUS(status);
+  });
+#endif
+}
+
+// Fake passthrough primitive: lets a test drive the dispatcher's clone
+// path with arbitrary flags without creating a process. Returns a fake
+// parent-side rc, so no child branch runs.
+long fake_clone_syscall(long, long, long, long, long, long, long) {
+  return 4242;
+}
+
+TEST(Accel, SharedVmCloneRetiresPidCache) {
+  EXPECT_CHILD_EXITS(0, [] {
+    // CLONE_VM without CLONE_THREAD: a new process sharing our memory.
+    // The dispatcher must warn the accel layer *before* the clone, and
+    // the pid cache must stay retired afterwards — correct answers, by
+    // the kernel, never from the shared word.
+    if (!Accel::init(AccelConfig{}).is_ok()) return 1;
+    if (Accel::pid_cache_retired()) return 2;
+    if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 3;
+
+    internal::set_syscall_fn(&fake_clone_syscall);
+    const long rc = dispatch(SYS_clone, CLONE_VM | SIGCHLD, 0);
+    internal::set_syscall_fn(nullptr);
+    if (rc != 4242) return 4;
+    if (!Accel::pid_cache_retired()) return 5;
+
+    Dispatcher::instance().stats().reset();
+    if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 6;
+    if (dispatch(SYS_gettid) != raw_syscall(SYS_gettid)) return 7;
+    auto& stats = Dispatcher::instance().stats();
+    if (stats.by_nr_outcome(SYS_getpid, SyscallOutcome::kAccelerated) != 0) {
+      return 8;
+    }
+    if (stats.by_nr_outcome(SYS_gettid, SyscallOutcome::kAccelerated) != 0) {
+      return 9;
+    }
+    // Sticky across the refresh paths and across re-init: the sibling
+    // process is still out there sharing the cache words.
+    Accel::refresh_after_fork();
+    if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 10;
+    if (stats.by_nr_outcome(SYS_getpid, SyscallOutcome::kAccelerated) != 0) {
+      return 11;
+    }
+    Accel::shutdown();
+    if (!Accel::init(AccelConfig{}).is_ok()) return 12;
+    if (!Accel::pid_cache_retired()) return 13;
+    // Everything else keeps accelerating: uname is an immutable
+    // snapshot, identical on both sides of the shared mapping.
+    utsname buf{};
+    if (dispatch(SYS_uname, reinterpret_cast<long>(&buf)) != 0) return 14;
+    if (stats.by_nr_outcome(SYS_uname, SyscallOutcome::kAccelerated) == 0) {
+      return 15;
+    }
+    Accel::shutdown();
+    return 0;
+  });
+}
+
+TEST(Accel, ThreadCloneKeepsPidCache) {
+  EXPECT_CHILD_EXITS(0, [] {
+    // CLONE_THREAD stays in this process: same pid, and the tid cache is
+    // per-thread TLS — nothing to retire.
+    if (!Accel::init(AccelConfig{}).is_ok()) return 1;
+    // One real dispatch first: the thread's stats shard is mmap'd through
+    // the passthrough primitive on first record, which must not be faked.
+    if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 6;
+    internal::set_syscall_fn(&fake_clone_syscall);
+    const long rc =
+        dispatch(SYS_clone, CLONE_VM | CLONE_THREAD | SIGCHLD, 0);
+    internal::set_syscall_fn(nullptr);
+    if (rc != 4242) return 2;
+    if (Accel::pid_cache_retired()) return 3;
+    Dispatcher::instance().stats().reset();
+    if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 4;
+    if (Dispatcher::instance().stats().by_nr_outcome(
+            SYS_getpid, SyscallOutcome::kAccelerated) != 1) {
+      return 5;
+    }
+    Accel::shutdown();
+    return 0;
+  });
+}
+
+TEST(Accel, SharedVmClone3AlsoRetiresPidCache) {
+  EXPECT_CHILD_EXITS(0, [] {
+    // Same verdict through the clone3 flags word (struct layout is the
+    // kernel's VER0 prefix; the fake primitive keeps the kernel out).
+    struct Clone3Args {
+      uint64_t flags = 0, pidfd = 0, child_tid = 0, parent_tid = 0,
+               exit_signal = 0, stack = 0, stack_size = 0, tls = 0;
+    };
+    if (!Accel::init(AccelConfig{}).is_ok()) return 1;
+    // Prime the thread's stats shard before faking the primitive (the
+    // first record mmaps through it).
+    if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 5;
+    Clone3Args args3;
+    args3.flags = CLONE_VM;
+    args3.exit_signal = SIGCHLD;
+    internal::set_syscall_fn(&fake_clone_syscall);
+    const long rc = dispatch(SYS_clone3, reinterpret_cast<long>(&args3),
+                             sizeof(args3));
+    internal::set_syscall_fn(nullptr);
+    if (rc != 4242) return 2;
+    if (!Accel::pid_cache_retired()) return 3;
+    if (dispatch(SYS_getpid) != raw_syscall(SYS_getpid)) return 4;
+    Accel::shutdown();
+    return 0;
+  });
+}
+
 // --- end to end under the launcher -------------------------------------------
 
 TEST(Accel, LauncherForkedChildSeesItsOwnPid) {
@@ -423,6 +628,37 @@ TEST(Accel, LauncherForkedChildSeesItsOwnPid) {
   const std::string out = dir.value() + "/fork_pid.out";
   // Default environment: vdso scrubbed, K23_ACCEL on — the helper child's
   // getpid comes from the re-primed accel cache.
+  const std::string cmd = "K23_ACCEL=on " + launcher + " --log=" +
+                          dir.value() + "/k23.log -- " + helper + " > " +
+                          out + " 2>/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  auto text = read_file(out);
+  ASSERT_TRUE(text.is_ok());
+  long child_pid = -1, parent_saw = -2;
+  std::sscanf(text.value().c_str(), "child %ld\nparent-saw %ld", &child_pid,
+              &parent_saw);
+  EXPECT_GT(child_pid, 0) << text.value();
+  EXPECT_EQ(child_pid, parent_saw) << text.value();
+#endif
+}
+
+TEST(Accel, LauncherCloneChildSeesItsOwnPid) {
+#if defined(K23_SANITIZED_BUILD)
+  GTEST_SKIP() << "spawns an interposing tree; not sanitizer-safe";
+#else
+  if (!capabilities().ptrace) GTEST_SKIP() << "ptrace unavailable";
+  const std::string launcher = std::string(K23_BUILD_DIR) + "/src/k23/k23_run";
+  const std::string helper =
+      std::string(K23_BUILD_DIR) + "/src/pitfalls/helper_clone_pid";
+  if (!file_exists(launcher) || !file_exists(helper)) {
+    GTEST_SKIP() << "launcher/helper binaries not built";
+  }
+  auto dir = make_temp_dir("k23_accel_clone_e2e_");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string out = dir.value() + "/clone_pid.out";
+  // Unlike the fork helper, this child lands on a fresh stack: libc's
+  // clone wrapper goes through the dispatcher's new-stack seeding, so
+  // the pid it prints comes from the cache the child-init shim re-primed.
   const std::string cmd = "K23_ACCEL=on " + launcher + " --log=" +
                           dir.value() + "/k23.log -- " + helper + " > " +
                           out + " 2>/dev/null";
