@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Crash-fault matrix (DESIGN.md §11, EXPERIMENTS.md): for every injected
+# crash kind × workload, prove the self-healing layer turns a fault at a
+# K23-owned PC into per-site quarantine while the workload still produces
+# byte-correct output.
+#
+#   crash kinds   patch_sigsegv (SIGSEGV, write), hook_fault (SIGSEGV,
+#                 read), thunk_sigill (SIGILL) — each fires from the
+#                 dispatch probe at a genuine faulting instruction, so the
+#                 containment handler sees a real signal frame.
+#   workloads     k23_selfcheck kv | http — self-checking drivers that
+#                 exit 0 only when an explicit roundtrip is byte-correct
+#                 AND the load phase completed without protocol errors.
+#
+# Per cell the script asserts, from artifacts alone:
+#   1. the workload exits 0 with "roundtrip ok" and nonzero requests,
+#   2. the black-box names the faulting PC (fault site=...) and the
+#      quarantined or demoted site,
+#   3. the launcher still interposed a nonzero number of syscalls.
+#
+# Cells whose kernel features are missing (no SUD, mmap_min_addr > 0) are
+# skipped, never failed — same policy as the test suite.
+#
+# Usage: scripts/crash_fault_matrix.sh [BUILD_DIR] [OUT_DIR]
+# Emits OUT_DIR/crash_matrix.json plus per-cell blackbox/stdout/stderr.
+set -u
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-crash_matrix_artifacts}
+K23_RUN="$BUILD_DIR/src/k23/k23_run"
+SELFCHECK="$BUILD_DIR/src/workloads/k23_selfcheck"
+DURATION=${K23_MATRIX_DURATION:-1}
+TIMEOUT=${K23_MATRIX_TIMEOUT:-60}
+
+if [[ ! -x "$K23_RUN" || ! -x "$SELFCHECK" ]]; then
+  echo "crash_fault_matrix: missing $K23_RUN or $SELFCHECK (build first)" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+# Capability probe: one throwaway launch; k23_run prints its caps line
+# before doing anything irreversible.
+caps=$("$K23_RUN" --stats -- true 2>&1 | grep -m1 'capabilities:' || true)
+echo "crash_fault_matrix: $caps"
+have_tier=yes
+[[ "$caps" == *"+sud"* && "$caps" == *"+mmap_va0"* ]] || have_tier=no
+
+json="$OUT_DIR/crash_matrix.json"
+echo '{ "cells": [' > "$json"
+first=1
+overall=0
+
+emit_cell() { # kind workload status detail requests
+  [[ $first -eq 1 ]] || echo ',' >> "$json"
+  first=0
+  printf '  { "kind": "%s", "workload": "%s", "status": "%s", "detail": "%s", "requests": %s }' \
+    "$1" "$2" "$3" "$4" "$5" >> "$json"
+}
+
+for wl in kv http; do
+  # One offline logging pass per workload: the online cells replay the
+  # same site log, so every cell rewrites the same deterministic set.
+  log="$OUT_DIR/$wl.sites.log"
+  if [[ $have_tier == yes ]]; then
+    if ! timeout "$TIMEOUT" "$K23_RUN" --offline --log="$log" -- \
+         "$SELFCHECK" "$wl" "$DURATION" \
+         > "$OUT_DIR/$wl.offline.out" 2> "$OUT_DIR/$wl.offline.err"; then
+      echo "FAIL $wl offline logging pass" >&2
+      overall=1
+    fi
+  fi
+
+  for kind in patch_sigsegv thunk_sigill hook_fault; do
+    cell="$kind-$wl"
+    if [[ $have_tier == no ]]; then
+      echo "skip $cell (kernel lacks sud/mmap_va0)"
+      emit_cell "$kind" "$wl" skip "kernel lacks sud/mmap_va0" 0
+      continue
+    fi
+    bb="$OUT_DIR/$cell.bb"
+    out="$OUT_DIR/$cell.out"
+    err="$OUT_DIR/$cell.err"
+    rm -f "$bb"
+    K23_FAULTS="$kind:fail:nth=5" K23_FAULTS_SEED=1 \
+    K23_BLACKBOX=events K23_BLACKBOX_FILE="$bb" \
+      timeout "$TIMEOUT" "$K23_RUN" --stats --log="$log" -- \
+      "$SELFCHECK" "$wl" "$DURATION" > "$out" 2> "$err"
+    rc=$?
+
+    status=pass detail=ok
+    requests=$(sed -n 's/^selfcheck [a-z]*: \([0-9]*\) requests.*/\1/p' "$out")
+    requests=${requests:-0}
+    if [[ $rc -ne 0 ]]; then
+      status=fail detail="exit=$rc"
+    elif ! grep -q "roundtrip ok" "$out" || [[ "$requests" -eq 0 ]]; then
+      status=fail detail="workload output wrong"
+    elif ! grep -q "fault site=" "$bb"; then
+      status=fail detail="blackbox missing fault event"
+    elif ! grep -Eq "(quarantine|demote) site=" "$bb"; then
+      status=fail detail="blackbox missing quarantine/demote event"
+    elif ! grep -Eq "k23 stats: [1-9][0-9]* syscalls interposed" "$err"; then
+      status=fail detail="no syscalls interposed"
+    fi
+    [[ $status == pass ]] || overall=1
+    echo "$status $cell ($requests requests)"
+    emit_cell "$kind" "$wl" "$status" "$detail" "$requests"
+  done
+done
+
+echo '' >> "$json"
+printf '], "overall": "%s" }\n' "$([[ $overall -eq 0 ]] && echo pass || echo fail)" >> "$json"
+echo "crash_fault_matrix: wrote $json (overall=$([[ $overall -eq 0 ]] && echo pass || echo fail))"
+exit $overall

@@ -1,0 +1,77 @@
+// Async-signal-safe text formatting into caller-owned buffers.
+//
+// The self-healing fault handler and the degradation/black-box dumps run
+// where malloc and stdio are off limits: inside SIGSEGV handlers, atexit
+// after arbitrary library teardown, and on the abnormal-exit path of a
+// process whose allocator may be the thing that just crashed. snprintf is
+// not on the POSIX async-signal-safe list (glibc's takes locale locks),
+// so every byte these paths emit goes through this appender instead:
+// fixed capacity, truncating, no failure mode beyond "buffer full".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace k23 {
+
+// Bounded append cursor over a caller-owned buffer. All appends truncate
+// silently at capacity; `len` never exceeds `cap` and the buffer is NOT
+// NUL-terminated implicitly (call append_char('\0') or use len with
+// write()).
+struct AsBuf {
+  char* data = nullptr;
+  size_t cap = 0;
+  size_t len = 0;
+
+  AsBuf(char* buffer, size_t capacity) : data(buffer), cap(capacity) {}
+
+  void append_char(char c) {
+    if (len < cap) data[len++] = c;
+  }
+
+  void append(const char* s) {
+    if (s == nullptr) return;
+    while (*s != '\0' && len < cap) data[len++] = *s++;
+  }
+
+  void append_view(const char* s, size_t n) {
+    for (size_t i = 0; i < n && len < cap; ++i) data[len++] = s[i];
+  }
+
+  void append_u64(uint64_t value) {
+    char digits[20];
+    size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + value % 10);
+      value /= 10;
+    } while (value != 0);
+    while (n > 0) append_char(digits[--n]);
+  }
+
+  void append_i64(int64_t value) {
+    if (value < 0) {
+      append_char('-');
+      // Negate via unsigned to survive INT64_MIN.
+      append_u64(~static_cast<uint64_t>(value) + 1);
+    } else {
+      append_u64(static_cast<uint64_t>(value));
+    }
+  }
+
+  void append_hex(uint64_t value) {
+    append("0x");
+    char digits[16];
+    size_t n = 0;
+    do {
+      const uint64_t nibble = value & 0xf;
+      digits[n++] = static_cast<char>(
+          nibble < 10 ? '0' + nibble : 'a' + (nibble - 10));
+      value >>= 4;
+    } while (value != 0);
+    while (n > 0) append_char(digits[--n]);
+  }
+
+  bool truncated() const { return len >= cap; }
+};
+
+}  // namespace k23

@@ -52,8 +52,31 @@ constexpr EnvSpec kEnvTable[] = {
      "userspace acceleration: vDSO-forwarded clock_gettime/gettimeofday/"
      "time/getcpu (time), cached getpid/gettid (pid), cached uname (uname)"},
     {"K23_FAULTS", "point:error[:trigger][;...]", "unset",
-     "fault-injection rules (e.g. \"sud_arm:eagain:nth=2\"); "
-     "error is an errno name, number, or \"fail\""},
+     "fault-injection rules (e.g. \"sud_arm:eagain:nth=2\"); error is an "
+     "errno name, number, or \"fail\"; trigger is every=N, nth=N, times=N "
+     "or prob=P (P% per call, seeded PRNG); crash kinds patch_sigsegv, "
+     "thunk_sigill, hook_fault fault the dispatch path for real"},
+    {"K23_FAULTS_SEED", "integer (>= 1)", "1",
+     "PRNG seed for prob= fault triggers, so probabilistic runs replay "
+     "identically"},
+    {"K23_HEAL", "on|off", "on",
+     "runtime self-healing: contain SIGSEGV/SIGILL/SIGBUS at K23-owned "
+     "PCs by quarantining the faulting site onto the SUD path"},
+    {"K23_HEAL_MAX_FAULTS", "count (>= 1)", "3",
+     "contained faults at one site (within the hysteresis window) before "
+     "it is permanently demoted"},
+    {"K23_HEAL_BACKOFF_MS", "milliseconds (>= 1)", "50",
+     "base re-promotion backoff after a quarantine; doubles per fault "
+     "with +-25% jitter"},
+    {"K23_HEAL_WATCHDOG_MS", "milliseconds", "0 (off)",
+     "SUD-dispatch watchdog deadline; a wedged SIGSYS dispatch past this "
+     "triggers whole-process descent to native syscalls"},
+    {"K23_BLACKBOX", "off|events|full", "events",
+     "flight recorder: rare events only, or every rewritten dispatch "
+     "(full); flushed atomically on contained faults and abnormal exit"},
+    {"K23_BLACKBOX_FILE", "path", "unset (stderr)",
+     "O_APPEND flush target for black-box dumps (PID-tagged, "
+     "k23_logmerge --blackbox groups them)"},
 };
 
 bool iequals_ascii(std::string_view a, std::string_view b) {

@@ -36,15 +36,53 @@ pid_t waitpid_deadline(pid_t pid, int* status, int flags,
   }
 }
 
-void Backoff::sleep() {
+Backoff::Backoff(const Options& options)
+    : interval_us_(options.initial_us), cap_us_(options.cap_us) {
+  deadline_ms_ =
+      options.deadline_ms != 0 ? monotonic_ms() + options.deadline_ms : 0;
+  // Self-seeded instances decorrelate on address + time; a pinned seed
+  // reproduces the exact jitter sequence (tests, K23_FAULTS_SEED runs).
+  rng_ = options.seed != 0
+             ? options.seed
+             : (reinterpret_cast<uint64_t>(this) ^ monotonic_ms() ^
+                0x9E3779B97F4A7C15ull);
+  if (rng_ == 0) rng_ = 1;
+}
+
+uint64_t Backoff::next_jitter() {
+  uint64_t x = rng_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  rng_ = x;
+  return x;
+}
+
+bool Backoff::expired() const {
+  return deadline_ms_ != 0 && monotonic_ms() >= deadline_ms_;
+}
+
+bool Backoff::sleep() {
+  if (expired()) return false;
+  // Uniform in [base/2, base]: full-range jitter keeps the exponential
+  // shape while breaking retry lockstep across processes.
+  const uint64_t base = interval_us_ != 0 ? interval_us_ : 1;
+  const uint64_t jittered = base / 2 + next_jitter() % (base - base / 2 + 1);
+  last_interval_us_ = jittered;
   timespec ts{};
-  ts.tv_sec = static_cast<time_t>(interval_us_ / 1000000);
-  ts.tv_nsec = static_cast<long>((interval_us_ % 1000000) * 1000);
+  ts.tv_sec = static_cast<time_t>(jittered / 1000000);
+  ts.tv_nsec = static_cast<long>((jittered % 1000000) * 1000);
   // EINTR mid-sleep just shortens this round; the loop re-evaluates.
   ::nanosleep(&ts, nullptr);
   if (interval_us_ < cap_us_) {
     interval_us_ = interval_us_ * 2 < cap_us_ ? interval_us_ * 2 : cap_us_;
   }
+  return true;
+}
+
+void Backoff::reset(uint64_t initial_us) {
+  interval_us_ = initial_us;
+  last_interval_us_ = 0;
 }
 
 uint64_t monotonic_ms() {

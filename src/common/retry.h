@@ -30,19 +30,56 @@ pid_t waitpid_eintr(pid_t pid, int* status, int flags);
 pid_t waitpid_deadline(pid_t pid, int* status, int flags,
                        uint64_t deadline_ms);
 
-// Exponential backoff sleeper for poll loops: sleep() nanosleeps the
-// current interval and doubles it up to the cap.
+// Jittered exponential backoff sleeper with a hard deadline.
+//
+// The base interval doubles per sleep up to the cap, and each actual
+// sleep is drawn uniformly from [base/2, base] — a fixed-interval (or
+// jitter-free exponential) retry loop synchronizes: every worker that
+// observed the same transient failure retries in lockstep and collides
+// again (the ptracer attach path and the health re-promotion path both
+// hit exactly this in a process tree). The optional hard deadline makes
+// sleep() refuse once the budget is spent, so callers cannot
+// accidentally retry forever.
 class Backoff {
  public:
-  explicit Backoff(uint64_t initial_us = 100, uint64_t cap_us = 10000)
-      : interval_us_(initial_us), cap_us_(cap_us) {}
+  struct Options {
+    uint64_t initial_us = 100;
+    uint64_t cap_us = 10000;
+    // 0 = no hard deadline (sleep() always sleeps).
+    uint64_t deadline_ms = 0;
+    // PRNG seed for the jitter draw; 0 picks a per-instance seed.
+    // Tests pin it for reproducible sleep sequences.
+    uint64_t seed = 0;
+  };
 
-  void sleep();
-  void reset(uint64_t initial_us = 100) { interval_us_ = initial_us; }
+  explicit Backoff(uint64_t initial_us = 100, uint64_t cap_us = 10000)
+      : Backoff(Options{initial_us, cap_us, 0, 0}) {}
+  explicit Backoff(const Options& options);
+
+  // Sleeps the next jittered interval and advances the schedule. Returns
+  // false — without sleeping — once the hard deadline has passed; a
+  // caller that keeps calling anyway keeps getting false immediately.
+  bool sleep();
+
+  // Restarts the interval schedule at `initial_us` (the hard deadline,
+  // if any, keeps running — it bounds the whole loop, not one burst).
+  void reset(uint64_t initial_us = 100);
+
+  // True once the hard deadline has passed (always false without one).
+  bool expired() const;
+
+  // The last interval sleep() actually used, µs (0 before the first
+  // sleep). Exposed for tests asserting the jittered-doubling shape.
+  uint64_t last_interval_us() const { return last_interval_us_; }
 
  private:
+  uint64_t next_jitter();
+
   uint64_t interval_us_;
   uint64_t cap_us_;
+  uint64_t deadline_ms_;   // absolute monotonic_ms; 0 = none
+  uint64_t rng_;
+  uint64_t last_interval_us_ = 0;
 };
 
 // Monotonic milliseconds (CLOCK_MONOTONIC) for deadline arithmetic.

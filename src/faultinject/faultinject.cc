@@ -1,5 +1,7 @@
 #include "faultinject/faultinject.h"
 
+#include <sys/mman.h>
+
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -29,11 +31,42 @@ struct InjectorState {
   std::mutex mutex;
   std::vector<FaultRule> rules;
   bool env_loaded = false;
+  uint64_t rng = 1;  // prob= trigger state; reseeded on (re)configure
 };
 
+// K23_FAULTS_SEED, default 1: probabilistic rules must fire identically
+// across CI runs. Read with std::getenv (not common/env) — common links
+// against this library, so the injector stays dependency-free.
+uint64_t seed_from_env() {
+  const char* raw = std::getenv("K23_FAULTS_SEED");
+  if (raw == nullptr || raw[0] == '\0') return 1;
+  uint64_t value = 0;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 1;
+    value = value * 10 + static_cast<uint64_t>(*p - '0');
+  }
+  return value != 0 ? value : 1;  // xorshift must not start at 0
+}
+
+// xorshift64: tiny, deterministic, good enough for firing decisions.
+uint64_t rng_next(InjectorState& s) {
+  uint64_t x = s.rng;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  s.rng = x;
+  return x;
+}
+
 InjectorState& state() {
-  static InjectorState s;
-  return s;
+  // Leaked on purpose. The interposer keeps dispatching syscalls during
+  // static destruction (atexit reports, DSO teardown), and every probed
+  // dispatch walks these rules — a destroyed rules vector turns the
+  // dying process's last write() into a use-after-free inside check(),
+  // which the containment handler then "contains" by abandoning the
+  // frame mid-critical-section, leaving the mutex locked forever.
+  static InjectorState* s = new InjectorState;
+  return *s;
 }
 
 // enabled() must be readable without the mutex from hot-ish paths; the
@@ -120,6 +153,11 @@ bool parse_trigger(std::string_view token, FaultRule* rule) {
     rule->times = n;
     return true;
   }
+  if (token.rfind("prob=", 0) == 0 &&
+      parse_u64_view(token.substr(5), &n) && n > 0 && n <= 100) {
+    rule->prob = n;
+    return true;
+  }
   return false;
 }
 
@@ -157,11 +195,14 @@ bool parse_rule(std::string_view text, FaultRule* rule) {
 }
 
 // Decides whether a rule fires for its `calls`-th arrival (1-based;
-// `calls` has already been incremented).
-bool rule_fires(const FaultRule& rule) {
+// `calls` has already been incremented). Takes the state for the prob=
+// PRNG — always under the mutex, so the draw sequence is deterministic
+// for a fixed seed and call order.
+bool rule_fires(InjectorState& s, const FaultRule& rule) {
   if (rule.nth != 0) return rule.calls == rule.nth;
   if (rule.every != 0) return rule.calls % rule.every == 0;
   if (rule.times != 0) return rule.calls <= rule.times;
+  if (rule.prob != 0) return rng_next(s) % 100 < rule.prob;
   return true;  // no trigger clause: every call
 }
 
@@ -193,6 +234,7 @@ void maybe_load_env_locked(InjectorState& s) {
     rules.push_back(std::move(rule));
   }
   s.rules = std::move(rules);
+  s.rng = seed_from_env();
   enabled_flag().store(!s.rules.empty(), std::memory_order_release);
 }
 
@@ -231,6 +273,7 @@ Status FaultInjector::configure(std::string_view spec) {
   std::lock_guard<std::mutex> lock(s.mutex);
   s.env_loaded = true;  // explicit configuration wins over the env
   s.rules = std::move(rules);
+  s.rng = seed_from_env();
   enabled_flag().store(!s.rules.empty(), std::memory_order_release);
   env_checked_flag().store(true, std::memory_order_release);
   return Status::ok();
@@ -261,19 +304,36 @@ bool FaultInjector::enabled() {
   return enabled_flag().load(std::memory_order_acquire);
 }
 
-int FaultInjector::check(const char* point) {
-  if (!enabled()) return 0;
-  InjectorState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+namespace {
+
+// Core of check(): caller holds s.mutex.
+int check_locked(InjectorState& s, const char* point) {
   for (auto& rule : s.rules) {
     if (rule.point != point) continue;
     ++rule.calls;
-    if (rule_fires(rule)) {
+    if (rule_fires(s, rule)) {
       ++rule.fired;
       return rule.error_code;
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int FaultInjector::check(const char* point) {
+  if (!enabled()) return 0;
+  InjectorState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return check_locked(s, point);
+}
+
+int FaultInjector::check_dispatch(const char* point) {
+  if (!enabled()) return 0;
+  InjectorState& s = state();
+  if (!s.mutex.try_lock()) return 0;  // skip the probe, don't wedge
+  std::lock_guard<std::mutex> lock(s.mutex, std::adopt_lock);
+  return check_locked(s, point);
 }
 
 uint64_t FaultInjector::fired(const char* point) {
@@ -292,11 +352,48 @@ std::vector<FaultRule> FaultInjector::snapshot() {
   return s.rules;
 }
 
+void FaultInjector::set_seed(uint64_t seed) {
+  InjectorState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.rng = seed != 0 ? seed : 1;
+}
+
 bool fault_fires(const char* point) {
   const int code = FaultInjector::check(point);
   if (code == 0) return false;
   errno = code > 0 ? code : EIO;
   return true;
+}
+
+namespace {
+
+// One PROT_NONE page, mapped on first use (normal context: the crash
+// points are consulted from the trampoline dispatch probe, not from
+// signal handlers). Touching it is the most faithful "rotted pointer"
+// SIGSEGV we can produce without undefined behaviour.
+void* guard_page() {
+  static void* page = ::mmap(nullptr, 4096, PROT_NONE,
+                             MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  return page;
+}
+
+}  // namespace
+
+void faultinject_crash(CrashKind kind) {
+  volatile int* guard = static_cast<volatile int*>(guard_page());
+  switch (kind) {
+    case CrashKind::kSegvWrite:
+      *guard = 1;  // faults here (PC in this TU, dispatch frame active)
+      break;
+    case CrashKind::kSegvRead: {
+      int value = *guard;  // faults here
+      asm volatile("" : : "r"(value));
+      break;
+    }
+    case CrashKind::kIll:
+      asm volatile("ud2");
+      break;
+  }
 }
 
 }  // namespace k23

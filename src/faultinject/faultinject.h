@@ -22,6 +22,9 @@
 //   trigger := 'every=' N        -- fire on every Nth call (N, 2N, ...)
 //            | 'nth=' N          -- fire exactly once, on the Nth call
 //            | 'times=' N        -- fire on the first N calls
+//            | 'prob=' P         -- fire on each call with probability P%
+//                                   (1..100; PRNG seeded by K23_FAULTS_SEED,
+//                                   default 1, so runs are reproducible)
 //                                 (no trigger: fire on every call)
 //
 // Instrumented points (the set grows with the runtime):
@@ -37,6 +40,17 @@
 //   file_write   -- common/files.cc write paths (offline log saves)
 //   file_fsync   -- common/files.cc fsync in the atomic-save sequence
 //   file_rename  -- common/files.cc rename in the atomic-save sequence
+//
+// Crash-fault kinds (health/ containment tests): these points are
+// consulted from the trampoline dispatch probe, and a firing rule makes
+// the process genuinely FAULT — a real SIGSEGV/SIGILL at a K23-owned PC,
+// not an errno — so the self-healing layer's quarantine path is
+// exercised end to end. The error field is conventionally 'fail'.
+//   patch_sigsegv -- SIGSEGV (write to a guard page) during dispatch, as
+//                    if the patched site's bytes had rotted
+//   thunk_sigill  -- SIGILL (ud2) during dispatch, as if a promotion
+//                    thunk decoded garbage
+//   hook_fault    -- SIGSEGV (read of a guard page) from hook-chain code
 //
 // The injector holds no reference to the rest of the tree (only the
 // header-only Status/Result types), so every layer — including common —
@@ -59,6 +73,7 @@ struct FaultRule {
   uint64_t every = 0;    // fire when calls % every == 0 (0 = unused)
   uint64_t nth = 0;      // fire when calls == nth (0 = unused)
   uint64_t times = 0;    // fire while calls <= times (0 = unused)
+  uint64_t prob = 0;     // fire with prob% per call (0 = unused)
   uint64_t calls = 0;    // observed arrivals at this point
   uint64_t fired = 0;    // injected failures so far
 };
@@ -87,16 +102,43 @@ class FaultInjector {
   // (init, probes, file I/O, the tracer loop).
   static int check(const char* point);
 
+  // Dispatch-path variant of check(): identical semantics, but never
+  // blocks — under contention the probe is skipped (returns 0) instead
+  // of waiting on the rules mutex. The dispatch probe runs inside
+  // trampoline dispatches and SUD signal frames, where two hazards make
+  // a blocking lock fatal: crash containment can abandon a frame that
+  // holds the mutex (every later syscall would then wedge on a lock no
+  // one will ever release), and a futex wait issued from a dispatch can
+  // itself re-enter the dispatcher. Missing one probe under contention
+  // only delays an injected fault; wedging the process loses the run.
+  static int check_dispatch(const char* point);
+
   // Total injected failures at `point` since configure()/reset().
   static uint64_t fired(const char* point);
 
   // Copy of the active rules with live counters (diagnostics, tests).
   static std::vector<FaultRule> snapshot();
+
+  // Reseeds the prob= PRNG (tests asserting exact firing sequences).
+  // configure()/configure_from_env() reset it to K23_FAULTS_SEED (or 1),
+  // so identically-configured runs fire identically.
+  static void set_seed(uint64_t seed);
 };
 
 // True when a fault fires at `point`; sets errno to the injected code
 // (generic failures surface as EIO). Convenience for call sites that
 // report through Status::from_errno.
 bool fault_fires(const char* point);
+
+// Crash-kind primitives for the self-healing tests: each genuinely
+// faults at a PC inside this translation unit (reached from the
+// trampoline dispatch probe, so the containment handler sees an active
+// dispatch frame and attributes the fault to the dispatching site).
+enum class CrashKind {
+  kSegvWrite,  // store to a PROT_NONE guard page  -> SIGSEGV
+  kSegvRead,   // load from the guard page         -> SIGSEGV
+  kIll,        // ud2                              -> SIGILL
+};
+[[gnu::noinline]] void faultinject_crash(CrashKind kind);
 
 }  // namespace k23

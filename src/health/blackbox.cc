@@ -1,0 +1,186 @@
+#include "health/blackbox.h"
+
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "arch/raw_syscall.h"
+#include "common/asformat.h"
+#include "common/env.h"
+
+namespace k23 {
+namespace {
+
+constexpr size_t kRingSlots = 256;  // power of two
+constexpr size_t kRingMask = kRingSlots - 1;
+
+// One recorded event. `stamp` is a per-slot seqlock: 0 while a writer is
+// mid-store, seq+1 once the payload is complete, so a flush racing a
+// wrapping writer skips the torn slot instead of printing garbage.
+struct RingSlot {
+  std::atomic<uint64_t> stamp{0};
+  uint64_t tsc = 0;
+  uint64_t site = 0;
+  uint64_t aux = 0;
+  uint8_t kind = 0;
+};
+
+// Static storage only: the recorder must work from signal handlers in a
+// process whose heap may be the crime scene.
+RingSlot g_ring[kRingSlots];
+std::atomic<uint64_t> g_seq{0};
+std::atomic<int> g_mode{0};  // 0 off, 1 events, 2 full (relaxed reads)
+std::atomic<int> g_fd{-1};
+
+// Flush scratch: ring (256 × ~64 bytes) + header + an attached report.
+// Guarded by g_flushing so two threads crashing at once emit two intact
+// reports instead of interleaving one buffer.
+char g_flush_buf[24 * 1024];
+std::atomic_flag g_flushing = ATOMIC_FLAG_INIT;
+
+uint64_t rdtsc() { return __builtin_ia32_rdtsc(); }
+
+}  // namespace
+
+const char* bb_event_name(BbEvent kind) {
+  switch (kind) {
+    case BbEvent::kInit:       return "init";
+    case BbEvent::kDispatch:   return "dispatch";
+    case BbEvent::kPatch:      return "patch";
+    case BbEvent::kFault:      return "fault";
+    case BbEvent::kQuarantine: return "quarantine";
+    case BbEvent::kRepromote:  return "repromote";
+    case BbEvent::kDemote:     return "demote";
+    case BbEvent::kWatchdog:   return "watchdog";
+    case BbEvent::kDescend:    return "descend";
+    case BbEvent::kExit:       return "exit";
+  }
+  return "?";
+}
+
+BlackBox::Config BlackBox::Config::from_env() {
+  Config config;
+  const char* mode = env_raw("K23_BLACKBOX");
+  if (mode != nullptr && mode[0] != '\0') {
+    if (std::strcmp(mode, "off") == 0 || std::strcmp(mode, "0") == 0) {
+      config.mode = Mode::kOff;
+    } else if (std::strcmp(mode, "full") == 0) {
+      config.mode = Mode::kFull;
+    } else {
+      config.mode = Mode::kEvents;
+    }
+  }
+  const char* path = env_raw("K23_BLACKBOX_FILE");
+  config.path = path != nullptr ? path : "";
+  return config;
+}
+
+Status BlackBox::init(const Config& config) {
+  shutdown();
+  if (config.mode == Config::Mode::kOff) return Status::ok();
+  if (config.path != nullptr && config.path[0] != '\0') {
+    // O_APPEND is the whole point: every flush is one write(), so shards
+    // from a k23_run process tree interleave at report granularity.
+    int fd = ::open(config.path, O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                    0644);
+    if (fd < 0) return Status::from_errno("open K23_BLACKBOX_FILE");
+    g_fd.store(fd, std::memory_order_release);
+  }
+  g_mode.store(config.mode == Config::Mode::kFull ? 2 : 1,
+               std::memory_order_release);
+  record(BbEvent::kInit, 0,
+         config.mode == Config::Mode::kFull ? 2 : 1);
+  return Status::ok();
+}
+
+void BlackBox::shutdown() {
+  g_mode.store(0, std::memory_order_release);
+  const int fd = g_fd.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+  g_seq.store(0, std::memory_order_release);
+  for (auto& slot : g_ring) {
+    slot.stamp.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool BlackBox::active() {
+  return g_mode.load(std::memory_order_relaxed) != 0;
+}
+
+bool BlackBox::trace_dispatch() {
+  return g_mode.load(std::memory_order_relaxed) == 2;
+}
+
+void BlackBox::record(BbEvent kind, uint64_t site, uint64_t aux) {
+  if (g_mode.load(std::memory_order_relaxed) == 0) return;
+  const uint64_t seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  RingSlot& slot = g_ring[seq & kRingMask];
+  slot.stamp.store(0, std::memory_order_release);
+  slot.tsc = rdtsc();
+  slot.site = site;
+  slot.aux = aux;
+  slot.kind = static_cast<uint8_t>(kind);
+  slot.stamp.store(seq + 1, std::memory_order_release);
+}
+
+long BlackBox::flush(const char* reason, const char* extra,
+                     size_t extra_len) {
+  if (g_mode.load(std::memory_order_relaxed) == 0) return -1;  // disarmed
+  if (g_flushing.test_and_set(std::memory_order_acquire)) {
+    return -1;  // a concurrent flush owns the scratch buffer
+  }
+  const uint64_t next = g_seq.load(std::memory_order_acquire);
+  const uint64_t begin = next > kRingSlots ? next - kRingSlots : 0;
+  const long pid = raw_syscall(SYS_getpid);
+
+  AsBuf out(g_flush_buf, sizeof(g_flush_buf));
+  out.append("# k23-blackbox v1 pid=");
+  out.append_i64(pid);
+  out.append(" reason=");
+  out.append(reason != nullptr ? reason : "unknown");
+  out.append(" events=");
+  out.append_u64(next - begin);
+  out.append(" dropped=");
+  out.append_u64(begin);
+  out.append_char('\n');
+  if (extra != nullptr && extra_len > 0) out.append_view(extra, extra_len);
+  for (uint64_t seq = begin; seq < next; ++seq) {
+    const RingSlot& slot = g_ring[seq & kRingMask];
+    if (slot.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    out.append("bb ");
+    out.append_i64(pid);
+    out.append_char(' ');
+    out.append_u64(seq);
+    out.append_char(' ');
+    out.append_u64(slot.tsc);
+    out.append_char(' ');
+    out.append(bb_event_name(static_cast<BbEvent>(slot.kind)));
+    out.append(" site=");
+    out.append_hex(slot.site);
+    out.append(" aux=");
+    out.append_u64(slot.aux);
+    out.append_char('\n');
+  }
+
+  int fd = g_fd.load(std::memory_order_acquire);
+  if (fd < 0) fd = 2;
+  const long written =
+      raw_syscall(SYS_write, fd, reinterpret_cast<long>(out.data),
+                  static_cast<long>(out.len));
+  g_flushing.clear(std::memory_order_release);
+  return written;
+}
+
+uint64_t BlackBox::recorded() {
+  return g_seq.load(std::memory_order_acquire);
+}
+
+uint64_t BlackBox::dropped() {
+  const uint64_t next = g_seq.load(std::memory_order_acquire);
+  return next > kRingSlots ? next - kRingSlots : 0;
+}
+
+}  // namespace k23

@@ -1,0 +1,75 @@
+// Black-box flight recorder for the self-healing runtime (DESIGN.md §11).
+//
+// When a patched site faults in production, the interesting history — the
+// dispatches, patches and quarantines leading up to the fault — is gone
+// by the time a human looks at the core. This recorder keeps that history
+// in a preallocated ring and flushes it from exactly the places where
+// nothing else can run: the SIGSEGV containment handler and the abnormal-
+// exit path. Everything here is async-signal-safe: recording is a
+// fetch_add plus plain stores into static storage, and a flush formats
+// into a static buffer (common/asformat.h) and lands in ONE write() to an
+// O_APPEND fd, so concurrent flushes from a k23_run process tree
+// interleave per-report, never per-byte. Lines are PID-tagged in the same
+// spirit as the offline-log shards, and `k23_logmerge --blackbox` groups
+// them back per process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace k23 {
+
+enum class BbEvent : uint8_t {
+  kInit = 0,     // recorder armed                    aux = mode (1 events, 2 full)
+  kDispatch,     // rewritten-site dispatch (full)    site, aux = syscall nr
+  kPatch,        // site bytes flipped                site, aux = 0 patch / 1 restore
+  kFault,        // contained fault                   site = pc, aux = signal
+  kQuarantine,   // site demoted to SUD               site, aux = fault count
+  kRepromote,    // site re-patched after backoff     site, aux = quarantine count
+  kDemote,       // site permanently demoted          site, aux = fault count
+  kWatchdog,     // SUD path declared wedged          aux = ms since heartbeat
+  kDescend,      // whole-process ladder re-descent   aux = sites restored
+  kExit,         // abnormal-exit flush               aux = exit reason code
+};
+
+const char* bb_event_name(BbEvent kind);
+
+class BlackBox {
+ public:
+  struct Config {
+    // off: recorder disarmed. events: rare events only (patch, fault,
+    // quarantine, watchdog — zero dispatch-path cost). full: every
+    // rewritten dispatch too, for short repro runs.
+    enum class Mode { kOff, kEvents, kFull };
+    Mode mode = Mode::kEvents;
+    // O_APPEND flush target; empty = stderr (post-mortems still visible).
+    const char* path = "";
+    static Config from_env();  // K23_BLACKBOX, K23_BLACKBOX_FILE
+  };
+
+  static Status init(const Config& config);
+  static void shutdown();  // tests: close fd, disarm, clear the ring
+
+  static bool active();
+  // True when per-dispatch recording is on (one relaxed load; the
+  // trampoline folds this into its single probe flag).
+  static bool trace_dispatch();
+
+  // Record one event. Async-signal-safe; lock-free; drops nothing until
+  // the ring wraps (oldest events are overwritten, counted as dropped).
+  static void record(BbEvent kind, uint64_t site, uint64_t aux);
+
+  // Format the ring (+ an optional preformatted report, e.g. the
+  // degradation dump) and emit it as ONE write() to the configured fd,
+  // stderr when none. Async-signal-safe. Returns bytes written or -1.
+  static long flush(const char* reason, const char* extra = nullptr,
+                    size_t extra_len = 0);
+
+  // Total events recorded / overwritten-before-flush since init.
+  static uint64_t recorded();
+  static uint64_t dropped();
+};
+
+}  // namespace k23

@@ -1,0 +1,757 @@
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE  // REG_RIP and friends in <ucontext.h>
+#endif
+
+#include "health/health.h"
+
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "arch/raw_syscall.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/retry.h"
+#include "common/strings.h"
+#include "faultinject/faultinject.h"
+#include "health/blackbox.h"
+#include "rewrite/patcher.h"
+#include "sud/sud_session.h"
+#include "trampoline/trampoline.h"
+
+#ifndef MEMBARRIER_CMD_PRIVATE_EXPEDITED_SYNC_CORE
+#define MEMBARRIER_CMD_PRIVATE_EXPEDITED_SYNC_CORE (1 << 5)
+#endif
+#ifndef MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED_SYNC_CORE
+#define MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED_SYNC_CORE (1 << 6)
+#endif
+
+namespace k23 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-site ledger. Same shape as the promotion hit table: cache-line-
+// sharded static slots, open addressing with a bounded probe run, every
+// field atomic so the fault handler and the SIGSYS path can touch a slot
+// concurrently with TSan-visible ordering.
+// ---------------------------------------------------------------------------
+
+struct alignas(64) HealthSlot {
+  std::atomic<uint64_t> site{0};  // 0 = free
+  std::atomic<uint32_t> state{0};  // SiteHealth values
+  std::atomic<uint32_t> faults{0};
+  std::atomic<uint32_t> quarantines{0};
+  std::atomic<uint64_t> retry_at_ms{0};
+  std::atomic<uint64_t> last_fault_ms{0};
+  std::atomic<bool> was_sysenter{false};
+};
+
+constexpr size_t kHealthSlots = 512;  // power of two (mask probing)
+constexpr size_t kMaxProbes = 32;     // bound handler latency when full
+
+HealthSlot g_ledger[kHealthSlots];
+
+std::atomic<bool> g_active{false};
+HealthConfig g_config;
+std::atomic<bool> g_membarrier_sync_core{false};
+
+std::atomic<uint64_t> g_registered{0};
+std::atomic<uint64_t> g_contained{0};
+std::atomic<uint64_t> g_repromotions{0};
+std::atomic<uint64_t> g_demoted{0};
+std::atomic<uint64_t> g_watchdog_descents{0};
+
+// Init-time degradation report, preformatted so fault-path flushes can
+// attach it without allocating.
+char g_report_buf[8192];
+size_t g_report_len = 0;
+
+// Previous dispositions for SIGSEGV/SIGILL/SIGBUS, restored verbatim
+// when a fault turns out not to be ours (chaining) and at shutdown.
+constexpr int kFaultSignals[] = {SIGSEGV, SIGILL, SIGBUS};
+constexpr size_t kFaultSignalCount = 3;
+struct sigaction g_prev_actions[kFaultSignalCount];
+bool g_handlers_installed = false;
+
+// Watchdog thread.
+std::thread g_watchdog_thread;
+std::atomic<bool> g_watchdog_stop{false};
+
+// Re-entry guard: a fault inside the containment handler itself must
+// fall through to default death, not recurse. initial-exec TLS so the
+// handler can read it without __tls_get_addr.
+__attribute__((tls_model("initial-exec"))) thread_local bool t_in_fault = false;
+
+size_t slot_hash(uint64_t site) {
+  return static_cast<size_t>((site * 0x9E3779B97F4A7C15ull) >> 33);
+}
+
+HealthSlot* find_slot(uint64_t site) {
+  size_t idx = slot_hash(site) & (kHealthSlots - 1);
+  for (size_t probe = 0; probe < kMaxProbes; ++probe) {
+    HealthSlot& slot = g_ledger[idx];
+    const uint64_t cur = slot.site.load(std::memory_order_acquire);
+    if (cur == site) return &slot;
+    if (cur == 0) return nullptr;  // insert-only table: empty ends the chain
+    idx = (idx + 1) & (kHealthSlots - 1);
+  }
+  return nullptr;
+}
+
+uint32_t state_of(const HealthSlot& slot) {
+  return slot.state.load(std::memory_order_acquire);
+}
+
+constexpr uint32_t kStHealthy =
+    static_cast<uint32_t>(SiteHealth::kHealthy);
+constexpr uint32_t kStQuarantined =
+    static_cast<uint32_t>(SiteHealth::kQuarantined);
+constexpr uint32_t kStRepromoting =
+    static_cast<uint32_t>(SiteHealth::kRepromoting);
+constexpr uint32_t kStDemoted =
+    static_cast<uint32_t>(SiteHealth::kDemoted);
+
+void sync_core_all_cpus() {
+  if (g_membarrier_sync_core.load(std::memory_order_relaxed)) {
+    raw_syscall(SYS_membarrier, MEMBARRIER_CMD_PRIVATE_EXPEDITED_SYNC_CORE, 0);
+  }
+}
+
+// Jittered exponential backoff interval for re-promotion. Stateless
+// (hash of site and time) because the fault path cannot share a PRNG:
+// base * 2^(faults-1), capped, then +-25% so sibling processes that
+// quarantined the same library site do not re-patch in lockstep.
+uint64_t backoff_interval_ms(uint64_t site, uint64_t now, uint32_t faults) {
+  uint32_t shift = faults > 1 ? faults - 1 : 0;
+  if (shift > 16) shift = 16;
+  uint64_t base = g_config.backoff_ms << shift;
+  uint64_t h = site ^ (now * 0x9E3779B97F4A7C15ull);
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  const uint64_t range = base / 4;
+  if (range != 0) base = base - range + h % (2 * range + 1);
+  return base;
+}
+
+// The quarantine transaction: claim the slot, restore the site's
+// original bytes with the promotion patch discipline, schedule (or
+// permanently refuse) re-promotion. Async-signal-safe; callable from
+// the containment handler and from tests via contain_fault_at().
+bool quarantine_site(HealthSlot& slot, uint64_t site, uint64_t pc, int sig) {
+  for (;;) {
+    uint32_t cur = state_of(slot);
+    if (cur == kStQuarantined || cur == kStDemoted) {
+      // Another thread already restored the bytes; this fault raced the
+      // transition and re-executing the (now original) site is correct.
+      return true;
+    }
+    if (slot.state.compare_exchange_weak(cur, kStQuarantined,
+                                         std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+
+  const uint64_t now = monotonic_ms();
+  const uint64_t last =
+      slot.last_fault_ms.exchange(now, std::memory_order_relaxed);
+  uint32_t faults;
+  if (last != 0 && g_config.fault_window_ms != 0 &&
+      now - last > g_config.fault_window_ms) {
+    // Hysteresis: a fault older than the window does not count toward
+    // permanent demotion — the site healed in between.
+    slot.faults.store(1, std::memory_order_relaxed);
+    faults = 1;
+  } else {
+    faults = slot.faults.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  const uint8_t b1 = slot.was_sysenter.load(std::memory_order_relaxed)
+                         ? kSysenterInsn[1]
+                         : kSyscallInsn[1];
+  if (patch_bytes_async_safe(site, kSyscallInsn[0], b1) != 0) {
+    return false;  // cannot restore the bytes: the fault is uncontainable
+  }
+  sync_core_all_cpus();
+
+  slot.quarantines.fetch_add(1, std::memory_order_relaxed);
+  g_contained.fetch_add(1, std::memory_order_relaxed);
+  BlackBox::record(BbEvent::kFault, pc, static_cast<uint64_t>(sig));
+  BlackBox::record(BbEvent::kPatch, site, 1 /* restore */);
+  if (faults >= g_config.max_faults) {
+    slot.state.store(kStDemoted, std::memory_order_release);
+    g_demoted.fetch_add(1, std::memory_order_relaxed);
+    BlackBox::record(BbEvent::kDemote, site, faults);
+  } else {
+    slot.retry_at_ms.store(now + backoff_interval_ms(site, now, faults),
+                           std::memory_order_relaxed);
+    BlackBox::record(BbEvent::kQuarantine, site, faults);
+  }
+  return true;
+}
+
+int sig_index(int sig) {
+  switch (sig) {
+    case SIGSEGV: return 0;
+    case SIGILL: return 1;
+    case SIGBUS: return 2;
+  }
+  return -1;
+}
+
+// Hands the signal back to whatever was installed before us. The
+// faulting instruction re-executes on handler return and the previous
+// disposition fires with a freshly generated (correct) siginfo. This is
+// one-way for that signal: once a foreign fault passes through, the
+// application's handler owns it.
+void chain_to_previous(int sig) {
+  const int idx = sig_index(sig);
+  if (idx >= 0) ::sigaction(sig, &g_prev_actions[idx], nullptr);
+}
+
+void restore_default_dispositions() {
+  struct sigaction dfl;
+  std::memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  for (int sig : kFaultSignals) ::sigaction(sig, &dfl, nullptr);
+}
+
+// Uncontainable K23-owned fault: flush the flight recorder (with the
+// init-time degradation report attached) and die with the original
+// signal via the default disposition.
+void die_uncontained(int sig, uint64_t pc) {
+  BlackBox::record(BbEvent::kExit, pc, static_cast<uint64_t>(sig));
+  BlackBox::flush("uncontained-fault", g_report_buf, g_report_len);
+  restore_default_dispositions();
+}
+
+// Looks up the ledger slot for a fault at `pc` landing directly on a
+// patched site (case A). The fault PC is the instruction start, so pc
+// normally equals the site; pc-1 covers a decode landing mid-insn.
+HealthSlot* slot_for_pc(uint64_t pc, uint64_t* site_out) {
+  HealthSlot* slot = find_slot(pc);
+  if (slot != nullptr) {
+    *site_out = pc;
+    return slot;
+  }
+  if (pc != 0) {
+    slot = find_slot(pc - 1);
+    if (slot != nullptr) {
+      *site_out = pc - 1;
+      return slot;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// The containment handler. Everything below runs under SIGSEGV with the
+// application stopped mid-instruction: raw syscalls only, no allocation,
+// initial-exec TLS only, and the SUD selector flipped to ALLOW first so
+// our own syscalls do not SIGSYS-trap into a second dispatch.
+// ---------------------------------------------------------------------------
+
+void fault_handler(int sig, siginfo_t* info, void* ucv) {
+  auto* uc = static_cast<ucontext_t*>(ucv);
+  const uint64_t pc = static_cast<uint64_t>(uc->uc_mcontext.gregs[REG_RIP]);
+
+  if (t_in_fault) {
+    // Fault inside the handler itself: no second chances.
+    restore_default_dispositions();
+    return;  // re-executes -> default disposition -> death
+  }
+  t_in_fault = true;
+
+  struct HandlerGuard {
+    bool reblock = false;
+    ~HandlerGuard() {
+      if (reblock) SudSession::set_block(true);
+      t_in_fault = false;
+    }
+  } guard;
+  if (SudSession::armed() && SudSession::blocked()) {
+    SudSession::set_block(false);
+    guard.reblock = true;
+  }
+
+  // Case A: the fault is AT a patched site — the site's bytes rotted
+  // (concurrent text modification, a bad promotion, injected rot).
+  uint64_t site = 0;
+  HealthSlot* slot = slot_for_pc(pc, &site);
+  if (slot != nullptr) {
+    if (quarantine_site(*slot, site, pc, sig)) {
+      uc->uc_mcontext.gregs[REG_RIP] = static_cast<greg_t>(site);
+      return;  // resume at the restored original instruction
+    }
+    die_uncontained(sig, pc);
+    return;
+  }
+
+  // Case B: a dispatch is in flight on behalf of a rewritten site — the
+  // fault happened in the dispatcher/hook chain (or injected there). The
+  // trampoline frame holds every application register, so unwind the
+  // whole dispatch: restore the app state, pop the attribution frame and
+  // resume at the (restored) site as if the `call *%rax` never ran.
+  TrampolineFrame* frame = Trampoline::active_frame();
+  if (frame != nullptr) {
+    site = frame->return_address - kSyscallInsnLen;
+    slot = find_slot(site);
+    if (slot != nullptr && quarantine_site(*slot, site, pc, sig)) {
+      auto* g = uc->uc_mcontext.gregs;
+      g[REG_R15] = static_cast<greg_t>(frame->r15);
+      g[REG_R14] = static_cast<greg_t>(frame->r14);
+      g[REG_R13] = static_cast<greg_t>(frame->r13);
+      g[REG_R12] = static_cast<greg_t>(frame->r12);
+      g[REG_RBP] = static_cast<greg_t>(frame->rbp);
+      g[REG_RBX] = static_cast<greg_t>(frame->rbx);
+      g[REG_R11] = static_cast<greg_t>(frame->r11);
+      g[REG_R10] = static_cast<greg_t>(frame->r10);
+      g[REG_R9] = static_cast<greg_t>(frame->r9);
+      g[REG_R8] = static_cast<greg_t>(frame->r8);
+      g[REG_RCX] = static_cast<greg_t>(frame->rcx);
+      g[REG_RDX] = static_cast<greg_t>(frame->rdx);
+      g[REG_RSI] = static_cast<greg_t>(frame->rsi);
+      g[REG_RDI] = static_cast<greg_t>(frame->rdi);
+      g[REG_RAX] = static_cast<greg_t>(frame->rax);
+      // App rsp at the faulting call: the stub's pushes sit 8 (ret-addr
+      // copy) + 128 (red-zone skip) below the post-call rsp, and the
+      // call itself pushed 8 more (see TrampolineFrame in trampoline.h).
+      g[REG_RSP] = static_cast<greg_t>(
+          reinterpret_cast<uint64_t>(&frame->return_address) + 8 + 128 + 8);
+      g[REG_RIP] = static_cast<greg_t>(site);
+      Trampoline::pop_active_frame();
+      return;
+    }
+    die_uncontained(sig, pc);
+    return;
+  }
+
+  // Case C: the fault PC is on the VA-0 trampoline page but no dispatch
+  // frame was pushed yet — the sled itself faulted (XOM read, corrupted
+  // sled). The `call *%rax` return address is still at [rsp]; undo the
+  // call and resume at the restored site. Registers are untouched in the
+  // sled, so only rsp/rip need fixing.
+  if (pc < 0x1000) {
+    const uint64_t rsp = static_cast<uint64_t>(uc->uc_mcontext.gregs[REG_RSP]);
+    const uint64_t ret = *reinterpret_cast<const uint64_t*>(rsp);
+    site = ret - kSyscallInsnLen;
+    slot = find_slot(site);
+    if (slot != nullptr && quarantine_site(*slot, site, pc, sig)) {
+      uc->uc_mcontext.gregs[REG_RSP] = static_cast<greg_t>(rsp + 8);
+      uc->uc_mcontext.gregs[REG_RIP] = static_cast<greg_t>(site);
+      return;
+    }
+    die_uncontained(sig, pc);
+    return;
+  }
+
+  // Foreign fault: the application's own crash. Restore the previous
+  // disposition and let the instruction re-execute under it — K23 must
+  // never swallow an application crash. Signals sent by kill() rather
+  // than the hardware do not re-raise on return, so re-queue those.
+  chain_to_previous(sig);
+  if (info != nullptr && info->si_code <= 0) {
+    raw_syscall(SYS_tgkill, raw_syscall(SYS_getpid), raw_syscall(SYS_gettid),
+                sig);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch probe: the single hook the trampoline fast path pays for.
+// Installed only when fault injection or full black-box tracing is
+// armed, so the healthy production fast path stays at exactly one
+// relaxed (null) pointer load.
+// ---------------------------------------------------------------------------
+
+void dispatch_probe(uint64_t site, uint64_t nr) {
+  // check_dispatch, never check: this probe runs inside trampoline
+  // dispatches and SUD signal frames, and a containment-abandoned frame
+  // may own the rules mutex — blocking here would wedge every syscall.
+  if (FaultInjector::enabled()) {
+    if (FaultInjector::check_dispatch("patch_sigsegv") != 0) {
+      faultinject_crash(CrashKind::kSegvWrite);
+    }
+    if (FaultInjector::check_dispatch("thunk_sigill") != 0) {
+      faultinject_crash(CrashKind::kIll);
+    }
+    if (FaultInjector::check_dispatch("hook_fault") != 0) {
+      faultinject_crash(CrashKind::kSegvRead);
+    }
+  }
+  if (BlackBox::trace_dispatch()) {
+    BlackBox::record(BbEvent::kDispatch, site, nr);
+  }
+}
+
+void watchdog_main() {
+  // Infrastructure thread: its own syscalls must not trap into the
+  // (possibly wedged) SUD dispatch path it is watching.
+  if (SudSession::armed()) SudSession::set_block(false);
+  uint64_t interval_ms = g_config.watchdog_ms / 4;
+  if (interval_ms < 10) interval_ms = 10;
+  while (!g_watchdog_stop.load(std::memory_order_acquire)) {
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(interval_ms / 1000);
+    ts.tv_nsec = static_cast<long>((interval_ms % 1000) * 1000000);
+    ::nanosleep(&ts, nullptr);
+    if (g_watchdog_stop.load(std::memory_order_acquire)) break;
+    if (Health::watchdog_check(monotonic_ms())) break;
+  }
+}
+
+void clear_ledger() {
+  for (auto& slot : g_ledger) {
+    slot.site.store(0, std::memory_order_relaxed);
+    slot.state.store(kStHealthy, std::memory_order_relaxed);
+    slot.faults.store(0, std::memory_order_relaxed);
+    slot.quarantines.store(0, std::memory_order_relaxed);
+    slot.retry_at_ms.store(0, std::memory_order_relaxed);
+    slot.last_fault_ms.store(0, std::memory_order_relaxed);
+    slot.was_sysenter.store(false, std::memory_order_relaxed);
+  }
+  g_registered.store(0, std::memory_order_relaxed);
+  g_contained.store(0, std::memory_order_relaxed);
+  g_repromotions.store(0, std::memory_order_relaxed);
+  g_demoted.store(0, std::memory_order_relaxed);
+  g_watchdog_descents.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* site_health_name(SiteHealth state) {
+  switch (state) {
+    case SiteHealth::kHealthy: return "healthy";
+    case SiteHealth::kQuarantined: return "quarantined";
+    case SiteHealth::kRepromoting: return "repromoting";
+    case SiteHealth::kDemoted: return "demoted";
+  }
+  return "?";
+}
+
+HealthConfig HealthConfig::from_env() {
+  HealthConfig config;
+  config.enabled = env_flag("K23_HEAL", config.enabled);
+  config.max_faults = static_cast<uint32_t>(
+      env_u64("K23_HEAL_MAX_FAULTS", config.max_faults, 1, 1000));
+  config.backoff_ms = env_u64("K23_HEAL_BACKOFF_MS", config.backoff_ms, 1,
+                              3600 * 1000);
+  config.watchdog_ms = env_u64("K23_HEAL_WATCHDOG_MS", config.watchdog_ms, 0,
+                               3600 * 1000);
+  return config;
+}
+
+Status Health::init(const HealthConfig& config) {
+  if (g_active.load(std::memory_order_acquire)) shutdown();
+  g_config = config;
+  if (!config.enabled) return Status::ok();
+  clear_ledger();
+
+  // Same registration the promotion path does: intent must precede use.
+  long rc = raw_syscall(SYS_membarrier,
+                        MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED_SYNC_CORE, 0);
+  g_membarrier_sync_core.store(rc == 0, std::memory_order_relaxed);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &fault_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_NODEFER: a fault inside the handler must re-enter it so the
+  // recursion guard can fall through to default death deterministically.
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER | SA_ONSTACK;
+  for (size_t i = 0; i < kFaultSignalCount; ++i) {
+    if (::sigaction(kFaultSignals[i], &sa, &g_prev_actions[i]) != 0) {
+      Status st = Status::from_errno("sigaction containment handler");
+      for (size_t j = 0; j < i; ++j) {
+        ::sigaction(kFaultSignals[j], &g_prev_actions[j], nullptr);
+      }
+      return st;
+    }
+  }
+  g_handlers_installed = true;
+
+  // Arm the dispatch probe only when someone will consume it; a null
+  // probe keeps the healthy fast path at one relaxed load. The check()
+  // call forces the injector's lazy K23_FAULTS load so an exported spec
+  // is visible before the enabled() test.
+  FaultInjector::check("health_init");
+  if (FaultInjector::enabled() || BlackBox::trace_dispatch()) {
+    Trampoline::set_dispatch_probe(&dispatch_probe);
+  }
+
+  if (config.watchdog_ms > 0 && SudSession::armed()) {
+    SudSession::set_heartbeat(true);
+    g_watchdog_stop.store(false, std::memory_order_release);
+    g_watchdog_thread = std::thread(&watchdog_main);
+  }
+
+  g_active.store(true, std::memory_order_release);
+  K23_LOG(kDebug) << "health armed: max_faults=" << config.max_faults
+                  << " backoff_ms=" << config.backoff_ms
+                  << " watchdog_ms=" << config.watchdog_ms;
+  return Status::ok();
+}
+
+void Health::shutdown() {
+  if (g_watchdog_thread.joinable()) {
+    g_watchdog_stop.store(true, std::memory_order_release);
+    g_watchdog_thread.join();
+  }
+  SudSession::set_heartbeat(false);
+  Trampoline::set_dispatch_probe(nullptr);
+  if (g_handlers_installed) {
+    for (size_t i = 0; i < kFaultSignalCount; ++i) {
+      ::sigaction(kFaultSignals[i], &g_prev_actions[i], nullptr);
+    }
+    g_handlers_installed = false;
+  }
+  g_active.store(false, std::memory_order_release);
+  clear_ledger();
+  g_report_len = 0;
+}
+
+bool Health::active() { return g_active.load(std::memory_order_acquire); }
+
+void Health::register_site(uint64_t site, bool was_sysenter) {
+  if (!g_active.load(std::memory_order_acquire) || site == 0) return;
+  size_t idx = slot_hash(site) & (kHealthSlots - 1);
+  for (size_t probe = 0; probe < kMaxProbes; ++probe) {
+    HealthSlot& slot = g_ledger[idx];
+    uint64_t cur = slot.site.load(std::memory_order_acquire);
+    if (cur == site) {
+      slot.was_sysenter.store(was_sysenter, std::memory_order_relaxed);
+      return;
+    }
+    if (cur == 0) {
+      uint64_t expected = 0;
+      if (slot.site.compare_exchange_strong(expected, site,
+                                            std::memory_order_acq_rel)) {
+        slot.was_sysenter.store(was_sysenter, std::memory_order_relaxed);
+        g_registered.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (expected == site) {
+        slot.was_sysenter.store(was_sysenter, std::memory_order_relaxed);
+        return;
+      }
+    }
+    idx = (idx + 1) & (kHealthSlots - 1);
+  }
+  // Table full: the site simply has no self-healing (dropped silently,
+  // exactly like the promotion hit table's probe-budget exhaustion).
+}
+
+bool Health::note_sud_hit(uint64_t site) {
+  if (!g_active.load(std::memory_order_acquire) || site == 0) return true;
+  HealthSlot* slot = find_slot(site);
+  if (slot == nullptr) return true;  // not in the ledger: not ours
+
+  const uint32_t st = state_of(*slot);
+  if (st == kStHealthy) {
+    // A registered, supposedly rewritten site trapping via SUD is a
+    // transition race (quarantine claimed, bytes not yet restored).
+    // Skip promotion counting either way: promotion must not re-learn a
+    // site the ledger already owns.
+    return false;
+  }
+  if (st == kStDemoted || st == kStRepromoting) return false;
+
+  // Quarantined: re-promote when the backoff has expired. Exactly one
+  // thread wins the kQuarantined -> kRepromoting CAS; everyone else
+  // keeps dispatching via SUD.
+  const uint64_t now = monotonic_ms();
+  if (now < slot->retry_at_ms.load(std::memory_order_relaxed)) return false;
+  uint32_t expected = kStQuarantined;
+  if (!slot->state.compare_exchange_strong(expected, kStRepromoting,
+                                           std::memory_order_acq_rel)) {
+    return false;
+  }
+
+  const uint8_t b1 = slot->was_sysenter.load(std::memory_order_relaxed)
+                         ? kSysenterInsn[1]
+                         : kSyscallInsn[1];
+  const auto* bytes = reinterpret_cast<const uint8_t*>(site);
+  if (bytes[0] != kSyscallInsn[0] || bytes[1] != b1) {
+    // The bytes changed under quarantine (dlclose + remap, hostile
+    // patching): never touch this address again.
+    slot->state.store(kStDemoted, std::memory_order_release);
+    g_demoted.fetch_add(1, std::memory_order_relaxed);
+    BlackBox::record(BbEvent::kDemote, site,
+                     slot->faults.load(std::memory_order_relaxed));
+    return false;
+  }
+  if (patch_bytes_async_safe(site, kCallRaxInsn[0], kCallRaxInsn[1]) == 0) {
+    sync_core_all_cpus();
+    slot->state.store(kStHealthy, std::memory_order_release);
+    g_repromotions.fetch_add(1, std::memory_order_relaxed);
+    BlackBox::record(BbEvent::kRepromote, site,
+                     slot->quarantines.load(std::memory_order_relaxed));
+    BlackBox::record(BbEvent::kPatch, site, 0 /* patch */);
+  } else {
+    // Transient refusal (mprotect): push the retry one doubling out.
+    const uint32_t f = slot->faults.load(std::memory_order_relaxed);
+    slot->retry_at_ms.store(now + backoff_interval_ms(site, now, f + 1),
+                            std::memory_order_relaxed);
+    slot->state.store(kStQuarantined, std::memory_order_release);
+  }
+  return false;
+}
+
+bool Health::site_patchable(uint64_t site) {
+  if (!g_active.load(std::memory_order_acquire)) return true;
+  HealthSlot* slot = find_slot(site);
+  if (slot == nullptr) return true;
+  return state_of(*slot) == kStHealthy;
+}
+
+SiteHealth Health::site_state(uint64_t site) {
+  HealthSlot* slot = find_slot(site);
+  if (slot == nullptr) return SiteHealth::kHealthy;
+  return static_cast<SiteHealth>(state_of(*slot));
+}
+
+HealthStats Health::stats() {
+  HealthStats s;
+  s.registered = g_registered.load(std::memory_order_relaxed);
+  s.contained = g_contained.load(std::memory_order_relaxed);
+  s.repromotions = g_repromotions.load(std::memory_order_relaxed);
+  s.demoted = g_demoted.load(std::memory_order_relaxed);
+  s.watchdog_descents = g_watchdog_descents.load(std::memory_order_relaxed);
+  for (auto& slot : g_ledger) {
+    if (slot.site.load(std::memory_order_acquire) == 0) continue;
+    const uint32_t st = state_of(slot);
+    if (st == kStQuarantined || st == kStRepromoting) ++s.quarantined_now;
+  }
+  return s;
+}
+
+std::vector<SiteHealthInfo> Health::snapshot() {
+  std::vector<SiteHealthInfo> out;
+  for (auto& slot : g_ledger) {
+    const uint64_t site = slot.site.load(std::memory_order_acquire);
+    if (site == 0) continue;
+    SiteHealthInfo info;
+    info.site = site;
+    info.state = static_cast<SiteHealth>(state_of(slot));
+    info.faults = slot.faults.load(std::memory_order_relaxed);
+    info.quarantines = slot.quarantines.load(std::memory_order_relaxed);
+    info.retry_at_ms = slot.retry_at_ms.load(std::memory_order_relaxed);
+    out.push_back(info);
+  }
+  return out;
+}
+
+void Health::note_report(const DegradationReport& report) {
+  g_report_len = report.preformat(g_report_buf, sizeof(g_report_buf));
+}
+
+void Health::append_events(DegradationReport* report) {
+  for (auto& slot : g_ledger) {
+    const uint64_t site = slot.site.load(std::memory_order_acquire);
+    if (site == 0) continue;
+    const uint32_t st = state_of(slot);
+    if (st == kStHealthy &&
+        slot.quarantines.load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    std::string detail = "site " + to_hex(site) + " " +
+                         site_health_name(static_cast<SiteHealth>(st)) +
+                         " faults=" +
+                         std::to_string(
+                             slot.faults.load(std::memory_order_relaxed)) +
+                         " quarantines=" +
+                         std::to_string(
+                             slot.quarantines.load(std::memory_order_relaxed));
+    report->add("health", std::move(detail));
+  }
+}
+
+bool Health::watchdog_check(uint64_t now_ms) {
+  if (!g_active.load(std::memory_order_acquire) || g_config.watchdog_ms == 0) {
+    return false;
+  }
+  const SudSession::Heartbeat hb = SudSession::heartbeat();
+  if (hb.entered <= hb.exited) return false;  // no dispatch in flight
+  if (hb.last_entry_ms == 0 ||
+      now_ms < hb.last_entry_ms + g_config.watchdog_ms) {
+    return false;
+  }
+  // A SIGSYS dispatch entered and never exited past the deadline: the
+  // hook chain or dispatcher is wedged. (Process-wide heartbeats: one
+  // wedged thread amid live traffic refreshes last_entry_ms and evades
+  // this check — the tradeoff for a zero-lock trap path.)
+  g_watchdog_descents.fetch_add(1, std::memory_order_relaxed);
+  BlackBox::record(BbEvent::kWatchdog, 0, now_ms - hb.last_entry_ms);
+  descend("sud dispatch wedged: entry without exit past watchdog deadline");
+  return true;
+}
+
+size_t Health::descend(const char* why) {
+  if (!g_active.load(std::memory_order_acquire)) return 0;
+  size_t restored = 0;
+  for (auto& slot : g_ledger) {
+    const uint64_t site = slot.site.load(std::memory_order_acquire);
+    if (site == 0) continue;
+    for (;;) {
+      uint32_t cur = state_of(slot);
+      if (cur == kStQuarantined || cur == kStDemoted) break;  // bytes original
+      if (slot.state.compare_exchange_weak(cur, kStDemoted,
+                                           std::memory_order_acq_rel)) {
+        // A re-promoter racing us may flip the site back to healthy — a
+        // narrow window that costs one site's descent, never safety.
+        const uint8_t b1 = slot.was_sysenter.load(std::memory_order_relaxed)
+                               ? kSysenterInsn[1]
+                               : kSyscallInsn[1];
+        if (patch_bytes_async_safe(site, kSyscallInsn[0], b1) == 0) {
+          ++restored;
+        }
+        g_demoted.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  sync_core_all_cpus();
+  // Open the SUD selector — current thread and every thread the
+  // dispatcher re-arms from here on. The restored syscall instructions
+  // now enter the kernel directly: liveness over interposition.
+  if (SudSession::armed()) {
+    SudSession::set_default_block(false);
+    SudSession::set_block(false);
+  }
+  BlackBox::record(BbEvent::kDescend, 0, restored);
+
+  // Extended operator-facing report with the per-site quarantine
+  // history, flushed atomically through the black-box. Normal context
+  // only (the watchdog thread / tests) — this allocates.
+  DegradationReport report;
+  report.tier = CoverageTier::kNone;
+  report.add("watchdog", why);
+  append_events(&report);
+  char buf[8192];
+  const size_t len = report.preformat(buf, sizeof(buf));
+  BlackBox::flush("descend", buf, len);
+  K23_LOG(kWarn) << "health descend (" << why << "): restored " << restored
+                 << " sites, interposition abandoned";
+  return restored;
+}
+
+bool Health::contain_fault_at(uint64_t pc, int signal) {
+  if (!g_active.load(std::memory_order_acquire)) return false;
+  uint64_t site = 0;
+  HealthSlot* slot = slot_for_pc(pc, &site);
+  if (slot == nullptr) {
+    TrampolineFrame* frame = Trampoline::active_frame();
+    if (frame != nullptr) {
+      site = frame->return_address - kSyscallInsnLen;
+      slot = find_slot(site);
+    }
+  }
+  if (slot == nullptr) return false;
+  return quarantine_site(*slot, site, pc, signal);
+}
+
+}  // namespace k23

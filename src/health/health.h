@@ -1,0 +1,152 @@
+// Runtime self-healing: crash containment + per-site quarantine
+// (DESIGN.md §11).
+//
+// PR 1's degradation ladder runs once, at init; everything it validated
+// can rot afterwards (paper P1–P5 share exactly this shape: a mechanism
+// valid at arm time silently invalidated later). Production DBI engines
+// survive because they contain faults and fall back per-site at runtime;
+// this subsystem gives K23 the same property:
+//
+//  * a SIGSEGV/SIGILL/SIGBUS containment handler that recognizes faults
+//    whose PC lies in K23-owned ranges — the patched sites themselves,
+//    the VA-0 trampoline page, and any dispatch executing on behalf of a
+//    rewritten site (tracked via the trampoline's active-frame TLS) — and
+//    converts them into per-site quarantine instead of process death.
+//    Quarantine = transactional restore of that one site's original
+//    bytes (atomic 16-bit store + cpuid + membarrier SYNC_CORE, the PR 1
+//    / promotion patch discipline) + demotion of its dispatch to the SUD
+//    fallback. Faults whose PC is NOT K23-owned are re-raised to the
+//    previously-installed disposition: the application's own crashes
+//    must never be swallowed.
+//  * a per-site health ledger — lock-free, cache-line-sharded like the
+//    promotion hit table — tracking fault counts, quarantine state and
+//    re-promotion eligibility with jittered exponential backoff. A site
+//    that faults max_faults times within the hysteresis window is
+//    permanently demoted; each successive quarantine doubles the backoff
+//    so a flapping site cannot thrash the patcher.
+//  * a watchdog that detects a wedged SUD dispatch (a SIGSYS handler
+//    that entered but never exited past a deadline) and re-descends the
+//    ladder for the whole process: every rewritten site is restored and
+//    the SUD selector opened, trading interposition for liveness, with
+//    an extended DegradationReport flushed through the black-box.
+//
+// The healthy-site fast path costs the dispatcher at most ONE relaxed
+// load (the trampoline's probe-function pointer); the ledger is only
+// consulted from fault handlers and the SUD trap path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "k23/degradation.h"
+
+namespace k23 {
+
+struct HealthConfig {
+  bool enabled = true;
+  // Contained faults at one site before it is permanently demoted to the
+  // SUD path (within the hysteresis window; see fault_window_ms).
+  uint32_t max_faults = 3;
+  // Base re-promotion backoff after the first quarantine; doubles per
+  // fault and carries ±25% jitter so a fleet of workers quarantining the
+  // same site does not re-patch in lockstep.
+  uint64_t backoff_ms = 50;
+  // Faults further apart than this window reset the per-site fault
+  // count: an old, healed fault must not push a later one to permanent
+  // demotion.
+  uint64_t fault_window_ms = 60000;
+  // SUD-dispatch watchdog deadline; 0 disables the watchdog thread.
+  uint64_t watchdog_ms = 0;
+
+  // K23_HEAL, K23_HEAL_MAX_FAULTS, K23_HEAL_BACKOFF_MS, K23_HEAL_WATCHDOG_MS.
+  static HealthConfig from_env();
+};
+
+// Per-site state machine (DESIGN.md §11):
+//   healthy -> quarantined -> (backoff) -> repromoting -> healthy
+//                          -> demoted (terminal, after max_faults)
+enum class SiteHealth : uint8_t {
+  kHealthy = 0,
+  kQuarantined,   // original bytes restored, dispatch via SUD
+  kRepromoting,   // one thread re-patching after backoff expiry
+  kDemoted,       // permanently on the SUD path
+};
+
+const char* site_health_name(SiteHealth state);
+
+struct SiteHealthInfo {
+  uint64_t site = 0;
+  SiteHealth state = SiteHealth::kHealthy;
+  uint32_t faults = 0;       // contained faults (within window semantics)
+  uint32_t quarantines = 0;  // lifetime quarantine count
+  uint64_t retry_at_ms = 0;  // monotonic re-promotion eligibility
+};
+
+struct HealthStats {
+  uint64_t registered = 0;         // sites in the ledger
+  uint64_t contained = 0;          // faults converted to quarantine
+  uint64_t quarantined_now = 0;    // sites currently off the fast path
+  uint64_t repromotions = 0;       // successful re-patches
+  uint64_t demoted = 0;            // permanently demoted sites
+  uint64_t watchdog_descents = 0;  // whole-process re-descents
+};
+
+class Health {
+ public:
+  // Installs the containment handlers (saving the previous dispositions
+  // for chaining), registers membarrier SYNC_CORE intent, arms the
+  // trampoline dispatch probe (fault injection / black-box tracing) and,
+  // when config.watchdog_ms > 0 and SUD is armed, starts the watchdog
+  // thread. Normal context only.
+  static Status init(const HealthConfig& config);
+  static void shutdown();  // restore handlers, stop watchdog, clear ledger
+  static bool active();
+
+  // Adds a rewritten site to the ledger (startup rewrite and online
+  // promotion both register here). Lock-free insert; silently drops when
+  // the table is full — an unregistered site simply has no self-healing.
+  static void register_site(uint64_t site, bool was_sysenter);
+
+  // SUD pre-dispatch notification. Returns false when the ledger owns
+  // this site (quarantined / demoted / mid-transition) — the caller must
+  // then skip promotion counting for it; the syscall itself still
+  // dispatches normally either way. A quarantined site whose backoff
+  // expired is re-promoted from here (async-signal-safe patch path).
+  static bool note_sud_hit(uint64_t site);
+
+  // Promotion guard: false when the ledger forbids (re)patching `site`
+  // (quarantined or permanently demoted).
+  static bool site_patchable(uint64_t site);
+
+  static SiteHealth site_state(uint64_t site);
+  static HealthStats stats();
+  static std::vector<SiteHealthInfo> snapshot();
+
+  // Stashes the init-time DegradationReport, preformatted into a static
+  // buffer (no malloc later), so fault-path black-box flushes can attach
+  // it. Normal context.
+  static void note_report(const DegradationReport& report);
+
+  // Appends one event per quarantined/demoted site (the per-site
+  // quarantine history) to an operator-facing report.
+  static void append_events(DegradationReport* report);
+
+  // One watchdog evaluation at `now_ms` (exposed so tests drive the
+  // deadline logic without a live thread + wedged dispatcher). Returns
+  // true when a wedged SUD dispatch was detected and a whole-process
+  // descent was triggered.
+  static bool watchdog_check(uint64_t now_ms);
+
+  // Whole-process ladder re-descent: restores every registered healthy
+  // site's original bytes, opens the SUD selector (liveness over
+  // interposition), emits kDescend + an extended DegradationReport via
+  // the black-box. Returns the number of sites restored.
+  static size_t descend(const char* why);
+
+  // Fault-containment entry, exposed for tests that synthesize faults.
+  // Returns true when the fault was contained (site quarantined).
+  static bool contain_fault_at(uint64_t pc, int signal);
+};
+
+}  // namespace k23

@@ -1,5 +1,10 @@
 #include "k23/degradation.h"
 
+#include <sys/syscall.h>
+
+#include "arch/raw_syscall.h"
+#include "common/asformat.h"
+
 namespace k23 {
 
 const char* tier_name(CoverageTier tier) {
@@ -12,6 +17,37 @@ const char* tier_name(CoverageTier tier) {
     case CoverageTier::kNone: return "none";
   }
   return "?";
+}
+
+size_t DegradationReport::preformat(char* buf, size_t cap) const {
+  AsBuf out(buf, cap);
+  const long pid = raw_syscall(SYS_getpid);
+  out.append("deg ");
+  out.append_i64(pid);
+  out.append(" tier=");
+  out.append(tier_name(tier));
+  out.append(" events=");
+  out.append_u64(events.size());
+  out.append_char('\n');
+  for (const auto& event : events) {
+    out.append("deg ");
+    out.append_i64(pid);
+    out.append(" [");
+    out.append(event.component);
+    out.append("] ");
+    // c_str() only reads the string already built in normal context.
+    out.append_view(event.detail.c_str(), event.detail.size());
+    out.append_char('\n');
+  }
+  return out.len;
+}
+
+bool dump_preformatted(int fd, const char* buf, size_t len) {
+  if (buf == nullptr || len == 0) return false;
+  const long written = raw_syscall(SYS_write, fd,
+                                   reinterpret_cast<long>(buf),
+                                   static_cast<long>(len));
+  return written == static_cast<long>(len);
 }
 
 std::string DegradationReport::summary() const {

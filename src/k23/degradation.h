@@ -51,6 +51,19 @@ struct DegradationReport {
 
   // Multi-line human-readable summary (one line per event + final tier).
   std::string summary() const;
+
+  // Async-signal-safe rendering for the exit/fault path: formats the
+  // summary into the caller's buffer — no malloc, no stdio, truncating —
+  // with every line prefixed "deg <pid>" so dumps from a k23_run process
+  // tree stay attributable after interleaving. Returns the length.
+  // (Reads the already-built detail strings only; building the report
+  // itself is NOT signal-safe — preformat early, dump late.)
+  size_t preformat(char* buf, size_t cap) const;
 };
+
+// The atomic dump: ONE write() of a preformatted report to `fd`. With an
+// O_APPEND fd, concurrent dumps interleave per-report, never per-byte.
+// Async-signal-safe; returns false on a failed/short write.
+bool dump_preformatted(int fd, const char* buf, size_t len);
 
 }  // namespace k23

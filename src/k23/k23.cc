@@ -2,12 +2,14 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <atomic>
 
 #include "arch/raw_syscall.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "container/robin_set.h"
+#include "health/health.h"
 #include "rewrite/nopatch.h"
 #include "rewrite/patcher.h"
 #include "seccomp/seccomp_interposer.h"
@@ -80,6 +82,18 @@ bool robin_set_validator(uint64_t site) {
   return true;
 }
 
+// SUD pre-dispatch: the health ledger filters first — a site it owns
+// (quarantined/demoted) must not feed the promotion counters, or
+// promotion would try to re-patch an address the ledger just rolled
+// back. MUST return true in every ledger-owned case: false means "skip
+// dispatch entirely" per the SudSession contract, and the trapped
+// syscall still has to execute.
+bool health_promotion_pre_dispatch(uint64_t site) {
+  if (!Health::note_sud_hit(site)) return true;
+  if (Promotion::active()) return Promotion::note_sud_hit(site);
+  return true;
+}
+
 }  // namespace
 
 Result<K23Interposer::InitReport> K23Interposer::init(
@@ -108,6 +122,7 @@ Result<K23Interposer::InitReport> K23Interposer::init(
   //    verification keeps K23's "only pre-validated sites" guarantee
   //    even when the validation data itself has rotted.
   std::vector<uint64_t> to_patch;
+  std::vector<uint64_t> sysenter_sites;  // health ledger needs the encoding
   for (uint64_t address : addresses) {
     if (in_nopatch_section(address)) continue;
     const auto* bytes = reinterpret_cast<const uint8_t*>(address);
@@ -116,6 +131,7 @@ Result<K23Interposer::InitReport> K23Interposer::init(
                              bytes[1] == kSysenterInsn[1]);
     if (is_syscall) {
       to_patch.push_back(address);
+      if (bytes[1] == kSysenterInsn[1]) sysenter_sites.push_back(address);
     } else {
       ++report.stale_entries;
       K23_LOG(kWarn) << "K23: stale log entry at " << to_hex(address)
@@ -206,9 +222,10 @@ Result<K23Interposer::InitReport> K23Interposer::init(
     // what the ladder refused.
     const bool want_promotion =
         options.promotion.enabled && Trampoline::installed();
-    if (want_promotion && Promotion::init(options.promotion).is_ok()) {
-      sud.pre_dispatch = &Promotion::note_sud_hit;
-    }
+    if (want_promotion) (void)Promotion::init(options.promotion);
+    // The combined callback consults the health ledger before the
+    // promotion counters; both sides no-op when their subsystem is down.
+    sud.pre_dispatch = &health_promotion_pre_dispatch;
     Status st = SudSession::arm(sud);
     if (st.is_ok()) {
       s.sud_armed = true;
@@ -238,7 +255,28 @@ Result<K23Interposer::InitReport> K23Interposer::init(
     }
   }
 
-  // 5. P1b guard: abort if the application tries to turn SUD off. Only
+  // 5. Self-healing containment. Armed after the fallback so the
+  //    watchdog can see whether SUD is up, and only with a live rewrite
+  //    tier — the containment handler exists to demote rewritten sites,
+  //    and with none there is nothing to contain. A refusal (sigaction
+  //    failure) is one more rung down, not an abort.
+  if (rewrite_active && options.health.enabled) {
+    Status health_st = Health::init(options.health);
+    if (health_st.is_ok()) {
+      for (uint64_t site : s.rewritten) {
+        const bool sysenter =
+            std::find(sysenter_sites.begin(), sysenter_sites.end(), site) !=
+            sysenter_sites.end();
+        Health::register_site(site, sysenter);
+      }
+      report.health_active = true;
+    } else {
+      deg.add("health", std::string("containment handler install failed: ") +
+                            health_st.message());
+    }
+  }
+
+  // 6. P1b guard: abort if the application tries to turn SUD off. Only
   //    meaningful when SUD is what's armed.
   Dispatcher::instance().set_prctl_guard(options.prctl_guard &&
                                          s.sud_armed);
@@ -254,6 +292,11 @@ Result<K23Interposer::InitReport> K23Interposer::init(
   // Requested-but-absent fallback is a documented ablation, not a step
   // down the ladder — only record it when it was *asked for* and denied,
   // which the event list above already captures.
+
+  // Stash the report for fault-path black-box flushes: after this point
+  // any contained crash can attach the init-time ladder history without
+  // allocating.
+  if (Health::active()) Health::note_report(deg);
 
   s.initialized = true;
   K23_LOG(kDebug) << variant_name(options.variant) << ": "
@@ -295,6 +338,9 @@ void K23Interposer::shutdown() {
   K23State& s = state();
   if (!s.initialized) return;
   Dispatcher::instance().set_prctl_guard(false);
+  // Containment comes down first: a fault between here and the last
+  // unpatch must die normally, not quarantine against a dying ledger.
+  Health::shutdown();
   if (s.sud_armed) SudSession::disarm();
   // After SUD is down no new hits can arrive; restore promoted sites'
   // original bytes while the trampoline is still installed, then drop

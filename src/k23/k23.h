@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "health/health.h"
 #include "k23/degradation.h"
 #include "k23/offline_log.h"
 #include "k23/promotion.h"
@@ -51,6 +52,10 @@ class K23Interposer {
     // promotion.enabled=false (K23_PROMOTE=off) restores the paper's
     // exact never-rewrite-from-SIGSYS semantics.
     PromotionConfig promotion;
+    // Runtime self-healing (health/health.h): crash containment +
+    // per-site quarantine + watchdog. Armed only when the rewrite tier
+    // is active — with no rewritten sites there is nothing to contain.
+    HealthConfig health;
   };
 
   struct InitReport {
@@ -60,6 +65,7 @@ class K23Interposer {
     size_t stale_entries = 0;    // resolved but bytes were not syscall
     size_t unresolved_entries = 0;
     bool promotion_active = false;  // hot-site promotion armed
+    bool health_active = false;     // self-healing containment armed
     // Which rung of the ladder init actually landed on, and every step
     // down it took to get there (see k23/degradation.h). A clean init
     // reports the requested tier with no events.

@@ -4,6 +4,7 @@
 //
 //   k23_logmerge [--immutable] -o merged.log run1.log run2.log ...
 //   k23_logmerge [--immutable] -o merged.log --shards base.log
+//   k23_logmerge --blackbox dump1.bb [dump2.bb ...]
 //
 // Plain inputs are whole logs from separate offline runs. --shards BASE
 // instead folds a process tree's per-PID shard files ("BASE.<pid>.shard",
@@ -12,12 +13,120 @@
 // degrades to the recovered prefix and a printed issue, never a failed
 // merge. Prints a per-input and merged summary; --immutable strips write
 // permission from the output (the paper's log-integrity step).
+//
+// --blackbox switches to flight-recorder mode: the inputs are K23_BLACKBOX
+// dumps (PID-tagged "bb <pid> ..." lines, possibly interleaved from a whole
+// k23_run process tree sharing one O_APPEND file) and the output is a
+// per-process summary — event counts, contained faults, and which sites
+// ended up quarantined or demoted.
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "k23/offline_log.h"
+
+namespace {
+
+struct BlackboxPidSummary {
+  uint64_t events = 0;
+  uint64_t faults = 0;
+  uint64_t dispatches = 0;
+  uint64_t descents = 0;
+  std::set<std::string> quarantined;  // site -> still quarantined/demoted
+  std::set<std::string> repromoted;
+  std::vector<std::string> reasons;   // flush reasons, in file order
+};
+
+// Parses "site=0x..." from a bb line's tail; empty when absent.
+std::string parse_site(const std::string& tail) {
+  const size_t pos = tail.find("site=");
+  if (pos == std::string::npos) return "";
+  const size_t end = tail.find(' ', pos);
+  return tail.substr(pos + 5, end == std::string::npos ? end : end - pos - 5);
+}
+
+int blackbox_summarize(const std::vector<std::string>& inputs) {
+  std::map<long, BlackboxPidSummary> by_pid;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "k23_logmerge: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("# k23-blackbox", 0) == 0) {
+        long pid = 0;
+        const size_t pid_pos = line.find("pid=");
+        if (pid_pos != std::string::npos) {
+          pid = std::strtol(line.c_str() + pid_pos + 4, nullptr, 10);
+        }
+        const size_t reason_pos = line.find("reason=");
+        if (reason_pos != std::string::npos) {
+          const size_t end = line.find(' ', reason_pos);
+          by_pid[pid].reasons.push_back(
+              line.substr(reason_pos + 7, end == std::string::npos
+                                              ? end
+                                              : end - reason_pos - 7));
+        }
+        continue;
+      }
+      if (line.rfind("bb ", 0) != 0) continue;  // deg lines, noise
+      std::istringstream fields(line.substr(3));
+      long pid = 0;
+      uint64_t seq = 0, tsc = 0;
+      std::string kind;
+      if (!(fields >> pid >> seq >> tsc >> kind)) continue;
+      std::string tail;
+      std::getline(fields, tail);
+      BlackboxPidSummary& s = by_pid[pid];
+      ++s.events;
+      const std::string site = parse_site(tail);
+      if (kind == "fault") ++s.faults;
+      if (kind == "dispatch") ++s.dispatches;
+      if (kind == "descend") ++s.descents;
+      if (kind == "quarantine" || kind == "demote") {
+        s.quarantined.insert(site);
+        s.repromoted.erase(site);
+      }
+      if (kind == "repromote") {
+        s.repromoted.insert(site);
+        s.quarantined.erase(site);
+      }
+    }
+  }
+  if (by_pid.empty()) {
+    std::fprintf(stderr, "k23_logmerge: no blackbox records found\n");
+    return 1;
+  }
+  for (const auto& [pid, s] : by_pid) {
+    std::printf("pid %ld: %" PRIu64 " events, %" PRIu64 " faults contained, "
+                "%" PRIu64 " dispatches traced, %" PRIu64 " descents\n",
+                pid, s.events, s.faults, s.dispatches, s.descents);
+    for (const std::string& site : s.quarantined) {
+      std::printf("  quarantined %s\n", site.c_str());
+    }
+    for (const std::string& site : s.repromoted) {
+      std::printf("  repromoted  %s\n", site.c_str());
+    }
+    if (!s.reasons.empty()) {
+      std::printf("  flushes:");
+      for (const std::string& reason : s.reasons) {
+        std::printf(" %s", reason.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace k23;
@@ -25,10 +134,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::vector<std::string> shard_bases;
   bool immutable = false;
+  bool blackbox = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--immutable") == 0) {
       immutable = true;
+    } else if (std::strcmp(argv[i], "--blackbox") == 0) {
+      blackbox = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       output = argv[++i];
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
@@ -37,11 +149,20 @@ int main(int argc, char** argv) {
       inputs.emplace_back(argv[i]);
     }
   }
+  if (blackbox) {
+    if (inputs.empty()) {
+      std::fprintf(stderr, "usage: %s --blackbox dump1 [dump2 ...]\n",
+                   argv[0]);
+      return 2;
+    }
+    return blackbox_summarize(inputs);
+  }
   if (output.empty() || (inputs.empty() && shard_bases.empty())) {
     std::fprintf(stderr,
                  "usage: %s [--immutable] -o merged.log "
-                 "[run1.log ...] [--shards base.log ...]\n",
-                 argv[0]);
+                 "[run1.log ...] [--shards base.log ...] | "
+                 "%s --blackbox dump1 [dump2 ...]\n",
+                 argv[0], argv[0]);
     return 2;
   }
 

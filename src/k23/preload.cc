@@ -29,6 +29,8 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "health/blackbox.h"
+#include "health/health.h"
 #include "interpose/dispatch.h"
 #include "k23/k23.h"
 #include "k23/liblogger.h"
@@ -92,6 +94,23 @@ void save_logger_output() {
 // launcher cannot see: per-path totals, the hottest syscalls on each
 // path, and what promotion did.
 void k23_exit_report() {
+  // Flush the flight recorder before anything below can fail: the exit
+  // path is exactly where a wedged runtime loses its history. One
+  // preformatted write, no allocation (satellite of DESIGN.md §11).
+  if (BlackBox::active()) {
+    DegradationReport report;
+    report.tier = K23Interposer::initialized() ? CoverageTier::kRewriteAndSud
+                                               : CoverageTier::kNone;
+    Health::append_events(&report);
+    if (report.degraded()) {
+      char buf[8192];
+      const size_t len = report.preformat(buf, sizeof(buf));
+      BlackBox::flush("exit", buf, len);
+    } else if (BlackBox::recorded() > 0) {
+      BlackBox::flush("exit");
+    }
+  }
+
   if (ProcessTree::active()) {
     // Sharded paths: this process's promoted sites land in its own PID
     // shard, and its counters in its own stats dump — the launcher (or
@@ -218,6 +237,12 @@ __attribute__((constructor)) void k23_preload_init() {
   K23Interposer::Options options;
   options.variant = parse_variant(env_string("K23_VARIANT", "default"));
   options.promotion = PromotionConfig::from_env();
+  options.health = HealthConfig::from_env();
+  // Black-box first: Health::init decides whether to arm the dispatch
+  // probe partly from BlackBox::trace_dispatch().
+  if (Status bb = BlackBox::init(BlackBox::Config::from_env()); !bb.is_ok()) {
+    K23_LOG(kWarn) << "libk23_preload: black-box off: " << bb.message();
+  }
   auto report = K23Interposer::init(log, options);
   if (!report.is_ok()) {
     K23_LOG(kError) << "libk23_preload: K23 init failed: "

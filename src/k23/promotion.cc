@@ -14,6 +14,7 @@
 #include "common/strings.h"
 #include "disasm/decoder.h"
 #include "faultinject/faultinject.h"
+#include "health/health.h"
 #include "procmaps/procmaps.h"
 #include "rewrite/nopatch.h"
 #include "rewrite/patcher.h"
@@ -38,6 +39,7 @@ enum RefuseReason : uint8_t {
   kReasonDecode,         // bytes are not a syscall/sysenter instruction
   kReasonCapacity,       // max_sites promoted already / set table full
   kReasonMprotect,       // kernel (or fault injector) refused mprotect
+  kReasonQuarantined,    // health ledger owns the site (quarantined/demoted)
 };
 
 const char* refuse_reason_name(uint8_t reason) {
@@ -48,6 +50,7 @@ const char* refuse_reason_name(uint8_t reason) {
     case kReasonDecode:         return "bytes do not decode as syscall";
     case kReasonCapacity:       return "promotion capacity exhausted";
     case kReasonMprotect:       return "mprotect refused";
+    case kReasonQuarantined:    return "health ledger owns the site";
     default:                    return "unknown";
   }
 }
@@ -197,6 +200,12 @@ void attempt_promotion(HitSlot& slot, uint64_t site) {
     refuse(slot, kReasonNopatch);
     return;
   }
+  if (!Health::site_patchable(site)) {
+    // The self-healing ledger quarantined or demoted this site; patching
+    // it back from the SIGSYS path would undo exactly that decision.
+    refuse(slot, kReasonQuarantined);
+    return;
+  }
   if (!same_cache_line(site)) {
     refuse(slot, kReasonCacheLineSplit);
     return;
@@ -228,6 +237,9 @@ void attempt_promotion(HitSlot& slot, uint64_t site) {
   }
   slot.state.store(kPromoted, std::memory_order_release);
   g_promoted.fetch_add(1, std::memory_order_relaxed);
+  // Promoted sites get the same self-healing coverage as startup
+  // rewrites (no-op when health is down).
+  Health::register_site(site, slot.was_sysenter);
 }
 
 }  // namespace

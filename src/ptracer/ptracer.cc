@@ -498,8 +498,17 @@ Result<TraceReport> Ptracer::run(const std::vector<std::string>& argv,
 }
 
 Result<TraceReport> Ptracer::attach_and_run(pid_t pid) {
-  if (::ptrace(PTRACE_ATTACH, pid, nullptr, nullptr) != 0) {
-    return Result<TraceReport>::from_errno("PTRACE_ATTACH");
+  // EAGAIN from PTRACE_ATTACH is transient (the target mid-exec, or the
+  // kernel's ptrace bookkeeping briefly busy); retry it with jittered
+  // exponential backoff under a hard deadline instead of failing the
+  // whole trace on the first hiccup. Any other errno is terminal.
+  Backoff backoff(Backoff::Options{
+      .initial_us = 200, .cap_us = 50000, .deadline_ms = 2000});
+  for (;;) {
+    if (::ptrace(PTRACE_ATTACH, pid, nullptr, nullptr) == 0) break;
+    if (errno != EAGAIN || !backoff.sleep()) {
+      return Result<TraceReport>::from_errno("PTRACE_ATTACH");
+    }
   }
   int status = 0;
   if (waitpid_eintr(pid, &status, 0) != pid || !WIFSTOPPED(status)) {

@@ -1,6 +1,7 @@
 #include "rewrite/patcher.h"
 
 #include <sys/mman.h>
+#include <sys/syscall.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -314,6 +315,26 @@ Status patch_site_signal_safe(uint64_t site, PatchMode mode) {
     return Status::from_errno("mprotect restore");
   }
   return Status::ok();
+}
+
+int patch_bytes_async_safe(uint64_t site, uint8_t b0, uint8_t b1) {
+  if (!same_cache_line(site)) return -EFAULT;
+  const uint64_t page = site & kPageMask;
+  // Both bytes share a cache line, hence a page.
+  int restore_prot = PROT_READ | PROT_EXEC;
+  const int prior = query_address_prot_noalloc(site);
+  if (prior >= 0) restore_prot = prior;
+  long rc = raw_syscall(SYS_mprotect, static_cast<long>(page), 0x1000,
+                        PROT_READ | PROT_WRITE | PROT_EXEC);
+  if (rc != 0) return static_cast<int>(rc);
+  const uint16_t packed =
+      static_cast<uint16_t>(b0) | (static_cast<uint16_t>(b1) << 8);
+  __atomic_store_n(reinterpret_cast<uint16_t*>(site), packed,
+                   __ATOMIC_SEQ_CST);
+  serialize_instruction_stream();
+  rc = raw_syscall(SYS_mprotect, static_cast<long>(page), 0x1000,
+                   restore_prot);
+  return static_cast<int>(rc);
 }
 
 Status CodePatcher::unpatch_site(uint64_t site, bool was_sysenter) {

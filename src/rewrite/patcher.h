@@ -85,6 +85,15 @@ class CodePatcher {
 // and serializes.
 Status patch_site_signal_safe(uint64_t site, PatchMode mode);
 
+// Fully async-signal-safe two-byte patch for the crash-containment
+// handler (health/health.h): raw-syscall mprotect, one atomic 16-bit
+// store (site must not straddle a cache line), cpuid serialize, raw
+// mprotect restore to the page's prior protection. No allocation and no
+// Status (its message strings may allocate). Returns 0 on success or a
+// negative errno. Cross-core serialization (membarrier SYNC_CORE) is the
+// caller's job, as is having validated what the bytes should be.
+int patch_bytes_async_safe(uint64_t site, uint8_t b0, uint8_t b1);
+
 // True if the two bytes at `site` lie within one cache line (atomic
 // 16-bit store possible).
 bool same_cache_line(uint64_t site);

@@ -12,6 +12,7 @@
 #include "arch/regs.h"
 #include "arch/thunks.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/scope_guard.h"
 #include "faultinject/faultinject.h"
 #include "interpose/internal.h"
@@ -48,6 +49,14 @@ uint8_t* g_gadget_page = nullptr;
 std::atomic<uint64_t> g_trap_count{0};
 std::atomic<bool> g_default_block{true};
 
+// Heartbeat accounting for the health watchdog. Only written from the
+// SIGSYS handler when enabled; relaxed everywhere (the watchdog tolerates
+// staleness of one trap — its deadlines are milliseconds, not cycles).
+std::atomic<bool> g_heartbeat_on{false};
+std::atomic<uint64_t> g_hb_entered{0};
+std::atomic<uint64_t> g_hb_exited{0};
+std::atomic<uint64_t> g_hb_last_entry_ms{0};
+
 // Per-thread selector consulted by the kernel on every syscall.
 thread_local volatile char t_selector = SYSCALL_DISPATCH_FILTER_ALLOW;
 
@@ -79,6 +88,17 @@ void sigsys_handler(int sig, siginfo_t* info, void* ucv) {
   auto rearm = make_scope_guard(
       [] { t_selector = SYSCALL_DISPATCH_FILTER_BLOCK; });
 
+  // Heartbeat: after the ALLOW flip, so the clock read (a real syscall on
+  // vdso-scrubbed processes) passes straight through.
+  const bool heartbeat = g_heartbeat_on.load(std::memory_order_relaxed);
+  if (heartbeat) {
+    g_hb_entered.fetch_add(1, std::memory_order_relaxed);
+    g_hb_last_entry_ms.store(monotonic_ms(), std::memory_order_relaxed);
+  }
+  auto hb_exit = make_scope_guard([heartbeat] {
+    if (heartbeat) g_hb_exited.fetch_add(1, std::memory_order_relaxed);
+  });
+
   SyscallArgs args = syscall_args_from_ucontext(*uc);
   HookContext ctx;
   ctx.return_address = uc->uc_mcontext.gregs[REG_RIP];
@@ -94,8 +114,10 @@ void sigsys_handler(int sig, siginfo_t* info, void* ucv) {
     // The application's own signal restorer trapped. Execute sigreturn on
     // the application's frame (at the trap-time rsp); this abandons our
     // SIGSYS frame entirely, which is exactly the desired end state.
-    // Selector must be re-armed *before* the jump (the guard won't run).
+    // Selector must be re-armed *before* the jump (the guard won't run),
+    // and the heartbeat closed — a sigreturn is an exit, not a wedge.
     t_selector = SYSCALL_DISPATCH_FILTER_BLOCK;
+    if (heartbeat) g_hb_exited.fetch_add(1, std::memory_order_relaxed);
     args.rdi = static_cast<long>(stack_pointer(*uc));
     Dispatcher::execute(args, ctx.return_address);  // never returns
   }
@@ -273,6 +295,23 @@ long SudSession::gadget_syscall(long nr, long a0, long a1, long a2, long a3,
 
 uint64_t SudSession::trap_count() {
   return g_trap_count.load(std::memory_order_relaxed);
+}
+
+void SudSession::set_heartbeat(bool on) {
+  if (on) {
+    g_hb_entered.store(0, std::memory_order_relaxed);
+    g_hb_exited.store(0, std::memory_order_relaxed);
+    g_hb_last_entry_ms.store(0, std::memory_order_relaxed);
+  }
+  g_heartbeat_on.store(on, std::memory_order_release);
+}
+
+SudSession::Heartbeat SudSession::heartbeat() {
+  Heartbeat hb;
+  hb.entered = g_hb_entered.load(std::memory_order_relaxed);
+  hb.exited = g_hb_exited.load(std::memory_order_relaxed);
+  hb.last_entry_ms = g_hb_last_entry_ms.load(std::memory_order_relaxed);
+  return hb;
 }
 
 }  // namespace k23

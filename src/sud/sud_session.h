@@ -68,6 +68,21 @@ class SudSession {
 
   // Number of SIGSYS traps dispatched since arm().
   static uint64_t trap_count();
+
+  // --- watchdog heartbeats (health/health.h) -----------------------------
+  // A SIGSYS dispatch that entered but never exited is how a wedged hook
+  // chain or deadlocked dispatcher looks from outside; the health
+  // watchdog compares entered/exited against a deadline on last_entry_ms.
+  struct Heartbeat {
+    uint64_t entered = 0;        // SIGSYS dispatches begun
+    uint64_t exited = 0;         // dispatches completed (or jumped away)
+    uint64_t last_entry_ms = 0;  // monotonic_ms() at the newest entry
+  };
+  // Enables heartbeat accounting. Off (the default) costs the trap path
+  // one relaxed load; on adds three relaxed stores plus a clock read —
+  // noise against the SIGSYS round-trip itself.
+  static void set_heartbeat(bool on);
+  static Heartbeat heartbeat();
 };
 
 }  // namespace k23

@@ -87,12 +87,24 @@ k23_trampoline_entry:
 
 namespace {
 
-// Must mirror the push sequence above (lowest address first).
-struct TrampolineFrame {
-  uint64_t r15, r14, r13, r12, rbp, rbx, r11, r10, r9, r8;
-  uint64_t rcx, rdx, rsi, rdi, rax;
-  uint64_t return_address;
-};
+// Fault attribution for the containment handler: while a dispatch is in
+// flight on behalf of a rewritten site, any fault on this thread belongs
+// to K23, and the frame holds everything needed to unwind it. A small
+// explicit stack rather than one pointer: a signal handler syscalling
+// through a rewritten site nests a dispatch, and when the containment
+// handler abandons the inner one (redirecting execution back to the
+// site) the outer frame must survive — the abandoned C++ stack that
+// saved it is unreachable. initial-exec TLS so the signal handler reads
+// it without __tls_get_addr (which may allocate on first touch).
+constexpr uint32_t kMaxFrameDepth = 8;
+__attribute__((tls_model("initial-exec")))
+thread_local TrampolineFrame* t_frames[kMaxFrameDepth];
+__attribute__((tls_model("initial-exec")))
+thread_local uint32_t t_frame_depth = 0;
+
+// Per-dispatch observation hook (fault injection, black-box tracing).
+// Null keeps the healthy fast path at this single relaxed load.
+std::atomic<DispatchProbeFn> g_dispatch_probe{nullptr};
 
 struct DispatchCall {
   TrampolineFrame* frame;
@@ -124,6 +136,11 @@ long dispatch_on_current_stack(void* opaque) {
     uint64_t app_rsp_after_call =
         reinterpret_cast<uint64_t>(&frame->return_address) + 8 + 128;
     args.rdi = static_cast<long>(app_rsp_after_call + 8);
+    // sigreturn never returns here: the dispatcher jumps back into the
+    // application context, abandoning this frame. An outer dispatch (the
+    // one the signal interrupted) is still live on this stack and keeps
+    // its slot — pop only ourselves.
+    if (t_frame_depth > 0) --t_frame_depth;
   }
 
   return Dispatcher::instance().on_syscall(args, ctx);
@@ -132,12 +149,23 @@ long dispatch_on_current_stack(void* opaque) {
 }  // namespace
 
 extern "C" void k23_trampoline_dispatch(TrampolineFrame* frame) {
+  // Mark the dispatch in flight FIRST: even a validator crash must be
+  // attributable to this site. Nested dispatches (a signal handler
+  // syscalling through a rewritten site) push onto the per-thread stack;
+  // depths beyond kMaxFrameDepth still dispatch but are not attributable.
+  const uint32_t entry_depth = t_frame_depth;
+  if (entry_depth < kMaxFrameDepth) t_frames[entry_depth] = frame;
+  t_frame_depth = entry_depth + 1;
   if (g_options.validator != nullptr) {
     const uint64_t site = frame->return_address - kSyscallInsnLen;
     if (!g_options.validator(site)) {
       security_abort(
           "trampoline entered from unknown site (NULL-exec check, P4a)");
     }
+  }
+  DispatchProbeFn probe = g_dispatch_probe.load(std::memory_order_relaxed);
+  if (probe != nullptr) {
+    probe(frame->return_address - kSyscallInsnLen, frame->rax);
   }
   DispatchCall call{frame};
   long result;
@@ -148,6 +176,11 @@ extern "C" void k23_trampoline_dispatch(TrampolineFrame* frame) {
     result = dispatch_on_current_stack(&call);
   }
   frame->rax = static_cast<uint64_t>(result);
+  // Restore the depth we entered with rather than decrementing: if the
+  // containment handler abandoned (popped) a nested dispatch above us,
+  // the counter already dropped past our slot and a blind decrement
+  // would underflow.
+  t_frame_depth = entry_depth;
 }
 
 Status Trampoline::install(const Options& options) {
@@ -230,5 +263,19 @@ void Trampoline::remove() {
 bool Trampoline::xom_effective() { return g_xom_effective; }
 
 const Trampoline::Options& Trampoline::options() { return g_options; }
+
+TrampolineFrame* Trampoline::active_frame() {
+  const uint32_t depth = t_frame_depth;
+  if (depth == 0 || depth > kMaxFrameDepth) return nullptr;
+  return t_frames[depth - 1];
+}
+
+void Trampoline::pop_active_frame() {
+  if (t_frame_depth > 0) --t_frame_depth;
+}
+
+void Trampoline::set_dispatch_probe(DispatchProbeFn probe) {
+  g_dispatch_probe.store(probe, std::memory_order_release);
+}
 
 }  // namespace k23

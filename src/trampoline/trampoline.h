@@ -28,6 +28,23 @@ namespace k23 {
 // async-signal-safe; receives the *site* address (return_address - 2).
 using EntryValidatorFn = bool (*)(uint64_t site_address);
 
+// The register frame the entry stub pushes (lowest address first; must
+// mirror the asm push sequence in trampoline.cc). Exposed so the crash-
+// containment handler (health/health.h) can unwind a fault that happened
+// while a dispatch was in flight: every application register is here,
+// and the application rsp at the faulting `call *%rax` reconstructs as
+//   &frame->return_address + 8 /*ret slot*/ + 128 /*red zone*/ + 8 /*call push*/.
+struct TrampolineFrame {
+  uint64_t r15, r14, r13, r12, rbp, rbx, r11, r10, r9, r8;
+  uint64_t rcx, rdx, rsi, rdi, rax;
+  uint64_t return_address;
+};
+
+// Observation hook consulted on every dispatch when set — fault-kind
+// injection and black-box dispatch tracing plug in here (health/). The
+// healthy fast path pays exactly one relaxed pointer load for it.
+using DispatchProbeFn = void (*)(uint64_t site_address, uint64_t nr);
+
 class Trampoline {
  public:
   struct Options {
@@ -57,6 +74,23 @@ class Trampoline {
   static bool xom_effective();
 
   static const Options& options();
+
+  // The frame of the dispatch currently in flight on this thread (null
+  // when the thread is not inside the trampoline). Nested dispatches —
+  // a signal handler syscalling through a rewritten site mid-dispatch —
+  // stack per thread. Async-signal-safe (initial-exec TLS, plain loads).
+  static TrampolineFrame* active_frame();
+
+  // Pops the innermost in-flight frame. Only the containment handler
+  // calls this, when it abandons a dispatch by redirecting execution
+  // back to the (restored) site: the abandoned C++ frames never run
+  // their own epilogue, so the attribution stack must be unwound by
+  // hand. Async-signal-safe.
+  static void pop_active_frame();
+
+  // Installs/clears the per-dispatch observation hook. Null (the
+  // default) keeps the fast path at a single relaxed load.
+  static void set_dispatch_probe(DispatchProbeFn probe);
 };
 
 // The asm entry stub (exposed for tests that examine the jump target).

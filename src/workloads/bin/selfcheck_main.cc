@@ -1,0 +1,168 @@
+// k23_selfcheck — single-process workload self-check driver for the
+// crash-fault matrix (DESIGN.md §11, EXPERIMENTS.md).
+//
+//   k23_selfcheck [kv|http] [duration_seconds]
+//
+// Runs the selected Table 6 stand-in server inline on a worker thread,
+// drives it with the matching load client, and additionally performs an
+// explicit correctness round trip (SET/GET for kv, a parsed 200 response
+// for http). Exits 0 only when the round trip is byte-correct AND the
+// load phase completed requests without protocol errors — so a launcher
+// injecting crash faults (K23_FAULTS=patch_sigsegv:... under k23_run)
+// can assert "the workload still produced correct output" from the exit
+// code alone. The summary line on stdout is machine-checkable:
+//
+//   selfcheck <workload>: <N> requests, <E> errors, roundtrip ok
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "workloads/load_client.h"
+#include "workloads/mini_http.h"
+#include "workloads/mini_kv.h"
+#include "workloads/net.h"
+
+namespace {
+
+using namespace k23;
+
+int fail(const char* what, const char* detail) {
+  std::fprintf(stderr, "selfcheck: %s: %s\n", what, detail);
+  return 1;
+}
+
+// A kernel-assigned port that the inline server can immediately rebind
+// (SO_REUSEADDR/SO_REUSEPORT on both sides).
+Result<uint16_t> probe_port() {
+  auto listener = tcp_listen(0);
+  if (!listener.is_ok()) return listener.status();
+  auto port = tcp_local_port(listener.value());
+  ::close(listener.value());
+  return port;
+}
+
+int run_kv(double seconds) {
+  auto port = probe_port();
+  if (!port.is_ok()) return fail("kv", port.message().c_str());
+
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    MiniKvOptions options;
+    options.port = port.value();
+    options.stop = &stop;
+    (void)run_kv_server_inline(options);
+  });
+
+  // Explicit round trip first: a quarantined-but-wrong runtime could
+  // still complete load requests whose payloads nobody checks.
+  int roundtrip = 0;
+  auto fd = tcp_connect(port.value());
+  if (!fd.is_ok()) {
+    roundtrip = -1;
+  } else {
+    const std::string set_cmd = "SET selfcheck 1729\r\n";
+    const std::string get_cmd = "GET selfcheck\r\n";
+    if (!write_all(fd.value(), set_cmd.data(), set_cmd.size()).is_ok()) {
+      roundtrip = -2;
+    } else if (auto ok = read_until(fd.value(), "\r\n");
+               !ok.is_ok() || ok.value() != "+OK\r\n") {
+      roundtrip = -3;
+    } else if (!write_all(fd.value(), get_cmd.data(), get_cmd.size())
+                    .is_ok()) {
+      roundtrip = -4;
+    } else if (auto got = read_until(fd.value(), "1729\r\n");
+               !got.is_ok() || got.value() != "$4\r\n1729\r\n") {
+      roundtrip = -5;
+    }
+    ::close(fd.value());
+  }
+
+  LoadOptions load;
+  load.port = port.value();
+  load.connections = 4;
+  load.duration_seconds = seconds;
+  auto result = run_kv_load(load);
+
+  stop = true;
+  server.join();
+
+  if (roundtrip != 0) {
+    std::fprintf(stderr, "selfcheck kv: roundtrip failed (%d)\n", roundtrip);
+    return 1;
+  }
+  if (!result.is_ok()) return fail("kv load", result.message().c_str());
+  const LoadResult& r = result.value();
+  std::printf("selfcheck kv: %llu requests, %llu errors, roundtrip ok\n",
+              static_cast<unsigned long long>(r.requests),
+              static_cast<unsigned long long>(r.errors));
+  return (r.requests > 0 && r.errors == 0) ? 0 : 1;
+}
+
+int run_http(double seconds) {
+  auto port = probe_port();
+  if (!port.is_ok()) return fail("http", port.message().c_str());
+
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    MiniHttpOptions options;
+    options.port = port.value();
+    options.body_size = 512;
+    options.stop = &stop;
+    (void)run_http_server_inline(options);
+  });
+
+  int roundtrip = 0;
+  auto fd = tcp_connect(port.value());
+  if (!fd.is_ok()) {
+    roundtrip = -1;
+  } else {
+    const char request[] = "GET / HTTP/1.1\r\nHost: selfcheck\r\n\r\n";
+    if (!write_all(fd.value(), request, sizeof(request) - 1).is_ok()) {
+      roundtrip = -2;
+    } else if (auto reply = read_until(fd.value(), std::string(512, 'x'));
+               !reply.is_ok() ||
+               reply.value().find("HTTP/1.1 200") == std::string::npos ||
+               reply.value().find("Content-Length: 512") ==
+                   std::string::npos) {
+      roundtrip = -3;
+    }
+    ::close(fd.value());
+  }
+
+  LoadOptions load;
+  load.port = port.value();
+  load.connections = 4;
+  load.duration_seconds = seconds;
+  auto result = run_http_load(load);
+
+  stop = true;
+  server.join();
+
+  if (roundtrip != 0) {
+    std::fprintf(stderr, "selfcheck http: roundtrip failed (%d)\n",
+                 roundtrip);
+    return 1;
+  }
+  if (!result.is_ok()) return fail("http load", result.message().c_str());
+  const LoadResult& r = result.value();
+  std::printf("selfcheck http: %llu requests, %llu errors, roundtrip ok\n",
+              static_cast<unsigned long long>(r.requests),
+              static_cast<unsigned long long>(r.errors));
+  return (r.requests > 0 && r.errors == 0) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = argc >= 2 ? argv[1] : "kv";
+  double seconds = argc >= 3 ? std::atof(argv[2]) : 1.0;
+  if (seconds <= 0 || seconds > 60) seconds = 1.0;
+  if (workload == "kv") return run_kv(seconds);
+  if (workload == "http") return run_http(seconds);
+  std::fprintf(stderr, "usage: %s [kv|http] [duration_seconds]\n", argv[0]);
+  return 2;
+}

@@ -131,6 +131,20 @@ TEST_F(FaultInject, ConfigureFromEnvReadsK23Faults) {
   EXPECT_EQ(FaultInjector::check("envpoint"), 0);
 }
 
+// check_dispatch shares check()'s rules and counters — the dispatch
+// probe must observe the same nth/every schedule the test configured —
+// it only differs under contention, where it skips instead of blocking
+// (not reproducible deterministically here; the contract that matters
+// is that an abandoned rules mutex can never wedge the dispatch path).
+TEST_F(FaultInject, DispatchVariantSharesScheduleWithCheck) {
+  ASSERT_TRUE(FaultInjector::configure("probe:eio:nth=3").is_ok());
+  EXPECT_EQ(FaultInjector::check_dispatch("probe"), 0);
+  EXPECT_EQ(FaultInjector::check("probe"), 0);  // interleaved callers
+  EXPECT_EQ(FaultInjector::check_dispatch("probe"), EIO);  // 3rd call
+  EXPECT_EQ(FaultInjector::check_dispatch("probe"), 0);
+  EXPECT_EQ(FaultInjector::fired("probe"), 1u);
+}
+
 TEST_F(FaultInject, ErrnoNameTable) {
   struct { const char* name; int code; } cases[] = {
       {"eperm", EPERM},   {"enoent", ENOENT}, {"eintr", EINTR},

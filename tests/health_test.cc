@@ -1,0 +1,423 @@
+// Unit tests for the self-healing building blocks (DESIGN.md §11):
+// jittered backoff, seeded probabilistic fault injection, the black-box
+// flight recorder's record/flush format, the preformatted degradation
+// dump, and the health API's inactive-state contract. Nothing here arms
+// SUD or rewrites text — the state-machine and containment tests that do
+// live in selfheal_test.cc under the whole-process label.
+#include "health/health.h"
+
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/files.h"
+#include "common/retry.h"
+#include "faultinject/faultinject.h"
+#include "health/blackbox.h"
+#include "k23/degradation.h"
+
+namespace k23 {
+namespace {
+
+// --- common/retry: jittered exponential backoff ------------------------------
+
+TEST(Backoff, JitteredDoublingShape) {
+  // Keep intervals tiny: the shape is asserted via last_interval_us(),
+  // the sleeps themselves only cost ~15 µs total.
+  Backoff backoff(Backoff::Options{.initial_us = 4, .cap_us = 32,
+                                   .deadline_ms = 0, .seed = 42});
+  uint64_t base = 4;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(backoff.sleep());
+    const uint64_t used = backoff.last_interval_us();
+    // Jitter draws uniformly from [base/2, base].
+    EXPECT_GE(used, base / 2) << "sleep " << i;
+    EXPECT_LE(used, base) << "sleep " << i;
+    if (base < 32) base *= 2;
+  }
+  EXPECT_EQ(base, 32u);  // schedule reached and held the cap
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  const Backoff::Options options{.initial_us = 8, .cap_us = 64,
+                                 .deadline_ms = 0, .seed = 7};
+  Backoff a(options);
+  Backoff b(options);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(a.sleep());
+    ASSERT_TRUE(b.sleep());
+    EXPECT_EQ(a.last_interval_us(), b.last_interval_us()) << "draw " << i;
+  }
+}
+
+TEST(Backoff, ResetRestartsTheScheduleNotTheDeadline) {
+  Backoff backoff(Backoff::Options{.initial_us = 4, .cap_us = 1024,
+                                   .deadline_ms = 0, .seed = 3});
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(backoff.sleep());
+  EXPECT_GT(backoff.last_interval_us(), 16u);  // schedule advanced
+  backoff.reset(4);
+  ASSERT_TRUE(backoff.sleep());
+  EXPECT_LE(backoff.last_interval_us(), 4u);  // back at the base interval
+}
+
+TEST(Backoff, HardDeadlineRefusesToSleep) {
+  // 1 ms budget, 2 ms sleeps: the second call must find the deadline
+  // spent and refuse without sleeping — forever after.
+  Backoff backoff(Backoff::Options{.initial_us = 2000, .cap_us = 2000,
+                                   .deadline_ms = 1, .seed = 1});
+  EXPECT_FALSE(backoff.expired());
+  int granted = 0;
+  for (int i = 0; i < 50 && backoff.sleep(); ++i) ++granted;
+  EXPECT_LT(granted, 50);  // the loop terminated via the deadline
+  EXPECT_TRUE(backoff.expired());
+  EXPECT_FALSE(backoff.sleep());  // still refused, immediately
+}
+
+TEST(Backoff, NoDeadlineNeverExpires) {
+  Backoff backoff(Backoff::Options{.initial_us = 1, .cap_us = 2,
+                                   .deadline_ms = 0, .seed = 1});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(backoff.sleep());
+    EXPECT_FALSE(backoff.expired());
+  }
+}
+
+// --- faultinject: seeded prob= triggers --------------------------------------
+
+std::vector<int> prob_firing_sequence(uint64_t seed, int calls) {
+  EXPECT_TRUE(FaultInjector::configure("waitpid:eintr:prob=30").is_ok());
+  FaultInjector::set_seed(seed);
+  std::vector<int> fired;
+  for (int i = 0; i < calls; ++i) {
+    fired.push_back(FaultInjector::check("waitpid"));
+  }
+  FaultInjector::reset();
+  return fired;
+}
+
+TEST(FaultInjectSeed, SameSeedFiresIdentically) {
+  const std::vector<int> first = prob_firing_sequence(99, 64);
+  const std::vector<int> replay = prob_firing_sequence(99, 64);
+  EXPECT_EQ(first, replay);
+  // prob=30 over 64 draws: a degenerate all-or-nothing sequence means
+  // the trigger is not actually probabilistic.
+  int fired = 0;
+  for (int f : first) fired += (f != 0);
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+}
+
+TEST(FaultInjectSeed, EnvSeedMakesRunsReproducible) {
+  ::setenv("K23_FAULTS", "waitpid:eintr:prob=50", 1);
+  ::setenv("K23_FAULTS_SEED", "5", 1);
+  auto run = [] {
+    EXPECT_TRUE(FaultInjector::configure_from_env().is_ok());
+    std::vector<int> fired;
+    for (int i = 0; i < 32; ++i) {
+      fired.push_back(FaultInjector::check("waitpid"));
+    }
+    FaultInjector::reset();
+    return fired;
+  };
+  const std::vector<int> first = run();
+  const std::vector<int> replay = run();
+  ::unsetenv("K23_FAULTS");
+  ::unsetenv("K23_FAULTS_SEED");
+  EXPECT_EQ(first, replay);
+}
+
+// --- black-box flight recorder -----------------------------------------------
+
+class BlackBoxFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = make_temp_dir("k23_blackbox_test_");
+    ASSERT_TRUE(dir.is_ok());
+    dir_ = dir.value();
+    path_ = dir_ + "/dump.bb";
+  }
+  void TearDown() override { BlackBox::shutdown(); }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(BlackBoxFile, RecordAndFlushFormat) {
+  BlackBox::Config config;
+  config.mode = BlackBox::Config::Mode::kEvents;
+  config.path = path_.c_str();
+  ASSERT_TRUE(BlackBox::init(config).is_ok());
+  EXPECT_TRUE(BlackBox::active());
+  EXPECT_FALSE(BlackBox::trace_dispatch());
+
+  BlackBox::record(BbEvent::kQuarantine, 0x1234, 2);
+  BlackBox::record(BbEvent::kFault, 0xdeadbeef, 11);
+  ASSERT_GT(BlackBox::flush("test"), 0);
+
+  auto text = read_file(path_);
+  ASSERT_TRUE(text.is_ok());
+  const std::string& dump = text.value();
+  const std::string pid = std::to_string(::getpid());
+  // Header names the process and the flush reason; events carry the
+  // same PID tag so k23_logmerge --blackbox can group a process tree.
+  EXPECT_NE(dump.find("# k23-blackbox v1 pid=" + pid + " reason=test"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("bb " + pid), std::string::npos) << dump;
+  EXPECT_NE(dump.find("quarantine site=0x1234 aux=2"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("fault site=0xdeadbeef aux=11"), std::string::npos)
+      << dump;
+  EXPECT_EQ(BlackBox::recorded(), 2u + 1u);  // + the kInit event
+}
+
+TEST_F(BlackBoxFile, FlushAttachesPreformattedReport) {
+  BlackBox::Config config;
+  config.path = path_.c_str();
+  ASSERT_TRUE(BlackBox::init(config).is_ok());
+  BlackBox::record(BbEvent::kDemote, 0x77, 3);
+
+  DegradationReport report;
+  report.tier = CoverageTier::kSudOnly;
+  report.add("health", "site 0x77 demoted faults=3");
+  char buf[1024];
+  const size_t len = report.preformat(buf, sizeof(buf));
+  ASSERT_GT(len, 0u);
+  ASSERT_GT(BlackBox::flush("exit", buf, len), 0);
+
+  auto text = read_file(path_);
+  ASSERT_TRUE(text.is_ok());
+  EXPECT_NE(text.value().find("demote site=0x77"), std::string::npos);
+  EXPECT_NE(text.value().find("site 0x77 demoted faults=3"),
+            std::string::npos);
+}
+
+TEST_F(BlackBoxFile, ConsecutiveFlushesAppend) {
+  BlackBox::Config config;
+  config.path = path_.c_str();
+  ASSERT_TRUE(BlackBox::init(config).is_ok());
+  ASSERT_GT(BlackBox::flush("first"), 0);
+  ASSERT_GT(BlackBox::flush("second"), 0);
+  auto text = read_file(path_);
+  ASSERT_TRUE(text.is_ok());
+  // O_APPEND: the second report lands after, not over, the first.
+  EXPECT_NE(text.value().find("reason=first"), std::string::npos);
+  EXPECT_NE(text.value().find("reason=second"), std::string::npos);
+}
+
+TEST_F(BlackBoxFile, OffModeDisarms) {
+  BlackBox::Config config;
+  config.mode = BlackBox::Config::Mode::kOff;
+  config.path = path_.c_str();
+  ASSERT_TRUE(BlackBox::init(config).is_ok());
+  EXPECT_FALSE(BlackBox::active());
+  EXPECT_FALSE(BlackBox::trace_dispatch());
+  BlackBox::record(BbEvent::kFault, 1, 2);
+  EXPECT_EQ(BlackBox::recorded(), 0u);
+  EXPECT_EQ(BlackBox::flush("ignored"), -1);
+  EXPECT_FALSE(file_exists(path_));
+}
+
+TEST_F(BlackBoxFile, FullModeEnablesDispatchTracing) {
+  BlackBox::Config config;
+  config.mode = BlackBox::Config::Mode::kFull;
+  config.path = path_.c_str();
+  ASSERT_TRUE(BlackBox::init(config).is_ok());
+  EXPECT_TRUE(BlackBox::trace_dispatch());
+  BlackBox::record(BbEvent::kDispatch, 0x1000, 39);
+  ASSERT_GT(BlackBox::flush("trace"), 0);
+  auto text = read_file(path_);
+  ASSERT_TRUE(text.is_ok());
+  EXPECT_NE(text.value().find("dispatch site=0x1000 aux=39"),
+            std::string::npos);
+}
+
+TEST_F(BlackBoxFile, RingWrapCountsDropped) {
+  BlackBox::Config config;
+  config.path = path_.c_str();
+  ASSERT_TRUE(BlackBox::init(config).is_ok());
+  for (int i = 0; i < 1000; ++i) {
+    BlackBox::record(BbEvent::kPatch, static_cast<uint64_t>(i), 0);
+  }
+  EXPECT_GT(BlackBox::dropped(), 0u);  // ring is smaller than 1000
+  ASSERT_GT(BlackBox::flush("wrap"), 0);
+  auto text = read_file(path_);
+  ASSERT_TRUE(text.is_ok());
+  // The flush header owns up to the overwritten prefix.
+  EXPECT_NE(text.value().find("dropped="), std::string::npos);
+}
+
+TEST(BlackBoxNames, EveryEventKindHasAName) {
+  for (int kind = 0; kind <= static_cast<int>(BbEvent::kExit); ++kind) {
+    const char* name = bb_event_name(static_cast<BbEvent>(kind));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u);
+    EXPECT_STRNE(name, "?");
+  }
+}
+
+// --- degradation report: async-signal-safe dump ------------------------------
+
+TEST(DegradationPreformat, MatchesReportContent) {
+  DegradationReport report;
+  report.tier = CoverageTier::kSudOnly;
+  report.add("rewrite", "mprotect refused, rolled back");
+  report.add("health", "site 0xabc quarantined faults=1");
+  char buf[4096];
+  const size_t len = report.preformat(buf, sizeof(buf));
+  ASSERT_GT(len, 0u);
+  ASSERT_LE(len, sizeof(buf));
+  const std::string text(buf, len);
+  EXPECT_NE(text.find("rewrite"), std::string::npos);
+  EXPECT_NE(text.find("mprotect refused, rolled back"), std::string::npos);
+  EXPECT_NE(text.find("site 0xabc quarantined faults=1"), std::string::npos);
+}
+
+TEST(DegradationPreformat, TruncatesInsteadOfOverflowing) {
+  DegradationReport report;
+  report.tier = CoverageTier::kNone;
+  for (int i = 0; i < 64; ++i) {
+    report.add("health", "event " + std::to_string(i) +
+                             " with a long enough detail line to overflow");
+  }
+  char buf[128];
+  std::memset(buf, 0xAA, sizeof(buf));
+  const size_t len = report.preformat(buf, sizeof(buf));
+  EXPECT_LE(len, sizeof(buf));  // never writes past cap
+}
+
+// --- health API: inactive-state contract -------------------------------------
+
+// Health::init never runs in this binary, so every query must take the
+// benign default: no site is quarantined, nothing forbids patching, and
+// synthesized faults are NOT contained (they would reach the previous
+// disposition in a live process).
+TEST(HealthInactive, QueriesTakeBenignDefaults) {
+  ASSERT_FALSE(Health::active());
+  EXPECT_TRUE(Health::site_patchable(0x1234));
+  EXPECT_EQ(Health::site_state(0x1234), SiteHealth::kHealthy);
+  EXPECT_TRUE(Health::note_sud_hit(0x1234));
+  EXPECT_FALSE(Health::contain_fault_at(0x1234, SIGSEGV));
+  EXPECT_FALSE(Health::watchdog_check(123456));
+  EXPECT_EQ(Health::descend("inactive"), 0u);
+  EXPECT_EQ(Health::stats().registered, 0u);
+  EXPECT_TRUE(Health::snapshot().empty());
+}
+
+// --- health ledger: concurrent containment (TSan target) ---------------------
+
+// The quarantine transaction under racing threads, without signals or
+// SUD: N threads synthesize the same fault via contain_fault_at while
+// others hammer the query surface. Exactly one thread must win the
+// transaction (one patch, one counted containment), every loser must
+// still report "contained", and the whole dance must be TSan-clean
+// under K23_SANITIZE=thread — this is the unit-label shadow of
+// selfheal_test's real-signal concurrency case.
+TEST(HealthLedgerRace, ConcurrentContainmentIsExactlyOnce) {
+  void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE | PROT_EXEC,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(page, MAP_FAILED);
+  uint8_t* site = static_cast<uint8_t*>(page) + 64;
+  site[0] = 0xff;  // call *%rax — the rewritten encoding quarantine undoes
+  site[1] = 0xd0;
+
+  HealthConfig config;
+  config.backoff_ms = 60000;  // no re-promotion during the test
+  ASSERT_TRUE(Health::init(config).is_ok());
+  const uint64_t site_addr = reinterpret_cast<uint64_t>(site);
+  Health::register_site(site_addr, false);
+
+  constexpr int kFaulters = 4;
+  std::atomic<int> contained_true{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kFaulters; ++i) {
+    threads.emplace_back([&] {
+      if (Health::contain_fault_at(site_addr, SIGSEGV)) {
+        contained_true.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // A ledger-owned site never re-promotes through the SUD path
+      // before its backoff expires, healthy or mid-transition.
+      (void)Health::note_sud_hit(site_addr);
+      (void)Health::site_state(site_addr);
+      (void)Health::site_patchable(site_addr);
+    }
+  });
+  for (int i = 0; i < kFaulters; ++i) threads[i].join();
+  stop = true;
+  threads.back().join();
+
+  EXPECT_EQ(contained_true.load(), kFaulters);  // losers resume, not die
+  EXPECT_EQ(site[0], 0x0f);  // original syscall bytes restored...
+  EXPECT_EQ(site[1], 0x05);
+  EXPECT_EQ(Health::stats().contained, 1u);  // ...exactly once
+  EXPECT_EQ(Health::site_state(site_addr), SiteHealth::kQuarantined);
+  EXPECT_FALSE(Health::site_patchable(site_addr));
+  EXPECT_FALSE(Health::note_sud_hit(site_addr));
+  auto snapshot = Health::snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].quarantines, 1u);
+
+  Health::shutdown();
+  ::munmap(page, 4096);
+}
+
+TEST(HealthConfigEnv, DefaultsWhenUnset) {
+  ::unsetenv("K23_HEAL");
+  ::unsetenv("K23_HEAL_MAX_FAULTS");
+  ::unsetenv("K23_HEAL_BACKOFF_MS");
+  ::unsetenv("K23_HEAL_WATCHDOG_MS");
+  const HealthConfig config = HealthConfig::from_env();
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.max_faults, 3u);
+  EXPECT_EQ(config.backoff_ms, 50u);
+  EXPECT_EQ(config.watchdog_ms, 0u);
+}
+
+TEST(HealthConfigEnv, ParsesAndClampsOverrides) {
+  ::setenv("K23_HEAL", "off", 1);
+  ::setenv("K23_HEAL_MAX_FAULTS", "7", 1);
+  ::setenv("K23_HEAL_BACKOFF_MS", "125", 1);
+  ::setenv("K23_HEAL_WATCHDOG_MS", "2000", 1);
+  HealthConfig config = HealthConfig::from_env();
+  EXPECT_FALSE(config.enabled);
+  EXPECT_EQ(config.max_faults, 7u);
+  EXPECT_EQ(config.backoff_ms, 125u);
+  EXPECT_EQ(config.watchdog_ms, 2000u);
+
+  // Out-of-range values keep the defaults rather than arming something
+  // nonsensical (max_faults=0 would demote on the first fault ever).
+  ::setenv("K23_HEAL", "on", 1);
+  ::setenv("K23_HEAL_MAX_FAULTS", "0", 1);
+  ::setenv("K23_HEAL_BACKOFF_MS", "0", 1);
+  config = HealthConfig::from_env();
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.max_faults, 3u);
+  EXPECT_EQ(config.backoff_ms, 50u);
+
+  ::unsetenv("K23_HEAL");
+  ::unsetenv("K23_HEAL_MAX_FAULTS");
+  ::unsetenv("K23_HEAL_BACKOFF_MS");
+  ::unsetenv("K23_HEAL_WATCHDOG_MS");
+}
+
+TEST(HealthNames, EveryStateHasAName) {
+  EXPECT_STREQ(site_health_name(SiteHealth::kHealthy), "healthy");
+  EXPECT_STREQ(site_health_name(SiteHealth::kQuarantined), "quarantined");
+  EXPECT_STREQ(site_health_name(SiteHealth::kRepromoting), "repromoting");
+  EXPECT_STREQ(site_health_name(SiteHealth::kDemoted), "demoted");
+}
+
+}  // namespace
+}  // namespace k23
