@@ -1,0 +1,233 @@
+// Write-batching microbenchmark (DESIGN.md §12): per-write latency and
+// syscall reduction of the submission ring, swept over coalescing depth
+// and flush backend.
+//
+// Every cell appends `iters` CLF-sized lines to a fresh O_APPEND temp
+// file through the dispatcher funnel (the same on_syscall() entry a
+// rewritten site takes), with the batch layer configured to flush every
+// `depth` entries and the deadline flusher off — so depth is exactly the
+// coalescing factor. The native cell runs the identical loop with no
+// batch hook registered: one write(2) per line through the same funnel.
+// After each cell the file is read back and byte-compared against the
+// expected contents — a cell that got faster by corrupting the log
+// reports "fail" instead of a number.
+//
+// Backends: writev always; io_uring only when the probe (common/uring.h)
+// says the kernel has it AND K23_BATCH_BACKEND does not pin writev (the
+// CI leg for io_uring-absent kernels sets K23_BATCH_BACKEND=writev).
+//
+//   bench_batch [--iters=N] [--json=PATH]
+//
+// JSON metrics (regression-gated by scripts/check_bench_regression.py):
+//   batch/ns_per_write/native
+//   batch/ns_per_write/<backend>/depth-<D>     (lower is better)
+//   batch/write_reduction/<backend>            (depth 8; >= 3 required)
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "batch/batch.h"
+#include "common/uring.h"
+#include "interpose/dispatch.h"
+#include "support/json_out.h"
+
+namespace k23::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct CellResult {
+  double ns_per_write = -1;
+  uint64_t batched = 0;          // writes absorbed by the ring
+  uint64_t flush_syscalls = 0;   // kernel submissions draining them
+  bool byte_identical = false;
+};
+
+// One deterministic ~100-byte log line per iteration.
+int format_line(char* buf, size_t cap, long i) {
+  return std::snprintf(buf, cap,
+                       "127.0.0.1 - - [bench_batch] \"GET /item/%06ld\" "
+                       "200 4096 %.1fus region=%ld\n",
+                       i, static_cast<double>(i % 997) / 7.0, i % 13);
+}
+
+// Appends `iters` lines to a fresh O_APPEND file through the dispatcher
+// and byte-verifies the result. `config` == nullptr is the native cell.
+CellResult run_cell(long iters, const BatchConfig* config) {
+  CellResult result;
+
+  char path[] = "/tmp/k23_bench_batch.XXXXXX";
+  const int tmp_fd = ::mkstemp(path);
+  if (tmp_fd < 0) return result;
+  ::close(tmp_fd);
+  const int fd = ::open(path, O_WRONLY | O_APPEND, 0600);
+  if (fd < 0) {
+    ::unlink(path);
+    return result;
+  }
+
+  BatchReport before = Batch::report();
+  if (config != nullptr) {
+    if (!Batch::init(*config).is_ok()) {
+      ::close(fd);
+      ::unlink(path);
+      return result;
+    }
+    before = Batch::report();
+  }
+
+  std::string expected;
+  expected.reserve(static_cast<size_t>(iters) * 100);
+  Dispatcher& dispatcher = Dispatcher::instance();
+  HookContext ctx;
+
+  const auto start = Clock::now();
+  for (long i = 0; i < iters; ++i) {
+    char line[128];
+    const int n = format_line(line, sizeof(line), i);
+    expected.append(line, static_cast<size_t>(n));
+    SyscallArgs args;
+    args.nr = SYS_write;
+    args.rdi = fd;
+    args.rsi = reinterpret_cast<long>(line);
+    args.rdx = n;
+    if (dispatcher.on_syscall(args, ctx) != n) {
+      ::close(fd);
+      ::unlink(path);
+      if (config != nullptr) Batch::shutdown();
+      return result;
+    }
+  }
+  const auto stop = Clock::now();
+  result.ns_per_write =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              stop - start)
+                              .count()) /
+      static_cast<double>(iters);
+
+  if (config != nullptr) {
+    Batch::shutdown();  // drains the rings; the file is now complete
+    const BatchReport after = Batch::report();
+    result.batched = after.batched - before.batched;
+    result.flush_syscalls = after.flush_syscalls - before.flush_syscalls;
+  }
+  ::close(fd);
+
+  // Byte-identity oracle: coalescing must not reorder, drop, duplicate,
+  // or tear a single line.
+  std::string actual;
+  const int read_fd = ::open(path, O_RDONLY);
+  if (read_fd >= 0) {
+    char buf[1 << 16];
+    ssize_t got;
+    while ((got = ::read(read_fd, buf, sizeof(buf))) > 0) {
+      actual.append(buf, static_cast<size_t>(got));
+    }
+    ::close(read_fd);
+  }
+  ::unlink(path);
+  result.byte_identical = actual == expected;
+  return result;
+}
+
+int run(long iters, const std::string& json_path) {
+  const int depths[] = {1, 2, 4, 8, 16, 32};
+
+  std::vector<BatchBackend> backends = {BatchBackend::kWritev};
+  const char* pinned = std::getenv("K23_BATCH_BACKEND");
+  const bool writev_only =
+      pinned != nullptr && std::strcmp(pinned, "writev") == 0;
+  if (uring_caps().available && !writev_only) {
+    backends.push_back(BatchBackend::kUring);
+  }
+  std::printf("bench_batch: flush backend on this machine: %s\n\n",
+              uring_backend_summary());
+
+  JsonReport json("batch");
+
+  const CellResult native = run_cell(iters, nullptr);
+  if (native.ns_per_write < 0 || !native.byte_identical) {
+    std::fprintf(stderr, "bench_batch: native cell failed\n");
+    return 1;
+  }
+  std::printf("%-8s %-8s %14s %12s %12s %10s\n", "backend", "depth",
+              "ns/write", "writes", "flushes", "reduction");
+  std::printf("%-8s %-8s %14.1f %12ld %12ld %10s\n", "native", "-",
+              native.ns_per_write, iters, iters, "1.0x");
+  json.add("batch/ns_per_write/native", native.ns_per_write,
+           /*higher_is_better=*/false);
+
+  bool all_ok = true;
+  for (BatchBackend backend : backends) {
+    const char* backend_name =
+        backend == BatchBackend::kUring ? "uring" : "writev";
+    for (int depth : depths) {
+      BatchConfig config;
+      config.enabled = true;
+      config.backend = backend;
+      config.max_entries = static_cast<size_t>(depth);
+      config.deadline_ms = 0;  // only entry-count flushes: depth is exact
+      const CellResult cell = run_cell(iters, &config);
+      if (cell.ns_per_write < 0 || !cell.byte_identical ||
+          cell.flush_syscalls == 0) {
+        std::printf("%-8s %-8d %14s\n", backend_name, depth, "fail");
+        all_ok = false;
+        continue;
+      }
+      const double reduction = static_cast<double>(cell.batched) /
+                               static_cast<double>(cell.flush_syscalls);
+      std::printf("%-8s %-8d %14.1f %12llu %12llu %9.1fx\n", backend_name,
+                  depth, cell.ns_per_write,
+                  static_cast<unsigned long long>(cell.batched),
+                  static_cast<unsigned long long>(cell.flush_syscalls),
+                  reduction);
+      json.add(std::string("batch/ns_per_write/") + backend_name +
+                   "/depth-" + std::to_string(depth),
+               cell.ns_per_write, /*higher_is_better=*/false);
+      if (depth == 8) {
+        json.add(std::string("batch/write_reduction/") + backend_name,
+                 reduction, /*higher_is_better=*/true);
+        // Headline acceptance: >= 3x fewer write syscalls at depth 8.
+        if (reduction < 3.0) {
+          std::fprintf(stderr,
+                       "bench_batch: %s depth-8 reduction %.1fx < 3x\n",
+                       backend_name, reduction);
+          all_ok = false;
+        }
+      }
+    }
+  }
+
+  std::printf("\nAll cells byte-verified against the unbatched log "
+              "contents.\n");
+  if (!json_path.empty() && !json.write(json_path)) return 1;
+  std::printf("wrote %s\n", json_path.c_str());
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace k23::bench
+
+int main(int argc, char** argv) {
+  long iters = 20000;
+  std::string json_path = "BENCH_batch.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      iters = std::atol(argv[i] + 8);
+      if (iters < 64) iters = 64;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--iters=N] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return k23::bench::run(iters, json_path);
+}

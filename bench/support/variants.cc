@@ -1,6 +1,7 @@
 #include "support/variants.h"
 
 #include "accel/accel.h"
+#include "batch/batch.h"
 #include "common/caps.h"
 #include "k23/k23.h"
 #include "lazypoline/lazypoline.h"
@@ -87,7 +88,12 @@ Status arm_variant(Variant variant, const VariantOptions& options) {
 Status init_variant(Variant variant, const VariantOptions& options) {
   K23_RETURN_IF_ERROR(arm_variant(variant, options));
   if (options.accel && variant != Variant::kNative) {
-    return Accel::init(AccelConfig{});
+    K23_RETURN_IF_ERROR(Accel::init(AccelConfig{}));
+  }
+  if (options.batch && variant != Variant::kNative) {
+    BatchConfig batch;
+    batch.enabled = true;  // K23_BATCH=on defaults otherwise.
+    return Batch::init(batch);
   }
   return Status::ok();
 }

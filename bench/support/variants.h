@@ -54,6 +54,11 @@ struct VariantOptions {
   // dispatcher after the variant comes up. Ignored for kNative (there is
   // no funnel to accelerate).
   bool accel = false;
+  // Register the write-batching layer (src/batch/) on the armed
+  // dispatcher (K23_BATCH=on defaults: append+pipe classes, backend
+  // auto-detected). Ignored for kNative — there is no hook chain to
+  // batch behind, and the native row must pay per-line writes.
+  bool batch = false;
 };
 Status init_variant(Variant variant, const VariantOptions& options);
 

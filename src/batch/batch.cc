@@ -1,0 +1,964 @@
+#include "batch/batch.h"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+
+#include <linux/io_uring.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "common/env.h"
+#include "common/strings.h"
+#include "common/uring.h"
+#include "faultinject/faultinject.h"
+#include "interpose/internal.h"
+
+#ifndef __NR_io_uring_setup
+#define __NR_io_uring_setup 425
+#endif
+#ifndef __NR_io_uring_enter
+#define __NR_io_uring_enter 426
+#endif
+
+namespace k23 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitives. Everything below may run inside the SIGSYS handler: raw
+// syscalls only through internal::syscall_fn(), memory only from mmap.
+
+long sys(long nr, long a0 = 0, long a1 = 0, long a2 = 0, long a3 = 0,
+         long a4 = 0, long a5 = 0) {
+  return internal::syscall_fn()(nr, a0, a1, a2, a3, a4, a5);
+}
+
+void cpu_pause() { __builtin_ia32_pause(); }
+
+// ---------------------------------------------------------------------------
+// Ring geometry. One ring per producing thread, mmap'd whole; superseded
+// rings are never unmapped (a stalled signal frame may hold a pointer),
+// they return to a reuse pool exactly like the stats shards.
+
+constexpr int kMaxFd = 4096;          // fds above this pass through
+constexpr uint32_t kRingEntries = 256;  // capacity ceiling for max_entries
+constexpr uint32_t kArenaBytes = 256 * 1024;
+constexpr int kMaxIovPerFlush = 64;   // stack iovec array in signal frames
+constexpr uint64_t kLockSpinBound = 1u << 18;  // then skip, never wedge
+
+struct Entry {
+  uint64_t pos = 0;  // absolute arena position (monotonic, wrap by mod)
+  int32_t fd = -1;
+  uint32_t len = 0;
+};
+
+struct alignas(64) Ring {
+  // Entry cursors: monotonic, producer owns tail, flusher owns head.
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t> tail{0};
+  // Byte cursors over the circular arena, same ownership split. An
+  // allocation that would straddle the wrap point skips to the next
+  // arena-size multiple (the skipped gap is reclaimed when the entry
+  // after it is consumed, since consumption tracks pos+len).
+  std::atomic<uint64_t> arena_head{0};
+  std::atomic<uint64_t> arena_tail{0};
+  std::atomic<long> owner_tid{0};
+  std::atomic<bool> attached{false};
+  std::atomic_flag flush_lock = ATOMIC_FLAG_INIT;
+  Ring* next = nullptr;  // registry chain, never unlinked
+  Entry entries[kRingEntries];
+  char arena[kArenaBytes];
+};
+
+std::atomic<Ring*> g_ring_registry{nullptr};
+constinit thread_local Ring* t_ring = nullptr;
+// Re-entrancy guard: a signal landing inside our own flush must not spin
+// on the lock the interrupted frame holds.
+constinit thread_local bool t_in_flush = false;
+
+pthread_key_t g_ring_key;
+std::atomic<bool> g_ring_key_created{false};
+
+// ---------------------------------------------------------------------------
+// Global state: immutable config snapshot (accel.cc pattern), sticky
+// retirement, per-fd tables sized like the kernel's default fd ceiling.
+
+struct BatchState {
+  BatchConfig config;
+  bool uring = false;
+  bool uring_sqpoll = false;
+  BatchState* retired_next = nullptr;
+};
+
+std::atomic<const BatchState*> g_state{nullptr};
+BatchState* g_retired_states = nullptr;  // leak-reachable, never freed
+HookHandle g_hook_handle = 0;
+std::atomic<bool> g_retired{false};  // sticky: shared-VM clone happened
+std::atomic<long> g_init_pid{0};
+std::atomic<bool> g_atfork_registered{false};
+
+enum : uint8_t { kFdUnknown = 0, kFdAppend, kFdPipe, kFdIneligible };
+std::atomic<uint8_t> g_fd_class[kMaxFd];
+std::atomic<int> g_fd_errno[kMaxFd];        // pending flush errno (replay)
+std::atomic<uint32_t> g_fd_buffered[kMaxFd];  // buffered entries per fd
+std::atomic<uint64_t> g_total_buffered{0};    // cheap gate for barriers
+
+// Report counters.
+std::atomic<uint64_t> g_batched{0};
+std::atomic<uint64_t> g_flush_syscalls{0};
+std::atomic<uint64_t> g_flushed_bytes{0};
+std::atomic<uint64_t> g_barrier_flushes{0};
+std::atomic<uint64_t> g_flush_errors{0};
+
+// Deadline flusher lifecycle (detached: a forked child must not try to
+// join a thread fork did not duplicate).
+std::atomic<uint64_t> g_flusher_gen{0};
+std::atomic<int> g_flushers_live{0};
+
+int fd_arg(long v) { return (v >= 0 && v < kMaxFd) ? static_cast<int>(v) : -1; }
+
+int take_pending_errno(int fd) {
+  return g_fd_errno[fd].exchange(0, std::memory_order_relaxed);
+}
+
+void set_pending_errno(int fd, int err) {
+  if (err > 0) g_fd_errno[fd].store(err, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// io_uring flush backend: one global 8-entry ring, one IORING_OP_WRITEV
+// SQE per flush, completion awaited synchronously (so the stack iovecs
+// stay valid). Guarded by a spinlock; contention falls back to writev.
+
+constexpr uint32_t kUringEntries = 8;
+
+struct UringBackend {
+  std::atomic<int> fd{-1};
+  std::atomic_flag lock = ATOMIC_FLAG_INIT;
+  bool sqpoll = false;
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_flags = nullptr;
+  unsigned* sq_array = nullptr;
+  io_uring_sqe* sqes = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+};
+
+UringBackend g_uring;
+
+bool uring_try_setup(bool sqpoll) {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  if (sqpoll) {
+    params.flags = IORING_SETUP_SQPOLL;
+    params.sq_thread_idle = 1000;
+  }
+  const long fd = sys(__NR_io_uring_setup, kUringEntries,
+                      reinterpret_cast<long>(&params));
+  if (fd < 0) return false;
+
+  size_t sq_size = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  size_t cq_size =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  const bool single = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single) sq_size = cq_size = (sq_size > cq_size ? sq_size : cq_size);
+
+  auto ring_mmap = [&](size_t size, long offset) -> char* {
+    const long rc = sys(SYS_mmap, 0, static_cast<long>(size),
+                        PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                        fd, offset);
+    return is_syscall_error(rc) ? nullptr : reinterpret_cast<char*>(rc);
+  };
+  char* sq = ring_mmap(sq_size, IORING_OFF_SQ_RING);
+  char* cq = single ? sq : ring_mmap(cq_size, IORING_OFF_CQ_RING);
+  char* sqes = ring_mmap(params.sq_entries * sizeof(io_uring_sqe),
+                         IORING_OFF_SQES);
+  if (sq == nullptr || cq == nullptr || sqes == nullptr) {
+    if (sq != nullptr) sys(SYS_munmap, reinterpret_cast<long>(sq), sq_size);
+    if (cq != nullptr && cq != sq) {
+      sys(SYS_munmap, reinterpret_cast<long>(cq), cq_size);
+    }
+    if (sqes != nullptr) {
+      sys(SYS_munmap, reinterpret_cast<long>(sqes),
+          params.sq_entries * sizeof(io_uring_sqe));
+    }
+    sys(SYS_close, fd);
+    return false;
+  }
+  g_uring.sq_head = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+  g_uring.sq_tail = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+  g_uring.sq_mask = reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+  g_uring.sq_flags = reinterpret_cast<unsigned*>(sq + params.sq_off.flags);
+  g_uring.sq_array = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+  g_uring.sqes = reinterpret_cast<io_uring_sqe*>(sqes);
+  g_uring.cq_head = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+  g_uring.cq_tail = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+  g_uring.cq_mask = reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+  g_uring.cqes = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+  g_uring.sqpoll = sqpoll;
+  g_uring.fd.store(static_cast<int>(fd), std::memory_order_release);
+  return true;
+}
+
+// The ring mappings are retained (a racing submit may still read them);
+// only the fd is surrendered, which is what the fallback gate checks.
+void uring_backend_close() {
+  const int fd = g_uring.fd.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) sys(SYS_close, fd);
+}
+
+bool uring_backend_init(bool* sqpoll_out) {
+  if (g_uring.fd.load(std::memory_order_acquire) >= 0) {
+    *sqpoll_out = g_uring.sqpoll;
+    return true;
+  }
+  if (!uring_caps().available) return false;
+  // Prefer the plain ring: our flush protocol is synchronous
+  // single-inflight, so submit and completion collapse into ONE
+  // io_uring_enter(1, 1, GETEVENTS) — the same syscall count as the
+  // writev fallback. SQPOLL only pays off for genuinely asynchronous
+  // submission; here its kernel poll thread adds a NEED_WAKEUP enter
+  // per flush plus scheduler competition (measured 20-100x worse on a
+  // shared-core builder). It remains the fallback shape in case a
+  // kernel accepts SQPOLL setup but not plain setup.
+  if (uring_try_setup(false)) {
+    *sqpoll_out = false;
+    return true;
+  }
+  if (uring_caps().sqpoll && uring_try_setup(true)) {
+    *sqpoll_out = true;
+    return true;
+  }
+  return false;
+}
+
+// One submission, one synchronous completion. Returns bytes or -errno;
+// -ENXIO means "backend unusable, use writev" (fd gone or lock wedged).
+long uring_submit(int fd, const iovec* iov, int cnt) {
+  uint64_t spins = 0;
+  while (g_uring.lock.test_and_set(std::memory_order_acquire)) {
+    if (++spins > kLockSpinBound) return -ENXIO;
+    cpu_pause();
+  }
+  const int ring_fd = g_uring.fd.load(std::memory_order_acquire);
+  if (ring_fd < 0) {
+    g_uring.lock.clear(std::memory_order_release);
+    return -ENXIO;
+  }
+  const unsigned mask = *g_uring.sq_mask;
+  const unsigned tail = __atomic_load_n(g_uring.sq_tail, __ATOMIC_RELAXED);
+  const unsigned idx = tail & mask;
+  io_uring_sqe* sqe = &g_uring.sqes[idx];
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqe->opcode = IORING_OP_WRITEV;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<uint64_t>(iov);
+  sqe->len = static_cast<uint32_t>(cnt);
+  sqe->off = static_cast<uint64_t>(-1);  // current position / O_APPEND
+  g_uring.sq_array[idx] = idx;
+  __atomic_store_n(g_uring.sq_tail, tail + 1, __ATOMIC_RELEASE);
+
+  long rc = 0;
+  if (g_uring.sqpoll) {
+    if ((__atomic_load_n(g_uring.sq_flags, __ATOMIC_ACQUIRE) &
+         IORING_SQ_NEED_WAKEUP) != 0) {
+      sys(__NR_io_uring_enter, ring_fd, 0, 0, IORING_ENTER_SQ_WAKEUP, 0, 0);
+    }
+  } else {
+    // Submit AND await in one enter: with a single inflight SQE this is
+    // the whole flush in one syscall, matching writev's syscall count.
+    rc = sys(__NR_io_uring_enter, ring_fd, 1, 1, IORING_ENTER_GETEVENTS, 0,
+             0);
+    if (rc < 0 && rc != -EINTR) {
+      g_uring.lock.clear(std::memory_order_release);
+      return rc;
+    }
+  }
+  // Reap exactly one CQE (single inflight by construction, so the CQ
+  // cannot overflow and this completion is ours).
+  long result = 0;
+  for (;;) {
+    const unsigned chead = __atomic_load_n(g_uring.cq_head, __ATOMIC_RELAXED);
+    const unsigned ctail = __atomic_load_n(g_uring.cq_tail, __ATOMIC_ACQUIRE);
+    if (chead != ctail) {
+      const io_uring_cqe* cqe = &g_uring.cqes[chead & *g_uring.cq_mask];
+      result = cqe->res;
+      __atomic_store_n(g_uring.cq_head, chead + 1, __ATOMIC_RELEASE);
+      break;
+    }
+    const long wrc =
+        sys(__NR_io_uring_enter, ring_fd, 0, 1, IORING_ENTER_GETEVENTS, 0, 0);
+    if (wrc < 0 && wrc != -EINTR) {
+      result = wrc;
+      break;
+    }
+  }
+  g_uring.lock.clear(std::memory_order_release);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Flush path.
+
+SyscallStats& stats() { return Dispatcher::instance().stats(); }
+
+// One backend submission (counted as a flush syscall when it reaches the
+// kernel). The fault-injection points sit here: flush_eagain fabricates
+// an EAGAIN without submitting; flush_short_write genuinely submits a
+// strict prefix of the batch — the caller's short-write handling then
+// retries the remainder, so injected runs stay byte-identical.
+long backend_submit(int fd, const iovec* iov, int cnt, uint64_t bytes) {
+  if (FaultInjector::enabled()) {
+    int err = FaultInjector::check_dispatch("flush_eagain");
+    if (err != 0) return -(err > 0 ? err : EAGAIN);
+    err = FaultInjector::check_dispatch("flush_short_write");
+    if (err != 0 && bytes > 1) {
+      iovec capped[kMaxIovPerFlush];
+      uint64_t budget = bytes / 2;
+      int capped_cnt = 0;
+      for (int i = 0; i < cnt && budget > 0; ++i) {
+        capped[capped_cnt] = iov[i];
+        if (capped[capped_cnt].iov_len > budget) {
+          capped[capped_cnt].iov_len = budget;
+        }
+        budget -= capped[capped_cnt].iov_len;
+        ++capped_cnt;
+      }
+      iov = capped;
+      cnt = capped_cnt;
+    }
+  }
+  const BatchState* st = g_state.load(std::memory_order_acquire);
+  long rc;
+  if (st != nullptr && st->uring) {
+    rc = uring_submit(fd, iov, cnt);
+    if (rc == -ENXIO) {  // backend demoted (post-fork child) or wedged
+      rc = sys(SYS_writev, fd, reinterpret_cast<long>(iov), cnt);
+    }
+  } else {
+    rc = sys(SYS_writev, fd, reinterpret_cast<long>(iov), cnt);
+  }
+  if (rc >= 0) {
+    g_flush_syscalls.fetch_add(1, std::memory_order_relaxed);
+    g_flushed_bytes.fetch_add(static_cast<uint64_t>(rc),
+                              std::memory_order_relaxed);
+    stats().record_outcome(SYS_write, SyscallOutcome::kBatchFlush);
+  }
+  return rc;
+}
+
+// Writes a same-fd group completely: short writes consume the written
+// prefix and retry the remainder; EINTR retries; EAGAIN retries a few
+// times (a nonblocking pipe may drain). Returns 0 or -errno — on error
+// the unwritten remainder is dropped and the errno is replayed to the
+// application on its next write/fsync/close of this fd.
+long flush_group(int fd, iovec* iov, int cnt, uint64_t bytes) {
+  int eagain_retries = 0;
+  while (cnt > 0) {
+    const long rc = backend_submit(fd, iov, cnt, bytes);
+    if (rc == -EINTR) continue;
+    if (rc == -EAGAIN) {
+      if (++eagain_retries <= 8) continue;
+      return -EAGAIN;
+    }
+    if (rc < 0) return rc;
+    long written = rc;
+    bytes -= static_cast<uint64_t>(written);
+    while (written > 0 && cnt > 0) {
+      if (static_cast<size_t>(written) >= iov->iov_len) {
+        written -= static_cast<long>(iov->iov_len);
+        ++iov;
+        --cnt;
+      } else {
+        iov->iov_base = static_cast<char*>(iov->iov_base) + written;
+        iov->iov_len -= static_cast<size_t>(written);
+        written = 0;
+      }
+    }
+  }
+  return 0;
+}
+
+// Drains `ring` to the tail observed at entry. `wait` bounds the lock
+// acquire: barriers spin (bounded) for a foreign flusher to finish; the
+// deadline flusher just skips a busy ring. Returns false when the ring
+// could not be drained (lock unavailable or re-entered from a signal).
+bool flush_ring(Ring& ring, bool wait) {
+  if (ring.tail.load(std::memory_order_acquire) ==
+      ring.head.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  if (t_in_flush) return false;  // signal landed inside our own flush
+  uint64_t spins = 0;
+  while (ring.flush_lock.test_and_set(std::memory_order_acquire)) {
+    if (!wait || ++spins > kLockSpinBound) return false;
+    cpu_pause();
+  }
+  t_in_flush = true;
+  uint64_t head = ring.head.load(std::memory_order_relaxed);
+  const uint64_t tail = ring.tail.load(std::memory_order_acquire);
+  while (head != tail) {
+    iovec iov[kMaxIovPerFlush];
+    int cnt = 0;
+    uint64_t bytes = 0;
+    uint64_t last_end = 0;
+    const int fd = ring.entries[head % kRingEntries].fd;
+    uint64_t group_end = head;
+    while (group_end != tail && cnt < kMaxIovPerFlush) {
+      const Entry& e = ring.entries[group_end % kRingEntries];
+      if (e.fd != fd) break;
+      iov[cnt].iov_base = ring.arena + (e.pos % kArenaBytes);
+      iov[cnt].iov_len = e.len;
+      bytes += e.len;
+      last_end = e.pos + e.len;
+      ++cnt;
+      ++group_end;
+    }
+    const long err = flush_group(fd, iov, cnt, bytes);
+    if (err != 0) {
+      set_pending_errno(fd, static_cast<int>(-err));
+      g_flush_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (fd >= 0 && fd < kMaxFd) {
+      g_fd_buffered[fd].fetch_sub(static_cast<uint32_t>(group_end - head),
+                                  std::memory_order_relaxed);
+    }
+    g_total_buffered.fetch_sub(group_end - head, std::memory_order_relaxed);
+    head = group_end;
+    ring.arena_head.store(last_end, std::memory_order_release);
+    ring.head.store(head, std::memory_order_release);
+  }
+  t_in_flush = false;
+  ring.flush_lock.clear(std::memory_order_release);
+  return true;
+}
+
+void drain_all_rings(bool wait) {
+  if (g_total_buffered.load(std::memory_order_relaxed) == 0) return;
+  for (Ring* r = g_ring_registry.load(std::memory_order_acquire);
+       r != nullptr; r = r->next) {
+    flush_ring(*r, wait);
+  }
+}
+
+// Barrier on one fd: an observing syscall must see every buffered byte.
+// Draining all rings (not just ours) keeps it correct when another
+// thread buffered to the same fd.
+void flush_fd_if_buffered(int fd) {
+  if (fd < 0 || fd >= kMaxFd) return;
+  if (g_fd_buffered[fd].load(std::memory_order_relaxed) == 0) return;
+  g_barrier_flushes.fetch_add(1, std::memory_order_relaxed);
+  drain_all_rings(/*wait=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Ring acquisition + thread-exit reclamation (stats.cc shard pattern).
+
+void ring_key_destructor(void* value) {
+  Ring* ring = static_cast<Ring*>(value);
+  flush_ring(*ring, /*wait=*/true);
+  ring->owner_tid.store(0, std::memory_order_relaxed);
+  ring->attached.store(false, std::memory_order_release);
+  if (t_ring == ring) t_ring = nullptr;
+}
+
+Ring* acquire_ring() {
+  // Reuse a detached ring first: memory stays bounded by peak thread
+  // count. Detached rings were drained at detach, so no stale entries.
+  for (Ring* r = g_ring_registry.load(std::memory_order_acquire);
+       r != nullptr; r = r->next) {
+    bool expected = false;
+    if (!r->attached.load(std::memory_order_relaxed)) {
+      if (r->attached.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+        r->owner_tid.store(sys(SYS_gettid), std::memory_order_relaxed);
+        t_ring = r;
+        if (g_ring_key_created.load(std::memory_order_acquire)) {
+          pthread_setspecific(g_ring_key, r);
+        }
+        return r;
+      }
+    }
+  }
+  const size_t size = (sizeof(Ring) + 4095) & ~static_cast<size_t>(4095);
+  const long rc = sys(SYS_mmap, 0, static_cast<long>(size),
+                      PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS,
+                      -1, 0);
+  if (is_syscall_error(rc)) return nullptr;  // no ring: writes pass through
+  Ring* ring = new (reinterpret_cast<void*>(rc)) Ring();
+  ring->attached.store(true, std::memory_order_relaxed);
+  ring->owner_tid.store(sys(SYS_gettid), std::memory_order_relaxed);
+  Ring* old_head = g_ring_registry.load(std::memory_order_relaxed);
+  do {
+    ring->next = old_head;
+  } while (!g_ring_registry.compare_exchange_weak(
+      old_head, ring, std::memory_order_release, std::memory_order_relaxed));
+  t_ring = ring;
+  if (g_ring_key_created.load(std::memory_order_acquire)) {
+    pthread_setspecific(g_ring_key, ring);
+  }
+  return ring;
+}
+
+// ---------------------------------------------------------------------------
+// fd classification (lazy, cached, reset on close/dup-over/F_SETFL).
+
+uint8_t classify_fd(int fd) {
+  uint8_t cls = g_fd_class[fd].load(std::memory_order_relaxed);
+  if (cls != kFdUnknown) return cls;
+  struct stat stbuf;
+  cls = kFdIneligible;
+  if (sys(SYS_fstat, fd, reinterpret_cast<long>(&stbuf)) == 0) {
+    if (S_ISFIFO(stbuf.st_mode)) {
+      cls = kFdPipe;
+    } else if (S_ISREG(stbuf.st_mode)) {
+      const long fl = sys(SYS_fcntl, fd, F_GETFL, 0);
+      if (fl >= 0 && (fl & O_APPEND) != 0) cls = kFdAppend;
+    }
+  }
+  g_fd_class[fd].store(cls, std::memory_order_relaxed);
+  return cls;
+}
+
+void reset_fd_class(int fd) {
+  g_fd_class[fd].store(kFdUnknown, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Producer.
+
+HookResult append_to_ring(const BatchState& st, int fd, const char* buf,
+                          uint64_t len) {
+  Ring* ring = t_ring;
+  if (ring == nullptr) ring = acquire_ring();
+  if (ring == nullptr) return HookResult::passthrough();
+  const uint32_t max_entries = st.config.max_entries;
+  // Make room. Self-flush normally succeeds immediately; it can fail
+  // only when a signal interrupted our own flush mid-submit — then this
+  // single write passes through (documented rarity; a same-fd reorder is
+  // possible only against bytes that very flush is already submitting).
+  while (ring->tail.load(std::memory_order_relaxed) -
+             ring->head.load(std::memory_order_acquire) >=
+         max_entries) {
+    if (!flush_ring(*ring, /*wait=*/true)) return HookResult::passthrough();
+  }
+  uint64_t pos = ring->arena_tail.load(std::memory_order_relaxed);
+  if (pos % kArenaBytes + len > kArenaBytes) {
+    pos += kArenaBytes - pos % kArenaBytes;  // skip the wrap gap
+  }
+  while (pos + len - ring->arena_head.load(std::memory_order_acquire) >
+         kArenaBytes) {
+    if (!flush_ring(*ring, /*wait=*/true)) return HookResult::passthrough();
+  }
+  std::memcpy(ring->arena + (pos % kArenaBytes), buf, len);
+  const uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+  Entry& entry = ring->entries[tail % kRingEntries];
+  entry.pos = pos;
+  entry.fd = fd;
+  entry.len = static_cast<uint32_t>(len);
+  ring->arena_tail.store(pos + len, std::memory_order_relaxed);
+  // The release publishes payload + entry to any foreign flusher.
+  ring->tail.store(tail + 1, std::memory_order_release);
+  g_fd_buffered[fd].fetch_add(1, std::memory_order_relaxed);
+  g_total_buffered.fetch_add(1, std::memory_order_relaxed);
+  g_batched.fetch_add(1, std::memory_order_relaxed);
+  if (tail + 1 - ring->head.load(std::memory_order_acquire) >= max_entries ||
+      ring->arena_tail.load(std::memory_order_relaxed) -
+              ring->arena_head.load(std::memory_order_acquire) >=
+          st.config.max_bytes) {
+    flush_ring(*ring, /*wait=*/true);
+  }
+  return HookResult::batch(static_cast<long>(len));
+}
+
+HookResult handle_write(const BatchState& st, const SyscallArgs& args) {
+  const int fd = fd_arg(args.rdi);
+  if (fd < 0) return HookResult::passthrough();
+  const int err = take_pending_errno(fd);
+  if (err != 0) return HookResult::replace(-err);
+  if (g_retired.load(std::memory_order_relaxed)) {
+    return HookResult::passthrough();
+  }
+  const char* buf = reinterpret_cast<const char*>(args.rsi);
+  const uint64_t len = static_cast<uint64_t>(args.rdx);
+  if (buf == nullptr || len == 0 || len > st.config.write_max) {
+    // Oversized or degenerate write: not batchable, but it must still
+    // land *after* anything already buffered on this fd.
+    flush_fd_if_buffered(fd);
+    return HookResult::passthrough();
+  }
+  const uint8_t cls = classify_fd(fd);
+  const bool eligible = (cls == kFdAppend && st.config.class_append) ||
+                        (cls == kFdPipe && st.config.class_pipe);
+  if (!eligible) {
+    flush_fd_if_buffered(fd);
+    return HookResult::passthrough();
+  }
+  return append_to_ring(st, fd, buf, len);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline flusher: a detached thread that try-drains every ring each
+// period. It is the only thing that makes pipe bytes visible to a reader
+// that never touches the write end, and it doubles as the concurrent
+// foreign-flusher exercised by the TSan test.
+
+void start_deadline_flusher(uint32_t period_ms) {
+  const uint64_t gen = g_flusher_gen.fetch_add(1, std::memory_order_acq_rel) + 1;
+  g_flushers_live.fetch_add(1, std::memory_order_acq_rel);
+  std::thread([gen, period_ms] {
+    timespec ts;
+    ts.tv_sec = period_ms / 1000;
+    ts.tv_nsec = static_cast<long>(period_ms % 1000) * 1000000;
+    while (g_flusher_gen.load(std::memory_order_acquire) == gen &&
+           g_state.load(std::memory_order_acquire) != nullptr) {
+      sys(SYS_nanosleep, reinterpret_cast<long>(&ts), 0);
+      drain_all_rings(/*wait=*/false);
+    }
+    g_flushers_live.fetch_sub(1, std::memory_order_acq_rel);
+  }).detach();
+}
+
+void stop_deadline_flusher() {
+  g_flusher_gen.fetch_add(1, std::memory_order_acq_rel);
+  timespec ts{0, 2000000};  // 2ms
+  for (int i = 0; i < 256; ++i) {
+    if (g_flushers_live.load(std::memory_order_acquire) == 0) return;
+    sys(SYS_nanosleep, reinterpret_cast<long>(&ts), 0);
+  }
+  // Give up waiting: the thread is detached and only try-locks, so a
+  // straggler cannot corrupt anything — it exits on its next tick.
+}
+
+void atfork_prepare() { Batch::flush_all(); }
+void atfork_child() { Batch::child_reset(); }
+
+BatchConfig clamp_config(const BatchConfig& in) {
+  BatchConfig c = in;
+  if (c.max_entries < 1) c.max_entries = 1;
+  if (c.max_entries > kRingEntries) c.max_entries = kRingEntries;
+  if (c.max_bytes < 512) c.max_bytes = 512;
+  if (c.max_bytes > kArenaBytes / 2) c.max_bytes = kArenaBytes / 2;
+  if (c.write_max < 1) c.write_max = 1;
+  if (c.write_max > 16384) c.write_max = 16384;
+  if (c.write_max > c.max_bytes) c.write_max = static_cast<uint32_t>(c.max_bytes);
+  if (c.deadline_ms > 10000) c.deadline_ms = 10000;
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BatchConfig::from_env.
+
+BatchConfig BatchConfig::from_env() {
+  BatchConfig config;
+  const char* raw = env_raw("K23_BATCH");
+  if (raw != nullptr && raw[0] != '\0') {
+    bool first = true;
+    for (std::string_view segment : split(raw, ':')) {
+      segment = trim(segment);
+      if (first) {
+        first = false;
+        if (segment == "off" || segment == "0" || segment == "false" ||
+            segment == "no" || segment.empty()) {
+          config.enabled = false;
+        } else if (segment == "on" || segment == "1" || segment == "true" ||
+                   segment == "yes") {
+          config.enabled = true;  // both classes stay on
+        } else {
+          config.class_append = false;
+          config.class_pipe = false;
+          for (std::string_view cls : split(segment, ',')) {
+            cls = trim(cls);
+            if (cls == "append") config.class_append = true;
+            if (cls == "pipe") config.class_pipe = true;
+          }
+          config.enabled = config.class_append || config.class_pipe;
+        }
+        continue;
+      }
+      const size_t eq = segment.find('=');
+      if (eq == std::string_view::npos) continue;
+      const std::string_view key = trim(segment.substr(0, eq));
+      const auto value = parse_u64(trim(segment.substr(eq + 1)));
+      if (!value.has_value()) continue;
+      if (key == "bytes") config.max_bytes = *value;
+      if (key == "entries") config.max_entries = static_cast<uint32_t>(*value);
+      if (key == "write_max") config.write_max = static_cast<uint32_t>(*value);
+      if (key == "deadline_ms") {
+        config.deadline_ms = static_cast<uint32_t>(*value);
+      }
+    }
+  }
+  const std::string backend = env_string("K23_BATCH_BACKEND", "auto");
+  if (backend == "writev") config.backend = BatchBackend::kWritev;
+  if (backend == "uring") config.backend = BatchBackend::kUring;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Batch lifecycle.
+
+Status Batch::init(const BatchConfig& config) {
+  shutdown();
+  if (!config.enabled) return Status::ok();
+  if (g_retired.load(std::memory_order_acquire)) {
+    return Status::fail("batch: retired after shared-VM clone");
+  }
+  const BatchConfig clamped = clamp_config(config);
+  bool uring_ok = false;
+  bool sqpoll = false;
+  if (clamped.backend != BatchBackend::kWritev) {
+    uring_ok = uring_backend_init(&sqpoll);
+    if (!uring_ok && clamped.backend == BatchBackend::kUring) {
+      return Status::fail("batch: io_uring backend required but unavailable");
+    }
+  }
+  auto* next = new BatchState();
+  next->config = clamped;
+  next->uring = uring_ok;
+  next->uring_sqpoll = sqpoll;
+
+  // Drop cached fd classifications: between sessions (shutdown → init)
+  // fds can be closed and reopened outside the funnel — e.g. through an
+  // uninterposed site while no hook was registered — and a stale class
+  // on a reused fd number would batch an ineligible fd (or vice versa).
+  // Re-init is the natural revalidation point; pending errnos are NOT
+  // cleared (a lost write must still be reported, config change or not).
+  for (size_t fd = 0; fd < kMaxFd; ++fd) {
+    g_fd_class[fd].store(kFdUnknown, std::memory_order_relaxed);
+  }
+
+  g_hook_handle = Dispatcher::instance().register_hook(hook_priority::kBatch,
+                                                       &Batch::hook, nullptr);
+  if (g_hook_handle == 0) {
+    next->retired_next = g_retired_states;
+    g_retired_states = next;
+    return Status::fail("batch: hook chain full");
+  }
+  internal::set_batch_hooks(&Batch::flush_all, &Batch::child_reset,
+                            &Batch::retire);
+  g_init_pid.store(sys(SYS_getpid), std::memory_order_relaxed);
+  bool expected = false;
+  if (g_atfork_registered.compare_exchange_strong(expected, true)) {
+    pthread_atfork(&atfork_prepare, nullptr, &atfork_child);
+  }
+  if (!g_ring_key_created.load(std::memory_order_acquire)) {
+    if (pthread_key_create(&g_ring_key, &ring_key_destructor) == 0) {
+      g_ring_key_created.store(true, std::memory_order_release);
+    }
+  }
+  g_state.store(next, std::memory_order_release);
+  if (clamped.deadline_ms > 0) start_deadline_flusher(clamped.deadline_ms);
+  return Status::ok();
+}
+
+void Batch::shutdown() {
+  // Order matters: stop new entries (unregister), then drain with the
+  // backend still selected, then unpublish.
+  if (g_hook_handle != 0) {
+    Dispatcher::instance().unregister_hook(g_hook_handle);
+    g_hook_handle = 0;
+  }
+  if (internal::batch_drain() == &Batch::flush_all) {
+    internal::set_batch_hooks(nullptr, nullptr, nullptr);
+  }
+  flush_all();
+  const BatchState* old =
+      g_state.exchange(nullptr, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    stop_deadline_flusher();
+    uring_backend_close();
+    auto* retired = const_cast<BatchState*>(old);
+    retired->retired_next = g_retired_states;
+    g_retired_states = retired;
+  }
+}
+
+bool Batch::active() {
+  return g_state.load(std::memory_order_acquire) != nullptr;
+}
+
+BatchReport Batch::report() {
+  BatchReport r;
+  const BatchState* st = g_state.load(std::memory_order_acquire);
+  r.active = st != nullptr;
+  if (st != nullptr) {
+    r.uring = st->uring;
+    r.uring_sqpoll = st->uring_sqpoll;
+  }
+  r.batched = g_batched.load(std::memory_order_relaxed);
+  r.flush_syscalls = g_flush_syscalls.load(std::memory_order_relaxed);
+  r.flushed_bytes = g_flushed_bytes.load(std::memory_order_relaxed);
+  r.barrier_flushes = g_barrier_flushes.load(std::memory_order_relaxed);
+  r.flush_errors = g_flush_errors.load(std::memory_order_relaxed);
+  return r;
+}
+
+void Batch::flush_all() { drain_all_rings(/*wait=*/true); }
+
+void Batch::child_reset() {
+  const long pid = sys(SYS_getpid);
+  if (pid == g_init_pid.load(std::memory_order_relaxed)) return;
+  g_init_pid.store(pid, std::memory_order_relaxed);
+  // fork duplicated neither the deadline flusher nor any foreign thread;
+  // their rings — and a flush lock a parent thread held mid-fork — are
+  // ours alone now. The parent drained before forking (dispatcher
+  // barrier or atfork prepare); any residue these copies still hold
+  // would double-write bytes the parent also flushes, so drop it.
+  g_flushers_live.store(0, std::memory_order_relaxed);
+  uring_backend_close();  // fd shared with the parent's SQ thread
+  for (Ring* r = g_ring_registry.load(std::memory_order_acquire);
+       r != nullptr; r = r->next) {
+    r->head.store(r->tail.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    r->arena_head.store(r->arena_tail.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    r->flush_lock.clear(std::memory_order_release);
+    if (r != t_ring) {
+      r->owner_tid.store(0, std::memory_order_relaxed);
+      r->attached.store(false, std::memory_order_relaxed);
+    }
+  }
+  for (int fd = 0; fd < kMaxFd; ++fd) {
+    g_fd_buffered[fd].store(0, std::memory_order_relaxed);
+  }
+  g_total_buffered.store(0, std::memory_order_relaxed);
+}
+
+void Batch::retire() {
+  g_retired.store(true, std::memory_order_release);
+  flush_all();
+}
+
+bool Batch::retired() { return g_retired.load(std::memory_order_acquire); }
+
+// ---------------------------------------------------------------------------
+// The chain entry.
+
+HookResult Batch::hook(void* /*user*/, SyscallArgs& args,
+                       const HookContext& ctx) {
+  const BatchState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr) return HookResult::passthrough();
+  if (ctx.replaced) return HookResult::passthrough();
+
+  switch (args.nr) {
+    case SYS_write:
+      return handle_write(*st, args);
+    case SYS_sendto:
+      // Flagless, destination-less sendto is write(2) in disguise; the
+      // fd-class check keeps real sockets on the passthrough path today.
+      if (args.r10 != 0 || args.r8 != 0) break;
+      return handle_write(*st, args);
+
+    // -- fd-observing barriers (DESIGN.md §12 flush-barrier table) ------
+    case SYS_fsync:
+    case SYS_fdatasync: {
+      const int fd = fd_arg(args.rdi);
+      if (fd < 0) break;
+      flush_fd_if_buffered(fd);
+      const int err = take_pending_errno(fd);
+      // The flush failing IS this fsync failing: report it here instead
+      // of letting the kernel claim durability for dropped bytes.
+      if (err != 0) return HookResult::replace(-err);
+      break;
+    }
+    case SYS_close: {
+      const int fd = fd_arg(args.rdi);
+      if (fd < 0) break;
+      flush_fd_if_buffered(fd);
+      const int err = take_pending_errno(fd);
+      reset_fd_class(fd);
+      if (err != 0) {
+        // The fd still closes (matching kernel writeback-error-on-close
+        // semantics); the return value carries the flush error — the
+        // last chance to report it.
+        sys(SYS_close, fd);
+        return HookResult::replace(-err);
+      }
+      break;
+    }
+    case SYS_writev:
+    case SYS_pwrite64:
+    case SYS_pwritev:
+    case SYS_pwritev2: {
+      const int fd = fd_arg(args.rdi);
+      if (fd < 0) break;
+      flush_fd_if_buffered(fd);
+      const int err = take_pending_errno(fd);
+      if (err != 0) return HookResult::replace(-err);
+      break;
+    }
+    case SYS_dup2:
+    case SYS_dup3: {
+      flush_fd_if_buffered(fd_arg(args.rdi));
+      const int newfd = fd_arg(args.rsi);
+      if (newfd >= 0) {
+        flush_fd_if_buffered(newfd);  // dup2 implicitly closes newfd
+        g_fd_errno[newfd].store(0, std::memory_order_relaxed);
+        reset_fd_class(newfd);
+      }
+      break;
+    }
+    case SYS_dup:
+    case SYS_lseek:
+    case SYS_read:
+    case SYS_pread64:
+    case SYS_readv:
+    case SYS_preadv:
+    case SYS_preadv2:
+    case SYS_ftruncate:
+    case SYS_fstat:
+    case SYS_fallocate:
+      flush_fd_if_buffered(fd_arg(args.rdi));
+      break;
+    case SYS_fcntl: {
+      const int fd = fd_arg(args.rdi);
+      if (fd < 0) break;
+      flush_fd_if_buffered(fd);
+      if (args.rsi == F_SETFL) reset_fd_class(fd);  // O_APPEND may change
+      break;
+    }
+    case SYS_sendfile:
+      flush_fd_if_buffered(fd_arg(args.rdi));  // out_fd
+      flush_fd_if_buffered(fd_arg(args.rsi));  // in_fd
+      break;
+#ifdef SYS_copy_file_range
+    case SYS_copy_file_range:
+      flush_fd_if_buffered(fd_arg(args.rdi));  // fd_in
+      flush_fd_if_buffered(fd_arg(args.rdx));  // fd_out
+      break;
+#endif
+#ifdef SYS_close_range
+    case SYS_close_range: {
+      if (g_total_buffered.load(std::memory_order_relaxed) != 0) {
+        drain_all_rings(/*wait=*/true);
+      }
+      const long first = args.rdi;
+      const long last = args.rsi < kMaxFd ? args.rsi : kMaxFd - 1;
+      for (long fd = first; fd >= 0 && fd <= last; ++fd) {
+        g_fd_errno[fd].store(0, std::memory_order_relaxed);
+        reset_fd_class(static_cast<int>(fd));
+      }
+      break;
+    }
+#endif
+    default:
+      break;
+  }
+  return HookResult::passthrough();
+}
+
+}  // namespace k23

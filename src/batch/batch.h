@@ -1,0 +1,142 @@
+// Async write-side syscall batching (DESIGN.md §12).
+//
+// The accel layer (DESIGN.md §10) flips the interposition tax for calls
+// that never needed the kernel; this layer flips it for calls that do.
+// Write-heavy workloads — the motivating one is nginx-style access
+// logging, one small O_APPEND write per request plus the timestamp calls
+// around it — pay a full kernel round trip per line. An interposer that
+// already owns every syscall site can do better than transparency: it
+// can absorb eligible writes into a per-thread submission ring, return
+// the would-be byte count immediately, and later hand the kernel one
+// coalesced writev (or io_uring submission) for the whole batch. Eight
+// buffered log lines become one syscall; the interposed workload beats
+// native (Table 6 "nginx-like (logging, batch)" row).
+//
+// Eligibility is deliberately narrow (opt-in via K23_BATCH):
+//  * append-mode regular files (O_APPEND: the kernel picks the offset,
+//    so deferring a write cannot change where the bytes land, and one
+//    coalesced writev is a single atomic append), and
+//  * pipes/FIFOs (ordering is per-fd; coalescing preserves it).
+// Everything else — sockets, seekable writes, writes larger than
+// write_max — passes through untouched.
+//
+// Correctness contract (enforced by the chain entry at
+// hook_priority::kBatch plus the dispatcher's process-wide barriers):
+//  * per-fd ordering is preserved: entries flush in ring order, and a
+//    non-batchable write to an fd with buffered bytes flushes first;
+//  * any syscall that can observe buffered data on an fd — fsync,
+//    fdatasync, close, dup*, lseek, read-family, write-family variants,
+//    ftruncate, fstat, fcntl, sendfile — triggers a synchronous flush
+//    before it dispatches;
+//  * execve/execveat, exit/exit_group, and the fork/clone family drain
+//    every ring in Dispatcher::execute() before the kernel sees them
+//    (internal::batch_drain), and the health layer drains before
+//    quarantining a site;
+//  * a flush failure is replayed as the errno of the *next* syscall
+//    touching that fd (the same writeback-error-on-close contract the
+//    kernel itself gives buffered I/O). The failed payload is dropped —
+//    the application was told the write succeeded, exactly as with a
+//    page-cache write the disk later rejects.
+//
+// Known, documented semantic deviations from unbatched write():
+//  * a batched write never returns short — the full count is claimed up
+//    front and short flushes are retried internally;
+//  * EFAULT surfaces at buffering time as a crash-free passthrough only
+//    if the payload is unreadable at copy time (probed with a raw
+//    read of the first/last byte is NOT done; a bad pointer faults in
+//    memcpy exactly as it would in the kernel's copy_from_user, but as
+//    SIGSEGV — batch-eligible fds are the app's own log files, and
+//    K23_BATCH is opt-in);
+//  * bytes written to a pipe become visible to the reader at flush
+//    time, not write time. The deadline flusher (deadline_ms) bounds
+//    the delay; reads of the *read end* are a different fd and do not
+//    barrier the write end.
+//
+// The chain entry obeys the SIGSYS-safety rules (DESIGN.md §10): rings
+// are mmap'd through internal::syscall_fn, no allocation, no libc locks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "interpose/dispatch.h"
+
+namespace k23 {
+
+// Flush backend selection (K23_BATCH_BACKEND).
+enum class BatchBackend : uint8_t {
+  kAuto = 0,  // io_uring when the probe and setup succeed, else writev
+  kWritev,    // force the plain coalesced-writev fallback
+  kUring,     // require io_uring; init fails when setup does
+};
+
+struct BatchConfig {
+  bool enabled = false;      // K23_BATCH defaults to off: opt-in layer
+  bool class_append = true;  // batch O_APPEND regular files
+  bool class_pipe = true;    // batch pipes/FIFOs
+  uint64_t max_bytes = 65536;   // flush when a ring buffers this many bytes
+  uint32_t max_entries = 64;    // flush when a ring holds this many writes
+  uint32_t write_max = 4096;    // larger writes pass through unbatched
+  uint32_t deadline_ms = 2;     // background flush period (0 = no flusher)
+  BatchBackend backend = BatchBackend::kAuto;
+
+  // Parses K23_BATCH + K23_BATCH_BACKEND (see common/env.h grammar
+  // table): "off" | "on" | class[,class], then ':key=val' pairs for
+  // bytes/entries/write_max/deadline_ms.
+  static BatchConfig from_env();
+};
+
+struct BatchReport {
+  bool active = false;
+  bool uring = false;           // io_uring backend selected at init
+  bool uring_sqpoll = false;    // ...with kernel-side SQ polling
+  uint64_t batched = 0;         // writes absorbed into rings
+  uint64_t flush_syscalls = 0;  // writev/io_uring_enter submissions
+  uint64_t flushed_bytes = 0;
+  uint64_t barrier_flushes = 0;  // flushes forced by observing syscalls
+  uint64_t flush_errors = 0;     // failed flushes (errno replay armed)
+};
+
+class Batch {
+ public:
+  // Builds the ring configuration, selects the flush backend, registers
+  // the chain entry at hook_priority::kBatch and wires the dispatcher's
+  // barrier hooks. Idempotent (re-init drains and replaces). A config
+  // with enabled=false deactivates and returns ok.
+  static Status init(const BatchConfig& config);
+  // Drains every ring, then unregisters. Safe to call when inactive.
+  static void shutdown();
+  static bool active();
+  static BatchReport report();
+
+  // Synchronously flushes every ring (all threads'). The process-wide
+  // barrier: wired to internal::set_batch_hooks by init(), called before
+  // exec/exit/fork-family syscalls and by health containment. Also the
+  // explicit "make it visible now" API for tests and exit reports.
+  // Async-signal-safe; a ring whose flush lock is wedged is skipped
+  // rather than waited on (bounded spin), so a crash mid-flush cannot
+  // deadlock containment.
+  static void flush_all();
+
+  // Post-fork child reset: drops ring state copied from the parent (the
+  // parent drained pre-fork; flushing copies would double-write) and
+  // demotes the io_uring backend (its fd is shared with the parent).
+  // Compares getpid against the init-time pid, so it is a no-op for
+  // same-process threads. Async-signal-safe.
+  static void child_reset();
+
+  // Permanently retires batching: drains, then passes every write
+  // through. Wired to the dispatcher's CLONE_VM-non-thread notification
+  // — rings live in what is about to become cross-process shared
+  // memory. Sticky across shutdown()/init(), mirroring
+  // Accel::retire_pid_cache. Async-signal-safe.
+  static void retire();
+  static bool retired();
+
+  // The chain entry, exposed for tests and benchmarks that drive the
+  // dispatcher directly.
+  static HookResult hook(void* user, SyscallArgs& args,
+                         const HookContext& ctx);
+};
+
+}  // namespace k23

@@ -51,6 +51,15 @@ constexpr EnvSpec kEnvTable[] = {
     {"K23_ACCEL", "on|off|list of time,pid,uname", "on",
      "userspace acceleration: vDSO-forwarded clock_gettime/gettimeofday/"
      "time/getcpu (time), cached getpid/gettid (pid), cached uname (uname)"},
+    {"K23_BATCH", "off|on|class[,class][:key=val...]", "off",
+     "write-side syscall batching: absorb eligible writes into per-thread "
+     "rings, flush coalesced; classes append,pipe; keys bytes= (flush at "
+     "buffered bytes), entries= (flush at buffered writes), write_max= "
+     "(larger writes pass through), deadline_ms= (background flush period, "
+     "0=off)"},
+    {"K23_BATCH_BACKEND", "auto|writev|uring", "auto",
+     "flush backend: auto picks io_uring when the kernel probe succeeds "
+     "and falls back to plain writev; uring fails init when unavailable"},
     {"K23_FAULTS", "point:error[:trigger][;...]", "unset",
      "fault-injection rules (e.g. \"sud_arm:eagain:nth=2\"); error is an "
      "errno name, number, or \"fail\"; trigger is every=N, nth=N, times=N "

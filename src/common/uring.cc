@@ -1,0 +1,105 @@
+#include "common/uring.h"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <linux/io_uring.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "interpose/internal.h"
+
+#ifndef __NR_io_uring_setup
+#define __NR_io_uring_setup 425
+#endif
+#ifndef __NR_io_uring_enter
+#define __NR_io_uring_enter 426
+#endif
+#ifndef __NR_io_uring_register
+#define __NR_io_uring_register 427
+#endif
+
+namespace k23 {
+namespace {
+
+std::atomic<UringSupport> g_state{UringSupport::kUnknown};
+UringCaps g_caps;
+std::once_flag g_probe_once;
+
+// Probe syscalls go through internal::syscall_fn() — the nopatch thunk —
+// never through inlined `syscall` bytes. An inlined site here would be
+// rewritten once an interposer arms, and this function is exactly the
+// shape that trips the red-zone hazard: a leaf with a kernel-written
+// struct (`params`) that the compiler keeps in the red zone, where the
+// rewritten call's pushed return address and the kernel's write-back
+// overlap. The out-of-line call also makes the function a non-leaf, so
+// the compiler spills `params` to real stack instead of the red zone.
+long sys(long nr, long a0 = 0, long a1 = 0, long a2 = 0, long a3 = 0,
+         long a4 = 0, long a5 = 0) {
+  return internal::syscall_fn()(nr, a0, a1, a2, a3, a4, a5);
+}
+
+// Returns true when a setup with `flags` yields a usable ring fd. On
+// success and when `check_aux` is set, also verifies that enter and
+// register answer (any result other than -ENOSYS counts: a seccomp
+// policy that knows the number but denies it still means the batch
+// backend must not be selected, and such policies return EPERM, which
+// the != -ENOSYS test deliberately treats as "responds" — the actual
+// flush path surfaces the EPERM and the ladder falls back at init).
+bool setup_responds(uint32_t flags, bool check_aux) {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  params.flags = flags;
+  if ((flags & IORING_SETUP_SQPOLL) != 0) params.sq_thread_idle = 100;
+  long fd = sys(__NR_io_uring_setup, 4, reinterpret_cast<long>(&params));
+  if (fd < 0) return false;
+  bool ok = true;
+  if (check_aux) {
+    // enter with nothing to do is a valid no-op; register of an unknown
+    // opcode returns EINVAL on kernels that have the syscall at all.
+    long enter = sys(__NR_io_uring_enter, fd, 0, 0, 0, 0, 0);
+    long reg = sys(__NR_io_uring_register, fd, static_cast<long>(~0U), 0, 0);
+    ok = enter != -ENOSYS && reg != -ENOSYS;
+  }
+  sys(SYS_close, fd);
+  return ok;
+}
+
+}  // namespace
+
+UringCaps probe_uring_uncached() {
+  UringCaps caps;
+  caps.available = setup_responds(0, /*check_aux=*/true);
+  if (caps.available) {
+    // SQPOLL is unprivileged since 5.11 but may still be refused (rlimit
+    // on kernel threads, older kernels); it is an optimization, not a
+    // requirement, so probe it separately.
+    caps.sqpoll = setup_responds(IORING_SETUP_SQPOLL, /*check_aux=*/false);
+  }
+  return caps;
+}
+
+const UringCaps& uring_caps() {
+  std::call_once(g_probe_once, [] {
+    g_caps = probe_uring_uncached();
+    g_state.store(g_caps.available ? UringSupport::kAvailable
+                                   : UringSupport::kUnavailable,
+                  std::memory_order_release);
+  });
+  return g_caps;
+}
+
+UringSupport uring_probe_state() {
+  return g_state.load(std::memory_order_acquire);
+}
+
+const char* uring_backend_summary() {
+  const UringCaps& caps = uring_caps();
+  if (!caps.available) return "writev (io_uring unavailable on this kernel)";
+  return caps.sqpoll ? "io_uring (sqpoll)" : "io_uring (no sqpoll)";
+}
+
+}  // namespace k23

@@ -1,0 +1,43 @@
+// io_uring feature probe (write-batching flush backend selection).
+//
+// The batch layer (src/batch/) flushes coalesced writes either through a
+// plain writev or through an io_uring submission queue; which one is
+// available depends on the kernel (io_uring_setup may be compiled out,
+// seccomp-blocked, or sysctl-disabled — kernels ship with
+// `io_uring_disabled` since 6.6). Probing costs a few syscalls and the
+// answer cannot change within a process lifetime, so the result is
+// cached as a tri-state: unknown until the first caller asks, then
+// pinned. `k23_run --help` prints the detected backend so operators see
+// what K23_BATCH=...:auto would pick on this machine before launching.
+#pragma once
+
+#include <cstdint>
+
+namespace k23 {
+
+// Cache state of the probe. kUnknown only before the first uring_caps()
+// call (uring_probe_state() lets diagnostics ask without forcing the
+// probe's syscalls).
+enum class UringSupport : uint8_t { kUnknown = 0, kUnavailable, kAvailable };
+
+struct UringCaps {
+  bool available = false;  // io_uring_setup/enter/register all respond
+  bool sqpoll = false;     // IORING_SETUP_SQPOLL accepted (kernel-side SQ
+                           // polling: flushes need no enter syscall)
+};
+
+// Probes once per process and caches the result.
+const UringCaps& uring_caps();
+
+// Uncached probe run (tests exercise it directly; the cached accessor
+// would pin whatever the first caller saw).
+UringCaps probe_uring_uncached();
+
+// The cached state without triggering a probe.
+UringSupport uring_probe_state();
+
+// One-line human summary of the detected flush backend, e.g.
+// "io_uring (sqpoll)" or "writev (io_uring unavailable)". Probes.
+const char* uring_backend_summary();
+
+}  // namespace k23

@@ -40,6 +40,13 @@
 //   file_write   -- common/files.cc write paths (offline log saves)
 //   file_fsync   -- common/files.cc fsync in the atomic-save sequence
 //   file_rename  -- common/files.cc rename in the atomic-save sequence
+//   flush_eagain -- batch/batch.cc ring flush: fabricate EAGAIN (or the
+//                   rule's errno) without submitting, exercising the
+//                   bounded-retry + errno-replay path
+//   flush_short_write -- batch/batch.cc ring flush: genuinely submit a
+//                   strict prefix of the batch, exercising the
+//                   short-write resume path (output stays byte-identical
+//                   because the remainder is retried, never re-fabricated)
 //
 // Crash-fault kinds (health/ containment tests): these points are
 // consulted from the trampoline dispatch probe, and a firing rule makes

@@ -20,6 +20,7 @@
 #include "common/strings.h"
 #include "faultinject/faultinject.h"
 #include "health/blackbox.h"
+#include "interpose/internal.h"
 #include "rewrite/patcher.h"
 #include "sud/sud_session.h"
 #include "trampoline/trampoline.h"
@@ -144,6 +145,15 @@ uint64_t backoff_interval_ms(uint64_t site, uint64_t now, uint32_t faults) {
 // permanently refuse) re-promotion. Async-signal-safe; callable from
 // the containment handler and from tests via contain_fault_at().
 bool quarantine_site(HealthSlot& slot, uint64_t site, uint64_t pc, int sig) {
+  // Drain the write-batching rings before touching the site: quarantine
+  // reroutes or demotes dispatch for this site, and buffered payloads
+  // must reach the kernel while the flush path is still known-good. The
+  // drain skips (never waits on) a flush lock the crashed frame might
+  // hold, so containment cannot deadlock on its own victim.
+  if (const internal::BatchHookFn drain = internal::batch_drain();
+      drain != nullptr) {
+    drain();
+  }
   for (;;) {
     uint32_t cur = state_of(slot);
     if (cur == kStQuarantined || cur == kStDemoted) {

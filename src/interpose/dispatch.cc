@@ -44,6 +44,38 @@ std::atomic<internal::ChildRefreshFn> g_child_refresh{nullptr};
 // is still visible to both sides (internal.h).
 std::atomic<internal::SharedVmCloneFn> g_shared_vm_clone{nullptr};
 
+// Optional write-batching hooks (batch/batch.cc): process-wide flush
+// barrier, post-fork ring reset, shared-VM retirement (internal.h).
+std::atomic<internal::BatchHookFn> g_batch_drain{nullptr};
+std::atomic<internal::BatchHookFn> g_batch_child_reset{nullptr};
+std::atomic<internal::BatchHookFn> g_batch_shared_vm_retire{nullptr};
+
+// Process-wide flush barrier: buffered write payloads must reach the
+// kernel before any call that replaces this image (exec: buffered bytes
+// die with the old image), ends it (exit: ditto — and atexit paths may
+// arrive here as raw exit_group), or duplicates it (fork family: a child
+// flushing inherited ring copies would double-write every byte the
+// parent also flushes).
+void batch_barrier_if_needed(long nr) {
+  switch (nr) {
+    case SYS_fork:
+    case SYS_vfork:
+    case SYS_clone:
+    case SYS_clone3:
+    case SYS_execve:
+    case SYS_execveat:
+    case SYS_exit:
+    case SYS_exit_group: {
+      const internal::BatchHookFn drain =
+          g_batch_drain.load(std::memory_order_acquire);
+      if (drain != nullptr) drain();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 long invoke(const SyscallArgs& a) {
   return g_syscall_fn.load(std::memory_order_acquire)(
       a.nr, a.rdi, a.rsi, a.rdx, a.r10, a.r8, a.r9);
@@ -59,6 +91,9 @@ long reinit_child_if_forked(long rc) {
     const internal::ChildRefreshFn refresh =
         g_child_refresh.load(std::memory_order_acquire);
     if (refresh != nullptr) refresh();
+    const internal::BatchHookFn batch_reset =
+        g_batch_child_reset.load(std::memory_order_acquire);
+    if (batch_reset != nullptr) batch_reset();
   }
   return rc;
 }
@@ -72,6 +107,9 @@ void notify_if_shared_vm_clone(uint64_t flags) {
   const internal::SharedVmCloneFn fn =
       g_shared_vm_clone.load(std::memory_order_acquire);
   if (fn != nullptr) fn();
+  const internal::BatchHookFn retire =
+      g_batch_shared_vm_retire.load(std::memory_order_acquire);
+  if (retire != nullptr) retire();
 }
 
 // Whether a new-stack clone child must detour through the child-init shim
@@ -243,6 +281,7 @@ void Dispatcher::set_prctl_guard(bool enabled) {
 }
 
 long Dispatcher::execute(const SyscallArgs& args, uint64_t return_address) {
+  batch_barrier_if_needed(args.nr);
   switch (args.nr) {
     case SYS_fork:
       return reinit_child_if_forked(invoke(args));
@@ -301,6 +340,8 @@ long Dispatcher::on_syscall(SyscallArgs& args, const HookContext& ctx) {
     if (result.decision != HookDecision::kReplace) continue;
     if (result.accelerated) {
       stats_.record_accelerated(entry_nr, ctx.path);
+    } else if (result.batched) {
+      stats_.record_batched(entry_nr, ctx.path);
     } else {
       stats_.record(entry_nr, ctx.path);
     }
@@ -377,6 +418,26 @@ void set_shared_vm_clone_notify(SharedVmCloneFn fn) {
 
 SharedVmCloneFn shared_vm_clone_notify() {
   return g_shared_vm_clone.load(std::memory_order_acquire);
+}
+
+void set_batch_hooks(BatchHookFn drain, BatchHookFn child_reset,
+                     BatchHookFn shared_vm_retire) {
+  g_batch_drain.store(drain, std::memory_order_release);
+  g_batch_child_reset.store(child_reset, std::memory_order_release);
+  g_batch_shared_vm_retire.store(shared_vm_retire,
+                                 std::memory_order_release);
+}
+
+BatchHookFn batch_drain() {
+  return g_batch_drain.load(std::memory_order_acquire);
+}
+
+BatchHookFn batch_child_reset() {
+  return g_batch_child_reset.load(std::memory_order_acquire);
+}
+
+BatchHookFn batch_shared_vm_retire() {
+  return g_batch_shared_vm_retire.load(std::memory_order_acquire);
 }
 
 }  // namespace k23::internal

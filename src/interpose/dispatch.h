@@ -60,11 +60,20 @@ struct HookResult {
   // the accelerated rows of bench_table5 are gated at nanosecond
   // granularity, so every lookup on this path shows up in the table.
   bool accelerated = false;
+  // kReplace only: the call's payload was absorbed into a submission ring
+  // (batch/batch.cc) and will reach the kernel on a later flush. Folded
+  // into the same single stats pass as `accelerated`; the two are
+  // mutually exclusive by construction (different chain entries).
+  bool batched = false;
 
   static HookResult passthrough() { return {}; }
   static HookResult replace(long v) { return {HookDecision::kReplace, v}; }
   static HookResult accelerate(long v) {
     return {HookDecision::kReplace, v, /*accelerated=*/true};
+  }
+  static HookResult batch(long v) {
+    return {HookDecision::kReplace, v, /*accelerated=*/false,
+            /*batched=*/true};
   }
 };
 
@@ -88,6 +97,12 @@ using HookHandle = uint64_t;
 namespace hook_priority {
 inline constexpr int kLegacy = 0;
 inline constexpr int kPolicy = 100;
+// Write batching sits between policy and the accelerators: a policy
+// verdict on a write must land before the ring can absorb it, and the
+// batch entry must see fsync/read/close barriers before kAccel could
+// serve one from cache (fstat on an fd with buffered bytes must flush
+// first, then may still be accelerated).
+inline constexpr int kBatch = 150;
 inline constexpr int kAccel = 200;
 inline constexpr int kRecorder = 300;
 }  // namespace hook_priority

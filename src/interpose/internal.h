@@ -54,4 +54,33 @@ using SharedVmCloneFn = void (*)();
 void set_shared_vm_clone_notify(SharedVmCloneFn fn);
 SharedVmCloneFn shared_vm_clone_notify();
 
+// Write-batching hooks (batch/batch.cc). The accel-owned slots above are
+// spoken for — accel conditionally clears them on shutdown by comparing
+// the stored pointer against its own functions — so the batch layer gets
+// its own triple rather than piggybacking:
+//   drain            process-wide flush barrier. The dispatcher calls it
+//                    before any syscall that replaces the process image,
+//                    ends the process, or splits it (execve/execveat,
+//                    exit/exit_group, fork/vfork/clone/clone3), and the
+//                    health layer calls it before quarantining a site.
+//                    Cheap when nothing is buffered (one relaxed load).
+//   child_reset      called in the child after a fork-style passthrough
+//                    returns 0 (same points as ChildRefreshFn). Drops
+//                    ring state copied from the parent (the parent
+//                    drained pre-fork; any residue would double-write)
+//                    and demotes the io_uring backend, whose fd is
+//                    shared with the parent. Idempotent for same-process
+//                    threads (compares getpid against a cached value).
+//   shared_vm_retire called in the parent before a CLONE_VM-without-
+//                    CLONE_THREAD clone: rings live in shared memory, so
+//                    batching is drained and permanently retired (same
+//                    reasoning as SharedVmCloneFn).
+// All three must be async-signal-safe.
+using BatchHookFn = void (*)();
+void set_batch_hooks(BatchHookFn drain, BatchHookFn child_reset,
+                     BatchHookFn shared_vm_retire);
+BatchHookFn batch_drain();
+BatchHookFn batch_child_reset();
+BatchHookFn batch_shared_vm_retire();
+
 }  // namespace k23::internal

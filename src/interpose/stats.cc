@@ -244,6 +244,20 @@ void SyscallStats::record_accelerated(long nr, EntryPath path) {
   if (nr >= 0 && nr < kMaxTracked) bump(shard->by_nr_outcome[o][nr]);
 }
 
+void SyscallStats::record_batched(long nr, EntryPath path) {
+  Shard* shard = current_shard();
+  if (shard == nullptr) return;
+  const auto p = static_cast<size_t>(path);
+  constexpr auto o = static_cast<size_t>(SyscallOutcome::kBatched);
+  bump(shard->total);
+  if (p < kPathCount) {
+    bump(shard->by_path[p]);
+    if (nr >= 0 && nr < kMaxTracked) bump(shard->by_nr_path[p][nr]);
+  }
+  bump(shard->by_outcome[o]);
+  if (nr >= 0 && nr < kMaxTracked) bump(shard->by_nr_outcome[o][nr]);
+}
+
 void SyscallStats::record_outcome(long nr, SyscallOutcome outcome) {
   Shard* shard = current_shard();
   if (shard == nullptr) return;

@@ -48,6 +48,11 @@ enum class EntryPath : uint8_t {
 // the untagged default.
 enum class SyscallOutcome : uint8_t {
   kAccelerated = 0,  // answered in userspace by an accel chain entry
+  kBatched,          // payload absorbed into a submission ring; the bytes
+                     // reach the kernel on a later coalesced flush
+  kBatchFlush,       // one flush submission (writev / io_uring_enter)
+                     // draining previously batched entries; the
+                     // batched:flushed ratio is the coalescing factor
   kOutcomeCount,
 };
 
@@ -73,6 +78,11 @@ class SyscallStats {
   // call from userspace: the separate lookups are ~7ns of the accel
   // path's nanosecond budget (bench_table5 accelerated rows).
   void record_accelerated(long nr, EntryPath path);
+
+  // record() + record_outcome(kBatched) fused, same reasoning: a batched
+  // write's bookkeeping is the only per-call cost the ring does not
+  // amortize, so it rides the single shard pass too (bench_batch rows).
+  void record_batched(long nr, EntryPath path);
 
   // Aggregated readers. Approximate while threads are recording.
   uint64_t total() const;

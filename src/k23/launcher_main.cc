@@ -32,6 +32,7 @@
 #include "common/env.h"
 #include "common/files.h"
 #include "common/strings.h"
+#include "common/uring.h"
 #include "k23/offline_log.h"
 #include "k23/process_tree.h"
 #include "ptracer/ptracer.h"
@@ -73,6 +74,9 @@ int help(const char* argv0) {
     std::fprintf(stderr, "  %-24s   value: %s (default: %s)\n", "",
                  spec.grammar, spec.fallback);
   }
+  std::fprintf(stderr,
+               "\nK23_BATCH flush backend detected on this machine: %s\n",
+               uring_backend_summary());
   return 0;
 }
 
@@ -123,9 +127,17 @@ void merge_tree_artifacts(const std::string& log_path, bool stats,
     aggregate.total += dump.total;
     aggregate.promoted += dump.promoted;
     aggregate.accelerated += dump.accelerated;
+    aggregate.batched += dump.batched;
+    aggregate.flushed += dump.flushed;
     if (dump.accelerated != 0) {
       std::fprintf(stderr, ", accelerated %llu",
                    static_cast<unsigned long long>(dump.accelerated));
+    }
+    if (dump.batched != 0) {
+      // batched:flushed is this process's write-coalescing ratio.
+      std::fprintf(stderr, ", batched %llu/%llu flushes",
+                   static_cast<unsigned long long>(dump.batched),
+                   static_cast<unsigned long long>(dump.flushed));
     }
     std::fprintf(stderr, ", promoted %llu\n",
                  static_cast<unsigned long long>(dump.promoted));
@@ -136,6 +148,15 @@ void merge_tree_artifacts(const std::string& log_path, bool stats,
                static_cast<unsigned long long>(aggregate.total),
                static_cast<unsigned long long>(aggregate.accelerated),
                static_cast<unsigned long long>(aggregate.promoted));
+  if (aggregate.batched != 0) {
+    std::fprintf(
+        stderr, "  tree batching: %llu writes in %llu flushes (%.1fx)\n",
+        static_cast<unsigned long long>(aggregate.batched),
+        static_cast<unsigned long long>(aggregate.flushed),
+        aggregate.flushed != 0 ? static_cast<double>(aggregate.batched) /
+                                     static_cast<double>(aggregate.flushed)
+                               : 0.0);
+  }
 }
 
 }  // namespace

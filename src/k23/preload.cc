@@ -24,6 +24,7 @@
 
 #include "accel/accel.h"
 #include "arch/raw_syscall.h"
+#include "batch/batch.h"
 #include "arch/syscall_table.h"
 #include "arch/thunks.h"
 #include "common/env.h"
@@ -94,6 +95,11 @@ void save_logger_output() {
 // launcher cannot see: per-path totals, the hottest syscalls on each
 // path, and what promotion did.
 void k23_exit_report() {
+  // Buffered write payloads first: everything below reports, and a
+  // report must not race bytes the application believes are on disk.
+  // (The dispatcher also drains on the exit_group itself; atexit runs
+  // earlier and keeps the flush ahead of the stats dump's own writes.)
+  Batch::flush_all();
   // Flush the flight recorder before anything below can fail: the exit
   // path is exactly where a wedged runtime loses its history. One
   // preformatted write, no allocation (satellite of DESIGN.md §11).
@@ -171,6 +177,18 @@ void k23_exit_report() {
       std::fprintf(stderr, "    %-24s %llu\n", name != nullptr ? name : "?",
                    static_cast<unsigned long long>(nr_count));
     }
+  }
+  const uint64_t batched = stats.by_outcome(SyscallOutcome::kBatched);
+  if (batched != 0) {
+    const uint64_t flushes = stats.by_outcome(SyscallOutcome::kBatchFlush);
+    std::fprintf(stderr,
+                 "  batched      %llu writes into %llu flushes (%.1fx "
+                 "coalescing)\n",
+                 static_cast<unsigned long long>(batched),
+                 static_cast<unsigned long long>(flushes),
+                 flushes != 0 ? static_cast<double>(batched) /
+                                    static_cast<double>(flushes)
+                              : 0.0);
   }
   const PromotionStats promo = Promotion::stats();
   std::fprintf(stderr,
@@ -264,6 +282,14 @@ __attribute__((constructor)) void k23_preload_init() {
     if (const AccelConfig accel = AccelConfig::from_env(); accel.enabled) {
       if (Status st = Accel::init(accel); !st.is_ok()) {
         K23_LOG(kWarn) << "libk23_preload: accel off: " << st.message();
+      }
+    }
+    // Write-side batching (DESIGN.md §12): opt-in via K23_BATCH; eligible
+    // writes coalesce in per-thread rings and flush as one writev or
+    // io_uring submission.
+    if (const BatchConfig batch = BatchConfig::from_env(); batch.enabled) {
+      if (Status st = Batch::init(batch); !st.is_ok()) {
+        K23_LOG(kWarn) << "libk23_preload: batch off: " << st.message();
       }
     }
     DegradationReport& deg = report.value().degradation;

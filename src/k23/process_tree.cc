@@ -339,6 +339,10 @@ std::string ProcessTree::serialize_stats_dump() {
   out += "accel,served," +
          std::to_string(stats.by_outcome(SyscallOutcome::kAccelerated)) +
          "\n";
+  out += "batch,batched," +
+         std::to_string(stats.by_outcome(SyscallOutcome::kBatched)) + "\n";
+  out += "batch,flushed," +
+         std::to_string(stats.by_outcome(SyscallOutcome::kBatchFlush)) + "\n";
   return out;
 }
 
@@ -384,6 +388,9 @@ Result<ProcessStatsDump> ProcessTree::parse_stats_dump(
       if (fields[1] == "sud_hits") dump.sud_hits = *value;
     } else if (fields[0] == "accel") {
       if (fields[1] == "served") dump.accelerated = *value;
+    } else if (fields[0] == "batch") {
+      if (fields[1] == "batched") dump.batched = *value;
+      if (fields[1] == "flushed") dump.flushed = *value;
     }
   }
   std::sort(dump.by_nr.begin(), dump.by_nr.end(),

@@ -68,6 +68,8 @@ struct ProcessTreeConfig {
 //   nr,<syscall-nr>,<count>
 //   promotion,<counter>,<value>
 //   accel,served,<count>
+//   batch,batched,<count>
+//   batch,flushed,<count>
 struct ProcessStatsDump {
   pid_t pid = 0;
   uint64_t total = 0;
@@ -76,6 +78,8 @@ struct ProcessStatsDump {
   uint64_t promoted = 0;
   uint64_t sud_hits = 0;
   uint64_t accelerated = 0;  // answered in userspace (SyscallOutcome)
+  uint64_t batched = 0;      // writes absorbed into submission rings
+  uint64_t flushed = 0;      // coalesced flush submissions draining them
 };
 
 class ProcessTree {

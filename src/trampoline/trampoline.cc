@@ -36,6 +36,16 @@ alignas(16) thread_local uint8_t t_dedicated_stack[kDedicatedStackSize];
 // can observe, realigns, and calls the C++ dispatcher with a pointer to
 // the saved frame. The dispatcher writes the result into the frame's rax
 // slot.
+//
+// The exit path returns through the frame's early COPY of the return
+// address (via r11, which the syscall ABI clobbers anyway), never through
+// the slot the `call` pushed. That slot lives at [app_rsp - 8] — inside
+// the application's red zone — and the kernel can overwrite it during the
+// dispatched syscall: a leaf function that keeps an output struct in the
+// red zone (io_uring_setup's params, clock_gettime's timespec) hands the
+// kernel a pointer that overlaps the pushed slot, and the write-back
+// lands after the push. A plain `ret` would then jump to whatever the
+// kernel wrote (often 0 → the sled → a phantom dispatch of a stale rax).
 // ---------------------------------------------------------------------------
 asm(R"(
     .text
@@ -79,9 +89,11 @@ k23_trampoline_entry:
     pop     %rsi
     pop     %rdi
     pop     %rax                /* syscall result placed by the dispatcher */
-    lea     8(%rsp), %rsp       /* drop the return-address copy */
-    lea     128(%rsp), %rsp     /* restore the red-zone skip */
-    ret
+    pop     %r11                /* return-address copy (r11 is syscall-
+                                   clobbered, so the app cannot miss it) */
+    lea     136(%rsp), %rsp     /* red-zone skip + the original (possibly
+                                   kernel-clobbered) return-address slot */
+    jmp     *%r11
     .size   k23_trampoline_entry, . - k23_trampoline_entry
 )");
 

@@ -1,20 +1,31 @@
 // k23_selfcheck — single-process workload self-check driver for the
 // crash-fault matrix (DESIGN.md §11, EXPERIMENTS.md).
 //
-//   k23_selfcheck [kv|http] [duration_seconds]
+//   k23_selfcheck [kv|http|log] [duration_seconds]
 //
-// Runs the selected Table 6 stand-in server inline on a worker thread,
-// drives it with the matching load client, and additionally performs an
-// explicit correctness round trip (SET/GET for kv, a parsed 200 response
-// for http). Exits 0 only when the round trip is byte-correct AND the
-// load phase completed requests without protocol errors — so a launcher
-// injecting crash faults (K23_FAULTS=patch_sigsegv:... under k23_run)
-// can assert "the workload still produced correct output" from the exit
-// code alone. The summary line on stdout is machine-checkable:
+// kv/http run the selected Table 6 stand-in server inline on a worker
+// thread, drive it with the matching load client, and additionally
+// perform an explicit correctness round trip (SET/GET for kv, a parsed
+// 200 response for http). Exits 0 only when the round trip is
+// byte-correct AND the load phase completed requests without protocol
+// errors — so a launcher injecting crash faults
+// (K23_FAULTS=patch_sigsegv:... under k23_run) can assert "the workload
+// still produced correct output" from the exit code alone.
+//
+// log is the write-batching oracle (DESIGN.md §12): it appends a
+// deterministic sequence of numbered lines to an O_APPEND temp file —
+// one write(2) each, with an fsync barrier every 97 lines — then reads
+// the file back and byte-compares it against the expected contents.
+// Run it under `k23_run` with K23_BATCH=on and exit 0 proves the
+// batching layer's coalesced flushes produced byte-identical output.
+//
+// The summary line on stdout is machine-checkable:
 //
 //   selfcheck <workload>: <N> requests, <E> errors, roundtrip ok
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -155,6 +166,71 @@ int run_http(double seconds) {
   return (r.requests > 0 && r.errors == 0) ? 0 : 1;
 }
 
+// Write-batching oracle. The line count scales with `seconds` so the
+// crash-matrix legs can keep it short, but the content is fully
+// deterministic: line i is "selfcheck-log line %06d ...\n". Every line
+// costs one write(2); every 97th line is followed by fsync(2) — a flush
+// barrier that the batch layer must honor by draining its ring first.
+// Byte-comparing the file afterwards catches reordering, duplication,
+// loss, and tearing regardless of how writes were coalesced.
+int run_log(double seconds) {
+  const long lines = std::max(200L, static_cast<long>(seconds * 2000));
+
+  char path[] = "/tmp/k23_selfcheck_log.XXXXXX";
+  const int fd = ::mkstemp(path);
+  if (fd < 0) return fail("log", "mkstemp failed");
+  ::close(fd);
+  // Reopen O_APPEND: mkstemp's fd lacks it, and append-mode is what
+  // makes the fd batch-eligible (and what nginx-style loggers use).
+  const int log_fd = ::open(path, O_WRONLY | O_APPEND, 0600);
+  if (log_fd < 0) {
+    ::unlink(path);
+    return fail("log", "open O_APPEND failed");
+  }
+
+  std::string expected;
+  expected.reserve(static_cast<size_t>(lines) * 48);
+  long errors = 0;
+  for (long i = 0; i < lines; ++i) {
+    char line[64];
+    const int n = std::snprintf(line, sizeof(line),
+                                "selfcheck-log line %06ld of %06ld\n", i,
+                                lines);
+    if (n <= 0) return fail("log", "snprintf failed");
+    expected.append(line, static_cast<size_t>(n));
+    if (!write_all(log_fd, line, static_cast<size_t>(n)).is_ok()) ++errors;
+    // Durability barrier mid-stream: everything written so far must be
+    // in the file (not a userspace ring) when fsync returns.
+    if (i % 97 == 96 && ::fsync(log_fd) != 0) ++errors;
+  }
+  if (::close(log_fd) != 0) ++errors;
+
+  // Read back through a fresh fd and byte-compare.
+  std::string actual;
+  const int read_fd = ::open(path, O_RDONLY);
+  if (read_fd < 0) {
+    ::unlink(path);
+    return fail("log", "reopen for verify failed");
+  }
+  char buf[8192];
+  ssize_t got;
+  while ((got = ::read(read_fd, buf, sizeof(buf))) > 0) {
+    actual.append(buf, static_cast<size_t>(got));
+  }
+  ::close(read_fd);
+  ::unlink(path);
+
+  const bool identical = actual == expected;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "selfcheck log: MISMATCH: wrote %zu bytes, read %zu\n",
+                 expected.size(), actual.size());
+  }
+  std::printf("selfcheck log: %ld requests, %ld errors, roundtrip %s\n",
+              lines, errors, identical ? "ok" : "FAILED");
+  return (identical && errors == 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,6 +239,8 @@ int main(int argc, char** argv) {
   if (seconds <= 0 || seconds > 60) seconds = 1.0;
   if (workload == "kv") return run_kv(seconds);
   if (workload == "http") return run_http(seconds);
-  std::fprintf(stderr, "usage: %s [kv|http] [duration_seconds]\n", argv[0]);
+  if (workload == "log") return run_log(seconds);
+  std::fprintf(stderr, "usage: %s [kv|http|log] [duration_seconds]\n",
+               argv[0]);
   return 2;
 }

@@ -1,5 +1,6 @@
 #include "workloads/mini_http.h"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
@@ -28,8 +29,22 @@ namespace {
 // amortized by the buffer, so the row's cost is the timestamps.
 class AccessLog {
  public:
-  explicit AccessLog(int fd) : fd_(fd) {}
-  ~AccessLog() { flush(); }
+  explicit AccessLog(const MiniHttpOptions& options)
+      : fd_(options.access_log_fd),
+        unbuffered_(options.access_log_unbuffered) {
+    if (!options.access_log_path.empty()) {
+      // Each worker opens its own fd on the shared O_APPEND file, like
+      // nginx workers on one access.log: the kernel serializes appends,
+      // so per-worker fds interleave whole lines without coordination.
+      fd_ = ::open(options.access_log_path.c_str(),
+                   O_WRONLY | O_CREAT | O_APPEND, 0644);
+      owns_fd_ = fd_ >= 0;
+    }
+  }
+  ~AccessLog() {
+    flush();
+    if (owns_fd_) ::close(fd_);
+  }
 
   bool enabled() const { return fd_ >= 0; }
 
@@ -55,7 +70,14 @@ class AccessLog {
         text, sizeof(text), "%ld - - [%lld.%09ld] \"GET /\" 200 %zu %.1fus\n",
         pid, static_cast<long long>(wall.tv_sec), wall.tv_nsec, bytes,
         latency_us);
-    if (n > 0) buffer_.append(text, static_cast<size_t>(n));
+    if (n <= 0) return;
+    if (unbuffered_) {
+      // nginx's default mode: one write(2) per line. The per-line
+      // syscall is the cost the batch layer coalesces away.
+      (void)write_all(fd_, text, static_cast<size_t>(n));
+      return;
+    }
+    buffer_.append(text, static_cast<size_t>(n));
     if (buffer_.size() >= 4096) flush();
   }
 
@@ -67,6 +89,8 @@ class AccessLog {
 
  private:
   int fd_ = -1;
+  bool owns_fd_ = false;
+  bool unbuffered_ = false;
   std::string buffer_;
 };
 
@@ -122,7 +146,7 @@ Status serve_loop(int listen_fd, const MiniHttpOptions& options) {
   EpollLoop loop;
   K23_RETURN_IF_ERROR(loop.init());
   K23_RETURN_IF_ERROR(loop.add(listen_fd, EPOLLIN, kListenerTag));
-  AccessLog access_log(options.access_log_fd);
+  AccessLog access_log(options);
 
   // fd-indexed connection table; loopback benches stay small.
   std::vector<Connection> connections(4096);

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -44,6 +45,17 @@ struct MiniHttpOptions {
   // which scrubs AT_SYSINFO_EHDR — so this row measures exactly the
   // traffic the accel layer (src/accel/) exists to win back. -1 = off.
   int access_log_fd = -1;
+  // File-backed access log (Table 6 "logging, batch" row): when
+  // non-empty, every worker opens this path O_WRONLY|O_CREAT|O_APPEND
+  // and logs there instead of access_log_fd. Per-worker fds on the same
+  // O_APPEND file are what nginx workers actually do — the kernel makes
+  // each append atomic, so lines interleave but never tear.
+  std::string access_log_path;
+  // One write(2) per log line instead of the ~4 KB userspace buffer.
+  // This is nginx's default (it buffers only with `access_log ...
+  // buffer=`): the per-line write is the syscall the batch layer
+  // (src/batch/) coalesces, so the batch row must pay it natively.
+  bool access_log_unbuffered = false;
 };
 
 struct MiniHttpHandle {

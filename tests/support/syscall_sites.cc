@@ -43,6 +43,28 @@ k23_test_enosys_site:
     syscall
     ret
     .size k23_test_enosys, . - k23_test_enosys
+
+    /* clock_gettime with the output timespec in the red zone, tv_nsec
+       occupying [rsp-8]. A rewritten site's `call *%rax` pushes its
+       return address into that exact slot, and the kernel's write-back
+       then overwrites the pushed value — the trampoline must return via
+       its early copy or it jumps to tv_nsec. Mirrors what compilers emit
+       for leaf functions around inlined syscalls (io_uring_setup params,
+       clock_gettime timespec). Returns tv_sec, or the negative errno. */
+    .globl k23_test_redzone_clock
+    .globl k23_test_redzone_clock_site
+    .type  k23_test_redzone_clock, @function
+k23_test_redzone_clock:
+    lea    -16(%rsp), %rsi
+    xor    %edi, %edi
+    mov    $228, %eax
+k23_test_redzone_clock_site:
+    syscall
+    test   %rax, %rax
+    jnz    1f
+    mov    -16(%rsp), %rax
+1:  ret
+    .size k23_test_redzone_clock, . - k23_test_redzone_clock
 )");
 
 // Reference to keep the helper from being dropped (and -Wunused quiet).

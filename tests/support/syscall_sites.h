@@ -15,10 +15,15 @@ long k23_test_getpid();
 long k23_test_getuid();
 // Invokes syscall number 500 (non-existent; paper's stress syscall).
 long k23_test_enosys();
+// clock_gettime with the output timespec in the red zone, tv_nsec at
+// [rsp-8] — the slot a rewritten site's `call` pushes into and the
+// kernel then overwrites. Returns tv_sec (> 0), or the negative errno.
+long k23_test_redzone_clock();
 // Labels marking the 2-byte syscall instructions inside the above.
 extern char k23_test_getpid_site[];
 extern char k23_test_getuid_site[];
 extern char k23_test_enosys_site[];
+extern char k23_test_redzone_clock_site[];
 }
 
 namespace k23::testing {

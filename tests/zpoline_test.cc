@@ -123,6 +123,31 @@ TEST(Zpoline, DefaultVariantAcceptsForgedEntry) {
   });
 }
 
+TEST(Zpoline, RedZoneWritebackSurvivesRewrite) {
+  SKIP_WITHOUT_VA0();
+  // The pushed return address of a rewritten site lives at [app_rsp - 8],
+  // inside the red zone. A leaf function that hands the kernel an output
+  // buffer in the red zone (here: clock_gettime's timespec, tv_nsec at
+  // that exact slot) gets the push overwritten during the dispatched
+  // syscall. The trampoline must return through its early copy of the
+  // address; returning through the original slot jumps to tv_nsec —
+  // usually straight back into the sled as a phantom syscall. This is
+  // how io_uring_setup's red-zone params struct took down the batch
+  // backend's feature probe under zpoline.
+  EXPECT_CHILD_EXITS(0, [] {
+    ZpolineInterposer::Options options;  // rewrite the test binary too
+    if (!ZpolineInterposer::init(options).is_ok()) return 1;
+    auto& stats = Dispatcher::instance().stats();
+    uint64_t before = stats.by_nr(SYS_clock_gettime);
+    for (int i = 0; i < 4; ++i) {
+      long sec = k23_test_redzone_clock();
+      if (sec <= 0) return 2;  // clobbered return lands anywhere but here
+    }
+    // The site must actually have dispatched through the trampoline.
+    return stats.by_nr(SYS_clock_gettime) >= before + 4 ? 0 : 3;
+  });
+}
+
 TEST(Zpoline, MissesCodeLoadedAfterInit) {
   SKIP_WITHOUT_VA0();
   // P2a: zpoline's single load-time pass cannot see later code. Our
