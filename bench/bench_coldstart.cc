@@ -1,0 +1,314 @@
+// Time-to-full-interposition: offline-log path vs static discovery.
+//
+// The paper's offline phase buys its site list with a profiling run per
+// deployment: on a cold start (no log yet) the operator must run the
+// workload under libLogger before K23 can rewrite anything. K23_STATIC
+// discovers the sites from the mapped ELFs at load time instead. This
+// bench prices the three paths on four mini workloads:
+//
+//   offline    profiling run under libLogger + init from the fresh log
+//   static     parallel static scan + eager init from the scan alone
+//   static+log scan + cross-validation against an existing log + init
+//              + arming the SUD-watch tier (the K23_STATIC=on composite)
+//
+// Each cell runs in a forked child (SUD state and text patches must not
+// leak between cells) and pipes its measurements back. The regression
+// gate tracks the wall times plus the log-coverage ratio (agreed /
+// log size — how much of the offline log the scan re-derives; 1.0 means
+// the static scan fully replaces the profiling run).
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/caps.h"
+#include "common/files.h"
+#include "k23/k23.h"
+#include "k23/liblogger.h"
+#include "k23/static_discovery.h"
+#include "support/json_out.h"
+#include "workloads/load_client.h"
+#include "workloads/mini_http.h"
+#include "workloads/mini_kv.h"
+#include "workloads/net.h"
+
+namespace k23::bench {
+namespace {
+
+uint64_t now_micros() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000ull;
+}
+
+// What one forked cell pipes back.
+struct CellResult {
+  uint64_t micros = 0;      // time-to-full-interposition for the path
+  uint64_t scan_micros = 0; // static paths: the parallel scan alone
+  uint64_t log_size = 0;    // offline/static+log: profiling-run sites
+  uint64_t agreed = 0;      // static+log: |static ∩ log|
+  uint64_t rewritten = 0;   // sites the init actually patched
+  bool ok = false;
+};
+
+CellResult run_cell(const std::function<int(CellResult*)>& body) {
+  int fds[2];
+  if (::pipe(fds) != 0) return {};
+  ::fflush(nullptr);
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fds[0]);
+    int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::close(devnull);
+    }
+    CellResult result;
+    int code = body(&result);
+    result.ok = code == 0;
+    ssize_t ignored = ::write(fds[1], &result, sizeof(result));
+    (void)ignored;
+    ::_exit(code);
+  }
+  ::close(fds[1]);
+  CellResult result;
+  ssize_t got = ::read(fds[0], &result, sizeof(result));
+  int status = 0;
+  ::close(fds[0]);
+  ::waitpid(pid, &status, 0);
+  if (got != sizeof(result) || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    return {};
+  }
+  return result;
+}
+
+K23Interposer::Options init_options() {
+  K23Interposer::Options options;
+  options.variant = K23Variant::kUltra;
+  return options;
+}
+
+// The bench_table2 served-workload shape: serve in-process (that is the
+// process being profiled), drive traffic from a forked client.
+template <typename ServeFn>
+std::function<void()> served(ServeFn serve, bool http) {
+  return [serve, http] {
+    auto listen = tcp_listen(0);
+    if (!listen.is_ok()) return;
+    auto port = tcp_local_port(listen.value());
+    ::close(listen.value());
+    if (!port.is_ok()) return;
+    std::atomic<bool> stop{false};
+    ::fflush(nullptr);
+    pid_t client = ::fork();
+    if (client == 0) {
+      LoadOptions load;
+      load.port = port.value();
+      load.connections = 4;
+      load.duration_seconds = 0.3;
+      if (http) {
+        (void)run_http_load(load);
+      } else {
+        (void)run_kv_load(load);
+      }
+      ::_exit(0);
+    }
+    std::thread reaper([&] {
+      int status = 0;
+      ::waitpid(client, &status, 0);
+      stop.store(true);
+    });
+    serve(port.value(), &stop);
+    reaper.join();
+  };
+}
+
+struct Workload {
+  const char* name;
+  std::function<void()> run;
+};
+
+// offline: the cold-start cost the paper's design pays — profile the
+// workload under libLogger, then bring up the online phase from the log.
+CellResult offline_cell(const Workload& workload) {
+  return run_cell([&](CellResult* out) {
+    const uint64_t start = now_micros();
+    auto log = LibLogger::record(workload.run);
+    if (!log.is_ok()) return 1;
+    auto report = K23Interposer::init(log.value(), init_options());
+    if (!report.is_ok()) return 2;
+    out->micros = now_micros() - start;
+    out->log_size = log.value().size();
+    out->rewritten = report.value().rewritten_sites;
+    return 0;
+  });
+}
+
+// static: scan the mapped ELFs, rewrite everything discovered. No
+// profiling run, no log — the zero-warmup path (K23_STATIC=strict).
+CellResult static_cell() {
+  return run_cell([](CellResult* out) {
+    StaticDiscoveryConfig config;
+    config.mode = StaticMode::kStrict;
+    const uint64_t start = now_micros();
+    auto scan = StaticDiscovery::scan_process(config);
+    if (!scan.is_ok()) return 1;
+    CrossValidation xval = StaticDiscovery::cross_validate(
+        scan.value(), OfflineLog{}, /*have_log=*/false, config.mode);
+    auto report = K23Interposer::init(xval.eager, init_options());
+    if (!report.is_ok()) return 2;
+    out->micros = now_micros() - start;
+    out->scan_micros = scan.value().scan_micros;
+    out->rewritten = report.value().rewritten_sites;
+    return 0;
+  });
+}
+
+// static+log: a log exists (prepared off the clock); K23_STATIC=on
+// cross-validates, rewrites the agreement eagerly and arms the SUD-watch
+// tier for static-only sites.
+CellResult static_log_cell(const Workload& workload) {
+  return run_cell([&](CellResult* out) {
+    auto log = LibLogger::record(workload.run);  // untimed: pre-existing
+    if (!log.is_ok()) return 1;
+    StaticDiscoveryConfig config;
+    config.mode = StaticMode::kOn;
+    const uint64_t start = now_micros();
+    auto scan = StaticDiscovery::scan_process(config);
+    if (!scan.is_ok()) return 2;
+    CrossValidation xval = StaticDiscovery::cross_validate(
+        scan.value(), log.value(), /*have_log=*/true, config.mode);
+    auto report = K23Interposer::init(xval.eager, init_options());
+    if (!report.is_ok()) return 3;
+    (void)StaticDiscovery::arm_watch(xval.watch);
+    out->micros = now_micros() - start;
+    out->scan_micros = scan.value().scan_micros;
+    out->log_size = log.value().size();
+    out->agreed = xval.agreed;
+    out->rewritten = report.value().rewritten_sites;
+    return 0;
+  });
+}
+
+int run(const std::string& json_path) {
+  if (!capabilities().sud) {
+    std::printf("coldstart: skipped (kernel lacks Syscall User Dispatch)\n");
+    return 0;
+  }
+
+  Workload workloads[] = {
+      {"mini-http", served(
+                        [](uint16_t port, std::atomic<bool>* stop) {
+                          MiniHttpOptions options;
+                          options.port = port;
+                          options.body_size = 4096;
+                          options.stop = stop;
+                          (void)run_http_server_inline(options);
+                        },
+                        /*http=*/true)},
+      {"mini-kv", served(
+                      [](uint16_t port, std::atomic<bool>* stop) {
+                        MiniKvOptions options;
+                        options.port = port;
+                        options.stop = stop;
+                        (void)run_kv_server_inline(options);
+                      },
+                      /*http=*/false)},
+      {"prefork", served(
+                      [](uint16_t port, std::atomic<bool>* stop) {
+                        MiniHttpOptions options;
+                        options.port = port;
+                        options.workers = 2;
+                        options.stop = stop;
+                        (void)run_http_server_prefork(options);
+                      },
+                      /*http=*/true)},
+      {"selfcheck", [] {
+         // Syscall-dense in-process sweep: the coreutils-shaped cell.
+         // Sized so the profiling run traps roughly what an ls/cat-style
+         // tool issues over its lifetime — every one a SIGSYS round trip
+         // under libLogger, which is exactly the cost the offline path
+         // pays on a cold start.
+         for (int i = 0; i < 100000; ++i) (void)::getpid();
+         auto dir = make_temp_dir("k23_coldstart_");
+         if (dir.is_ok()) {
+           for (int i = 0; i < 128; ++i) {
+             const std::string path =
+                 dir.value() + "/f" + std::to_string(i);
+             (void)write_file(path, "coldstart\n");
+             (void)read_file(path);
+           }
+           (void)remove_tree(dir.value());
+         }
+       }},
+  };
+
+  std::printf("Cold start — time to full interposition (microseconds)\n\n");
+  std::printf("%-10s %12s %12s %12s %10s %9s\n", "workload", "offline",
+              "static", "static+log", "scan", "coverage");
+
+  JsonReport report("coldstart");
+  bool static_always_wins = true;
+  for (const Workload& workload : workloads) {
+    CellResult offline = offline_cell(workload);
+    CellResult stat = static_cell();
+    CellResult composite = static_log_cell(workload);
+    if (!offline.ok || !stat.ok || !composite.ok) {
+      std::printf("%-10s %12s\n", workload.name, "failed");
+      return 1;
+    }
+    const double coverage =
+        composite.log_size > 0
+            ? static_cast<double>(composite.agreed) /
+                  static_cast<double>(composite.log_size)
+            : 0.0;
+    std::printf("%-10s %12llu %12llu %12llu %10llu %8.3f\n", workload.name,
+                static_cast<unsigned long long>(offline.micros),
+                static_cast<unsigned long long>(stat.micros),
+                static_cast<unsigned long long>(composite.micros),
+                static_cast<unsigned long long>(stat.scan_micros),
+                coverage);
+    if (stat.micros > offline.micros) static_always_wins = false;
+
+    const std::string prefix = std::string("coldstart/") + workload.name;
+    report.add(prefix + "/offline-us",
+               static_cast<double>(offline.micros), false);
+    report.add(prefix + "/static-us", static_cast<double>(stat.micros),
+               false);
+    report.add(prefix + "/staticlog-us",
+               static_cast<double>(composite.micros), false);
+    report.add(prefix + "/scan-us",
+               static_cast<double>(stat.scan_micros), false);
+    report.add(prefix + "/log-coverage", coverage, true);
+  }
+
+  std::printf("\n%s\n",
+              static_always_wins
+                  ? "static discovery reached full interposition no later "
+                    "than the offline-log path on every workload"
+                  : "WARNING: the offline-log path beat the static scan on "
+                    "at least one workload");
+
+  if (!json_path.empty() && !report.write(json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace k23::bench
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  return k23::bench::run(json_path);
+}

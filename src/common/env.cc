@@ -48,6 +48,16 @@ constexpr EnvSpec kEnvTable[] = {
      "SUD hits at one site before it is considered for promotion"},
     {"K23_PROMOTE_MAX_SITES", "count", "256",
      "upper bound on sites promoted at runtime"},
+    {"K23_STATIC", "off|on|strict", "off",
+     "load-time static syscall-site discovery: on cross-validates the "
+     "scan against the offline log (agreement rewrites eagerly, "
+     "static-only sites SUD-watch, log-only sites report a discovery "
+     "gap); strict trusts the scan alone — zero-warmup, no offline run"},
+    {"K23_STATIC_THREADS", "count (1-64)", "4",
+     "worker pool width for the parallel per-module static scan"},
+    {"K23_STATIC_RESCAN_MS", "milliseconds", "50 (0=off)",
+     "late-module (dlopen) rescan poll period; 0 disables the rescan "
+     "thread"},
     {"K23_ACCEL", "on|off|list of time,pid,uname", "on",
      "userspace acceleration: vDSO-forwarded clock_gettime/gettimeofday/"
      "time/getcpu (time), cached getpid/gettid (pid), cached uname (uname)"},

@@ -62,25 +62,54 @@ ScanResult scan_buffer(std::span<const uint8_t> code, uint64_t base,
   return out;
 }
 
-Result<ScanResult> scan_elf(const std::string& path, ScanMode mode) {
-  auto reader = ElfReader::open(path);
-  if (!reader.is_ok()) return reader.error();
-
+Result<ScanResult> scan_elf(const ElfReader& reader, ScanMode mode) {
   ScanResult out;
-  for (const ElfSection& section : reader.value().executable_sections()) {
-    auto bytes = reader.value().section_bytes(section);
-    if (!bytes.is_ok()) return bytes.error();
-    ScanResult part = scan_buffer(bytes.value(), section.file_offset, mode);
+  auto merge = [&out](ScanResult part) {
     out.sites.insert(out.sites.end(), part.sites.begin(), part.sites.end());
     out.stats.instructions_decoded += part.stats.instructions_decoded;
     out.stats.decode_failures += part.stats.decode_failures;
     out.stats.bytes_scanned += part.stats.bytes_scanned;
+  };
+  const auto sections = reader.executable_sections();
+  if (!sections.empty()) {
+    for (const ElfSection& section : sections) {
+      auto bytes = reader.section_bytes(section);
+      // A section header lying about its span (malformed ELF) skips that
+      // section rather than failing the whole module: the sanitized
+      // segment view below and the SUD fallback cover whatever it hid.
+      if (!bytes.is_ok()) continue;
+      merge(scan_buffer(bytes.value(), section.file_offset, mode));
+    }
+  }
+  if (out.stats.bytes_scanned == 0) {
+    // Stripped section headers (or every section span rejected): fall
+    // back to the executable PT_LOAD segments, pre-sanitized against
+    // zero-length/overlapping/out-of-bounds program headers.
+    out.stats.segment_fallback = true;
+    for (const ElfSegment& segment : reader.executable_load_segments()) {
+      auto bytes = reader.segment_bytes(segment);
+      if (!bytes.is_ok()) continue;
+      merge(scan_buffer(bytes.value(), segment.file_offset, mode));
+    }
   }
   std::sort(out.sites.begin(), out.sites.end(),
             [](const SyscallSite& a, const SyscallSite& b) {
               return a.address < b.address;
             });
+  // Sections may alias (grouped sections, malformed headers): one file
+  // offset must report one site, or the rewrite plan double-counts.
+  out.sites.erase(std::unique(out.sites.begin(), out.sites.end(),
+                              [](const SyscallSite& a, const SyscallSite& b) {
+                                return a.address == b.address;
+                              }),
+                  out.sites.end());
   return out;
+}
+
+Result<ScanResult> scan_elf(const std::string& path, ScanMode mode) {
+  auto reader = ElfReader::open(path);
+  if (!reader.is_ok()) return reader.error();
+  return scan_elf(reader.value(), mode);
 }
 
 Result<ScanResult> scan_self_filtered(

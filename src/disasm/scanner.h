@@ -31,6 +31,9 @@ struct ScanStats {
   size_t instructions_decoded = 0;
   size_t decode_failures = 0;   // bytes skipped to resynchronize
   size_t bytes_scanned = 0;
+  // Section headers were absent/empty and the scan fell back to the
+  // sanitized executable PT_LOAD segments (stripped binary).
+  bool segment_fallback = false;
 };
 
 struct ScanResult {
@@ -44,7 +47,17 @@ ScanResult scan_buffer(std::span<const uint8_t> code, uint64_t base,
 
 // Scans every executable section of an ELF file. Site addresses are
 // *file offsets* (stable across ASLR, same convention as offline logs).
+// Files whose section headers are stripped fall back to the sanitized
+// executable PT_LOAD segments (ElfReader::executable_load_segments) —
+// non-executable and writable segments are never scanned, and
+// zero-length/overlapping/out-of-bounds program headers cannot inflate
+// the site list (each code byte is visited exactly once, duplicate
+// offsets collapse).
 Result<ScanResult> scan_elf(const std::string& path, ScanMode mode);
+
+// Same, over an already-parsed image (synthetic binaries in tests,
+// malformed-ELF fuzzing).
+Result<ScanResult> scan_elf(const ElfReader& reader, ScanMode mode);
 
 // Scans the executable, file-backed regions of the *current* process and
 // returns live virtual addresses. This is the zpoline load-time step:

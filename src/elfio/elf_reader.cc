@@ -2,6 +2,7 @@
 
 #include <elf.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/files.h"
@@ -114,6 +115,48 @@ std::vector<ElfSection> ElfReader::executable_sections() const {
   return out;
 }
 
+std::vector<ElfSegment> ElfReader::executable_load_segments() const {
+  std::vector<ElfSegment> out;
+  for (const auto& seg : segments_) {
+    // Writable+executable segments are exactly what a malformed (or
+    // hostile) ELF would use to park bytes that look like syscall sites
+    // but can be rewritten out from under a later patch — skip them like
+    // the offline phase skips writable regions (paper §5.1).
+    if (seg.type != PT_LOAD || !seg.executable || seg.writable) continue;
+    ElfSegment clamped = seg;
+    // Out-of-bounds or truncated spans clamp to the file: the mapped
+    // image never holds more code bytes than the file provides (the
+    // remainder is zero-fill, which cannot encode a site worth trusting).
+    if (clamped.file_offset >= data_.size()) continue;
+    clamped.file_size =
+        std::min<uint64_t>(clamped.file_size, data_.size() - clamped.file_offset);
+    if (clamped.file_size == 0) continue;
+    out.push_back(clamped);
+  }
+  // Overlapping program headers must not double-scan (and double-report)
+  // the shared bytes: sort by file offset and clip each span to start at
+  // the previous one's end.
+  std::sort(out.begin(), out.end(),
+            [](const ElfSegment& a, const ElfSegment& b) {
+              return a.file_offset < b.file_offset;
+            });
+  std::vector<ElfSegment> disjoint;
+  uint64_t covered_end = 0;
+  for (ElfSegment seg : out) {
+    const uint64_t end = seg.file_offset + seg.file_size;
+    if (end <= covered_end) continue;  // fully contained in a prior span
+    if (seg.file_offset < covered_end) {
+      const uint64_t clip = covered_end - seg.file_offset;
+      seg.file_offset += clip;
+      seg.virtual_address += clip;
+      seg.file_size -= clip;
+    }
+    covered_end = end;
+    disjoint.push_back(seg);
+  }
+  return disjoint;
+}
+
 const ElfSection* ElfReader::find_section(const std::string& name) const {
   for (const auto& s : sections_) {
     if (s.name == name) return &s;
@@ -164,6 +207,17 @@ Result<std::vector<uint8_t>> ElfReader::section_bytes(
   const auto* begin =
       reinterpret_cast<const uint8_t*>(data_.data() + section.file_offset);
   return std::vector<uint8_t>(begin, begin + section.size);
+}
+
+Result<std::vector<uint8_t>> ElfReader::segment_bytes(
+    const ElfSegment& segment) const {
+  if (segment.file_offset > data_.size() ||
+      data_.size() - segment.file_offset < segment.file_size) {
+    return Status::fail("segment out of file bounds");
+  }
+  const auto* begin =
+      reinterpret_cast<const uint8_t*>(data_.data() + segment.file_offset);
+  return std::vector<uint8_t>(begin, begin + segment.file_size);
 }
 
 }  // namespace k23

@@ -60,6 +60,16 @@ class ElfReader {
   // syscall instructions.
   std::vector<ElfSection> executable_sections() const;
 
+  // PT_LOAD segments that are executable and non-writable — the
+  // load-time truth for stripped binaries whose section headers are gone
+  // (K23_STATIC scans these when executable_sections() is empty). The
+  // returned spans are sanitized against the hostile-ELF cases the
+  // scanner must not amplify into phantom sites: zero-length and
+  // out-of-file-bounds segments are dropped, in-bounds spans are clamped
+  // to the file, and overlapping file ranges are clipped so every code
+  // byte is scanned exactly once.
+  std::vector<ElfSegment> executable_load_segments() const;
+
   const ElfSection* find_section(const std::string& name) const;
 
   // Function symbols from .symtab + .dynsym (may be empty for stripped
@@ -68,6 +78,12 @@ class ElfReader {
 
   // Raw bytes of a section.
   Result<std::vector<uint8_t>> section_bytes(const ElfSection& section) const;
+
+  // Raw file bytes of a segment's [file_offset, file_offset + file_size)
+  // span. Callers should only pass spans from executable_load_segments();
+  // a raw program header with a lying p_offset/p_filesz fails here
+  // instead of reading out of bounds.
+  Result<std::vector<uint8_t>> segment_bytes(const ElfSegment& segment) const;
 
  private:
   std::string path_;

@@ -104,6 +104,11 @@ inline constexpr int kPolicy = 100;
 // first, then may still be accelerated).
 inline constexpr int kBatch = 150;
 inline constexpr int kAccel = 200;
+// The late-module rescan observer (k23/static_discovery.h) watches for
+// executable mappings after the accelerators: it never replaces a call,
+// only bumps a generation counter, and placing it past kAccel keeps it
+// off the path of calls an accelerator already served.
+inline constexpr int kRescan = 250;
 inline constexpr int kRecorder = 300;
 }  // namespace hook_priority
 

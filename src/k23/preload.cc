@@ -36,6 +36,7 @@
 #include "k23/k23.h"
 #include "k23/liblogger.h"
 #include "k23/process_tree.h"
+#include "k23/static_discovery.h"
 #include "lazypoline/lazypoline.h"
 #include "ptracer/ptracer.h"
 #include "rewrite/nopatch.h"
@@ -242,14 +243,43 @@ __attribute__((constructor)) void k23_preload_init() {
   ptracer_handoff();
   OfflineLog log;
   LogLoadReport load_report;
+  bool have_log = false;
   const char* log_file = env_raw("K23_LOG_FILE");
   if (log_file != nullptr) {
     auto loaded = OfflineLog::load(log_file, &load_report);
     if (loaded.is_ok()) {
       log = std::move(loaded).value();
+      have_log = true;
     } else {
       K23_LOG(kWarn) << "libk23_preload: no offline log at " << log_file
                      << " (SUD fallback will carry all traffic)";
+    }
+  }
+  // Zero-warmup path (DESIGN.md §13): scan the process image for syscall
+  // sites at load time and cross-validate against the log. The eager set
+  // replaces the log on the unchanged init path below; static-only sites
+  // are armed for SUD-watch after init brings promotion up.
+  const StaticDiscoveryConfig static_config = StaticDiscoveryConfig::from_env();
+  bool static_on = static_config.mode != StaticMode::kOff;
+  StaticScanReport static_scan;
+  CrossValidation xval;
+  if (static_on) {
+    auto scanned = StaticDiscovery::scan_process(static_config);
+    if (scanned.is_ok()) {
+      static_scan = std::move(scanned).value();
+      xval = StaticDiscovery::cross_validate(static_scan, log, have_log,
+                                             static_config.mode);
+      K23_LOG(kDebug) << "libk23_preload: static discovery ("
+                      << static_mode_name(static_config.mode) << "): "
+                      << static_scan.discovered.size() << " sites in "
+                      << static_scan.modules_scanned << " modules, "
+                      << static_scan.scan_micros << "us; eager "
+                      << xval.eager.size() << ", watch " << xval.watch.size()
+                      << ", gap " << xval.gap.size();
+    } else {
+      K23_LOG(kWarn) << "libk23_preload: static discovery failed: "
+                     << scanned.message() << " (offline log only)";
+      static_on = false;
     }
   }
   K23Interposer::Options options;
@@ -261,7 +291,7 @@ __attribute__((constructor)) void k23_preload_init() {
   if (Status bb = BlackBox::init(BlackBox::Config::from_env()); !bb.is_ok()) {
     K23_LOG(kWarn) << "libk23_preload: black-box off: " << bb.message();
   }
-  auto report = K23Interposer::init(log, options);
+  auto report = K23Interposer::init(static_on ? xval.eager : log, options);
   if (!report.is_ok()) {
     K23_LOG(kError) << "libk23_preload: K23 init failed: "
                     << report.message();
@@ -293,6 +323,32 @@ __attribute__((constructor)) void k23_preload_init() {
       }
     }
     DegradationReport& deg = report.value().degradation;
+    if (static_on) {
+      // SUD-watch the static-only sites (first hit confirms + promotes)
+      // and arm the dlopen rescan. Both need init done: watch rides the
+      // promotion hit table, the rescan observer rides the dispatcher.
+      const size_t watched = StaticDiscovery::arm_watch(xval.watch);
+      if (watched < xval.watch.size()) {
+        deg.add("static-discovery",
+                std::to_string(xval.watch.size() - watched) +
+                    " static-only sites not armed for SUD-watch "
+                    "(promotion inactive or hit table full); they stay "
+                    "plain SUD traffic");
+      }
+      if (!xval.gap.empty()) {
+        deg.add("static-discovery",
+                "discovery gap: " + std::to_string(xval.gap.size()) +
+                    " offline-log sites not found by the static scan "
+                    "(stale log, or module updated since profiling)");
+      }
+      if (static_config.rescan_ms > 0) {
+        if (Status st = StaticDiscovery::arm_rescan(static_config);
+            !st.is_ok()) {
+          K23_LOG(kWarn) << "libk23_preload: dlopen rescan off: "
+                         << st.message();
+        }
+      }
+    }
     if (load_report.corrupt_records > 0 || load_report.torn_tail) {
       deg.add("offline-log",
               std::to_string(load_report.corrupt_records) +

@@ -90,6 +90,7 @@ std::atomic<uint64_t> g_sud_hits{0};
 std::atomic<uint64_t> g_promoted{0};
 std::atomic<uint64_t> g_refused{0};
 std::atomic<uint64_t> g_dropped{0};
+std::atomic<uint64_t> g_watched{0};
 std::atomic<bool> g_membarrier_sync_core{false};
 
 size_t slot_hash(uint64_t site) {
@@ -127,6 +128,28 @@ bool promoted_set_contains(uint64_t site) {
     idx = (idx + 1) & (kPromotedSetSlots - 1);
   }
   return false;
+}
+
+// Finds or claims the hit slot for `site`. Probing is bounded so the
+// SIGSYS handler's latency stays bounded when the table is pathologically
+// full; nullptr means the table cannot take the site.
+HitSlot* claim_slot(uint64_t site) {
+  size_t idx = slot_hash(site) & (kHitSlots - 1);
+  for (size_t probe = 0; probe < kMaxProbes; ++probe) {
+    HitSlot& candidate = g_hit_table[idx];
+    uint64_t cur = candidate.site.load(std::memory_order_acquire);
+    if (cur == site) return &candidate;
+    if (cur == 0) {
+      uint64_t expected = 0;
+      if (candidate.site.compare_exchange_strong(expected, site,
+                                                 std::memory_order_acq_rel)) {
+        return &candidate;
+      }
+      if (expected == site) return &candidate;
+    }
+    idx = (idx + 1) & (kHitSlots - 1);
+  }
+  return nullptr;
 }
 
 void refuse(HitSlot& slot, uint8_t reason, int err = 0) {
@@ -293,6 +316,7 @@ void Promotion::shutdown() {
   g_promoted.store(0, std::memory_order_relaxed);
   g_refused.store(0, std::memory_order_relaxed);
   g_dropped.store(0, std::memory_order_relaxed);
+  g_watched.store(0, std::memory_order_relaxed);
 }
 
 bool Promotion::active() { return g_active.load(std::memory_order_acquire); }
@@ -303,29 +327,7 @@ bool Promotion::note_sud_hit(uint64_t site_address) {
   }
   g_sud_hits.fetch_add(1, std::memory_order_relaxed);
 
-  size_t idx = slot_hash(site_address) & (kHitSlots - 1);
-  HitSlot* slot = nullptr;
-  for (size_t probe = 0; probe < kMaxProbes; ++probe) {
-    HitSlot& candidate = g_hit_table[idx];
-    uint64_t cur = candidate.site.load(std::memory_order_acquire);
-    if (cur == site_address) {
-      slot = &candidate;
-      break;
-    }
-    if (cur == 0) {
-      uint64_t expected = 0;
-      if (candidate.site.compare_exchange_strong(expected, site_address,
-                                                 std::memory_order_acq_rel)) {
-        slot = &candidate;
-        break;
-      }
-      if (expected == site_address) {
-        slot = &candidate;
-        break;
-      }
-    }
-    idx = (idx + 1) & (kHitSlots - 1);
-  }
+  HitSlot* slot = claim_slot(site_address);
   if (slot == nullptr) {
     // Probe budget exhausted (pathological site count). The syscall still
     // works via SUD — promotion just stops learning new sites.
@@ -348,12 +350,58 @@ bool Promotion::is_promoted(uint64_t site_address) {
   return promoted_set_contains(site_address);
 }
 
+bool Promotion::watch_site(uint64_t site_address) {
+  if (!g_active.load(std::memory_order_acquire) || site_address == 0) {
+    return false;
+  }
+  HitSlot* slot = claim_slot(site_address);
+  if (slot == nullptr) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Pre-seed to one hit below the threshold: the next live trap crosses
+  // it and runs the normal validate+patch pipeline. Never lower an
+  // organically higher count, and never touch a slot that already left
+  // kCounting (promoted or refused — both are final).
+  if (slot->state.load(std::memory_order_acquire) != kCounting) {
+    return slot->state.load(std::memory_order_acquire) == kPromoted;
+  }
+  const uint32_t seed = g_config.threshold - 1;
+  uint32_t cur = slot->hits.load(std::memory_order_relaxed);
+  while (cur < seed) {
+    if (slot->hits.compare_exchange_weak(cur, seed,
+                                         std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  g_watched.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Promotion::force_promote(uint64_t site_address) {
+  if (!g_active.load(std::memory_order_acquire) || site_address == 0) {
+    return false;
+  }
+  HitSlot* slot = claim_slot(site_address);
+  if (slot == nullptr) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  uint32_t expected = kCounting;
+  if (slot->state.compare_exchange_strong(expected, kPromoting,
+                                          std::memory_order_acq_rel)) {
+    attempt_promotion(*slot, site_address);
+  }
+  return slot->state.load(std::memory_order_acquire) == kPromoted;
+}
+
 PromotionStats Promotion::stats() {
   PromotionStats s;
   s.sud_hits = g_sud_hits.load(std::memory_order_relaxed);
   s.promoted = g_promoted.load(std::memory_order_relaxed);
   s.refused = g_refused.load(std::memory_order_relaxed);
   s.dropped = g_dropped.load(std::memory_order_relaxed);
+  s.watched = g_watched.load(std::memory_order_relaxed);
   s.membarrier_sync_core =
       g_membarrier_sync_core.load(std::memory_order_relaxed);
   return s;

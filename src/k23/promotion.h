@@ -62,6 +62,7 @@ struct PromotionStats {
   uint64_t promoted = 0;        // sites successfully rewritten online
   uint64_t refused = 0;         // sites that failed the predicate/patch
   uint64_t dropped = 0;         // hits not counted (hit table full)
+  uint64_t watched = 0;         // sites pre-seeded to promote on first hit
   bool membarrier_sync_core = false;  // EXPEDITED_SYNC_CORE available
 };
 
@@ -87,6 +88,23 @@ class Promotion {
 
   // Lock-free membership test for the trampoline entry validator.
   static bool is_promoted(uint64_t site_address);
+
+  // SUD-watch tier (static discovery, k23/static_discovery.h): pre-seeds
+  // the hit table so the FIRST SUD hit at `site_address` crosses the
+  // promotion threshold. A statically discovered site the offline log
+  // cannot vouch for is not patched blind — its first live trap is the
+  // confirmation that the bytes really are a reachable syscall, and the
+  // existing validate+patch pipeline promotes it right then. Normal
+  // context only. Returns false when promotion is inactive or the hit
+  // table cannot take the site.
+  static bool watch_site(uint64_t site_address);
+
+  // Runs the full validation predicate + transactional patch on
+  // `site_address` immediately (normal context; K23_STATIC=strict and
+  // late-module eager promotion). Exactly the threshold-crossing path,
+  // minus the wait for a hit. Returns true when the site ends up
+  // promoted (including already-promoted).
+  static bool force_promote(uint64_t site_address);
 
   static PromotionStats stats();
   static std::vector<uint64_t> promoted_sites();

@@ -1,0 +1,341 @@
+#include "k23/static_discovery.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "disasm/scanner.h"
+#include "interpose/dispatch.h"
+#include "k23/promotion.h"
+#include "procmaps/procmaps.h"
+
+namespace k23 {
+namespace {
+
+uint64_t micros_between(std::chrono::steady_clock::time_point a,
+                        std::chrono::steady_clock::time_point b) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+// Modules already scanned (startup scan + every rescan pass). Gates the
+// rescan thread to genuinely new mappings. Leaked on purpose: the rescan
+// thread may outlive static destructors in exotic shutdown orders.
+bool mark_module_scanned(const std::string& path) {
+  static auto* scanned = new std::set<std::string>();
+  static auto* mu = new std::mutex();
+  std::lock_guard<std::mutex> lock(*mu);
+  return scanned->insert(path).second;
+}
+
+// --- late-module rescan state ----------------------------------------------
+
+std::atomic<uint64_t> g_generation{0};  // exec mappings observed
+std::atomic<uint64_t> g_consumed{0};    // generation the last rescan covered
+std::atomic<bool> g_rescan_stop{false};
+std::atomic<bool> g_rescan_running{false};
+std::atomic<uint64_t> g_stat_rescans{0};
+std::atomic<uint64_t> g_stat_modules{0};
+std::atomic<uint64_t> g_stat_sites{0};
+HookHandle g_rescan_hook = 0;
+std::thread* g_rescan_thread = nullptr;
+StaticDiscoveryConfig g_rescan_config;
+
+// Dispatcher chain entry (hook_priority::kRescan). Runs on every
+// interposed syscall — possibly inside the SIGSYS handler — so it is
+// content-blind: compare two registers, bump one atomic, never touch the
+// pointer arguments. The rescan thread does the real work later, in
+// normal context.
+HookResult rescan_observe_hook(void* /*user*/, SyscallArgs& args,
+                               const HookContext& /*ctx*/) {
+  if (args.nr == SYS_mmap) {
+    // mmap(addr, len, prot, flags, fd, off): an executable file-backed
+    // mapping is how the loader brings in a dlopen'd DSO's text.
+    if ((args.rdx & PROT_EXEC) != 0 && args.r8 >= 0) {
+      g_generation.fetch_add(1, std::memory_order_release);
+    }
+  } else if (args.nr == SYS_mprotect) {
+    // Some loaders map PROT_NONE and flip text executable afterwards.
+    if ((args.rdx & PROT_EXEC) != 0) {
+      g_generation.fetch_add(1, std::memory_order_release);
+    }
+  }
+  return HookResult::passthrough();
+}
+
+void rescan_pass(StaticMode mode) {
+  g_stat_rescans.fetch_add(1, std::memory_order_relaxed);
+  auto maps = ProcessMaps::snapshot();
+  if (!maps.is_ok()) return;
+  for (const MemoryRegion& region :
+       maps.value().executable_regions(/*file_backed_only=*/true)) {
+    if (!mark_module_scanned(region.pathname)) continue;
+    g_stat_modules.fetch_add(1, std::memory_order_relaxed);
+    auto scanned = scan_elf(region.pathname, ScanMode::kLinearSweep);
+    if (!scanned.is_ok()) {
+      K23_LOG(kWarn) << "static rescan: cannot scan " << region.pathname
+                     << ": " << scanned.message();
+      continue;
+    }
+    size_t armed = 0;
+    for (const SyscallSite& site : scanned.value().sites) {
+      auto va = maps.value().address_of(region.pathname, site.address);
+      if (!va.has_value()) continue;
+      // strict: eager — validate+patch right now through the promotion
+      // predicate (normal context). on: SUD-watch — first trap confirms.
+      const bool ok = mode == StaticMode::kStrict
+                          ? Promotion::force_promote(*va)
+                          : Promotion::watch_site(*va);
+      if (ok) ++armed;
+    }
+    g_stat_sites.fetch_add(armed, std::memory_order_relaxed);
+    K23_LOG(kDebug) << "static rescan: " << region.pathname << ": "
+                    << scanned.value().sites.size() << " sites, " << armed
+                    << " armed";
+  }
+}
+
+void rescan_thread_main() {
+  const auto tick = std::chrono::milliseconds(
+      g_rescan_config.rescan_ms != 0 ? g_rescan_config.rescan_ms : 50);
+  uint64_t seen = g_consumed.load(std::memory_order_acquire);
+  while (!g_rescan_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(tick);
+    uint64_t gen = g_generation.load(std::memory_order_acquire);
+    if (gen == seen) continue;
+    // One dlopen is a burst of mappings; wait for the generation to hold
+    // still for a full tick so the module is completely mapped before the
+    // snapshot (a half-mapped DSO would be picked up minus its text).
+    while (!g_rescan_stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(tick);
+      const uint64_t now = g_generation.load(std::memory_order_acquire);
+      if (now == gen) break;
+      gen = now;
+    }
+    if (g_rescan_stop.load(std::memory_order_acquire)) break;
+    rescan_pass(g_rescan_config.mode);
+    seen = gen;
+    g_consumed.store(gen, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+const char* static_mode_name(StaticMode mode) {
+  switch (mode) {
+    case StaticMode::kOn:     return "on";
+    case StaticMode::kStrict: return "strict";
+    default:                  return "off";
+  }
+}
+
+StaticDiscoveryConfig StaticDiscoveryConfig::from_env() {
+  StaticDiscoveryConfig config;
+  const std::string mode = env_string("K23_STATIC", "off");
+  if (mode == "on") {
+    config.mode = StaticMode::kOn;
+  } else if (mode == "strict") {
+    config.mode = StaticMode::kStrict;
+  } else {
+    config.mode = StaticMode::kOff;  // off / unset / unrecognized
+  }
+  config.threads = static_cast<uint32_t>(
+      env_u64("K23_STATIC_THREADS", config.threads, 1, 64));
+  config.rescan_ms = static_cast<uint32_t>(
+      env_u64("K23_STATIC_RESCAN_MS", config.rescan_ms, 0, 60000));
+  return config;
+}
+
+Result<StaticScanReport> StaticDiscovery::scan_process(
+    const StaticDiscoveryConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto maps = ProcessMaps::snapshot();
+  if (!maps.is_ok()) return maps.error();
+
+  // Distinct modules + the file-offset spans actually mapped executable.
+  // A site the scanner finds outside every executable mapping (e.g. in a
+  // section the loader never mapped) has no live address — reporting it
+  // would inflate Table 2 counts against the offline log.
+  struct Module {
+    std::string path;
+    std::vector<std::pair<uint64_t, uint64_t>> exec_spans;
+  };
+  std::vector<Module> modules;
+  std::map<std::string, size_t> index;
+  for (const MemoryRegion& region :
+       maps.value().executable_regions(/*file_backed_only=*/true)) {
+    auto [it, inserted] = index.try_emplace(region.pathname, modules.size());
+    if (inserted) modules.push_back({region.pathname, {}});
+    modules[it->second].exec_spans.emplace_back(
+        region.file_offset, region.file_offset + region.size());
+  }
+
+  StaticScanReport out;
+  out.modules.resize(modules.size());
+  std::vector<std::vector<LogEntry>> found(modules.size());
+
+  // One task per module, claimed off an atomic cursor by a bounded pool:
+  // ELF parse + linear sweep dominate, and modules are independent, so
+  // the scan parallelizes embarrassingly. Workers write only their own
+  // slot of `out.modules` / `found`.
+  std::atomic<size_t> cursor{0};
+  auto worker = [&]() {
+    for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+         i < modules.size();
+         i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      const Module& module = modules[i];
+      ModuleScanReport& report = out.modules[i];
+      report.path = module.path;
+      auto scanned = scan_elf(module.path, ScanMode::kLinearSweep);
+      if (!scanned.is_ok()) {
+        report.failed = true;
+        continue;
+      }
+      report.decode_failures = scanned.value().stats.decode_failures;
+      report.segment_fallback = scanned.value().stats.segment_fallback;
+      for (const SyscallSite& site : scanned.value().sites) {
+        for (const auto& [begin, end] : module.exec_spans) {
+          if (site.address >= begin && site.address < end) {
+            found[i].push_back({module.path, site.address});
+            break;
+          }
+        }
+      }
+      report.sites = found[i].size();
+    }
+  };
+  const size_t width = std::max<size_t>(
+      1, std::min<size_t>(config.threads, modules.size()));
+  std::vector<std::thread> pool;
+  for (size_t i = 1; i < width; ++i) pool.emplace_back(worker);
+  worker();  // the calling thread is pool member zero
+  for (auto& t : pool) t.join();
+
+  for (size_t i = 0; i < modules.size(); ++i) {
+    mark_module_scanned(modules[i].path);  // rescan skips startup modules
+    if (out.modules[i].failed) {
+      ++out.modules_failed;
+      continue;
+    }
+    ++out.modules_scanned;
+    for (const LogEntry& entry : found[i]) {
+      out.discovered.add(entry.region, entry.offset);
+    }
+  }
+  out.scan_micros = micros_between(t0, std::chrono::steady_clock::now());
+  return out;
+}
+
+CrossValidation StaticDiscovery::cross_validate(const StaticScanReport& scan,
+                                                const OfflineLog& log,
+                                                bool have_log,
+                                                StaticMode mode) {
+  CrossValidation out;
+  if (!have_log || log.empty()) {
+    // Nothing to disagree with: the scan is the only evidence there is,
+    // and it feeds the same startup byte-validation every log entry gets.
+    out.eager = scan.discovered;
+    return out;
+  }
+  const auto& logged = log.entries();
+  for (const LogEntry& entry : scan.discovered.entries()) {
+    const bool agreed = logged.count(entry) != 0;
+    if (agreed) ++out.agreed;
+    if (agreed || mode == StaticMode::kStrict) {
+      // Two independent sources agree (or strict trusts the scan alone):
+      // rewrite at startup through the unchanged init path.
+      out.eager.add(entry.region, entry.offset);
+    } else {
+      // Static-only: the log never saw this site trap. SUD-watch — the
+      // first live hit is the confirmation the log would have provided.
+      out.watch.add(entry.region, entry.offset);
+    }
+  }
+  for (const LogEntry& entry : logged) {
+    // Log-only: the profiling run saw a site the scan cannot find. A
+    // stale log (module updated since profiling) or a discovery bug —
+    // either way the operator hears about it (DegradationReport).
+    if (scan.discovered.entries().count(entry) == 0) out.gap.push_back(entry);
+  }
+  return out;
+}
+
+size_t StaticDiscovery::arm_watch(const OfflineLog& watch) {
+  if (watch.empty() || !Promotion::active()) return 0;
+  auto maps = ProcessMaps::snapshot();
+  if (!maps.is_ok()) return 0;
+  size_t armed = 0;
+  for (const LogEntry& entry : watch.entries()) {
+    auto va = maps.value().address_of(entry.region, entry.offset);
+    if (va.has_value() && Promotion::watch_site(*va)) ++armed;
+  }
+  return armed;
+}
+
+Status StaticDiscovery::arm_rescan(const StaticDiscoveryConfig& config) {
+  if (config.rescan_ms == 0) {
+    return Status::fail("rescan disabled (K23_STATIC_RESCAN_MS=0)");
+  }
+  disarm_rescan();
+  g_rescan_config = config;
+  g_rescan_hook = Dispatcher::instance().register_hook(
+      hook_priority::kRescan, &rescan_observe_hook, nullptr);
+  if (g_rescan_hook == 0) {
+    return Status::fail("dispatcher hook chain full");
+  }
+  g_rescan_stop.store(false, std::memory_order_release);
+  g_rescan_thread = new std::thread(&rescan_thread_main);
+  g_rescan_running.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+void StaticDiscovery::disarm_rescan() {
+  g_rescan_stop.store(true, std::memory_order_release);
+  if (g_rescan_thread != nullptr) {
+    g_rescan_thread->join();
+    delete g_rescan_thread;
+    g_rescan_thread = nullptr;
+  }
+  g_rescan_running.store(false, std::memory_order_release);
+  if (g_rescan_hook != 0) {
+    Dispatcher::instance().unregister_hook(g_rescan_hook);
+    g_rescan_hook = 0;
+  }
+}
+
+void StaticDiscovery::note_exec_mapping() {
+  g_generation.fetch_add(1, std::memory_order_release);
+}
+
+StaticDiscovery::RescanStats StaticDiscovery::rescan_stats() {
+  RescanStats s;
+  s.generations = g_generation.load(std::memory_order_relaxed);
+  s.rescans = g_stat_rescans.load(std::memory_order_relaxed);
+  s.modules_scanned = g_stat_modules.load(std::memory_order_relaxed);
+  s.sites_armed = g_stat_sites.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool StaticDiscovery::quiesce_rescan(uint32_t timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const uint64_t gen = g_generation.load(std::memory_order_acquire);
+    const uint64_t consumed = g_consumed.load(std::memory_order_acquire);
+    if (gen == consumed) return true;
+    if (!g_rescan_running.load(std::memory_order_acquire)) return false;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace k23

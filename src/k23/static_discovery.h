@@ -1,0 +1,151 @@
+// Load-time static syscall-site discovery (K23_STATIC) — the zero-warmup
+// alternative to the offline profiling phase.
+//
+// The paper's offline phase (§5.1) buys P3a/P3b safety by only rewriting
+// sites *observed* to trap under representative inputs — at the price of a
+// profiling run per deployment and a cold start whenever the log is
+// missing or stale: every unlogged site pays the SIGSYS round-trip until
+// hot-site promotion catches up. This subsystem removes the warmup
+// without giving up the validation discipline:
+//
+//   1. at load time, enumerate every file-backed executable region of the
+//      process (src/procmaps), parse each distinct module once
+//      (src/elfio) and drive the linear-sweep decoder (src/disasm) over
+//      its executable sections — segments when stripped — in a parallel
+//      per-module scan (one task per DSO, bounded worker pool,
+//      K23_STATIC_THREADS);
+//   2. cross-validate the static site set against the offline log when
+//      one exists: agreement promotes eagerly through the unchanged
+//      startup rewrite (the merged set feeds K23Interposer::init as an
+//      ordinary OfflineLog), static-only sites enter SUD-watch
+//      (Promotion::watch_site — their first live trap confirms and
+//      promotes them through the PR-2 validated pipeline, so a decoder
+//      misidentification can never patch bytes that don't trap), and
+//      log-only sites are surfaced as a *discovery gap* in the
+//      DegradationReport (a stale or foreign log, out loud);
+//   3. K23_STATIC=strict trusts the scan alone: all static sites are
+//      eager, the log is only consulted for the gap report — the
+//      zero-warmup configuration benchmarked by bench_coldstart;
+//   4. modules mapped after startup (dlopen) are caught by a dispatcher
+//      chain entry observing exec mappings (content-blind generation
+//      bump — SIGSYS-safe) and a background rescan thread that scans the
+//      new module and feeds its sites into watch (on) or eager
+//      promotion (strict). See arm_rescan().
+//
+// Every eagerly rewritten site still passes the startup rewriter's byte
+// validation, and every watched site the promotion predicate — static
+// discovery changes *where candidate sites come from*, never what is
+// patched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "k23/offline_log.h"
+
+namespace k23 {
+
+enum class StaticMode {
+  kOff,     // paper behavior: offline log only
+  kOn,      // scan + cross-validate against the log (watch static-only)
+  kStrict,  // scan is the single source of truth (all static sites eager)
+};
+
+const char* static_mode_name(StaticMode mode);
+
+struct StaticDiscoveryConfig {
+  StaticMode mode = StaticMode::kOff;
+  // Worker pool width for the per-module scan. Scanning is per-DSO
+  // embarrassingly parallel; 4 saturates the ELF parse + linear sweep on
+  // typical module counts without stealing startup CPU from the app.
+  uint32_t threads = 4;
+  // Late-module rescan poll period (ms). 0 disables the rescan thread
+  // (dlopen'd modules then stay on the SUD path until promotion finds
+  // their hot sites organically).
+  uint32_t rescan_ms = 50;
+
+  // Parses K23_STATIC (off|on|strict), K23_STATIC_THREADS (1..64) and
+  // K23_STATIC_RESCAN_MS (0 = off).
+  static StaticDiscoveryConfig from_env();
+};
+
+// One scanned module (distinct file-backed executable mapping).
+struct ModuleScanReport {
+  std::string path;
+  size_t sites = 0;            // syscall/sysenter file offsets found
+  size_t decode_failures = 0;  // linear-sweep resyncs (P3a visibility)
+  bool segment_fallback = false;  // stripped: scanned PT_LOAD segments
+  bool failed = false;            // unreadable / unparseable module
+};
+
+struct StaticScanReport {
+  // Every discovered site as (region pathname, file offset) — the same
+  // coordinates the offline log uses, so downstream code cannot tell the
+  // two sources apart.
+  OfflineLog discovered;
+  std::vector<ModuleScanReport> modules;
+  size_t modules_scanned = 0;
+  size_t modules_failed = 0;
+  uint64_t scan_micros = 0;  // wall time of the parallel scan
+};
+
+// The cross-validation verdict (DESIGN.md §13 state machine).
+struct CrossValidation {
+  OfflineLog eager;            // rewritten at startup (normal init path)
+  OfflineLog watch;            // SUD-watch: first hit confirms + promotes
+  std::vector<LogEntry> gap;   // log-only sites the scan missed
+  size_t agreed = 0;           // |static ∩ log|
+};
+
+class StaticDiscovery {
+ public:
+  // Parallel per-module scan of the current process image. Unreadable or
+  // malformed modules degrade to per-module failure entries, never a
+  // failed scan — the SUD net covers whatever was skipped.
+  static Result<StaticScanReport> scan_process(
+      const StaticDiscoveryConfig& config);
+
+  // Splits the discovered set against the offline log per `mode`
+  // (kOn: eager = static ∩ log, watch = static \ log, gap = log \ static;
+  // kStrict: eager = static, gap = log \ static). With `have_log` false
+  // every discovered site is eager — there is nothing to disagree with.
+  static CrossValidation cross_validate(const StaticScanReport& scan,
+                                        const OfflineLog& log, bool have_log,
+                                        StaticMode mode);
+
+  // Resolves every `watch` entry to its live address and pre-seeds the
+  // promotion hit table (Promotion::watch_site). Returns sites armed;
+  // 0 when promotion is inactive (sites then stay plain SUD traffic).
+  static size_t arm_watch(const OfflineLog& watch);
+
+  // --- late-module rescan (dlopen coverage) -------------------------------
+
+  // Registers the exec-mapping observer on the dispatcher chain
+  // (hook_priority::kRescan) and starts the background rescan thread.
+  // The observer is SIGSYS-safe: it only compares mmap arguments and
+  // bumps an atomic generation counter — the thread does the scanning in
+  // normal context. The thread is NOT inherited across fork (no thread
+  // is); a forked child falls back to promotion for late modules.
+  static Status arm_rescan(const StaticDiscoveryConfig& config);
+  static void disarm_rescan();  // unhook + join (idempotent)
+
+  // Exec-mapping notification (called by the chain entry; exposed for
+  // tests to trigger a rescan without a real dlopen).
+  static void note_exec_mapping();
+
+  struct RescanStats {
+    uint64_t generations = 0;     // exec mappings observed
+    uint64_t rescans = 0;         // rescan passes performed
+    uint64_t modules_scanned = 0; // new modules picked up
+    uint64_t sites_armed = 0;     // watched (on) or promoted (strict)
+  };
+  static RescanStats rescan_stats();
+
+  // Waits until the rescan thread has drained every pending generation
+  // (test/bench synchronization; returns false on `timeout_ms` expiry).
+  static bool quiesce_rescan(uint32_t timeout_ms);
+};
+
+}  // namespace k23

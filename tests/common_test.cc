@@ -300,7 +300,7 @@ TEST(EnvGrammar, TableIsWellFormed) {
   // The knobs the subsystems actually read must all be declared.
   for (const char* name : {"K23_MODE", "K23_VARIANT", "K23_ACCEL",
                            "K23_STATS", "K23_FOLLOW", "K23_PROMOTE",
-                           "K23_LOG_LEVEL", "K23_FAULTS"}) {
+                           "K23_STATIC", "K23_LOG_LEVEL", "K23_FAULTS"}) {
     EXPECT_NE(env_spec(name), nullptr) << name;
   }
 }

@@ -3,8 +3,12 @@
 // Length ground truth comes from hand-assembled encodings (checked
 // against `as`/objdump during development); the scanner is additionally
 // validated against the real libc in scanner self-scan tests.
+#include <elf.h>
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <set>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -238,6 +242,200 @@ TEST(Scanner, SelfScanFilterRestrictsToSuffix) {
   ASSERT_TRUE(only_libc.is_ok());
   EXPECT_GT(only_libc.value().sites.size(), 0u);
   EXPECT_LE(only_libc.value().sites.size(), all.value().sites.size());
+}
+
+// --- malformed-ELF hardening (segment-aware scan) ----------------------------
+//
+// The static-discovery path (K23_STATIC) scans every mapped module,
+// including stripped binaries where only program headers exist. A
+// malformed or hostile ELF must not crash the scanner or inflate the
+// site list: writable/non-executable segments are never scanned, and
+// zero-length/out-of-bounds/overlapping program headers are sanitized.
+
+// Minimal stripped ELF64: ehdr + phdrs + payload, no section headers.
+std::string synth_elf(const std::vector<Elf64_Phdr>& phdrs,
+                      const std::string& payload) {
+  Elf64_Ehdr ehdr{};
+  std::memcpy(ehdr.e_ident, ELFMAG, SELFMAG);
+  ehdr.e_ident[EI_CLASS] = ELFCLASS64;
+  ehdr.e_ident[EI_DATA] = ELFDATA2LSB;
+  ehdr.e_ident[EI_VERSION] = EV_CURRENT;
+  ehdr.e_type = ET_DYN;
+  ehdr.e_machine = EM_X86_64;
+  ehdr.e_version = EV_CURRENT;
+  ehdr.e_ehsize = sizeof(Elf64_Ehdr);
+  ehdr.e_phoff = sizeof(Elf64_Ehdr);
+  ehdr.e_phentsize = sizeof(Elf64_Phdr);
+  ehdr.e_phnum = static_cast<uint16_t>(phdrs.size());
+  std::string image(reinterpret_cast<const char*>(&ehdr), sizeof(ehdr));
+  for (const Elf64_Phdr& phdr : phdrs) {
+    image.append(reinterpret_cast<const char*>(&phdr), sizeof(phdr));
+  }
+  image += payload;
+  return image;
+}
+
+Elf64_Phdr load_phdr(uint64_t offset, uint64_t filesz, uint32_t flags) {
+  Elf64_Phdr phdr{};
+  phdr.p_type = PT_LOAD;
+  phdr.p_flags = flags;
+  phdr.p_offset = offset;
+  phdr.p_vaddr = offset;
+  phdr.p_filesz = filesz;
+  phdr.p_memsz = filesz;
+  phdr.p_align = 1;
+  return phdr;
+}
+
+// File offset where the payload lands for an image with `nphdrs` headers.
+uint64_t payload_offset(size_t nphdrs) {
+  return sizeof(Elf64_Ehdr) + nphdrs * sizeof(Elf64_Phdr);
+}
+
+// nop, syscall, ret — one real site at payload+1.
+const char kSyscallPayload[] = "\x90\x0f\x05\xc3";
+
+TEST(ScannerHardened, StrippedBinaryFallsBackToSegments) {
+  const std::string payload(kSyscallPayload, 4);
+  const uint64_t off = payload_offset(1);
+  auto reader = ElfReader::parse(
+      synth_elf({load_phdr(off, payload.size(), PF_R | PF_X)}, payload),
+      "synthetic");
+  ASSERT_TRUE(reader.is_ok()) << reader.message();
+  auto result = scan_elf(reader.value(), ScanMode::kLinearSweep);
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  EXPECT_TRUE(result.value().stats.segment_fallback);
+  ASSERT_EQ(result.value().sites.size(), 1u);
+  EXPECT_EQ(result.value().sites[0].address, off + 1);
+}
+
+TEST(ScannerHardened, WritableAndNonExecSegmentsNeverScanned) {
+  const std::string payload(kSyscallPayload, 4);
+  const uint64_t off = payload_offset(2);
+  // W+X is exactly where a hostile image parks patchable-looking bytes;
+  // R-only holds data. Neither may contribute sites.
+  auto reader = ElfReader::parse(
+      synth_elf({load_phdr(off, payload.size(), PF_R | PF_W | PF_X),
+                 load_phdr(off, payload.size(), PF_R)},
+                payload),
+      "synthetic");
+  ASSERT_TRUE(reader.is_ok());
+  auto result = scan_elf(reader.value(), ScanMode::kLinearSweep);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().sites.empty());
+  EXPECT_EQ(result.value().stats.bytes_scanned, 0u);
+}
+
+TEST(ScannerHardened, ZeroLengthAndOutOfBoundsSegmentsDropped) {
+  const std::string payload(kSyscallPayload, 4);
+  const uint64_t off = payload_offset(4);
+  const uint64_t file_size = off + payload.size();
+  auto reader = ElfReader::parse(
+      synth_elf({load_phdr(off, 0, PF_R | PF_X),              // zero-length
+                 load_phdr(file_size + 4096, 64, PF_R | PF_X),  // past EOF
+                 load_phdr(off, UINT64_MAX - off, PF_R | PF_X),  // huge size
+                 load_phdr(off, payload.size(), PF_R | PF_X)},   // honest
+                payload),
+      "synthetic");
+  ASSERT_TRUE(reader.is_ok());
+  auto result = scan_elf(reader.value(), ScanMode::kLinearSweep);
+  ASSERT_TRUE(result.is_ok());
+  // The huge span clamps to the file, the honest one duplicates it, the
+  // broken ones vanish: exactly one site survives.
+  ASSERT_EQ(result.value().sites.size(), 1u);
+  EXPECT_EQ(result.value().sites[0].address, off + 1);
+}
+
+TEST(ScannerHardened, OverlappingSegmentsReportEachSiteOnce) {
+  const std::string payload(kSyscallPayload, 4);
+  const uint64_t off = payload_offset(3);
+  auto reader = ElfReader::parse(
+      synth_elf({load_phdr(off, payload.size(), PF_R | PF_X),
+                 load_phdr(off, payload.size(), PF_R | PF_X),  // exact dup
+                 load_phdr(off + 1, payload.size() - 1, PF_R | PF_X)},
+                payload),
+      "synthetic");
+  ASSERT_TRUE(reader.is_ok());
+  auto result = scan_elf(reader.value(), ScanMode::kLinearSweep);
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result.value().sites.size(), 1u);
+  EXPECT_EQ(result.value().sites[0].address, off + 1);
+}
+
+TEST(ScannerHardened, HeaderFuzzNeverCrashesOrOverReports) {
+  const std::string payload(kSyscallPayload, 4);
+  const std::string seed_image =
+      synth_elf({load_phdr(payload_offset(2), payload.size(), PF_R | PF_X),
+                 load_phdr(payload_offset(2), payload.size(), PF_R)},
+                payload);
+  // Deterministic xorshift so a failure replays.
+  uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string image = seed_image;
+    const size_t flips = 1 + next() % 8;
+    for (size_t i = 0; i < flips; ++i) {
+      // Mutate the header region (ehdr + phdrs) where lies live.
+      const size_t pos = next() % (image.size() - payload.size());
+      image[pos] = static_cast<char>(next());
+    }
+    auto reader = ElfReader::parse(image, "fuzz");
+    if (!reader.is_ok()) continue;  // rejected outright is fine
+    auto result = scan_elf(reader.value(), ScanMode::kLinearSweep);
+    if (!result.is_ok()) continue;
+    for (const SyscallSite& site : result.value().sites) {
+      // Whatever the mangled headers claimed, every reported site must
+      // name real syscall/sysenter bytes inside the file.
+      ASSERT_LT(site.address + 1, image.size()) << "iter " << iter;
+      const auto* bytes =
+          reinterpret_cast<const uint8_t*>(image.data() + site.address);
+      EXPECT_EQ(bytes[0], 0x0f) << "iter " << iter;
+      EXPECT_TRUE(bytes[1] == 0x05 || bytes[1] == 0x34) << "iter " << iter;
+    }
+  }
+}
+
+TEST(ScannerHardened, RandomPhdrFuzzStaysInBounds) {
+  const std::string payload(kSyscallPayload, 4);
+  uint64_t rng = 0xC0FFEE123456789ull;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<Elf64_Phdr> phdrs;
+    const size_t count = 1 + next() % 6;
+    for (size_t i = 0; i < count; ++i) {
+      Elf64_Phdr phdr{};
+      phdr.p_type = (next() % 4 == 0) ? static_cast<uint32_t>(next())
+                                      : PT_LOAD;
+      phdr.p_flags = static_cast<uint32_t>(next() % 8);
+      phdr.p_offset = next() % 512;       // in and out of the small file
+      phdr.p_filesz = next() % 1024;
+      phdr.p_memsz = phdr.p_filesz;
+      phdr.p_vaddr = phdr.p_offset;
+      phdrs.push_back(phdr);
+    }
+    auto reader =
+        ElfReader::parse(synth_elf(phdrs, payload), "fuzz-phdr");
+    if (!reader.is_ok()) continue;
+    auto result = scan_elf(reader.value(), ScanMode::kByteScan);
+    if (!result.is_ok()) continue;
+    const std::string image = synth_elf(phdrs, payload);
+    std::set<uint64_t> seen;
+    for (const SyscallSite& site : result.value().sites) {
+      ASSERT_LT(site.address + 1, image.size()) << "iter " << iter;
+      // Overlap clipping: one file offset, one report.
+      EXPECT_TRUE(seen.insert(site.address).second) << "iter " << iter;
+    }
+  }
 }
 
 TEST(Scanner, ByteScanSupersetOfSweep) {

@@ -1,0 +1,447 @@
+// Load-time static syscall-site discovery (k23/static_discovery.h).
+//
+// Covers the cross-validation state machine, the parallel per-module
+// scan, Table 2 parity (the static scan must find every site the offline
+// log records, with zero profiling runs), the stale-log divergence
+// report, the SUD-watch confirmation path, and the dlopen late-module
+// rescan. Every test that arms SUD or rewrites text runs in a forked
+// child (support/subprocess.h).
+#include "k23/static_discovery.h"
+
+#include <dlfcn.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "arch/raw_syscall.h"
+#include "common/caps.h"
+#include "common/files.h"
+#include "k23/k23.h"
+#include "k23/liblogger.h"
+#include "k23/promotion.h"
+#include "procmaps/procmaps.h"
+#include "support/subprocess.h"
+#include "support/syscall_sites.h"
+#include "workloads/load_client.h"
+#include "workloads/mini_http.h"
+#include "workloads/mini_kv.h"
+#include "workloads/net.h"
+
+namespace k23 {
+namespace {
+
+// Full K23 (rewrite tier + SUD fallback) — promotion and rescan tests.
+#define SKIP_WITHOUT_K23_CAPS()                                        \
+  if (!capabilities().mmap_va0 || !capabilities().sud) {               \
+    GTEST_SKIP() << "needs VA-0 mapping and Syscall User Dispatch";    \
+  }
+
+// libLogger only needs SUD — the parity cells never rewrite anything.
+#define SKIP_WITHOUT_SUD()                                             \
+  if (!capabilities().sud) {                                           \
+    GTEST_SKIP() << "needs Syscall User Dispatch";                     \
+  }
+
+bool site_is_call_rax(uint64_t site) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(site);
+  return bytes[0] == kCallRaxInsn[0] && bytes[1] == kCallRaxInsn[1];
+}
+
+StaticScanReport make_scan(std::initializer_list<LogEntry> sites) {
+  StaticScanReport scan;
+  for (const LogEntry& entry : sites) {
+    scan.discovered.add(entry.region, entry.offset);
+  }
+  return scan;
+}
+
+OfflineLog make_log(std::initializer_list<LogEntry> sites) {
+  OfflineLog log;
+  for (const LogEntry& entry : sites) log.add(entry.region, entry.offset);
+  return log;
+}
+
+// --- cross-validation state machine ------------------------------------------
+
+TEST(CrossValidate, NoLogMakesEveryStaticSiteEager) {
+  StaticScanReport scan = make_scan({{"/lib/a.so", 10}, {"/lib/b.so", 20}});
+  CrossValidation xval = StaticDiscovery::cross_validate(
+      scan, OfflineLog{}, /*have_log=*/false, StaticMode::kOn);
+  EXPECT_EQ(xval.eager.size(), 2u);
+  EXPECT_TRUE(xval.watch.empty());
+  EXPECT_TRUE(xval.gap.empty());
+}
+
+TEST(CrossValidate, OnModeSplitsEagerWatchAndGap) {
+  // static = {A, B}, log = {B, C}: agreement B is eager, static-only A
+  // is watched (first hit confirms), log-only C is the discovery gap.
+  StaticScanReport scan = make_scan({{"/lib/a.so", 1}, {"/lib/b.so", 2}});
+  OfflineLog log = make_log({{"/lib/b.so", 2}, {"/lib/c.so", 3}});
+  CrossValidation xval = StaticDiscovery::cross_validate(
+      scan, log, /*have_log=*/true, StaticMode::kOn);
+  ASSERT_EQ(xval.eager.size(), 1u);
+  EXPECT_EQ(xval.eager.entries().begin()->region, "/lib/b.so");
+  ASSERT_EQ(xval.watch.size(), 1u);
+  EXPECT_EQ(xval.watch.entries().begin()->region, "/lib/a.so");
+  ASSERT_EQ(xval.gap.size(), 1u);
+  EXPECT_EQ(xval.gap[0].region, "/lib/c.so");
+  EXPECT_EQ(xval.agreed, 1u);
+}
+
+TEST(CrossValidate, StrictModeTrustsTheScanAlone) {
+  StaticScanReport scan = make_scan({{"/lib/a.so", 1}, {"/lib/b.so", 2}});
+  OfflineLog log = make_log({{"/lib/b.so", 2}, {"/lib/c.so", 3}});
+  CrossValidation xval = StaticDiscovery::cross_validate(
+      scan, log, /*have_log=*/true, StaticMode::kStrict);
+  EXPECT_EQ(xval.eager.size(), 2u);  // every static site, log or not
+  EXPECT_TRUE(xval.watch.empty());
+  ASSERT_EQ(xval.gap.size(), 1u);  // the gap is still reported
+  EXPECT_EQ(xval.gap[0].region, "/lib/c.so");
+}
+
+TEST(StaticDiscoveryConfig, FromEnvParsesModesAndBounds) {
+  ::setenv("K23_STATIC", "strict", 1);
+  ::setenv("K23_STATIC_THREADS", "8", 1);
+  ::setenv("K23_STATIC_RESCAN_MS", "0", 1);
+  StaticDiscoveryConfig config = StaticDiscoveryConfig::from_env();
+  EXPECT_EQ(config.mode, StaticMode::kStrict);
+  EXPECT_EQ(config.threads, 8u);
+  EXPECT_EQ(config.rescan_ms, 0u);
+
+  ::setenv("K23_STATIC", "on", 1);
+  ::setenv("K23_STATIC_THREADS", "9999", 1);  // out of range -> default
+  EXPECT_EQ(StaticDiscoveryConfig::from_env().mode, StaticMode::kOn);
+  EXPECT_EQ(StaticDiscoveryConfig::from_env().threads, 4u);
+
+  ::setenv("K23_STATIC", "bogus", 1);
+  EXPECT_EQ(StaticDiscoveryConfig::from_env().mode, StaticMode::kOff);
+
+  ::unsetenv("K23_STATIC");
+  ::unsetenv("K23_STATIC_THREADS");
+  ::unsetenv("K23_STATIC_RESCAN_MS");
+  EXPECT_EQ(StaticDiscoveryConfig::from_env().mode, StaticMode::kOff);
+}
+
+// --- the parallel per-module scan --------------------------------------------
+
+TEST(StaticScan, FindsLibcAndThisBinary) {
+  StaticDiscoveryConfig config;
+  config.mode = StaticMode::kOn;
+  auto scan = StaticDiscovery::scan_process(config);
+  ASSERT_TRUE(scan.is_ok()) << scan.message();
+  const StaticScanReport& report = scan.value();
+  // The process image (test binary + libc + libstdc++ + ...) holds
+  // hundreds of syscall instructions; libc alone has well over a hundred.
+  EXPECT_GT(report.discovered.size(), 100u);
+  EXPECT_GE(report.modules_scanned, 2u);
+  bool saw_libc = false;
+  for (const ModuleScanReport& module : report.modules) {
+    if (module.path.find("libc") != std::string::npos) saw_libc = true;
+  }
+  EXPECT_TRUE(saw_libc);
+  EXPECT_GT(report.scan_micros, 0u);
+}
+
+TEST(StaticScan, ParallelScanMatchesSerialScan) {
+  StaticDiscoveryConfig serial;
+  serial.mode = StaticMode::kOn;
+  serial.threads = 1;
+  StaticDiscoveryConfig wide = serial;
+  wide.threads = 8;
+  auto a = StaticDiscovery::scan_process(serial);
+  auto b = StaticDiscovery::scan_process(wide);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  // Module partitioning must not change the result set.
+  EXPECT_EQ(a.value().discovered.entries(), b.value().discovered.entries());
+}
+
+TEST(StaticScan, FindsOwnLabelledSites) {
+  auto maps = ProcessMaps::snapshot();
+  ASSERT_TRUE(maps.is_ok());
+  const MemoryRegion* region = maps.value().find(testing::getpid_site());
+  ASSERT_NE(region, nullptr);
+  auto offset = maps.value().file_offset_of(testing::getpid_site());
+  ASSERT_TRUE(offset.has_value());
+
+  StaticDiscoveryConfig config;
+  config.mode = StaticMode::kOn;
+  auto scan = StaticDiscovery::scan_process(config);
+  ASSERT_TRUE(scan.is_ok());
+  const std::set<LogEntry>& found = scan.value().discovered.entries();
+  EXPECT_EQ(found.count(LogEntry{region->pathname, *offset}), 1u)
+      << "labelled site missing from the static scan";
+}
+
+// --- Table 2 parity: static scan vs offline log ------------------------------
+
+// Runs `workload` under libLogger in a forked cell, then statically scans
+// the same process image and cross-validates. Exit codes: 0 parity holds
+// (gap empty, every log site agreed), 2 log came back empty (workload
+// mis-run), 5 discovery gap, 6 agreement short of the log.
+int parity_cell(const std::function<void()>& workload) {
+  auto log = LibLogger::record(workload);
+  if (!log.is_ok()) return 1;
+  if (log.value().empty()) return 2;
+
+  StaticDiscoveryConfig config;
+  config.mode = StaticMode::kOn;
+  auto scan = StaticDiscovery::scan_process(config);
+  if (!scan.is_ok()) return 3;
+  CrossValidation xval = StaticDiscovery::cross_validate(
+      scan.value(), log.value(), /*have_log=*/true, StaticMode::kOn);
+  if (!xval.gap.empty()) {
+    for (const LogEntry& entry : xval.gap) {
+      std::fprintf(stderr, "gap: %s+%llu\n", entry.region.c_str(),
+                   static_cast<unsigned long long>(entry.offset));
+    }
+    return 5;
+  }
+  if (xval.agreed != log.value().size()) return 6;
+  return 0;
+}
+
+// The served_workload shape from bench_table2: serve in-process (logged),
+// drive traffic from a forked client (its sites are its own copy).
+template <typename ServeFn>
+std::function<void()> served(ServeFn serve, bool http) {
+  return [serve, http] {
+    auto listen = tcp_listen(0);
+    if (!listen.is_ok()) return;
+    auto port = tcp_local_port(listen.value());
+    ::close(listen.value());
+    if (!port.is_ok()) return;
+    std::atomic<bool> stop{false};
+    ::fflush(nullptr);
+    pid_t client = ::fork();
+    if (client == 0) {
+      LoadOptions load;
+      load.port = port.value();
+      load.connections = 4;
+      load.duration_seconds = 0.3;
+      if (http) {
+        (void)run_http_load(load);
+      } else {
+        (void)run_kv_load(load);
+      }
+      ::_exit(0);
+    }
+    std::thread reaper([&] {
+      int status = 0;
+      ::waitpid(client, &status, 0);
+      stop.store(true);
+    });
+    serve(port.value(), &stop);
+    reaper.join();
+  };
+}
+
+TEST(StaticParity, MiniHttp) {
+  SKIP_WITHOUT_SUD();
+  EXPECT_CHILD_EXITS(0, [] {
+    return parity_cell(served(
+        [](uint16_t port, std::atomic<bool>* stop) {
+          MiniHttpOptions options;
+          options.port = port;
+          options.body_size = 4096;
+          options.stop = stop;
+          (void)run_http_server_inline(options);
+        },
+        /*http=*/true));
+  });
+}
+
+TEST(StaticParity, MiniKv) {
+  SKIP_WITHOUT_SUD();
+  EXPECT_CHILD_EXITS(0, [] {
+    return parity_cell(served(
+        [](uint16_t port, std::atomic<bool>* stop) {
+          MiniKvOptions options;
+          options.port = port;
+          options.stop = stop;
+          (void)run_kv_server_inline(options);
+        },
+        /*http=*/false));
+  });
+}
+
+TEST(StaticParity, PreforkHttp) {
+  SKIP_WITHOUT_SUD();
+  EXPECT_CHILD_EXITS(0, [] {
+    return parity_cell(served(
+        [](uint16_t port, std::atomic<bool>* stop) {
+          MiniHttpOptions options;
+          options.port = port;
+          options.workers = 2;
+          options.stop = stop;
+          (void)run_http_server_prefork(options);
+        },
+        /*http=*/true));
+  });
+}
+
+TEST(StaticParity, Selfcheck) {
+  SKIP_WITHOUT_SUD();
+  EXPECT_CHILD_EXITS(0, [] {
+    return parity_cell([] {
+      // A syscall-diverse in-process sweep: labelled sites, file I/O,
+      // clock reads — the selfcheck mix.
+      for (int i = 0; i < 8; ++i) {
+        (void)k23_test_getpid();
+        (void)k23_test_getuid();
+        (void)k23_test_redzone_clock();
+      }
+      auto dir = make_temp_dir("k23_static_parity_");
+      if (dir.is_ok()) {
+        (void)write_file(dir.value() + "/probe.txt", "parity\n");
+        (void)read_file(dir.value() + "/probe.txt");
+        (void)remove_tree(dir.value());
+      }
+    });
+  });
+}
+
+TEST(StaticParity, StaleLogReportsDiscoveryGap) {
+  // A log carrying a site the scan cannot find (module updated since
+  // profiling) must surface it as a gap, not silently drop it.
+  StaticDiscoveryConfig config;
+  config.mode = StaticMode::kOn;
+  auto scan = StaticDiscovery::scan_process(config);
+  ASSERT_TRUE(scan.is_ok());
+  ASSERT_FALSE(scan.value().discovered.empty());
+  const LogEntry real = *scan.value().discovered.entries().begin();
+
+  OfflineLog stale;
+  stale.add(real.region, real.offset);
+  stale.add(real.region, real.offset + 1);  // not an instruction boundary
+  CrossValidation xval = StaticDiscovery::cross_validate(
+      scan.value(), stale, /*have_log=*/true, StaticMode::kOn);
+  EXPECT_EQ(xval.agreed, 1u);
+  ASSERT_EQ(xval.gap.size(), 1u);
+  EXPECT_EQ(xval.gap[0].offset, real.offset + 1);
+}
+
+// --- SUD-watch and eager promotion -------------------------------------------
+
+TEST(StaticWatch, WatchedSitePromotesOnFirstHit) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    K23Interposer::Options options;
+    options.variant = K23Variant::kUltra;
+    auto report = K23Interposer::init(OfflineLog{}, options);
+    if (!report.is_ok()) return 1;
+    if (!report.value().promotion_active) return 2;
+
+    // Watch exactly our labelled site, as if the static scan had found
+    // it and the offline log could not vouch for it.
+    auto maps = ProcessMaps::snapshot();
+    if (!maps.is_ok()) return 3;
+    const MemoryRegion* region = maps.value().find(testing::getpid_site());
+    auto offset = maps.value().file_offset_of(testing::getpid_site());
+    if (region == nullptr || !offset.has_value()) return 4;
+    OfflineLog watch;
+    watch.add(region->pathname, *offset);
+    if (StaticDiscovery::arm_watch(watch) != 1) return 5;
+    if (Promotion::stats().watched != 1) return 6;
+
+    // Default threshold is 64; a watched site must cross on hit ONE.
+    const long pid = ::getpid();
+    if (k23_test_getpid() != pid) return 7;
+    if (!site_is_call_rax(testing::getpid_site())) return 8;
+    if (!Promotion::is_promoted(testing::getpid_site())) return 9;
+    // ...and keeps working through the trampoline.
+    for (int i = 0; i < 8; ++i) {
+      if (k23_test_getpid() != pid) return 10;
+    }
+    return 0;
+  });
+}
+
+TEST(StaticWatch, ForcePromoteRewritesWithoutAnyHit) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    K23Interposer::Options options;
+    options.variant = K23Variant::kUltra;
+    auto report = K23Interposer::init(OfflineLog{}, options);
+    if (!report.is_ok()) return 1;
+    if (!report.value().promotion_active) return 2;
+
+    // strict-mode eager path: validated + patched with zero SUD hits.
+    if (!Promotion::force_promote(testing::getpid_site())) return 3;
+    if (!site_is_call_rax(testing::getpid_site())) return 4;
+    const long pid = ::getpid();
+    if (k23_test_getpid() != pid) return 5;
+    // Bytes that fail the decoder predicate must be refused, not patched.
+    if (Promotion::force_promote(testing::getpid_site() + 1)) return 6;
+    return 0;
+  });
+}
+
+// --- dlopen late-module rescan -----------------------------------------------
+
+TEST(StaticRescan, DlopenModuleGetsRescannedAndWatched) {
+  SKIP_WITHOUT_K23_CAPS();
+  EXPECT_CHILD_EXITS(0, [] {
+    K23Interposer::Options options;
+    options.variant = K23Variant::kUltra;
+    auto report = K23Interposer::init(OfflineLog{}, options);
+    if (!report.is_ok()) return 1;
+    if (!report.value().promotion_active) return 2;
+
+    StaticDiscoveryConfig config;
+    config.mode = StaticMode::kOn;
+    config.rescan_ms = 10;
+    // Mark the modules mapped so far as seen, so the rescan pass below
+    // attributes its work to the dlopen'd DSO alone.
+    auto seed = StaticDiscovery::scan_process(config);
+    if (!seed.is_ok()) return 3;
+    if (!StaticDiscovery::arm_rescan(config).is_ok()) return 4;
+
+    // dlopen's mmap(PROT_EXEC) traps via SUD and the kRescan chain entry
+    // bumps the generation; note_exec_mapping() is the belt in case the
+    // loader took a path the observer does not classify.
+    void* handle = ::dlopen(K23_DLOPEN_SITES_LIB, RTLD_NOW);
+    if (handle == nullptr) return 5;
+    StaticDiscovery::note_exec_mapping();
+    if (!StaticDiscovery::quiesce_rescan(5000)) return 6;
+
+    StaticDiscovery::RescanStats stats = StaticDiscovery::rescan_stats();
+    if (stats.generations == 0) return 7;
+    if (stats.rescans == 0) return 8;
+    if (stats.modules_scanned == 0) return 9;
+    if (stats.sites_armed == 0) return 10;
+
+    // The DSO's labelled site is now watched: first call promotes it.
+    auto* fn = reinterpret_cast<long (*)()>(
+        ::dlsym(handle, "k23_dlopen_getpid"));
+    auto* site = reinterpret_cast<char*>(
+        ::dlsym(handle, "k23_dlopen_getpid_site"));
+    if (fn == nullptr || site == nullptr) return 11;
+    const long pid = ::getpid();
+    if (fn() != pid) return 12;
+    if (!site_is_call_rax(reinterpret_cast<uint64_t>(site))) return 13;
+    if (fn() != pid) return 14;  // now through the trampoline
+
+    StaticDiscovery::disarm_rescan();
+    return 0;
+  });
+}
+
+TEST(StaticRescan, DisarmedRescanIsInert) {
+  // arm with rescan_ms=0 must refuse; disarm without arm is a no-op.
+  StaticDiscoveryConfig config;
+  config.mode = StaticMode::kOn;
+  config.rescan_ms = 0;
+  EXPECT_FALSE(StaticDiscovery::arm_rescan(config).is_ok());
+  StaticDiscovery::disarm_rescan();
+}
+
+}  // namespace
+}  // namespace k23

@@ -1,0 +1,29 @@
+// Labelled syscall sites in a standalone DSO, loaded with dlopen() by the
+// static-discovery tests. The module does not exist in the offline log and
+// is not mapped at preload time, so its sites can only be found by the
+// late-module rescan path (K23_STATIC_RESCAN_MS).
+
+// Mirrors tests/support/syscall_sites.cc: a plain `syscall` at a known
+// label with the standard register protocol around it.
+asm(R"(
+    .text
+    .globl k23_dlopen_getpid
+    .globl k23_dlopen_getpid_site
+    .type  k23_dlopen_getpid, @function
+k23_dlopen_getpid:
+    mov $39, %eax
+k23_dlopen_getpid_site:
+    syscall
+    ret
+    .size k23_dlopen_getpid, . - k23_dlopen_getpid
+
+    .globl k23_dlopen_getuid
+    .globl k23_dlopen_getuid_site
+    .type  k23_dlopen_getuid, @function
+k23_dlopen_getuid:
+    mov $102, %eax
+k23_dlopen_getuid_site:
+    syscall
+    ret
+    .size k23_dlopen_getuid, . - k23_dlopen_getuid
+)");
