@@ -1,0 +1,222 @@
+// Fleet supervision microbenchmark (DESIGN.md §14): what does a worker
+// pay per syscall for being supervised, and how fast do fleet-wide
+// config pushes land?
+//
+// Cells (all through the dispatcher funnel, SYS_getpid as the probe —
+// the cheapest real syscall, so the hook cost is the largest fraction
+// of the measurement it can be):
+//
+//   unsupervised — no fleet hook registered: the pre-PR hot path.
+//   supervised   — registered with an in-process k23d supervisor; the
+//                  hook consults the shared segment (one acquire load
+//                  of the segment pointer + one of the seqlock word)
+//                  on every call.
+//
+// The headline metric is the difference of per-cell medians:
+// fleet/consult_overhead_ns, gated ABSOLUTELY (<= 20 ns, ISSUE 9
+// acceptance) by check_bench_regression.py --max in the nightly job —
+// a relative tolerance is meaningless for a value this close to zero.
+//
+//   bench_fleet [--iters=N] [--runs=R] [--json=PATH]
+//
+// JSON metrics (all lower-is-better):
+//   fleet/ns_per_syscall/unsupervised
+//   fleet/ns_per_syscall/supervised
+//   fleet/consult_overhead_ns        (diff of medians, clamped at 0)
+//   fleet/register_us                (connect + SCM_RIGHTS + 2 mmaps)
+//   fleet/push_apply_us              (apply_set -> worker hook applied)
+//   fleet/stats_agg_us               (supervisor-side aggregation pass)
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/client.h"
+#include "fleet/supervisor.h"
+#include "interpose/dispatch.h"
+#include "support/json_out.h"
+
+namespace k23::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? -1.0 : v[v.size() / 2];
+}
+
+double elapsed_ns(Clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+// ns/call for `iters` getpid round trips through Dispatcher::on_syscall.
+double consult_cell(long iters) {
+  Dispatcher& dispatcher = Dispatcher::instance();
+  HookContext ctx;
+  const pid_t self = ::getpid();
+  const auto start = Clock::now();
+  for (long i = 0; i < iters; ++i) {
+    SyscallArgs args;
+    args.nr = SYS_getpid;
+    if (dispatcher.on_syscall(args, ctx) != self) return -1.0;
+  }
+  return elapsed_ns(start) / static_cast<double>(iters);
+}
+
+int run(long iters, int runs, const std::string& json_path) {
+  const std::string sock =
+      "/tmp/k23.bench_fleet." + std::to_string(::getpid()) + ".sock";
+  ::unlink(sock.c_str());
+
+  fleet::SupervisorOptions options;
+  options.sock = sock;
+  options.tick_ms = 50;
+  options.initial.publish_ms = 200;
+  fleet::Supervisor supervisor(options);
+  if (!supervisor.run_in_thread().is_ok()) {
+    std::fprintf(stderr, "bench_fleet: supervisor failed to start\n");
+    return 1;
+  }
+
+  // Unsupervised cells first: the fleet hook must not exist yet.
+  std::vector<double> unsupervised;
+  for (int r = 0; r < runs; ++r) {
+    const double ns = consult_cell(iters);
+    if (ns < 0) {
+      std::fprintf(stderr, "bench_fleet: unsupervised cell failed\n");
+      return 1;
+    }
+    unsupervised.push_back(ns);
+  }
+
+  // Registration latency: one-shot by nature (a process registers once),
+  // so report the single synchronous init.
+  fleet::FleetClientConfig config;
+  config.enabled = true;
+  config.sock = sock;
+  config.tenant = "bench";
+  config.connect_timeout_ms = 1000;
+  const auto reg_start = Clock::now();
+  if (!fleet::FleetClient::init(config).is_ok()) {
+    std::fprintf(stderr, "bench_fleet: registration failed\n");
+    return 1;
+  }
+  const double register_us = elapsed_ns(reg_start) / 1000.0;
+
+  std::vector<double> supervised;
+  for (int r = 0; r < runs; ++r) {
+    const double ns = consult_cell(iters);
+    if (ns < 0) {
+      std::fprintf(stderr, "bench_fleet: supervised cell failed\n");
+      return 1;
+    }
+    supervised.push_back(ns);
+  }
+
+  // Push-to-applied latency: bump the generation supervisor-side, then
+  // hammer the funnel until the hook's slow path has applied it. This
+  // measures apply_slow (seqlock snapshot + bucket rescan), not the
+  // publisher thread's cadence.
+  std::vector<double> push_us;
+  for (int r = 0; r < runs * 4; ++r) {
+    uint32_t gen = 0;
+    if (!supervisor.apply_set("publish_ms=200", &gen).is_ok()) {
+      std::fprintf(stderr, "bench_fleet: apply_set failed\n");
+      return 1;
+    }
+    const auto start = Clock::now();
+    Dispatcher& dispatcher = Dispatcher::instance();
+    HookContext ctx;
+    while (fleet::FleetClient::applied_generation() != gen) {
+      SyscallArgs args;
+      args.nr = SYS_getpid;
+      (void)dispatcher.on_syscall(args, ctx);
+    }
+    push_us.push_back(elapsed_ns(start) / 1000.0);
+  }
+
+  // Aggregation: one full supervisor-side stats pass (seqlocked worker
+  // snapshot + dump parse + render) over the registered fleet.
+  std::vector<double> stats_us;
+  for (int r = 0; r < runs * 4; ++r) {
+    const auto start = Clock::now();
+    const std::string text = supervisor.stats_text();
+    if (text.empty()) {
+      std::fprintf(stderr, "bench_fleet: stats_text failed\n");
+      return 1;
+    }
+    stats_us.push_back(elapsed_ns(start) / 1000.0);
+  }
+
+  fleet::FleetClient::shutdown();
+  supervisor.stop();
+
+  const double base_ns = median(unsupervised);
+  const double fleet_ns = median(supervised);
+  const double overhead_ns = std::max(0.0, fleet_ns - base_ns);
+
+  std::printf("%-32s %12s\n", "cell", "value");
+  std::printf("%-32s %10.1f ns\n", "getpid via funnel, unsupervised",
+              base_ns);
+  std::printf("%-32s %10.1f ns\n", "getpid via funnel, supervised",
+              fleet_ns);
+  std::printf("%-32s %10.1f ns\n", "shmem consult overhead", overhead_ns);
+  std::printf("%-32s %10.1f us\n", "register (connect+fds+mmap)",
+              register_us);
+  std::printf("%-32s %10.1f us\n", "push -> applied (hook slow path)",
+              median(push_us));
+  std::printf("%-32s %10.1f us\n", "stats aggregation pass",
+              median(stats_us));
+
+  JsonReport json("fleet");
+  json.add("fleet/ns_per_syscall/unsupervised", base_ns,
+           /*higher_is_better=*/false);
+  json.add("fleet/ns_per_syscall/supervised", fleet_ns,
+           /*higher_is_better=*/false);
+  json.add("fleet/consult_overhead_ns", overhead_ns,
+           /*higher_is_better=*/false);
+  json.add("fleet/register_us", register_us, /*higher_is_better=*/false);
+  json.add("fleet/push_apply_us", median(push_us),
+           /*higher_is_better=*/false);
+  json.add("fleet/stats_agg_us", median(stats_us),
+           /*higher_is_better=*/false);
+  if (!json_path.empty()) {
+    if (!json.write(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace k23::bench
+
+int main(int argc, char** argv) {
+  long iters = 200000;
+  int runs = 5;
+  std::string json_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      iters = std::atol(argv[i] + 8);
+      if (iters < 1000) iters = 1000;
+    } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+      runs = std::atoi(argv[i] + 7);
+      if (runs < 1) runs = 1;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--iters=N] [--runs=R] [--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return k23::bench::run(iters, runs, json_path);
+}

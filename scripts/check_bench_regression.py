@@ -24,6 +24,14 @@ metrics normally only warn, so a row that stops being produced at all
 With --require accel/ the current run must contain at least one metric
 named accel/... or the check fails.
 
+--max NAME=VALUE (repeatable) gates a metric against an ABSOLUTE
+ceiling instead of the relative baseline. Relative tolerances are
+meaningless for near-zero overhead metrics (25% of 3 ns is noise, and a
+baseline captured at 1 ns would flag a harmless 2 ns run); the fleet
+shmem-consult bound (fleet/consult_overhead_ns <= 20) is a contract
+from the design, not a ratio against yesterday. A --max name missing
+from the current run fails like --require does.
+
 Exit codes: 0 = ok, 1 = regression, 2 = usage/parse error.
 """
 
@@ -63,7 +71,23 @@ def main():
                         metavar="PREFIX",
                         help="fail unless the current run produced at least "
                              "one metric with this name prefix (repeatable)")
+    parser.add_argument("--max", action="append", default=[],
+                        metavar="NAME=VALUE", dest="max_bounds",
+                        help="absolute ceiling for one metric in the current "
+                             "run, independent of the baseline (repeatable)")
     args = parser.parse_args()
+
+    bounds = []
+    for spec in args.max_bounds:
+        name, sep, raw = spec.partition("=")
+        try:
+            if not sep or not name:
+                raise ValueError(spec)
+            bounds.append((name, float(raw)))
+        except ValueError:
+            print(f"check_bench_regression: bad --max {spec!r} "
+                  "(want NAME=VALUE)", file=sys.stderr)
+            sys.exit(2)
 
     name, baseline = load_metrics(args.baseline)
     _, current = load_metrics(args.current)
@@ -75,6 +99,27 @@ def main():
             print(f"check_bench_regression: required metric prefix "
                   f"{prefix!r} missing from {args.current} "
                   "(row skipped or failed to measure)", file=sys.stderr)
+        sys.exit(1)
+
+    absolute_failures = []
+    for metric, ceiling in bounds:
+        if metric not in current:
+            print(f"check_bench_regression: --max metric {metric!r} missing "
+                  f"from {args.current}", file=sys.stderr)
+            absolute_failures.append(metric)
+            continue
+        cur_value, _ = current[metric]
+        ok = cur_value <= ceiling
+        verdict = "ok  " if ok else "FAIL"
+        print(f"{verdict} {metric}: current {cur_value:.4g} "
+              f"(absolute ceiling {ceiling:.4g})")
+        if not ok:
+            absolute_failures.append(metric)
+    if absolute_failures:
+        print(f"\n{len(absolute_failures)} metric(s) over absolute ceiling:",
+              file=sys.stderr)
+        for metric in absolute_failures:
+            print(f"  {metric}", file=sys.stderr)
         sys.exit(1)
 
     shared = sorted(set(baseline) & set(current))

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Fleet smoke (DESIGN.md §14): one k23d supervisor, N interposed mini_kv
+# workers, one live config push that every worker must observe.
+#
+#   scripts/fleet_smoke.sh [build-dir] [workers]
+#
+# Pass criteria:
+#   1. all N workers register with k23d (k23d --stats shows N rows);
+#   2. a `k23d --set publish_ms=...` push bumps the generation and every
+#      worker's observed generation catches up, without restarting anyone;
+#   3. the aggregated fleet counters line renders (stats aggregation
+#      replaces post-mortem log merging).
+#
+# Runners without the launcher's kernel features (SUD, ptrace limits)
+# degrade by SKIP (exit 0), matching the test suite's policy: this job
+# gates the fleet layer, not kernel availability. Everything else that
+# goes wrong is a hard FAIL.
+set -u
+
+BUILD=${1:-build}
+WORKERS=${2:-64}
+SOCK="/tmp/k23d.smoke.$$.sock"
+K23D="$BUILD/src/fleet/k23d"
+K23_RUN="$BUILD/src/k23/k23_run"
+MINI_KV="$BUILD/src/workloads/mini_kv"
+LOG=$(mktemp /tmp/k23.fleet_smoke.XXXXXX.log)
+
+WORKER_PIDS=()
+K23D_PID=""
+
+cleanup() {
+  for pid in "${WORKER_PIDS[@]:-}"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  done
+  # k23_run's tracee (the actual registered worker) is a child of the
+  # launcher; sweep by binary path so no server outlives the smoke.
+  pkill -f "$MINI_KV" 2>/dev/null
+  [ -n "$K23D_PID" ] && kill "$K23D_PID" 2>/dev/null
+  rm -f "$SOCK" "$LOG"
+}
+trap cleanup EXIT
+
+skip() { echo "fleet-smoke: SKIP: $*"; exit 0; }
+fail() {
+  echo "fleet-smoke: FAIL: $*" >&2
+  echo "--- k23d log ---" >&2
+  cat "$LOG" >&2 || true
+  "$K23D" --sock="$SOCK" --stats >&2 2>/dev/null || true
+  exit 1
+}
+
+for bin in "$K23D" "$K23_RUN" "$MINI_KV"; do
+  [ -x "$bin" ] || fail "missing binary $bin (build first)"
+done
+
+# Kernel-capability probe: if the launcher cannot bring up a trivial
+# interposed process on this runner, the fleet layer has nothing to
+# supervise here — skip, don't fail.
+if ! "$K23_RUN" -- /bin/true >/dev/null 2>&1; then
+  skip "k23_run cannot launch interposed processes on this runner"
+fi
+
+"$K23D" --sock="$SOCK" >"$LOG" 2>&1 &
+K23D_PID=$!
+up=""
+for _ in $(seq 1 50); do
+  if "$K23D" --sock="$SOCK" --ping >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.1
+done
+[ -n "$up" ] || fail "k23d did not answer ping"
+
+echo "fleet-smoke: launching $WORKERS interposed mini_kv workers"
+for _ in $(seq 1 "$WORKERS"); do
+  K23_FLEET=on K23_FLEET_SOCK="$SOCK" K23_FLEET_TENANT=smoke \
+    "$K23_RUN" -- "$MINI_KV" 0 1 >/dev/null 2>&1 &
+  WORKER_PIDS+=($!)
+done
+
+registered=0
+for _ in $(seq 1 120); do
+  registered=$("$K23D" --sock="$SOCK" --stats 2>/dev/null \
+                 | grep -c '^worker ' || true)
+  [ "$registered" -ge "$WORKERS" ] && break
+  sleep 1
+done
+[ "$registered" -ge "$WORKERS" ] \
+  || fail "only $registered/$WORKERS workers registered"
+echo "fleet-smoke: all $WORKERS workers registered"
+
+# Live push: every already-running worker must observe the new
+# generation without being restarted.
+set_out=$("$K23D" --sock="$SOCK" --set publish_ms=100) \
+  || fail "config push rejected: $set_out"
+gen=${set_out#generation=}
+case "$gen" in
+  ''|*[!0-9]*) fail "unparseable --set reply: $set_out" ;;
+esac
+echo "fleet-smoke: pushed publish_ms=100 -> generation $gen"
+
+caught_up=0
+for _ in $(seq 1 60); do
+  caught_up=$("$K23D" --sock="$SOCK" --stats 2>/dev/null \
+                | grep -c "^worker .* gen=$gen " || true)
+  [ "$caught_up" -ge "$WORKERS" ] && break
+  sleep 1
+done
+[ "$caught_up" -ge "$WORKERS" ] \
+  || fail "only $caught_up/$WORKERS workers observed generation $gen"
+echo "fleet-smoke: all $WORKERS workers observed generation $gen"
+
+# Continuous aggregation: the fleet-wide counter line must render.
+"$K23D" --sock="$SOCK" --stats | grep -q '^fleet: syscalls=' \
+  || fail "aggregated fleet counters missing from --stats"
+
+"$K23D" --sock="$SOCK" --shutdown >/dev/null 2>&1
+echo "fleet-smoke: PASS ($WORKERS workers, live push observed fleet-wide)"
+exit 0

@@ -70,6 +70,15 @@ constexpr EnvSpec kEnvTable[] = {
     {"K23_BATCH_BACKEND", "auto|writev|uring", "auto",
      "flush backend: auto picks io_uring when the kernel probe succeeds "
      "and falls back to plain writev; uring fails init when unavailable"},
+    {"K23_FLEET", "on|off", "off",
+     "fleet supervision: register with k23d at startup, map the shared "
+     "config/quota segments, and publish live stats (supervisor-less "
+     "startup stays zero-cost; a dead supervisor costs one fast failed "
+     "connect and a degradation event)"},
+    {"K23_FLEET_SOCK", "path", "/tmp/k23d.sock",
+     "k23d supervisor Unix socket to register with"},
+    {"K23_FLEET_TENANT", "name (<= 23 chars)", "default",
+     "tenant this worker accounts against in the fleet quota page"},
     {"K23_FAULTS", "point:error[:trigger][;...]", "unset",
      "fault-injection rules (e.g. \"sud_arm:eagain:nth=2\"); error is an "
      "errno name, number, or \"fail\"; trigger is every=N, nth=N, times=N "

@@ -1,0 +1,475 @@
+#include "fleet/client.h"
+
+#include <poll.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "accel/accel.h"
+#include "batch/batch.h"
+#include "common/env.h"
+#include "fleet/shm.h"
+#include "interpose/internal.h"
+#include "k23/process_tree.h"
+
+namespace k23::fleet {
+namespace {
+
+// The publisher/reconnect thread's own syscalls (connect, poll, the
+// stats serialization) must not be denied or quota-billed by the very
+// config it maintains — a deny-all push would otherwise sever the
+// worker from the supervisor that could lift it.
+__attribute__((tls_model("initial-exec"))) constinit thread_local bool
+    t_fleet_internal = false;
+
+// One applied (worker-local) copy of the pushed settings. The hot path
+// reads through a single atomic pointer; the slow path fills the next
+// slot of a small ring and swings the pointer. Slots are never freed and
+// the ring is deep enough that a reader stalled inside a signal handler
+// would have to sleep across kAppliedSlots generation changes before its
+// slot is reused.
+struct AppliedConfig {
+  uint32_t generation = 0;
+  int bucket_index = -1;  // this tenant's slot in the quota page, -1 none
+  FleetSettings settings;
+};
+
+constexpr size_t kAppliedSlots = 8;
+
+struct ClientState {
+  FleetClientConfig config;
+  char tenant[kTenantNameLen] = {};
+
+  std::atomic<GlobalSegment*> global{nullptr};
+  std::atomic<WorkerSegment*> worker{nullptr};
+  int sock_fd = -1;  // owned by the publisher thread after init
+
+  AppliedConfig slots[kAppliedSlots];
+  size_t next_slot = 0;  // guarded by apply_lock
+  std::atomic<AppliedConfig*> applied{nullptr};
+  std::atomic_flag apply_lock = ATOMIC_FLAG_INIT;
+
+  HookHandle hook_handle = 0;
+  pthread_t publisher_tid{};
+  std::atomic<bool> publisher_running{false};
+  std::atomic<bool> stop{false};
+
+  uint8_t accel_off_applied = 0;
+  uint8_t batch_off_applied = 0;
+};
+
+// Swapped, never freed (a SIGSYS-context reader may hold the pointer);
+// shutdown() retires the state and a later init() builds a fresh one.
+std::atomic<ClientState*> g_state{nullptr};
+
+// Calls the dispatcher never returns from / the process cannot survive
+// losing: denying these under a fleet-wide deny rule or an exhausted
+// quota would wedge or corrupt the worker instead of throttling it.
+bool deny_exempt(long nr) {
+  switch (nr) {
+    case SYS_rt_sigreturn:
+    case SYS_exit:
+    case SYS_exit_group:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Copies the published settings out under the seqlock and re-resolves
+// this tenant's bucket slot. Safe from SIGSYS context: fixed-size
+// memcpy, no allocation, try-lock only (a losing thread proceeds on the
+// previous snapshot). Returns the now-current applied config, or nullptr
+// when nothing has ever been applied and the copy lost its race.
+AppliedConfig* apply_slow(ClientState& s, GlobalSegment* g) {
+  AppliedConfig* cur = s.applied.load(std::memory_order_acquire);
+  if (s.apply_lock.test_and_set(std::memory_order_acquire)) return cur;
+  AppliedConfig* next = &s.slots[s.next_slot % kAppliedSlots];
+  if (next == cur) next = &s.slots[++s.next_slot % kAppliedSlots];
+  const uint32_t seq = seqlock_snapshot(g->seq, g->settings, &next->settings);
+  if (seq != UINT32_MAX) {
+    next->generation = seq >> 1;
+    next->bucket_index = -1;
+    for (size_t i = 0; i < kMaxTenants; ++i) {
+      const TokenBucket& b = g->buckets[i];
+      if (b.active.load(std::memory_order_acquire) != 0 &&
+          std::strncmp(b.tenant, s.tenant, kTenantNameLen) == 0) {
+        next->bucket_index = static_cast<int>(i);
+        break;
+      }
+    }
+    ++s.next_slot;
+    s.applied.store(next, std::memory_order_release);
+    cur = next;
+    // The worker segment mirror is the fleet-smoke witness that this
+    // process observed the push.
+    if (WorkerSegment* w = s.worker.load(std::memory_order_acquire)) {
+      w->observed_generation.store(next->generation,
+                                   std::memory_order_release);
+    }
+  }
+  s.apply_lock.clear(std::memory_order_release);
+  return cur;
+}
+
+void apply_if_changed(ClientState& s, GlobalSegment* g) {
+  AppliedConfig* ac = s.applied.load(std::memory_order_acquire);
+  if (ac == nullptr || g->generation() != ac->generation) {
+    apply_slow(s, g);
+  }
+}
+
+// Applies the fleet-wide accel/batch kill switches. Thread context only
+// (Accel/Batch init may allocate); called from the publisher, never the
+// hook. Turning a layer back on re-reads this process's own K23_* env,
+// so a fleet-wide "on" cannot force a layer the worker opted out of.
+void apply_toggles(ClientState& s) {
+  AppliedConfig* ac = s.applied.load(std::memory_order_acquire);
+  if (ac == nullptr) return;
+  if (ac->settings.accel_off != s.accel_off_applied) {
+    s.accel_off_applied = ac->settings.accel_off;
+    if (s.accel_off_applied != 0) {
+      Accel::shutdown();
+    } else {
+      (void)Accel::init(AccelConfig::from_env());
+    }
+  }
+  if (ac->settings.batch_off != s.batch_off_applied) {
+    s.batch_off_applied = ac->settings.batch_off;
+    if (s.batch_off_applied != 0) {
+      Batch::shutdown();
+    } else {
+      (void)Batch::init(BatchConfig::from_env());
+    }
+  }
+}
+
+Status register_with_supervisor(ClientState& s) {
+  auto fd = connect_unix(s.config.sock, s.config.connect_timeout_ms);
+  if (!fd.is_ok()) return fd.status();
+
+  RegisterRequest req;
+  req.pid = static_cast<int32_t>(::getpid());
+  std::memcpy(req.tenant, s.tenant, kTenantNameLen);
+  if (Status st = send_message(fd.value(), MsgKind::kRegister, &req,
+                               sizeof(req), nullptr, 0,
+                               s.config.connect_timeout_ms);
+      !st.is_ok()) {
+    ::close(fd.value());
+    return st;
+  }
+  auto reply = recv_message(fd.value(), s.config.connect_timeout_ms);
+  if (!reply.is_ok()) {
+    ::close(fd.value());
+    return reply.status();
+  }
+  Message& m = reply.value();
+  RegisterReply rr{};
+  if (m.kind != MsgKind::kRegisterReply || m.payload.size() < sizeof(rr)) {
+    m.close_fds();
+    ::close(fd.value());
+    return Status::fail("fleet: bad register reply", EPROTO);
+  }
+  std::memcpy(&rr, m.payload.data(), sizeof(rr));
+  if (rr.status != 0) {
+    m.close_fds();
+    ::close(fd.value());
+    return Status::fail("fleet: registration rejected", rr.status);
+  }
+  if (m.fd_count != 2) {
+    m.close_fds();
+    ::close(fd.value());
+    return Status::fail("fleet: register reply missing segments", EPROTO);
+  }
+
+  auto global_base = map_segment(m.fds[0], sizeof(GlobalSegment));
+  auto worker_base = map_segment(m.fds[1], sizeof(WorkerSegment));
+  // The mappings keep the memfds alive; the fd numbers themselves are
+  // not needed again.
+  m.close_fds();
+  if (!global_base.is_ok() || !worker_base.is_ok()) {
+    ::close(fd.value());
+    return !global_base.is_ok() ? global_base.status() : worker_base.status();
+  }
+  if (Status st = validate_segment(global_base.value(), "fleet: global seg");
+      !st.is_ok()) {
+    ::close(fd.value());
+    return st;
+  }
+  if (Status st = validate_segment(worker_base.value(), "fleet: worker seg");
+      !st.is_ok()) {
+    ::close(fd.value());
+    return st;
+  }
+  // Previous mappings (pre-restart) are retired, never unmapped: a
+  // stalled reader may still be walking them.
+  s.worker.store(static_cast<WorkerSegment*>(worker_base.value()),
+                 std::memory_order_release);
+  s.global.store(static_cast<GlobalSegment*>(global_base.value()),
+                 std::memory_order_release);
+  s.sock_fd = fd.value();
+  return Status::ok();
+}
+
+// True when the supervisor's end of the registration socket is gone.
+// The supervisor never sends unsolicited data, so a readable socket is
+// either EOF or noise to drain.
+bool supervisor_died(int fd) {
+  struct pollfd p = {fd, POLLIN, 0};
+  if (::poll(&p, 1, 0) <= 0) return false;
+  if ((p.revents & (POLLHUP | POLLERR)) != 0) return true;
+  if ((p.revents & POLLIN) != 0) {
+    char buf[64];
+    const ssize_t rc = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (rc == 0) return true;
+    if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Sleeps ~ms but wakes within 50ms of stop() being called.
+void sleep_with_stop(ClientState& s, uint32_t ms) {
+  while (ms > 0 && !s.stop.load(std::memory_order_acquire)) {
+    const uint32_t chunk = ms < 50 ? ms : 50;
+    struct timespec ts = {0, static_cast<long>(chunk) * 1000000L};
+    ::nanosleep(&ts, nullptr);
+    ms -= chunk;
+  }
+}
+
+void* publisher_main(void* arg) {
+  ClientState& s = *static_cast<ClientState*>(arg);
+  t_fleet_internal = true;
+  int backoff_ms = 200;
+  uint64_t heartbeat = 0;
+  while (!s.stop.load(std::memory_order_acquire)) {
+    GlobalSegment* g = s.global.load(std::memory_order_acquire);
+    if (g == nullptr) {
+      // Supervisor lost (restart) or this is a fork child that has not
+      // re-attached yet: retry forever with capped backoff. The worker
+      // runs un-supervised in the meantime.
+      if (s.sock_fd >= 0) {
+        ::close(s.sock_fd);
+        s.sock_fd = -1;
+      }
+      if (register_with_supervisor(s).is_ok()) {
+        backoff_ms = 200;
+        apply_slow(s, s.global.load(std::memory_order_acquire));
+        apply_toggles(s);
+        continue;
+      }
+      sleep_with_stop(s, static_cast<uint32_t>(backoff_ms));
+      backoff_ms = backoff_ms < 1000 ? backoff_ms * 2 : 2000;
+      continue;
+    }
+
+    // Idle workers observe pushes here: a process blocked in epoll_wait
+    // makes no syscalls that would hit the chain's slow path.
+    apply_if_changed(s, g);
+    apply_toggles(s);
+
+    if (WorkerSegment* w = s.worker.load(std::memory_order_acquire)) {
+      const std::string text = ProcessTree::serialize_stats_dump();
+      publish_worker_stats(*w, text.data(), text.size());
+      w->heartbeat.store(++heartbeat, std::memory_order_release);
+    }
+
+    if (s.sock_fd >= 0 && supervisor_died(s.sock_fd)) {
+      ::close(s.sock_fd);
+      s.sock_fd = -1;
+      // Stop consulting the dead supervisor's config (mappings retired,
+      // not unmapped) and let the reconnect path above take over.
+      s.global.store(nullptr, std::memory_order_release);
+      s.worker.store(nullptr, std::memory_order_release);
+      continue;
+    }
+
+    AppliedConfig* ac = s.applied.load(std::memory_order_acquire);
+    sleep_with_stop(s, ac != nullptr ? ac->settings.publish_ms : 500);
+  }
+  return nullptr;
+}
+
+void start_publisher(ClientState& s) {
+  s.stop.store(false, std::memory_order_release);
+  if (::pthread_create(&s.publisher_tid, nullptr, &publisher_main, &s) == 0) {
+    s.publisher_running.store(true, std::memory_order_release);
+  }
+}
+
+// Dispatcher fork path (async-signal-safe): the inherited worker segment
+// and publisher thread belong to the parent. The global config mapping
+// stays valid — a raw-syscall fork child keeps consulting it, it just
+// stops publishing until (if ever) the atfork re-register below runs.
+void child_mark_stale() {
+  ClientState* s = g_state.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  s->worker.store(nullptr, std::memory_order_release);
+  s->publisher_running.store(false, std::memory_order_release);
+}
+
+// ProcessTree atfork child handler (ordinary thread context): become our
+// own worker. Registration itself may fail (supervisor briefly down);
+// the fresh publisher thread keeps retrying.
+void child_reregister() {
+  ClientState* sp = g_state.load(std::memory_order_acquire);
+  if (sp == nullptr) return;
+  ClientState& s = *sp;
+  s.worker.store(nullptr, std::memory_order_release);
+  s.global.store(nullptr, std::memory_order_release);
+  s.publisher_running.store(false, std::memory_order_release);
+  if (s.sock_fd >= 0) {
+    ::close(s.sock_fd);  // our copy of the parent's socket
+    s.sock_fd = -1;
+  }
+  if (register_with_supervisor(s).is_ok()) {
+    apply_slow(s, s.global.load(std::memory_order_acquire));
+  }
+  start_publisher(s);
+}
+
+}  // namespace
+
+FleetClientConfig FleetClientConfig::from_env() {
+  FleetClientConfig config;
+  config.enabled = env_flag("K23_FLEET", false);
+  config.sock = env_string("K23_FLEET_SOCK", "/tmp/k23d.sock");
+  config.tenant = env_string("K23_FLEET_TENANT", "default");
+  return config;
+}
+
+Status FleetClient::init(const FleetClientConfig& config) {
+  if (!config.enabled) return Status::ok();
+  if (g_state.load(std::memory_order_acquire) != nullptr) {
+    return Status::fail("fleet: already initialized", EBUSY);
+  }
+  if (config.sock.empty()) {
+    return Status::fail("fleet: empty socket path", EINVAL);
+  }
+  auto* s = new ClientState();
+  s->config = config;
+  set_tenant(s->tenant, config.tenant.c_str());
+  // Synchronous and fail-fast: a missing or dead supervisor costs one
+  // bounded connect attempt, never blocks startup, and leaves the
+  // process un-supervised (the caller reports one degradation event).
+  if (Status st = register_with_supervisor(*s); !st.is_ok()) {
+    delete s;
+    return st;
+  }
+  g_state.store(s, std::memory_order_release);
+  apply_slow(*s, s->global.load(std::memory_order_acquire));
+  apply_toggles(*s);
+  s->hook_handle = Dispatcher::instance().register_hook(
+      hook_priority::kFleet, &FleetClient::hook, nullptr);
+  if (s->hook_handle == 0) {
+    ::close(s->sock_fd);
+    s->sock_fd = -1;
+    g_state.store(nullptr, std::memory_order_release);  // state retired
+    return Status::fail("fleet: hook chain full", ENOSPC);
+  }
+  internal::set_fleet_hooks(&child_mark_stale, &child_reregister);
+  start_publisher(*s);
+  return Status::ok();
+}
+
+void FleetClient::shutdown() {
+  ClientState* s = g_state.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  s->stop.store(true, std::memory_order_release);
+  if (s->publisher_running.load(std::memory_order_acquire)) {
+    ::pthread_join(s->publisher_tid, nullptr);
+    s->publisher_running.store(false, std::memory_order_release);
+  }
+  if (s->hook_handle != 0) {
+    Dispatcher::instance().unregister_hook(s->hook_handle);
+    s->hook_handle = 0;
+  }
+  internal::set_fleet_hooks(nullptr, nullptr);
+  if (s->sock_fd >= 0) {
+    ::close(s->sock_fd);
+    s->sock_fd = -1;
+  }
+  s->global.store(nullptr, std::memory_order_release);
+  s->worker.store(nullptr, std::memory_order_release);
+  // The state block and the segment mappings are retired, never freed:
+  // a reader inside a signal handler may still hold them.
+  g_state.store(nullptr, std::memory_order_release);
+}
+
+bool FleetClient::active() {
+  ClientState* s = g_state.load(std::memory_order_acquire);
+  return s != nullptr && s->global.load(std::memory_order_acquire) != nullptr;
+}
+
+uint32_t FleetClient::applied_generation() {
+  ClientState* s = g_state.load(std::memory_order_acquire);
+  if (s == nullptr) return 0;
+  AppliedConfig* ac = s->applied.load(std::memory_order_acquire);
+  return ac != nullptr ? ac->generation : 0;
+}
+
+GlobalSegment* FleetClient::global_segment() {
+  ClientState* s = g_state.load(std::memory_order_acquire);
+  return s != nullptr ? s->global.load(std::memory_order_acquire) : nullptr;
+}
+
+WorkerSegment* FleetClient::worker_segment() {
+  ClientState* s = g_state.load(std::memory_order_acquire);
+  return s != nullptr ? s->worker.load(std::memory_order_acquire) : nullptr;
+}
+
+HookResult FleetClient::hook(void* /*user*/, SyscallArgs& args,
+                             const HookContext& ctx) {
+  ClientState* sp = g_state.load(std::memory_order_acquire);
+  if (sp == nullptr) return HookResult::passthrough();
+  ClientState& s = *sp;
+  GlobalSegment* g = s.global.load(std::memory_order_acquire);
+  if (g == nullptr) return HookResult::passthrough();
+
+  // The consult: one acquire load of the seqlock word against the
+  // applied generation. An odd (write-in-flight) seq shares its >>1
+  // value with the previous even seq, so a publish in progress never
+  // triggers the slow path early.
+  AppliedConfig* ac = s.applied.load(std::memory_order_acquire);
+  const uint32_t gen = g->seq.load(std::memory_order_acquire) >> 1;
+  if (__builtin_expect(ac == nullptr || ac->generation != gen, 0)) {
+    ac = apply_slow(s, g);
+    if (ac == nullptr) return HookResult::passthrough();
+  }
+
+  // Observe pass (an earlier entry replaced the call) and the fleet's
+  // own maintenance traffic are exempt from verdicts and billing.
+  if (ctx.replaced || t_fleet_internal) return HookResult::passthrough();
+
+  const FleetSettings& fs = ac->settings;
+  for (uint32_t i = 0; i < fs.rule_count; ++i) {
+    const FleetRule& rule = fs.rules[i];
+    if (rule.nr != -1 && rule.nr != args.nr) continue;
+    if (rule.action == PolicyAction::kAllow) break;  // early accept
+    if (deny_exempt(args.nr)) break;
+    const int err = rule.errno_value > 0 ? rule.errno_value : EPERM;
+    return HookResult::replace(-err);
+  }
+
+  if (ac->bucket_index >= 0) {
+    TokenBucket& bucket = g->buckets[ac->bucket_index];
+    if (bucket.active.load(std::memory_order_relaxed) != 0 &&
+        bucket.tokens.fetch_sub(1, std::memory_order_relaxed) <= 0 &&
+        !deny_exempt(args.nr)) {
+      bucket.denied.fetch_add(1, std::memory_order_relaxed);
+      const int err = bucket.errno_value > 0 ? bucket.errno_value : EAGAIN;
+      return HookResult::replace(-err);
+    }
+  }
+  return HookResult::passthrough();
+}
+
+}  // namespace k23::fleet

@@ -1,0 +1,72 @@
+// Worker-side fleet client (DESIGN.md §14).
+//
+// Linked into the preload: registers this process with the k23d
+// supervisor at startup, maps the global (config + quota) and per-worker
+// (identity + stats) shared segments, installs the consult entry at
+// hook_priority::kFleet, and runs a publisher thread that ships stats,
+// heartbeats, applies config for idle workers, and re-attaches after a
+// supervisor restart.
+//
+// Cost contract (ISSUE 9 / bench_fleet):
+//  * K23_FLEET=off (the default): nothing happens — no hook, no thread,
+//    no syscall;
+//  * a dead/missing supervisor with K23_FLEET=on: one fast failed
+//    connect at init (hard deadline, never a hang), one
+//    DegradationReport event, then the process runs un-supervised;
+//  * supervised steady state: the per-syscall consult is one acquire
+//    load of the segment pointer plus one acquire load of the seqlock
+//    word compared against the applied generation — low double-digit
+//    nanoseconds. The settings copy-out happens only on a generation
+//    change, under an atomic_flag try-lock so exactly one thread pays
+//    it and the rest proceed on the previous snapshot.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "fleet/proto.h"
+#include "interpose/dispatch.h"
+
+namespace k23::fleet {
+
+struct FleetClientConfig {
+  bool enabled = false;      // K23_FLEET, off by default: opt-in layer
+  std::string sock;          // K23_FLEET_SOCK
+  std::string tenant;        // K23_FLEET_TENANT
+  int connect_timeout_ms = 500;
+  // Parses K23_FLEET / K23_FLEET_SOCK / K23_FLEET_TENANT (see
+  // common/env.h grammar table).
+  static FleetClientConfig from_env();
+};
+
+class FleetClient {
+ public:
+  // Registers with the supervisor (synchronous, fail-fast: a dead
+  // socket costs one bounded connect attempt), maps the segments,
+  // installs the kFleet chain entry and starts the publisher thread.
+  // enabled=false is a zero-cost ok. A returned error means the process
+  // runs un-supervised; the caller reports it as one degradation event
+  // and must not treat it as fatal.
+  static Status init(const FleetClientConfig& config);
+
+  // Stops the publisher, removes the chain entry and fork hooks, closes
+  // the socket. Segment mappings are retired, never unmapped — a stalled
+  // reader inside a signal handler may still hold the pointer (the same
+  // retire-never-free rule as dispatcher Config snapshots).
+  static void shutdown();
+
+  static bool active();      // registered and consulting a live segment
+  // The config generation this process last applied (0 = none).
+  static uint32_t applied_generation();
+
+  // The chain entry, exposed for tests and benchmarks that build their
+  // own chain. Obeys the SIGSYS-safety rules (DESIGN.md §10).
+  static HookResult hook(void* user, SyscallArgs& args,
+                         const HookContext& ctx);
+
+  // Test access to the mapped segments (nullptr when un-supervised).
+  static GlobalSegment* global_segment();
+  static WorkerSegment* worker_segment();
+};
+
+}  // namespace k23::fleet

@@ -1,0 +1,164 @@
+// k23d: the fleet supervisor CLI (DESIGN.md §14).
+//
+// Foreground daemon by default; the flag forms are one-shot control
+// clients that talk to a running daemon over the same socket:
+//
+//   k23d [--sock=PATH] [--tick-ms=N]   serve (foreground, ^C to stop)
+//   k23d --set KEY=VALUE [--sock=..]   push a live config change
+//   k23d --stats [--sock=..]           aggregated fleet stats
+//   k23d --ping [--sock=..]            liveness probe (exit 0/1)
+//   k23d --shutdown [--sock=..]        stop the daemon
+#include <signal.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.h"
+#include "fleet/proto.h"
+#include "fleet/shm.h"
+#include "fleet/supervisor.h"
+
+namespace {
+
+constexpr const char* kDefaultSock = "/tmp/k23d.sock";
+
+k23::fleet::Supervisor* g_serving = nullptr;
+
+void handle_signal(int) {
+  if (g_serving != nullptr) g_serving->stop();
+}
+
+int usage(int rc) {
+  std::fprintf(
+      rc == 0 ? stdout : stderr,
+      "usage: k23d [--sock=PATH] [--tick-ms=N]        serve (foreground)\n"
+      "       k23d --set KEY=VALUE [--sock=PATH]      live config push\n"
+      "         keys: publish_ms=N  accel=on|off  batch=on|off\n"
+      "               deny=NR[:ERRNO][,...]  ('deny=' clears, NR -1 = any)\n"
+      "               quota=TENANT:RATE:BURST[:ERRNO]  (RATE 0 removes)\n"
+      "       k23d --stats [--sock=PATH]              aggregated stats\n"
+      "       k23d --ping [--sock=PATH]               liveness probe\n"
+      "       k23d --shutdown [--sock=PATH]           stop the daemon\n");
+  return rc;
+}
+
+// One-shot control round trip. Prints the reply payload for --stats.
+int control(const std::string& sock, k23::fleet::MsgKind kind,
+            const std::string& payload) {
+  using namespace k23::fleet;
+  auto fd = connect_unix(sock, 2000);
+  if (!fd.is_ok()) {
+    std::fprintf(stderr, "k23d: %s: %s\n", sock.c_str(),
+                 fd.message().c_str());
+    return 1;
+  }
+  if (k23::Status st =
+          send_message(fd.value(), kind, payload.data(),
+                       static_cast<uint32_t>(payload.size()), nullptr, 0,
+                       2000);
+      !st.is_ok()) {
+    std::fprintf(stderr, "k23d: send: %s\n", st.message().c_str());
+    ::close(fd.value());
+    return 1;
+  }
+  auto reply = recv_message(fd.value(), 5000);
+  ::close(fd.value());
+  if (!reply.is_ok()) {
+    std::fprintf(stderr, "k23d: recv: %s\n", reply.message().c_str());
+    return 1;
+  }
+  Message& m = reply.value();
+  m.close_fds();
+  switch (m.kind) {
+    case MsgKind::kSetReply: {
+      SetReply r{};
+      if (m.payload.size() >= sizeof(r)) {
+        std::memcpy(&r, m.payload.data(), sizeof(r));
+      }
+      if (r.status != 0) {
+        std::fprintf(stderr, "k23d: rejected: %s\n", std::strerror(r.status));
+        return 1;
+      }
+      std::printf("generation=%u\n", r.generation);
+      return 0;
+    }
+    case MsgKind::kStatsReply:
+      std::fwrite(m.payload.data(), 1, m.payload.size(), stdout);
+      return 0;
+    case MsgKind::kPong:
+      std::printf("ok\n");
+      return 0;
+    default:
+      std::fprintf(stderr, "k23d: unexpected reply kind %u\n",
+                   static_cast<unsigned>(m.kind));
+      return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sock = kDefaultSock;
+  std::string set_kv;
+  uint32_t tick_ms = 50;
+  enum class Cmd { kServe, kSet, kStats, kPing, kShutdown } cmd = Cmd::kServe;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (k23::starts_with(arg, "--sock=")) {
+      sock = std::string(arg.substr(7));
+    } else if (k23::starts_with(arg, "--tick-ms=")) {
+      auto v = k23::parse_u64(arg.substr(10), 10);
+      if (!v || *v == 0 || *v > 10000) return usage(2);
+      tick_ms = static_cast<uint32_t>(*v);
+    } else if (arg == "--set") {
+      if (i + 1 >= argc) return usage(2);
+      cmd = Cmd::kSet;
+      set_kv = argv[++i];
+    } else if (k23::starts_with(arg, "--set=")) {
+      cmd = Cmd::kSet;
+      set_kv = std::string(arg.substr(6));
+    } else if (arg == "--stats") {
+      cmd = Cmd::kStats;
+    } else if (arg == "--ping") {
+      cmd = Cmd::kPing;
+    } else if (arg == "--shutdown") {
+      cmd = Cmd::kShutdown;
+    } else {
+      std::fprintf(stderr, "k23d: unknown argument '%s'\n", argv[i]);
+      return usage(2);
+    }
+  }
+
+  switch (cmd) {
+    case Cmd::kSet:
+      return control(sock, k23::fleet::MsgKind::kSet, set_kv);
+    case Cmd::kStats:
+      return control(sock, k23::fleet::MsgKind::kStats, "");
+    case Cmd::kPing:
+      return control(sock, k23::fleet::MsgKind::kPing, "");
+    case Cmd::kShutdown:
+      return control(sock, k23::fleet::MsgKind::kShutdown, "");
+    case Cmd::kServe:
+      break;
+  }
+
+  k23::fleet::SupervisorOptions options;
+  options.sock = sock;
+  options.tick_ms = tick_ms;
+  k23::fleet::Supervisor supervisor(std::move(options));
+  if (k23::Status st = supervisor.init(); !st.is_ok()) {
+    std::fprintf(stderr, "k23d: %s\n", st.message().c_str());
+    return 1;
+  }
+  g_serving = &supervisor;
+  ::signal(SIGINT, &handle_signal);
+  ::signal(SIGTERM, &handle_signal);
+  std::fprintf(stderr, "k23d: serving on %s (generation %u)\n", sock.c_str(),
+               supervisor.generation());
+  supervisor.run();
+  g_serving = nullptr;
+  return 0;
+}

@@ -1,0 +1,250 @@
+// Fleet protocol: the shared-memory segments and the registration wire
+// format spoken between interposed workers and the k23d supervisor
+// (DESIGN.md §14).
+//
+// One supervisor serves thousands of interposed processes on one box.
+// All per-syscall traffic stays in shared memory; the Unix socket is
+// only the rendezvous (registration, fd passing, control commands) and
+// the liveness signal (a worker's death closes its socket, a
+// supervisor's death closes all of them).
+//
+// Two segment kinds, both created by the supervisor and passed to the
+// worker as memfds over SCM_RIGHTS:
+//
+//  * the GLOBAL segment, one per supervisor, mapped by every worker:
+//    a seqlock-published FleetSettings block (deny rules, publish
+//    period, accel/batch kill switches — the live config push) plus a
+//    page of per-tenant token buckets (live atomics, deliberately NOT
+//    under the seqlock: quota consumption must not spin on config
+//    writers);
+//  * one WORKER segment per registered process: identity, the config
+//    generation the worker has applied, a heartbeat, and a seqlock'd
+//    text area where the worker publishes its serialized stats dump —
+//    the same PID-tagged v2 format ProcessTree::serialize_stats_dump()
+//    writes post-mortem, so `k23d --stats` aggregates live workers with
+//    the parser k23_logmerge already trusts.
+//
+// The seqlock generation counter doubles as the config generation: the
+// published generation is seq >> 1 (an odd seq means a write is in
+// flight). The worker's per-syscall consult is one acquire load of the
+// seq word compared against the generation it last applied; the copy
+// out of the segment happens only when they differ (see client.cc).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "policy/policy.h"
+
+namespace k23::fleet {
+
+inline constexpr uint64_t kSegmentMagic = 0x31746c6664333271ull;  // "q23dflt1"
+inline constexpr uint32_t kProtoVersion = 1;
+
+inline constexpr size_t kTenantNameLen = 24;   // NUL-padded, NUL-terminated
+inline constexpr size_t kMaxTenants = 16;      // token-bucket page slots
+inline constexpr size_t kMaxFleetRules = 16;   // pushed deny/kill rules
+inline constexpr size_t kStatsAreaBytes = 16384;
+
+// One centrally pushed syscall rule. Unlike the local policy evaluator
+// (policy/policy.h) there is no path matching: fleet rules are the
+// coarse, fleet-wide tier ("nobody executes ptrace today"); per-path
+// nuance stays with the per-process policy. `action` reuses the local
+// PolicyAction verdict vocabulary so k23d and the policy layer agree on
+// what a verdict means (kAllow rules act as early-accept overrides).
+struct FleetRule {
+  int32_t nr = -1;  // -1 = any syscall
+  PolicyAction action = PolicyAction::kDeny;
+  uint8_t pad[3] = {};
+  int32_t errno_value = EPERM;
+};
+static_assert(sizeof(FleetRule) == 12);
+
+// The seqlock-published half of the global segment. POD on purpose: the
+// worker's slow path memcpys it out under the seqlock from SIGSYS
+// context — no pointers, no heap, fixed size.
+struct FleetSettings {
+  uint32_t publish_ms = 500;  // worker stats-publish / heartbeat period
+  uint8_t accel_off = 0;      // 1 = force the accel layer off fleet-wide
+  uint8_t batch_off = 0;      // 1 = force the batch layer off fleet-wide
+  uint8_t pad[2] = {};
+  uint32_t rule_count = 0;
+  FleetRule rules[kMaxFleetRules] = {};
+};
+
+// One per-tenant token bucket. Live atomics shared by every worker of
+// the tenant: consumption is a single relaxed fetch_sub on the hot
+// path, refill is the supervisor's tick adding rate*dt up to burst.
+// Tokens go negative under pressure (cheaper than a CAS loop); the
+// refill clamps back. 64-byte aligned so two tenants never share a
+// cache line.
+struct alignas(64) TokenBucket {
+  char tenant[kTenantNameLen] = {};
+  std::atomic<uint32_t> active{0};  // 0 = slot free / quota removed
+  int32_t errno_value = EAGAIN;     // verdict for an exhausted bucket
+  std::atomic<int64_t> tokens{0};
+  uint64_t rate_per_sec = 0;
+  uint64_t burst = 0;
+  std::atomic<uint64_t> denied{0};  // fleet-wide exhaustion count
+};
+static_assert(sizeof(TokenBucket) == 64);
+
+struct GlobalSegment {
+  uint64_t magic = kSegmentMagic;
+  uint32_t version = kProtoVersion;
+  // Seqlock word for `settings`; published generation = seq >> 1.
+  std::atomic<uint32_t> seq{0};
+  FleetSettings settings;
+  TokenBucket buckets[kMaxTenants];
+
+  uint32_t generation() const {
+    return seq.load(std::memory_order_acquire) >> 1;
+  }
+};
+
+struct WorkerSegment {
+  uint64_t magic = kSegmentMagic;
+  uint32_t version = kProtoVersion;
+  int32_t pid = 0;
+  char tenant[kTenantNameLen] = {};
+  // The config generation this worker last applied — the smoke test's
+  // witness that a live push actually landed everywhere.
+  std::atomic<uint32_t> observed_generation{0};
+  // Bumped every publisher tick; a frozen heartbeat marks a wedged or
+  // stopped worker in `k23d --stats`.
+  std::atomic<uint64_t> heartbeat{0};
+  std::atomic<uint32_t> stats_seq{0};  // seqlock for the text area
+  uint32_t stats_len = 0;
+  char stats_text[kStatsAreaBytes] = {};
+};
+
+// --- seqlock ----------------------------------------------------------------
+//
+// Single writer (the supervisor for FleetSettings, the owning worker for
+// the stats text). The payload members are plain (non-atomic) on purpose
+// — making a 16KB text area atomic-element-wise would wreck both sides —
+// so the byte copies here are technical data races that the seqlock
+// retry makes benign. They are confined to these two named functions so
+// scripts/tsan.supp can suppress exactly them and nothing else.
+
+template <typename Payload, typename Fill>
+inline void seqlock_publish(std::atomic<uint32_t>& seq, Payload& dst,
+                            Fill&& fill) {
+  const uint32_t start = seq.load(std::memory_order_relaxed);
+  seq.store(start + 1, std::memory_order_release);  // odd: write in flight
+  std::atomic_thread_fence(std::memory_order_release);
+  fill(dst);
+  seq.store(start + 2, std::memory_order_release);
+}
+
+// Copies `src` into `out` consistently. Returns the even sequence value
+// the copy was taken at, or UINT32_MAX after `max_tries` collisions with
+// the writer (caller keeps its previous snapshot).
+template <typename Payload>
+inline uint32_t seqlock_snapshot(const std::atomic<uint32_t>& seq,
+                                 const Payload& src, Payload* out,
+                                 int max_tries = 8) {
+  for (int i = 0; i < max_tries; ++i) {
+    const uint32_t before = seq.load(std::memory_order_acquire);
+    if (before & 1u) continue;
+    std::memcpy(out, &src, sizeof(Payload));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq.load(std::memory_order_relaxed) == before) return before;
+  }
+  return UINT32_MAX;
+}
+
+// Worker-stats flavor of the same seqlock: the text area has a length
+// that travels under the lock with the bytes. Same benign-race contract
+// as above (named functions, single writer = the owning worker).
+
+struct WorkerStatsView {
+  uint32_t seq = 0;
+  uint32_t length = 0;
+};
+
+inline void publish_worker_stats(WorkerSegment& seg, const char* text,
+                                 size_t len) {
+  if (len > kStatsAreaBytes) len = kStatsAreaBytes;
+  const uint32_t start = seg.stats_seq.load(std::memory_order_relaxed);
+  seg.stats_seq.store(start + 1, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_release);
+  seg.stats_len = static_cast<uint32_t>(len);
+  std::memcpy(seg.stats_text, text, len);
+  seg.stats_seq.store(start + 2, std::memory_order_release);
+}
+
+inline bool snapshot_worker_stats(const WorkerSegment& seg, char* buf,
+                                  size_t cap, WorkerStatsView* view,
+                                  int max_tries = 8) {
+  for (int i = 0; i < max_tries; ++i) {
+    const uint32_t before = seg.stats_seq.load(std::memory_order_acquire);
+    if (before & 1u) continue;
+    uint32_t len = seg.stats_len;
+    if (len > kStatsAreaBytes || len > cap) return false;
+    std::memcpy(buf, seg.stats_text, len);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seg.stats_seq.load(std::memory_order_relaxed) == before) {
+      view->seq = before;
+      view->length = len;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- wire protocol ----------------------------------------------------------
+//
+// Fixed-header framing over a SOCK_STREAM Unix socket. Registration is
+// the only message carrying fds (two memfds, global then worker, via
+// SCM_RIGHTS on the reply). Control messages (set/stats/ping/shutdown)
+// come from k23d's own CLI invocations, not from workers.
+
+enum class MsgKind : uint32_t {
+  kRegister = 1,   // worker -> supervisor: RegisterRequest
+  kRegisterReply,  // supervisor -> worker: RegisterReply + 2 fds
+  kSet,            // controller -> supervisor: "key=value" text payload
+  kSetReply,       // supervisor -> controller: SetReply
+  kStats,          // controller -> supervisor: empty payload
+  kStatsReply,     // supervisor -> controller: text payload
+  kPing,           // controller -> supervisor: empty payload
+  kPong,           // supervisor -> controller: empty payload
+  kShutdown,       // controller -> supervisor: empty payload
+};
+
+struct MsgHeader {
+  uint32_t kind = 0;     // MsgKind
+  uint32_t length = 0;   // payload bytes following the header
+};
+
+struct RegisterRequest {
+  uint64_t magic = kSegmentMagic;
+  uint32_t version = kProtoVersion;
+  int32_t pid = 0;
+  char tenant[kTenantNameLen] = {};
+};
+
+struct RegisterReply {
+  int32_t status = 0;       // 0 ok, else errno
+  uint32_t generation = 0;  // current config generation at registration
+};
+
+struct SetReply {
+  int32_t status = 0;       // 0 ok, else errno
+  uint32_t generation = 0;  // generation after the update
+};
+
+// Bounded payload sizes keep a confused/hostile peer from making the
+// supervisor allocate unboundedly.
+inline constexpr uint32_t kMaxPayload = 1u << 20;
+
+// Copies `name` into a fixed tenant field, truncating, always
+// NUL-terminated.
+inline void set_tenant(char (&dst)[kTenantNameLen], const char* name) {
+  std::memset(dst, 0, kTenantNameLen);
+  if (name == nullptr) return;
+  std::strncpy(dst, name, kTenantNameLen - 1);
+}
+
+}  // namespace k23::fleet

@@ -1,0 +1,304 @@
+#include "fleet/shm.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace k23::fleet {
+namespace {
+
+int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Polls `fd` for `events` until the absolute deadline. Returns 0 on
+// ready, -errno on timeout/error.
+int poll_until(int fd, short events, int64_t deadline_ms) {
+  for (;;) {
+    const int64_t left = deadline_ms - now_ms();
+    if (left <= 0) return -ETIMEDOUT;
+    struct pollfd p = {fd, events, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(left));
+    if (rc > 0) return 0;
+    if (rc == 0) return -ETIMEDOUT;
+    if (errno != EINTR) return -errno;
+  }
+}
+
+}  // namespace
+
+Result<int> create_segment(const char* tag, size_t size) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "k23.fleet.%s", tag);
+  int fd = static_cast<int>(
+      ::syscall(SYS_memfd_create, name, static_cast<unsigned>(MFD_CLOEXEC)));
+  if (fd < 0 && (errno == ENOSYS || errno == EPERM)) {
+    // Pre-memfd kernel (or a seccomp'd runner): an unlinked tmp file has
+    // the same anonymous-once-shared lifetime, just a slower first touch.
+    char path[128];
+    std::snprintf(path, sizeof(path), "/tmp/%s.%d.XXXXXX", name, ::getpid());
+    fd = ::mkstemp(path);
+    if (fd >= 0) {
+      ::unlink(path);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+  }
+  if (fd < 0) return Result<int>::from_errno("fleet: create segment");
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return Result<int>::from_errno("fleet: size segment");
+  }
+  return fd;
+}
+
+Result<void*> map_segment(int fd, size_t size) {
+  void* base =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    return Result<void*>::from_errno("fleet: map segment");
+  }
+  return base;
+}
+
+Status validate_segment(const void* base, const char* what) {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  std::memcpy(&magic, base, sizeof(magic));
+  std::memcpy(&version, static_cast<const char*>(base) + sizeof(magic),
+              sizeof(version));
+  if (magic != kSegmentMagic) return Status::fail(what, EBADMSG);
+  if (version != kProtoVersion) return Status::fail(what, EPROTO);
+  return Status::ok();
+}
+
+Result<int> listen_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Result<int>(Error{ENAMETOOLONG, "fleet: socket path"});
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return Result<int>::from_errno("fleet: socket");
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      if (::listen(fd, 128) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        return Result<int>(Error{saved, "fleet: listen"});
+      }
+      return fd;
+    }
+    const int bind_errno = errno;
+    ::close(fd);
+    if (bind_errno != EADDRINUSE || attempt == 1) {
+      return Result<int>(Error{bind_errno, "fleet: bind"});
+    }
+    // EADDRINUSE: either a live supervisor (error out — one per socket)
+    // or the stale file of a dead one (take it over). A short connect
+    // probe tells them apart.
+    auto probe = connect_unix(path, 200);
+    if (probe.is_ok()) {
+      ::close(probe.value());
+      return Result<int>(Error{EADDRINUSE, "fleet: supervisor already bound"});
+    }
+    ::unlink(path.c_str());
+  }
+  return Result<int>(Error{EADDRINUSE, "fleet: bind"});
+}
+
+Result<int> connect_unix(const std::string& path, int timeout_ms) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Result<int>(Error{ENAMETOOLONG, "fleet: socket path"});
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Result<int>::from_errno("fleet: socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    return fd;
+  }
+  if (errno != EINPROGRESS && errno != EAGAIN) {
+    // ENOENT / ECONNREFUSED: no supervisor (or a stale socket file) —
+    // the fail-fast path the preload depends on.
+    const int saved = errno;
+    ::close(fd);
+    return Result<int>(Error{saved, "fleet: connect"});
+  }
+  const int64_t deadline = now_ms() + timeout_ms;
+  const int rc = poll_until(fd, POLLOUT, deadline);
+  if (rc != 0) {
+    ::close(fd);
+    return Result<int>(Error{-rc, "fleet: connect"});
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+    const int saved = err != 0 ? err : errno;
+    ::close(fd);
+    return Result<int>(Error{saved, "fleet: connect"});
+  }
+  return fd;
+}
+
+void Message::close_fds() {
+  for (int i = 0; i < fd_count; ++i) {
+    if (fds[i] >= 0) ::close(fds[i]);
+    fds[i] = -1;
+  }
+  fd_count = 0;
+}
+
+Status send_message(int fd, MsgKind kind, const void* payload, uint32_t length,
+                    const int* fds, int fd_count, int timeout_ms) {
+  if (length > kMaxPayload) return Status::fail("fleet: payload", EMSGSIZE);
+  MsgHeader header{static_cast<uint32_t>(kind), length};
+
+  // Header and payload go out as one buffer so the SCM_RIGHTS ancillary
+  // data rides the first byte of the frame.
+  std::string frame(sizeof(header) + length, '\0');
+  std::memcpy(frame.data(), &header, sizeof(header));
+  if (length != 0) std::memcpy(frame.data() + sizeof(header), payload, length);
+
+  const int64_t deadline = now_ms() + timeout_ms;
+  size_t sent = 0;
+  bool fds_pending = fd_count > 0;
+  while (sent < frame.size()) {
+    struct iovec iov = {frame.data() + sent, frame.size() - sent};
+    struct msghdr msg {};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int) * 2)] = {};
+    if (fds_pending) {
+      msg.msg_control = control;
+      msg.msg_controllen = CMSG_SPACE(sizeof(int) * fd_count);
+      cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+      cmsg->cmsg_level = SOL_SOCKET;
+      cmsg->cmsg_type = SCM_RIGHTS;
+      cmsg->cmsg_len = CMSG_LEN(sizeof(int) * fd_count);
+      std::memcpy(CMSG_DATA(cmsg), fds,
+                  sizeof(int) * static_cast<size_t>(fd_count));
+    }
+    const ssize_t rc = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      fds_pending = false;
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (int perr = poll_until(fd, POLLOUT, deadline); perr != 0) {
+        return Status::fail("fleet: send", -perr);
+      }
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return Status::from_errno("fleet: send");
+  }
+  return Status::ok();
+}
+
+Result<Message> recv_message(int fd, int timeout_ms) {
+  const int64_t deadline = now_ms() + timeout_ms;
+  Message out;
+
+  // The header read also collects any SCM_RIGHTS payload (senders attach
+  // fds to the frame's first byte).
+  MsgHeader header{};
+  size_t got = 0;
+  while (got < sizeof(header)) {
+    struct iovec iov = {reinterpret_cast<char*>(&header) + got,
+                        sizeof(header) - got};
+    struct msghdr msg {};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int) * 2)] = {};
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+    const ssize_t rc = ::recvmsg(fd, &msg, MSG_CMSG_CLOEXEC);
+    if (rc > 0) {
+      got += static_cast<size_t>(rc);
+      for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+           cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+        if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS) {
+          continue;
+        }
+        const int nfds = static_cast<int>(
+            (cmsg->cmsg_len - CMSG_LEN(0)) / sizeof(int));
+        for (int i = 0; i < nfds; ++i) {
+          int passed = -1;
+          std::memcpy(&passed, CMSG_DATA(cmsg) + i * sizeof(int),
+                      sizeof(int));
+          if (out.fd_count < 2) {
+            out.fds[out.fd_count++] = passed;
+          } else {
+            ::close(passed);  // protocol only ever passes two
+          }
+        }
+      }
+      continue;
+    }
+    if (rc == 0) {
+      out.close_fds();
+      return Result<Message>(Error{ECONNRESET, "fleet: peer closed"});
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (int perr = poll_until(fd, POLLIN, deadline); perr != 0) {
+        out.close_fds();
+        return Result<Message>(Error{-perr, "fleet: recv"});
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    out.close_fds();
+    return Result<Message>::from_errno("fleet: recv");
+  }
+
+  out.kind = static_cast<MsgKind>(header.kind);
+  if (header.length > kMaxPayload) {
+    out.close_fds();
+    return Result<Message>(Error{EMSGSIZE, "fleet: oversized payload"});
+  }
+  out.payload.resize(header.length);
+  size_t body = 0;
+  while (body < header.length) {
+    const ssize_t rc =
+        ::recv(fd, out.payload.data() + body, header.length - body, 0);
+    if (rc > 0) {
+      body += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      out.close_fds();
+      return Result<Message>(Error{ECONNRESET, "fleet: peer closed"});
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (int perr = poll_until(fd, POLLIN, deadline); perr != 0) {
+        out.close_fds();
+        return Result<Message>(Error{-perr, "fleet: recv"});
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    out.close_fds();
+    return Result<Message>::from_errno("fleet: recv");
+  }
+  return out;
+}
+
+}  // namespace k23::fleet

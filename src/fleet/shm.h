@@ -1,0 +1,66 @@
+// Segment and socket plumbing for the fleet layer: memfd-backed shared
+// segments, SCM_RIGHTS fd passing, and deadline-bounded framed I/O over
+// the supervisor's Unix socket.
+//
+// Everything here runs in ordinary thread context (registration,
+// supervisor event loop, publisher thread) — never from the SIGSYS
+// dispatch path — so plain libc calls are fine; in a worker they are
+// simply interposed traffic like any other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "fleet/proto.h"
+
+namespace k23::fleet {
+
+// A memfd-backed anonymous segment of `size` bytes, zero-filled, named
+// "k23.fleet.<tag>" (the PID tag makes segments attributable in
+// /proc/<pid>/fd and /proc/<pid>/maps, the way PR 3's log shards are
+// attributable by filename). Falls back to an unlinked tmp file when the
+// kernel lacks memfd_create.
+Result<int> create_segment(const char* tag, size_t size);
+
+// Maps `size` bytes of `fd` shared read-write. The fd stays open (and is
+// the segment's lifetime anchor once the path-less memfd is shared).
+Result<void*> map_segment(int fd, size_t size);
+
+// Validates a mapped segment header (magic + version). `what` labels the
+// error.
+Status validate_segment(const void* base, const char* what);
+
+// --- unix socket ------------------------------------------------------------
+
+// Binds and listens on `path`. A stale socket file (no listener behind
+// it) is silently taken over; a live listener is an error — exactly one
+// supervisor per socket.
+Result<int> listen_unix(const std::string& path);
+
+// Connects to `path` with a hard deadline. A dead supervisor must cost
+// one fast ECONNREFUSED, never a hang: the connect is non-blocking and
+// polled, and the socket is returned still non-blocking.
+Result<int> connect_unix(const std::string& path, int timeout_ms);
+
+// --- framed messages --------------------------------------------------------
+
+struct Message {
+  MsgKind kind = MsgKind::kPing;
+  std::string payload;
+  int fds[2] = {-1, -1};
+  int fd_count = 0;
+
+  void close_fds();
+};
+
+// Sends header + payload (+ optional fds on the first byte) within
+// `timeout_ms`. Handles short writes; EPIPE/reset surface as errors.
+Status send_message(int fd, MsgKind kind, const void* payload, uint32_t length,
+                    const int* fds, int fd_count, int timeout_ms);
+
+// Receives one framed message within `timeout_ms`. Payloads above
+// kMaxPayload are rejected. EOF surfaces as ECONNRESET.
+Result<Message> recv_message(int fd, int timeout_ms);
+
+}  // namespace k23::fleet

@@ -1,0 +1,490 @@
+#include "fleet/supervisor.h"
+
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "fleet/shm.h"
+#include "k23/process_tree.h"
+
+namespace k23::fleet {
+namespace {
+
+int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct Supervisor::Connection {
+  int fd = -1;
+  // Set by a successful kRegister; a connection that dies before (or
+  // mid-) registration is just closed — the worker-crash-mid-register
+  // case costs the supervisor nothing but the accept.
+  bool is_worker = false;
+  int32_t pid = 0;
+  char tenant[kTenantNameLen] = {};
+  int seg_fd = -1;
+  WorkerSegment* seg = nullptr;
+
+  ~Connection() {
+    if (seg != nullptr) ::munmap(seg, sizeof(WorkerSegment));
+    if (seg_fd >= 0) ::close(seg_fd);
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {}
+
+Supervisor::~Supervisor() {
+  stop();
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    // Only the instance that actually bound may unlink: a failed init
+    // against a live supervisor must not yank its socket away.
+    ::unlink(options_.sock.c_str());
+  }
+  if (global_ != nullptr) ::munmap(global_, sizeof(GlobalSegment));
+  if (global_fd_ >= 0) ::close(global_fd_);
+}
+
+Status Supervisor::init() {
+  if (options_.sock.empty()) return Status::fail("fleet: no socket path");
+  auto listener = listen_unix(options_.sock);
+  if (!listener.is_ok()) return listener.status();
+  listen_fd_ = listener.value();
+
+  auto fd = create_segment("global", sizeof(GlobalSegment));
+  if (!fd.is_ok()) return fd.status();
+  global_fd_ = fd.value();
+  auto base = map_segment(global_fd_, sizeof(GlobalSegment));
+  if (!base.is_ok()) return base.status();
+  global_ = new (base.value()) GlobalSegment();
+
+  // Generation 1 is the first published config; generation 0 means "a
+  // segment nobody has written yet" and is never observed by a worker.
+  settings_ = options_.initial;
+  seqlock_publish(global_->seq, global_->settings,
+                  [&](FleetSettings& dst) { dst = settings_; });
+  last_refill_ms_ = now_ms();
+  return Status::ok();
+}
+
+void Supervisor::run() {
+  running_.store(true, std::memory_order_release);
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fds.reserve(conns_.size() + 1);
+      fds.push_back({listen_fd_, POLLIN, 0});
+      for (const auto& conn : conns_) fds.push_back({conn->fd, POLLIN, 0});
+    }
+    const int rc =
+        ::poll(fds.data(), fds.size(), static_cast<int>(options_.tick_ms));
+    if (rc < 0 && errno != EINTR) break;
+
+    if (fds[0].revents & POLLIN) {
+      const int conn_fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+      if (conn_fd >= 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = conn_fd;
+        conns_.push_back(std::move(conn));
+      }
+    }
+    // Walk backwards: handle_message/drop may erase the entry. The fds
+    // vector indexes conns_ as it was when built; dropping only shrinks
+    // the tail we have already visited.
+    for (size_t i = fds.size(); i-- > 1;) {
+      if (fds[i].revents == 0) continue;
+      const size_t conn_index = i - 1;
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conn_index >= conns_.size()) continue;
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        handle_message(*conns_[conn_index]);
+        if (conns_[conn_index]->fd < 0) drop_connection(conn_index);
+      }
+    }
+    refill_buckets();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+Status Supervisor::run_in_thread() {
+  if (Status st = init(); !st.is_ok()) return st;
+  thread_ = std::thread([this] { run(); });
+  return Status::ok();
+}
+
+void Supervisor::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Supervisor::handle_message(Connection& conn) {
+  auto msg = recv_message(conn.fd, 1000);
+  if (!msg.is_ok()) {
+    // EOF or a torn frame: a worker died (possibly mid-registration) or
+    // a controller hung up. Mark the fd dead; the caller drops it.
+    ::close(conn.fd);
+    conn.fd = -1;
+    return;
+  }
+  Message& m = msg.value();
+  m.close_fds();  // no inbound message legitimately carries fds
+  switch (m.kind) {
+    case MsgKind::kRegister:
+      handle_register(conn, m.payload);
+      break;
+    case MsgKind::kSet: {
+      SetReply reply{};
+      Status st = apply_set_locked(m.payload, &reply.generation);
+      reply.status = st.is_ok() ? 0 : (st.error().code > 0 ? st.error().code
+                                                           : EINVAL);
+      if (!st.is_ok()) {
+        K23_LOG(kWarn) << "k23d: rejected set '" << m.payload
+                       << "': " << st.message();
+      }
+      (void)send_message(conn.fd, MsgKind::kSetReply, &reply, sizeof(reply),
+                         nullptr, 0, 1000);
+      break;
+    }
+    case MsgKind::kStats: {
+      const std::string text = stats_text_locked();
+      (void)send_message(conn.fd, MsgKind::kStatsReply, text.data(),
+                         static_cast<uint32_t>(
+                             std::min<size_t>(text.size(), kMaxPayload)),
+                         nullptr, 0, 2000);
+      break;
+    }
+    case MsgKind::kPing:
+      (void)send_message(conn.fd, MsgKind::kPong, nullptr, 0, nullptr, 0,
+                         1000);
+      break;
+    case MsgKind::kShutdown: {
+      SetReply reply{0, generation()};
+      (void)send_message(conn.fd, MsgKind::kSetReply, &reply, sizeof(reply),
+                         nullptr, 0, 1000);
+      stop_.store(true, std::memory_order_release);
+      break;
+    }
+    default:
+      ::close(conn.fd);
+      conn.fd = -1;
+      break;
+  }
+}
+
+void Supervisor::handle_register(Connection& conn, const std::string& payload) {
+  RegisterRequest req{};
+  RegisterReply reply{};
+  if (payload.size() < sizeof(req)) {
+    reply.status = EBADMSG;
+    (void)send_message(conn.fd, MsgKind::kRegisterReply, &reply, sizeof(reply),
+                       nullptr, 0, 1000);
+    return;
+  }
+  std::memcpy(&req, payload.data(), sizeof(req));
+  if (req.magic != kSegmentMagic || req.version != kProtoVersion) {
+    reply.status = EPROTO;
+    (void)send_message(conn.fd, MsgKind::kRegisterReply, &reply, sizeof(reply),
+                       nullptr, 0, 1000);
+    return;
+  }
+
+  char tag[32];
+  std::snprintf(tag, sizeof(tag), "%d", req.pid);
+  auto seg_fd = create_segment(tag, sizeof(WorkerSegment));
+  if (seg_fd.is_ok()) {
+    auto base = map_segment(seg_fd.value(), sizeof(WorkerSegment));
+    if (base.is_ok()) {
+      auto* seg = new (base.value()) WorkerSegment();
+      seg->pid = req.pid;
+      std::memcpy(seg->tenant, req.tenant, kTenantNameLen);
+      seg->tenant[kTenantNameLen - 1] = '\0';
+      conn.seg = seg;
+      conn.seg_fd = seg_fd.value();
+    } else {
+      ::close(seg_fd.value());
+      reply.status = base.error().code;
+    }
+  } else {
+    reply.status = seg_fd.error().code;
+  }
+
+  if (conn.seg == nullptr) {
+    (void)send_message(conn.fd, MsgKind::kRegisterReply, &reply, sizeof(reply),
+                       nullptr, 0, 1000);
+    return;
+  }
+  reply.generation = generation();
+  const int fds[2] = {global_fd_, conn.seg_fd};
+  if (!send_message(conn.fd, MsgKind::kRegisterReply, &reply, sizeof(reply),
+                    fds, 2, 1000)
+           .is_ok()) {
+    ::close(conn.fd);
+    conn.fd = -1;
+    return;
+  }
+  conn.is_worker = true;
+  conn.pid = req.pid;
+  std::memcpy(conn.tenant, req.tenant, kTenantNameLen);
+}
+
+void Supervisor::drop_connection(size_t index) {
+  conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(index));
+}
+
+// --- config mutations -------------------------------------------------------
+
+Status Supervisor::set_rules(const std::string& spec) {
+  FleetSettings next = settings_;
+  next.rule_count = 0;
+  if (!spec.empty()) {
+    for (std::string_view item : split(spec, ',')) {
+      if (next.rule_count >= kMaxFleetRules) {
+        return Status::fail("fleet: too many rules", E2BIG);
+      }
+      FleetRule rule;
+      const size_t colon = item.find(':');
+      auto nr = parse_i64(colon == std::string_view::npos
+                              ? item
+                              : item.substr(0, colon));
+      if (!nr) return Status::fail("fleet: bad deny nr", EINVAL);
+      rule.nr = static_cast<int32_t>(*nr);
+      if (colon != std::string_view::npos) {
+        auto err = parse_u64(item.substr(colon + 1), 10);
+        if (!err || *err == 0 || *err > 4095) {
+          return Status::fail("fleet: bad deny errno", EINVAL);
+        }
+        rule.errno_value = static_cast<int32_t>(*err);
+      }
+      next.rules[next.rule_count++] = rule;
+    }
+  }
+  settings_ = next;
+  return Status::ok();
+}
+
+Status Supervisor::set_quota(const std::string& spec) {
+  // TENANT:RATE:BURST[:ERRNO]; RATE 0 removes the bucket.
+  const auto parts = split(spec, ':');
+  if (parts.size() < 2 || parts[0].empty() ||
+      parts[0].size() >= kTenantNameLen) {
+    return Status::fail("fleet: bad quota tenant", EINVAL);
+  }
+  auto rate = parse_u64(parts[1], 10);
+  if (!rate) return Status::fail("fleet: bad quota rate", EINVAL);
+
+  int slot = -1, free_slot = -1;
+  for (size_t i = 0; i < kMaxTenants; ++i) {
+    TokenBucket& b = global_->buckets[i];
+    if (b.active.load(std::memory_order_acquire) != 0) {
+      if (parts[0] == b.tenant) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    } else if (free_slot < 0) {
+      free_slot = static_cast<int>(i);
+    }
+  }
+  if (*rate == 0) {
+    if (slot >= 0) {
+      global_->buckets[slot].active.store(0, std::memory_order_release);
+    }
+    return Status::ok();
+  }
+  if (parts.size() < 3) return Status::fail("fleet: quota needs burst", EINVAL);
+  auto burst = parse_u64(parts[2], 10);
+  if (!burst || *burst == 0) {
+    return Status::fail("fleet: bad quota burst", EINVAL);
+  }
+  int errno_value = EAGAIN;
+  if (parts.size() >= 4) {
+    auto err = parse_u64(parts[3], 10);
+    if (!err || *err == 0 || *err > 4095) {
+      return Status::fail("fleet: bad quota errno", EINVAL);
+    }
+    errno_value = static_cast<int>(*err);
+  }
+  if (slot < 0) slot = free_slot;
+  if (slot < 0) return Status::fail("fleet: tenant table full", E2BIG);
+
+  TokenBucket& b = global_->buckets[slot];
+  // Deactivate while rewriting so a worker scanning slots never matches
+  // a half-written tenant name.
+  b.active.store(0, std::memory_order_release);
+  std::memset(b.tenant, 0, kTenantNameLen);
+  std::memcpy(b.tenant, parts[0].data(), parts[0].size());
+  b.errno_value = errno_value;
+  b.rate_per_sec = *rate;
+  b.burst = *burst;
+  b.tokens.store(static_cast<int64_t>(*burst), std::memory_order_relaxed);
+  refill_carry_[slot] = 0;
+  b.active.store(1, std::memory_order_release);
+  return Status::ok();
+}
+
+Status Supervisor::apply_set(const std::string& kv, uint32_t* generation_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return apply_set_locked(kv, generation_out);
+}
+
+Status Supervisor::apply_set_locked(const std::string& kv,
+                                    uint32_t* generation_out) {
+  const size_t eq = kv.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::fail("fleet: set wants key=value", EINVAL);
+  }
+  const std::string key = kv.substr(0, eq);
+  const std::string value = kv.substr(eq + 1);
+  Status st = Status::ok();
+  if (key == "publish_ms") {
+    auto ms = parse_u64(value, 10);
+    if (!ms || *ms < 10 || *ms > 60000) {
+      st = Status::fail("fleet: publish_ms out of range", EINVAL);
+    } else {
+      settings_.publish_ms = static_cast<uint32_t>(*ms);
+    }
+  } else if (key == "accel") {
+    settings_.accel_off = (value == "off" || value == "0") ? 1 : 0;
+  } else if (key == "batch") {
+    settings_.batch_off = (value == "off" || value == "0") ? 1 : 0;
+  } else if (key == "deny") {
+    st = set_rules(value);
+  } else if (key == "quota") {
+    st = set_quota(value);
+  } else {
+    st = Status::fail("fleet: unknown set key", EINVAL);
+  }
+  if (!st.is_ok()) return st;
+  // Every accepted set republishes, even when only the bucket page
+  // changed: the generation bump is what makes workers rescan their
+  // tenant's bucket slot.
+  seqlock_publish(global_->seq, global_->settings,
+                  [&](FleetSettings& dst) { dst = settings_; });
+  if (generation_out != nullptr) *generation_out = generation();
+  return Status::ok();
+}
+
+void Supervisor::refill_buckets() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = now_ms();
+  const int64_t elapsed = now - last_refill_ms_;
+  if (elapsed <= 0) return;
+  last_refill_ms_ = now;
+  for (size_t i = 0; i < kMaxTenants; ++i) {
+    TokenBucket& b = global_->buckets[i];
+    if (b.active.load(std::memory_order_acquire) == 0) continue;
+    const uint64_t due =
+        b.rate_per_sec * static_cast<uint64_t>(elapsed) + refill_carry_[i];
+    refill_carry_[i] = due % 1000;
+    const int64_t add = static_cast<int64_t>(due / 1000);
+    if (add == 0) continue;
+    // fetch_add + clamp instead of load/store: concurrent worker
+    // fetch_subs must not be overwritten, and an over-clamp store only
+    // ever forgives a few tokens.
+    const int64_t after = b.tokens.fetch_add(add, std::memory_order_relaxed) +
+                          add;
+    if (after > static_cast<int64_t>(b.burst)) {
+      b.tokens.store(static_cast<int64_t>(b.burst),
+                     std::memory_order_relaxed);
+    }
+  }
+}
+
+// --- stats ------------------------------------------------------------------
+
+std::string Supervisor::stats_text() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_text_locked();
+}
+
+std::string Supervisor::stats_text_locked() {
+  std::string out = "k23d: generation=" + std::to_string(generation()) +
+                    " workers=" + std::to_string([&] {
+                      size_t n = 0;
+                      for (const auto& c : conns_) n += c->is_worker ? 1 : 0;
+                      return n;
+                    }()) +
+                    "\n";
+  ProcessStatsDump aggregate;
+  size_t parsed = 0;
+  std::vector<char> text(kStatsAreaBytes);
+  for (const auto& conn : conns_) {
+    if (!conn->is_worker || conn->seg == nullptr) continue;
+    const WorkerSegment& seg = *conn->seg;
+    out += "worker pid=" + std::to_string(seg.pid) + " tenant=" +
+           std::string(seg.tenant) + " gen=" +
+           std::to_string(
+               seg.observed_generation.load(std::memory_order_acquire)) +
+           " heartbeat=" +
+           std::to_string(seg.heartbeat.load(std::memory_order_acquire));
+    // Snapshot the worker's published stats dump (v2 text) and fold it
+    // into the fleet aggregate with the post-mortem parser.
+    WorkerStatsView view{};
+    if (snapshot_worker_stats(seg, text.data(), text.size(), &view)) {
+      auto dump = ProcessTree::parse_stats_dump(
+          std::string(text.data(), view.length));
+      if (dump.is_ok()) {
+        ++parsed;
+        const ProcessStatsDump& d = dump.value();
+        out += " syscalls=" + std::to_string(d.total) +
+               " accelerated=" + std::to_string(d.accelerated) +
+               " batched=" + std::to_string(d.batched);
+        aggregate.total += d.total;
+        for (size_t p = 0; p < 4; ++p) aggregate.by_path[p] += d.by_path[p];
+        aggregate.accelerated += d.accelerated;
+        aggregate.batched += d.batched;
+        aggregate.flushed += d.flushed;
+        aggregate.promoted += d.promoted;
+      }
+    }
+    out += "\n";
+  }
+  for (size_t i = 0; i < kMaxTenants; ++i) {
+    const TokenBucket& b = global_->buckets[i];
+    if (b.active.load(std::memory_order_acquire) == 0) continue;
+    out += "tenant " + std::string(b.tenant) +
+           ": tokens=" +
+           std::to_string(b.tokens.load(std::memory_order_relaxed)) +
+           " rate=" + std::to_string(b.rate_per_sec) +
+           " burst=" + std::to_string(b.burst) +
+           " denied=" + std::to_string(
+                            b.denied.load(std::memory_order_relaxed)) +
+           "\n";
+  }
+  out += "fleet: syscalls=" + std::to_string(aggregate.total) +
+         " accelerated=" + std::to_string(aggregate.accelerated) +
+         " batched=" + std::to_string(aggregate.batched) +
+         " promoted=" + std::to_string(aggregate.promoted) +
+         " dumps=" + std::to_string(parsed) + "\n";
+  return out;
+}
+
+uint32_t Supervisor::generation() const {
+  return global_ != nullptr ? global_->generation() : 0;
+}
+
+size_t Supervisor::worker_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& c : conns_) n += c->is_worker ? 1 : 0;
+  return n;
+}
+
+}  // namespace k23::fleet

@@ -1,0 +1,111 @@
+// The k23d supervisor: registration service, live config publisher,
+// quota refiller, and fleet-wide stats aggregator (DESIGN.md §14).
+//
+// One instance owns one Unix socket and one global shared-memory
+// segment. Workers register over the socket and receive two memfds
+// (global + their own worker segment); after that every per-syscall
+// interaction happens through shared memory and the socket is only the
+// liveness signal. Control commands (`k23d --set/--stats/--shutdown`)
+// arrive over the same socket from short-lived controller connections.
+//
+// The event loop is single-threaded (poll over the listener plus every
+// open connection, with a periodic tick for token-bucket refill);
+// run_in_thread() wraps it for in-process use by tests and benches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "fleet/proto.h"
+
+namespace k23::fleet {
+
+struct SupervisorOptions {
+  std::string sock;          // Unix socket path (required)
+  FleetSettings initial;     // generation-0 settings
+  uint32_t tick_ms = 50;     // refill / poll cadence
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options);
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // Binds the socket (taking over a stale file, refusing a live one)
+  // and publishes generation 0.
+  Status init();
+
+  // Runs the event loop until stop() or a kShutdown message. init()
+  // must have succeeded.
+  void run();
+
+  // init() + run() on an internal thread; stop() joins it.
+  Status run_in_thread();
+  void stop();
+
+  // Applies one "key=value" mutation and republishes the settings under
+  // the seqlock (every accepted set bumps the generation, including
+  // quota changes — workers rescan their tenant's bucket on a
+  // generation change). Keys:
+  //   publish_ms=N            worker stats/heartbeat period
+  //   accel=on|off            fleet-wide accel kill switch
+  //   batch=on|off            fleet-wide batch kill switch
+  //   deny=NR[:ERRNO][,...]   replace the pushed rule list ("deny=" clears;
+  //                           NR -1 matches any syscall)
+  //   quota=TENANT:RATE:BURST[:ERRNO]   add/update a token bucket
+  //                           (RATE 0 removes the tenant's bucket)
+  Status apply_set(const std::string& kv, uint32_t* generation_out = nullptr);
+
+  // Aggregated live view: per-worker identity/generation/heartbeat plus
+  // the fleet totals folded from each worker's published stats dump
+  // (ProcessTree::parse_stats_dump — the same v2 format the post-mortem
+  // tools read).
+  std::string stats_text();
+
+  uint32_t generation() const;
+  size_t worker_count();
+  const std::string& socket_path() const { return options_.sock; }
+  // Test access to the live global segment (nullptr before init()).
+  GlobalSegment* global_segment() { return global_; }
+
+ private:
+  struct Connection;
+
+  // *_locked variants assume mu_ is held (the run loop holds it across
+  // handle_message; the public wrappers take it for external callers).
+  void handle_message(Connection& conn);
+  void handle_register(Connection& conn, const std::string& payload);
+  void drop_connection(size_t index);
+  void refill_buckets();
+  Status apply_set_locked(const std::string& kv, uint32_t* generation_out);
+  std::string stats_text_locked();
+  Status set_quota(const std::string& spec);
+  Status set_rules(const std::string& spec);
+
+  SupervisorOptions options_;
+  std::mutex mu_;  // guards conns_/settings_/buckets vs external callers
+  int listen_fd_ = -1;
+  GlobalSegment* global_ = nullptr;
+  int global_fd_ = -1;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  // Supervisor-side source of truth for the published settings (never
+  // read back out of the seqlocked area).
+  FleetSettings settings_;
+  int64_t last_refill_ms_ = 0;
+  // Sub-tick refill remainders, one per bucket slot (rate*dt rarely
+  // divides evenly at 50ms ticks).
+  uint64_t refill_carry_[kMaxTenants] = {};
+};
+
+}  // namespace k23::fleet

@@ -50,6 +50,12 @@ std::atomic<internal::BatchHookFn> g_batch_drain{nullptr};
 std::atomic<internal::BatchHookFn> g_batch_child_reset{nullptr};
 std::atomic<internal::BatchHookFn> g_batch_shared_vm_retire{nullptr};
 
+// Optional fleet hooks (fleet/client.cc): post-fork registration
+// staleness marking (the worker segment and socket belong to the
+// parent) and the atfork re-registration entry (internal.h).
+std::atomic<internal::FleetHookFn> g_fleet_child_stale{nullptr};
+std::atomic<internal::FleetHookFn> g_fleet_child_reregister{nullptr};
+
 // Process-wide flush barrier: buffered write payloads must reach the
 // kernel before any call that replaces this image (exec: buffered bytes
 // die with the old image), ends it (exit: ditto — and atexit paths may
@@ -94,6 +100,9 @@ long reinit_child_if_forked(long rc) {
     const internal::BatchHookFn batch_reset =
         g_batch_child_reset.load(std::memory_order_acquire);
     if (batch_reset != nullptr) batch_reset();
+    const internal::FleetHookFn fleet_stale =
+        g_fleet_child_stale.load(std::memory_order_acquire);
+    if (fleet_stale != nullptr) fleet_stale();
   }
   return rc;
 }
@@ -438,6 +447,20 @@ BatchHookFn batch_child_reset() {
 
 BatchHookFn batch_shared_vm_retire() {
   return g_batch_shared_vm_retire.load(std::memory_order_acquire);
+}
+
+void set_fleet_hooks(FleetHookFn child_mark_stale,
+                     FleetHookFn child_reregister) {
+  g_fleet_child_stale.store(child_mark_stale, std::memory_order_release);
+  g_fleet_child_reregister.store(child_reregister, std::memory_order_release);
+}
+
+FleetHookFn fleet_child_mark_stale() {
+  return g_fleet_child_stale.load(std::memory_order_acquire);
+}
+
+FleetHookFn fleet_child_reregister() {
+  return g_fleet_child_reregister.load(std::memory_order_acquire);
 }
 
 }  // namespace k23::internal

@@ -96,6 +96,11 @@ using HookHandle = uint64_t;
 // final verdict — including values served by an accelerator.
 namespace hook_priority {
 inline constexpr int kLegacy = 0;
+// The fleet consult (fleet/client.cc) runs just before the local policy
+// evaluator: centrally pushed deny rules and tenant quotas are the
+// coarse outer tier, and a fleet verdict must land before the local
+// policy or an accelerator can answer the call.
+inline constexpr int kFleet = 90;
 inline constexpr int kPolicy = 100;
 // Write batching sits between policy and the accelerators: a policy
 // verdict on a write must land before the ring can absorb it, and the

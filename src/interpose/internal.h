@@ -83,4 +83,23 @@ BatchHookFn batch_drain();
 BatchHookFn batch_child_reset();
 BatchHookFn batch_shared_vm_retire();
 
+// Fleet hooks (fleet/client.cc):
+//   child_mark_stale  called in the child right after a fork-style
+//                     passthrough returns 0 (same points as
+//                     ChildRefreshFn). The worker segment, registration
+//                     socket, and publisher thread all belong to the
+//                     parent; consulting the inherited global mapping
+//                     stays valid, but publishing must stop until the
+//                     child re-registers. Must be async-signal-safe.
+//   child_reregister  called from the process-tree atfork child handler
+//                     (ordinary thread context — may allocate): drops the
+//                     inherited identity and re-registers this child with
+//                     k23d as its own worker. Forks the dispatcher saw
+//                     but libc did not (raw syscall fork) keep consulting
+//                     config and simply stop publishing.
+using FleetHookFn = void (*)();
+void set_fleet_hooks(FleetHookFn child_mark_stale, FleetHookFn child_reregister);
+FleetHookFn fleet_child_mark_stale();
+FleetHookFn fleet_child_reregister();
+
 }  // namespace k23::internal

@@ -30,6 +30,7 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "fleet/client.h"
 #include "health/blackbox.h"
 #include "health/health.h"
 #include "interpose/dispatch.h"
@@ -323,6 +324,20 @@ __attribute__((constructor)) void k23_preload_init() {
       }
     }
     DegradationReport& deg = report.value().degradation;
+    // Fleet supervision (DESIGN.md §14): opt-in via K23_FLEET. The
+    // registration is synchronous and fail-fast — a missing or dead
+    // supervisor (stale socket file included) costs one bounded connect
+    // attempt and one degradation event, never a blocked startup; the
+    // process then simply runs un-supervised.
+    if (const fleet::FleetClientConfig fleet_config =
+            fleet::FleetClientConfig::from_env();
+        fleet_config.enabled) {
+      if (Status st = fleet::FleetClient::init(fleet_config); !st.is_ok()) {
+        deg.add("fleet", "unsupervised: " + st.message());
+        K23_LOG(kWarn) << "libk23_preload: fleet unsupervised: "
+                       << st.message();
+      }
+    }
     if (static_on) {
       // SUD-watch the static-only sites (first hit confirms + promotes)
       // and arm the dlopen rescan. Both need init done: watch rides the

@@ -220,6 +220,13 @@ void atfork_child() {
       refresh != nullptr) {
     refresh();
   }
+  // Re-register with the fleet supervisor as our own worker (the
+  // inherited worker segment and socket describe the parent). Ordinary
+  // thread context here — the fleet client may allocate and connect.
+  if (internal::FleetHookFn reregister = internal::fleet_child_reregister();
+      reregister != nullptr) {
+    reregister();
+  }
 }
 
 }  // namespace
