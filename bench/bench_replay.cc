@@ -1,0 +1,201 @@
+// Record/replay microbenchmark (DESIGN.md §15): what recording costs on
+// the hot path, what serving from a trace costs, and how much a virtual
+// clock compresses a sleep-bound soak.
+//
+// Three phases, all through the dispatcher funnel (the same on_syscall()
+// entry a rewritten site takes):
+//
+//   1. baseline   — clock_gettime with no hooks registered.
+//   2. record     — the same loop with the recorder appending one v3
+//                   record (header + timespec payload) per call. The
+//                   delta over baseline is the per-call recording tax.
+//   3. replay     — the same loop served from the freshly written trace
+//                   (no kernel entry at all on the served path).
+//
+// The soak phase records a sleep-bound workload (50ms of real
+// nanosleeps), then replays it under K23_CLOCK=virtual:rate=10: served
+// sleeps cost nothing and the pacer compresses the recorded gaps 10x.
+// The headline acceptance gate is speedup >= 5x (the ISSUE's "rate=10
+// replay finishes in <= 1/5 of recorded wall-clock", with margin for
+// loaded runners).
+//
+//   bench_replay [--iters=N] [--json=PATH]
+//
+// JSON metrics (regression-gated by scripts/check_bench_regression.py
+// --require replay/):
+//   replay/record_overhead_ns     per-call recording tax   (lower)
+//   replay/serve_ns               per-call replay serve    (lower)
+//   replay/soak_speedup_rate10    recorded / replayed wall (higher, >= 5)
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "accel/time_source.h"
+#include "interpose/dispatch.h"
+#include "replay/replay.h"
+#include "support/json_out.h"
+
+namespace k23::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double clock_loop_ns(long iters) {
+  HookContext ctx;
+  timespec ts{};
+  SyscallArgs args;
+  const auto t0 = Clock::now();
+  for (long i = 0; i < iters; ++i) {
+    args = SyscallArgs{};
+    args.nr = SYS_clock_gettime;
+    args.rdi = CLOCK_MONOTONIC;
+    args.rsi = reinterpret_cast<long>(&ts);
+    if (Dispatcher::instance().on_syscall(args, ctx) != 0) return -1;
+  }
+  const auto t1 = Clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         static_cast<double>(iters);
+}
+
+// `count` nanosleeps of `ns` each through the funnel; returns wall ns.
+double sleep_loop_wall_ns(int count, long ns) {
+  HookContext ctx;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < count; ++i) {
+    timespec req{0, ns};
+    SyscallArgs args;
+    args.nr = SYS_nanosleep;
+    args.rdi = reinterpret_cast<long>(&req);
+    if (Dispatcher::instance().on_syscall(args, ctx) != 0) return -1;
+  }
+  const auto t1 = Clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+int run(long iters, const std::string& json_path) {
+  JsonReport json("replay");
+  bool all_ok = true;
+
+  char trace[] = "/tmp/k23_bench_replay.XXXXXX";
+  const int tmp_fd = ::mkstemp(trace);
+  if (tmp_fd < 0) {
+    std::perror("bench_replay: mkstemp");
+    return 1;
+  }
+  ::close(tmp_fd);
+
+  std::printf("record/replay microbench, %ld calls per phase\n\n", iters);
+  std::printf("%-28s %12s\n", "phase", "ns/call");
+
+  const double base_ns = clock_loop_ns(iters);
+  if (base_ns < 0) return 1;
+  std::printf("%-28s %12.1f\n", "baseline (no hooks)", base_ns);
+
+  ReplayConfig record;
+  record.mode = ReplayConfig::Mode::kRecord;
+  record.trace_path = trace;
+  if (!Replay::init(record).is_ok()) {
+    std::fprintf(stderr, "bench_replay: record init failed\n");
+    return 1;
+  }
+  const double record_ns = clock_loop_ns(iters);
+  const uint64_t recorded = Replay::recorded_count();
+  Replay::shutdown();
+  if (record_ns < 0 || recorded != static_cast<uint64_t>(iters)) {
+    std::fprintf(stderr, "bench_replay: record phase broke (%llu/%ld)\n",
+                 static_cast<unsigned long long>(recorded), iters);
+    return 1;
+  }
+  const double overhead_ns = record_ns - base_ns;
+  std::printf("%-28s %12.1f  (+%.1f recording tax)\n", "record", record_ns,
+              overhead_ns);
+  json.add("replay/record_overhead_ns", overhead_ns,
+           /*higher_is_better=*/false);
+
+  ReplayConfig replay;
+  replay.mode = ReplayConfig::Mode::kReplay;
+  replay.trace_path = trace;
+  if (!Replay::init(replay).is_ok()) {
+    std::fprintf(stderr, "bench_replay: replay init failed\n");
+    return 1;
+  }
+  const double serve_ns = clock_loop_ns(iters);
+  const uint64_t served = Replay::replayed_count();
+  const uint64_t diverged = Replay::diverged_count();
+  Replay::shutdown();
+  if (serve_ns < 0 || served != static_cast<uint64_t>(iters) ||
+      diverged != 0) {
+    std::fprintf(stderr,
+                 "bench_replay: replay phase broke (%llu served, %llu "
+                 "diverged)\n",
+                 static_cast<unsigned long long>(served),
+                 static_cast<unsigned long long>(diverged));
+    return 1;
+  }
+  std::printf("%-28s %12.1f\n", "replay (served)", serve_ns);
+  json.add("replay/serve_ns", serve_ns, /*higher_is_better=*/false);
+
+  // --- soak compression -----------------------------------------------------
+  if (!Replay::init(record).is_ok()) return 1;  // truncates the trace
+  const double rec_wall = sleep_loop_wall_ns(10, 5'000'000);  // 10 x 5ms
+  Replay::shutdown();
+  if (rec_wall < 0) return 1;
+
+  TimeSourceConfig clock;
+  clock.virtual_clock = true;
+  clock.rate = 10.0;
+  if (!TimeSource::init(clock).is_ok()) return 1;
+  if (!Replay::init(replay).is_ok()) return 1;
+  const double rep_wall = sleep_loop_wall_ns(10, 5'000'000);
+  const uint64_t soak_diverged = Replay::diverged_count();
+  Replay::shutdown();
+  TimeSource::shutdown();
+  if (rep_wall < 0 || soak_diverged != 0) {
+    std::fprintf(stderr, "bench_replay: soak replay diverged\n");
+    return 1;
+  }
+  const double speedup = rec_wall / rep_wall;
+  std::printf("\nsoak: recorded %.1f ms, replayed %.1f ms at rate=10 "
+              "(%.1fx)\n",
+              rec_wall / 1e6, rep_wall / 1e6, speedup);
+  json.add("replay/soak_speedup_rate10", speedup, /*higher_is_better=*/true);
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "bench_replay: speedup %.1fx < 5x gate\n", speedup);
+    all_ok = false;
+  }
+
+  ::unlink(trace);
+  if (!json_path.empty()) {
+    if (!json.write(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace k23::bench
+
+int main(int argc, char** argv) {
+  long iters = 50000;
+  std::string json_path = "BENCH_replay.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      iters = std::atol(argv[i] + 8);
+      if (iters < 64) iters = 64;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--iters=N] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return k23::bench::run(iters, json_path);
+}

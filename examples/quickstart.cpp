@@ -61,8 +61,11 @@ int main() {
   Dispatcher::instance().stats().reset();  // drop offline-phase counts
 
   // 3. A hook that counts openat calls (and lets everything through).
+  //    Priority 0 runs before every built-in rung (see the ladder table
+  //    in DESIGN.md §7).
   static uint64_t opens = 0;
-  Dispatcher::instance().set_hook(
+  const HookHandle hook = Dispatcher::instance().register_hook(
+      0,
       [](void*, SyscallArgs& args, const HookContext&) {
         if (args.nr == syscall_number("openat")) ++opens;
         return HookResult::passthrough();
@@ -71,7 +74,7 @@ int main() {
 
   // 4. Run the workload under interposition.
   workload();
-  Dispatcher::instance().clear_hook();
+  Dispatcher::instance().unregister_hook(hook);
 
   auto& stats = Dispatcher::instance().stats();
   std::printf("interposed syscalls : %llu\n",

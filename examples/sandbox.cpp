@@ -74,7 +74,10 @@ int main() {
   K23Interposer::Options options;
   options.variant = K23Variant::kUltra;
   if (!K23Interposer::init(log.value(), options).is_ok()) return 1;
-  Dispatcher::instance().set_hook(&policy, nullptr);
+  // Policy belongs on the kPolicy rung: it must run before replay,
+  // batching, and the accelerators can answer a call (DESIGN.md §7).
+  const HookHandle hook = Dispatcher::instance().register_hook(
+      hook_priority::kPolicy, &policy, nullptr);
 
   std::printf("sandbox active: writes allowed only under %s\n\n",
               kAllowedPrefix);
@@ -85,6 +88,6 @@ int main() {
   std::printf("write to /root/sandbox_escape.txt -> %s (errno=%d)\n",
               err == 0 ? "ALLOWED (policy failure!)" : "denied", err);
 
-  Dispatcher::instance().clear_hook();
+  Dispatcher::instance().unregister_hook(hook);
   return err == EACCES ? 0 : 1;
 }

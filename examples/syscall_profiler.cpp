@@ -61,9 +61,10 @@ int main() {
   if (!K23Interposer::init(log.value(), K23Interposer::Options{}).is_ok()) {
     return 1;
   }
-  Dispatcher::instance().set_hook(&profiling_hook, nullptr);
+  const HookHandle hook =
+      Dispatcher::instance().register_hook(0, &profiling_hook, nullptr);
   workload();
-  Dispatcher::instance().clear_hook();
+  Dispatcher::instance().unregister_hook(hook);
 
   struct Row {
     long nr;

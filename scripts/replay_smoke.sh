@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Replay smoke (DESIGN.md §15): record one interposed mini_kv run under
+# client load, then replay the trace twice and demand the two replays
+# agree with each other — the scenario engine's determinism contract,
+# end to end through the real launcher.
+#
+#   scripts/replay_smoke.sh [build-dir] [requests]
+#
+# Pass criteria:
+#   1. `k23_run record` captures the run (trace written, server exits 0);
+#   2. both `k23_run replay` runs finish with replay,diverged,0 and a
+#      non-zero replay,replayed count;
+#   3. the per-syscall stats for the recorded families are byte-identical
+#      across the two replays (epoll_wait wake counts are excluded: 50ms
+#      timeout expiries depend on wall clock and are deliberately outside
+#      the recorded nondeterminism surface — see trace_format.h);
+#   4. bench_replay's rate=10 soak gate holds: virtual-clock replay
+#      finishes in <= 1/5 of the recorded wall-clock.
+#
+# Determinism notes baked into the harness below:
+#   - The client waits for each reply before sending the next command, so
+#     the server sees exactly one command per read and the trace's read
+#     segmentation is reproducible.
+#   - The connect attempt doubles as the readiness probe: a refused
+#     connect never reaches the server, so no throwaway probe connections
+#     leak into the trace.
+#   - The client holds its connection open until the server exits (the
+#     server stops itself via mini_kv's max_requests bound), so the
+#     server never sees a close racing its shutdown and the trace length
+#     is not timing-dependent.
+#
+# Runners without the launcher's kernel features degrade by SKIP (exit
+# 0), matching the test suite's policy. Everything else is a hard FAIL.
+set -u
+
+BUILD=${1:-build}
+REQUESTS=${2:-300}
+K23_RUN="$BUILD/src/k23/k23_run"
+MINI_KV="$BUILD/src/workloads/mini_kv"
+BENCH_REPLAY="$BUILD/bench/bench_replay"
+WORK=$(mktemp -d /tmp/k23.replay_smoke.XXXXXX)
+PORT=$((20000 + $$ % 20000))
+TRACE="$WORK/kv.trace"
+
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  pkill -f "$MINI_KV" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+skip() { echo "replay-smoke: SKIP: $*"; exit 0; }
+fail() {
+  echo "replay-smoke: FAIL: $*" >&2
+  for log in "$WORK"/*.log; do
+    echo "--- $log ---" >&2
+    cat "$log" >&2 || true
+  done
+  exit 1
+}
+
+for bin in "$K23_RUN" "$MINI_KV" "$BENCH_REPLAY"; do
+  [ -x "$bin" ] || fail "missing binary $bin (build first)"
+done
+
+if ! "$K23_RUN" -- /bin/true >/dev/null 2>&1; then
+  skip "k23_run cannot launch interposed processes on this runner"
+fi
+
+# Drives REQUESTS commands over one connection, one reply awaited per
+# command, then holds the connection until the server exits on its own.
+drive_client() {
+  local connected=""
+  for _ in $(seq 1 100); do
+    # `command exec`: a refused connect must not abort the shell (exec is
+    # a special builtin; its redirection failures are fatal otherwise).
+    if { command exec 3<>"/dev/tcp/127.0.0.1/$PORT"; } 2>/dev/null; then
+      connected=1
+      break
+    fi
+    sleep 0.1
+  done
+  [ -n "$connected" ] || return 1
+  local i reply
+  for i in $(seq 1 "$REQUESTS"); do
+    case $((i % 3)) in
+      1) printf 'SET smoke:%d v%d\r\n' "$i" "$i" >&3
+         read -r -t 10 reply <&3 || return 1 ;;
+      2) printf 'GET smoke:%d\r\n' "$((i - 1))" >&3
+         read -r -t 10 reply <&3 || return 1   # $<len>
+         read -r -t 10 reply <&3 || return 1 ;;  # value
+      0) printf 'PING\r\n' >&3
+         read -r -t 10 reply <&3 || return 1 ;;
+    esac
+  done
+  wait "$SERVER_PID"
+  local rc=$?
+  exec 3>&- 3<&-
+  return "$rc"
+}
+
+# One server run under the launcher in $1 mode, client load, clean exit.
+run_server() {
+  local mode=$1 log=$2
+  shift 2
+  env "$@" "$K23_RUN" "$mode" --trace="$TRACE" --stats -- \
+    "$MINI_KV" "$PORT" 1 "$REQUESTS" >"$log" 2>&1 &
+  SERVER_PID=$!
+  drive_client
+  local rc=$?
+  SERVER_PID=""
+  return "$rc"
+}
+
+echo "replay-smoke: recording $REQUESTS-request mini_kv run"
+run_server record "$WORK/record.log" \
+  || fail "record run broke (server or client)"
+grep -q 'recorded' "$WORK/record.log" \
+  || fail "launcher did not report a recorded trace"
+[ -s "$TRACE" ] || fail "trace file is empty"
+
+for n in 1 2; do
+  mkdir "$WORK/stats$n" || fail "mkdir stats$n"
+  echo "replay-smoke: replay #$n"
+  run_server replay "$WORK/replay$n.log" K23_STATS_DIR="$WORK/stats$n" \
+    || fail "replay #$n broke (server or client)"
+  dump=$(ls "$WORK/stats$n"/*.k23stats 2>/dev/null | head -n1)
+  [ -n "$dump" ] || fail "replay #$n wrote no stats dump"
+  grep -q '^replay,diverged,0$' "$dump" \
+    || fail "replay #$n diverged: $(grep '^replay,' "$dump" | tr '\n' ' ')"
+  grep '^replay,replayed,' "$dump" | grep -qv ',0$' \
+    || fail "replay #$n served nothing from the trace"
+done
+
+# Deterministic subset: replay counters plus per-syscall rows for the
+# recorded families (read, accept/accept4, recvfrom, getrandom, and the
+# time family). epoll_wait wake counts ride on wall-clock timeouts and
+# are excluded by design.
+filter_dump() {
+  grep -E '^(replay,|nr,(0|35|43|45|96|201|228|230|288|318),)' "$1" | sort
+}
+filter_dump "$WORK"/stats1/*.k23stats >"$WORK/replay1.rows"
+filter_dump "$WORK"/stats2/*.k23stats >"$WORK/replay2.rows"
+if ! diff -u "$WORK/replay1.rows" "$WORK/replay2.rows" >&2; then
+  fail "the two replays disagree on recorded-family per-syscall stats"
+fi
+rows=$(wc -l <"$WORK/replay1.rows")
+echo "replay-smoke: two replays byte-identical across $rows stat rows"
+
+echo "replay-smoke: bench_replay rate=10 soak gate"
+"$BENCH_REPLAY" --iters=20000 --json="$WORK/bench.json" \
+  >"$WORK/bench.log" 2>&1 \
+  || fail "bench_replay gate failed (rate=10 soak must be >= 5x)"
+grep 'soak:' "$WORK/bench.log" || true
+
+echo "replay-smoke: PASS (1 recording, 2 identical replays, soak gate held)"
+exit 0

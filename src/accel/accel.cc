@@ -6,7 +6,7 @@
 #include <atomic>
 #include <cstring>
 
-#include "accel/vdso.h"
+#include "accel/time_source.h"
 #include "common/env.h"
 #include "common/strings.h"
 #include "interpose/internal.h"
@@ -14,27 +14,16 @@
 namespace k23 {
 namespace {
 
-// vDSO entry points. All return 0/-errno like the raw syscalls they
-// mirror (they fall back to the real syscall internally for clocks the
-// fast path cannot serve — safe even under SUD, because the dispatcher
-// only runs hooks while the selector allows syscalls).
-using VdsoClockGettimeFn = long (*)(long clkid, void* ts);
-using VdsoGettimeofdayFn = long (*)(void* tv, void* tz);
-using VdsoTimeFn = long (*)(long* tloc);
-using VdsoGetcpuFn = long (*)(unsigned* cpu, unsigned* node, void* tcache);
-
 // Everything the hook consults, published as one immutable snapshot
 // behind an atomic pointer (null = inactive). init() builds a fresh
 // snapshot off the hot path; superseded snapshots are retired but never
 // freed — a hook mid-flight, possibly inside the SIGSYS handler, may
 // still be dereferencing one — the same discipline as the dispatcher's
-// Config snapshots.
+// Config snapshots. Time-family serving is delegated to TimeSource
+// (accel/time_source.h), which owns every vDSO pointer; this snapshot
+// only carries the subset toggles and the local caches.
 struct AccelState {
   AccelConfig config;
-  VdsoClockGettimeFn clock_gettime = nullptr;
-  VdsoGettimeofdayFn gettimeofday = nullptr;
-  VdsoTimeFn time = nullptr;
-  VdsoGetcpuFn getcpu = nullptr;
   bool uname_ok = false;
   utsname uname_buf = {};
   AccelReport report;
@@ -110,31 +99,36 @@ HookResult Accel::hook(void*, SyscallArgs& args, const HookContext& ctx) {
   // fall through to passthrough for exact errno semantics.
   switch (args.nr) {
     case SYS_clock_gettime: {
-      const VdsoClockGettimeFn fn = st->clock_gettime;
-      if (fn == nullptr || args.rsi == 0) break;
-      if (fn(args.rdi, reinterpret_cast<void*>(args.rsi)) != 0) break;
+      if (!st->config.time || args.rsi == 0) break;
+      if (!TimeSource::serve_clock_gettime(
+              args.rdi, reinterpret_cast<void*>(args.rsi))) {
+        break;
+      }
       return served(0);
     }
     case SYS_gettimeofday: {
-      const VdsoGettimeofdayFn fn = st->gettimeofday;
-      if (fn == nullptr || args.rdi == 0) break;
-      if (fn(reinterpret_cast<void*>(args.rdi),
-             reinterpret_cast<void*>(args.rsi)) != 0) {
+      if (!st->config.time || args.rdi == 0) break;
+      if (!TimeSource::serve_gettimeofday(
+              reinterpret_cast<void*>(args.rdi),
+              reinterpret_cast<void*>(args.rsi))) {
         break;
       }
       return served(0);
     }
     case SYS_time: {
-      const VdsoTimeFn fn = st->time;
-      if (fn == nullptr) break;
-      return served(fn(reinterpret_cast<long*>(args.rdi)));
+      if (!st->config.time) break;
+      long seconds = 0;
+      if (!TimeSource::serve_time(reinterpret_cast<long*>(args.rdi),
+                                  &seconds)) {
+        break;
+      }
+      return served(seconds);
     }
     case SYS_getcpu: {
-      const VdsoGetcpuFn fn = st->getcpu;
-      if (fn == nullptr) break;
-      if (fn(reinterpret_cast<unsigned*>(args.rdi),
-             reinterpret_cast<unsigned*>(args.rsi),
-             reinterpret_cast<void*>(args.rdx)) != 0) {
+      if (!st->config.time) break;
+      if (!TimeSource::serve_getcpu(reinterpret_cast<void*>(args.rdi),
+                                    reinterpret_cast<void*>(args.rsi),
+                                    reinterpret_cast<void*>(args.rdx))) {
         break;
       }
       return served(0);
@@ -174,21 +168,16 @@ Status Accel::init(const AccelConfig& config) {
   auto* next = new AccelState();
   next->config = config;
   if (config.time) {
-    // from_process, not from_auxv: inside a k23_run tracee the auxv
-    // entry is scrubbed and only the /proc/self/maps fallback finds the
-    // still-mapped vDSO (vdso.h).
-    const VdsoImage vdso = VdsoImage::from_process();
-    next->report.vdso_present = vdso.present();
-    next->clock_gettime = reinterpret_cast<VdsoClockGettimeFn>(
-        vdso.lookup("__vdso_clock_gettime"));
-    next->gettimeofday = reinterpret_cast<VdsoGettimeofdayFn>(
-        vdso.lookup("__vdso_gettimeofday"));
-    next->time = reinterpret_cast<VdsoTimeFn>(vdso.lookup("__vdso_time"));
-    next->getcpu =
-        reinterpret_cast<VdsoGetcpuFn>(vdso.lookup("__vdso_getcpu"));
-    next->report.vdso_symbols =
-        (next->clock_gettime != nullptr) + (next->gettimeofday != nullptr) +
-        (next->time != nullptr) + (next->getcpu != nullptr);
+    // The vDSO pointers live in TimeSource now; bring it up lazily so
+    // direct Accel::init callers (tests, benches) keep working without
+    // separate wiring. An already-active TimeSource — e.g. one the
+    // preload configured for a virtual clock — is left as-is.
+    if (!TimeSource::active()) {
+      (void)TimeSource::init(TimeSourceConfig::from_env());
+    }
+    const TimeSourceReport ts = TimeSource::report();
+    next->report.vdso_present = ts.vdso_present;
+    next->report.vdso_symbols = ts.vdso_symbols;
   }
   if (config.pid && !g_pid_cache_retired.load(std::memory_order_relaxed)) {
     g_pid.store(raw(SYS_getpid), std::memory_order_relaxed);

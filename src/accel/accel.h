@@ -4,8 +4,10 @@
 // flips the sign for the hottest kernel-round-trip-free calls by answering
 // them directly from the dispatcher's hook chain:
 //
-//  * clock_gettime / gettimeofday / time / getcpu are forwarded to the
-//    __vdso_* implementations, resolved once at init from AT_SYSINFO_EHDR.
+//  * clock_gettime / gettimeofday / time / getcpu are forwarded through
+//    TimeSource (accel/time_source.h), which owns the __vdso_* pointers,
+//    resolved once at init from AT_SYSINFO_EHDR — and which can swap the
+//    real clock for a warped virtual one (K23_CLOCK, DESIGN.md §15).
 //    This matters most under k23_run, which scrubs the auxv entry so the
 //    *application* cannot bypass interposition through the vDSO (P2b):
 //    its libc falls back to real syscall instructions, every time call is

@@ -1,0 +1,266 @@
+#include "accel/time_source.h"
+
+#include <sys/syscall.h>
+#include <sys/time.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <ctime>
+#include <string_view>
+
+#include "accel/vdso.h"
+#include "common/env.h"
+#include "common/strings.h"
+#include "interpose/internal.h"
+
+namespace k23 {
+namespace {
+
+constexpr uint64_t kNsPerSec = 1'000'000'000ull;
+
+// vDSO entry points, same conventions as the raw syscalls they mirror
+// (0/-errno; internal fallback to the real syscall for clocks the fast
+// path cannot serve).
+using VdsoClockGettimeFn = long (*)(long clkid, void* ts);
+using VdsoGettimeofdayFn = long (*)(void* tv, void* tz);
+using VdsoTimeFn = long (*)(long* tloc);
+using VdsoGetcpuFn = long (*)(unsigned* cpu, unsigned* node, void* tcache);
+
+// Wall-family clockids whose readings the virtual clock warps. CPU-time
+// clocks (CLOCK_PROCESS_CPUTIME_ID, CLOCK_THREAD_CPUTIME_ID) measure
+// work, not wall time, and are served unwarped.
+bool warpable_clkid(long clkid) {
+  switch (clkid) {
+    case CLOCK_REALTIME:
+    case CLOCK_MONOTONIC:
+    case CLOCK_MONOTONIC_RAW:
+    case CLOCK_REALTIME_COARSE:
+    case CLOCK_MONOTONIC_COARSE:
+    case CLOCK_BOOTTIME:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct TimeState {
+  TimeSourceConfig config;
+  VdsoClockGettimeFn clock_gettime = nullptr;
+  VdsoGettimeofdayFn gettimeofday = nullptr;
+  VdsoTimeFn time = nullptr;
+  VdsoGetcpuFn getcpu = nullptr;
+  TimeSourceReport report;
+  // Virtual-clock origins, one per warpable clockid, captured at first
+  // read via CAS (0 = not yet captured; a raw clock reading of exactly
+  // the epoch nanosecond cannot occur in practice). A single base per
+  // clock plus multiplication by a positive rate keeps warped
+  // monotonic readings monotone across threads.
+  static constexpr long kMaxClkid = 16;
+  std::atomic<uint64_t> base_ns[kMaxClkid] = {};
+  TimeState* retired_next = nullptr;
+};
+
+std::atomic<const TimeState*> g_state{nullptr};
+TimeState* g_retired_head = nullptr;  // keeps old snapshots leak-reachable
+
+long raw(long nr, long a1 = 0, long a2 = 0) {
+  return internal::syscall_fn()(nr, a1, a2, 0, 0, 0, 0);
+}
+
+uint64_t to_ns(const timespec& ts) {
+  return static_cast<uint64_t>(ts.tv_sec) * kNsPerSec +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+timespec from_ns(uint64_t ns) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ns / kNsPerSec);
+  ts.tv_nsec = static_cast<long>(ns % kNsPerSec);
+  return ts;
+}
+
+// Raw (unwarped) clock read: vDSO when resolved, real syscall otherwise.
+bool raw_clock_read(const TimeState* st, long clkid, timespec* ts) {
+  if (st != nullptr && st->clock_gettime != nullptr) {
+    return st->clock_gettime(clkid, ts) == 0;
+  }
+  return raw(SYS_clock_gettime, clkid, reinterpret_cast<long>(ts)) == 0;
+}
+
+uint64_t warp_against(const TimeState* st, long clkid, uint64_t raw_ns) {
+  if (st == nullptr || !st->config.virtual_clock || !warpable_clkid(clkid) ||
+      clkid >= TimeState::kMaxClkid) {
+    return raw_ns;
+  }
+  auto& base_word = const_cast<TimeState*>(st)->base_ns[clkid];
+  uint64_t base = base_word.load(std::memory_order_relaxed);
+  if (base == 0) {
+    uint64_t expected = 0;
+    base_word.compare_exchange_strong(expected, raw_ns,
+                                      std::memory_order_relaxed);
+    base = base_word.load(std::memory_order_relaxed);
+  }
+  if (raw_ns <= base) return base;
+  const double scaled =
+      static_cast<double>(raw_ns - base) * st->config.rate;
+  return base + static_cast<uint64_t>(scaled);
+}
+
+}  // namespace
+
+TimeSourceConfig TimeSourceConfig::from_env() {
+  TimeSourceConfig config;
+  const char* value = env_raw("K23_CLOCK");
+  if (value == nullptr || value[0] == '\0') return config;  // default: real
+  const std::string_view v(value);
+  if (v == "real") return config;
+  if (v.substr(0, 7) != "virtual") return config;  // unknown: stay real
+  config.virtual_clock = true;
+  const size_t colon = v.find(':');
+  if (colon == std::string_view::npos) return config;
+  for (std::string_view item : split(v.substr(colon + 1), ':')) {
+    item = trim(item);
+    if (item.substr(0, 5) != "rate=") continue;
+    // strtod needs a terminated buffer; the option is short by grammar.
+    char buf[32] = {};
+    const std::string_view num = item.substr(5);
+    if (num.empty() || num.size() >= sizeof(buf)) continue;
+    num.copy(buf, num.size());
+    const double rate = std::strtod(buf, nullptr);
+    if (rate > 0.0) config.rate = rate;
+  }
+  return config;
+}
+
+Status TimeSource::init(const TimeSourceConfig& config) {
+  shutdown();
+  auto* next = new TimeState();
+  next->config = config;
+  // from_process, not from_auxv: inside a k23_run tracee the auxv entry
+  // is scrubbed and only the /proc/self/maps fallback finds the
+  // still-mapped vDSO (vdso.h).
+  const VdsoImage vdso = VdsoImage::from_process();
+  next->report.vdso_present = vdso.present();
+  next->clock_gettime = reinterpret_cast<VdsoClockGettimeFn>(
+      vdso.lookup("__vdso_clock_gettime"));
+  next->gettimeofday = reinterpret_cast<VdsoGettimeofdayFn>(
+      vdso.lookup("__vdso_gettimeofday"));
+  next->time = reinterpret_cast<VdsoTimeFn>(vdso.lookup("__vdso_time"));
+  next->getcpu =
+      reinterpret_cast<VdsoGetcpuFn>(vdso.lookup("__vdso_getcpu"));
+  next->report.vdso_symbols =
+      (next->clock_gettime != nullptr) + (next->gettimeofday != nullptr) +
+      (next->time != nullptr) + (next->getcpu != nullptr);
+  g_state.store(next, std::memory_order_release);
+  return Status::ok();
+}
+
+void TimeSource::shutdown() {
+  TimeState* old = const_cast<TimeState*>(
+      g_state.exchange(nullptr, std::memory_order_acq_rel));
+  if (old != nullptr) {
+    old->retired_next = g_retired_head;
+    g_retired_head = old;
+  }
+}
+
+bool TimeSource::active() {
+  return g_state.load(std::memory_order_acquire) != nullptr;
+}
+
+bool TimeSource::virtual_mode() {
+  const TimeState* st = g_state.load(std::memory_order_acquire);
+  return st != nullptr && st->config.virtual_clock;
+}
+
+double TimeSource::rate() {
+  const TimeState* st = g_state.load(std::memory_order_acquire);
+  return st != nullptr ? st->config.rate : 1.0;
+}
+
+TimeSourceReport TimeSource::report() {
+  const TimeState* st = g_state.load(std::memory_order_acquire);
+  return st != nullptr ? st->report : TimeSourceReport{};
+}
+
+bool TimeSource::serve_clock_gettime(long clkid, void* ts) {
+  const TimeState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr || ts == nullptr) return false;
+  if (!st->config.virtual_clock) {
+    // Real mode: exactly the old accel path — vDSO or passthrough.
+    return st->clock_gettime != nullptr && st->clock_gettime(clkid, ts) == 0;
+  }
+  timespec raw_ts;
+  if (!raw_clock_read(st, clkid, &raw_ts)) return false;
+  *static_cast<timespec*>(ts) =
+      from_ns(warp_against(st, clkid, to_ns(raw_ts)));
+  return true;
+}
+
+bool TimeSource::serve_gettimeofday(void* tv, void* tz) {
+  const TimeState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr || tv == nullptr) return false;
+  if (!st->config.virtual_clock) {
+    return st->gettimeofday != nullptr && st->gettimeofday(tv, tz) == 0;
+  }
+  // Virtual mode fetches through whichever raw path exists, then warps
+  // the tv image (tz, when requested, was filled by the fetch).
+  if (st->gettimeofday != nullptr) {
+    if (st->gettimeofday(tv, tz) != 0) return false;
+  } else if (raw(SYS_gettimeofday, reinterpret_cast<long>(tv),
+                 reinterpret_cast<long>(tz)) != 0) {
+    return false;
+  }
+  auto* out = static_cast<timeval*>(tv);
+  const uint64_t raw_ns = static_cast<uint64_t>(out->tv_sec) * kNsPerSec +
+                          static_cast<uint64_t>(out->tv_usec) * 1000ull;
+  const uint64_t warped = warp_against(st, CLOCK_REALTIME, raw_ns);
+  out->tv_sec = static_cast<time_t>(warped / kNsPerSec);
+  out->tv_usec = static_cast<suseconds_t>((warped % kNsPerSec) / 1000ull);
+  return true;
+}
+
+bool TimeSource::serve_time(long* tloc, long* out_seconds) {
+  const TimeState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr) return false;
+  if (!st->config.virtual_clock) {
+    if (st->time == nullptr) return false;
+    *out_seconds = st->time(tloc);
+    return true;
+  }
+  timespec raw_ts;
+  if (!raw_clock_read(st, CLOCK_REALTIME, &raw_ts)) return false;
+  const uint64_t warped =
+      warp_against(st, CLOCK_REALTIME, to_ns(raw_ts));
+  *out_seconds = static_cast<long>(warped / kNsPerSec);
+  if (tloc != nullptr) *tloc = *out_seconds;
+  return true;
+}
+
+bool TimeSource::serve_getcpu(void* cpu, void* node, void* tcache) {
+  const TimeState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr || st->getcpu == nullptr) return false;
+  return st->getcpu(static_cast<unsigned*>(cpu),
+                    static_cast<unsigned*>(node), tcache) == 0;
+}
+
+uint64_t TimeSource::raw_monotonic_ns() {
+  const TimeState* st = g_state.load(std::memory_order_acquire);
+  timespec ts = {};
+  if (!raw_clock_read(st, CLOCK_MONOTONIC, &ts)) return 0;
+  return to_ns(ts);
+}
+
+uint64_t TimeSource::raw_realtime_ns() {
+  const TimeState* st = g_state.load(std::memory_order_acquire);
+  timespec ts = {};
+  if (!raw_clock_read(st, CLOCK_REALTIME, &ts)) return 0;
+  return to_ns(ts);
+}
+
+uint64_t TimeSource::warp_ns(long clkid, uint64_t raw_ns) {
+  return warp_against(g_state.load(std::memory_order_acquire), clkid,
+                      raw_ns);
+}
+
+}  // namespace k23

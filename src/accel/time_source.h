@@ -1,0 +1,92 @@
+// TimeSource: the process's one clock authority (DESIGN.md §15).
+//
+// Before this existed, accel.cc held raw __vdso_* function pointers and
+// the time family had exactly one behavior: forward to the vDSO. The
+// record/replay engine needs a second one — a *virtual* clock that warps
+// what the application observes (compressing a recorded soak, or just
+// running a test at 20×) — and both accel and replay need to agree on
+// where "now" comes from. So the vDSO pointers moved here, behind a
+// mode switch:
+//
+//   K23_CLOCK=real            vDSO forward, exactly the old accel path.
+//   K23_CLOCK=virtual[:rate=N]
+//                             t_app = base + (t_raw - base) * N, with
+//                             base captured per clockid at first read.
+//                             N > 1 makes application time run fast,
+//                             N < 1 slow. Monotonic clocks stay
+//                             monotonic: one CAS fixes the base, and
+//                             scaling by a positive constant preserves
+//                             order across threads.
+//
+// In real mode a missing vDSO means serve() returns false and the caller
+// passes through to the kernel — identical to the pre-TimeSource accel
+// behavior. In virtual mode the warp is mandatory, so a missing vDSO
+// falls back to the raw syscall (internal::syscall_fn) and warps that:
+// the application must never see an unwarped timestamp once the virtual
+// clock is on.
+//
+// All serve paths follow the SIGSYS-safety rules (DESIGN.md §10): no
+// allocation, no libc, state behind one immutable retire-never-free
+// snapshot. raw_monotonic_ns() always bypasses the warp — it is the
+// timebase for the replay pacer and the recorder's timestamps, which
+// must measure wall clock even while the application lives in warped
+// time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace k23 {
+
+struct TimeSourceConfig {
+  bool virtual_clock = false;
+  double rate = 1.0;  // virtual mode only; > 0
+  // Parses K23_CLOCK (see common/env.h grammar table). Unset or
+  // unparsable values yield real mode at rate 1.
+  static TimeSourceConfig from_env();
+};
+
+struct TimeSourceReport {
+  bool vdso_present = false;  // vDSO image resolved to a sane ELF
+  int vdso_symbols = 0;       // __vdso_* entry points actually found
+};
+
+class TimeSource {
+ public:
+  // Resolves the vDSO entry points and publishes the mode. Idempotent;
+  // re-init replaces the configuration (old snapshots are retired, never
+  // freed — a hook mid-flight may still hold one).
+  static Status init(const TimeSourceConfig& config);
+  static void shutdown();
+  static bool active();
+  static bool virtual_mode();
+  static double rate();
+  static TimeSourceReport report();
+
+  // Serve attempts for the time family. Return true when the output was
+  // written and the syscall result is 0 (serve_time additionally yields
+  // the seconds value via *out_seconds, matching time()'s return-value
+  // convention). false = caller must pass through to the kernel.
+  // Pointer arguments are dereferenced exactly as libc would hand them
+  // to the vDSO (documented deviation, DESIGN.md §10).
+  static bool serve_clock_gettime(long clkid, void* ts);
+  static bool serve_gettimeofday(void* tv, void* tz);
+  static bool serve_time(long* tloc, long* out_seconds);
+  // getcpu is vDSO-resolved but never warped (it is not a clock); it
+  // lives here so accel holds no raw vDSO pointers at all.
+  static bool serve_getcpu(void* cpu, void* node, void* tcache);
+
+  // Unwarped CLOCK_MONOTONIC in nanoseconds (vDSO when present, raw
+  // syscall otherwise). Async-signal-safe.
+  static uint64_t raw_monotonic_ns();
+  // Same for CLOCK_REALTIME.
+  static uint64_t raw_realtime_ns();
+
+  // The warp function itself, exposed for the virtual-clock unit tests:
+  // what clock_gettime(clkid) would report if the raw clock read
+  // `raw_ns`. In real mode (or for unwarpable clockids) returns raw_ns.
+  static uint64_t warp_ns(long clkid, uint64_t raw_ns);
+};
+
+}  // namespace k23

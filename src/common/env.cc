@@ -26,85 +26,115 @@ size_t match_entry(std::string_view entry, std::string_view name) {
 // env-grammar test cross-checks this table against the sources.
 constexpr EnvSpec kEnvTable[] = {
     {"K23_MODE", "k23|logger|zpoline|lazypoline|sud", "k23",
-     "interposition mode brought up by libk23_preload"},
+     "interposition mode brought up by libk23_preload", env_scope::kLaunch},
     {"K23_VARIANT", "default|ultra|ultra+", "default",
-     "rewriter variant (k23/zpoline modes)"},
+     "rewriter variant (k23/zpoline modes)", env_scope::kLaunch},
     {"K23_LOG_FILE", "path", "unset",
-     "offline-log path: read by k23 mode, written by logger mode"},
+     "offline-log path: read by k23 mode, written by logger mode",
+     env_scope::kAll},
     {"K23_LOG_LEVEL", "0..3", "1",
      "minimum diagnostic level (0=debug, 1=info, 2=warn, 3=error); "
-     "messages below the level are dropped"},
+     "messages below the level are dropped", env_scope::kAll},
     {"K23_LOG_SHARDS", "on|off", "off",
-     "write per-PID offline-log shards instead of the shared base log"},
+     "write per-PID offline-log shards instead of the shared base log",
+     env_scope::kAll},
     {"K23_STATS", "on|off", "off",
-     "print the in-process interposition statistics at exit"},
+     "print the in-process interposition statistics at exit",
+     env_scope::kStats},
     {"K23_STATS_DIR", "path", "unset",
-     "directory for per-process stats dumps (k23_run --stats --tree)"},
+     "directory for per-process stats dumps (k23_run stats / tree)",
+     env_scope::kStats},
     {"K23_FOLLOW", "on|off", "on",
-     "carry LD_PRELOAD/K23_* across execve (process-tree propagation)"},
+     "carry LD_PRELOAD/K23_* across execve (process-tree propagation)",
+     env_scope::kLaunch},
     {"K23_PROMOTE", "on|off", "on",
-     "adaptive promotion of hot SUD-fallback sites to rewritten sites"},
+     "adaptive promotion of hot SUD-fallback sites to rewritten sites",
+     env_scope::kLaunch},
     {"K23_PROMOTE_THRESHOLD", "count (>= 1)", "64",
-     "SUD hits at one site before it is considered for promotion"},
+     "SUD hits at one site before it is considered for promotion",
+     env_scope::kLaunch},
     {"K23_PROMOTE_MAX_SITES", "count", "256",
-     "upper bound on sites promoted at runtime"},
+     "upper bound on sites promoted at runtime", env_scope::kLaunch},
     {"K23_STATIC", "off|on|strict", "off",
      "load-time static syscall-site discovery: on cross-validates the "
      "scan against the offline log (agreement rewrites eagerly, "
      "static-only sites SUD-watch, log-only sites report a discovery "
-     "gap); strict trusts the scan alone — zero-warmup, no offline run"},
+     "gap); strict trusts the scan alone — zero-warmup, no offline run",
+     env_scope::kLaunch},
     {"K23_STATIC_THREADS", "count (1-64)", "4",
-     "worker pool width for the parallel per-module static scan"},
+     "worker pool width for the parallel per-module static scan",
+     env_scope::kLaunch},
     {"K23_STATIC_RESCAN_MS", "milliseconds", "50 (0=off)",
      "late-module (dlopen) rescan poll period; 0 disables the rescan "
-     "thread"},
+     "thread", env_scope::kLaunch},
     {"K23_ACCEL", "on|off|list of time,pid,uname", "on",
      "userspace acceleration: vDSO-forwarded clock_gettime/gettimeofday/"
-     "time/getcpu (time), cached getpid/gettid (pid), cached uname (uname)"},
+     "time/getcpu (time), cached getpid/gettid (pid), cached uname (uname)",
+     env_scope::kLaunch},
+    {"K23_CLOCK", "real|virtual[:rate=N]", "real",
+     "the TimeSource the time family is served from: virtual warps "
+     "application-visible clocks by rate N (N>1 runs app time fast); "
+     "under replay, rate N paces served records at N x recorded speed "
+     "(unset = replay as fast as possible)",
+     env_scope::kRun | env_scope::kReplay},
+    {"K23_RECORD", "path", "unset",
+     "record mode: capture nondeterministic syscall results (time "
+     "family, read/recvfrom digests, accept order, getrandom, sleeps) "
+     "into a v3 trace at this path", env_scope::kRecord},
+    {"K23_REPLAY", "path", "unset",
+     "replay mode: serve recorded results from the v3 trace at this "
+     "path through a kReplay chain entry; divergence degrades to "
+     "passthrough and is reported, never a crash", env_scope::kReplay},
     {"K23_BATCH", "off|on|class[,class][:key=val...]", "off",
      "write-side syscall batching: absorb eligible writes into per-thread "
      "rings, flush coalesced; classes append,pipe; keys bytes= (flush at "
      "buffered bytes), entries= (flush at buffered writes), write_max= "
      "(larger writes pass through), deadline_ms= (background flush period, "
-     "0=off)"},
+     "0=off)", env_scope::kRun | env_scope::kRecord},
     {"K23_BATCH_BACKEND", "auto|writev|uring", "auto",
      "flush backend: auto picks io_uring when the kernel probe succeeds "
-     "and falls back to plain writev; uring fails init when unavailable"},
+     "and falls back to plain writev; uring fails init when unavailable",
+     env_scope::kRun | env_scope::kRecord},
     {"K23_FLEET", "on|off", "off",
      "fleet supervision: register with k23d at startup, map the shared "
      "config/quota segments, and publish live stats (supervisor-less "
      "startup stays zero-cost; a dead supervisor costs one fast failed "
-     "connect and a degradation event)"},
+     "connect and a degradation event)", env_scope::kRun},
     {"K23_FLEET_SOCK", "path", "/tmp/k23d.sock",
-     "k23d supervisor Unix socket to register with"},
+     "k23d supervisor Unix socket to register with", env_scope::kRun},
     {"K23_FLEET_TENANT", "name (<= 23 chars)", "default",
-     "tenant this worker accounts against in the fleet quota page"},
+     "tenant this worker accounts against in the fleet quota page",
+     env_scope::kRun},
     {"K23_FAULTS", "point:error[:trigger][;...]", "unset",
      "fault-injection rules (e.g. \"sud_arm:eagain:nth=2\"); error is an "
      "errno name, number, or \"fail\"; trigger is every=N, nth=N, times=N "
      "or prob=P (P% per call, seeded PRNG); crash kinds patch_sigsegv, "
-     "thunk_sigill, hook_fault fault the dispatch path for real"},
+     "thunk_sigill, hook_fault fault the dispatch path for real",
+     env_scope::kRun},
     {"K23_FAULTS_SEED", "integer (>= 1)", "1",
      "PRNG seed for prob= fault triggers, so probabilistic runs replay "
-     "identically"},
+     "identically", env_scope::kRun},
     {"K23_HEAL", "on|off", "on",
      "runtime self-healing: contain SIGSEGV/SIGILL/SIGBUS at K23-owned "
-     "PCs by quarantining the faulting site onto the SUD path"},
+     "PCs by quarantining the faulting site onto the SUD path",
+     env_scope::kLaunch},
     {"K23_HEAL_MAX_FAULTS", "count (>= 1)", "3",
      "contained faults at one site (within the hysteresis window) before "
-     "it is permanently demoted"},
+     "it is permanently demoted", env_scope::kLaunch},
     {"K23_HEAL_BACKOFF_MS", "milliseconds (>= 1)", "50",
      "base re-promotion backoff after a quarantine; doubles per fault "
-     "with +-25% jitter"},
+     "with +-25% jitter", env_scope::kLaunch},
     {"K23_HEAL_WATCHDOG_MS", "milliseconds", "0 (off)",
      "SUD-dispatch watchdog deadline; a wedged SIGSYS dispatch past this "
-     "triggers whole-process descent to native syscalls"},
+     "triggers whole-process descent to native syscalls",
+     env_scope::kLaunch},
     {"K23_BLACKBOX", "off|events|full", "events",
      "flight recorder: rare events only, or every rewritten dispatch "
-     "(full); flushed atomically on contained faults and abnormal exit"},
+     "(full); flushed atomically on contained faults and abnormal exit",
+     env_scope::kAll},
     {"K23_BLACKBOX_FILE", "path", "unset (stderr)",
      "O_APPEND flush target for black-box dumps (PID-tagged, "
-     "k23_logmerge --blackbox groups them)"},
+     "k23_logmerge --blackbox groups them)", env_scope::kAll},
 };
 
 bool iequals_ascii(std::string_view a, std::string_view b) {

@@ -19,15 +19,31 @@ namespace k23 {
 
 // --- K23_* configuration grammar --------------------------------------------
 
+// Which k23_run subcommands a variable is relevant to. Per-subcommand
+// --help filters the grammar table by these bits (`k23_run replay
+// --help` shows the replay-scoped rows); the plain `k23_run --help`
+// prints everything.
+namespace env_scope {
+inline constexpr unsigned kRun = 1u << 0;     // launching a workload
+inline constexpr unsigned kRecord = 1u << 1;  // k23_run record
+inline constexpr unsigned kReplay = 1u << 2;  // k23_run replay
+inline constexpr unsigned kStats = 1u << 3;   // k23_run stats / tree
+// Launch-family shorthand: knobs that matter whenever a process is
+// brought up interposed, whatever it is doing.
+inline constexpr unsigned kLaunch = kRun | kRecord | kReplay;
+inline constexpr unsigned kAll = kLaunch | kStats;
+}  // namespace env_scope
+
 // One recognized K23_* environment variable. `grammar` is the accepted
 // value syntax, `fallback` the human-readable default — both are
 // documentation rendered by `k23_run --help`; the parsing itself happens
-// through the typed accessors below.
+// through the typed accessors below. `scopes` is an env_scope bitmask.
 struct EnvSpec {
   const char* name;
   const char* grammar;
   const char* fallback;
   const char* description;
+  unsigned scopes;
 };
 
 // The full table, terminated by *count. Compile-time constant data.

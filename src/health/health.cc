@@ -20,6 +20,7 @@
 #include "common/strings.h"
 #include "faultinject/faultinject.h"
 #include "health/blackbox.h"
+#include "interpose/dispatch.h"
 #include "interpose/internal.h"
 #include "rewrite/patcher.h"
 #include "sud/sud_session.h"
@@ -399,6 +400,9 @@ void dispatch_probe(uint64_t site, uint64_t nr) {
 }
 
 void watchdog_main() {
+  // Everything this thread does — heartbeat sleeps, re-descent maps
+  // reads — is runtime maintenance, invisible to record/replay.
+  RuntimeInternalScope internal;
   // Infrastructure thread: its own syscalls must not trap into the
   // (possibly wedged) SUD dispatch path it is watching.
   if (SudSession::armed()) SudSession::set_block(false);

@@ -181,6 +181,18 @@ long execute_clone3(SyscallArgs args, uint64_t return_address) {
 
 }  // namespace
 
+namespace {
+// Depth, not a flag: promotion can fire while a watchdog descent holds
+// the scope. constinit + initial-exec so reading it never allocates TLS
+// lazily inside a SIGSYS handler.
+constinit thread_local int t_internal_depth [[gnu::tls_model(
+    "initial-exec")]] = 0;
+}  // namespace
+
+RuntimeInternalScope::RuntimeInternalScope() { ++t_internal_depth; }
+RuntimeInternalScope::~RuntimeInternalScope() { --t_internal_depth; }
+bool RuntimeInternalScope::active() { return t_internal_depth > 0; }
+
 Dispatcher& Dispatcher::instance() {
   static Dispatcher dispatcher;
   return dispatcher;
@@ -261,28 +273,8 @@ HookHandle Dispatcher::register_hook(int priority, SyscallHookFn fn,
 bool Dispatcher::unregister_hook(HookHandle handle) {
   if (handle == 0) return false;
   bool removed = false;
-  update_config([&](Config& c) {
-    removed = remove_hook_entry(c, handle);
-    if (removed && legacy_handle_ == handle) legacy_handle_ = 0;
-  });
+  update_config([&](Config& c) { removed = remove_hook_entry(c, handle); });
   return removed;
-}
-
-void Dispatcher::set_hook(SyscallHookFn fn, void* user) {
-  // Compatibility shim over the chain: one slot at kLegacy priority,
-  // replaced wholesale on every call — exactly the old single-slot
-  // semantics for callers that never learned about handles.
-  update_config([&](Config& c) {
-    if (legacy_handle_ != 0) {
-      remove_hook_entry(c, legacy_handle_);
-      legacy_handle_ = 0;
-    }
-    if (fn != nullptr) {
-      Config::HookEntry entry{fn, user, hook_priority::kLegacy,
-                              next_handle_};
-      if (insert_hook_entry(c, entry)) legacy_handle_ = next_handle_++;
-    }
-  });
 }
 
 void Dispatcher::set_prctl_guard(bool enabled) {

@@ -89,19 +89,24 @@ using SyscallHookFn = HookResult (*)(void* user, SyscallArgs& args,
 using HookHandle = uint64_t;
 
 // Fixed priorities of the built-in chain entries. Lower runs first. The
-// ordering is load-bearing: the legacy set_hook() shim runs before
-// everything (existing tests expect to see every call unfiltered), policy
-// decides before the accelerators can serve (a denied clock_gettime must
-// stay denied), and the flight recorder runs last so it observes the
-// final verdict — including values served by an accelerator.
+// ordering is load-bearing: policy decides before anything can serve (a
+// denied clock_gettime must stay denied), the replayer serves recorded
+// results before the batch/accel layers could answer from live state,
+// and the flight recorder runs last so it observes the final verdict —
+// including values served by an accelerator. The full ladder is
+// documented as a table in DESIGN.md §7.
 namespace hook_priority {
-inline constexpr int kLegacy = 0;
 // The fleet consult (fleet/client.cc) runs just before the local policy
 // evaluator: centrally pushed deny rules and tenant quotas are the
 // coarse outer tier, and a fleet verdict must land before the local
 // policy or an accelerator can answer the call.
 inline constexpr int kFleet = 90;
 inline constexpr int kPolicy = 100;
+// The replayer (replay/replay.h) serves recorded results right after
+// policy: a replayed call must win over the batch ring (a recorded
+// write result must not be re-absorbed) and over the accelerators (a
+// live clock read would diverge from the trace).
+inline constexpr int kReplay = 120;
 // Write batching sits between policy and the accelerators: a policy
 // verdict on a write must land before the ring can absorb it, and the
 // batch entry must see fsync/read/close barriers before kAccel could
@@ -116,6 +121,25 @@ inline constexpr int kAccel = 200;
 inline constexpr int kRescan = 250;
 inline constexpr int kRecorder = 300;
 }  // namespace hook_priority
+
+// Marks the current thread as executing K23's own runtime maintenance —
+// promotion probes reading /proc/self/maps, online patching, watchdog
+// re-descents. Syscalls issued under the scope still flow through the
+// funnel (they are counted and may be accelerated), but scenario-engine
+// hooks must treat them as invisible: the record/replay layer neither
+// records nor consumes them, because the maintenance schedule is driven
+// by hit counts and timers that legitimately differ between a recording
+// and its replays (replay/replay.h). Nests; cheap TLS counter.
+class RuntimeInternalScope {
+ public:
+  RuntimeInternalScope();
+  ~RuntimeInternalScope();
+  RuntimeInternalScope(const RuntimeInternalScope&) = delete;
+  RuntimeInternalScope& operator=(const RuntimeInternalScope&) = delete;
+
+  // True while the current thread is inside any RuntimeInternalScope.
+  static bool active();
+};
 
 class Dispatcher {
  public:
@@ -150,12 +174,6 @@ class Dispatcher {
   // already removed) handles.
   bool unregister_hook(HookHandle handle);
 
-  // Legacy single-slot API, kept as a shim over the chain: set_hook()
-  // replaces the previous set_hook() entry (at hook_priority::kLegacy),
-  // nullptr (or clear_hook) removes it. Entries registered through
-  // register_hook() are unaffected.
-  void set_hook(SyscallHookFn fn, void* user);
-  void clear_hook() { set_hook(nullptr, nullptr); }
   bool has_hook() const {
     return config_.load(std::memory_order_acquire)->hook_count != 0;
   }
@@ -194,7 +212,6 @@ class Dispatcher {
   std::atomic_flag config_lock_ = ATOMIC_FLAG_INIT;
   Config* retired_head_ = nullptr;  // keeps old snapshots leak-reachable
   uint64_t next_handle_ = 1;       // guarded by config_lock_
-  HookHandle legacy_handle_ = 0;   // set_hook's entry; guarded by lock
   SyscallStats stats_;
 };
 

@@ -53,6 +53,10 @@ enum class SyscallOutcome : uint8_t {
   kBatchFlush,       // one flush submission (writev / io_uring_enter)
                      // draining previously batched entries; the
                      // batched:flushed ratio is the coalescing factor
+  kReplayed,         // served from (or verified against) a recorded
+                     // trace by the replay engine (replay/replay.h)
+  kDiverged,         // live execution departed from the recorded trace;
+                     // the thread fell back to passthrough
   kOutcomeCount,
 };
 

@@ -5,7 +5,22 @@
 // every execve (P1a), optionally scrubs the vdso, and detaches once the
 // in-process libK23 signals readiness via the fake-syscall protocol.
 //
-//   k23_run [options] -- program [args...]
+//   k23_run <subcommand> [options] -- program [args...]
+//
+//   subcommands:
+//     run        launch the program interposed (the default)
+//     record     launch + capture nondeterministic results into a v3
+//                trace (--trace=PATH, default k23.trace)
+//     replay     launch serving results from a recorded trace
+//                (--trace=PATH; --clock=virtual:rate=N paces the replay)
+//     stats      run + print the trace report, capability ladder, and
+//                the tracee's exit statistics
+//     tree       interpose the whole process tree: per-process
+//                offline-log shards (merged back into --log after exit)
+//                and, combined with --stats, per-process stats dumps
+//                aggregated post-mortem
+//
+//   options (any subcommand):
 //     --offline            record an offline log instead of interposing
 //     --log=PATH           offline-log file (default: k23.log)
 //     --variant=V          default | ultra | ultra+
@@ -13,12 +28,12 @@
 //     --preload=PATH       libk23_preload.so location (default: alongside
 //                          this binary)
 //     --keep-vdso          do not scrub AT_SYSINFO_EHDR
-//     --stats              print the trace report + capability ladder
-//     --tree               interpose the whole process tree: per-process
-//                          offline-log shards (merged back into --log after
-//                          exit) and, with --stats, per-process stats dumps
-//                          aggregated post-mortem
 //     --deadline-ms=N      detach from a wedged tracee after N ms (0 = off)
+//
+// The pre-subcommand spellings (`k23_run --stats -- prog`,
+// `k23_run --tree -- prog`) keep working as hidden aliases for one
+// release; `--help` under a subcommand prints only the environment
+// variables scoped to it (the grammar table in common/env.cc).
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -40,6 +55,39 @@
 namespace k23 {
 namespace {
 
+enum class Subcommand { kRun, kRecord, kReplay, kStats, kTree };
+
+const char* subcommand_name(Subcommand sub) {
+  switch (sub) {
+    case Subcommand::kRun:
+      return "run";
+    case Subcommand::kRecord:
+      return "record";
+    case Subcommand::kReplay:
+      return "replay";
+    case Subcommand::kStats:
+      return "stats";
+    case Subcommand::kTree:
+      return "tree";
+  }
+  return "run";
+}
+
+unsigned subcommand_scope(Subcommand sub) {
+  switch (sub) {
+    case Subcommand::kRun:
+      return env_scope::kRun;
+    case Subcommand::kRecord:
+      return env_scope::kRecord;
+    case Subcommand::kReplay:
+      return env_scope::kReplay;
+    case Subcommand::kStats:
+    case Subcommand::kTree:
+      return env_scope::kStats;
+  }
+  return env_scope::kAll;
+}
+
 std::string default_preload_path() {
   auto exe = self_exe_path();
   if (!exe.is_ok()) return "libk23_preload.so";
@@ -48,20 +96,35 @@ std::string default_preload_path() {
   return exe.value().substr(0, slash) + "/libk23_preload.so";
 }
 
-int usage(const char* argv0) {
+int usage(const char* argv0, const Subcommand* sub) {
+  if (sub == nullptr) {
+    std::fprintf(stderr,
+                 "usage: %s [run|record|replay|stats|tree] [options] "
+                 "-- program [args...]\n"
+                 "       (see `%s <subcommand> --help`)\n",
+                 argv0, argv0);
+    return 2;
+  }
+  const char* extra = "";
+  if (*sub == Subcommand::kRecord) {
+    extra = " [--trace=PATH]";
+  } else if (*sub == Subcommand::kReplay) {
+    extra = " [--trace=PATH] [--clock=virtual:rate=N]";
+  }
   std::fprintf(stderr,
-               "usage: %s [--offline] [--log=PATH] [--variant=V] "
+               "usage: %s %s%s [--offline] [--log=PATH] [--variant=V] "
                "[--mode=M] [--preload=PATH] [--keep-vdso] [--stats] "
                "[--tree] [--deadline-ms=N] -- program [args...]\n",
-               argv0);
+               argv0, subcommand_name(*sub), extra);
   return 2;
 }
 
-// --help: the usage line plus the full K23_* environment grammar, printed
+// --help: the usage line plus the K23_* environment grammar, printed
 // straight from the table in common/env.h — the launcher never maintains
-// its own copy of the grammar.
-int help(const char* argv0) {
-  usage(argv0);
+// its own copy. Under a subcommand only the rows scoped to it appear.
+int help(const char* argv0, const Subcommand* sub) {
+  usage(argv0, sub);
+  const unsigned scope = sub != nullptr ? subcommand_scope(*sub) : 0;
   std::fprintf(stderr,
                "\nrecognized environment variables (k23_run forwards the "
                "current environment\nto the tracee; the flags above set "
@@ -70,6 +133,7 @@ int help(const char* argv0) {
   const EnvSpec* table = env_spec_table(&count);
   for (size_t i = 0; i < count; ++i) {
     const EnvSpec& spec = table[i];
+    if (scope != 0 && (spec.scopes & scope) == 0) continue;
     std::fprintf(stderr, "  %-24s %s\n", spec.name, spec.description);
     std::fprintf(stderr, "  %-24s   value: %s (default: %s)\n", "",
                  spec.grammar, spec.fallback);
@@ -80,9 +144,10 @@ int help(const char* argv0) {
   return 0;
 }
 
-// Post-mortem half of --tree: fold every per-process log shard back into
-// the base log (crash-atomic save, shards removed on success) and, when
-// stats dumps were requested, print the per-process and aggregate view.
+// Post-mortem half of tree mode: fold every per-process log shard back
+// into the base log (crash-atomic save, shards removed on success) and,
+// when stats dumps were requested, print the per-process and aggregate
+// view.
 void merge_tree_artifacts(const std::string& log_path, bool stats,
                           const std::string& stats_dir) {
   LogLoadReport merge_report;
@@ -129,6 +194,8 @@ void merge_tree_artifacts(const std::string& log_path, bool stats,
     aggregate.accelerated += dump.accelerated;
     aggregate.batched += dump.batched;
     aggregate.flushed += dump.flushed;
+    aggregate.replayed += dump.replayed;
+    aggregate.diverged += dump.diverged;
     if (dump.accelerated != 0) {
       std::fprintf(stderr, ", accelerated %llu",
                    static_cast<unsigned long long>(dump.accelerated));
@@ -138,6 +205,11 @@ void merge_tree_artifacts(const std::string& log_path, bool stats,
       std::fprintf(stderr, ", batched %llu/%llu flushes",
                    static_cast<unsigned long long>(dump.batched),
                    static_cast<unsigned long long>(dump.flushed));
+    }
+    if (dump.replayed != 0 || dump.diverged != 0) {
+      std::fprintf(stderr, ", replayed %llu (%llu diverged)",
+                   static_cast<unsigned long long>(dump.replayed),
+                   static_cast<unsigned long long>(dump.diverged));
     }
     std::fprintf(stderr, ", promoted %llu\n",
                  static_cast<unsigned long long>(dump.promoted));
@@ -157,6 +229,11 @@ void merge_tree_artifacts(const std::string& log_path, bool stats,
                                      static_cast<double>(aggregate.flushed)
                                : 0.0);
   }
+  if (aggregate.replayed != 0 || aggregate.diverged != 0) {
+    std::fprintf(stderr, "  tree replay: %llu replayed, %llu diverged\n",
+                 static_cast<unsigned long long>(aggregate.replayed),
+                 static_cast<unsigned long long>(aggregate.diverged));
+  }
 }
 
 }  // namespace
@@ -165,17 +242,46 @@ void merge_tree_artifacts(const std::string& log_path, bool stats,
 int main(int argc, char** argv) {
   using namespace k23;
 
+  // Subcommand first, flags after. A leading flag (or program path)
+  // falls through to the legacy flag-soup parse — the pre-subcommand
+  // spellings stay valid as hidden aliases.
+  Subcommand sub = Subcommand::kRun;
+  bool have_sub = false;
+  int i = 1;
+  if (argc > 1) {
+    const std::string_view first = argv[1];
+    if (first == "run") {
+      sub = Subcommand::kRun;
+      have_sub = true;
+    } else if (first == "record") {
+      sub = Subcommand::kRecord;
+      have_sub = true;
+    } else if (first == "replay") {
+      sub = Subcommand::kReplay;
+      have_sub = true;
+    } else if (first == "stats") {
+      sub = Subcommand::kStats;
+      have_sub = true;
+    } else if (first == "tree") {
+      sub = Subcommand::kTree;
+      have_sub = true;
+    }
+    if (have_sub) i = 2;
+  }
+  const Subcommand* sub_for_help = have_sub ? &sub : nullptr;
+
   bool offline = false;
   bool keep_vdso = false;
-  bool stats = false;
-  bool tree = false;
+  bool stats = sub == Subcommand::kStats;
+  bool tree = sub == Subcommand::kTree;
   uint64_t deadline_ms = 0;
   std::string log_path = "k23.log";
   std::string variant = "default";
   std::string mode;
   std::string preload = default_preload_path();
+  std::string trace_path = "k23.trace";
+  std::string clock_spec;
 
-  int i = 1;
   for (; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--") {
@@ -183,15 +289,15 @@ int main(int argc, char** argv) {
       break;
     }
     if (arg == "--help" || arg == "-h") {
-      return help(argv[0]);
+      return help(argv[0], sub_for_help);
     } else if (arg == "--offline") {
       offline = true;
     } else if (arg == "--keep-vdso") {
       keep_vdso = true;
     } else if (arg == "--stats") {
-      stats = true;
+      stats = true;  // hidden alias for the stats subcommand
     } else if (arg == "--tree") {
-      tree = true;
+      tree = true;  // hidden alias for the tree subcommand
     } else if (arg.rfind("--log=", 0) == 0) {
       log_path = arg.substr(6);
     } else if (arg.rfind("--variant=", 0) == 0) {
@@ -200,15 +306,20 @@ int main(int argc, char** argv) {
       mode = arg.substr(7);
     } else if (arg.rfind("--preload=", 0) == 0) {
       preload = arg.substr(10);
+    } else if (arg.rfind("--trace=", 0) == 0 &&
+               (sub == Subcommand::kRecord || sub == Subcommand::kReplay)) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--clock=", 0) == 0 && sub == Subcommand::kReplay) {
+      clock_spec = arg.substr(8);
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       auto parsed = parse_u64(arg.substr(14));
-      if (!parsed) return usage(argv[0]);
+      if (!parsed) return usage(argv[0], sub_for_help);
       deadline_ms = *parsed;
     } else {
-      return usage(argv[0]);
+      return usage(argv[0], sub_for_help);
     }
   }
-  if (i >= argc) return usage(argv[0]);
+  if (i >= argc) return usage(argv[0], sub_for_help);
 
   std::vector<std::string> target(argv + i, argv + argc);
   if (mode.empty()) mode = offline ? "logger" : "k23";
@@ -217,6 +328,14 @@ int main(int argc, char** argv) {
   env.set("K23_MODE", mode);
   env.set("K23_LOG_FILE", log_path);
   env.set("K23_VARIANT", variant);
+  if (sub == Subcommand::kRecord) {
+    env.set("K23_RECORD", trace_path);
+    env.unset("K23_REPLAY");
+  } else if (sub == Subcommand::kReplay) {
+    env.set("K23_REPLAY", trace_path);
+    env.unset("K23_RECORD");
+    if (!clock_spec.empty()) env.set("K23_CLOCK", clock_spec);
+  }
   // The interesting counters (per-path dispatch totals, promotion
   // activity) live in the tracee's libk23_preload, not here: ask it to
   // dump them at exit.

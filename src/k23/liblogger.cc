@@ -68,6 +68,7 @@ class FixedAddressTable {
 
 struct LoggerState {
   bool running = false;
+  HookHandle hook = 0;
   std::unique_ptr<FixedAddressTable> sites;
   std::atomic<uint64_t> observed{0};
 };
@@ -113,7 +114,14 @@ Status LibLogger::start() {
   SudSession::Options sud;
   sud.entry_path = EntryPath::kOffline;
   K23_RETURN_IF_ERROR(SudSession::arm(sud));
-  Dispatcher::instance().set_hook(&logging_hook, nullptr);
+  // The recorder rung: observe-only, so it coexists with anything an
+  // embedding application registered at lower priorities.
+  s.hook = Dispatcher::instance().register_hook(hook_priority::kRecorder,
+                                                &logging_hook, nullptr);
+  if (s.hook == 0) {
+    SudSession::disarm();
+    return Status::fail("libLogger: hook chain is full");
+  }
   s.running = true;
   return Status::ok();
 }
@@ -121,7 +129,8 @@ Status LibLogger::start() {
 Result<OfflineLog> LibLogger::stop() {
   LoggerState& s = state();
   if (!s.running) return Status::fail("libLogger not running");
-  Dispatcher::instance().clear_hook();
+  Dispatcher::instance().unregister_hook(s.hook);
+  s.hook = 0;
   SudSession::disarm();
   s.running = false;
   return resolve_table(*s.sites);

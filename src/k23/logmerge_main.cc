@@ -5,6 +5,7 @@
 //   k23_logmerge [--immutable] -o merged.log run1.log run2.log ...
 //   k23_logmerge [--immutable] -o merged.log --shards base.log
 //   k23_logmerge --blackbox dump1.bb [dump2.bb ...]
+//   k23_logmerge --trace k23.trace [...]
 //
 // Plain inputs are whole logs from separate offline runs. --shards BASE
 // instead folds a process tree's per-PID shard files ("BASE.<pid>.shard",
@@ -19,6 +20,11 @@
 // k23_run process tree sharing one O_APPEND file) and the output is a
 // per-process summary — event counts, contained faults, and which sites
 // ended up quarantined or demoted.
+//
+// --trace switches to replay-trace mode: the inputs are v3 traces
+// (trace/trace_format.h, written by `k23_run record`) and the output is
+// one line per record — thread, seq, syscall, kind, result, aux, and the
+// capture timestamp relative to trace start — plus a per-kind summary.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -29,7 +35,9 @@
 #include <string>
 #include <vector>
 
+#include "arch/syscall_table.h"
 #include "k23/offline_log.h"
+#include "trace/trace_format.h"
 
 namespace {
 
@@ -126,6 +134,79 @@ int blackbox_summarize(const std::vector<std::string>& inputs) {
   return 0;
 }
 
+// Pretty-prints one v3 replay trace (trace_format.h). Read with plain
+// ifstream: this is an offline tool, the SIGSYS rules do not apply here.
+int trace_print(const std::string& path) {
+  using k23::trace::RecordKind;
+  using k23::trace::TraceFileHeader;
+  using k23::trace::TraceRecordHeader;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "k23_logmerge: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  TraceFileHeader header;
+  if (!in.read(reinterpret_cast<char*>(&header), sizeof(header))) {
+    std::fprintf(stderr, "k23_logmerge: %s: shorter than a trace header\n",
+                 path.c_str());
+    return 1;
+  }
+  if (header.magic != k23::trace::kTraceMagic) {
+    std::fprintf(stderr, "k23_logmerge: %s: not a K23 trace\n", path.c_str());
+    return 1;
+  }
+  if (header.version != k23::trace::kTraceVersion) {
+    std::fprintf(stderr, "k23_logmerge: %s: unsupported trace version %u\n",
+                 path.c_str(), header.version);
+    return 1;
+  }
+  std::printf("%s: v%u trace, pid %d, start realtime %" PRIu64
+              " ns, monotonic %" PRIu64 " ns\n",
+              path.c_str(), header.version, header.pid,
+              header.start_realtime_ns, header.start_monotonic_ns);
+  std::printf("  %-6s %-6s %-20s %-8s %12s %18s %12s\n", "thread", "seq",
+              "syscall", "kind", "result", "aux", "t+us");
+  uint64_t records = 0;
+  uint64_t by_kind[8] = {};
+  std::map<uint32_t, uint64_t> by_thread;
+  char payload[k23::trace::kMaxRecordPayload];
+  TraceRecordHeader rec;
+  while (in.read(reinterpret_cast<char*>(&rec), sizeof(rec))) {
+    if (rec.payload_len > k23::trace::kMaxRecordPayload ||
+        (rec.payload_len != 0 && !in.read(payload, rec.payload_len))) {
+      std::fprintf(stderr,
+                   "k23_logmerge: %s: torn record after %" PRIu64
+                   " records (prefix shown)\n",
+                   path.c_str(), records);
+      break;
+    }
+    const char* name = k23::syscall_name(rec.nr);
+    const uint64_t rel_us =
+        rec.monotonic_ns > header.start_monotonic_ns
+            ? (rec.monotonic_ns - header.start_monotonic_ns) / 1000
+            : 0;
+    std::printf("  %-6u %-6" PRIu64 " %-20s %-8s %12" PRId64 " %18" PRIu64
+                " %12" PRIu64 "\n",
+                rec.thread, rec.seq, name != nullptr ? name : "?",
+                k23::trace::record_kind_name(
+                    static_cast<RecordKind>(rec.kind)),
+                rec.result, rec.aux, rel_us);
+    ++records;
+    if (rec.kind < 8) ++by_kind[rec.kind];
+    ++by_thread[rec.thread];
+  }
+  std::printf("%" PRIu64 " records, %zu thread stream%s", records,
+              by_thread.size(), by_thread.size() == 1 ? "" : "s");
+  for (int k = 0; k < 8; ++k) {
+    if (by_kind[k] == 0) continue;
+    std::printf(", %s %" PRIu64,
+                k23::trace::record_kind_name(static_cast<RecordKind>(k)),
+                by_kind[k]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,12 +216,15 @@ int main(int argc, char** argv) {
   std::vector<std::string> shard_bases;
   bool immutable = false;
   bool blackbox = false;
+  bool trace = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--immutable") == 0) {
       immutable = true;
     } else if (std::strcmp(argv[i], "--blackbox") == 0) {
       blackbox = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       output = argv[++i];
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
@@ -157,12 +241,24 @@ int main(int argc, char** argv) {
     }
     return blackbox_summarize(inputs);
   }
+  if (trace) {
+    if (inputs.empty()) {
+      std::fprintf(stderr, "usage: %s --trace k23.trace [...]\n", argv[0]);
+      return 2;
+    }
+    int rc = 0;
+    for (const std::string& path : inputs) {
+      rc = trace_print(path) != 0 ? 1 : rc;
+    }
+    return rc;
+  }
   if (output.empty() || (inputs.empty() && shard_bases.empty())) {
     std::fprintf(stderr,
                  "usage: %s [--immutable] -o merged.log "
                  "[run1.log ...] [--shards base.log ...] | "
-                 "%s --blackbox dump1 [dump2 ...]\n",
-                 argv[0], argv[0]);
+                 "%s --blackbox dump1 [dump2 ...] | "
+                 "%s --trace k23.trace [...]\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "accel/accel.h"
+#include "accel/time_source.h"
 #include "arch/raw_syscall.h"
 #include "batch/batch.h"
 #include "arch/syscall_table.h"
@@ -40,6 +41,7 @@
 #include "k23/static_discovery.h"
 #include "lazypoline/lazypoline.h"
 #include "ptracer/ptracer.h"
+#include "replay/replay.h"
 #include "rewrite/nopatch.h"
 #include "sud/sud_session.h"
 #include "zpoline/zpoline.h"
@@ -102,14 +104,49 @@ void k23_exit_report() {
   // (The dispatcher also drains on the exit_group itself; atexit runs
   // earlier and keeps the flush ahead of the stats dump's own writes.)
   Batch::flush_all();
+  // Detach the scenario engine before anything else: every duty below
+  // reads /proc and the clock through interposed libc, and recording
+  // (or verifying) the runtime's own exit tail would end every replay
+  // of a perfectly deterministic workload in a bogus divergence — the
+  // trace must cover the application, not the reporter. Counters and
+  // the divergence ring survive shutdown; only the mode flag must be
+  // sampled first.
+  const bool was_recording = Replay::recording();
+  Replay::shutdown();
   // Flush the flight recorder before anything below can fail: the exit
   // path is exactly where a wedged runtime loses its history. One
   // preformatted write, no allocation (satellite of DESIGN.md §11).
+  // Replay divergences ride the same channel as health events: each one
+  // is a structured record of where the live run departed from the
+  // trace, reported — never a crash (DESIGN.md §15).
   if (BlackBox::active()) {
     DegradationReport report;
     report.tier = K23Interposer::initialized() ? CoverageTier::kRewriteAndSud
                                                : CoverageTier::kNone;
     Health::append_events(&report);
+    if (Replay::diverged_count() > 0) {
+      DivergenceEvent events[Replay::kMaxDivergences];
+      const size_t n =
+          Replay::divergence_events(events, Replay::kMaxDivergences);
+      for (size_t i = 0; i < n; ++i) {
+        const DivergenceEvent& ev = events[i];
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%s: thread %u seq %llu nr %ld "
+                      "(expected %lld, got %lld)",
+                      divergence_kind_name(ev.kind), ev.thread,
+                      static_cast<unsigned long long>(ev.seq), ev.nr,
+                      static_cast<long long>(ev.expected),
+                      static_cast<long long>(ev.actual));
+        report.add("replay", line);
+      }
+      const uint64_t total = Replay::diverged_count();
+      if (total > n) {
+        report.add("replay",
+                   std::to_string(total - n) +
+                       " further divergences beyond the event ring");
+      }
+    }
     if (report.degraded()) {
       char buf[8192];
       const size_t len = report.preformat(buf, sizeof(buf));
@@ -191,6 +228,25 @@ void k23_exit_report() {
                  flushes != 0 ? static_cast<double>(batched) /
                                     static_cast<double>(flushes)
                               : 0.0);
+  }
+  if (was_recording) {
+    std::fprintf(stderr,
+                 "  recorded     %llu nondeterministic results -> trace\n",
+                 static_cast<unsigned long long>(Replay::recorded_count()));
+  }
+  const uint64_t replayed = stats.by_outcome(SyscallOutcome::kReplayed);
+  const uint64_t diverged = stats.by_outcome(SyscallOutcome::kDiverged);
+  if (replayed != 0 || diverged != 0) {
+    std::fprintf(stderr,
+                 "  replay       %llu served/verified, %llu diverged\n",
+                 static_cast<unsigned long long>(replayed),
+                 static_cast<unsigned long long>(diverged));
+    for (const auto& [nr, nr_count] :
+         stats.top_by_outcome(SyscallOutcome::kReplayed, 10)) {
+      const char* name = syscall_name(nr);
+      std::fprintf(stderr, "    %-24s %llu\n", name != nullptr ? name : "?",
+                   static_cast<unsigned long long>(nr_count));
+    }
   }
   const PromotionStats promo = Promotion::stats();
   std::fprintf(stderr,
@@ -306,6 +362,16 @@ __attribute__((constructor)) void k23_preload_init() {
       K23_LOG(kWarn) << "libk23_preload: process-tree propagation off: "
                      << tree.message();
     }
+    // The clock authority (DESIGN.md §15) comes up before accel and
+    // replay so both agree on the mode: a virtual clock (K23_CLOCK) must
+    // exist even with accel off, and the replay pacer reads its rate.
+    const ReplayConfig replay_config = ReplayConfig::from_env();
+    if (const TimeSourceConfig clock = TimeSourceConfig::from_env();
+        clock.virtual_clock || replay_config.mode != ReplayConfig::Mode::kOff) {
+      if (Status st = TimeSource::init(clock); !st.is_ok()) {
+        K23_LOG(kWarn) << "libk23_preload: time source off: " << st.message();
+      }
+    }
     // Userspace acceleration (DESIGN.md §10): vDSO-forwarded time calls
     // and pid/uname caches served straight from the dispatcher chain.
     // K23_ACCEL=off opts out; under a vdso-scrubbing launcher the time
@@ -315,15 +381,28 @@ __attribute__((constructor)) void k23_preload_init() {
         K23_LOG(kWarn) << "libk23_preload: accel off: " << st.message();
       }
     }
+    DegradationReport& deg = report.value().degradation;
+    // Record/replay (DESIGN.md §15): opt-in via K23_RECORD / K23_REPLAY.
+    // A trace that fails to open or load degrades to a plain run — the
+    // scenario engine must never take the workload down with it.
+    if (replay_config.mode != ReplayConfig::Mode::kOff) {
+      if (Status st = Replay::init(replay_config); !st.is_ok()) {
+        deg.add("replay", st.message());
+        K23_LOG(kWarn) << "libk23_preload: replay off: " << st.message();
+      }
+    }
     // Write-side batching (DESIGN.md §12): opt-in via K23_BATCH; eligible
     // writes coalesce in per-thread rings and flush as one writev or
-    // io_uring submission.
+    // io_uring submission. Incompatible with replay: a buffered write
+    // would let a verified live read observe different bytes than the
+    // recording did, so determinism wins and batching stays off.
     if (const BatchConfig batch = BatchConfig::from_env(); batch.enabled) {
-      if (Status st = Batch::init(batch); !st.is_ok()) {
+      if (Replay::replaying()) {
+        deg.add("batch", "disabled under replay (determinism)");
+      } else if (Status st = Batch::init(batch); !st.is_ok()) {
         K23_LOG(kWarn) << "libk23_preload: batch off: " << st.message();
       }
     }
-    DegradationReport& deg = report.value().degradation;
     // Fleet supervision (DESIGN.md §14): opt-in via K23_FLEET. The
     // registration is synchronous and fail-fast — a missing or dead
     // supervisor (stale socket file included) costs one bounded connect

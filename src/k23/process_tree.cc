@@ -350,6 +350,10 @@ std::string ProcessTree::serialize_stats_dump() {
          std::to_string(stats.by_outcome(SyscallOutcome::kBatched)) + "\n";
   out += "batch,flushed," +
          std::to_string(stats.by_outcome(SyscallOutcome::kBatchFlush)) + "\n";
+  out += "replay,replayed," +
+         std::to_string(stats.by_outcome(SyscallOutcome::kReplayed)) + "\n";
+  out += "replay,diverged," +
+         std::to_string(stats.by_outcome(SyscallOutcome::kDiverged)) + "\n";
   return out;
 }
 
@@ -398,6 +402,9 @@ Result<ProcessStatsDump> ProcessTree::parse_stats_dump(
     } else if (fields[0] == "batch") {
       if (fields[1] == "batched") dump.batched = *value;
       if (fields[1] == "flushed") dump.flushed = *value;
+    } else if (fields[0] == "replay") {
+      if (fields[1] == "replayed") dump.replayed = *value;
+      if (fields[1] == "diverged") dump.diverged = *value;
     }
   }
   std::sort(dump.by_nr.begin(), dump.by_nr.end(),

@@ -70,6 +70,11 @@ struct ProcessTreeConfig {
 //   accel,served,<count>
 //   batch,batched,<count>
 //   batch,flushed,<count>
+//   replay,replayed,<count>
+//   replay,diverged,<count>
+//
+// Unknown rows are skipped by the parser, so old readers tolerate new
+// rows (the replay rows ride that rule).
 struct ProcessStatsDump {
   pid_t pid = 0;
   uint64_t total = 0;
@@ -80,6 +85,8 @@ struct ProcessStatsDump {
   uint64_t accelerated = 0;  // answered in userspace (SyscallOutcome)
   uint64_t batched = 0;      // writes absorbed into submission rings
   uint64_t flushed = 0;      // coalesced flush submissions draining them
+  uint64_t replayed = 0;     // calls served from / verified against a trace
+  uint64_t diverged = 0;     // calls that departed from the recorded trace
 };
 
 class ProcessTree {

@@ -11,6 +11,7 @@
 
 #include "arch/raw_syscall.h"
 #include "common/env.h"
+#include "interpose/dispatch.h"
 #include "common/strings.h"
 #include "disasm/decoder.h"
 #include "faultinject/faultinject.h"
@@ -215,6 +216,10 @@ bool patch_promoted_site(HitSlot& slot, uint64_t site, int orig_prot,
 // (k23.cc byte validation + offline_log region rules), re-expressed with
 // async-signal-safe primitives.
 void attempt_promotion(HitSlot& slot, uint64_t site) {
+  // The maps probe below re-enters the funnel through interposed libc;
+  // its timing is hit-count driven and must stay out of record/replay
+  // traces (see RuntimeInternalScope in interpose/dispatch.h).
+  RuntimeInternalScope internal;
   if (g_promoted.load(std::memory_order_relaxed) >= g_config.max_sites) {
     refuse(slot, kReasonCapacity);
     return;

@@ -1,0 +1,667 @@
+#include "replay/replay.h"
+
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <ctime>
+#include <vector>
+
+#include "accel/time_source.h"
+#include "common/crc32.h"
+#include "common/env.h"
+#include "interpose/internal.h"
+
+namespace k23 {
+namespace {
+
+using trace::RecordKind;
+using trace::TraceFileHeader;
+using trace::TraceRecordHeader;
+
+// Everything the hooks consult, published as one immutable snapshot
+// behind an atomic pointer (null = inactive); superseded snapshots are
+// retired but never freed, same discipline as the dispatcher's Config.
+// Replay streams are fully materialized here at init time — the hook
+// path only reads, so vectors are safe despite the no-allocation rule.
+struct ReplayState {
+  ReplayConfig::Mode mode = ReplayConfig::Mode::kOff;
+  int trace_fd = -1;  // record mode: O_APPEND trace file
+
+  // Replay mode: per-thread record streams, indexed [thread][seq].
+  struct LoadedRecord {
+    TraceRecordHeader h;
+    uint32_t payload_off = 0;  // into `arena`
+  };
+  std::vector<std::vector<LoadedRecord>> streams;
+  std::vector<uint8_t> arena;
+
+  // Pacing (replay): 0 = as fast as possible; N = serve record t at
+  // start + (t - trace_start) / N on the raw monotonic clock.
+  double pace_rate = 0.0;
+  uint64_t trace_start_monotonic_ns = 0;  // from the file header
+  uint64_t start_monotonic_ns = 0;        // this run's origin
+
+  ReplayState* retired_next = nullptr;
+};
+
+std::atomic<const ReplayState*> g_state{nullptr};
+ReplayState* g_retired_head = nullptr;  // keeps old snapshots leak-reachable
+HookHandle g_handle = 0;
+
+// Bumped on every init so stale thread-local cursors from a previous
+// record/replay session reset themselves. Starts at 1: a fresh thread's
+// cursor (generation 0) always initializes on first use.
+std::atomic<uint64_t> g_generation{1};
+std::atomic<uint32_t> g_next_thread_index{0};
+// Process-wide accept arrival counter — the recorded (and re-checked)
+// global order of accepted connections.
+std::atomic<uint64_t> g_arrival{0};
+
+std::atomic<uint64_t> g_recorded{0};
+std::atomic<uint64_t> g_replayed{0};
+std::atomic<uint64_t> g_diverged{0};
+
+// Fixed divergence ring: first kMaxDivergences events are kept, later
+// ones only counted. Written from the hook path — no allocation.
+DivergenceEvent g_events[Replay::kMaxDivergences];
+std::atomic<size_t> g_event_cursor{0};
+
+// Per-thread replay/record cursor. Trivial types only (constinit): the
+// first touch may happen inside the SIGSYS handler.
+struct TlsCursor {
+  uint64_t generation = 0;
+  uint32_t index = 0;
+  uint64_t seq = 0;
+  bool diverged = false;
+};
+constinit thread_local TlsCursor t_cursor;
+
+TlsCursor& cursor() {
+  const uint64_t gen = g_generation.load(std::memory_order_relaxed);
+  if (t_cursor.generation != gen) {
+    t_cursor = TlsCursor{};
+    t_cursor.generation = gen;
+    // Thread indices are assigned in order of first recorded-family
+    // call — the same rule at record and replay time, which is what
+    // matches a live thread to its recorded stream.
+    t_cursor.index = g_next_thread_index.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+  return t_cursor;
+}
+
+long raw(long nr, long a1 = 0, long a2 = 0, long a3 = 0) {
+  return internal::syscall_fn()(nr, a1, a2, a3, 0, 0, 0);
+}
+
+void note_divergence(TlsCursor& cur, DivergenceEvent::Kind kind, long nr,
+                     int64_t expected, int64_t actual) {
+  cur.diverged = true;
+  g_diverged.fetch_add(1, std::memory_order_relaxed);
+  Dispatcher::instance().stats().record_outcome(nr,
+                                                SyscallOutcome::kDiverged);
+  const size_t slot = g_event_cursor.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= Replay::kMaxDivergences) return;
+  g_events[slot] = DivergenceEvent{kind,     cur.index, cur.seq,
+                                   nr,       expected,  actual};
+}
+
+void count_replayed(long nr) {
+  g_replayed.fetch_add(1, std::memory_order_relaxed);
+  Dispatcher::instance().stats().record_outcome(nr,
+                                                SyscallOutcome::kReplayed);
+}
+
+// ---------------------------------------------------------------------
+// Record mode
+// ---------------------------------------------------------------------
+
+// Builds header + payload in a stack buffer and appends it with ONE raw
+// write — O_APPEND keeps concurrent threads' records self-contained
+// (the (thread, seq) key, not file order, is the replay ordering).
+void write_record(const ReplayState* st, TlsCursor& cur,
+                  const SyscallArgs& args, long result) {
+  TraceRecordHeader h;
+  h.thread = cur.index;
+  h.seq = cur.seq++;
+  h.nr = args.nr;
+  h.result = result;
+  h.monotonic_ns = TimeSource::raw_monotonic_ns();
+
+  const void* payload = nullptr;
+  switch (args.nr) {
+    case SYS_clock_gettime:
+      h.aux = static_cast<uint64_t>(args.rdi);
+      if (result == 0 && args.rsi != 0) {
+        h.kind = static_cast<uint8_t>(RecordKind::kTime);
+        h.payload_len = sizeof(timespec);
+        payload = reinterpret_cast<const void*>(args.rsi);
+      } else {
+        h.kind = static_cast<uint8_t>(RecordKind::kResult);
+      }
+      break;
+    case SYS_gettimeofday:
+      if (result == 0 && args.rdi != 0) {
+        h.kind = static_cast<uint8_t>(RecordKind::kTime);
+        h.payload_len = sizeof(timeval);
+        payload = reinterpret_cast<const void*>(args.rdi);
+      } else {
+        h.kind = static_cast<uint8_t>(RecordKind::kResult);
+      }
+      break;
+    case SYS_time:
+      // The seconds ride in `result`; *tloc is reconstructed on replay.
+      h.kind = static_cast<uint8_t>(RecordKind::kTime);
+      break;
+    case SYS_read:
+    case SYS_recvfrom:
+      if (result > 0) {
+        h.kind = static_cast<uint8_t>(RecordKind::kData);
+        h.aux = crc32(reinterpret_cast<const void*>(args.rsi),
+                      static_cast<size_t>(result));
+      } else {
+        h.kind = static_cast<uint8_t>(RecordKind::kResult);
+      }
+      break;
+    case SYS_accept:
+    case SYS_accept4:
+      if (result >= 0) {
+        h.kind = static_cast<uint8_t>(RecordKind::kAccept);
+        h.aux = g_arrival.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        h.kind = static_cast<uint8_t>(RecordKind::kResult);
+      }
+      break;
+    case SYS_getrandom:
+      if (result > 0 &&
+          static_cast<size_t>(result) <= trace::kMaxRandomPayload) {
+        h.kind = static_cast<uint8_t>(RecordKind::kRandom);
+        h.payload_len = static_cast<uint16_t>(result);
+        payload = reinterpret_cast<const void*>(args.rdi);
+      } else if (result > 0) {
+        // Oversized entropy degrades to verify-only semantics.
+        h.kind = static_cast<uint8_t>(RecordKind::kData);
+        h.aux = crc32(reinterpret_cast<const void*>(args.rdi),
+                      static_cast<size_t>(result));
+      } else {
+        h.kind = static_cast<uint8_t>(RecordKind::kResult);
+      }
+      break;
+    case SYS_nanosleep:
+    case SYS_clock_nanosleep: {
+      h.kind = static_cast<uint8_t>(RecordKind::kSleep);
+      // An interrupted sleep wrote the remaining time; capture it so
+      // replay can reconstruct what the application read back.
+      const long rem = args.nr == SYS_nanosleep ? args.rsi : args.r10;
+      if (result != 0 && rem != 0) {
+        h.payload_len = sizeof(timespec);
+        payload = reinterpret_cast<const void*>(rem);
+      }
+      break;
+    }
+    default:
+      return;  // not a recorded family; caller filtered already
+  }
+
+  uint8_t buf[sizeof(TraceRecordHeader) + trace::kMaxRecordPayload];
+  std::memcpy(buf, &h, sizeof(h));
+  if (payload != nullptr && h.payload_len != 0) {
+    std::memcpy(buf + sizeof(h), payload, h.payload_len);
+  }
+  (void)raw(SYS_write, st->trace_fd, reinterpret_cast<long>(buf),
+            static_cast<long>(sizeof(h) + h.payload_len));
+  g_recorded.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Replay mode
+// ---------------------------------------------------------------------
+
+void maybe_pace(const ReplayState* st, uint64_t rec_monotonic_ns) {
+  if (st->pace_rate <= 0.0) return;
+  if (rec_monotonic_ns <= st->trace_start_monotonic_ns) return;
+  const double scaled =
+      static_cast<double>(rec_monotonic_ns - st->trace_start_monotonic_ns) /
+      st->pace_rate;
+  const uint64_t target =
+      st->start_monotonic_ns + static_cast<uint64_t>(scaled);
+  for (;;) {
+    const uint64_t now = TimeSource::raw_monotonic_ns();
+    if (now >= target) return;
+    const uint64_t wait = target - now;
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(wait / 1'000'000'000ull);
+    ts.tv_nsec = static_cast<long>(wait % 1'000'000'000ull);
+    // EINTR just re-checks the deadline.
+    (void)raw(SYS_nanosleep, reinterpret_cast<long>(&ts), 0);
+  }
+}
+
+const uint8_t* record_payload(const ReplayState* st,
+                              const ReplayState::LoadedRecord& rec) {
+  return rec.h.payload_len == 0 ? nullptr : st->arena.data() + rec.payload_off;
+}
+
+// Serves one SERVED-kind record back to the application.
+HookResult serve_record(const ReplayState* st, TlsCursor& cur,
+                        SyscallArgs& args,
+                        const ReplayState::LoadedRecord& rec) {
+  const uint8_t* payload = record_payload(st, rec);
+  switch (static_cast<RecordKind>(rec.h.kind)) {
+    case RecordKind::kTime:
+      if (args.nr == SYS_clock_gettime) {
+        if (static_cast<uint64_t>(args.rdi) != rec.h.aux) {
+          // Same position, same syscall, different clock: code changed.
+          note_divergence(cur, DivergenceEvent::Kind::kUnexpectedSyscall,
+                          args.nr, static_cast<int64_t>(rec.h.aux),
+                          args.rdi);
+          return HookResult::passthrough();
+        }
+        if (payload != nullptr && args.rsi != 0) {
+          std::memcpy(reinterpret_cast<void*>(args.rsi), payload,
+                      sizeof(timespec));
+        }
+      } else if (args.nr == SYS_gettimeofday) {
+        if (payload != nullptr && args.rdi != 0) {
+          std::memcpy(reinterpret_cast<void*>(args.rdi), payload,
+                      sizeof(timeval));
+        }
+        // The timezone struct was not recorded; zero it rather than
+        // leave the caller's buffer uninitialized.
+        if (args.rsi != 0) {
+          std::memset(reinterpret_cast<void*>(args.rsi), 0, 8);
+        }
+      } else if (args.nr == SYS_time && args.rdi != 0) {
+        *reinterpret_cast<long*>(args.rdi) = rec.h.result;
+      }
+      break;
+    case RecordKind::kRandom:
+      if (payload != nullptr && args.rdi != 0) {
+        std::memcpy(reinterpret_cast<void*>(args.rdi), payload,
+                    rec.h.payload_len);
+      }
+      break;
+    case RecordKind::kSleep: {
+      const long rem = args.nr == SYS_nanosleep ? args.rsi : args.r10;
+      if (payload != nullptr && rem != 0) {
+        std::memcpy(reinterpret_cast<void*>(rem), payload, sizeof(timespec));
+      }
+      break;
+    }
+    case RecordKind::kResult:
+      break;
+    default:
+      break;
+  }
+  count_replayed(args.nr);
+  return HookResult::replace(rec.h.result);
+}
+
+// Executes a VERIFIED-kind record live and checks the outcome.
+HookResult verify_record(TlsCursor& cur, SyscallArgs& args,
+                         const HookContext& ctx,
+                         const ReplayState::LoadedRecord& rec) {
+  const long live = Dispatcher::execute(args, ctx.return_address);
+  if (static_cast<RecordKind>(rec.h.kind) == RecordKind::kAccept) {
+    if (live < 0) {
+      note_divergence(cur, DivergenceEvent::Kind::kResultMismatch, args.nr,
+                      rec.h.result, live);
+    } else {
+      const uint64_t arrival =
+          g_arrival.fetch_add(1, std::memory_order_relaxed);
+      if (arrival != rec.h.aux) {
+        note_divergence(cur, DivergenceEvent::Kind::kOrderMismatch, args.nr,
+                        static_cast<int64_t>(rec.h.aux),
+                        static_cast<int64_t>(arrival));
+      } else {
+        count_replayed(args.nr);
+      }
+    }
+    return HookResult::replace(live);
+  }
+  // kData: length first, then payload digest.
+  if (live != rec.h.result) {
+    note_divergence(cur, DivergenceEvent::Kind::kResultMismatch, args.nr,
+                    rec.h.result, live);
+    return HookResult::replace(live);
+  }
+  if (live > 0) {
+    const long buf = args.nr == SYS_getrandom ? args.rdi : args.rsi;
+    const uint32_t digest = crc32(reinterpret_cast<const void*>(buf),
+                                  static_cast<size_t>(live));
+    if (digest != static_cast<uint32_t>(rec.h.aux)) {
+      note_divergence(cur, DivergenceEvent::Kind::kDigestMismatch, args.nr,
+                      static_cast<int64_t>(rec.h.aux), digest);
+      return HookResult::replace(live);
+    }
+  }
+  count_replayed(args.nr);
+  return HookResult::replace(live);
+}
+
+// Loads and validates a v3 trace into per-thread streams. Records are
+// placed by their (thread, seq) key, so any file-order interleaving —
+// O_APPEND writes from racing recorded threads — parses identically.
+Status load_trace(const std::string& path, ReplayState* st) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::fail("replay: cannot open trace");
+  std::vector<uint8_t> data;
+  uint8_t chunk[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      ::close(fd);
+      return Status::fail("replay: cannot read trace");
+    }
+    if (n == 0) break;
+    data.insert(data.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  if (data.size() < sizeof(TraceFileHeader)) {
+    return Status::fail("replay: trace too short");
+  }
+  TraceFileHeader header;
+  std::memcpy(&header, data.data(), sizeof(header));
+  if (header.magic != trace::kTraceMagic) {
+    return Status::fail("replay: bad trace magic");
+  }
+  if (header.version != trace::kTraceVersion) {
+    return Status::fail("replay: unsupported trace version");
+  }
+  st->trace_start_monotonic_ns = header.start_monotonic_ns;
+
+  // Pass 1: per-thread record counts (and structural validation).
+  std::vector<size_t> counts;
+  size_t off = sizeof(TraceFileHeader);
+  while (off + sizeof(TraceRecordHeader) <= data.size()) {
+    TraceRecordHeader h;
+    std::memcpy(&h, data.data() + off, sizeof(h));
+    if (h.payload_len > trace::kMaxRecordPayload ||
+        off + sizeof(h) + h.payload_len > data.size()) {
+      break;  // torn tail: a record cut off mid-write; keep the prefix
+    }
+    if (h.thread >= counts.size()) counts.resize(h.thread + 1, 0);
+    ++counts[h.thread];
+    off += sizeof(h) + h.payload_len;
+  }
+
+  st->streams.resize(counts.size());
+  for (size_t t = 0; t < counts.size(); ++t) st->streams[t].resize(counts[t]);
+
+  // Pass 2: place each record at its seq slot.
+  off = sizeof(TraceFileHeader);
+  while (off + sizeof(TraceRecordHeader) <= data.size()) {
+    TraceRecordHeader h;
+    std::memcpy(&h, data.data() + off, sizeof(h));
+    if (h.payload_len > trace::kMaxRecordPayload ||
+        off + sizeof(h) + h.payload_len > data.size()) {
+      break;
+    }
+    if (h.seq >= st->streams[h.thread].size()) {
+      return Status::fail(
+          "replay: trace has non-contiguous sequence numbers");
+    }
+    ReplayState::LoadedRecord& rec = st->streams[h.thread][h.seq];
+    if (rec.h.kind != 0) {
+      return Status::fail("replay: duplicate (thread, seq) record");
+    }
+    rec.h = h;
+    if (h.payload_len != 0) {
+      rec.payload_off = static_cast<uint32_t>(st->arena.size());
+      st->arena.insert(st->arena.end(), data.data() + off + sizeof(h),
+                       data.data() + off + sizeof(h) + h.payload_len);
+    }
+    off += sizeof(h) + h.payload_len;
+  }
+  for (size_t t = 0; t < st->streams.size(); ++t) {
+    for (const auto& rec : st->streams[t]) {
+      if (rec.h.kind == 0) {
+        return Status::fail("replay: missing record in a thread stream");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+ReplayConfig ReplayConfig::from_env() {
+  ReplayConfig config;
+  if (const char* path = env_raw("K23_REPLAY");
+      path != nullptr && path[0] != '\0') {
+    config.mode = Mode::kReplay;
+    config.trace_path = path;
+    return config;
+  }
+  if (const char* path = env_raw("K23_RECORD");
+      path != nullptr && path[0] != '\0') {
+    config.mode = Mode::kRecord;
+    config.trace_path = path;
+  }
+  return config;
+}
+
+const char* divergence_kind_name(DivergenceEvent::Kind kind) {
+  switch (kind) {
+    case DivergenceEvent::Kind::kUnexpectedSyscall:
+      return "unexpected-syscall";
+    case DivergenceEvent::Kind::kResultMismatch:
+      return "result-mismatch";
+    case DivergenceEvent::Kind::kDigestMismatch:
+      return "digest-mismatch";
+    case DivergenceEvent::Kind::kOrderMismatch:
+      return "order-mismatch";
+    case DivergenceEvent::Kind::kStreamExhausted:
+      return "stream-exhausted";
+    case DivergenceEvent::Kind::kUnknownThread:
+      return "unknown-thread";
+  }
+  return "?";
+}
+
+HookResult Replay::record_hook(void*, SyscallArgs& args,
+                               const HookContext& ctx) {
+  const ReplayState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr || st->mode != ReplayConfig::Mode::kRecord) {
+    return HookResult::passthrough();
+  }
+  if (!recorded_family(args.nr)) return HookResult::passthrough();
+  // The runtime's own maintenance (promotion maps probes, watchdog
+  // descents) rides timers and hit counters that a replay legitimately
+  // schedules differently — keep it out of the trace entirely, or every
+  // replay of a deterministic workload would misalign on it.
+  if (RuntimeInternalScope::active()) return HookResult::passthrough();
+  TlsCursor& cur = cursor();
+  if (ctx.replaced) {
+    // Observe pass: an earlier entry (an accelerator serving the time
+    // family from the vDSO, a policy replace) already answered; its
+    // output landed in the application's buffers, which the private
+    // argument copy still points at.
+    write_record(st, cur, args, ctx.replaced_value);
+    return HookResult::passthrough();
+  }
+  const long result = Dispatcher::execute(args, ctx.return_address);
+  write_record(st, cur, args, result);
+  return HookResult::replace(result);
+}
+
+HookResult Replay::hook(void*, SyscallArgs& args, const HookContext& ctx) {
+  const ReplayState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr || st->mode != ReplayConfig::Mode::kReplay) {
+    return HookResult::passthrough();
+  }
+  // Observe pass: policy (or fleet) already decided this call; a replay
+  // serve now would override a security verdict.
+  if (ctx.replaced) return HookResult::passthrough();
+  if (!recorded_family(args.nr)) return HookResult::passthrough();
+  // Mirror of the record-side skip: maintenance syscalls were never
+  // recorded, so they must not consume (or be verified against) the
+  // application's stream either.
+  if (RuntimeInternalScope::active()) return HookResult::passthrough();
+
+  TlsCursor& cur = cursor();
+  if (cur.diverged) return HookResult::passthrough();
+  if (cur.index >= st->streams.size()) {
+    note_divergence(cur, DivergenceEvent::Kind::kUnknownThread, args.nr,
+                    static_cast<int64_t>(st->streams.size()), cur.index);
+    return HookResult::passthrough();
+  }
+  const auto& stream = st->streams[cur.index];
+  if (cur.seq >= stream.size()) {
+    note_divergence(cur, DivergenceEvent::Kind::kStreamExhausted, args.nr,
+                    static_cast<int64_t>(stream.size()),
+                    static_cast<int64_t>(cur.seq));
+    return HookResult::passthrough();
+  }
+  const ReplayState::LoadedRecord& rec = stream[cur.seq];
+  if (rec.h.nr != args.nr) {
+    note_divergence(cur, DivergenceEvent::Kind::kUnexpectedSyscall, args.nr,
+                    rec.h.nr, args.nr);
+    return HookResult::passthrough();
+  }
+  ++cur.seq;
+  maybe_pace(st, rec.h.monotonic_ns);
+  if (trace::record_kind_served(static_cast<RecordKind>(rec.h.kind))) {
+    return serve_record(st, cur, args, rec);
+  }
+  return verify_record(cur, args, ctx, rec);
+}
+
+bool Replay::recorded_family(long nr) {
+  switch (nr) {
+    case SYS_clock_gettime:
+    case SYS_gettimeofday:
+    case SYS_time:
+    case SYS_read:
+    case SYS_recvfrom:
+    case SYS_accept:
+    case SYS_accept4:
+    case SYS_getrandom:
+    case SYS_nanosleep:
+    case SYS_clock_nanosleep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status Replay::init(const ReplayConfig& config) {
+  shutdown();
+  if (config.mode == ReplayConfig::Mode::kOff) return Status::ok();
+
+  auto* next = new ReplayState();
+  next->mode = config.mode;
+
+  if (config.mode == ReplayConfig::Mode::kRecord) {
+    const int fd = ::open(config.trace_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+      delete next;
+      return Status::fail("replay: cannot create trace");
+    }
+    TraceFileHeader header;
+    header.pid = static_cast<int32_t>(::getpid());
+    header.start_realtime_ns = TimeSource::raw_realtime_ns();
+    header.start_monotonic_ns = TimeSource::raw_monotonic_ns();
+    if (::write(fd, &header, sizeof(header)) !=
+        static_cast<ssize_t>(sizeof(header))) {
+      ::close(fd);
+      delete next;
+      return Status::fail("replay: cannot write trace header");
+    }
+    next->trace_fd = fd;
+  } else {
+    if (Status st = load_trace(config.trace_path, next); !st.is_ok()) {
+      delete next;
+      return st;
+    }
+    // Pace only when the operator asked for a warped clock; a plain
+    // replay runs as fast as the verified families allow.
+    if (TimeSource::virtual_mode()) next->pace_rate = TimeSource::rate();
+    next->start_monotonic_ns = TimeSource::raw_monotonic_ns();
+  }
+
+  const HookHandle handle = Dispatcher::instance().register_hook(
+      config.mode == ReplayConfig::Mode::kRecord ? hook_priority::kRecorder
+                                                 : hook_priority::kReplay,
+      config.mode == ReplayConfig::Mode::kRecord ? &Replay::record_hook
+                                                 : &Replay::hook,
+      nullptr);
+  if (handle == 0) {
+    if (next->trace_fd >= 0) ::close(next->trace_fd);
+    delete next;  // never published: no reader can hold it
+    return Status::fail("replay: hook chain is full");
+  }
+  g_handle = handle;
+
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  g_next_thread_index.store(0, std::memory_order_relaxed);
+  g_arrival.store(0, std::memory_order_relaxed);
+  g_recorded.store(0, std::memory_order_relaxed);
+  g_replayed.store(0, std::memory_order_relaxed);
+  g_diverged.store(0, std::memory_order_relaxed);
+  g_event_cursor.store(0, std::memory_order_relaxed);
+
+  g_state.store(next, std::memory_order_release);
+  return Status::ok();
+}
+
+void Replay::shutdown() {
+  ReplayState* old = const_cast<ReplayState*>(
+      g_state.exchange(nullptr, std::memory_order_acq_rel));
+  if (g_handle != 0) {
+    Dispatcher::instance().unregister_hook(g_handle);
+    g_handle = 0;
+  }
+  if (old != nullptr) {
+    if (old->trace_fd >= 0) {
+      ::close(old->trace_fd);
+      old->trace_fd = -1;
+    }
+    old->retired_next = g_retired_head;
+    g_retired_head = old;
+  }
+}
+
+bool Replay::active() {
+  return g_state.load(std::memory_order_acquire) != nullptr;
+}
+
+bool Replay::recording() {
+  const ReplayState* st = g_state.load(std::memory_order_acquire);
+  return st != nullptr && st->mode == ReplayConfig::Mode::kRecord;
+}
+
+bool Replay::replaying() {
+  const ReplayState* st = g_state.load(std::memory_order_acquire);
+  return st != nullptr && st->mode == ReplayConfig::Mode::kReplay;
+}
+
+uint64_t Replay::replayed_count() {
+  return g_replayed.load(std::memory_order_relaxed);
+}
+
+uint64_t Replay::recorded_count() {
+  return g_recorded.load(std::memory_order_relaxed);
+}
+
+uint64_t Replay::diverged_count() {
+  return g_diverged.load(std::memory_order_relaxed);
+}
+
+size_t Replay::divergence_events(DivergenceEvent* out, size_t cap) {
+  const size_t count =
+      std::min(g_event_cursor.load(std::memory_order_relaxed),
+               kMaxDivergences);
+  const size_t n = std::min(count, cap);
+  for (size_t i = 0; i < n; ++i) out[i] = g_events[i];
+  return n;
+}
+
+}  // namespace k23

@@ -1,0 +1,124 @@
+// Deterministic record/replay — the scenario engine (DESIGN.md §15).
+//
+// Record mode captures the results of the nondeterministic syscall
+// families into a v3 trace (trace/trace_format.h): the time family
+// (clock_gettime / gettimeofday / time — including calls the accel layer
+// served from the vDSO, seen on the observe pass), read/recvfrom payload
+// digests + lengths, accept/accept4 arrival order, getrandom bytes, and
+// sleep outcomes, keyed by per-thread sequence numbers.
+//
+// Replay mode loads a trace and registers a chain entry at
+// hook_priority::kReplay (after policy, before batch/accel) that serves
+// the recorded world back:
+//
+//   * SERVED families (time, getrandom, sleep, bare errno results) are
+//     answered from the trace via HookResult::kReplace — the application
+//     observes recorded time and entropy, and recorded sleeps cost no
+//     kernel wait (the virtual clock's pacing, if any, provides the
+//     delay). This is what compresses a soak.
+//   * VERIFIED families (read/recvfrom payloads, accept arrival order)
+//     execute live — their side effects are real fd state the replayer
+//     cannot fabricate — and the live outcome is checked against the
+//     recorded length/digest/order.
+//
+// Any mismatch — unexpected syscall number, digest or order mismatch,
+// an exhausted or missing per-thread stream — is a *divergence*: a
+// structured DivergenceEvent is appended to a fixed ring, the thread
+// falls back to passthrough for the rest of the run, and the process
+// keeps going. Divergences surface through the DegradationReport
+// channel at exit (preload wiring) and as SyscallOutcome::kDiverged in
+// the stats; they are never a crash.
+//
+// Pacing: with K23_CLOCK=virtual:rate=N, each served record waits until
+// replay_start + (t_recorded - trace_start) / N on the raw monotonic
+// clock before answering. With K23_CLOCK unset, replay runs as fast as
+// the verified families allow.
+//
+// Both hooks obey the SIGSYS-safety rules (DESIGN.md §10): stack
+// buffers, raw syscalls through internal::syscall_fn(), no allocation —
+// the replay streams are fully materialized at init time and only read
+// from the hook.
+//
+// Known limits (documented, DESIGN.md §15): single process (children
+// pass through), and thread streams are matched by order of first
+// recorded call — racing first-calls in the replayed binary can swap
+// two streams, which then reports as divergence rather than corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "interpose/dispatch.h"
+#include "trace/trace_format.h"
+
+namespace k23 {
+
+struct ReplayConfig {
+  enum class Mode { kOff, kRecord, kReplay };
+  Mode mode = Mode::kOff;
+  std::string trace_path;
+  // K23_RECORD=<path> / K23_REPLAY=<path> (see common/env.h grammar
+  // table). Both set is a configuration error resolved in favor of
+  // replay (recording what the replayer serves would be circular).
+  static ReplayConfig from_env();
+};
+
+// One structured divergence. POD: produced from the hook path.
+struct DivergenceEvent {
+  enum class Kind : uint8_t {
+    kUnexpectedSyscall = 0,  // expected/actual = recorded nr / live nr
+    kResultMismatch,         // expected/actual = recorded / live result
+    kDigestMismatch,         // expected/actual = recorded / live crc32
+    kOrderMismatch,          // expected/actual = recorded / live arrival
+    kStreamExhausted,        // a thread outran its recorded stream
+    kUnknownThread,          // more live threads than recorded streams
+  };
+  Kind kind = Kind::kUnexpectedSyscall;
+  uint32_t thread = 0;  // replay-thread index
+  uint64_t seq = 0;     // per-thread sequence at the divergence point
+  long nr = 0;          // syscall number the live call arrived with
+  int64_t expected = 0;
+  int64_t actual = 0;
+};
+
+const char* divergence_kind_name(DivergenceEvent::Kind kind);
+
+class Replay {
+ public:
+  // Brings up record or replay mode (registers the chain entry, opens /
+  // loads the trace). Mode::kOff deactivates and returns ok. Record mode
+  // truncates an existing trace file.
+  static Status init(const ReplayConfig& config);
+  static void shutdown();
+
+  static bool active();
+  static bool recording();
+  static bool replaying();
+
+  // Totals across all threads (relaxed reads; exact once writers stop).
+  static uint64_t replayed_count();
+  static uint64_t recorded_count();
+  static uint64_t diverged_count();
+
+  // Copies up to `cap` divergence events (oldest first) into `out`;
+  // returns the number copied. The ring keeps the first
+  // kMaxDivergences events and drops later ones (the count still
+  // grows).
+  static size_t divergence_events(DivergenceEvent* out, size_t cap);
+  static constexpr size_t kMaxDivergences = 64;
+
+  // The chain entries, exposed for tests building their own chain.
+  // record_hook registers at hook_priority::kRecorder, hook (the
+  // replayer) at hook_priority::kReplay.
+  static HookResult record_hook(void* user, SyscallArgs& args,
+                                const HookContext& ctx);
+  static HookResult hook(void* user, SyscallArgs& args,
+                         const HookContext& ctx);
+
+  // True for syscall numbers the engine records/replays.
+  static bool recorded_family(long nr);
+};
+
+}  // namespace k23

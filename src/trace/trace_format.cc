@@ -1,0 +1,25 @@
+#include "trace/trace_format.h"
+
+namespace k23::trace {
+
+const char* record_kind_name(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kInvalid:
+      return "invalid";
+    case RecordKind::kTime:
+      return "time";
+    case RecordKind::kData:
+      return "data";
+    case RecordKind::kAccept:
+      return "accept";
+    case RecordKind::kRandom:
+      return "random";
+    case RecordKind::kSleep:
+      return "sleep";
+    case RecordKind::kResult:
+      return "result";
+  }
+  return "?";
+}
+
+}  // namespace k23::trace

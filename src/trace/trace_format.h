@@ -1,0 +1,121 @@
+// The K23 v3 trace schema — the single public definition of the
+// record/replay capture format (DESIGN.md §15).
+//
+// Version history of K23's on-disk artifacts:
+//   v1  offline log, plain address list (retired).
+//   v2  offline log, CRC-framed (region, offset) records with torn-tail
+//       recovery (k23/offline_log.h — a *different* file family; the
+//       version numbers share one sequence so a header is never
+//       ambiguous about what is inside the file).
+//   v3  THIS: the replay trace. Where the offline log records *where*
+//       syscalls live, the v3 trace records *what the nondeterministic
+//       ones returned*, keyed by per-thread sequence numbers so a
+//       multi-threaded run can be replayed stably.
+//
+// Layout: one TraceFileHeader, then a stream of records, each a
+// TraceRecordHeader followed by `payload_len` bytes of kind-specific
+// payload. Records from different threads interleave freely in file
+// order (the recorder appends with single O_APPEND writes); the
+// (thread, seq) key — not file order — is the replay ordering.
+//
+// Endianness: all fields are little-endian, i.e. the x86-64 memory
+// image is written verbatim. The rewrite engine this trace rides on is
+// x86-64-only, so no byte-swapping reader exists; a future aarch64 port
+// (little-endian too) reads these files unchanged.
+//
+// Consumed by the recorder (replay/replay.cc record mode), the replayer
+// (replay mode), and `k23_logmerge --trace` (pretty-printing). Adding a
+// record kind is a compatible change (readers skip unknown kinds via
+// payload_len); changing a struct layout requires bumping kTraceVersion.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace k23::trace {
+
+// "K23TRCE3" — eight printable bytes so `file`/`xxd` identify a trace.
+inline constexpr uint64_t kTraceMagic = 0x334543525433324Bull;
+inline constexpr uint32_t kTraceVersion = 3;
+
+// What one record captured. The kind decides both the payload layout
+// and the replay policy (serve from the trace vs execute-and-verify).
+enum class RecordKind : uint8_t {
+  kInvalid = 0,
+  // Time family (clock_gettime / gettimeofday / time). Payload: the
+  // syscall's output image (timespec, timeval, or time_t). aux = clkid
+  // for clock_gettime, 0 otherwise. Replay: SERVED from the trace.
+  kTime = 1,
+  // Input-data family (read / recvfrom / recvmsg-less recv). Payload:
+  // none. aux = CRC-32 of the bytes the kernel returned (0 for results
+  // <= 0). Replay: EXECUTED live, then length + digest verified.
+  kData = 2,
+  // Connection arrival (accept / accept4). aux = global arrival index
+  // (process-wide order of accepted connections). Payload: none.
+  // Replay: EXECUTED live, arrival order verified.
+  kAccept = 3,
+  // Entropy (getrandom). Payload: the returned bytes (capped at
+  // kMaxRandomPayload; longer requests degrade to kData semantics with
+  // aux = digest). Replay: SERVED from the trace.
+  kRandom = 4,
+  // Sleep family (nanosleep / clock_nanosleep). Payload: none. Replay:
+  // SERVED (the recorded result, usually 0) — the virtual clock's
+  // pacing, not the kernel, provides the delay. This is what compresses
+  // a recorded soak: a 5 ms recorded sleep replayed at rate=10 costs
+  // 0.5 ms of wall clock.
+  kSleep = 5,
+  // A recorded family call that only produced an errno (failed read,
+  // EINTR'd sleep, ...). Payload: none, aux = 0. Replay: SERVED.
+  kResult = 6,
+};
+
+const char* record_kind_name(RecordKind kind);
+
+// Longest payload any record may carry (one timespec, one getrandom
+// serve, ...). Bounds the replayer's per-record copy and lets both
+// sides use stack buffers from SIGSYS context.
+inline constexpr size_t kMaxRecordPayload = 512;
+// getrandom payloads above this are digested instead of stored.
+inline constexpr size_t kMaxRandomPayload = 256;
+
+struct TraceFileHeader {
+  uint64_t magic = kTraceMagic;
+  uint32_t version = kTraceVersion;
+  uint32_t flags = 0;          // reserved, written as 0
+  int32_t pid = 0;             // recording process (the tree root)
+  uint32_t reserved = 0;
+  // CLOCK_REALTIME / CLOCK_MONOTONIC at recording start: the replayer's
+  // warp origin (recorded timestamps are offsets from these).
+  uint64_t start_realtime_ns = 0;
+  uint64_t start_monotonic_ns = 0;
+};
+static_assert(sizeof(TraceFileHeader) == 40);
+
+struct TraceRecordHeader {
+  uint8_t kind = 0;            // RecordKind
+  uint8_t pad = 0;
+  uint16_t payload_len = 0;    // bytes following this header
+  // Replay-thread index: threads are numbered in the order their first
+  // recorded call arrives. The replayer assigns indices the same way,
+  // so thread k's calls replay against stream k.
+  uint32_t thread = 0;
+  uint64_t seq = 0;            // per-thread sequence number, from 0
+  int64_t nr = 0;              // syscall number as the caller issued it
+  int64_t result = 0;          // return value (or -errno)
+  // Kind-specific: clkid (kTime), payload digest (kData / oversized
+  // kRandom), global arrival index (kAccept), 0 otherwise.
+  uint64_t aux = 0;
+  // CLOCK_MONOTONIC at capture, ns. Drives replay pacing: the virtual
+  // clock sleeps (delta to previous record) / rate before serving.
+  uint64_t monotonic_ns = 0;
+};
+static_assert(sizeof(TraceRecordHeader) == 48);
+
+// True when `kind` is served back from the trace on replay (vs executed
+// live and verified).
+inline bool record_kind_served(RecordKind kind) {
+  return kind == RecordKind::kTime || kind == RecordKind::kRandom ||
+         kind == RecordKind::kSleep || kind == RecordKind::kResult;
+}
+
+}  // namespace k23::trace

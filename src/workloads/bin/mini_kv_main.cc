@@ -1,4 +1,6 @@
-// Standalone KV server: mini_kv [port] [io_threads]
+// Standalone KV server: mini_kv [port] [io_threads] [max_requests]
+// max_requests > 0 makes the server exit cleanly (through atexit) after
+// that many commands — what the replay smoke needs for its stats dumps.
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,6 +10,7 @@ int main(int argc, char** argv) {
   k23::MiniKvOptions options;
   if (argc >= 2) options.port = static_cast<uint16_t>(std::atoi(argv[1]));
   if (argc >= 3) options.io_threads = std::atoi(argv[2]);
+  if (argc >= 4) options.max_requests = std::atoi(argv[3]);
   uint16_t port = 0;
   std::fprintf(stderr, "mini_kv: starting (%d I/O threads)\n",
                options.io_threads);

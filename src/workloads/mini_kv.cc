@@ -71,7 +71,8 @@ void handle_command(Store& store, const std::string& line,
   }
 }
 
-Status io_loop(Store& store, int listen_fd, const MiniKvOptions& options) {
+Status io_loop(Store& store, int listen_fd, const MiniKvOptions& options,
+               std::atomic<uint64_t>* handled) {
   EpollLoop loop;
   K23_RETURN_IF_ERROR(loop.init());
   K23_RETURN_IF_ERROR(loop.add(listen_fd, EPOLLIN, kListenerTag));
@@ -79,8 +80,11 @@ Status io_loop(Store& store, int listen_fd, const MiniKvOptions& options) {
   std::vector<KvConn> conns(4096);
   char buf[8192];
   EpollLoop::Event events[64];
-  while (options.stop == nullptr ||
-         !options.stop->load(std::memory_order_relaxed)) {
+  while ((options.stop == nullptr ||
+          !options.stop->load(std::memory_order_relaxed)) &&
+         (options.max_requests <= 0 ||
+          handled->load(std::memory_order_relaxed) <
+              static_cast<uint64_t>(options.max_requests))) {
     auto n = loop.wait(events, 64, 50);
     if (!n.is_ok()) return n.status();
     for (int i = 0; i < n.value(); ++i) {
@@ -116,6 +120,7 @@ Status io_loop(Store& store, int listen_fd, const MiniKvOptions& options) {
         std::string line = conn.inbox.substr(0, pos);
         conn.inbox.erase(0, pos + 2);
         handle_command(store, line, &reply);
+        handled->fetch_add(1, std::memory_order_relaxed);
       }
       if (!reply.empty() &&
           !write_all(fd, reply.data(), reply.size()).is_ok()) {
@@ -149,6 +154,7 @@ Status run_kv_server_inline(const MiniKvOptions& options,
   if (bound_port != nullptr) *bound_port = port.value();
   (void)set_nonblocking(first.value(), true);
 
+  std::atomic<uint64_t> handled{0};  // shared so max_requests is global
   std::vector<std::thread> threads;
   std::vector<int> extra_fds;
   for (int i = 1; i < options.io_threads; ++i) {
@@ -156,12 +162,12 @@ Status run_kv_server_inline(const MiniKvOptions& options,
     if (!fd.is_ok()) return fd.status();
     (void)set_nonblocking(fd.value(), true);
     extra_fds.push_back(fd.value());
-    threads.emplace_back([&store, fd = fd.value(), &options] {
-      (void)io_loop(store, fd, options);
+    threads.emplace_back([&store, fd = fd.value(), &options, &handled] {
+      (void)io_loop(store, fd, options, &handled);
     });
   }
 
-  Status st = io_loop(store, first.value(), options);
+  Status st = io_loop(store, first.value(), options, &handled);
   for (auto& t : threads) t.join();
   ::close(first.value());
   for (int fd : extra_fds) ::close(fd);

@@ -24,6 +24,11 @@ struct MiniKvOptions {
   const std::atomic<bool>* stop = nullptr;
   // Keys preloaded as bench:key:<i> = 64-byte values (so GET hits).
   int preload_keys = 16;
+  // > 0: return after handling this many commands (across all I/O
+  // threads). Gives harnesses a clean exit — atexit duties like stats
+  // dumps and trace finalization run, which a kill(2) would skip. The
+  // replay smoke leans on this for bounded, repeatable server runs.
+  int max_requests = 0;
 };
 
 // Runs in the calling process; spawns (io_threads - 1) extra threads.

@@ -1,6 +1,6 @@
 // Hook-chain API v2 (interpose/dispatch.h): ordered registration,
-// first-replace-wins, the read-only observe pass, and the set_hook()
-// compatibility shim layered over the chain.
+// first-replace-wins, the read-only observe pass, and the fixed
+// priority ladder (DESIGN.md §7).
 //
 // The dispatcher is a process-global singleton, so every test that
 // mutates the chain runs in a forked child (support/subprocess.h) and
@@ -234,51 +234,41 @@ TEST(HookChain, NullFnIsRejected) {
   });
 }
 
-TEST(HookChain, SetHookShimReplacesItsOwnEntryOnly) {
+TEST(HookChain, PriorityLadderRungsAreOrdered) {
   EXPECT_CHILD_EXITS(0, [] {
-    static int legacy_a = 0, legacy_b = 0, chained = 0;
+    // The documented ladder (DESIGN.md §7) must stay strictly ascending:
+    // entries registered on the named rungs run in exactly this order.
+    static Trace trace;
+    static char tags[] = {'f', 'p', 'y', 'b', 'a', 's', 'r'};
+    constexpr int rungs[] = {
+        hook_priority::kFleet,  hook_priority::kPolicy,
+        hook_priority::kReplay, hook_priority::kBatch,
+        hook_priority::kAccel,  hook_priority::kRescan,
+        hook_priority::kRecorder};
     auto& d = Dispatcher::instance();
-    if (d.register_hook(hook_priority::kPolicy,
-                        [](void*, SyscallArgs&, const HookContext&) {
-                          ++chained;
-                          return HookResult::passthrough();
-                        },
-                        nullptr) == 0)
-      return 1;
-    d.set_hook(
-        [](void*, SyscallArgs&, const HookContext&) {
-          ++legacy_a;
-          return HookResult::passthrough();
-        },
-        nullptr);
-    if (d.hook_count() != 2) return 2;
-    // A second set_hook replaces the first's entry — no stacking.
-    d.set_hook(
-        [](void*, SyscallArgs&, const HookContext&) {
-          ++legacy_b;
-          return HookResult::passthrough();
-        },
-        nullptr);
-    if (d.hook_count() != 2) return 3;
+    auto tag = [](void* user, SyscallArgs&, const HookContext&) {
+      trace.append(*static_cast<char*>(user));
+      return HookResult::passthrough();
+    };
+    // Registered in reverse to prove priority, not insertion, decides.
+    for (int i = 6; i >= 0; --i) {
+      if (d.register_hook(rungs[i], tag, &tags[i]) == 0) return 1;
+    }
     SyscallArgs args = make_args(SYS_getuid);
     HookContext ctx;
     (void)d.on_syscall(args, ctx);
-    if (legacy_a != 0 || legacy_b != 1 || chained != 1) return 4;
-    // clear_hook removes only the legacy slot; the chain entry stays.
-    d.clear_hook();
-    if (d.hook_count() != 1) return 5;
-    (void)d.on_syscall(args, ctx);
-    return (legacy_b == 1 && chained == 2) ? 0 : 6;
+    return std::strcmp(trace.order, "fpybasr") == 0 ? 0 : 2;
   });
 }
 
-TEST(HookChain, LegacyShimRunsBeforeRegisteredEntries) {
+TEST(HookChain, UserPriorityZeroRunsBeforeEveryBuiltInRung) {
   EXPECT_CHILD_EXITS(0, [] {
     static Trace trace;
     static char tag_p = 'p';
     auto& d = Dispatcher::instance();
-    // The policy-priority entry registers first, the legacy hook second —
-    // yet the legacy hook (priority kLegacy=0) must still run first.
+    // The built-in rung registers first, the user hook at 0 second —
+    // yet the user hook must still run first (0 < kFleet=90, the lowest
+    // rung; this is the migration story for the retired set_hook()).
     if (d.register_hook(hook_priority::kPolicy,
                         [](void* user, SyscallArgs&, const HookContext&) {
                           trace.append(*static_cast<char*>(user));
@@ -286,16 +276,17 @@ TEST(HookChain, LegacyShimRunsBeforeRegisteredEntries) {
                         },
                         &tag_p) == 0)
       return 1;
-    d.set_hook(
-        [](void*, SyscallArgs&, const HookContext&) {
-          trace.append('l');
-          return HookResult::passthrough();
-        },
-        nullptr);
+    if (d.register_hook(0,
+                        [](void*, SyscallArgs&, const HookContext&) {
+                          trace.append('u');
+                          return HookResult::passthrough();
+                        },
+                        nullptr) == 0)
+      return 2;
     SyscallArgs args = make_args(SYS_getuid);
     HookContext ctx;
     (void)d.on_syscall(args, ctx);
-    return std::strcmp(trace.order, "lp") == 0 ? 0 : 2;
+    return std::strcmp(trace.order, "up") == 0 ? 0 : 3;
   });
 }
 
@@ -309,10 +300,9 @@ TEST(HookChain, HasHookAndCountReflectTheChain) {
     HookHandle h = d.register_hook(10, noop, nullptr);
     if (h == 0) return 2;
     if (!d.has_hook() || d.hook_count() != 1) return 3;
-    d.set_hook(noop, nullptr);
-    if (d.hook_count() != 2) return 4;
-    d.clear_hook();
-    if (d.hook_count() != 1) return 5;
+    HookHandle h2 = d.register_hook(20, noop, nullptr);
+    if (h2 == 0 || d.hook_count() != 2) return 4;
+    if (!d.unregister_hook(h2) || d.hook_count() != 1) return 5;
     if (!d.unregister_hook(h)) return 6;
     return (!d.has_hook() && d.hook_count() == 0) ? 0 : 7;
   });

@@ -44,7 +44,8 @@ TEST(Dispatcher, ErrorReturnsKernelEncoding) {
 
 TEST(Dispatcher, HookReplaceSkipsExecution) {
   EXPECT_CHILD_EXITS(0, [] {
-    Dispatcher::instance().set_hook(
+    const HookHandle hook = Dispatcher::instance().register_hook(
+        0,
         [](void*, SyscallArgs& args, const HookContext&) {
           if (args.nr == SYS_getpid) return HookResult::replace(-999);
           return HookResult::passthrough();
@@ -53,7 +54,7 @@ TEST(Dispatcher, HookReplaceSkipsExecution) {
     SyscallArgs args = make_args(SYS_getpid);
     HookContext ctx;
     long rc = Dispatcher::instance().on_syscall(args, ctx);
-    Dispatcher::instance().clear_hook();
+    Dispatcher::instance().unregister_hook(hook);
     return rc == -999 ? 0 : 1;
   });
 }
@@ -62,7 +63,8 @@ TEST(Dispatcher, HookCanRewriteArgumentsInPlace) {
   EXPECT_CHILD_EXITS(0, [] {
     // Rewrite close(-1) into close(-2): same EBADF, different argument —
     // observable because the hook sees its own modification stick.
-    Dispatcher::instance().set_hook(
+    const HookHandle hook = Dispatcher::instance().register_hook(
+        0,
         [](void*, SyscallArgs& args, const HookContext&) {
           if (args.nr == SYS_close && args.rdi == -1) args.rdi = -2;
           return HookResult::passthrough();
@@ -71,7 +73,7 @@ TEST(Dispatcher, HookCanRewriteArgumentsInPlace) {
     SyscallArgs args = make_args(SYS_close, -1);
     HookContext ctx;
     long rc = Dispatcher::instance().on_syscall(args, ctx);
-    Dispatcher::instance().clear_hook();
+    Dispatcher::instance().unregister_hook(hook);
     if (!is_syscall_error(rc) || syscall_errno(rc) != EBADF) return 1;
     return args.rdi == -2 ? 0 : 2;
   });
@@ -80,7 +82,8 @@ TEST(Dispatcher, HookCanRewriteArgumentsInPlace) {
 TEST(Dispatcher, HookUserPointerIsDelivered) {
   EXPECT_CHILD_EXITS(0, [] {
     static int token = 7;
-    Dispatcher::instance().set_hook(
+    const HookHandle hook = Dispatcher::instance().register_hook(
+        0,
         [](void* user, SyscallArgs&, const HookContext&) {
           *static_cast<int*>(user) = 42;
           return HookResult::passthrough();
@@ -89,7 +92,7 @@ TEST(Dispatcher, HookUserPointerIsDelivered) {
     SyscallArgs args = make_args(SYS_getuid);
     HookContext ctx;
     (void)Dispatcher::instance().on_syscall(args, ctx);
-    Dispatcher::instance().clear_hook();
+    Dispatcher::instance().unregister_hook(hook);
     return token == 42 ? 0 : 1;
   });
 }

@@ -176,7 +176,8 @@ TEST(K23, UltraPlusVariantRunsOnDedicatedStack) {
     options.variant = K23Variant::kUltraPlus;
     if (!K23Interposer::init(log, options).is_ok()) return 1;
     static uint64_t hook_rsp;
-    Dispatcher::instance().set_hook(
+    const HookHandle hook = Dispatcher::instance().register_hook(
+        0,
         [](void*, SyscallArgs& args, const HookContext& ctx) {
           // Only the rewritten path switches stacks; the SUD fallback
           // (e.g. libc's own getpid below) runs on the signal stack.
@@ -189,7 +190,7 @@ TEST(K23, UltraPlusVariantRunsOnDedicatedStack) {
     uint64_t app_rsp;
     asm volatile("mov %%rsp, %0" : "=r"(app_rsp));
     if (k23_test_getpid() != ::getpid()) return 2;
-    Dispatcher::instance().clear_hook();
+    Dispatcher::instance().unregister_hook(hook);
     // Hook ran far from the application stack.
     uint64_t distance = hook_rsp > app_rsp ? hook_rsp - app_rsp
                                            : app_rsp - hook_rsp;

@@ -30,7 +30,8 @@ TEST(Seccomp, HookSeesTrappedCalls) {
   EXPECT_CHILD_EXITS(0, [] {
     static long seen = 0;
     if (!SeccompInterposer::arm().is_ok()) return 1;
-    Dispatcher::instance().set_hook(
+    const HookHandle hook = Dispatcher::instance().register_hook(
+        0,
         [](void*, SyscallArgs& args, const HookContext&) {
           if (args.nr == kBenchSyscallNr) {
             seen = args.rdi;
@@ -40,7 +41,7 @@ TEST(Seccomp, HookSeesTrappedCalls) {
         },
         nullptr);
     long rc = ::syscall(kBenchSyscallNr, 77L);
-    Dispatcher::instance().clear_hook();
+    Dispatcher::instance().unregister_hook(hook);
     if (rc != 1234) return 2;
     return seen == 77 ? 0 : 3;
   });
@@ -50,14 +51,15 @@ TEST(Seccomp, SiteAddressIsAccurate) {
   EXPECT_CHILD_EXITS(0, [] {
     static uint64_t site = 0;
     if (!SeccompInterposer::arm().is_ok()) return 1;
-    Dispatcher::instance().set_hook(
+    const HookHandle hook = Dispatcher::instance().register_hook(
+        0,
         [](void*, SyscallArgs& args, const HookContext& ctx) {
           if (args.nr == SYS_getpid) site = ctx.site_address;
           return HookResult::passthrough();
         },
         nullptr);
     (void)k23_test_getpid();
-    Dispatcher::instance().clear_hook();
+    Dispatcher::instance().unregister_hook(hook);
     return site == testing::getpid_site() ? 0 : 2;
   });
 }

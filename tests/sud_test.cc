@@ -52,7 +52,8 @@ TEST(Sud, HookSeesSyscallNumberAndArgs) {
     static long seen_nr = 0;
     static long seen_arg = 0;
     if (!SudSession::arm().is_ok()) return 1;
-    Dispatcher::instance().set_hook(
+    const HookHandle hook = Dispatcher::instance().register_hook(
+        0,
         [](void*, SyscallArgs& args, const HookContext& ctx) {
           if (args.nr == kBenchSyscallNr) {
             seen_nr = args.nr;
@@ -65,7 +66,7 @@ TEST(Sud, HookSeesSyscallNumberAndArgs) {
         },
         nullptr);
     long rc = ::syscall(kBenchSyscallNr, 31337L);
-    Dispatcher::instance().clear_hook();
+    Dispatcher::instance().unregister_hook(hook);
     SudSession::disarm();
     if (rc != 777) return 2;
     if (seen_nr != kBenchSyscallNr) return 3;
@@ -78,14 +79,15 @@ TEST(Sud, SiteAddressPointsAtSyscallInsn) {
   EXPECT_CHILD_EXITS(0, [] {
     static uint64_t reported_site = 0;
     if (!SudSession::arm().is_ok()) return 1;
-    Dispatcher::instance().set_hook(
+    const HookHandle hook = Dispatcher::instance().register_hook(
+        0,
         [](void*, SyscallArgs& args, const HookContext& ctx) {
           if (args.nr == SYS_getpid) reported_site = ctx.site_address;
           return HookResult::passthrough();
         },
         nullptr);
     (void)k23_test_getpid();
-    Dispatcher::instance().clear_hook();
+    Dispatcher::instance().unregister_hook(hook);
     SudSession::disarm();
     return reported_site == testing::getpid_site() ? 0 : 2;
   });

@@ -60,14 +60,16 @@ TEST(Trampoline, HookCanReplaceResult) {
     CodePatcher patcher;
     if (!patcher.patch_site(testing::getpid_site()).is_ok()) return 2;
 
-    Dispatcher::instance().set_hook(
+    const HookHandle hook = Dispatcher::instance().register_hook(
+        0,
         [](void*, SyscallArgs& args, const HookContext&) {
           if (args.nr == SYS_getpid) return HookResult::replace(4242);
           return HookResult::passthrough();
         },
         nullptr);
+    if (hook == 0) return 4;
     long pid = k23_test_getpid();
-    Dispatcher::instance().clear_hook();
+    Dispatcher::instance().unregister_hook(hook);
     return pid == 4242 ? 0 : 3;
   });
 }
